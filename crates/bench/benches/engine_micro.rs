@@ -1,0 +1,124 @@
+//! Per-operation microbenchmarks of the engine: the cost of begin/commit,
+//! point reads, writes and read-modify-write transactions under each
+//! isolation level. These quantify the bookkeeping overhead that
+//! Serializable SI adds on top of SI (SIREAD lock acquisition, conflict
+//! flag maintenance, commit-time checks) — the "overhead" dimension of
+//! Sec. 6.1.5 — without any concurrency.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ssi_common::IsolationLevel;
+use ssi_core::{Database, Options, TableRef};
+
+fn setup(level: IsolationLevel, rows: u64) -> (Database, TableRef) {
+    let db = Database::open(Options::default().with_isolation(level));
+    let table = db.create_table("bench").unwrap();
+    let mut txn = db.begin();
+    for i in 0..rows {
+        txn.put(&table, &i.to_be_bytes(), &[0u8; 64]).unwrap();
+    }
+    txn.commit().unwrap();
+    (db, table)
+}
+
+fn bench_empty_transaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("begin_commit");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    for level in IsolationLevel::evaluated() {
+        let (db, _table) = setup(level, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(level.label()), &db, |b, db| {
+            b.iter(|| {
+                let txn = db.begin();
+                txn.commit().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_read");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    for level in IsolationLevel::evaluated() {
+        let (db, table) = setup(level, 1000);
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
+            b.iter(|| {
+                i = (i + 7) % 1000;
+                let mut txn = db.begin();
+                let v = txn.get(&table, &i.to_be_bytes()).unwrap();
+                txn.commit().unwrap();
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_write");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    for level in IsolationLevel::evaluated() {
+        let (db, table) = setup(level, 1000);
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
+            b.iter(|| {
+                i = (i + 13) % 1000;
+                let mut txn = db.begin();
+                txn.put(&table, &i.to_be_bytes(), &[1u8; 64]).unwrap();
+                txn.commit().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_modify_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_modify_write");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    for level in IsolationLevel::evaluated() {
+        let (db, table) = setup(level, 1000);
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
+            b.iter(|| {
+                i = (i + 17) % 1000;
+                let mut txn = db.begin();
+                let _v = txn.get_for_update(&table, &i.to_be_bytes()).unwrap();
+                txn.put(&table, &i.to_be_bytes(), &[2u8; 64]).unwrap();
+                txn.commit().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_1000_rows");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    for level in IsolationLevel::evaluated() {
+        let (db, table) = setup(level, 1000);
+        group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
+            b.iter(|| {
+                let mut txn = db.begin_read_only();
+                let rows = txn
+                    .scan(&table, std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+                    .unwrap();
+                txn.commit().unwrap();
+                rows.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_empty_transaction,
+    bench_point_read,
+    bench_point_write,
+    bench_read_modify_write,
+    bench_scan
+);
+criterion_main!(benches);

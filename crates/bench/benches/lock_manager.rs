@@ -1,0 +1,129 @@
+//! Lock-manager microbenchmarks: the cost of acquiring and releasing each
+//! lock mode, of SIREAD/EXCLUSIVE conflict discovery, and of contended
+//! acquisition from several threads. The thesis attributes Serializable SI's
+//! extra cost largely to additional lock-manager traffic (Sec. 6.3.1), so
+//! these numbers anchor that discussion.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ssi_common::{TableId, TxnId};
+use ssi_lock::{LockKey, LockManager, LockMode};
+
+fn bench_uncontended_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_acquire_release");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    for (name, mode) in [
+        ("shared", LockMode::Shared),
+        ("exclusive", LockMode::Exclusive),
+        ("siread", LockMode::SiRead),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let lm = LockManager::with_defaults();
+            let key = LockKey::record(TableId(1), vec![1, 2, 3, 4]);
+            let mut txn = 0u64;
+            b.iter(|| {
+                txn += 1;
+                let id = TxnId(txn);
+                lm.lock(id, &key, mode).unwrap();
+                lm.unlock(id, &key, mode);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rw_conflict_discovery(c: &mut Criterion) {
+    // An EXCLUSIVE acquisition over a key with N existing SIREAD holders:
+    // this is the conflict-discovery path of Fig. 3.5.
+    let mut group = c.benchmark_group("exclusive_over_siread_holders");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    for holders in [1usize, 8, 64] {
+        group.bench_function(BenchmarkId::from_parameter(holders), |b| {
+            let lm = LockManager::with_defaults();
+            let key = LockKey::record(TableId(1), vec![9]);
+            for i in 0..holders {
+                lm.lock(TxnId(1000 + i as u64), &key, LockMode::SiRead).unwrap();
+            }
+            let mut txn = 0u64;
+            b.iter(|| {
+                txn += 1;
+                let id = TxnId(txn);
+                let outcome = lm.lock(id, &key, LockMode::Exclusive).unwrap();
+                lm.unlock(id, &key, LockMode::Exclusive);
+                outcome.rw_conflicts.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_distinct_keys(c: &mut Criterion) {
+    // One transaction acquiring many distinct SIREAD locks (the footprint of
+    // a Serializable SI scan).
+    let mut group = c.benchmark_group("siread_locks_per_scan");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    for keys in [10usize, 100, 1000] {
+        group.bench_function(BenchmarkId::from_parameter(keys), |b| {
+            let lm = LockManager::with_defaults();
+            let mut txn = 0u64;
+            b.iter(|| {
+                txn += 1;
+                let id = TxnId(txn);
+                for k in 0..keys {
+                    let key = LockKey::record(TableId(1), (k as u64).to_be_bytes().to_vec());
+                    lm.lock(id, &key, LockMode::SiRead).unwrap();
+                }
+                for k in 0..keys {
+                    let key = LockKey::record(TableId(1), (k as u64).to_be_bytes().to_vec());
+                    lm.unlock(id, &key, LockMode::SiRead);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended_throughput(c: &mut Criterion) {
+    // Total lock/unlock throughput with several threads hammering a small
+    // hot set of keys (exclusive mode, so there is real blocking).
+    let mut group = c.benchmark_group("contended_exclusive");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(15);
+    for threads in [2usize, 8] {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter_custom(|iters| {
+                let lm = Arc::new(LockManager::with_defaults());
+                let per_thread = (iters as usize / threads).max(1);
+                let start = std::time::Instant::now();
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let lm = lm.clone();
+                        scope.spawn(move || {
+                            for i in 0..per_thread {
+                                let id = TxnId((t * per_thread + i + 1) as u64);
+                                let key =
+                                    LockKey::record(TableId(1), vec![(i % 4) as u8]);
+                                if lm.lock(id, &key, LockMode::Exclusive).is_ok() {
+                                    lm.unlock(id, &key, LockMode::Exclusive);
+                                }
+                            }
+                        });
+                    }
+                });
+                start.elapsed()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_uncontended_modes,
+    bench_rw_conflict_discovery,
+    bench_distinct_keys,
+    bench_contended_throughput
+);
+criterion_main!(benches);

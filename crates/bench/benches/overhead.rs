@@ -1,0 +1,91 @@
+//! The "pure overhead" comparison of Sec. 6.1.5: when contention is low
+//! (large data set, uniform access), SI and S2PL perform essentially
+//! identically and the difference between SI and Serializable SI isolates
+//! the cost of SIREAD bookkeeping, suspended-transaction management and the
+//! false positives that remain. The thesis measures this at 10–15% for the
+//! Berkeley DB prototype.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ssi_common::IsolationLevel;
+use ssi_core::{Database, Options};
+use ssi_workloads::driver::{run_workload, RunConfig};
+use ssi_workloads::smallbank::{SmallBank, SmallBankConfig};
+
+fn bench_low_contention_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("low_contention_overhead");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+
+    for level in IsolationLevel::evaluated() {
+        // 10x data volume of the hot configuration (Sec. 6.1.5): page-level
+        // engine, 1000 pages, 10k customers.
+        let db = Database::open(Options::berkeley_like(1000).with_isolation(level));
+        let bank = SmallBank::setup(
+            &db,
+            SmallBankConfig {
+                customers: 10_000,
+                ops_per_txn: 1,
+                initial_balance: 10_000,
+                mitigation: Default::default(),
+            },
+        );
+        group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
+            b.iter_custom(|_iters| {
+                let stats = run_workload(
+                    &db,
+                    &bank,
+                    &RunConfig {
+                        mpl: 8,
+                        warmup: Duration::from_millis(50),
+                        duration: Duration::from_millis(250),
+                        seed: 9,
+                    },
+                );
+                eprintln!(
+                    "overhead {}: {:.0} commits/s, aborts/commit {:.4}",
+                    level.label(),
+                    stats.throughput(),
+                    stats.abort_ratio()
+                );
+                if stats.commits == 0 {
+                    Duration::from_millis(250)
+                } else {
+                    Duration::from_millis(250) / stats.commits as u32
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_thread_overhead(c: &mut Criterion) {
+    // Zero-contention per-transaction cost: the purest view of the SSI
+    // bookkeeping overhead relative to SI.
+    let mut group = c.benchmark_group("single_thread_overhead");
+    group.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for level in [
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::SerializableSnapshotIsolation,
+    ] {
+        let db = Database::open(Options::berkeley_like(1000).with_isolation(level));
+        let bank = SmallBank::setup(
+            &db,
+            SmallBankConfig {
+                customers: 10_000,
+                ops_per_txn: 1,
+                initial_balance: 10_000,
+                mitigation: Default::default(),
+            },
+        );
+        let mut rng = ssi_common::rng::WorkloadRng::new(11);
+        group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
+            b.iter(|| ssi_workloads::driver::Workload::execute_one(&bank, &db, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_low_contention_overhead, bench_single_thread_overhead);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Single-threaded per-transaction cost of each benchmark's transaction
+//! programs under each isolation level — the workload-level counterpart of
+//! `engine_micro`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ssi_common::rng::WorkloadRng;
+use ssi_common::IsolationLevel;
+use ssi_core::{Database, Options};
+use ssi_workloads::driver::Workload;
+use ssi_workloads::sibench::SiBench;
+use ssi_workloads::smallbank::{SmallBank, SmallBankConfig};
+use ssi_workloads::tpcc::{ScaleFactor, TpccConfig, TpccWorkload};
+
+fn bench_smallbank_transaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smallbank_txn");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    for level in IsolationLevel::evaluated() {
+        let db = Database::open(Options::berkeley_like(100).with_isolation(level));
+        let bank = SmallBank::setup(
+            &db,
+            SmallBankConfig {
+                customers: 1000,
+                ops_per_txn: 1,
+                initial_balance: 10_000,
+                mitigation: Default::default(),
+            },
+        );
+        let mut rng = WorkloadRng::new(1);
+        group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
+            b.iter(|| bank.execute_one(&db, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sibench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sibench_query");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    for items in [10u64, 100, 1000] {
+        let db = Database::open(Options::default());
+        let bench = SiBench::setup(&db, items, 1);
+        group.bench_function(BenchmarkId::from_parameter(items), |b| {
+            b.iter(|| bench.query_min(&db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sibench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sibench_update");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    for level in IsolationLevel::evaluated() {
+        let db = Database::open(Options::default().with_isolation(level));
+        let bench = SiBench::setup(&db, 100, 1);
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
+            b.iter(|| {
+                i = (i + 1) % 100;
+                bench.update_row(&db, i).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tpcc_transactions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpcc_txn_mix");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    for level in IsolationLevel::evaluated() {
+        let db = Database::open(Options::default().with_isolation(level));
+        let workload = TpccWorkload::setup(&db, TpccConfig::new(ScaleFactor::tiny(1)));
+        let mut rng = WorkloadRng::new(7);
+        group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
+            b.iter(|| workload.execute_one(&db, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_smallbank_transaction,
+    bench_sibench_query,
+    bench_sibench_update,
+    bench_tpcc_transactions
+);
+criterion_main!(benches);

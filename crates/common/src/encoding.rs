@@ -1,0 +1,296 @@
+//! Order-preserving binary encoding for keys and a small fixed-layout codec
+//! for row values.
+//!
+//! The benchmark schemas (SmallBank, sibench, TPC-C++) are implemented
+//! directly against the storage engine's byte-string key/value interface,
+//! exactly as the thesis adapts SmallBank onto Berkeley DB (Sec. 5.1). The
+//! helpers here build composite keys whose lexicographic byte order matches
+//! the natural order of their components, so that range scans (e.g. "all
+//! order lines of order (w, d, o)") are contiguous in the ordered table.
+
+/// A mutable builder for order-preserving composite keys.
+///
+/// Integer components are encoded big-endian; string components are encoded
+/// with a `0x00` terminator escape so that `"a" < "ab"` holds in byte order.
+#[derive(Default, Clone, Debug)]
+pub struct KeyBuilder {
+    buf: Vec<u8>,
+}
+
+impl KeyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Creates a builder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a table/record tag byte (used to keep different record kinds
+    /// of one logical table apart).
+    pub fn tag(mut self, tag: u8) -> Self {
+        self.buf.push(tag);
+        self
+    }
+
+    /// Appends a `u16` big-endian.
+    pub fn u16(mut self, v: u16) -> Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a `u32` big-endian.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a `u64` big-endian.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends an `i64` with the sign bit flipped so that byte order equals
+    /// numeric order for negative and positive values alike.
+    pub fn i64(mut self, v: i64) -> Self {
+        let biased = (v as u64) ^ (1 << 63);
+        self.buf.extend_from_slice(&biased.to_be_bytes());
+        self
+    }
+
+    /// Appends a string with `0x00 0x01` escaping and a `0x00 0x00`
+    /// terminator, preserving lexicographic order of the original strings.
+    pub fn str(mut self, s: &str) -> Self {
+        for &b in s.as_bytes() {
+            if b == 0 {
+                self.buf.extend_from_slice(&[0x00, 0x01]);
+            } else {
+                self.buf.push(b);
+            }
+        }
+        self.buf.extend_from_slice(&[0x00, 0x00]);
+        self
+    }
+
+    /// Finishes the key.
+    pub fn build(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Decodes the sign-biased `i64` produced by [`KeyBuilder::i64`].
+pub fn decode_biased_i64(bytes: &[u8]) -> i64 {
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(&bytes[..8]);
+    (u64::from_be_bytes(arr) ^ (1 << 63)) as i64
+}
+
+/// A tiny append-only value encoder with a matching [`ValueReader`].
+///
+/// Rows are encoded as a fixed sequence of typed fields known to both sides;
+/// there is no schema header, which keeps encoded rows compact (the TPC-C
+/// Stock table has 100k rows per warehouse).
+#[derive(Default, Clone, Debug)]
+pub struct ValueWriter {
+    buf: Vec<u8>,
+}
+
+impl ValueWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Creates a writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `i64`.
+    pub fn i64(mut self, v: i64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `f64`.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed string.
+    pub fn str(mut self, s: &str) -> Self {
+        let bytes = s.as_bytes();
+        self.buf
+            .extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Finishes the value.
+    pub fn build(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential reader matching [`ValueWriter`].
+#[derive(Clone, Debug)]
+pub struct ValueReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ValueReader<'a> {
+    /// Wraps an encoded value.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Reads the next `u32`.
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Reads the next `u64`.
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads the next `i64`.
+    pub fn i64(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads the next `f64`.
+    pub fn f64(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads the next length-prefixed string.
+    pub fn str(&mut self) -> String {
+        let len = self.u32() as usize;
+        String::from_utf8_lossy(self.take(len)).into_owned()
+    }
+
+    /// Number of unread bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Convenience: encodes a single `i64` value (used by SmallBank balances and
+/// sibench counters).
+pub fn encode_i64(v: i64) -> Vec<u8> {
+    ValueWriter::new().i64(v).build()
+}
+
+/// Convenience: decodes a single `i64` value.
+pub fn decode_i64(buf: &[u8]) -> i64 {
+    ValueReader::new(buf).i64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_keys_preserve_order() {
+        let a = KeyBuilder::new().u32(1).build();
+        let b = KeyBuilder::new().u32(2).build();
+        let c = KeyBuilder::new().u32(300).build();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn i64_keys_preserve_order_across_sign() {
+        let vals = [-5_000_000_000i64, -1, 0, 1, 7, 5_000_000_000];
+        let keys: Vec<Vec<u8>> = vals.iter().map(|v| KeyBuilder::new().i64(*v).build()).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for (v, k) in vals.iter().zip(&keys) {
+            assert_eq!(decode_biased_i64(k), *v);
+        }
+    }
+
+    #[test]
+    fn composite_keys_order_component_wise() {
+        let k = |w: u32, d: u32, o: u32| KeyBuilder::new().u32(w).u32(d).u32(o).build();
+        assert!(k(1, 1, 9) < k(1, 2, 0));
+        assert!(k(1, 10, 9) < k(2, 0, 0));
+        assert!(k(3, 4, 5) < k(3, 4, 6));
+    }
+
+    #[test]
+    fn string_keys_order_like_strings() {
+        let k = |s: &str| KeyBuilder::new().str(s).build();
+        assert!(k("a") < k("ab"));
+        assert!(k("ab") < k("b"));
+        // Embedded NUL is escaped and still sorts before a longer suffix.
+        assert!(k("a\0") < k("a\0b"));
+        assert!(k("a") < k("a\0"));
+    }
+
+    #[test]
+    fn string_then_int_composite() {
+        let k = |s: &str, v: u32| KeyBuilder::new().str(s).u32(v).build();
+        assert!(k("alice", 2) < k("alice", 3));
+        assert!(k("alice", 900) < k("bob", 0));
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v = ValueWriter::new()
+            .u32(7)
+            .i64(-42)
+            .f64(3.5)
+            .str("hello world")
+            .u64(u64::MAX)
+            .build();
+        let mut r = ValueReader::new(&v);
+        assert_eq!(r.u32(), 7);
+        assert_eq!(r.i64(), -42);
+        assert_eq!(r.f64(), 3.5);
+        assert_eq!(r.str(), "hello world");
+        assert_eq!(r.u64(), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn single_i64_helpers() {
+        assert_eq!(decode_i64(&encode_i64(123)), 123);
+        assert_eq!(decode_i64(&encode_i64(-9)), -9);
+    }
+
+    #[test]
+    fn tag_separates_record_kinds() {
+        let a = KeyBuilder::new().tag(1).u32(5).build();
+        let b = KeyBuilder::new().tag(2).u32(0).build();
+        assert!(a < b);
+    }
+}

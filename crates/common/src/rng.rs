@@ -1,0 +1,266 @@
+//! Random-distribution helpers for the workloads.
+//!
+//! TPC-C prescribes a particular non-uniform random distribution (NURand) for
+//! customer and item selection; SmallBank uses a uniform distribution with a
+//! configurable hotspot; sibench uses plain uniform selection. A Zipfian
+//! generator is also provided for ablation experiments on skewed access.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic small RNG seeded per worker thread.
+///
+/// Workload code takes `&mut WorkloadRng` so experiments are reproducible for
+/// a given seed while different workers still see independent streams.
+pub struct WorkloadRng {
+    rng: SmallRng,
+    /// TPC-C NURand constant C for customer-id selection (fixed per run).
+    c_cust: u64,
+    /// TPC-C NURand constant C for item-id selection.
+    c_item: u64,
+    /// TPC-C NURand constant C for customer-last-name selection.
+    c_name: u64,
+}
+
+impl WorkloadRng {
+    /// Creates a generator from a seed; worker `i` of an experiment typically
+    /// uses `seed + i`.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let c_cust = rng.gen_range(0..1024);
+        let c_item = rng.gen_range(0..8192);
+        let c_name = rng.gen_range(0..256);
+        Self {
+            rng,
+            c_cust,
+            c_item,
+            c_name,
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive), as TPC-C's `rand(x..y)`.
+    pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Returns true with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Picks an index in `[0, n)` uniformly.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// TPC-C NURand(A, x, y): non-uniform distribution over `[x, y]`.
+    fn nurand(&mut self, a: u64, c: u64, x: u64, y: u64) -> u64 {
+        let r1 = self.uniform(0, a);
+        let r2 = self.uniform(x, y);
+        (((r1 | r2) + c) % (y - x + 1)) + x
+    }
+
+    /// TPC-C customer id selection: NURand(1023, 1, 3000).
+    pub fn nurand_customer(&mut self, customers_per_district: u64) -> u64 {
+        self.nurand(1023, self.c_cust, 1, customers_per_district)
+    }
+
+    /// TPC-C item id selection: NURand(8191, 1, 100000).
+    pub fn nurand_item(&mut self, item_count: u64) -> u64 {
+        self.nurand(8191, self.c_item, 1, item_count)
+    }
+
+    /// TPC-C last-name index selection: NURand(255, 0, 999).
+    pub fn nurand_name(&mut self) -> u64 {
+        self.nurand(255, self.c_name, 0, 999)
+    }
+
+    /// Uniform selection with a hotspot: with probability `hot_prob` the
+    /// value is drawn from the first `hot_n` items, otherwise from the whole
+    /// range `[0, n)`. SmallBank's high-contention configurations use this.
+    pub fn hotspot(&mut self, n: u64, hot_n: u64, hot_prob: f64) -> u64 {
+        if hot_n > 0 && hot_n < n && self.chance(hot_prob) {
+            self.uniform(0, hot_n - 1)
+        } else {
+            self.uniform(0, n - 1)
+        }
+    }
+}
+
+/// TPC-C customer last name from a running number (spec clause 4.3.2.3).
+pub fn tpcc_last_name(num: u64) -> String {
+    const SYLLABLES: [&str; 10] = [
+        "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+    ];
+    let n = num % 1000;
+    format!(
+        "{}{}{}",
+        SYLLABLES[(n / 100) as usize],
+        SYLLABLES[((n / 10) % 10) as usize],
+        SYLLABLES[(n % 10) as usize]
+    )
+}
+
+/// A Zipfian distribution over `[0, n)` with exponent `theta`, using the
+/// Gray et al. rejection-free method (precomputed zeta), as used by YCSB.
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` items with skew `theta`
+    /// (`0 < theta < 1`; larger is more skewed).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf requires at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        Self {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Draws the next value in `[0, n)`; item 0 is the most popular.
+    pub fn sample(&self, rng: &mut WorkloadRng) -> u64 {
+        let u = rng.unit();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = ((self.eta * u - self.eta + 1.0).powf(self.alpha) * self.n as f64) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = WorkloadRng::new(1);
+        for _ in 0..1000 {
+            let v = rng.uniform(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = WorkloadRng::new(42);
+        let mut b = WorkloadRng::new(42);
+        let va: Vec<u64> = (0..32).map(|_| a.uniform(0, 1_000_000)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.uniform(0, 1_000_000)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = WorkloadRng::new(1);
+        let mut b = WorkloadRng::new(2);
+        let va: Vec<u64> = (0..32).map(|_| a.uniform(0, 1_000_000)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.uniform(0, 1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn nurand_customer_in_range() {
+        let mut rng = WorkloadRng::new(7);
+        for _ in 0..1000 {
+            let c = rng.nurand_customer(3000);
+            assert!((1..=3000).contains(&c));
+        }
+    }
+
+    #[test]
+    fn nurand_item_in_range() {
+        let mut rng = WorkloadRng::new(7);
+        for _ in 0..1000 {
+            let i = rng.nurand_item(100_000);
+            assert!((1..=100_000).contains(&i));
+        }
+    }
+
+    #[test]
+    fn nurand_is_nonuniform() {
+        // NURand should concentrate mass compared to uniform: the most
+        // frequent value should appear clearly more often than n/len.
+        let mut rng = WorkloadRng::new(3);
+        let mut counts = vec![0u32; 101];
+        for _ in 0..20_000 {
+            let v = rng.nurand(99, 12, 1, 100);
+            counts[v as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max as f64 > 1.5 * (20_000.0 / 100.0));
+    }
+
+    #[test]
+    fn last_name_examples() {
+        assert_eq!(tpcc_last_name(0), "BARBARBAR");
+        assert_eq!(tpcc_last_name(371), "PRICALLYOUGHT");
+        assert_eq!(tpcc_last_name(999), "EINGEINGEING");
+        assert_eq!(tpcc_last_name(1999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn hotspot_prefers_hot_set() {
+        let mut rng = WorkloadRng::new(11);
+        let mut hot = 0;
+        let trials = 10_000;
+        for _ in 0..trials {
+            if rng.hotspot(1000, 10, 0.9) < 10 {
+                hot += 1;
+            }
+        }
+        // ~90% hot + ~1% of the uniform tail.
+        assert!(hot as f64 / trials as f64 > 0.8);
+    }
+
+    #[test]
+    fn zipf_in_range_and_skewed() {
+        let z = Zipf::new(100, 0.9);
+        let mut rng = WorkloadRng::new(5);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            let v = z.sample(&mut rng) as usize;
+            assert!(v < 100);
+            counts[v] += 1;
+        }
+        // Head must be much more popular than the tail.
+        assert!(counts[0] > 10 * counts[90].max(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_rejects_empty_domain() {
+        let _ = Zipf::new(0, 0.5);
+    }
+}

@@ -1,0 +1,527 @@
+//! Data-access operations of a [`Transaction`]: point reads, writes,
+//! deletes, locking reads and predicate (range) scans, dispatched on the
+//! transaction's isolation level.
+//!
+//! The Serializable SI paths follow Figs. 3.4–3.7 of the thesis:
+//!
+//! * `get` takes a non-blocking SIREAD lock, registers a conflict with any
+//!   EXCLUSIVE holder, performs the ordinary snapshot read, and registers a
+//!   conflict with the creator of every newer version it skipped;
+//! * `put`/`delete` take the EXCLUSIVE lock, apply first-committer-wins,
+//!   register conflicts with SIREAD holders that overlap the writer, and —
+//!   for inserts and deletes at row granularity — do the same on the gap
+//!   lock protecting the key range (phantom handling, Sec. 3.5);
+//! * `scan` is `get` applied to every row the predicate examines, plus
+//!   SIREAD gap locks so later inserts into the scanned range are detected.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use ssi_common::{Error, IsolationLevel, Result, Timestamp, TxnId};
+use ssi_lock::{LockKey, LockMode};
+use ssi_storage::ScanEntry;
+
+use crate::db::TableRef;
+use crate::options::LockGranularity;
+use crate::ssi::{self, CallerRole};
+use crate::txn::{Transaction, WriteRecord};
+use crate::verify::ReadRecord;
+
+impl Transaction {
+    // ------------------------------------------------------------------
+    // Public operations
+    // ------------------------------------------------------------------
+
+    /// Reads the value of `key`, or `None` if it does not exist (for this
+    /// transaction's snapshot / isolation level).
+    pub fn get(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let table = table.clone();
+        let key = key.to_vec();
+        self.run_op(move |txn| txn.do_get(&table, &key))
+    }
+
+    /// Reads `key` with the intention to update it: the EXCLUSIVE lock is
+    /// acquired *before* the value is read, and the latest committed value
+    /// is returned (the behaviour of `SELECT … FOR UPDATE` in the InnoDB
+    /// prototype, Sec. 4.5). Under SI/SSI the first-committer-wins check is
+    /// applied exactly as for a write.
+    pub fn get_for_update(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let table = table.clone();
+        let key = key.to_vec();
+        self.run_op(move |txn| txn.do_get_for_update(&table, &key))
+    }
+
+    /// Writes `value` for `key` (insert or update).
+    pub fn put(&mut self, table: &TableRef, key: &[u8], value: &[u8]) -> Result<()> {
+        let table = table.clone();
+        let key = key.to_vec();
+        let value = value.to_vec();
+        self.run_op(move |txn| txn.do_write(&table, &key, Some(value)))
+    }
+
+    /// Deletes `key` (installs a tombstone version).
+    pub fn delete(&mut self, table: &TableRef, key: &[u8]) -> Result<()> {
+        let table = table.clone();
+        let key = key.to_vec();
+        self.run_op(move |txn| txn.do_write(&table, &key, None))
+    }
+
+    /// Range scan over `[lower, upper]` bounds, returning visible rows in
+    /// key order.
+    pub fn scan(
+        &mut self,
+        table: &TableRef,
+        lower: Bound<&[u8]>,
+        upper: Bound<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let table = table.clone();
+        let lower: Bound<Vec<u8>> = clone_bound(lower);
+        let upper: Bound<Vec<u8>> = clone_bound(upper);
+        self.run_op(move |txn| txn.do_scan(&table, as_ref_bound(&lower), as_ref_bound(&upper)))
+    }
+
+    /// Scans all keys starting with `prefix`.
+    pub fn scan_prefix(
+        &mut self,
+        table: &TableRef,
+        prefix: &[u8],
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        match prefix_upper_bound(prefix) {
+            Some(upper) => self.scan(
+                table,
+                Bound::Included(prefix),
+                Bound::Excluded(upper.as_slice()),
+            ),
+            None => self.scan(table, Bound::Included(prefix), Bound::Unbounded),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lock-name helpers
+    // ------------------------------------------------------------------
+
+    fn lock_target(&self, table: &TableRef, key: &[u8]) -> LockKey {
+        match &self.db.pages {
+            Some(pages) => LockKey::page(table.id(), pages.page_of(key)),
+            None => LockKey::record(table.id(), key.to_vec()),
+        }
+    }
+
+    fn gap_target(&self, table: &TableRef, next: Option<Vec<u8>>) -> LockKey {
+        match next {
+            Some(k) => LockKey::gap(table.id(), k),
+            None => LockKey::supremum(table.id()),
+        }
+    }
+
+    fn end_gap_target(&self, table: &TableRef, upper: &Bound<&[u8]>) -> LockKey {
+        match upper {
+            Bound::Unbounded => LockKey::supremum(table.id()),
+            Bound::Included(h) => {
+                let next = table.table.next_key_after(h);
+                self.gap_target(table, next)
+            }
+            Bound::Excluded(h) => {
+                let next = table.table.next_key_at_or_after(h);
+                self.gap_target(table, next)
+            }
+        }
+    }
+
+    fn row_granularity(&self) -> bool {
+        matches!(self.db.options.granularity, LockGranularity::Row)
+    }
+
+    fn gap_locking_enabled(&self) -> bool {
+        self.db.options.detect_phantoms && self.row_granularity()
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict-marking helpers (Serializable SI)
+    // ------------------------------------------------------------------
+
+    /// Marks `self --rw--> writer` for every transaction in `writers`
+    /// (this transaction is the reader).
+    fn mark_read_conflicts(&self, writers: &[TxnId]) -> Result<()> {
+        for w in writers {
+            if *w == self.shared.id() {
+                continue;
+            }
+            match self.db.txns.find(*w) {
+                Some(writer) => ssi::mark_conflict(
+                    &self.db.txns,
+                    &self.db.options.ssi,
+                    &self.shared,
+                    &writer,
+                    CallerRole::Reader,
+                )?,
+                // The creator committed without SIREAD locks or outgoing
+                // conflicts and has already been retired (a pure update).
+                // Its own flags are irrelevant now, but this reader's
+                // outgoing conflict must still be recorded — the reader may
+                // be the pivot of a dangerous structure whose outgoing
+                // transaction is exactly such a pure writer.
+                None => ssi::mark_conflict_with_retired_writer(
+                    &self.db.txns,
+                    &self.db.options.ssi,
+                    &self.shared,
+                )?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks `reader --rw--> self` for every SIREAD holder in `readers`
+    /// (this transaction is the writer). Only readers that overlap this
+    /// transaction count (Fig. 3.5: "has not committed or committed after
+    /// this transaction began").
+    fn mark_write_conflicts(&self, readers: &[TxnId]) -> Result<()> {
+        let my_begin = self.shared.begin_ts().unwrap_or(Timestamp::MAX);
+        for r in readers {
+            if *r == self.shared.id() {
+                continue;
+            }
+            if let Some(reader) = self.db.txns.find(*r) {
+                let overlaps = match reader.commit_ts() {
+                    None => true,
+                    Some(commit) => commit > my_begin,
+                };
+                if overlaps {
+                    ssi::mark_conflict(
+                        &self.db.txns,
+                        &self.db.options.ssi,
+                        &reader,
+                        &self.shared,
+                        CallerRole::Writer,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a read for the history verifier. Reads satisfied by the
+    /// transaction's own uncommitted write are skipped: they impose no
+    /// ordering constraints between transactions and would otherwise be
+    /// indistinguishable from reads of a non-existent key.
+    fn record_read(&mut self, table: &TableRef, key: &[u8], version_ts: Option<Timestamp>) {
+        if self.db.history.is_some() {
+            self.reads.push(ReadRecord {
+                table: table.id(),
+                key: key.to_vec(),
+                version_ts,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point reads
+    // ------------------------------------------------------------------
+
+    fn do_get(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.shared.isolation() {
+            IsolationLevel::ReadCommitted => {
+                Ok(table.table.read_latest_committed(key, self.shared.id()))
+            }
+            IsolationLevel::StrictTwoPhaseLocking => {
+                let lock = self.lock_target(table, key);
+                self.acquire(lock, LockMode::Shared)?;
+                let value = table.table.read_latest_committed(key, self.shared.id());
+                let ts = table.table.newest_committed_ts(key);
+                self.record_read(table, key, ts);
+                Ok(value)
+            }
+            IsolationLevel::SnapshotIsolation => {
+                let snapshot = self.db.txns.ensure_snapshot(&self.shared);
+                let read = table.table.read(key, self.shared.id(), snapshot);
+                if !read.read_own_write {
+                    self.record_read(table, key, read.read_version_ts);
+                }
+                Ok(read.value)
+            }
+            IsolationLevel::SerializableSnapshotIsolation => {
+                let snapshot = self.db.txns.ensure_snapshot(&self.shared);
+                let lock = self.lock_target(table, key);
+                // Fig. 3.4: SIREAD lock (never blocks), conflict with any
+                // EXCLUSIVE holder…
+                let outcome = self.acquire(lock, LockMode::SiRead)?;
+                self.mark_read_conflicts(&outcome.rw_conflicts)?;
+                // …then the ordinary snapshot read, and a conflict with the
+                // creator of every newer version.
+                let read = table.table.read(key, self.shared.id(), snapshot);
+                self.mark_read_conflicts(&read.newer_creators)?;
+                if !read.read_own_write {
+                    self.record_read(table, key, read.read_version_ts);
+                }
+                Ok(read.value)
+            }
+        }
+    }
+
+    fn do_get_for_update(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let id = self.shared.id();
+        match self.shared.isolation() {
+            IsolationLevel::ReadCommitted | IsolationLevel::StrictTwoPhaseLocking => {
+                let lock = self.lock_target(table, key);
+                self.acquire(lock, LockMode::Exclusive)?;
+                let value = table.table.read_latest_committed(key, id);
+                let ts = table.table.newest_committed_ts(key);
+                self.record_read(table, key, ts);
+                Ok(value)
+            }
+            IsolationLevel::SnapshotIsolation
+            | IsolationLevel::SerializableSnapshotIsolation => {
+                let lock = self.lock_target(table, key);
+                let outcome = self.acquire(lock.clone(), LockMode::Exclusive)?;
+                // Snapshot selection is deferred until after the lock is
+                // granted (Sec. 4.5), so a transaction whose first statement
+                // is a locking read never hits first-committer-wins.
+                let snapshot = self.db.txns.ensure_snapshot(&self.shared);
+                if let Some(newest) = table.table.newest_committed_ts(key) {
+                    if newest > snapshot {
+                        return Err(Error::update_conflict(id));
+                    }
+                }
+                if self.shared.isolation() == IsolationLevel::SerializableSnapshotIsolation {
+                    self.mark_write_conflicts(&outcome.rw_conflicts)?;
+                    self.maybe_upgrade_siread(&lock);
+                }
+                let value = table.table.read_latest_committed(key, id);
+                let ts = table.table.newest_committed_ts(key);
+                self.record_read(table, key, ts);
+                Ok(value)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Drops this transaction's SIREAD lock on an item once it holds the
+    /// EXCLUSIVE lock on it (Sec. 3.7.3), if the optimization is enabled.
+    ///
+    /// The optimization is sound only when the locking granularity matches
+    /// the versioning granularity: it relies on first-committer-wins
+    /// covering any later writer of the same item. With page-level locks but
+    /// row-level versions a different row on the same page would not trip
+    /// FCW, so the upgrade is suppressed at page granularity.
+    fn maybe_upgrade_siread(&mut self, lock: &LockKey) {
+        if !self.db.options.ssi.upgrade_siread || !self.row_granularity() {
+            return;
+        }
+        if let Some(modes) = self.locks.get_mut(lock) {
+            if modes.remove(LockMode::SiRead) {
+                self.db.locks.unlock(self.shared.id(), lock, LockMode::SiRead);
+            }
+        }
+    }
+
+    fn do_write(
+        &mut self,
+        table: &TableRef,
+        key: &[u8],
+        value: Option<Vec<u8>>,
+    ) -> Result<()> {
+        let id = self.shared.id();
+        let isolation = self.shared.isolation();
+        let is_delete = value.is_none();
+
+        // Every isolation level locks writes exclusively; under SI/SSI this
+        // is what implements first-updater-wins (Sec. 2.5).
+        let lock = self.lock_target(table, key);
+        let outcome = self.acquire(lock.clone(), LockMode::Exclusive)?;
+
+        if isolation.uses_snapshot() {
+            // Snapshot chosen only after the first lock is granted
+            // (Sec. 4.5).
+            let snapshot = self.db.txns.ensure_snapshot(&self.shared);
+            if let Some(newest) = table.table.newest_committed_ts(key) {
+                if newest > snapshot {
+                    return Err(Error::update_conflict(id));
+                }
+            }
+        }
+        if isolation == IsolationLevel::SerializableSnapshotIsolation {
+            // Fig. 3.5: conflict with every overlapping SIREAD holder.
+            self.mark_write_conflicts(&outcome.rw_conflicts)?;
+            self.maybe_upgrade_siread(&lock);
+        }
+
+        // Phantom handling: inserts and deletes lock the gap after the key
+        // (Fig. 3.7) so concurrent predicate reads notice them. Updates of
+        // existing keys do not change predicate results and need no gap
+        // lock. Page-level locking subsumes this (Sec. 3.5).
+        let is_insert = !table.table.contains_key(key);
+        let needs_gap = self.gap_locking_enabled()
+            && (is_insert || is_delete)
+            && matches!(
+                isolation,
+                IsolationLevel::StrictTwoPhaseLocking
+                    | IsolationLevel::SerializableSnapshotIsolation
+            );
+        if needs_gap {
+            let next = table.table.next_key_after(key);
+            let gap = self.gap_target(table, next);
+            let gap_outcome = self.acquire(gap, LockMode::Exclusive)?;
+            if isolation == IsolationLevel::SerializableSnapshotIsolation {
+                self.mark_write_conflicts(&gap_outcome.rw_conflicts)?;
+            }
+        }
+
+        let version = table.table.install_version(key, id, value);
+        self.writes.push(WriteRecord {
+            table: Arc::clone(&table.table),
+            key: key.to_vec(),
+            version,
+        });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Predicate reads
+    // ------------------------------------------------------------------
+
+    fn do_scan(
+        &mut self,
+        table: &TableRef,
+        lower: Bound<&[u8]>,
+        upper: Bound<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let id = self.shared.id();
+        match self.shared.isolation() {
+            IsolationLevel::ReadCommitted => {
+                let snapshot = self.db.txns.current_ts();
+                let entries = table.table.scan(lower, upper, id, snapshot);
+                Ok(collect_visible(entries))
+            }
+            IsolationLevel::StrictTwoPhaseLocking => {
+                let snapshot = self.db.txns.current_ts();
+                let entries = table.table.scan(lower, upper, id, snapshot);
+                let mut result = Vec::with_capacity(entries.len());
+                for entry in &entries {
+                    let lock = self.lock_target(table, &entry.key);
+                    self.acquire(lock, LockMode::Shared)?;
+                    if self.gap_locking_enabled() {
+                        let gap = LockKey::gap(table.id(), entry.key.clone());
+                        self.acquire(gap, LockMode::Shared)?;
+                    }
+                    // Re-read under the lock: the value may have changed
+                    // between the unlocked scan and the lock grant.
+                    if let Some(value) = table.table.read_latest_committed(&entry.key, id) {
+                        result.push((entry.key.clone(), value));
+                    }
+                    let ts = table.table.newest_committed_ts(&entry.key);
+                    let key = entry.key.clone();
+                    self.record_read(table, &key, ts);
+                }
+                if self.gap_locking_enabled() {
+                    let end_gap = self.end_gap_target(table, &upper);
+                    self.acquire(end_gap, LockMode::Shared)?;
+                }
+                Ok(result)
+            }
+            IsolationLevel::SnapshotIsolation => {
+                let snapshot = self.db.txns.ensure_snapshot(&self.shared);
+                let entries = table.table.scan(lower, upper, id, snapshot);
+                for entry in &entries {
+                    if !entry.read_own_write {
+                        let key = entry.key.clone();
+                        self.record_read(table, &key, entry.read_version_ts);
+                    }
+                }
+                Ok(collect_visible(entries))
+            }
+            IsolationLevel::SerializableSnapshotIsolation => {
+                let snapshot = self.db.txns.ensure_snapshot(&self.shared);
+                let entries = table.table.scan(lower, upper, id, snapshot);
+                for entry in &entries {
+                    // Fig. 3.6: every examined row is read under an SIREAD
+                    // lock with the usual conflict checks…
+                    let lock = self.lock_target(table, &entry.key);
+                    let outcome = self.acquire(lock, LockMode::SiRead)?;
+                    self.mark_read_conflicts(&outcome.rw_conflicts)?;
+                    self.mark_read_conflicts(&entry.newer_creators)?;
+                    // …plus an SIREAD gap lock so that inserts into the
+                    // scanned range are detected.
+                    if self.gap_locking_enabled() {
+                        let gap = LockKey::gap(table.id(), entry.key.clone());
+                        let gap_outcome = self.acquire(gap, LockMode::SiRead)?;
+                        self.mark_read_conflicts(&gap_outcome.rw_conflicts)?;
+                    }
+                    if !entry.read_own_write {
+                        let key = entry.key.clone();
+                        self.record_read(table, &key, entry.read_version_ts);
+                    }
+                }
+                if self.gap_locking_enabled() {
+                    let end_gap = self.end_gap_target(table, &upper);
+                    let gap_outcome = self.acquire(end_gap, LockMode::SiRead)?;
+                    self.mark_read_conflicts(&gap_outcome.rw_conflicts)?;
+                }
+                Ok(collect_visible(entries))
+            }
+        }
+    }
+}
+
+fn collect_visible(entries: Vec<ScanEntry>) -> Vec<(Vec<u8>, Vec<u8>)> {
+    entries
+        .into_iter()
+        .filter_map(|e| e.value.map(|v| (e.key, v)))
+        .collect()
+}
+
+fn clone_bound(b: Bound<&[u8]>) -> Bound<Vec<u8>> {
+    match b {
+        Bound::Included(k) => Bound::Included(k.to_vec()),
+        Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+fn as_ref_bound(b: &Bound<Vec<u8>>) -> Bound<&[u8]> {
+    match b {
+        Bound::Included(k) => Bound::Included(k.as_slice()),
+        Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// Smallest byte string strictly greater than every string with the given
+/// prefix, or `None` when no such bound exists (prefix is all `0xff`).
+fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut upper = prefix.to_vec();
+    while let Some(last) = upper.last() {
+        if *last == 0xff {
+            upper.pop();
+        } else {
+            *upper.last_mut().unwrap() += 1;
+            return Some(upper);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_upper_bound_basic() {
+        assert_eq!(prefix_upper_bound(b"abc"), Some(b"abd".to_vec()));
+        assert_eq!(prefix_upper_bound(&[1, 0xff]), Some(vec![2]));
+        assert_eq!(prefix_upper_bound(&[0xff, 0xff]), None);
+        assert_eq!(prefix_upper_bound(b""), None);
+    }
+
+    #[test]
+    fn bound_helpers_roundtrip() {
+        let owned = clone_bound(Bound::Included(b"k".as_slice()));
+        assert!(matches!(as_ref_bound(&owned), Bound::Included(b"k")));
+        let owned = clone_bound(Bound::Excluded(b"k".as_slice()));
+        assert!(matches!(as_ref_bound(&owned), Bound::Excluded(b"k")));
+        let owned: Bound<Vec<u8>> = clone_bound(Bound::Unbounded);
+        assert!(matches!(as_ref_bound(&owned), Bound::Unbounded));
+    }
+}

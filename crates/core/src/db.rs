@@ -1,0 +1,256 @@
+//! The embedded database: catalog + lock manager + transaction manager +
+//! write-ahead log, wired together by [`Options`].
+
+use std::sync::Arc;
+
+use ssi_common::{IsolationLevel, Result, TableId};
+use ssi_lock::LockManager;
+use ssi_storage::{Catalog, PageMap, Table, WriteAheadLog};
+
+use crate::manager::TransactionManager;
+use crate::options::{LockGranularity, Options};
+use crate::txn::Transaction;
+use crate::verify::HistoryRecorder;
+
+/// Handle to a table, cheap to clone and pass to transaction operations.
+#[derive(Clone)]
+pub struct TableRef {
+    pub(crate) table: Arc<Table>,
+}
+
+impl TableRef {
+    /// Table id.
+    pub fn id(&self) -> TableId {
+        self.table.id()
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        self.table.name()
+    }
+
+    /// Number of distinct keys currently stored (including tombstoned ones).
+    pub fn key_count(&self) -> usize {
+        self.table.key_count()
+    }
+}
+
+impl std::fmt::Debug for TableRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TableRef({})", self.table.name())
+    }
+}
+
+/// Internal shared state of a database.
+pub(crate) struct DbInner {
+    pub(crate) options: Options,
+    pub(crate) catalog: Catalog,
+    pub(crate) locks: LockManager,
+    pub(crate) txns: TransactionManager,
+    pub(crate) wal: WriteAheadLog,
+    pub(crate) pages: Option<PageMap>,
+    pub(crate) history: Option<HistoryRecorder>,
+}
+
+/// An embedded multi-version database offering snapshot isolation, strict
+/// two-phase locking and Serializable Snapshot Isolation.
+///
+/// ```
+/// use ssi_core::{Database, Options};
+/// use ssi_common::IsolationLevel;
+///
+/// let db = Database::open(Options::default());
+/// let accounts = db.create_table("accounts").unwrap();
+///
+/// let mut txn = db.begin();
+/// txn.put(&accounts, b"alice", b"100").unwrap();
+/// txn.commit().unwrap();
+///
+/// let mut reader = db.begin_with(IsolationLevel::SnapshotIsolation);
+/// assert_eq!(reader.get(&accounts, b"alice").unwrap(), Some(b"100".to_vec()));
+/// reader.commit().unwrap();
+/// ```
+#[derive(Clone)]
+pub struct Database {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl Database {
+    /// Opens a new in-memory database with the given options.
+    pub fn open(options: Options) -> Self {
+        let pages = match options.granularity {
+            LockGranularity::Row => None,
+            LockGranularity::Page { pages } => Some(PageMap::new(pages)),
+        };
+        let history = if options.record_history {
+            Some(HistoryRecorder::new())
+        } else {
+            None
+        };
+        let inner = DbInner {
+            locks: LockManager::new(options.lock.clone()),
+            wal: WriteAheadLog::new(options.wal.clone()),
+            txns: TransactionManager::new(),
+            catalog: Catalog::new(),
+            pages,
+            history,
+            options,
+        };
+        Database {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Opens a database with default options (Serializable SI, row-level
+    /// locking, no commit flush).
+    pub fn open_default() -> Self {
+        Self::open(Options::default())
+    }
+
+    /// The options the database was opened with.
+    pub fn options(&self) -> &Options {
+        &self.inner.options
+    }
+
+    /// Creates a table.
+    pub fn create_table(&self, name: &str) -> Result<TableRef> {
+        Ok(TableRef {
+            table: self.inner.catalog.create_table(name)?,
+        })
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Result<TableRef> {
+        Ok(TableRef {
+            table: self.inner.catalog.table(name)?,
+        })
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.catalog.table_names()
+    }
+
+    /// Begins a transaction at the database's default isolation level.
+    pub fn begin(&self) -> Transaction {
+        self.begin_with(self.inner.options.default_isolation)
+    }
+
+    /// Begins a transaction at an explicit isolation level.
+    pub fn begin_with(&self, isolation: IsolationLevel) -> Transaction {
+        Transaction::new(self.inner.clone(), isolation, false)
+    }
+
+    /// Begins a transaction that the application promises is read-only.
+    ///
+    /// When [`Options::read_only_queries_at_si`] is set and the requested
+    /// level is Serializable SI, the transaction is silently run at plain SI
+    /// (Sec. 3.8): it takes no SIREAD locks and can never abort with the
+    /// "unsafe" error, at the cost of the whole mix no longer being
+    /// guaranteed serializable with respect to such queries.
+    pub fn begin_read_only(&self) -> Transaction {
+        let requested = self.inner.options.default_isolation;
+        let effective = if self.inner.options.read_only_queries_at_si
+            && requested == IsolationLevel::SerializableSnapshotIsolation
+        {
+            IsolationLevel::SnapshotIsolation
+        } else {
+            requested
+        };
+        Transaction::new(self.inner.clone(), effective, true)
+    }
+
+    /// The lock manager (exposed for statistics and tests).
+    pub fn lock_manager(&self) -> &LockManager {
+        &self.inner.locks
+    }
+
+    /// The transaction manager (exposed for statistics and tests).
+    pub fn transaction_manager(&self) -> &TransactionManager {
+        &self.inner.txns
+    }
+
+    /// The write-ahead log (exposed for statistics and tests).
+    pub fn wal(&self) -> &WriteAheadLog {
+        &self.inner.wal
+    }
+
+    /// The history recorder, if the database was opened with
+    /// [`Options::record_history`].
+    pub fn history(&self) -> Option<&HistoryRecorder> {
+        self.inner.history.as_ref()
+    }
+
+    /// Garbage-collects row versions that are no longer visible to any
+    /// active transaction. Returns the number of versions reclaimed.
+    pub fn purge_old_versions(&self) -> usize {
+        let horizon = match self.inner.txns.oldest_active_begin() {
+            u64::MAX => self.inner.txns.current_ts(),
+            ts => ts,
+        };
+        self.inner
+            .catalog
+            .tables()
+            .iter()
+            .map(|t| t.purge_versions(horizon))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.inner.catalog.len())
+            .field("isolation", &self.inner.options.default_isolation)
+            .field("granularity", &self.inner.options.granularity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_create_and_lookup_tables() {
+        let db = Database::open_default();
+        let t = db.create_table("accounts").unwrap();
+        assert_eq!(t.name(), "accounts");
+        assert_eq!(db.table("accounts").unwrap().id(), t.id());
+        assert!(db.table("missing").is_err());
+        assert_eq!(db.table_names(), vec!["accounts"]);
+        assert_eq!(t.key_count(), 0);
+    }
+
+    #[test]
+    fn begin_read_only_downgrades_when_configured() {
+        let mut opts = Options::default();
+        opts.read_only_queries_at_si = true;
+        let db = Database::open(opts);
+        let q = db.begin_read_only();
+        assert_eq!(q.isolation(), IsolationLevel::SnapshotIsolation);
+        let u = db.begin();
+        assert_eq!(
+            u.isolation(),
+            IsolationLevel::SerializableSnapshotIsolation
+        );
+    }
+
+    #[test]
+    fn begin_read_only_keeps_level_when_not_configured() {
+        let db = Database::open_default();
+        let q = db.begin_read_only();
+        assert_eq!(
+            q.isolation(),
+            IsolationLevel::SerializableSnapshotIsolation
+        );
+    }
+
+    #[test]
+    fn history_recorder_only_present_when_enabled() {
+        assert!(Database::open_default().history().is_none());
+        assert!(Database::open(Options::default().with_history())
+            .history()
+            .is_some());
+    }
+}

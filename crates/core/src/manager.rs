@@ -1,0 +1,366 @@
+//! The transaction manager: timestamps, the transaction registry, the
+//! committed-but-suspended list and its cleanup.
+//!
+//! Responsibilities, mapped to the thesis:
+//!
+//! * issue begin (snapshot) and commit timestamps from a single counter so
+//!   that "committed before T began" has one global meaning (Sec. 2.5);
+//! * keep a registry of transaction records so that other transactions can
+//!   be found by id when a conflict is discovered through a newer row
+//!   version (Fig. 3.4 line 8);
+//! * keep committed Serializable-SI transactions *suspended* — their record
+//!   and their SIREAD locks stay alive until no concurrent transaction
+//!   remains (Sec. 3.3), and clean them up eagerly in commit order
+//!   (Sec. 4.6.1, the InnoDB strategy);
+//! * provide the global serialization mutex that makes conflict marking and
+//!   the commit-time flag check atomic (the `atomic begin/end` blocks of
+//!   Figs. 3.2/3.3; the analogue of InnoDB's kernel mutex).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard};
+
+use ssi_common::{IsolationLevel, Timestamp, TxnId};
+use ssi_lock::{LockKey, LockManager, LockMode};
+
+use crate::txn_shared::{TxnShared, TxnStatus};
+
+/// A committed Serializable-SI transaction kept around because transactions
+/// concurrent with it may still discover conflicts against it.
+struct SuspendedTxn {
+    shared: Arc<TxnShared>,
+    /// SIREAD locks still registered in the lock table on its behalf.
+    siread_locks: Vec<LockKey>,
+}
+
+/// Counters describing transaction-manager activity, exposed for tests and
+/// the experiment harness.
+#[derive(Default, Debug)]
+pub struct ManagerStats {
+    /// Transactions begun.
+    pub started: AtomicU64,
+    /// Transactions committed.
+    pub committed: AtomicU64,
+    /// Transactions aborted (any reason).
+    pub aborted: AtomicU64,
+    /// Commits that had to be suspended (kept SIREAD locks).
+    pub suspended: AtomicU64,
+    /// Suspended transactions reclaimed by cleanup.
+    pub cleaned: AtomicU64,
+}
+
+/// The transaction manager.
+pub struct TransactionManager {
+    /// Global logical clock; the last issued timestamp.
+    clock: AtomicU64,
+    /// Next transaction id.
+    next_id: AtomicU64,
+    /// All transaction records that may still be referenced: active
+    /// transactions plus committed-but-suspended Serializable SI
+    /// transactions.
+    registry: Mutex<HashMap<TxnId, Arc<TxnShared>>>,
+    /// Suspended committed transactions, in commit order.
+    suspended: Mutex<Vec<SuspendedTxn>>,
+    /// Serialization point for conflict marking and commit checks.
+    serialization: Mutex<()>,
+    /// Activity counters.
+    stats: ManagerStats,
+}
+
+impl TransactionManager {
+    /// Creates a transaction manager with the clock at 1 (so the first
+    /// snapshot is 1 and the first commit timestamp is 2).
+    pub fn new() -> Self {
+        TransactionManager {
+            clock: AtomicU64::new(1),
+            next_id: AtomicU64::new(1),
+            registry: Mutex::new(HashMap::new()),
+            suspended: Mutex::new(Vec::new()),
+            serialization: Mutex::new(()),
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &ManagerStats {
+        &self.stats
+    }
+
+    /// Current value of the logical clock.
+    pub fn current_ts(&self) -> Timestamp {
+        self.clock.load(Ordering::Acquire)
+    }
+
+    /// Starts a new transaction at `isolation` and registers it.
+    pub fn begin(&self, isolation: IsolationLevel) -> Arc<TxnShared> {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let shared = Arc::new(TxnShared::new(id, isolation));
+        self.registry.lock().insert(id, shared.clone());
+        self.stats.started.fetch_add(1, Ordering::Relaxed);
+        shared
+    }
+
+    /// Assigns the transaction's snapshot to the current clock value if it
+    /// does not have one yet, and returns it. Deferring this call until
+    /// after the first lock acquisition implements the optimization of
+    /// Sec. 4.5 (single-statement updates never abort under
+    /// first-committer-wins).
+    pub fn ensure_snapshot(&self, txn: &TxnShared) -> Timestamp {
+        if let Some(ts) = txn.begin_ts() {
+            return ts;
+        }
+        let ts = self.current_ts();
+        txn.set_begin_ts(ts);
+        txn.begin_ts().unwrap_or(ts)
+    }
+
+    /// Acquires the global serialization mutex (conflict marking and commit
+    /// checks run under it).
+    pub fn serialization_lock(&self) -> MutexGuard<'_, ()> {
+        self.serialization.lock()
+    }
+
+    /// Allocates the next commit timestamp. Must be called while holding the
+    /// serialization mutex; the new value is *not* published to readers until
+    /// [`TransactionManager::publish_commit_ts`] is called, so the caller can
+    /// stamp its versions first and new snapshots can never observe a
+    /// half-committed transaction.
+    pub fn allocate_commit_ts(&self) -> Timestamp {
+        self.current_ts() + 1
+    }
+
+    /// Publishes a commit timestamp allocated with
+    /// [`TransactionManager::allocate_commit_ts`], making it visible to new
+    /// snapshots.
+    pub fn publish_commit_ts(&self, ts: Timestamp) {
+        self.clock.store(ts, Ordering::Release);
+    }
+
+    /// Looks up a (possibly suspended) transaction record by id.
+    pub fn find(&self, id: TxnId) -> Option<Arc<TxnShared>> {
+        self.registry.lock().get(&id).cloned()
+    }
+
+    /// The smallest begin timestamp among active transactions, or
+    /// `Timestamp::MAX` if none is active (used to decide which suspended
+    /// transactions can be reclaimed).
+    pub fn oldest_active_begin(&self) -> Timestamp {
+        self.registry
+            .lock()
+            .values()
+            .filter(|t| t.status() == TxnStatus::Active)
+            .filter_map(|t| t.begin_ts())
+            .min()
+            .unwrap_or(Timestamp::MAX)
+    }
+
+    /// Number of entries in the registry (active + suspended), for tests.
+    pub fn registry_len(&self) -> usize {
+        self.registry.lock().len()
+    }
+
+    /// Number of suspended committed transactions, for tests and stats.
+    pub fn suspended_len(&self) -> usize {
+        self.suspended.lock().len()
+    }
+
+    /// Records that `txn` committed. When `suspend` is true the record is
+    /// suspended (Sec. 3.3): it stays in the registry and its SIREAD locks
+    /// stay in the lock table until cleanup. Otherwise the record is retired
+    /// immediately and its conflict edges cleared. A transaction must be
+    /// suspended when it still holds SIREAD locks, and also — with the
+    /// SIREAD-upgrade optimization of Sec. 3.7.3 — when it has recorded an
+    /// outgoing conflict, even if its SIREAD locks were all upgraded away.
+    pub fn finish_commit(&self, txn: &Arc<TxnShared>, siread_locks: Vec<LockKey>, suspend: bool) {
+        self.stats.committed.fetch_add(1, Ordering::Relaxed);
+        if !suspend {
+            debug_assert!(siread_locks.is_empty());
+            self.registry.lock().remove(&txn.id());
+            txn.clear_conflicts();
+        } else {
+            self.stats.suspended.fetch_add(1, Ordering::Relaxed);
+            self.suspended.lock().push(SuspendedTxn {
+                shared: txn.clone(),
+                siread_locks,
+            });
+        }
+    }
+
+    /// Records that `txn` aborted and retires its record.
+    pub fn finish_abort(&self, txn: &Arc<TxnShared>) {
+        self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+        self.registry.lock().remove(&txn.id());
+        txn.clear_conflicts();
+    }
+
+    /// Reclaims suspended transactions that are no longer concurrent with
+    /// any active transaction: their SIREAD locks are dropped from the lock
+    /// table, their conflict edges cleared and their records removed from
+    /// the registry (Sec. 4.6.1). Returns how many were reclaimed.
+    pub fn cleanup_suspended(&self, locks: &LockManager) -> usize {
+        let horizon = self.oldest_active_begin();
+        let mut reclaimed = Vec::new();
+        {
+            let mut suspended = self.suspended.lock();
+            suspended.retain(|entry| {
+                let commit = entry.shared.commit_ts().unwrap_or(Timestamp::MAX);
+                // Keep the record while some active transaction began before
+                // this one committed (they are concurrent and may still
+                // discover conflicts against it).
+                if horizon < commit {
+                    true
+                } else {
+                    reclaimed.push(SuspendedTxn {
+                        shared: entry.shared.clone(),
+                        siread_locks: entry.siread_locks.clone(),
+                    });
+                    false
+                }
+            });
+        }
+        let count = reclaimed.len();
+        for entry in reclaimed {
+            for key in &entry.siread_locks {
+                locks.unlock(entry.shared.id(), key, LockMode::SiRead);
+            }
+            entry.shared.clear_conflicts();
+            self.registry.lock().remove(&entry.shared.id());
+        }
+        self.stats.cleaned.fetch_add(count as u64, Ordering::Relaxed);
+        count
+    }
+}
+
+impl Default for TransactionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssi_common::TableId;
+
+    fn mgr() -> TransactionManager {
+        TransactionManager::new()
+    }
+
+    #[test]
+    fn begin_assigns_unique_ids_and_registers() {
+        let m = mgr();
+        let a = m.begin(IsolationLevel::SnapshotIsolation);
+        let b = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        assert_ne!(a.id(), b.id());
+        assert_eq!(m.registry_len(), 2);
+        assert!(m.find(a.id()).is_some());
+        assert!(m.find(TxnId(999)).is_none());
+    }
+
+    #[test]
+    fn snapshot_assignment_is_sticky() {
+        let m = mgr();
+        let t = m.begin(IsolationLevel::SnapshotIsolation);
+        let s1 = m.ensure_snapshot(&t);
+        // Advance the clock as if another transaction committed.
+        let ts = m.allocate_commit_ts();
+        m.publish_commit_ts(ts);
+        let s2 = m.ensure_snapshot(&t);
+        assert_eq!(s1, s2, "snapshot must not move once assigned");
+    }
+
+    #[test]
+    fn commit_timestamps_are_monotonic_and_published() {
+        let m = mgr();
+        let before = m.current_ts();
+        let ts = {
+            let _g = m.serialization_lock();
+            let ts = m.allocate_commit_ts();
+            m.publish_commit_ts(ts);
+            ts
+        };
+        assert_eq!(ts, before + 1);
+        assert_eq!(m.current_ts(), ts);
+    }
+
+    #[test]
+    fn commit_without_sireads_retires_immediately() {
+        let m = mgr();
+        let t = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        m.ensure_snapshot(&t);
+        t.mark_committed(5);
+        m.finish_commit(&t, Vec::new(), false);
+        assert_eq!(m.registry_len(), 0);
+        assert_eq!(m.suspended_len(), 0);
+    }
+
+    #[test]
+    fn suspended_commit_stays_until_cleanup() {
+        let m = mgr();
+        let locks = LockManager::with_defaults();
+        let key = LockKey::record(TableId(1), vec![1]);
+
+        // Reader R commits holding an SIREAD lock while a concurrent
+        // transaction C is still active.
+        let r = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        m.ensure_snapshot(&r);
+        let c = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        m.ensure_snapshot(&c);
+        locks.lock(r.id(), &key, LockMode::SiRead).unwrap();
+
+        r.mark_committed(m.current_ts() + 1);
+        m.publish_commit_ts(m.current_ts() + 1);
+        m.finish_commit(&r, vec![key.clone()], true);
+        assert_eq!(m.suspended_len(), 1);
+        assert!(m.find(r.id()).is_some(), "suspended txns stay findable");
+
+        // Cleanup cannot reclaim R while C (begun before R committed) lives.
+        assert_eq!(m.cleanup_suspended(&locks), 0);
+        assert!(locks.holds(r.id(), &key).contains(LockMode::SiRead));
+
+        // Once C finishes, R is reclaimable and its SIREAD lock disappears.
+        c.mark_committed(m.current_ts() + 1);
+        m.finish_commit(&c, Vec::new(), false);
+        assert_eq!(m.cleanup_suspended(&locks), 1);
+        assert_eq!(m.suspended_len(), 0);
+        assert!(m.find(r.id()).is_none());
+        assert!(locks.holds(r.id(), &key).is_empty());
+    }
+
+    #[test]
+    fn oldest_active_begin_ignores_finished_transactions() {
+        let m = mgr();
+        let a = m.begin(IsolationLevel::SnapshotIsolation);
+        m.ensure_snapshot(&a);
+        let ts = m.allocate_commit_ts();
+        m.publish_commit_ts(ts);
+        let b = m.begin(IsolationLevel::SnapshotIsolation);
+        m.ensure_snapshot(&b);
+        assert_eq!(m.oldest_active_begin(), a.begin_ts().unwrap());
+        a.mark_committed(m.current_ts() + 1);
+        m.finish_commit(&a, Vec::new(), false);
+        assert_eq!(m.oldest_active_begin(), b.begin_ts().unwrap());
+        b.mark_aborted();
+        m.finish_abort(&b);
+        assert_eq!(m.oldest_active_begin(), Timestamp::MAX);
+    }
+
+    #[test]
+    fn stats_count_lifecycle_events() {
+        let m = mgr();
+        let locks = LockManager::with_defaults();
+        let a = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        let b = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        a.mark_committed(2);
+        m.finish_commit(&a, Vec::new(), false);
+        b.mark_aborted();
+        m.finish_abort(&b);
+        m.cleanup_suspended(&locks);
+        let s = m.stats();
+        assert_eq!(s.started.load(Ordering::Relaxed), 2);
+        assert_eq!(s.committed.load(Ordering::Relaxed), 1);
+        assert_eq!(s.aborted.load(Ordering::Relaxed), 1);
+    }
+}

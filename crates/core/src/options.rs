@@ -1,0 +1,210 @@
+//! Engine configuration.
+//!
+//! The options mirror the experimental dimensions of the thesis: lock and
+//! conflict-detection granularity (row-level like InnoDB vs page-level like
+//! Berkeley DB), the basic vs enhanced conflict representation of Secs. 3.2
+//! and 3.6, the SIREAD-upgrade optimization of Sec. 3.7.3, victim selection
+//! (Sec. 3.7.2), commit-time log flushing (Sec. 6.1), and the mixed mode that
+//! runs read-only transactions at plain SI (Sec. 3.8).
+
+use std::time::Duration;
+
+use ssi_common::IsolationLevel;
+use ssi_lock::LockConfig;
+use ssi_storage::WalConfig;
+
+/// Granularity at which locks are taken and read-write conflicts detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockGranularity {
+    /// InnoDB-style row-level locking with gap locks for phantom detection.
+    Row,
+    /// Berkeley-DB-style page-level locking: keys are hashed onto `pages`
+    /// pages and all locks name the page, so unrelated rows that share a
+    /// page conflict with each other (Sec. 4.2, Sec. 6.1.5).
+    Page {
+        /// Number of pages each table's keys are spread over.
+        pages: u64,
+    },
+}
+
+impl LockGranularity {
+    /// True for page-level granularity.
+    pub fn is_page(&self) -> bool {
+        matches!(self, LockGranularity::Page { .. })
+    }
+}
+
+/// Which representation of rw-conflict flags the SSI implementation uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SsiVariant {
+    /// Two boolean flags per transaction (Sec. 3.2, Figs. 3.1–3.5). Simple
+    /// but aborts in some serializable interleavings (Fig. 3.8).
+    Basic,
+    /// Transaction references plus commit-time ordering checks (Sec. 3.6,
+    /// Figs. 3.9–3.10), reducing false positives. This matches the InnoDB
+    /// prototype and is the default.
+    #[default]
+    Enhanced,
+}
+
+/// Which transaction to sacrifice when an unsafe structure is found and
+/// either participant could be aborted (Sec. 3.7.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VictimPolicy {
+    /// Abort the pivot (the transaction with both incoming and outgoing
+    /// conflicts) unless it has already committed — the paper's default.
+    #[default]
+    PreferPivot,
+    /// Always abort the transaction that detected the conflict (the caller).
+    PreferCaller,
+    /// Abort the younger of the two transactions, analogous to common
+    /// deadlock victim policies.
+    PreferYounger,
+}
+
+/// Options specific to the Serializable SI algorithm.
+#[derive(Clone, Debug)]
+pub struct SsiOptions {
+    /// Conflict-flag representation.
+    pub variant: SsiVariant,
+    /// Drop a transaction's SIREAD lock on an item when it acquires the
+    /// EXCLUSIVE lock on the same item (read-modify-write), Sec. 3.7.3.
+    pub upgrade_siread: bool,
+    /// Abort a pivot as soon as both conflicts are present rather than
+    /// waiting for its commit (Sec. 3.7.1).
+    pub abort_early: bool,
+    /// Victim selection policy.
+    pub victim: VictimPolicy,
+}
+
+impl Default for SsiOptions {
+    fn default() -> Self {
+        SsiOptions {
+            variant: SsiVariant::Enhanced,
+            upgrade_siread: true,
+            abort_early: true,
+            victim: VictimPolicy::PreferPivot,
+        }
+    }
+}
+
+/// Top-level engine options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Isolation level used by [`crate::Database::begin`].
+    pub default_isolation: IsolationLevel,
+    /// Locking / conflict-detection granularity.
+    pub granularity: LockGranularity,
+    /// Write-ahead-log behaviour (simulated flush latency, group commit).
+    pub wal: WalConfig,
+    /// Serializable-SI-specific options.
+    pub ssi: SsiOptions,
+    /// Take gap locks on scans/inserts/deletes to detect phantoms
+    /// (row-granularity only; page locks subsume this, Sec. 3.5).
+    pub detect_phantoms: bool,
+    /// Run transactions declared read-only at plain SI even when the
+    /// database default is Serializable SI (Sec. 3.8).
+    pub read_only_queries_at_si: bool,
+    /// Record per-transaction read/write sets so the multiversion
+    /// serialization graph can be checked after a run (used by tests; adds
+    /// overhead, off by default).
+    pub record_history: bool,
+    /// Lock manager configuration.
+    pub lock: LockConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            default_isolation: IsolationLevel::SerializableSnapshotIsolation,
+            granularity: LockGranularity::Row,
+            wal: WalConfig::default(),
+            ssi: SsiOptions::default(),
+            detect_phantoms: true,
+            read_only_queries_at_si: false,
+            record_history: false,
+            lock: LockConfig::default(),
+        }
+    }
+}
+
+impl Options {
+    /// Options resembling the InnoDB prototype: row-level locks, gap locks,
+    /// enhanced conflict tracking. This is the default.
+    pub fn innodb_like() -> Self {
+        Options::default()
+    }
+
+    /// Options resembling the Berkeley DB prototype: page-level locks and
+    /// the basic (boolean-flag) conflict representation (Sec. 4.3).
+    pub fn berkeley_like(pages: u64) -> Self {
+        Options {
+            granularity: LockGranularity::Page { pages },
+            ssi: SsiOptions {
+                variant: SsiVariant::Basic,
+                ..SsiOptions::default()
+            },
+            detect_phantoms: false,
+            ..Options::default()
+        }
+    }
+
+    /// Enables a simulated commit flush of the given latency.
+    pub fn with_commit_flush(mut self, latency: Duration) -> Self {
+        self.wal = WalConfig {
+            flush_latency: Some(latency),
+        };
+        self
+    }
+
+    /// Sets the default isolation level.
+    pub fn with_isolation(mut self, level: IsolationLevel) -> Self {
+        self.default_isolation = level;
+        self
+    }
+
+    /// Enables history recording for the serializability verifier.
+    pub fn with_history(mut self) -> Self {
+        self.record_history = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_innodb_prototype() {
+        let o = Options::default();
+        assert_eq!(
+            o.default_isolation,
+            IsolationLevel::SerializableSnapshotIsolation
+        );
+        assert_eq!(o.granularity, LockGranularity::Row);
+        assert_eq!(o.ssi.variant, SsiVariant::Enhanced);
+        assert!(o.ssi.upgrade_siread);
+        assert!(o.detect_phantoms);
+        assert!(!o.record_history);
+    }
+
+    #[test]
+    fn berkeley_profile_uses_pages_and_basic_flags() {
+        let o = Options::berkeley_like(100);
+        assert_eq!(o.granularity, LockGranularity::Page { pages: 100 });
+        assert!(o.granularity.is_page());
+        assert_eq!(o.ssi.variant, SsiVariant::Basic);
+        assert!(!o.detect_phantoms);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let o = Options::default()
+            .with_commit_flush(Duration::from_millis(5))
+            .with_isolation(IsolationLevel::SnapshotIsolation)
+            .with_history();
+        assert_eq!(o.wal.flush_latency, Some(Duration::from_millis(5)));
+        assert_eq!(o.default_isolation, IsolationLevel::SnapshotIsolation);
+        assert!(o.record_history);
+    }
+}

@@ -1,0 +1,528 @@
+//! The heart of the paper: rw-antidependency tracking and the unsafe-structure
+//! test of Serializable Snapshot Isolation (Chapter 3).
+//!
+//! Two entry points matter:
+//!
+//! * [`mark_conflict`] — called whenever a read-write dependency between two
+//!   concurrent transactions is discovered, either through the lock table
+//!   (SIREAD vs EXCLUSIVE) or through the existence of a newer row version.
+//!   It implements Fig. 3.3 (basic variant) and Fig. 3.9 (enhanced variant),
+//!   plus the abort-early and victim-selection refinements of Sec. 3.7.
+//! * [`commit_check`] — called at the beginning of commit processing, under
+//!   the serialization mutex, implementing Fig. 3.2 / Fig. 3.10.
+//!
+//! Both operate purely on [`TxnShared`] records; they know nothing about
+//! tables or locks.
+
+use std::sync::Arc;
+
+use ssi_common::{Error, Result, TxnId};
+
+use crate::manager::TransactionManager;
+use crate::options::{SsiOptions, SsiVariant, VictimPolicy};
+use crate::txn_shared::{ConflictEdge, TxnShared};
+
+/// Which of the two parties of a conflict is executing the current
+/// operation. The paper's `markConflict` aborts "the reader" or "the
+/// writer"; in every reachable case that transaction is the caller, but the
+/// caller role determines which side that is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CallerRole {
+    /// The currently executing transaction is the reader of the
+    /// rw-dependency (it called `read`/`scan`).
+    Reader,
+    /// The currently executing transaction is the writer (it called
+    /// `write`/`insert`/`delete`).
+    Writer,
+}
+
+/// Evaluates the "dangerous structure" condition for `txn` given its current
+/// conflict edges: both edges present, and — in the enhanced variant — the
+/// outgoing neighbour did not demonstrably commit after the incoming one
+/// (Fig. 3.10 line 3–4). Running transactions count as "commit at infinity".
+pub(crate) fn unsafe_now(opts: &SsiOptions, txn: &TxnShared) -> bool {
+    let conflicts = txn.conflicts.lock();
+    if !(conflicts.in_edge.is_set() && conflicts.out_edge.is_set()) {
+        return false;
+    }
+    match opts.variant {
+        SsiVariant::Basic => true,
+        SsiVariant::Enhanced => {
+            let out_commit = conflicts.out_edge.outgoing_commit_bound(txn);
+            let in_commit = conflicts.in_edge.incoming_commit_bound(txn);
+            out_commit <= in_commit
+        }
+    }
+}
+
+/// Records the edge `from_reader -> to_writer` on both transaction records.
+///
+/// The enhanced variant keeps the identity of the single conflicting
+/// transaction and degrades to a self-loop once a second, different
+/// counterpart shows up (Sec. 3.6); the basic variant keeps booleans, which
+/// we represent as an immediate self-loop.
+fn record_edge(opts: &SsiOptions, reader: &Arc<TxnShared>, writer: &Arc<TxnShared>) {
+    match opts.variant {
+        SsiVariant::Basic => {
+            reader.conflicts.lock().out_edge = ConflictEdge::SelfLoop;
+            writer.conflicts.lock().in_edge = ConflictEdge::SelfLoop;
+        }
+        SsiVariant::Enhanced => {
+            {
+                let mut rc = reader.conflicts.lock();
+                rc.out_edge = match &rc.out_edge {
+                    ConflictEdge::None => ConflictEdge::Txn(writer.clone()),
+                    ConflictEdge::Txn(existing) if existing.id() == writer.id() => {
+                        ConflictEdge::Txn(writer.clone())
+                    }
+                    _ => ConflictEdge::SelfLoop,
+                };
+            }
+            {
+                let mut wc = writer.conflicts.lock();
+                wc.in_edge = match &wc.in_edge {
+                    ConflictEdge::None => ConflictEdge::Txn(reader.clone()),
+                    ConflictEdge::Txn(existing) if existing.id() == reader.id() => {
+                        ConflictEdge::Txn(reader.clone())
+                    }
+                    _ => ConflictEdge::SelfLoop,
+                };
+            }
+        }
+    }
+}
+
+/// Chooses the victim among the active pivots according to the configured
+/// policy. Returns `None` when nothing needs to be aborted right now.
+fn choose_victim(
+    opts: &SsiOptions,
+    reader: &Arc<TxnShared>,
+    writer: &Arc<TxnShared>,
+    caller: CallerRole,
+) -> Option<TxnId> {
+    if !opts.abort_early {
+        return None;
+    }
+    let caller_txn = match caller {
+        CallerRole::Reader => reader,
+        CallerRole::Writer => writer,
+    };
+    let mut pivots: Vec<&Arc<TxnShared>> = Vec::new();
+    for t in [reader, writer] {
+        if t.is_active() && !t.is_doomed() && unsafe_now(opts, t) {
+            pivots.push(t);
+        }
+    }
+    if pivots.is_empty() {
+        return None;
+    }
+    let victim = match opts.victim {
+        VictimPolicy::PreferPivot => {
+            // Abort the pivot; when both are pivots (classic write skew with
+            // mutual edges) prefer the caller so no cross-thread signalling
+            // is needed.
+            if pivots.iter().any(|t| t.id() == caller_txn.id()) {
+                caller_txn.id()
+            } else {
+                pivots[0].id()
+            }
+        }
+        VictimPolicy::PreferCaller => caller_txn.id(),
+        VictimPolicy::PreferYounger => {
+            // Larger id = started later = younger. Only consider the two
+            // parties, and only active ones.
+            let mut candidates: Vec<TxnId> = [reader, writer]
+                .iter()
+                .filter(|t| t.is_active())
+                .map(|t| t.id())
+                .collect();
+            candidates.sort();
+            *candidates.last().unwrap_or(&caller_txn.id())
+        }
+    };
+    Some(victim)
+}
+
+/// Marks a read-write dependency from `reader` to `writer` (Figs. 3.3/3.9),
+/// applying abort-early victim selection (Sec. 3.7.1, 3.7.2).
+///
+/// Returns an `Unsafe` abort error if the **caller** must abort; if the other
+/// party is selected as the victim it is doomed instead (it will observe the
+/// flag at its next operation or at commit) and `Ok(())` is returned.
+pub(crate) fn mark_conflict(
+    mgr: &TransactionManager,
+    opts: &SsiOptions,
+    reader: &Arc<TxnShared>,
+    writer: &Arc<TxnShared>,
+    caller: CallerRole,
+) -> Result<()> {
+    if reader.id() == writer.id() {
+        return Ok(());
+    }
+
+    let _guard = mgr.serialization_lock();
+
+    let caller_txn = match caller {
+        CallerRole::Reader => reader,
+        CallerRole::Writer => writer,
+    };
+    let other = match caller {
+        CallerRole::Reader => writer,
+        CallerRole::Writer => reader,
+    };
+
+    // A transaction that already aborted — or that is already doomed to —
+    // cannot be part of a cycle of committed transactions, so no conflict is
+    // recorded against it (Sec. 3.7.1).
+    if matches!(other.status(), crate::txn_shared::TxnStatus::Aborted) || other.is_doomed() {
+        return Ok(());
+    }
+    if caller_txn.is_doomed() {
+        return Err(Error::unsafe_abort(caller_txn.id()));
+    }
+
+    // Committed-counterpart checks: if the other side has already committed
+    // with the complementary conflict present, aborting the caller is the
+    // only way to break the potential cycle.
+    match opts.variant {
+        SsiVariant::Basic => {
+            if writer.is_committed() && writer.conflicts.lock().out_edge.is_set() {
+                debug_assert_eq!(caller, CallerRole::Reader);
+                return Err(Error::unsafe_abort(caller_txn.id()));
+            }
+            if reader.is_committed() && reader.conflicts.lock().in_edge.is_set() {
+                debug_assert_eq!(caller, CallerRole::Writer);
+                return Err(Error::unsafe_abort(caller_txn.id()));
+            }
+        }
+        SsiVariant::Enhanced => {
+            // Fig. 3.9: only the committed-writer case can require an abort;
+            // if the reader has committed, the writer (still running) is the
+            // outgoing transaction of that pivot and cannot have committed
+            // first, so no abort is needed.
+            if writer.is_committed() {
+                let commit = writer.commit_ts().unwrap_or(u64::MAX);
+                let out_commit = {
+                    let wc = writer.conflicts.lock();
+                    if wc.out_edge.is_set() {
+                        Some(wc.out_edge.outgoing_commit_bound(writer))
+                    } else {
+                        None
+                    }
+                };
+                if let Some(out_commit) = out_commit {
+                    if out_commit <= commit {
+                        return Err(Error::unsafe_abort(caller_txn.id()));
+                    }
+                }
+            }
+        }
+    }
+
+    record_edge(opts, reader, writer);
+
+    if let Some(victim) = choose_victim(opts, reader, writer, caller) {
+        if victim == caller_txn.id() {
+            return Err(Error::unsafe_abort(victim));
+        }
+        // Doom the other party: it aborts at its next operation or commit.
+        if other.id() == victim {
+            other.doom();
+        }
+    }
+    Ok(())
+}
+
+/// Records an outgoing rw-dependency from `reader` to a writer whose
+/// transaction record has already been retired (a pure update that committed
+/// and was cleaned up before the reader noticed its newer version).
+///
+/// The writer's own flags no longer matter — it has committed and nobody
+/// will consult them again — but the *reader's* outgoing conflict must still
+/// be recorded or a dangerous structure whose outgoing transaction is such a
+/// pure writer would go undetected (the reader may be the pivot). Because
+/// the retired writer's commit time is no longer known precisely, the edge
+/// is recorded as a self-loop, whose conservative "commits as early as
+/// possible" bound keeps the unsafe test sound at the cost of occasional
+/// extra aborts.
+pub(crate) fn mark_conflict_with_retired_writer(
+    mgr: &TransactionManager,
+    opts: &SsiOptions,
+    reader: &Arc<TxnShared>,
+) -> Result<()> {
+    let _guard = mgr.serialization_lock();
+    if reader.is_doomed() {
+        return Err(Error::unsafe_abort(reader.id()));
+    }
+    {
+        let mut conflicts = reader.conflicts.lock();
+        conflicts.out_edge = crate::txn_shared::ConflictEdge::SelfLoop;
+    }
+    if opts.abort_early && reader.is_active() && unsafe_now(opts, reader) {
+        return Err(Error::unsafe_abort(reader.id()));
+    }
+    Ok(())
+}
+
+/// Commit-time unsafe check (Fig. 3.2 / Fig. 3.10). Must be called under the
+/// serialization mutex *before* the transaction is marked committed.
+///
+/// On success, for the enhanced variant, conflict references to transactions
+/// that have already committed are replaced with self-loops so that the
+/// cleanup invariant of Sec. 3.6 (suspended transactions only reference
+/// transactions with an equal or later commit) holds.
+pub(crate) fn commit_check(opts: &SsiOptions, txn: &Arc<TxnShared>) -> Result<()> {
+    if txn.is_doomed() {
+        return Err(Error::unsafe_abort(txn.id()));
+    }
+    if unsafe_now(opts, txn) {
+        return Err(Error::unsafe_abort(txn.id()));
+    }
+    if opts.variant == SsiVariant::Enhanced {
+        let mut c = txn.conflicts.lock();
+        if let ConflictEdge::Txn(other) = &c.in_edge {
+            if other.is_committed() {
+                c.in_edge = ConflictEdge::SelfLoop;
+            }
+        }
+        if let ConflictEdge::Txn(other) = &c.out_edge {
+            if other.is_committed() {
+                c.out_edge = ConflictEdge::SelfLoop;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssi_common::{AbortKind, IsolationLevel};
+
+    fn setup() -> (TransactionManager, SsiOptions) {
+        (TransactionManager::new(), SsiOptions::default())
+    }
+
+    fn basic() -> SsiOptions {
+        SsiOptions {
+            variant: SsiVariant::Basic,
+            ..SsiOptions::default()
+        }
+    }
+
+    fn begin(mgr: &TransactionManager) -> Arc<TxnShared> {
+        let t = mgr.begin(IsolationLevel::SerializableSnapshotIsolation);
+        mgr.ensure_snapshot(&t);
+        t
+    }
+
+    #[test]
+    fn single_conflict_sets_flags_but_aborts_nobody() {
+        let (mgr, opts) = setup();
+        let reader = begin(&mgr);
+        let writer = begin(&mgr);
+        mark_conflict(&mgr, &opts, &reader, &writer, CallerRole::Writer).unwrap();
+        assert_eq!(reader.conflict_flags(), (false, true));
+        assert_eq!(writer.conflict_flags(), (true, false));
+        assert!(!reader.is_doomed());
+        assert!(!writer.is_doomed());
+        assert!(commit_check(&opts, &reader).is_ok());
+        assert!(commit_check(&opts, &writer).is_ok());
+    }
+
+    #[test]
+    fn self_conflict_is_ignored() {
+        let (mgr, opts) = setup();
+        let t = begin(&mgr);
+        mark_conflict(&mgr, &opts, &t, &t, CallerRole::Reader).unwrap();
+        assert_eq!(t.conflict_flags(), (false, false));
+    }
+
+    #[test]
+    fn pivot_with_both_edges_is_aborted_early_when_caller() {
+        let (mgr, opts) = setup();
+        let t_in = begin(&mgr);
+        let pivot = begin(&mgr);
+        let t_out = begin(&mgr);
+        // Pivot already has an outgoing edge (it read something t_out wrote
+        // over)...
+        mark_conflict(&mgr, &opts, &pivot, &t_out, CallerRole::Reader).unwrap();
+        // ... and now, as the caller, discovers an incoming edge: it becomes
+        // a pivot and is chosen as the victim.
+        let err = mark_conflict(&mgr, &opts, &t_in, &pivot, CallerRole::Writer).unwrap_err();
+        assert_eq!(err.abort_kind(), Some(AbortKind::Unsafe));
+        match err {
+            Error::Aborted { victim, .. } => assert_eq!(victim, pivot.id()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn pivot_is_doomed_when_not_the_caller() {
+        let (mgr, opts) = setup();
+        let t_in = begin(&mgr);
+        let pivot = begin(&mgr);
+        let t_out = begin(&mgr);
+        // Incoming edge first: t_in -> pivot, reported by the writer (pivot).
+        mark_conflict(&mgr, &opts, &t_in, &pivot, CallerRole::Writer).unwrap();
+        // Outgoing edge discovered by t_out performing a write; the pivot is
+        // not the caller, so it gets doomed instead of the caller aborting.
+        mark_conflict(&mgr, &opts, &pivot, &t_out, CallerRole::Writer).unwrap();
+        assert!(pivot.is_doomed());
+        assert!(!t_out.is_doomed());
+        // The doomed pivot fails its commit check.
+        let err = commit_check(&opts, &pivot).unwrap_err();
+        assert_eq!(err.abort_kind(), Some(AbortKind::Unsafe));
+    }
+
+    #[test]
+    fn basic_variant_aborts_against_committed_writer_with_out_edge() {
+        let (mgr, _) = setup();
+        let opts = basic();
+        let reader = begin(&mgr);
+        let writer = begin(&mgr);
+        let other = begin(&mgr);
+        // writer has an outgoing edge and then commits.
+        mark_conflict(&mgr, &opts, &writer, &other, CallerRole::Reader).unwrap();
+        writer.mark_committed(100);
+        // reader now discovers a conflict with the committed writer: it must
+        // abort (Fig. 3.3 line 3-5).
+        let err = mark_conflict(&mgr, &opts, &reader, &writer, CallerRole::Reader).unwrap_err();
+        assert_eq!(err.abort_kind(), Some(AbortKind::Unsafe));
+    }
+
+    #[test]
+    fn enhanced_variant_spares_reader_when_out_neighbour_committed_later() {
+        let (mgr, opts) = setup();
+        let reader = begin(&mgr);
+        let writer = begin(&mgr);
+        let other = begin(&mgr);
+        // writer -> other edge; other commits *after* writer, so the
+        // dangerous-structure condition (Tout first to commit) is not met
+        // and the reader does not need to abort.
+        mark_conflict(&mgr, &opts, &writer, &other, CallerRole::Reader).unwrap();
+        writer.mark_committed(100);
+        other.mark_committed(150);
+        assert!(mark_conflict(&mgr, &opts, &reader, &writer, CallerRole::Reader).is_ok());
+    }
+
+    #[test]
+    fn enhanced_variant_aborts_reader_when_out_neighbour_committed_first() {
+        let (mgr, opts) = setup();
+        let reader = begin(&mgr);
+        let writer = begin(&mgr);
+        let other = begin(&mgr);
+        mark_conflict(&mgr, &opts, &writer, &other, CallerRole::Reader).unwrap();
+        other.mark_committed(90);
+        writer.mark_committed(100);
+        let err = mark_conflict(&mgr, &opts, &reader, &writer, CallerRole::Reader).unwrap_err();
+        assert_eq!(err.abort_kind(), Some(AbortKind::Unsafe));
+    }
+
+    #[test]
+    fn enhanced_commit_check_allows_false_positive_of_fig_3_8() {
+        // Fig. 3.8: Tin committed before Tpivot's outgoing neighbour Tout,
+        // so there is no path from Tout back to Tin and the pivot may
+        // commit. The basic variant would abort here; the enhanced variant
+        // must not.
+        let (mgr, opts) = setup();
+        let t_in = begin(&mgr);
+        let pivot = begin(&mgr);
+        let t_out = begin(&mgr);
+        // Disable abort-early so we exercise the commit-time check.
+        let opts = SsiOptions {
+            abort_early: false,
+            ..opts
+        };
+        mark_conflict(&mgr, &opts, &t_in, &pivot, CallerRole::Writer).unwrap();
+        mark_conflict(&mgr, &opts, &pivot, &t_out, CallerRole::Writer).unwrap();
+        t_in.mark_committed(50);
+        t_out.mark_committed(80);
+        // in-commit (50) < out-commit (80): not dangerous, commit allowed.
+        assert!(commit_check(&opts, &pivot).is_ok());
+
+        // Under the basic variant the same situation is (conservatively)
+        // rejected.
+        let basic_opts = SsiOptions {
+            abort_early: false,
+            ..basic()
+        };
+        assert!(commit_check(&basic_opts, &pivot).is_err());
+    }
+
+    #[test]
+    fn enhanced_commit_check_rejects_true_dangerous_structure() {
+        let (mgr, opts) = setup();
+        let opts = SsiOptions {
+            abort_early: false,
+            ..opts
+        };
+        let t_in = begin(&mgr);
+        let pivot = begin(&mgr);
+        let t_out = begin(&mgr);
+        mark_conflict(&mgr, &opts, &t_in, &pivot, CallerRole::Writer).unwrap();
+        mark_conflict(&mgr, &opts, &pivot, &t_out, CallerRole::Writer).unwrap();
+        // Tout commits first — the dangerous pattern of Theorem 2.
+        t_out.mark_committed(40);
+        let err = commit_check(&opts, &pivot).unwrap_err();
+        assert_eq!(err.abort_kind(), Some(AbortKind::Unsafe));
+    }
+
+    #[test]
+    fn no_conflicts_recorded_against_doomed_or_aborted_transactions() {
+        let (mgr, opts) = setup();
+        let reader = begin(&mgr);
+        let writer = begin(&mgr);
+        writer.doom();
+        mark_conflict(&mgr, &opts, &reader, &writer, CallerRole::Reader).unwrap();
+        assert_eq!(reader.conflict_flags(), (false, false));
+
+        let reader2 = begin(&mgr);
+        let aborted = begin(&mgr);
+        aborted.mark_aborted();
+        mark_conflict(&mgr, &opts, &reader2, &aborted, CallerRole::Reader).unwrap();
+        assert_eq!(reader2.conflict_flags(), (false, false));
+    }
+
+    #[test]
+    fn doomed_caller_aborts_immediately() {
+        let (mgr, opts) = setup();
+        let reader = begin(&mgr);
+        let writer = begin(&mgr);
+        reader.doom();
+        let err = mark_conflict(&mgr, &opts, &reader, &writer, CallerRole::Reader).unwrap_err();
+        assert_eq!(err.abort_kind(), Some(AbortKind::Unsafe));
+    }
+
+    #[test]
+    fn victim_policy_prefer_younger() {
+        let (mgr, _) = setup();
+        let opts = SsiOptions {
+            victim: VictimPolicy::PreferYounger,
+            ..SsiOptions::default()
+        };
+        let t_in = begin(&mgr); // oldest
+        let pivot = begin(&mgr);
+        let t_out = begin(&mgr); // youngest
+        mark_conflict(&mgr, &opts, &t_in, &pivot, CallerRole::Writer).unwrap();
+        // t_out (the youngest of the pair {pivot, t_out}) is picked even
+        // though the pivot holds both edges.
+        let err = mark_conflict(&mgr, &opts, &pivot, &t_out, CallerRole::Writer).unwrap_err();
+        match err {
+            Error::Aborted { victim, .. } => assert_eq!(victim, t_out.id()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn commit_check_replaces_committed_references_with_self_loops() {
+        let (mgr, opts) = setup();
+        let t_in = begin(&mgr);
+        let pivot = begin(&mgr);
+        mark_conflict(&mgr, &opts, &t_in, &pivot, CallerRole::Writer).unwrap();
+        t_in.mark_committed(30);
+        commit_check(&opts, &pivot).unwrap();
+        let c = pivot.conflicts.lock();
+        assert!(matches!(c.in_edge, ConflictEdge::SelfLoop));
+    }
+}

@@ -1,0 +1,307 @@
+//! Transaction handles: lifecycle, commit and rollback.
+//!
+//! The data-access operations (`get`, `put`, `delete`, `scan`, …) live in
+//! [`crate::access`]; this module owns the bookkeeping every operation needs
+//! (held locks, write set, recorded reads) and the commit/rollback protocol
+//! of Figs. 3.1 and 3.2.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ssi_common::{Error, IsolationLevel, Result, Timestamp, TxnId};
+use ssi_lock::{LockKey, LockMode, LockOutcome, ModeSet};
+use ssi_storage::{Table, Version};
+
+use crate::db::DbInner;
+use crate::ssi;
+use crate::verify::{CommittedTxn, ReadRecord, WriteRecordEntry};
+use crate::txn_shared::TxnShared;
+
+/// Local (handle-side) transaction state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LocalState {
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// A version installed by this transaction, remembered for commit stamping
+/// or rollback.
+pub(crate) struct WriteRecord {
+    pub(crate) table: Arc<Table>,
+    pub(crate) key: Vec<u8>,
+    pub(crate) version: Arc<Version>,
+}
+
+/// A transaction handle.
+///
+/// A handle is owned by a single thread; all shared state lives in the
+/// [`TxnShared`] record so that concurrent transactions (and the Serializable
+/// SI machinery) can inspect it. Dropping an active handle rolls the
+/// transaction back.
+pub struct Transaction {
+    pub(crate) db: Arc<DbInner>,
+    pub(crate) shared: Arc<TxnShared>,
+    state: LocalState,
+    /// Locks held, by key, with the set of modes acquired.
+    pub(crate) locks: HashMap<LockKey, ModeSet>,
+    /// Versions installed by this transaction.
+    pub(crate) writes: Vec<WriteRecord>,
+    /// Reads recorded for the serializability verifier (only when the
+    /// database was opened with history recording).
+    pub(crate) reads: Vec<ReadRecord>,
+    /// Whether the application declared the transaction read-only.
+    read_only: bool,
+}
+
+impl Transaction {
+    pub(crate) fn new(db: Arc<DbInner>, isolation: IsolationLevel, read_only: bool) -> Self {
+        let shared = db.txns.begin(isolation);
+        Transaction {
+            db,
+            shared,
+            state: LocalState::Active,
+            locks: HashMap::new(),
+            writes: Vec::new(),
+            reads: Vec::new(),
+            read_only,
+        }
+    }
+
+    /// The transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.shared.id()
+    }
+
+    /// The isolation level this transaction runs at.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.shared.isolation()
+    }
+
+    /// True while the transaction can still execute operations.
+    pub fn is_active(&self) -> bool {
+        self.state == LocalState::Active
+    }
+
+    /// True if the application declared this transaction read-only when
+    /// beginning it.
+    pub fn is_declared_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// The snapshot timestamp, if one has been assigned yet. Snapshot
+    /// assignment is deferred until the first operation that needs it
+    /// (Sec. 4.5).
+    pub fn snapshot_ts(&self) -> Option<Timestamp> {
+        self.shared.begin_ts()
+    }
+
+    /// Ensures the transaction is still usable, aborting it if it has been
+    /// selected as a victim by another transaction.
+    pub(crate) fn check_active(&mut self) -> Result<()> {
+        match self.state {
+            LocalState::Active => {}
+            _ => return Err(Error::TransactionClosed),
+        }
+        if self.shared.is_doomed() {
+            self.abort_internal();
+            return Err(Error::unsafe_abort(self.shared.id()));
+        }
+        Ok(())
+    }
+
+    /// Acquires a lock and records it in the transaction's lock set.
+    pub(crate) fn acquire(&mut self, key: LockKey, mode: LockMode) -> Result<LockOutcome> {
+        let outcome = self.db.locks.lock(self.shared.id(), &key, mode)?;
+        if outcome.newly_acquired {
+            self.locks.entry(key).or_insert(ModeSet::EMPTY).insert(mode);
+        }
+        Ok(outcome)
+    }
+
+    /// Runs an operation body, aborting the transaction if it fails with a
+    /// retryable concurrency-control error.
+    pub(crate) fn run_op<T>(
+        &mut self,
+        body: impl FnOnce(&mut Self) -> Result<T>,
+    ) -> Result<T> {
+        self.check_active()?;
+        match body(self) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.abort_internal();
+                Err(e)
+            }
+        }
+    }
+
+    /// Commits the transaction.
+    ///
+    /// For Serializable SI transactions this is where the commit-time unsafe
+    /// check of Fig. 3.2 runs; on failure the transaction is rolled back and
+    /// an [`Error::Aborted`] of kind `Unsafe` is returned. After a
+    /// successful check, all versions written become visible atomically, the
+    /// commit record is appended to the WAL (waiting for the simulated flush
+    /// if one is configured), locks are released — except SIREAD locks,
+    /// which stay registered while the transaction is suspended (Sec. 3.3) —
+    /// and eligible suspended transactions are cleaned up (Sec. 4.6.1).
+    pub fn commit(mut self) -> Result<()> {
+        if self.state != LocalState::Active {
+            return Err(Error::TransactionClosed);
+        }
+        if self.shared.is_doomed() {
+            self.abort_internal();
+            return Err(Error::unsafe_abort(self.shared.id()));
+        }
+        let is_ssi =
+            self.shared.isolation() == IsolationLevel::SerializableSnapshotIsolation;
+
+        // --- serialization point: unsafe check + atomic visibility ---------
+        let commit_ts;
+        {
+            let _guard = self.db.txns.serialization_lock();
+            if is_ssi {
+                if let Err(e) = ssi::commit_check(&self.db.options.ssi, &self.shared) {
+                    drop(_guard);
+                    self.abort_internal();
+                    return Err(e);
+                }
+            }
+            if self.writes.is_empty() {
+                // Read-only transactions do not advance the clock; their
+                // "commit time" is the current instant, which is all the
+                // overlap bookkeeping needs.
+                commit_ts = self.db.txns.current_ts();
+                self.shared.mark_committed(commit_ts);
+            } else {
+                commit_ts = self.db.txns.allocate_commit_ts();
+                for w in &self.writes {
+                    w.version.mark_committed(commit_ts);
+                }
+                self.db.txns.publish_commit_ts(commit_ts);
+                self.shared.mark_committed(commit_ts);
+            }
+        }
+
+        // --- durability (group commit; simulated flush latency) ------------
+        if !self.writes.is_empty() {
+            let bytes: usize = self
+                .writes
+                .iter()
+                .map(|w| w.key.len() + w.version.value().map_or(0, |v| v.len()))
+                .sum();
+            self.db
+                .wal
+                .commit_record(self.shared.id(), commit_ts, bytes);
+        }
+
+        // --- history recording (verifier) -----------------------------------
+        if let Some(history) = &self.db.history {
+            history.record(CommittedTxn {
+                id: self.shared.id(),
+                begin_ts: self.shared.begin_ts().unwrap_or(commit_ts),
+                commit_ts,
+                reads: std::mem::take(&mut self.reads),
+                writes: self
+                    .writes
+                    .iter()
+                    .map(|w| WriteRecordEntry {
+                        table: w.table.id(),
+                        key: w.key.clone(),
+                    })
+                    .collect(),
+            });
+        }
+
+        // --- lock release / suspension --------------------------------------
+        let siread_keys: Vec<LockKey> = if is_ssi {
+            self.locks
+                .iter()
+                .filter(|(_, modes)| modes.contains(LockMode::SiRead))
+                .map(|(k, _)| k.clone())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let (_, out_conflict) = self.shared.conflict_flags();
+        let suspend = is_ssi && (!siread_keys.is_empty() || out_conflict);
+
+        let locks = std::mem::take(&mut self.locks);
+        for (key, modes) in locks {
+            for mode in modes.iter() {
+                if suspend && mode == LockMode::SiRead {
+                    continue; // retained while suspended
+                }
+                self.db.locks.unlock(self.shared.id(), &key, mode);
+            }
+        }
+
+        self.db
+            .txns
+            .finish_commit(&self.shared, if suspend { siread_keys } else { Vec::new() }, suspend);
+        self.maybe_cleanup();
+
+        self.writes.clear();
+        self.state = LocalState::Committed;
+        Ok(())
+    }
+
+    /// Rolls the transaction back, undoing all of its writes.
+    pub fn rollback(mut self) {
+        self.abort_internal();
+    }
+
+    /// Internal rollback shared by [`Transaction::rollback`], failed
+    /// operations and the `Drop` implementation.
+    pub(crate) fn abort_internal(&mut self) {
+        if self.state != LocalState::Active {
+            return;
+        }
+        for w in &self.writes {
+            w.version.mark_aborted();
+            w.table.unlink_version(&w.key, &w.version);
+        }
+        self.writes.clear();
+
+        let locks = std::mem::take(&mut self.locks);
+        for (key, modes) in locks {
+            for mode in modes.iter() {
+                self.db.locks.unlock(self.shared.id(), &key, mode);
+            }
+        }
+
+        self.shared.mark_aborted();
+        self.db.txns.finish_abort(&self.shared);
+        self.maybe_cleanup();
+        self.state = LocalState::Aborted;
+    }
+
+    /// Reclaims suspended committed transactions eagerly (Sec. 4.6.1: "this
+    /// eager cleanup … maintains a tight window of active transactions and
+    /// minimizes the number of additional locks in the lock manager").
+    fn maybe_cleanup(&self) {
+        if self.db.txns.suspended_len() > 0 {
+            self.db.txns.cleanup_suspended(&self.db.locks);
+        }
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if self.state == LocalState::Active {
+            self.abort_internal();
+        }
+    }
+}
+
+impl std::fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transaction")
+            .field("id", &self.shared.id())
+            .field("isolation", &self.shared.isolation())
+            .field("state", &self.state)
+            .field("locks", &self.locks.len())
+            .field("writes", &self.writes.len())
+            .finish()
+    }
+}

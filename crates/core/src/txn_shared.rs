@@ -1,0 +1,340 @@
+//! Shared per-transaction state.
+//!
+//! The Serializable SI algorithm needs to consult and update the state of
+//! *other* transactions — possibly transactions that have already committed
+//! (the "suspended" transactions of Sec. 3.3). [`TxnShared`] is the
+//! reference-counted record that outlives the client-side
+//! [`crate::Transaction`] handle for exactly as long as the algorithm needs
+//! it: until no concurrent transaction remains.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ssi_common::{IsolationLevel, Timestamp, TxnId, TS_ZERO};
+
+/// Lifecycle status of a transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxnStatus {
+    /// Running; operations are being executed.
+    Active,
+    /// Successfully committed.
+    Committed,
+    /// Rolled back (by the application or by the engine).
+    Aborted,
+}
+
+/// Endpoint of a recorded rw-conflict edge (Sec. 3.6).
+///
+/// The basic algorithm only needs a boolean per direction; the enhanced
+/// algorithm keeps a reference to the single conflicting transaction, or a
+/// self-loop marker once more than one conflict has been seen in the same
+/// direction.
+#[derive(Clone, Debug, Default)]
+pub enum ConflictEdge {
+    /// No conflict recorded in this direction.
+    #[default]
+    None,
+    /// Exactly one conflict, with the referenced transaction.
+    Txn(Arc<TxnShared>),
+    /// More than one conflict in this direction (or the basic variant, which
+    /// does not track identities). Semantically a self-loop in the MVSG.
+    SelfLoop,
+}
+
+impl ConflictEdge {
+    /// True if any conflict has been recorded in this direction.
+    pub fn is_set(&self) -> bool {
+        !matches!(self, ConflictEdge::None)
+    }
+
+    /// Commit-time bound of this edge when it is `owner`'s *outgoing*
+    /// conflict, for the ordering test of Figs. 3.9/3.10 (`commit-time(out)
+    /// <= commit-time(in)` means the structure may be dangerous).
+    ///
+    /// The bound must never over-estimate: a known single neighbour that is
+    /// still running will commit later than anything already committed
+    /// ("infinity"), but a self-loop stands for *several* (or forgotten)
+    /// neighbours, any of which may have committed arbitrarily early, so the
+    /// conservative bound is the owner's own commit time — or zero while the
+    /// owner is still running.
+    pub fn outgoing_commit_bound(&self, owner: &TxnShared) -> Timestamp {
+        match self {
+            ConflictEdge::None => Timestamp::MAX,
+            ConflictEdge::SelfLoop => owner.commit_ts().unwrap_or(TS_ZERO),
+            ConflictEdge::Txn(other) => other.commit_ts().unwrap_or(Timestamp::MAX),
+        }
+    }
+
+    /// Commit-time bound of this edge when it is `owner`'s *incoming*
+    /// conflict. The bound must never under-estimate, so unknown or running
+    /// neighbours count as "infinity".
+    pub fn incoming_commit_bound(&self, owner: &TxnShared) -> Timestamp {
+        match self {
+            ConflictEdge::None => TS_ZERO,
+            ConflictEdge::SelfLoop => owner.commit_ts().unwrap_or(Timestamp::MAX),
+            ConflictEdge::Txn(other) => other.commit_ts().unwrap_or(Timestamp::MAX),
+        }
+    }
+}
+
+/// Conflict flags / references of one transaction, protected by the global
+/// serialization mutex of the transaction manager (the "atomic begin/end"
+/// blocks of Figs. 3.2 and 3.3).
+#[derive(Default, Debug)]
+pub struct ConflictState {
+    /// Some concurrent transaction has an rw-dependency *into* this one
+    /// (someone read an item this transaction overwrote).
+    pub in_edge: ConflictEdge,
+    /// This transaction has an rw-dependency *out* to a concurrent
+    /// transaction (it read an item that someone else overwrote).
+    pub out_edge: ConflictEdge,
+}
+
+/// Shared, reference-counted transaction record.
+#[derive(Debug)]
+pub struct TxnShared {
+    id: TxnId,
+    isolation: IsolationLevel,
+    begin_ts: AtomicU64,
+    commit_ts: AtomicU64,
+    status: AtomicU8,
+    /// Set when the engine has decided this transaction must abort (victim
+    /// of an unsafe structure detected from another thread); checked at each
+    /// operation and at commit.
+    doomed: AtomicBool,
+    /// rw-conflict bookkeeping for Serializable SI.
+    pub(crate) conflicts: Mutex<ConflictState>,
+}
+
+impl TxnShared {
+    /// Creates the shared record for a new active transaction.
+    pub fn new(id: TxnId, isolation: IsolationLevel) -> Self {
+        TxnShared {
+            id,
+            isolation,
+            begin_ts: AtomicU64::new(TS_ZERO),
+            commit_ts: AtomicU64::new(TS_ZERO),
+            status: AtomicU8::new(0),
+            doomed: AtomicBool::new(false),
+            conflicts: Mutex::new(ConflictState::default()),
+        }
+    }
+
+    /// Transaction id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Isolation level the transaction runs at.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+
+    /// Begin timestamp (snapshot), once assigned.
+    pub fn begin_ts(&self) -> Option<Timestamp> {
+        match self.begin_ts.load(Ordering::Acquire) {
+            TS_ZERO => None,
+            ts => Some(ts),
+        }
+    }
+
+    /// Assigns the begin timestamp. May be called once; later calls are
+    /// ignored (the snapshot of a transaction never moves).
+    pub fn set_begin_ts(&self, ts: Timestamp) {
+        let _ = self
+            .begin_ts
+            .compare_exchange(TS_ZERO, ts, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Commit timestamp, once committed.
+    pub fn commit_ts(&self) -> Option<Timestamp> {
+        match self.commit_ts.load(Ordering::Acquire) {
+            TS_ZERO => None,
+            ts => Some(ts),
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> TxnStatus {
+        match self.status.load(Ordering::Acquire) {
+            0 => TxnStatus::Active,
+            1 => TxnStatus::Committed,
+            _ => TxnStatus::Aborted,
+        }
+    }
+
+    /// True once committed.
+    pub fn is_committed(&self) -> bool {
+        self.status() == TxnStatus::Committed
+    }
+
+    /// True while active.
+    pub fn is_active(&self) -> bool {
+        self.status() == TxnStatus::Active
+    }
+
+    /// Marks the transaction committed at `ts`. Called while holding the
+    /// serialization mutex so the status change is atomic with respect to
+    /// the conflict checks of other transactions.
+    pub fn mark_committed(&self, ts: Timestamp) {
+        self.commit_ts.store(ts, Ordering::Release);
+        self.status.store(1, Ordering::Release);
+    }
+
+    /// Marks the transaction aborted.
+    pub fn mark_aborted(&self) {
+        self.status.store(2, Ordering::Release);
+    }
+
+    /// Flags the transaction as a victim that must abort at its next
+    /// operation (used by victim selection when the pivot is not the caller,
+    /// Sec. 3.7.1/3.7.2).
+    pub fn doom(&self) {
+        self.doomed.store(true, Ordering::Release);
+    }
+
+    /// True if some other thread selected this transaction as a victim.
+    pub fn is_doomed(&self) -> bool {
+        self.doomed.load(Ordering::Acquire)
+    }
+
+    /// True if this transaction's lifetime overlapped transaction `other`,
+    /// i.e. the two were concurrent (Sec. 2.1): each began before the other
+    /// committed (or the other has not committed).
+    pub fn concurrent_with(&self, other: &TxnShared) -> bool {
+        let my_begin = self.begin_ts().unwrap_or(Timestamp::MAX);
+        let their_begin = other.begin_ts().unwrap_or(Timestamp::MAX);
+        let my_commit = self.commit_ts().unwrap_or(Timestamp::MAX);
+        let their_commit = other.commit_ts().unwrap_or(Timestamp::MAX);
+        my_begin < their_commit && their_begin < my_commit
+    }
+
+    /// Clears the conflict edges (called on abort and on cleanup so that
+    /// mutual `Arc` references between transactions cannot form reference
+    /// cycles and leak).
+    pub fn clear_conflicts(&self) {
+        let mut c = self.conflicts.lock();
+        c.in_edge = ConflictEdge::None;
+        c.out_edge = ConflictEdge::None;
+    }
+
+    /// Snapshot of the conflict flags `(in_set, out_set)` (for tests and
+    /// statistics).
+    pub fn conflict_flags(&self) -> (bool, bool) {
+        let c = self.conflicts.lock();
+        (c.in_edge.is_set(), c.out_edge.is_set())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(id: u64) -> TxnShared {
+        TxnShared::new(TxnId(id), IsolationLevel::SerializableSnapshotIsolation)
+    }
+
+    #[test]
+    fn lifecycle() {
+        let t = txn(1);
+        assert_eq!(t.status(), TxnStatus::Active);
+        assert!(t.is_active());
+        assert_eq!(t.begin_ts(), None);
+        t.set_begin_ts(5);
+        assert_eq!(t.begin_ts(), Some(5));
+        // Snapshot cannot move once assigned.
+        t.set_begin_ts(9);
+        assert_eq!(t.begin_ts(), Some(5));
+        t.mark_committed(10);
+        assert!(t.is_committed());
+        assert_eq!(t.commit_ts(), Some(10));
+    }
+
+    #[test]
+    fn abort_and_doom() {
+        let t = txn(2);
+        assert!(!t.is_doomed());
+        t.doom();
+        assert!(t.is_doomed());
+        t.mark_aborted();
+        assert_eq!(t.status(), TxnStatus::Aborted);
+        assert!(!t.is_active());
+    }
+
+    #[test]
+    fn concurrency_overlap() {
+        // a: [1, 10), b: [5, 20) — concurrent.
+        let a = txn(1);
+        a.set_begin_ts(1);
+        a.mark_committed(10);
+        let b = txn(2);
+        b.set_begin_ts(5);
+        b.mark_committed(20);
+        assert!(a.concurrent_with(&b));
+        assert!(b.concurrent_with(&a));
+
+        // c begins after a committed — not concurrent with a.
+        let c = txn(3);
+        c.set_begin_ts(15);
+        assert!(!a.concurrent_with(&c));
+        assert!(!c.concurrent_with(&a));
+        // but c is concurrent with b (b committed at 20 > 15).
+        assert!(c.concurrent_with(&b));
+    }
+
+    #[test]
+    fn conflict_edges_and_clearing() {
+        let t = Arc::new(txn(1));
+        let u = Arc::new(txn(2));
+        {
+            let mut c = t.conflicts.lock();
+            c.out_edge = ConflictEdge::Txn(u.clone());
+        }
+        assert_eq!(t.conflict_flags(), (false, true));
+        {
+            let mut c = u.conflicts.lock();
+            c.in_edge = ConflictEdge::SelfLoop;
+        }
+        assert_eq!(u.conflict_flags(), (true, false));
+        t.clear_conflicts();
+        assert_eq!(t.conflict_flags(), (false, false));
+    }
+
+    #[test]
+    fn edge_commit_time_bounds() {
+        let owner = txn(1);
+        let other = Arc::new(txn(2));
+
+        // A known, still-running neighbour: it will commit later than
+        // anything committed so far, regardless of direction.
+        let edge = ConflictEdge::Txn(other.clone());
+        assert_eq!(edge.outgoing_commit_bound(&owner), Timestamp::MAX);
+        assert_eq!(edge.incoming_commit_bound(&owner), Timestamp::MAX);
+
+        other.mark_committed(42);
+        assert_eq!(edge.outgoing_commit_bound(&owner), 42);
+        assert_eq!(edge.incoming_commit_bound(&owner), 42);
+
+        // A self-loop is conservative in both directions: the unknown
+        // outgoing neighbour may have committed arbitrarily early (bound 0
+        // while the owner runs), the unknown incoming neighbour arbitrarily
+        // late (bound infinity).
+        assert_eq!(ConflictEdge::SelfLoop.outgoing_commit_bound(&owner), 0);
+        assert_eq!(
+            ConflictEdge::SelfLoop.incoming_commit_bound(&owner),
+            Timestamp::MAX
+        );
+        owner.mark_committed(77);
+        assert_eq!(ConflictEdge::SelfLoop.outgoing_commit_bound(&owner), 77);
+        assert_eq!(ConflictEdge::SelfLoop.incoming_commit_bound(&owner), 77);
+
+        // Absent edges: "no constraint".
+        assert_eq!(
+            ConflictEdge::None.outgoing_commit_bound(&owner),
+            Timestamp::MAX
+        );
+        assert_eq!(ConflictEdge::None.incoming_commit_bound(&owner), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! A small, fast, non-cryptographic hasher for the lock table.
+//!
+//! Lock-table operations sit on the hottest path of every transaction —
+//! a Serializable SI range scan performs one SIREAD acquisition per row plus
+//! one gap lock per row — so the default SipHash is measurably expensive.
+//! This is the classic "Fx" multiply-xor hash used by rustc; lock keys are
+//! short (a table id plus an encoded primary key), attacker-controlled
+//! collisions are not a concern inside an embedded engine, and the
+//! distribution is more than good enough for the shard and bucket counts we
+//! use.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher (the rustc "FxHasher").
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // splitmix64 finalizer: full avalanche so the low bits (the ones
+        // hash tables and the shard selector actually use) depend on every
+        // input bit, including high-order bytes of big-endian encoded keys.
+        let mut h = self.hash;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], usable as the `S` parameter of `HashMap`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&b"hello".to_vec()), hash_of(&b"hello".to_vec()));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&b"a".to_vec()), hash_of(&b"b".to_vec()));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sequential keys must land in many different buckets of a small
+        // power-of-two table.
+        let buckets = 64u64;
+        let mut used = std::collections::HashSet::new();
+        for i in 0u64..1000 {
+            used.insert(hash_of(&i.to_be_bytes().to_vec()) % buckets);
+        }
+        assert!(used.len() > 48, "only {} of {buckets} buckets used", used.len());
+    }
+}

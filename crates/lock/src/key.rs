@@ -1,0 +1,141 @@
+//! Lock names: what a lock protects.
+//!
+//! Following the two prototype systems in the paper, a lock can protect a
+//! *record* (InnoDB-style row locking), the *gap* before a record (InnoDB
+//! next-key/gap locking, used to detect and prevent phantoms, Sec. 3.5), a
+//! *page* (Berkeley-DB-style page locking, Sec. 4.2), or the table *supremum*
+//! (the gap after the last record).
+
+use ssi_common::TableId;
+use std::fmt;
+
+/// What a lock protects inside a table.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockTarget {
+    /// A single record, identified by its encoded key.
+    Record(Vec<u8>),
+    /// The gap immediately before the record with this key: a lock on
+    /// `Gap(k)` conflicts only with other gap locks on `k`, never with locks
+    /// on the record `k` itself (InnoDB gap-lock semantics, Sec. 2.5.2).
+    Gap(Vec<u8>),
+    /// The gap after the last record of the table ("supremum" key).
+    Supremum,
+    /// A whole page of records (Berkeley DB granularity).
+    Page(u64),
+}
+
+impl fmt::Debug for LockTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockTarget::Record(k) => write!(f, "rec({})", hex_prefix(k)),
+            LockTarget::Gap(k) => write!(f, "gap({})", hex_prefix(k)),
+            LockTarget::Supremum => write!(f, "supremum"),
+            LockTarget::Page(p) => write!(f, "page({p})"),
+        }
+    }
+}
+
+fn hex_prefix(k: &[u8]) -> String {
+    let take = k.len().min(8);
+    let mut s = String::with_capacity(take * 2 + 2);
+    for b in &k[..take] {
+        s.push_str(&format!("{b:02x}"));
+    }
+    if k.len() > take {
+        s.push('…');
+    }
+    s
+}
+
+/// Fully qualified lock name: table plus target.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct LockKey {
+    /// Table the target belongs to.
+    pub table: TableId,
+    /// Protected object within the table.
+    pub target: LockTarget,
+}
+
+impl LockKey {
+    /// Lock name for a record.
+    pub fn record(table: TableId, key: impl Into<Vec<u8>>) -> Self {
+        LockKey {
+            table,
+            target: LockTarget::Record(key.into()),
+        }
+    }
+
+    /// Lock name for the gap before `key`.
+    pub fn gap(table: TableId, key: impl Into<Vec<u8>>) -> Self {
+        LockKey {
+            table,
+            target: LockTarget::Gap(key.into()),
+        }
+    }
+
+    /// Lock name for the gap after the last record of `table`.
+    pub fn supremum(table: TableId) -> Self {
+        LockKey {
+            table,
+            target: LockTarget::Supremum,
+        }
+    }
+
+    /// Lock name for a page of `table`.
+    pub fn page(table: TableId, page: u64) -> Self {
+        LockKey {
+            table,
+            target: LockTarget::Page(page),
+        }
+    }
+
+    /// True if this names a gap (including the supremum gap).
+    pub fn is_gap(&self) -> bool {
+        matches!(self.target, LockTarget::Gap(_) | LockTarget::Supremum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_gap_on_same_key_are_different_locks() {
+        let t = TableId(1);
+        let r = LockKey::record(t, vec![1, 2, 3]);
+        let g = LockKey::gap(t, vec![1, 2, 3]);
+        assert_ne!(r, g);
+        assert!(!r.is_gap());
+        assert!(g.is_gap());
+    }
+
+    #[test]
+    fn supremum_is_a_gap() {
+        assert!(LockKey::supremum(TableId(2)).is_gap());
+    }
+
+    #[test]
+    fn tables_partition_the_namespace() {
+        let a = LockKey::record(TableId(1), vec![9]);
+        let b = LockKey::record(TableId(2), vec![9]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn page_locks() {
+        let p = LockKey::page(TableId(3), 17);
+        assert!(!p.is_gap());
+        assert_eq!(p, LockKey::page(TableId(3), 17));
+        assert_ne!(p, LockKey::page(TableId(3), 18));
+    }
+
+    #[test]
+    fn debug_output_is_compact() {
+        let k = LockKey::record(TableId(1), vec![0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5]);
+        let s = format!("{k:?}");
+        assert!(s.contains("deadbeef"));
+        assert!(s.contains('…'));
+        let s2 = format!("{:?}", LockKey::supremum(TableId(1)));
+        assert!(s2.contains("supremum"));
+    }
+}

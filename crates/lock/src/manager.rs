@@ -1,0 +1,743 @@
+//! The lock manager: a sharded lock table with blocking waits, inline
+//! deadlock detection and non-blocking SIREAD bookkeeping.
+//!
+//! Design notes (mirroring the prototypes described in Chapter 4):
+//!
+//! * the lock table is a hash map from [`LockKey`] to the set of granted
+//!   modes per owner plus a FIFO-ish wait list; it is sharded to reduce
+//!   mutex contention;
+//! * a transaction may hold several modes on one item (e.g. SIREAD and
+//!   EXCLUSIVE); re-requesting a mode that is already covered is a no-op;
+//! * requests that must wait register edges in a wait-for graph; the request
+//!   that closes a cycle is aborted with [`Error::Aborted`] of kind
+//!   `Deadlock`;
+//! * SIREAD locks never wait and never cause waits, but every grant reports
+//!   the other holders whose modes form a read-write conflict with the
+//!   requested mode, which is exactly the hook the Serializable SI algorithm
+//!   needs (Figs. 3.4 and 3.5 of the thesis);
+//! * locks owned by committed-but-suspended transactions simply stay in the
+//!   table until the engine releases them during cleanup (Sec. 3.3).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use ssi_common::{Error, Result, TxnId};
+
+use crate::fxhash::FxBuildHasher;
+use crate::key::LockKey;
+use crate::mode::{LockMode, ModeSet};
+use crate::waitfor::WaitForGraph;
+
+/// Configuration of the lock manager.
+#[derive(Clone, Debug)]
+pub struct LockConfig {
+    /// Number of hash shards for the lock table.
+    pub shards: usize,
+    /// Upper bound on the total time a single lock request may wait before
+    /// it gives up with [`Error::LockTimeout`]. Deadlocks are normally
+    /// detected long before this fires; the timeout is a safety net for
+    /// tests.
+    pub wait_timeout: Duration,
+}
+
+impl Default for LockConfig {
+    fn default() -> Self {
+        LockConfig {
+            shards: 64,
+            wait_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Counters exposed for benchmarks and tests.
+#[derive(Default, Debug)]
+pub struct LockStats {
+    /// Total lock requests (including re-acquisitions).
+    pub requests: AtomicU64,
+    /// Requests that blocked at least once.
+    pub waits: AtomicU64,
+    /// Requests aborted because they closed a wait-for cycle.
+    pub deadlocks: AtomicU64,
+    /// Requests that exhausted the wait timeout.
+    pub timeouts: AtomicU64,
+}
+
+impl LockStats {
+    /// Snapshot of the counters as plain integers
+    /// `(requests, waits, deadlocks, timeouts)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.requests.load(Ordering::Relaxed),
+            self.waits.load(Ordering::Relaxed),
+            self.deadlocks.load(Ordering::Relaxed),
+            self.timeouts.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Result of a successful lock acquisition.
+#[derive(Clone, Debug, Default)]
+pub struct LockOutcome {
+    /// True if the mode was newly added for this transaction (false when the
+    /// transaction already held a covering mode).
+    pub newly_acquired: bool,
+    /// Other transactions holding a mode on the same item that forms a
+    /// read-write conflict with the requested mode (SIREAD holders when an
+    /// EXCLUSIVE lock is granted and vice versa). The Serializable SI layer
+    /// turns each of these into a `markConflict` call.
+    pub rw_conflicts: Vec<TxnId>,
+    /// True if the request had to block before being granted.
+    pub waited: bool,
+}
+
+/// Per-waiter synchronization block.
+struct WaitNode {
+    txn: TxnId,
+    mode: LockMode,
+    signalled: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl WaitNode {
+    fn new(txn: TxnId, mode: LockMode) -> Self {
+        WaitNode {
+            txn,
+            mode,
+            signalled: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Wakes the waiter (idempotent).
+    fn notify(&self) {
+        let mut sig = self.signalled.lock();
+        *sig = true;
+        self.cond.notify_all();
+    }
+
+    /// Sleeps until notified or until `slice` elapses, consuming the signal.
+    fn wait(&self, slice: Duration) {
+        let mut sig = self.signalled.lock();
+        if !*sig {
+            self.cond.wait_for(&mut sig, slice);
+        }
+        *sig = false;
+    }
+}
+
+/// One lock table entry: who holds what, and who is waiting.
+#[derive(Default)]
+struct LockEntry {
+    granted: Vec<(TxnId, ModeSet)>,
+    waiters: Vec<Arc<WaitNode>>,
+}
+
+impl LockEntry {
+    fn holder_modes(&self, txn: TxnId) -> ModeSet {
+        self.granted
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, m)| *m)
+            .unwrap_or(ModeSet::EMPTY)
+    }
+
+    fn add_mode(&mut self, txn: TxnId, mode: LockMode) {
+        if let Some((_, m)) = self.granted.iter_mut().find(|(t, _)| *t == txn) {
+            m.insert(mode);
+        } else {
+            self.granted.push((txn, ModeSet::single(mode)));
+        }
+    }
+
+    fn blocking_holders(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        self.granted
+            .iter()
+            .filter(|(t, m)| *t != txn && m.blocks_request(mode))
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    fn rw_conflict_holders(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        self.granted
+            .iter()
+            .filter(|(t, m)| *t != txn && m.rw_conflicts_with(mode))
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Waiters queued *ahead* of `upto` (or all waiters when the requester is
+    /// not queued yet) whose requested mode conflicts with `mode`. Used both
+    /// for the no-barging fairness rule and for wait-for edges, so a waiter
+    /// never appears to wait for requests queued behind it.
+    fn conflicting_waiters_ahead(
+        &self,
+        txn: TxnId,
+        mode: LockMode,
+        upto: Option<&Arc<WaitNode>>,
+    ) -> Vec<TxnId> {
+        let end = upto
+            .and_then(|node| self.waiters.iter().position(|w| Arc::ptr_eq(w, node)))
+            .unwrap_or(self.waiters.len());
+        self.waiters[..end]
+            .iter()
+            .filter(|w| w.txn != txn && (mode.blocks_against(w.mode) || w.mode.blocks_against(mode)))
+            .map(|w| w.txn)
+            .collect()
+    }
+
+    fn remove_waiter(&mut self, node: &Arc<WaitNode>) {
+        self.waiters.retain(|w| !Arc::ptr_eq(w, node));
+    }
+
+    fn notify_waiters(&self) {
+        for w in &self.waiters {
+            w.notify();
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.granted.is_empty() && self.waiters.is_empty()
+    }
+}
+
+/// The lock manager. Shared by reference (usually `Arc`) between all
+/// transactions of a database.
+pub struct LockManager {
+    shards: Vec<Mutex<HashMap<LockKey, LockEntry, FxBuildHasher>>>,
+    waits_for: Mutex<WaitForGraph>,
+    config: LockConfig,
+    stats: LockStats,
+}
+
+impl LockManager {
+    /// Creates a lock manager with the given configuration.
+    pub fn new(config: LockConfig) -> Self {
+        let shards = (0..config.shards.max(1))
+            .map(|_| Mutex::new(HashMap::default()))
+            .collect();
+        LockManager {
+            shards,
+            waits_for: Mutex::new(WaitForGraph::new()),
+            config,
+            stats: LockStats::default(),
+        }
+    }
+
+    /// Creates a lock manager with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(LockConfig::default())
+    }
+
+    /// Access to the counters.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    fn shard_index(&self, key: &LockKey) -> usize {
+        use std::hash::{BuildHasher, Hash, Hasher};
+        let mut h = FxBuildHasher::default().build_hasher();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Acquires `mode` on `key` for `txn`, blocking if necessary.
+    ///
+    /// On success, reports whether the mode was newly acquired and which
+    /// other transactions hold read-write-conflicting modes on the item. On
+    /// failure the transaction was chosen as a deadlock victim or timed out;
+    /// the caller is expected to abort it.
+    pub fn lock(&self, txn: TxnId, key: &LockKey, mode: LockMode) -> Result<LockOutcome> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[self.shard_index(key)];
+        let deadline = Instant::now() + self.config.wait_timeout;
+        let mut waited = false;
+        let mut wait_node: Option<Arc<WaitNode>> = None;
+
+        loop {
+            let mut map = shard.lock();
+            if !map.contains_key(key) {
+                map.insert(key.clone(), LockEntry::default());
+            }
+            let entry = map.get_mut(key).expect("entry just ensured");
+            let own = entry.holder_modes(txn);
+
+            // Re-acquisition of a covered mode is free.
+            if own.covers(mode) {
+                let rw = entry.rw_conflict_holders(txn, mode);
+                if let Some(node) = &wait_node {
+                    entry.remove_waiter(node);
+                    entry.notify_waiters();
+                }
+                drop(map);
+                if waited {
+                    self.waits_for.lock().clear_waiter(txn);
+                }
+                return Ok(LockOutcome {
+                    newly_acquired: false,
+                    rw_conflicts: rw,
+                    waited,
+                });
+            }
+
+            let upgrading = !own.is_empty();
+            let blockers = entry.blocking_holders(txn, mode);
+            // Fairness: a brand-new request does not barge past waiters it
+            // conflicts with; an upgrade does (the classic rule that keeps
+            // lock upgrades from deadlocking behind their own shared lock).
+            let queue_blockers = if upgrading {
+                Vec::new()
+            } else {
+                entry.conflicting_waiters_ahead(txn, mode, wait_node.as_ref())
+            };
+
+            if blockers.is_empty() && queue_blockers.is_empty() {
+                entry.add_mode(txn, mode);
+                let rw = entry.rw_conflict_holders(txn, mode);
+                if let Some(node) = &wait_node {
+                    entry.remove_waiter(node);
+                    entry.notify_waiters();
+                }
+                drop(map);
+                if waited {
+                    self.waits_for.lock().clear_waiter(txn);
+                }
+                return Ok(LockOutcome {
+                    newly_acquired: true,
+                    rw_conflicts: rw,
+                    waited,
+                });
+            }
+
+            // We must wait: register wait-for edges and check for deadlock.
+            let mut edge_targets = blockers;
+            edge_targets.extend(queue_blockers);
+            let deadlocked = self
+                .waits_for
+                .lock()
+                .reset_edges_and_check(txn, &edge_targets);
+            if deadlocked {
+                self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
+                if let Some(node) = &wait_node {
+                    entry.remove_waiter(node);
+                    entry.notify_waiters();
+                }
+                drop(map);
+                self.waits_for.lock().clear_waiter(txn);
+                return Err(Error::deadlock(txn));
+            }
+
+            let node = wait_node
+                .get_or_insert_with(|| Arc::new(WaitNode::new(txn, mode)))
+                .clone();
+            if !entry.waiters.iter().any(|w| Arc::ptr_eq(w, &node)) {
+                entry.waiters.push(node.clone());
+            }
+            drop(map);
+
+            if !waited {
+                self.stats.waits.fetch_add(1, Ordering::Relaxed);
+                waited = true;
+            }
+
+            node.wait(Duration::from_millis(20));
+            // NB: our wait-for edges stay registered while we remain blocked,
+            // so whichever transaction later closes a cycle sees them and
+            // detection never misses a deadlock; they are cleared on every
+            // exit path from this function.
+
+            if Instant::now() >= deadline {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                let mut map = shard.lock();
+                if let Some(entry) = map.get_mut(key) {
+                    entry.remove_waiter(&node);
+                    entry.notify_waiters();
+                    if entry.is_empty() {
+                        map.remove(key);
+                    }
+                }
+                drop(map);
+                self.waits_for.lock().clear_waiter(txn);
+                return Err(Error::LockTimeout);
+            }
+        }
+    }
+
+    /// Releases one mode held by `txn` on `key`. Releasing a mode that is
+    /// not held is a no-op.
+    pub fn unlock(&self, txn: TxnId, key: &LockKey, mode: LockMode) {
+        let shard = &self.shards[self.shard_index(key)];
+        let mut map = shard.lock();
+        if let Some(entry) = map.get_mut(key) {
+            if let Some(pos) = entry.granted.iter().position(|(t, _)| *t == txn) {
+                entry.granted[pos].1.remove(mode);
+                if entry.granted[pos].1.is_empty() {
+                    entry.granted.swap_remove(pos);
+                }
+                entry.notify_waiters();
+            }
+            if entry.is_empty() {
+                map.remove(key);
+            }
+        }
+    }
+
+    /// Releases every mode held by `txn` on `key`.
+    pub fn unlock_all_modes(&self, txn: TxnId, key: &LockKey) {
+        let shard = &self.shards[self.shard_index(key)];
+        let mut map = shard.lock();
+        if let Some(entry) = map.get_mut(key) {
+            if let Some(pos) = entry.granted.iter().position(|(t, _)| *t == txn) {
+                entry.granted.swap_remove(pos);
+                entry.notify_waiters();
+            }
+            if entry.is_empty() {
+                map.remove(key);
+            }
+        }
+    }
+
+    /// Releases a batch of `(key, mode)` pairs held by `txn`.
+    pub fn unlock_batch<'a>(
+        &self,
+        txn: TxnId,
+        locks: impl IntoIterator<Item = (&'a LockKey, LockMode)>,
+    ) {
+        for (key, mode) in locks {
+            self.unlock(txn, key, mode);
+        }
+    }
+
+    /// Returns the set of modes `txn` currently holds on `key`.
+    pub fn holds(&self, txn: TxnId, key: &LockKey) -> ModeSet {
+        let shard = &self.shards[self.shard_index(key)];
+        let map = shard.lock();
+        map.get(key)
+            .map(|e| e.holder_modes(txn))
+            .unwrap_or(ModeSet::EMPTY)
+    }
+
+    /// Returns the transactions (other than `txn`) whose locks on `key` form
+    /// a read-write conflict with `mode`, without acquiring anything. Used
+    /// by the engine when it discovers conflicts through version visibility
+    /// rather than through a lock request.
+    pub fn peek_rw_conflicts(&self, txn: TxnId, key: &LockKey, mode: LockMode) -> Vec<TxnId> {
+        let shard = &self.shards[self.shard_index(key)];
+        let map = shard.lock();
+        map.get(key)
+            .map(|e| e.rw_conflict_holders(txn, mode))
+            .unwrap_or_default()
+    }
+
+    /// Total number of (key, owner) lock grants currently in the table.
+    /// Used by tests and by the cleanup logic's sanity checks.
+    pub fn grant_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().map(|e| e.granted.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of distinct keys present in the lock table.
+    pub fn key_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::LockKey;
+    use ssi_common::{AbortKind, TableId};
+    use std::sync::atomic::{AtomicBool, Ordering as AOrd};
+
+    fn t(id: u64) -> TxnId {
+        TxnId(id)
+    }
+
+    fn key(k: u8) -> LockKey {
+        LockKey::record(TableId(1), vec![k])
+    }
+
+    #[test]
+    fn grant_and_reacquire() {
+        let lm = LockManager::with_defaults();
+        let out = lm.lock(t(1), &key(1), LockMode::Exclusive).unwrap();
+        assert!(out.newly_acquired);
+        assert!(!out.waited);
+        let again = lm.lock(t(1), &key(1), LockMode::Exclusive).unwrap();
+        assert!(!again.newly_acquired);
+        assert_eq!(lm.grant_count(), 1);
+    }
+
+    #[test]
+    fn exclusive_covers_other_modes() {
+        let lm = LockManager::with_defaults();
+        lm.lock(t(1), &key(1), LockMode::Exclusive).unwrap();
+        let s = lm.lock(t(1), &key(1), LockMode::Shared).unwrap();
+        assert!(!s.newly_acquired);
+        let r = lm.lock(t(1), &key(1), LockMode::SiRead).unwrap();
+        assert!(!r.newly_acquired);
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let lm = LockManager::with_defaults();
+        lm.lock(t(1), &key(1), LockMode::Shared).unwrap();
+        let out = lm.lock(t(2), &key(1), LockMode::Shared).unwrap();
+        assert!(out.newly_acquired);
+        assert!(!out.waited);
+        assert_eq!(lm.grant_count(), 2);
+    }
+
+    #[test]
+    fn siread_never_blocks_or_is_blocked() {
+        let lm = LockManager::with_defaults();
+        lm.lock(t(1), &key(1), LockMode::Exclusive).unwrap();
+        // SIREAD against a held X lock: granted immediately, conflict reported.
+        let out = lm.lock(t(2), &key(1), LockMode::SiRead).unwrap();
+        assert!(out.newly_acquired);
+        assert!(!out.waited);
+        assert_eq!(out.rw_conflicts, vec![t(1)]);
+        // And an X request sees the SIREAD holder as a conflict but must wait
+        // only for the other X, not the SIREAD.
+        let out2 = lm.lock(t(3), &key(2), LockMode::SiRead).unwrap();
+        assert!(out2.rw_conflicts.is_empty());
+    }
+
+    #[test]
+    fn exclusive_reports_siread_holders() {
+        let lm = LockManager::with_defaults();
+        lm.lock(t(1), &key(7), LockMode::SiRead).unwrap();
+        lm.lock(t(2), &key(7), LockMode::SiRead).unwrap();
+        let out = lm.lock(t(3), &key(7), LockMode::Exclusive).unwrap();
+        assert!(out.newly_acquired);
+        let mut holders = out.rw_conflicts.clone();
+        holders.sort();
+        assert_eq!(holders, vec![t(1), t(2)]);
+    }
+
+    #[test]
+    fn peek_rw_conflicts_does_not_acquire() {
+        let lm = LockManager::with_defaults();
+        lm.lock(t(1), &key(3), LockMode::SiRead).unwrap();
+        let found = lm.peek_rw_conflicts(t(2), &key(3), LockMode::Exclusive);
+        assert_eq!(found, vec![t(1)]);
+        assert!(lm.holds(t(2), &key(3)).is_empty());
+    }
+
+    #[test]
+    fn unlock_removes_grants() {
+        let lm = LockManager::with_defaults();
+        lm.lock(t(1), &key(1), LockMode::SiRead).unwrap();
+        lm.lock(t(1), &key(1), LockMode::Exclusive).unwrap();
+        lm.unlock(t(1), &key(1), LockMode::SiRead);
+        assert!(lm.holds(t(1), &key(1)).contains(LockMode::Exclusive));
+        assert!(!lm.holds(t(1), &key(1)).contains(LockMode::SiRead));
+        lm.unlock_all_modes(t(1), &key(1));
+        assert!(lm.holds(t(1), &key(1)).is_empty());
+        assert_eq!(lm.key_count(), 0);
+    }
+
+    #[test]
+    fn exclusive_blocks_until_release() {
+        let lm = Arc::new(LockManager::with_defaults());
+        lm.lock(t(1), &key(1), LockMode::Exclusive).unwrap();
+        let released = Arc::new(AtomicBool::new(false));
+
+        std::thread::scope(|s| {
+            let lm2 = lm.clone();
+            let released2 = released.clone();
+            let h = s.spawn(move || {
+                let out = lm2.lock(t(2), &key(1), LockMode::Exclusive).unwrap();
+                assert!(out.waited);
+                // The holder must have released before we were granted.
+                assert!(released2.load(AOrd::SeqCst));
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            released.store(true, AOrd::SeqCst);
+            lm.unlock(t(1), &key(1), LockMode::Exclusive);
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn shared_blocks_exclusive() {
+        let lm = Arc::new(LockManager::with_defaults());
+        lm.lock(t(1), &key(1), LockMode::Shared).unwrap();
+        std::thread::scope(|s| {
+            let lm2 = lm.clone();
+            let h = s.spawn(move || lm2.lock(t(2), &key(1), LockMode::Exclusive).unwrap());
+            std::thread::sleep(Duration::from_millis(30));
+            lm.unlock(t(1), &key(1), LockMode::Shared);
+            let out = h.join().unwrap();
+            assert!(out.waited);
+        });
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_victim_aborted() {
+        let lm = Arc::new(LockManager::with_defaults());
+        lm.lock(t(1), &key(1), LockMode::Exclusive).unwrap();
+        lm.lock(t(2), &key(2), LockMode::Exclusive).unwrap();
+
+        std::thread::scope(|s| {
+            let lm1 = lm.clone();
+            let h1 = s.spawn(move || lm1.lock(t(1), &key(2), LockMode::Exclusive));
+            std::thread::sleep(Duration::from_millis(30));
+            // T2 closes the cycle: it must be chosen as the victim.
+            let res = lm.lock(t(2), &key(1), LockMode::Exclusive);
+            match res {
+                Err(Error::Aborted { kind, victim }) => {
+                    assert_eq!(kind, AbortKind::Deadlock);
+                    assert_eq!(victim, t(2));
+                }
+                other => panic!("expected deadlock, got {other:?}"),
+            }
+            // Release T2's lock so T1 can proceed.
+            lm.unlock(t(2), &key(2), LockMode::Exclusive);
+            let out = h1.join().unwrap().unwrap();
+            assert!(out.waited);
+        });
+        let (_, _, deadlocks, _) = lm.stats().snapshot();
+        assert_eq!(deadlocks, 1);
+    }
+
+    #[test]
+    fn upgrade_shared_to_exclusive_waits_for_other_readers() {
+        let lm = Arc::new(LockManager::with_defaults());
+        lm.lock(t(1), &key(1), LockMode::Shared).unwrap();
+        lm.lock(t(2), &key(1), LockMode::Shared).unwrap();
+
+        std::thread::scope(|s| {
+            let lm1 = lm.clone();
+            let h = s.spawn(move || lm1.lock(t(1), &key(1), LockMode::Exclusive).unwrap());
+            std::thread::sleep(Duration::from_millis(30));
+            lm.unlock(t(2), &key(1), LockMode::Shared);
+            let out = h.join().unwrap();
+            assert!(out.waited);
+            assert!(out.newly_acquired);
+        });
+        assert!(lm.holds(t(1), &key(1)).contains(LockMode::Exclusive));
+        assert!(lm.holds(t(1), &key(1)).contains(LockMode::Shared));
+    }
+
+    #[test]
+    fn waiters_do_not_starve_behind_stream_of_readers() {
+        // A writer is queued behind one reader; a second reader arriving
+        // later must not barge past the queued writer.
+        let lm = Arc::new(LockManager::with_defaults());
+        lm.lock(t(1), &key(1), LockMode::Shared).unwrap();
+        std::thread::scope(|s| {
+            let lmw = lm.clone();
+            let writer = s.spawn(move || lmw.lock(t(2), &key(1), LockMode::Exclusive).unwrap());
+            std::thread::sleep(Duration::from_millis(30));
+            let lmr = lm.clone();
+            let reader = s.spawn(move || lmr.lock(t(3), &key(1), LockMode::Shared).unwrap());
+            std::thread::sleep(Duration::from_millis(30));
+            // The late reader must still be waiting (it cannot barge).
+            assert!(lm.holds(t(3), &key(1)).is_empty());
+            lm.unlock(t(1), &key(1), LockMode::Shared);
+            let wout = writer.join().unwrap();
+            assert!(wout.waited);
+            lm.unlock(t(2), &key(1), LockMode::Exclusive);
+            let rout = reader.join().unwrap();
+            assert!(rout.waited);
+        });
+    }
+
+    #[test]
+    fn timeout_fires_when_no_deadlock_resolution_possible() {
+        let lm = LockManager::new(LockConfig {
+            shards: 4,
+            wait_timeout: Duration::from_millis(80),
+        });
+        lm.lock(t(1), &key(1), LockMode::Exclusive).unwrap();
+        let res = lm.lock(t(2), &key(1), LockMode::Exclusive);
+        assert_eq!(res.unwrap_err(), Error::LockTimeout);
+        let (_, _, _, timeouts) = lm.stats().snapshot();
+        assert_eq!(timeouts, 1);
+    }
+
+    #[test]
+    fn gap_and_record_locks_do_not_interact() {
+        let lm = LockManager::with_defaults();
+        let rec = LockKey::record(TableId(1), vec![5]);
+        let gap = LockKey::gap(TableId(1), vec![5]);
+        lm.lock(t(1), &rec, LockMode::Exclusive).unwrap();
+        // Another transaction can take an exclusive gap lock on the same key
+        // without waiting because the lock names differ.
+        let out = lm.lock(t(2), &gap, LockMode::Exclusive).unwrap();
+        assert!(!out.waited);
+    }
+
+    #[test]
+    fn siread_survives_owner_release_of_other_keys() {
+        let lm = LockManager::with_defaults();
+        lm.lock(t(1), &key(1), LockMode::SiRead).unwrap();
+        lm.lock(t(1), &key(2), LockMode::Exclusive).unwrap();
+        lm.unlock(t(1), &key(2), LockMode::Exclusive);
+        assert!(lm.holds(t(1), &key(1)).contains(LockMode::SiRead));
+        assert_eq!(lm.key_count(), 1);
+    }
+
+    #[test]
+    fn stats_count_requests_and_waits() {
+        let lm = Arc::new(LockManager::with_defaults());
+        lm.lock(t(1), &key(1), LockMode::Exclusive).unwrap();
+        std::thread::scope(|s| {
+            let lm2 = lm.clone();
+            let h = s.spawn(move || lm2.lock(t(2), &key(1), LockMode::Shared).unwrap());
+            std::thread::sleep(Duration::from_millis(30));
+            lm.unlock(t(1), &key(1), LockMode::Exclusive);
+            h.join().unwrap();
+        });
+        let (requests, waits, deadlocks, timeouts) = lm.stats().snapshot();
+        assert_eq!(requests, 2);
+        assert_eq!(waits, 1);
+        assert_eq!(deadlocks, 0);
+        assert_eq!(timeouts, 0);
+    }
+
+    #[test]
+    fn many_threads_increment_under_exclusive_lock() {
+        // A little stress test: N threads each acquire X on the same key and
+        // increment a shared counter; mutual exclusion must hold.
+        let lm = Arc::new(LockManager::with_defaults());
+        let counter = Arc::new(Mutex::new(0u64));
+        let in_section = Arc::new(AtomicBool::new(false));
+        let threads = 8;
+        let iters = 50;
+        std::thread::scope(|s| {
+            for i in 0..threads {
+                let lm = lm.clone();
+                let counter = counter.clone();
+                let in_section = in_section.clone();
+                s.spawn(move || {
+                    for j in 0..iters {
+                        let txn = t(1 + i * iters + j);
+                        lm.lock(txn, &key(9), LockMode::Exclusive).unwrap();
+                        assert!(!in_section.swap(true, AOrd::SeqCst));
+                        {
+                            let mut c = counter.lock();
+                            *c += 1;
+                        }
+                        in_section.store(false, AOrd::SeqCst);
+                        lm.unlock(txn, &key(9), LockMode::Exclusive);
+                    }
+                });
+            }
+        });
+        assert_eq!(*counter.lock(), threads * iters);
+        assert_eq!(lm.key_count(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! The catalog: named tables of one database instance.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use ssi_common::{Error, Result, TableId};
+
+use crate::table::Table;
+
+/// Set of tables addressable by name or by [`TableId`].
+#[derive(Default)]
+pub struct Catalog {
+    by_name: RwLock<HashMap<String, Arc<Table>>>,
+    by_id: RwLock<HashMap<TableId, Arc<Table>>>,
+    next_id: AtomicU32,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog {
+            by_name: RwLock::new(HashMap::new()),
+            by_id: RwLock::new(HashMap::new()),
+            next_id: AtomicU32::new(1),
+        }
+    }
+
+    /// Creates a new empty table, failing if the name is taken.
+    pub fn create_table(&self, name: &str) -> Result<Arc<Table>> {
+        let mut by_name = self.by_name.write();
+        if by_name.contains_key(name) {
+            return Err(Error::TableExists(name.to_string()));
+        }
+        let id = TableId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let table = Arc::new(Table::new(id, name));
+        by_name.insert(name.to_string(), table.clone());
+        self.by_id.write().insert(id, table.clone());
+        Ok(table)
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.by_name
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchTable(name.to_string()))
+    }
+
+    /// Looks a table up by id.
+    pub fn table_by_id(&self, id: TableId) -> Result<Arc<Table>> {
+        self.by_id
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchTable(format!("{id:?}")))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.by_name.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// All tables (used by garbage collection sweeps).
+    pub fn tables(&self) -> Vec<Arc<Table>> {
+        self.by_id.read().values().cloned().collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.by_name.read().len()
+    }
+
+    /// True if the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup() {
+        let cat = Catalog::new();
+        assert!(cat.is_empty());
+        let t = cat.create_table("accounts").unwrap();
+        assert_eq!(t.name(), "accounts");
+        assert_eq!(cat.table("accounts").unwrap().id(), t.id());
+        assert_eq!(cat.table_by_id(t.id()).unwrap().name(), "accounts");
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let cat = Catalog::new();
+        cat.create_table("x").unwrap();
+        assert!(matches!(
+            cat.create_table("x"),
+            Err(Error::TableExists(name)) if name == "x"
+        ));
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let cat = Catalog::new();
+        assert!(matches!(
+            cat.table("nope"),
+            Err(Error::NoSuchTable(name)) if name == "nope"
+        ));
+        assert!(cat.table_by_id(TableId(99)).is_err());
+    }
+
+    #[test]
+    fn ids_are_unique_and_names_sorted() {
+        let cat = Catalog::new();
+        let a = cat.create_table("b_table").unwrap();
+        let b = cat.create_table("a_table").unwrap();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(cat.table_names(), vec!["a_table", "b_table"]);
+        assert_eq!(cat.tables().len(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Multi-version storage substrate for the Serializable SI reproduction.
+//!
+//! The paper implements its algorithm inside two existing storage engines
+//! (Berkeley DB and InnoDB). This crate provides the equivalent substrate the
+//! concurrency-control layer in `ssi-core` builds on:
+//!
+//! * [`Table`] — an ordered key/value table whose entries are *version
+//!   chains*: every write creates a new [`Version`] instead of overwriting,
+//!   and readers pick the version visible to their snapshot (Sec. 2.4/2.5);
+//! * [`Catalog`] — the set of named tables of one database;
+//! * [`WriteAheadLog`] — an in-memory commit log with group commit and a
+//!   configurable simulated flush latency, used to reproduce the
+//!   "no flush"/"flush at commit" regimes of the Berkeley DB evaluation
+//!   (Figs. 6.1 vs 6.2);
+//! * [`PageMap`] — a mapping from keys to page numbers so the engine can lock
+//!   and detect conflicts at Berkeley-DB-style page granularity (Sec. 4.2)
+//!   instead of InnoDB-style row granularity.
+//!
+//! The substrate is deliberately free of concurrency-control policy: it knows
+//! nothing about SI, S2PL or SSI. All policy lives in `ssi-core`.
+
+pub mod catalog;
+pub mod page;
+pub mod table;
+pub mod version;
+pub mod wal;
+
+pub use catalog::Catalog;
+pub use page::PageMap;
+pub use table::{ScanEntry, Table, VisibleRead};
+pub use version::{Version, VersionState};
+pub use wal::{WalConfig, WriteAheadLog};

@@ -1,0 +1,509 @@
+//! Ordered multi-version tables.
+//!
+//! A table maps byte-string keys to *version chains* (newest first). The
+//! table itself performs no concurrency control beyond keeping its own data
+//! structures consistent: deciding who may write, when a write must abort and
+//! what a reader is allowed to see is the job of `ssi-core`. The table does
+//! provide the visibility primitives that the paper's algorithm needs:
+//!
+//! * reading returns not only the visible version but also the creators of
+//!   any *newer* versions (the "version that it reads … is not the most
+//!   recent version" signal of Fig. 3.4);
+//! * the newest committed timestamp of a key, which implements the
+//!   first-committer-wins check;
+//! * ordered key access (`next_key_at_or_after`) used for next-key / gap
+//!   locking against phantoms (Sec. 3.5).
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use ssi_common::{TableId, Timestamp, TxnId};
+
+use crate::version::{Version, VersionState};
+
+/// Result of a snapshot read of one key.
+#[derive(Clone, Debug, Default)]
+pub struct VisibleRead {
+    /// The visible value, if any (and not a tombstone).
+    pub value: Option<Vec<u8>>,
+    /// Creators of versions newer than the version that was read (both
+    /// uncommitted ones and ones committed after the reader's snapshot).
+    /// Each is a potential rw-antidependency for Serializable SI.
+    pub newer_creators: Vec<TxnId>,
+    /// Commit timestamp of the newest committed version of the key,
+    /// regardless of snapshot; used for the first-committer-wins check.
+    pub newest_committed_ts: Option<Timestamp>,
+    /// True if the key has at least one (non-aborted) version at all.
+    pub key_exists: bool,
+    /// Commit timestamp of the version that was read (`None` when nothing
+    /// was visible or when the reader saw its own uncommitted write). Used
+    /// by the history recorder / serializability verifier.
+    pub read_version_ts: Option<Timestamp>,
+    /// True if the read was satisfied by the reader's own uncommitted write;
+    /// such reads impose no inter-transaction ordering constraints.
+    pub read_own_write: bool,
+}
+
+/// One row produced by a snapshot range scan.
+#[derive(Clone, Debug)]
+pub struct ScanEntry {
+    /// The row key.
+    pub key: Vec<u8>,
+    /// Visible value (`None` when the visible version is a tombstone or no
+    /// version is visible to the snapshot). Entries with `None` are still
+    /// reported so the caller can register conflicts for them.
+    pub value: Option<Vec<u8>>,
+    /// Creators of versions newer than the visible one (see
+    /// [`VisibleRead::newer_creators`]).
+    pub newer_creators: Vec<TxnId>,
+    /// Commit timestamp of the version that was read (see
+    /// [`VisibleRead::read_version_ts`]).
+    pub read_version_ts: Option<Timestamp>,
+    /// True if the visible version was the reader's own uncommitted write
+    /// (see [`VisibleRead::read_own_write`]).
+    pub read_own_write: bool,
+}
+
+/// An ordered multi-version table.
+pub struct Table {
+    id: TableId,
+    name: String,
+    rows: RwLock<BTreeMap<Vec<u8>, Vec<Arc<Version>>>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: TableId, name: impl Into<String>) -> Self {
+        Table {
+            id,
+            name: name.into(),
+            rows: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Table identifier.
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of keys with at least one version (including tombstoned keys).
+    pub fn key_count(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    fn read_chain(
+        chain: &[Arc<Version>],
+        reader: TxnId,
+        snapshot_ts: Timestamp,
+    ) -> (Option<Vec<u8>>, Vec<TxnId>, Option<Timestamp>, bool) {
+        let mut newer = Vec::new();
+        for v in chain.iter() {
+            if v.state() == VersionState::Aborted {
+                continue;
+            }
+            if v.visible_to(reader, snapshot_ts) {
+                let value = v.value().map(|b| b.to_vec());
+                return (value, newer, v.commit_ts(), v.creator() == reader);
+            }
+            // Not visible: it is newer than whatever we will end up reading.
+            newer.push(v.creator());
+        }
+        (None, newer, None, false)
+    }
+
+    /// Snapshot read of `key` as of `snapshot_ts` on behalf of `reader`.
+    pub fn read(&self, key: &[u8], reader: TxnId, snapshot_ts: Timestamp) -> VisibleRead {
+        let rows = self.rows.read();
+        match rows.get(key) {
+            None => VisibleRead::default(),
+            Some(chain) => {
+                let (value, newer_creators, read_version_ts, read_own_write) =
+                    Self::read_chain(chain, reader, snapshot_ts);
+                VisibleRead {
+                    value,
+                    newer_creators,
+                    newest_committed_ts: Self::newest_committed_in(chain),
+                    key_exists: chain.iter().any(|v| v.state() != VersionState::Aborted),
+                    read_version_ts,
+                    read_own_write,
+                }
+            }
+        }
+    }
+
+    /// Read-committed read: latest committed value (or the reader's own
+    /// uncommitted write).
+    pub fn read_latest_committed(&self, key: &[u8], reader: TxnId) -> Option<Vec<u8>> {
+        let rows = self.rows.read();
+        let chain = rows.get(key)?;
+        for v in chain.iter() {
+            if v.visible_to_read_committed(reader) {
+                return v.value().map(|b| b.to_vec());
+            }
+        }
+        None
+    }
+
+    fn newest_committed_in(chain: &[Arc<Version>]) -> Option<Timestamp> {
+        chain.iter().filter_map(|v| v.commit_ts()).max()
+    }
+
+    /// Commit timestamp of the newest committed version of `key`, if any.
+    pub fn newest_committed_ts(&self, key: &[u8]) -> Option<Timestamp> {
+        let rows = self.rows.read();
+        rows.get(key).and_then(|c| Self::newest_committed_in(c))
+    }
+
+    /// True if the key has any non-aborted version (committed or not,
+    /// tombstone or not). Used to distinguish inserts from updates when
+    /// deciding whether gap locks are needed.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        let rows = self.rows.read();
+        rows.get(key)
+            .map(|c| c.iter().any(|v| v.state() != VersionState::Aborted))
+            .unwrap_or(false)
+    }
+
+    /// Installs a new uncommitted version of `key` (a value or, when `value`
+    /// is `None`, a deletion tombstone) created by `creator`, and returns a
+    /// handle the caller keeps in its write set for later commit stamping or
+    /// rollback.
+    pub fn install_version(
+        &self,
+        key: &[u8],
+        creator: TxnId,
+        value: Option<Vec<u8>>,
+    ) -> Arc<Version> {
+        let version = Arc::new(Version::new(creator, value));
+        let mut rows = self.rows.write();
+        rows.entry(key.to_vec())
+            .or_default()
+            .insert(0, version.clone());
+        version
+    }
+
+    /// Unlinks a version previously installed with [`Table::install_version`]
+    /// (rollback path). The version should already be marked aborted.
+    pub fn unlink_version(&self, key: &[u8], version: &Arc<Version>) {
+        let mut rows = self.rows.write();
+        if let Some(chain) = rows.get_mut(key) {
+            chain.retain(|v| !Arc::ptr_eq(v, version));
+            if chain.is_empty() {
+                rows.remove(key);
+            }
+        }
+    }
+
+    /// Snapshot range scan. Returns one [`ScanEntry`] per key in the range
+    /// that has any non-aborted version, *including* keys whose visible
+    /// version is a tombstone or that have no visible version at all —
+    /// Serializable SI needs those entries to register rw-conflicts with the
+    /// concurrent writers that created the newer versions.
+    pub fn scan(
+        &self,
+        lower: Bound<&[u8]>,
+        upper: Bound<&[u8]>,
+        reader: TxnId,
+        snapshot_ts: Timestamp,
+    ) -> Vec<ScanEntry> {
+        let rows = self.rows.read();
+        let mut out = Vec::new();
+        for (key, chain) in rows.range::<[u8], _>((lower, upper)) {
+            if chain.iter().all(|v| v.state() == VersionState::Aborted) {
+                continue;
+            }
+            let (value, newer_creators, read_version_ts, read_own_write) =
+                Self::read_chain(chain, reader, snapshot_ts);
+            out.push(ScanEntry {
+                key: key.clone(),
+                value,
+                newer_creators,
+                read_version_ts,
+                read_own_write,
+            });
+        }
+        out
+    }
+
+    /// Smallest key `>= key` present in the table (used by insert/delete gap
+    /// locking: the lock target is the key *after* the one being modified).
+    pub fn next_key_at_or_after(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let rows = self.rows.read();
+        rows.range::<[u8], _>((Bound::Included(key), Bound::Unbounded))
+            .next()
+            .map(|(k, _)| k.clone())
+    }
+
+    /// Smallest key strictly greater than `key`.
+    pub fn next_key_after(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let rows = self.rows.read();
+        rows.range::<[u8], _>((Bound::Excluded(key), Bound::Unbounded))
+            .next()
+            .map(|(k, _)| k.clone())
+    }
+
+    /// All keys in the given range (used by tests and the verifier).
+    pub fn keys_in_range(&self, lower: Bound<&[u8]>, upper: Bound<&[u8]>) -> Vec<Vec<u8>> {
+        let rows = self.rows.read();
+        rows.range::<[u8], _>((lower, upper))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Garbage-collects versions that can no longer be seen by any snapshot
+    /// at or after `oldest_active_snapshot`: for each key the newest version
+    /// committed at or before the horizon is kept, everything older is
+    /// dropped, and fully dead keys (only an old tombstone left) are removed.
+    /// Returns the number of versions reclaimed.
+    pub fn purge_versions(&self, oldest_active_snapshot: Timestamp) -> usize {
+        let mut rows = self.rows.write();
+        let mut reclaimed = 0;
+        let mut dead_keys = Vec::new();
+        for (key, chain) in rows.iter_mut() {
+            // Position of the newest version committed at or before the
+            // horizon; everything after it (older) is unreachable.
+            let mut keep_upto = None;
+            for (i, v) in chain.iter().enumerate() {
+                match v.state() {
+                    VersionState::Committed(ts) if ts <= oldest_active_snapshot => {
+                        keep_upto = Some(i);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(idx) = keep_upto {
+                reclaimed += chain.len() - (idx + 1);
+                chain.truncate(idx + 1);
+                // If the only remaining reachable version is a tombstone and
+                // nothing newer exists, the key is gone for good.
+                if chain.len() == 1 && chain[0].is_tombstone() {
+                    if let VersionState::Committed(ts) = chain[0].state() {
+                        if ts <= oldest_active_snapshot {
+                            reclaimed += 1;
+                            dead_keys.push(key.clone());
+                        }
+                    }
+                }
+            }
+            // Also drop aborted leftovers.
+            let before = chain.len();
+            chain.retain(|v| v.state() != VersionState::Aborted);
+            reclaimed += before - chain.len();
+        }
+        for key in dead_keys {
+            rows.remove(&key);
+        }
+        reclaimed
+    }
+
+    /// Total number of versions stored (all chains), for tests and stats.
+    pub fn version_count(&self) -> usize {
+        self.rows.read().values().map(|c| c.len()).sum()
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("keys", &self.key_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64) -> TxnId {
+        TxnId(id)
+    }
+
+    fn table() -> Table {
+        Table::new(TableId(1), "test")
+    }
+
+    #[test]
+    fn empty_read() {
+        let tbl = table();
+        let r = tbl.read(b"a", t(1), 10);
+        assert!(r.value.is_none());
+        assert!(!r.key_exists);
+        assert!(r.newer_creators.is_empty());
+        assert_eq!(r.newest_committed_ts, None);
+    }
+
+    #[test]
+    fn own_uncommitted_write_is_visible_to_creator_only() {
+        let tbl = table();
+        tbl.install_version(b"a", t(1), Some(vec![1]));
+        let mine = tbl.read(b"a", t(1), 5);
+        assert_eq!(mine.value, Some(vec![1]));
+        let theirs = tbl.read(b"a", t(2), 5);
+        assert_eq!(theirs.value, None);
+        assert_eq!(theirs.newer_creators, vec![t(1)]);
+        assert!(theirs.key_exists);
+    }
+
+    #[test]
+    fn committed_version_respects_snapshot() {
+        let tbl = table();
+        let v = tbl.install_version(b"a", t(1), Some(vec![1]));
+        v.mark_committed(10);
+        assert_eq!(tbl.read(b"a", t(2), 10).value, Some(vec![1]));
+        assert_eq!(tbl.read(b"a", t(2), 9).value, None);
+        assert_eq!(tbl.read(b"a", t(2), 9).newer_creators, vec![t(1)]);
+        assert_eq!(tbl.newest_committed_ts(b"a"), Some(10));
+    }
+
+    #[test]
+    fn snapshot_reads_older_version_and_reports_newer_creator() {
+        let tbl = table();
+        let v1 = tbl.install_version(b"a", t(1), Some(vec![1]));
+        v1.mark_committed(10);
+        let v2 = tbl.install_version(b"a", t(2), Some(vec![2]));
+        v2.mark_committed(20);
+        // A reader with snapshot 15 sees version 1 and learns that T2 wrote a
+        // newer version — exactly the rw-dependency signal of Fig. 3.4.
+        let r = tbl.read(b"a", t(3), 15);
+        assert_eq!(r.value, Some(vec![1]));
+        assert_eq!(r.newer_creators, vec![t(2)]);
+        assert_eq!(r.newest_committed_ts, Some(20));
+        // A reader with snapshot 25 sees version 2 with no newer versions.
+        let r2 = tbl.read(b"a", t(3), 25);
+        assert_eq!(r2.value, Some(vec![2]));
+        assert!(r2.newer_creators.is_empty());
+    }
+
+    #[test]
+    fn tombstone_hides_row_from_new_snapshots() {
+        let tbl = table();
+        let v1 = tbl.install_version(b"a", t(1), Some(vec![1]));
+        v1.mark_committed(10);
+        let del = tbl.install_version(b"a", t(2), None);
+        del.mark_committed(20);
+        assert_eq!(tbl.read(b"a", t(3), 15).value, Some(vec![1]));
+        assert_eq!(tbl.read(b"a", t(3), 25).value, None);
+        // The key still exists (with a tombstone) so scans can detect the
+        // conflict for old snapshots.
+        assert!(tbl.read(b"a", t(3), 25).key_exists);
+    }
+
+    #[test]
+    fn abort_unlinks_version() {
+        let tbl = table();
+        let v = tbl.install_version(b"a", t(1), Some(vec![1]));
+        v.mark_aborted();
+        tbl.unlink_version(b"a", &v);
+        let r = tbl.read(b"a", t(1), 100);
+        assert!(r.value.is_none());
+        assert!(!r.key_exists);
+        assert_eq!(tbl.key_count(), 0);
+    }
+
+    #[test]
+    fn read_latest_committed_ignores_snapshot() {
+        let tbl = table();
+        let v1 = tbl.install_version(b"a", t(1), Some(vec![1]));
+        v1.mark_committed(10);
+        let v2 = tbl.install_version(b"a", t(2), Some(vec![2]));
+        v2.mark_committed(20);
+        assert_eq!(tbl.read_latest_committed(b"a", t(9)), Some(vec![2]));
+        // Own uncommitted write wins.
+        tbl.install_version(b"a", t(9), Some(vec![9]));
+        assert_eq!(tbl.read_latest_committed(b"a", t(9)), Some(vec![9]));
+    }
+
+    #[test]
+    fn scan_returns_rows_in_key_order_with_conflict_info() {
+        let tbl = table();
+        for (k, ts) in [(b"a", 10u64), (b"c", 10), (b"e", 10)] {
+            let v = tbl.install_version(k, t(1), Some(k.to_vec()));
+            v.mark_committed(ts);
+        }
+        // A concurrent insert not visible to snapshot 10.
+        let v = tbl.install_version(b"b", t(5), Some(vec![0xb]));
+        v.mark_committed(20);
+
+        let entries = tbl.scan(Bound::Unbounded, Bound::Unbounded, t(3), 10);
+        let keys: Vec<&[u8]> = entries.iter().map(|e| e.key.as_slice()).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"b", b"c", b"e"]);
+        // "b" has no visible value but reports its creator as a conflict.
+        let b_entry = &entries[1];
+        assert!(b_entry.value.is_none());
+        assert_eq!(b_entry.newer_creators, vec![t(5)]);
+    }
+
+    #[test]
+    fn scan_bounds_are_respected() {
+        let tbl = table();
+        for k in [b"a", b"b", b"c", b"d"] {
+            let v = tbl.install_version(k, t(1), Some(vec![1]));
+            v.mark_committed(5);
+        }
+        let entries = tbl.scan(
+            Bound::Included(b"b".as_slice()),
+            Bound::Excluded(b"d".as_slice()),
+            t(2),
+            10,
+        );
+        let keys: Vec<&[u8]> = entries.iter().map(|e| e.key.as_slice()).collect();
+        assert_eq!(keys, vec![b"b" as &[u8], b"c"]);
+    }
+
+    #[test]
+    fn next_key_queries() {
+        let tbl = table();
+        for k in [b"b", b"d", b"f"] {
+            let v = tbl.install_version(k, t(1), Some(vec![1]));
+            v.mark_committed(5);
+        }
+        assert_eq!(tbl.next_key_at_or_after(b"d"), Some(b"d".to_vec()));
+        assert_eq!(tbl.next_key_after(b"d"), Some(b"f".to_vec()));
+        assert_eq!(tbl.next_key_at_or_after(b"c"), Some(b"d".to_vec()));
+        assert_eq!(tbl.next_key_after(b"f"), None);
+        assert_eq!(tbl.next_key_at_or_after(b"g"), None);
+    }
+
+    #[test]
+    fn purge_reclaims_old_versions_and_dead_tombstones() {
+        let tbl = table();
+        let v1 = tbl.install_version(b"a", t(1), Some(vec![1]));
+        v1.mark_committed(10);
+        let v2 = tbl.install_version(b"a", t(2), Some(vec![2]));
+        v2.mark_committed(20);
+        let v3 = tbl.install_version(b"a", t(3), Some(vec![3]));
+        v3.mark_committed(30);
+        let d = tbl.install_version(b"b", t(4), None);
+        d.mark_committed(15);
+
+        // Oldest active snapshot is 25: version 1 is unreachable, the "b"
+        // tombstone is dead.
+        let reclaimed = tbl.purge_versions(25);
+        assert!(reclaimed >= 2, "reclaimed {reclaimed}");
+        assert_eq!(tbl.read(b"a", t(9), 25).value, Some(vec![2]));
+        assert_eq!(tbl.read(b"a", t(9), 35).value, Some(vec![3]));
+        assert_eq!(tbl.key_count(), 1);
+    }
+
+    #[test]
+    fn version_count_tracks_installs() {
+        let tbl = table();
+        assert_eq!(tbl.version_count(), 0);
+        tbl.install_version(b"a", t(1), Some(vec![1]));
+        tbl.install_version(b"a", t(2), Some(vec![2]));
+        tbl.install_version(b"b", t(1), Some(vec![3]));
+        assert_eq!(tbl.version_count(), 3);
+        assert_eq!(tbl.key_count(), 2);
+    }
+}

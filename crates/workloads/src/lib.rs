@@ -1,0 +1,28 @@
+//! Benchmark workloads from the paper's evaluation (Chapter 5) and the
+//! multi-threaded driver used to measure them (Chapter 6).
+//!
+//! Three workloads are provided:
+//!
+//! * [`smallbank`] — the SmallBank banking mix (Alomari et al. 2008),
+//!   whose static dependency graph contains a dangerous structure, so plain
+//!   SI can corrupt its invariants (Sec. 2.8.2, 5.1);
+//! * [`sibench`] — the thesis' new microbenchmark: one table, a min-value
+//!   query and a random increment update, designed to isolate the cost of
+//!   read-write conflict handling (Sec. 5.2);
+//! * [`tpcc`] — TPC-C++: TPC-C plus the Credit Check transaction that makes
+//!   the mix non-serializable under SI (Sec. 5.3).
+//!
+//! The [`driver`] runs any of them at a given multiprogramming level (MPL)
+//! against a [`ssi_core::Database`] and reports commits/second and aborts per
+//! commit broken down by cause, which is exactly what the thesis' figures
+//! plot.
+
+pub mod driver;
+pub mod sibench;
+pub mod smallbank;
+pub mod tpcc;
+
+pub use driver::{run_workload, RunConfig, Workload};
+pub use sibench::SiBench;
+pub use smallbank::SmallBank;
+pub use tpcc::{TpccConfig, TpccWorkload};

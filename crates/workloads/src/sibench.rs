@@ -1,0 +1,189 @@
+//! The `sibench` microbenchmark (Sec. 5.2 of the thesis).
+//!
+//! One table of `items` rows `(id, value)`. Two transaction types:
+//!
+//! * **query** — return the id with the smallest value. The engine must
+//!   examine every row (a full scan plus a small amount of CPU work), but the
+//!   result is tiny, so the benchmark isolates concurrency-control cost from
+//!   data-transfer cost;
+//! * **update** — increment the value of one uniformly chosen row. The
+//!   update uses a locking read (`get_for_update`), so — thanks to the
+//!   deferred-snapshot optimization of Sec. 4.5 — concurrent updates block on
+//!   the row lock instead of aborting under first-committer-wins.
+//!
+//! The static dependency graph has a single rw edge (query → update), so no
+//! deadlocks, no write skew and no unsafe aborts are expected; the benchmark
+//! purely measures how each concurrency-control algorithm handles read-write
+//! conflicts (blocking for S2PL, nothing for SI, SIREAD bookkeeping for SSI).
+
+use std::ops::Bound;
+
+use ssi_common::encoding::{decode_i64, encode_i64};
+use ssi_common::rng::WorkloadRng;
+use ssi_common::Error;
+use ssi_core::{Database, TableRef};
+
+use crate::driver::Workload;
+
+/// Transaction-type index of the query.
+pub const TXN_QUERY: usize = 0;
+/// Transaction-type index of the update.
+pub const TXN_UPDATE: usize = 1;
+
+/// The sibench workload bound to its table.
+pub struct SiBench {
+    table: TableRef,
+    items: u64,
+    /// Number of query transactions issued per update transaction
+    /// (1 for the mixed workload of Sec. 6.3.1, 10 for the query-mostly
+    /// workloads of Sec. 6.3.2).
+    queries_per_update: u32,
+}
+
+fn item_key(id: u64) -> [u8; 8] {
+    id.to_be_bytes()
+}
+
+impl SiBench {
+    /// Creates the `sibench` table with `items` rows of value 0.
+    pub fn setup(db: &Database, items: u64, queries_per_update: u32) -> Self {
+        let table = db.create_table("sibench").unwrap();
+        let mut txn = db.begin();
+        for id in 0..items {
+            txn.put(&table, &item_key(id), &encode_i64(0)).unwrap();
+        }
+        txn.commit().unwrap();
+        SiBench {
+            table,
+            items,
+            queries_per_update,
+        }
+    }
+
+    /// Number of rows in the table.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// The query transaction: id of the row with the smallest value.
+    pub fn query_min(&self, db: &Database) -> Result<Option<u64>, Error> {
+        let mut txn = db.begin_read_only();
+        let rows = txn.scan(&self.table, Bound::Unbounded, Bound::Unbounded)?;
+        let min = rows
+            .iter()
+            .min_by_key(|(_, v)| decode_i64(v))
+            .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()));
+        txn.commit()?;
+        Ok(min)
+    }
+
+    /// The update transaction: increment one row's value.
+    pub fn update_row(&self, db: &Database, id: u64) -> Result<(), Error> {
+        let mut txn = db.begin();
+        let key = item_key(id);
+        let current = txn
+            .get_for_update(&self.table, &key)?
+            .map(|v| decode_i64(&v))
+            .unwrap_or(0);
+        txn.put(&self.table, &key, &encode_i64(current + 1))?;
+        txn.commit()
+    }
+
+    /// Sum of all values; equals the number of committed updates.
+    pub fn total_value(&self, db: &Database) -> i64 {
+        let mut txn = db.begin();
+        let rows = txn
+            .scan(&self.table, Bound::Unbounded, Bound::Unbounded)
+            .unwrap();
+        let total = rows.iter().map(|(_, v)| decode_i64(v)).sum();
+        txn.commit().unwrap();
+        total
+    }
+}
+
+impl Workload for SiBench {
+    fn name(&self) -> &str {
+        "sibench"
+    }
+
+    fn transaction_types(&self) -> usize {
+        2
+    }
+
+    fn transaction_type_name(&self, ty: usize) -> &'static str {
+        match ty {
+            TXN_QUERY => "query",
+            _ => "update",
+        }
+    }
+
+    fn execute_one(&self, db: &Database, rng: &mut WorkloadRng) -> (usize, Result<(), Error>) {
+        let q = self.queries_per_update as u64;
+        let is_query = rng.uniform(0, q) < q; // q of (q+1) slots are queries
+        if is_query {
+            (TXN_QUERY, self.query_min(db).map(|_| ()))
+        } else {
+            let id = rng.uniform(0, self.items - 1);
+            (TXN_UPDATE, self.update_row(db, id))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, RunConfig};
+    use ssi_common::IsolationLevel;
+    use ssi_core::Options;
+    use std::time::Duration;
+
+    #[test]
+    fn setup_and_query() {
+        let db = Database::open(Options::default());
+        let bench = SiBench::setup(&db, 10, 1);
+        assert_eq!(bench.items(), 10);
+        // All values are zero, the minimum is the smallest id.
+        assert_eq!(bench.query_min(&db).unwrap(), Some(0));
+        assert_eq!(bench.total_value(&db), 0);
+    }
+
+    #[test]
+    fn updates_move_the_minimum() {
+        let db = Database::open(Options::default());
+        let bench = SiBench::setup(&db, 3, 1);
+        bench.update_row(&db, 0).unwrap();
+        bench.update_row(&db, 0).unwrap();
+        bench.update_row(&db, 1).unwrap();
+        // Row 2 was never updated and now has the smallest value.
+        assert_eq!(bench.query_min(&db).unwrap(), Some(2));
+        assert_eq!(bench.total_value(&db), 3);
+    }
+
+    #[test]
+    fn no_aborts_expected_under_any_level() {
+        // Sec. 5.2: only a single rw edge exists, so no deadlocks, FCW
+        // conflicts or unsafe aborts should occur (updates block, not
+        // abort). Verify for all three evaluated levels.
+        for level in IsolationLevel::evaluated() {
+            let db = Database::open(Options::default().with_isolation(level));
+            let bench = SiBench::setup(&db, 10, 1);
+            let stats = run_workload(
+                &db,
+                &bench,
+                &RunConfig {
+                    mpl: 4,
+                    warmup: Duration::from_millis(20),
+                    duration: Duration::from_millis(250),
+                    seed: 11,
+                },
+            );
+            assert!(stats.commits > 0, "{level}: no commits");
+            assert_eq!(
+                stats.cc_aborts(),
+                0,
+                "{level}: unexpected aborts {:?}",
+                stats.aborts
+            );
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Initial population of the TPC-C++ database.
+//!
+//! The population follows the TPC-C rules in shape (cardinalities per
+//! Fig. 2.7, customer last names from the syllable table, roughly 30% of the
+//! pre-loaded orders still undelivered) while keeping row payloads compact.
+//! Loading batches rows into moderately sized transactions so that even the
+//! standard scale loads in a reasonable time.
+
+use ssi_common::encoding::KeyBuilder;
+use ssi_common::rng::{tpcc_last_name, WorkloadRng};
+use ssi_core::{Database, Transaction};
+
+use super::schema::*;
+use super::TpccWorkload;
+
+/// Rows per loading transaction.
+const BATCH: usize = 2000;
+
+struct Batcher<'a> {
+    db: &'a Database,
+    txn: Option<Transaction>,
+    pending: usize,
+}
+
+impl<'a> Batcher<'a> {
+    fn new(db: &'a Database) -> Self {
+        Batcher {
+            db,
+            txn: Some(db.begin()),
+            pending: 0,
+        }
+    }
+
+    fn put(&mut self, table: &ssi_core::TableRef, key: &[u8], value: &[u8]) {
+        self.txn
+            .as_mut()
+            .expect("loader transaction open")
+            .put(table, key, value)
+            .expect("load put");
+        self.pending += 1;
+        if self.pending >= BATCH {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            txn.commit().expect("load commit");
+        }
+        self.txn = Some(self.db.begin());
+        self.pending = 0;
+    }
+
+    fn finish(mut self) {
+        if let Some(txn) = self.txn.take() {
+            txn.commit().expect("final load commit");
+        }
+    }
+}
+
+/// Loads the initial population for `workload` into `db`.
+pub fn load(db: &Database, workload: &TpccWorkload) {
+    let scale = &workload.config.scale;
+    let tables = &workload.tables;
+    let mut rng = WorkloadRng::new(0xC0FFEE);
+    let mut batcher = Batcher::new(db);
+
+    // Items are global (shared by all warehouses).
+    for i in 1..=scale.items {
+        let item = Item {
+            price: rng.uniform(100, 10_000) as i64,
+            name: format!("item-{i}"),
+        };
+        batcher.put(&tables.item, &item_key(i), &item.encode());
+    }
+
+    for w in 1..=scale.warehouses {
+        batcher.put(
+            &tables.warehouse,
+            &warehouse_key(w),
+            &Warehouse { ytd: 0 }.encode(),
+        );
+
+        // Stock for every item in this warehouse.
+        for i in 1..=scale.items {
+            let stock = Stock {
+                quantity: rng.uniform(10, 100) as i64,
+                ytd: 0,
+                order_cnt: 0,
+                remote_cnt: 0,
+            };
+            batcher.put(&tables.stock, &stock_key(w, i), &stock.encode());
+        }
+
+        for d in 1..=scale.districts_per_warehouse {
+            let district = District {
+                next_o_id: scale.initial_orders_per_district + 1,
+                ytd: 0,
+                tax: rng.uniform(0, 2000) as u32,
+            };
+            batcher.put(&tables.district, &district_key(w, d), &district.encode());
+
+            // Customers and the last-name index.
+            for c in 1..=scale.customers_per_district {
+                let last = tpcc_last_name(if c <= 1000 { (c - 1) as u64 } else { rng.nurand_name() });
+                let customer = Customer {
+                    balance: -1000,
+                    ytd_payment: 1000,
+                    payment_cnt: 1,
+                    credit_lim: 5_000_000,
+                    discount: rng.uniform(0, 5000) as u32,
+                    credit: if rng.chance(0.10) { "BC" } else { "GC" }.to_string(),
+                    last: last.clone(),
+                    first: format!("first{c}"),
+                    data: "c".repeat(50),
+                };
+                batcher.put(
+                    &tables.customer,
+                    &customer_key(w, d, c),
+                    &customer.encode(),
+                );
+                batcher.put(
+                    &tables.customer_name_idx,
+                    &customer_name_key(w, d, &last, c),
+                    &KeyBuilder::new().u32(c).build(),
+                );
+            }
+
+            // Pre-loaded orders: one per customer in a random permutation,
+            // the most recent ~30% still undelivered.
+            let orders = scale.initial_orders_per_district;
+            let delivered_upto = orders - orders * 3 / 10;
+            for o in 1..=orders {
+                let c_id = rng.uniform(1, scale.customers_per_district as u64) as u32;
+                let ol_cnt = rng.uniform(5, 15) as u32;
+                let delivered = o <= delivered_upto;
+                let order = Order {
+                    c_id,
+                    entry_d: o as u64,
+                    carrier_id: if delivered {
+                        rng.uniform(1, 10) as u32
+                    } else {
+                        0
+                    },
+                    ol_cnt,
+                };
+                batcher.put(&tables.orders, &order_key(w, d, o), &order.encode());
+                batcher.put(
+                    &tables.order_customer_idx,
+                    &order_customer_key(w, d, c_id, o),
+                    &[],
+                );
+                if !delivered {
+                    batcher.put(&tables.new_order, &new_order_key(w, d, o), &[]);
+                }
+                for ol in 1..=ol_cnt {
+                    let line = OrderLine {
+                        i_id: rng.uniform(1, scale.items as u64) as u32,
+                        supply_w_id: w,
+                        quantity: 5,
+                        amount: if delivered {
+                            rng.uniform(1, 999_999) as i64
+                        } else {
+                            0
+                        },
+                        delivery_d: if delivered { o as u64 } else { 0 },
+                    };
+                    batcher.put(
+                        &tables.order_line,
+                        &order_line_key(w, d, o, ol),
+                        &line.encode(),
+                    );
+                }
+            }
+            batcher.flush();
+        }
+    }
+    batcher.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ScaleFactor, TpccConfig, TpccWorkload};
+    use ssi_core::{Database, Options};
+
+    #[test]
+    fn test_scale_population_has_expected_cardinalities() {
+        let db = Database::open(Options::default());
+        let scale = ScaleFactor::test_scale(2);
+        let workload = TpccWorkload::setup(&db, TpccConfig::new(scale));
+        let t = &workload.tables;
+        assert_eq!(t.warehouse.key_count(), 2);
+        assert_eq!(t.district.key_count(), 2 * 2);
+        assert_eq!(t.customer.key_count(), 2 * 2 * 20);
+        assert_eq!(t.customer_name_idx.key_count(), 2 * 2 * 20);
+        assert_eq!(t.item.key_count(), 50);
+        assert_eq!(t.stock.key_count(), 2 * 50);
+        assert_eq!(t.orders.key_count(), 2 * 2 * 20);
+        assert_eq!(t.order_customer_idx.key_count(), 2 * 2 * 20);
+        // 30% of 20 orders per district are undelivered.
+        assert_eq!(t.new_order.key_count(), 2 * 2 * 6);
+        // 5..=15 lines per order.
+        let lines = t.order_line.key_count();
+        assert!(lines >= 2 * 2 * 20 * 5 && lines <= 2 * 2 * 20 * 15);
+    }
+}

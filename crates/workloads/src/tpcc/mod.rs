@@ -1,0 +1,331 @@
+//! TPC-C++ — the thesis' modification of TPC-C (Sec. 5.3).
+//!
+//! Standard TPC-C is serializable under plain snapshot isolation (Fekete et
+//! al. 2005), so it cannot show what providing true serializability costs.
+//! TPC-C++ keeps the TPC-C schema and the five standard transactions and adds
+//! a sixth, **Credit Check**, which reads a customer's balance and
+//! undelivered orders and updates the customer's credit rating. The new
+//! transaction turns the static dependency graph of Fig. 5.3 into one with
+//! two pivots (New Order and Credit Check), so the mix can produce
+//! non-serializable executions under SI (Example 5 of the thesis).
+//!
+//! Simplifications relative to the full TPC-C specification follow
+//! Sec. 5.3.1: no terminal emulation or think times, no History table, total
+//! throughput (all transaction types) is reported instead of tpmC, the
+//! warehouse tax is treated as client-cached, and the year-to-date columns
+//! of Warehouse/District can optionally be skipped (`skip_ytd_updates`) to
+//! remove the deliberate write hotspot. Delivery processes one district per
+//! transaction (the "one order per transaction" reading noted in the TPC-C
+//! description quoted in Sec. 2.8.1).
+
+pub mod loader;
+pub mod schema;
+pub mod transactions;
+
+use ssi_common::rng::WorkloadRng;
+use ssi_common::Error;
+use ssi_core::{Database, TableRef};
+
+use crate::driver::Workload;
+
+/// Transaction-type indexes used in driver reports.
+pub const TXN_NEW_ORDER: usize = 0;
+/// Payment.
+pub const TXN_PAYMENT: usize = 1;
+/// Order Status (read-only).
+pub const TXN_ORDER_STATUS: usize = 2;
+/// Delivery.
+pub const TXN_DELIVERY: usize = 3;
+/// Stock Level (read-only).
+pub const TXN_STOCK_LEVEL: usize = 4;
+/// Credit Check (the TPC-C++ addition).
+pub const TXN_CREDIT_CHECK: usize = 5;
+
+/// Data-scaling parameters (Sec. 5.3.6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScaleFactor {
+    /// Number of warehouses (the TPC-C scaling knob `W`).
+    pub warehouses: u32,
+    /// Districts per warehouse (10 in the specification).
+    pub districts_per_warehouse: u32,
+    /// Customers per district (3000 standard, 100 in the thesis' "tiny"
+    /// scale).
+    pub customers_per_district: u32,
+    /// Number of distinct items (100 000 standard, 1000 tiny).
+    pub items: u32,
+    /// Orders pre-loaded per district (equal to customers in the standard
+    /// population).
+    pub initial_orders_per_district: u32,
+}
+
+impl ScaleFactor {
+    /// Standard TPC-C scaling for `w` warehouses.
+    pub fn standard(warehouses: u32) -> Self {
+        ScaleFactor {
+            warehouses,
+            districts_per_warehouse: 10,
+            customers_per_district: 3000,
+            items: 100_000,
+            initial_orders_per_district: 3000,
+        }
+    }
+
+    /// The thesis' "tiny" scaling (Sec. 5.3.6): customers divided by 30,
+    /// items divided by 100, so contention can be studied while everything
+    /// stays in memory.
+    pub fn tiny(warehouses: u32) -> Self {
+        ScaleFactor {
+            warehouses,
+            districts_per_warehouse: 10,
+            customers_per_district: 100,
+            items: 1000,
+            initial_orders_per_district: 100,
+        }
+    }
+
+    /// A miniature scale for unit tests and smoke runs (not part of the
+    /// thesis; loads in milliseconds).
+    pub fn test_scale(warehouses: u32) -> Self {
+        ScaleFactor {
+            warehouses,
+            districts_per_warehouse: 2,
+            customers_per_district: 20,
+            items: 50,
+            initial_orders_per_district: 20,
+        }
+    }
+
+    /// Approximate number of rows the initial population will create.
+    pub fn approximate_rows(&self) -> u64 {
+        let w = self.warehouses as u64;
+        let d = w * self.districts_per_warehouse as u64;
+        let c = d * self.customers_per_district as u64;
+        let o = d * self.initial_orders_per_district as u64;
+        // warehouse + district + customer (+ name index) + orders (+ cust
+        // index) + ~10 lines per order + new-order for 30% + stock + items.
+        w + d + 2 * c + 2 * o + 10 * o + o / 3 + w * self.items as u64 + self.items as u64
+    }
+}
+
+/// Workload configuration.
+#[derive(Clone, Debug)]
+pub struct TpccConfig {
+    /// Data scaling.
+    pub scale: ScaleFactor,
+    /// Skip the year-to-date updates of the Warehouse and District tables in
+    /// Payment (Sec. 5.3.1, last bullet): removes a deliberate write
+    /// hotspot that otherwise dominates the results at W=1.
+    pub skip_ytd_updates: bool,
+    /// Use the Stock Level mix (10 Stock Level transactions per New Order,
+    /// Sec. 5.3.5) instead of the standard mix.
+    pub stock_level_mix: bool,
+    /// Fraction of New Order transactions that roll back at the end
+    /// (the spec's 1% "unused item" rollbacks).
+    pub new_order_rollback: f64,
+}
+
+impl TpccConfig {
+    /// Standard-mix configuration at the given scale.
+    pub fn new(scale: ScaleFactor) -> Self {
+        TpccConfig {
+            scale,
+            skip_ytd_updates: false,
+            stock_level_mix: false,
+            new_order_rollback: 0.01,
+        }
+    }
+
+    /// Enables or disables the year-to-date hotspot updates.
+    pub fn with_skip_ytd(mut self, skip: bool) -> Self {
+        self.skip_ytd_updates = skip;
+        self
+    }
+
+    /// Switches to the Stock Level mix.
+    pub fn with_stock_level_mix(mut self) -> Self {
+        self.stock_level_mix = true;
+        self
+    }
+}
+
+/// Table handles used by the transactions.
+pub(crate) struct TpccTables {
+    pub warehouse: TableRef,
+    pub district: TableRef,
+    pub customer: TableRef,
+    pub customer_name_idx: TableRef,
+    pub orders: TableRef,
+    pub order_customer_idx: TableRef,
+    pub new_order: TableRef,
+    pub order_line: TableRef,
+    pub item: TableRef,
+    pub stock: TableRef,
+}
+
+impl TpccTables {
+    fn create(db: &Database) -> Self {
+        let mut refs = Vec::new();
+        for name in schema::TABLE_NAMES {
+            refs.push(db.create_table(name).unwrap());
+        }
+        TpccTables {
+            warehouse: refs[0].clone(),
+            district: refs[1].clone(),
+            customer: refs[2].clone(),
+            customer_name_idx: refs[3].clone(),
+            orders: refs[4].clone(),
+            order_customer_idx: refs[5].clone(),
+            new_order: refs[6].clone(),
+            order_line: refs[7].clone(),
+            item: refs[8].clone(),
+            stock: refs[9].clone(),
+        }
+    }
+}
+
+/// The TPC-C++ workload bound to a database.
+pub struct TpccWorkload {
+    pub(crate) config: TpccConfig,
+    pub(crate) tables: TpccTables,
+}
+
+impl TpccWorkload {
+    /// Creates the schema and loads the initial population.
+    pub fn setup(db: &Database, config: TpccConfig) -> Self {
+        let tables = TpccTables::create(db);
+        let workload = TpccWorkload { config, tables };
+        loader::load(db, &workload);
+        workload
+    }
+
+    /// The workload configuration.
+    pub fn config(&self) -> &TpccConfig {
+        &self.config
+    }
+
+    /// Picks a transaction type according to the configured mix
+    /// (Sec. 5.3.4 / 5.3.5).
+    pub(crate) fn pick_transaction(&self, rng: &mut WorkloadRng) -> usize {
+        if self.config.stock_level_mix {
+            // 10 Stock Level transactions per New Order.
+            if rng.uniform(0, 10) == 0 {
+                TXN_NEW_ORDER
+            } else {
+                TXN_STOCK_LEVEL
+            }
+        } else {
+            // 41% NEWO, 43% PAY, 4% each of OSTAT, DLVY, SLEV, CCHECK.
+            match rng.uniform(0, 99) {
+                0..=40 => TXN_NEW_ORDER,
+                41..=83 => TXN_PAYMENT,
+                84..=87 => TXN_ORDER_STATUS,
+                88..=91 => TXN_DELIVERY,
+                92..=95 => TXN_STOCK_LEVEL,
+                _ => TXN_CREDIT_CHECK,
+            }
+        }
+    }
+}
+
+impl Workload for TpccWorkload {
+    fn name(&self) -> &str {
+        if self.config.stock_level_mix {
+            "tpcc++ (stock-level mix)"
+        } else {
+            "tpcc++"
+        }
+    }
+
+    fn transaction_types(&self) -> usize {
+        6
+    }
+
+    fn transaction_type_name(&self, ty: usize) -> &'static str {
+        match ty {
+            TXN_NEW_ORDER => "NewOrder",
+            TXN_PAYMENT => "Payment",
+            TXN_ORDER_STATUS => "OrderStatus",
+            TXN_DELIVERY => "Delivery",
+            TXN_STOCK_LEVEL => "StockLevel",
+            TXN_CREDIT_CHECK => "CreditCheck",
+            _ => "unknown",
+        }
+    }
+
+    fn execute_one(&self, db: &Database, rng: &mut WorkloadRng) -> (usize, Result<(), Error>) {
+        let ty = self.pick_transaction(rng);
+        let result = match ty {
+            TXN_NEW_ORDER => transactions::new_order(self, db, rng),
+            TXN_PAYMENT => transactions::payment(self, db, rng),
+            TXN_ORDER_STATUS => transactions::order_status(self, db, rng),
+            TXN_DELIVERY => transactions::delivery(self, db, rng),
+            TXN_STOCK_LEVEL => transactions::stock_level(self, db, rng),
+            _ => transactions::credit_check(self, db, rng),
+        };
+        (ty, result)
+    }
+
+    fn check_consistency(&self, db: &Database) -> Option<String> {
+        transactions::consistency_violations(self, db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factors_match_the_thesis_table() {
+        let std1 = ScaleFactor::standard(1);
+        assert_eq!(std1.customers_per_district, 3000);
+        assert_eq!(std1.items, 100_000);
+        let tiny = ScaleFactor::tiny(10);
+        assert_eq!(tiny.customers_per_district, 100);
+        assert_eq!(tiny.items, 1000);
+        assert_eq!(tiny.warehouses, 10);
+        // The thesis' data-volume table: tiny scale is dramatically smaller
+        // than the standard scale for the same warehouse count.
+        assert!(ScaleFactor::standard(10).approximate_rows() > 10 * tiny.approximate_rows());
+    }
+
+    #[test]
+    fn mix_respects_configured_ratios() {
+        let db = Database::open(ssi_core::Options::default());
+        let workload = TpccWorkload::setup(
+            &db,
+            TpccConfig::new(ScaleFactor::test_scale(1)),
+        );
+        let mut rng = WorkloadRng::new(1);
+        let mut counts = [0usize; 6];
+        for _ in 0..10_000 {
+            counts[workload.pick_transaction(&mut rng)] += 1;
+        }
+        let frac = |i: usize| counts[i] as f64 / 10_000.0;
+        assert!((frac(TXN_NEW_ORDER) - 0.41).abs() < 0.03);
+        assert!((frac(TXN_PAYMENT) - 0.43).abs() < 0.03);
+        for ty in [TXN_ORDER_STATUS, TXN_DELIVERY, TXN_STOCK_LEVEL, TXN_CREDIT_CHECK] {
+            assert!((frac(ty) - 0.04).abs() < 0.015, "type {ty}: {}", frac(ty));
+        }
+    }
+
+    #[test]
+    fn stock_level_mix_is_ten_to_one() {
+        let db = Database::open(ssi_core::Options::default());
+        let workload = TpccWorkload::setup(
+            &db,
+            TpccConfig::new(ScaleFactor::test_scale(1)).with_stock_level_mix(),
+        );
+        let mut rng = WorkloadRng::new(2);
+        let mut slev = 0;
+        let mut newo = 0;
+        for _ in 0..11_000 {
+            match workload.pick_transaction(&mut rng) {
+                TXN_STOCK_LEVEL => slev += 1,
+                TXN_NEW_ORDER => newo += 1,
+                other => panic!("unexpected type {other} in stock-level mix"),
+            }
+        }
+        let ratio = slev as f64 / newo as f64;
+        assert!((8.0..12.5).contains(&ratio), "ratio {ratio}");
+    }
+}

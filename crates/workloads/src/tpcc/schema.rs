@@ -1,0 +1,457 @@
+//! TPC-C++ schema: key construction and row encoding.
+//!
+//! The TPC-C tables (Fig. 2.7 of the thesis) are mapped onto ordered
+//! key/value tables with order-preserving composite keys, so that range
+//! scans ("all order lines of order (w, d, o)", "all new orders of district
+//! (w, d)") are contiguous. Rows are encoded with the fixed-layout codec
+//! from `ssi_common::encoding`.
+//!
+//! Two secondary indexes are materialized explicitly, as a storage engine
+//! under a SQL front end would do:
+//!
+//! * `customer_name_idx` — (w, d, last_name, c) → c, used by Payment and
+//!   Order Status when the customer is selected by last name;
+//! * `order_customer_idx` — (w, d, c, o) → (), used by Order Status and the
+//!   TPC-C++ Credit Check to find a customer's orders.
+
+use ssi_common::encoding::{KeyBuilder, ValueReader, ValueWriter};
+
+/// Names of all tables created by the workload.
+pub const TABLE_NAMES: [&str; 10] = [
+    "warehouse",
+    "district",
+    "customer",
+    "customer_name_idx",
+    "orders",
+    "order_customer_idx",
+    "new_order",
+    "order_line",
+    "item",
+    "stock",
+];
+
+// ---------------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------------
+
+/// Key of a warehouse row.
+pub fn warehouse_key(w: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(w).build()
+}
+
+/// Key of a district row.
+pub fn district_key(w: u32, d: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(w).u32(d).build()
+}
+
+/// Key of a customer row.
+pub fn customer_key(w: u32, d: u32, c: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(w).u32(d).u32(c).build()
+}
+
+/// Key of a customer-by-last-name index entry.
+pub fn customer_name_key(w: u32, d: u32, last: &str, c: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(w).u32(d).str(last).u32(c).build()
+}
+
+/// Prefix of all index entries for a given last name.
+pub fn customer_name_prefix(w: u32, d: u32, last: &str) -> Vec<u8> {
+    KeyBuilder::new().u32(w).u32(d).str(last).build()
+}
+
+/// Key of an order row.
+pub fn order_key(w: u32, d: u32, o: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(w).u32(d).u32(o).build()
+}
+
+/// Key of an order-by-customer index entry.
+pub fn order_customer_key(w: u32, d: u32, c: u32, o: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(w).u32(d).u32(c).u32(o).build()
+}
+
+/// Prefix of all order-by-customer index entries of one customer.
+pub fn order_customer_prefix(w: u32, d: u32, c: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(w).u32(d).u32(c).build()
+}
+
+/// Key of a new-order (undelivered order) row.
+pub fn new_order_key(w: u32, d: u32, o: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(w).u32(d).u32(o).build()
+}
+
+/// Prefix of all new-order rows of one district.
+pub fn new_order_prefix(w: u32, d: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(w).u32(d).build()
+}
+
+/// Key of an order-line row.
+pub fn order_line_key(w: u32, d: u32, o: u32, ol: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(w).u32(d).u32(o).u32(ol).build()
+}
+
+/// Prefix of all order lines of one order.
+pub fn order_line_prefix(w: u32, d: u32, o: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(w).u32(d).u32(o).build()
+}
+
+/// Key of an item row.
+pub fn item_key(i: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(i).build()
+}
+
+/// Key of a stock row.
+pub fn stock_key(w: u32, i: u32) -> Vec<u8> {
+    KeyBuilder::new().u32(w).u32(i).build()
+}
+
+// ---------------------------------------------------------------------------
+// Rows
+// ---------------------------------------------------------------------------
+
+/// Warehouse row (the address/name columns are irrelevant to concurrency and
+/// omitted; `w_tax` is treated as client-cached per Sec. 5.3.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Warehouse {
+    /// Year-to-date payment total.
+    pub ytd: i64,
+}
+
+impl Warehouse {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        ValueWriter::new().i64(self.ytd).build()
+    }
+
+    /// Decodes the row.
+    pub fn decode(buf: &[u8]) -> Self {
+        let mut r = ValueReader::new(buf);
+        Warehouse { ytd: r.i64() }
+    }
+}
+
+/// District row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct District {
+    /// Next order number to assign.
+    pub next_o_id: u32,
+    /// Year-to-date payment total.
+    pub ytd: i64,
+    /// District sales tax (scaled by 10 000).
+    pub tax: u32,
+}
+
+impl District {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        ValueWriter::new()
+            .u32(self.next_o_id)
+            .i64(self.ytd)
+            .u32(self.tax)
+            .build()
+    }
+
+    /// Decodes the row.
+    pub fn decode(buf: &[u8]) -> Self {
+        let mut r = ValueReader::new(buf);
+        District {
+            next_o_id: r.u32(),
+            ytd: r.i64(),
+            tax: r.u32(),
+        }
+    }
+}
+
+/// Customer row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Customer {
+    /// Outstanding balance (cents). Grows with deliveries, shrinks with
+    /// payments.
+    pub balance: i64,
+    /// Year-to-date payment total (cents).
+    pub ytd_payment: i64,
+    /// Number of payments made.
+    pub payment_cnt: u32,
+    /// Credit limit (cents).
+    pub credit_lim: i64,
+    /// Discount (scaled by 10 000).
+    pub discount: u32,
+    /// Credit rating: "GC" (good) or "BC" (bad). Written by the TPC-C++
+    /// Credit Check transaction and read by New Order.
+    pub credit: String,
+    /// Last name (syllable-generated per the TPC-C rules).
+    pub last: String,
+    /// First name.
+    pub first: String,
+    /// Miscellaneous data payload.
+    pub data: String,
+}
+
+impl Customer {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        ValueWriter::new()
+            .i64(self.balance)
+            .i64(self.ytd_payment)
+            .u32(self.payment_cnt)
+            .i64(self.credit_lim)
+            .u32(self.discount)
+            .str(&self.credit)
+            .str(&self.last)
+            .str(&self.first)
+            .str(&self.data)
+            .build()
+    }
+
+    /// Decodes the row.
+    pub fn decode(buf: &[u8]) -> Self {
+        let mut r = ValueReader::new(buf);
+        Customer {
+            balance: r.i64(),
+            ytd_payment: r.i64(),
+            payment_cnt: r.u32(),
+            credit_lim: r.i64(),
+            discount: r.u32(),
+            credit: r.str(),
+            last: r.str(),
+            first: r.str(),
+            data: r.str(),
+        }
+    }
+}
+
+/// Order row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Order {
+    /// Ordering customer.
+    pub c_id: u32,
+    /// Entry "date" (logical tick).
+    pub entry_d: u64,
+    /// Carrier assigned at delivery; 0 while undelivered.
+    pub carrier_id: u32,
+    /// Number of order lines.
+    pub ol_cnt: u32,
+}
+
+impl Order {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        ValueWriter::new()
+            .u32(self.c_id)
+            .u64(self.entry_d)
+            .u32(self.carrier_id)
+            .u32(self.ol_cnt)
+            .build()
+    }
+
+    /// Decodes the row.
+    pub fn decode(buf: &[u8]) -> Self {
+        let mut r = ValueReader::new(buf);
+        Order {
+            c_id: r.u32(),
+            entry_d: r.u64(),
+            carrier_id: r.u32(),
+            ol_cnt: r.u32(),
+        }
+    }
+}
+
+/// Order-line row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderLine {
+    /// Ordered item.
+    pub i_id: u32,
+    /// Supplying warehouse.
+    pub supply_w_id: u32,
+    /// Quantity ordered.
+    pub quantity: u32,
+    /// Line amount (cents).
+    pub amount: i64,
+    /// Delivery "date"; 0 while undelivered.
+    pub delivery_d: u64,
+}
+
+impl OrderLine {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        ValueWriter::new()
+            .u32(self.i_id)
+            .u32(self.supply_w_id)
+            .u32(self.quantity)
+            .i64(self.amount)
+            .u64(self.delivery_d)
+            .build()
+    }
+
+    /// Decodes the row.
+    pub fn decode(buf: &[u8]) -> Self {
+        let mut r = ValueReader::new(buf);
+        OrderLine {
+            i_id: r.u32(),
+            supply_w_id: r.u32(),
+            quantity: r.u32(),
+            amount: r.i64(),
+            delivery_d: r.u64(),
+        }
+    }
+}
+
+/// Item row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Item {
+    /// Price in cents.
+    pub price: i64,
+    /// Item name.
+    pub name: String,
+}
+
+impl Item {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        ValueWriter::new().i64(self.price).str(&self.name).build()
+    }
+
+    /// Decodes the row.
+    pub fn decode(buf: &[u8]) -> Self {
+        let mut r = ValueReader::new(buf);
+        Item {
+            price: r.i64(),
+            name: r.str(),
+        }
+    }
+}
+
+/// Stock row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stock {
+    /// Quantity on hand.
+    pub quantity: i64,
+    /// Year-to-date quantity sold.
+    pub ytd: i64,
+    /// Number of orders that touched the item.
+    pub order_cnt: u32,
+    /// Number of remote orders.
+    pub remote_cnt: u32,
+}
+
+impl Stock {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        ValueWriter::new()
+            .i64(self.quantity)
+            .i64(self.ytd)
+            .u32(self.order_cnt)
+            .u32(self.remote_cnt)
+            .build()
+    }
+
+    /// Decodes the row.
+    pub fn decode(buf: &[u8]) -> Self {
+        let mut r = ValueReader::new(buf);
+        Stock {
+            quantity: r.i64(),
+            ytd: r.i64(),
+            order_cnt: r.u32(),
+            remote_cnt: r.u32(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_order_by_components() {
+        assert!(order_key(1, 2, 3) < order_key(1, 2, 4));
+        assert!(order_key(1, 2, 900) < order_key(1, 3, 1));
+        assert!(order_line_key(1, 1, 5, 9) < order_line_key(1, 1, 6, 1));
+        assert!(stock_key(1, 100) < stock_key(2, 1));
+    }
+
+    #[test]
+    fn prefixes_cover_their_keys() {
+        let prefix = order_line_prefix(3, 4, 77);
+        let key = order_line_key(3, 4, 77, 5);
+        assert!(key.starts_with(&prefix));
+        let other = order_line_key(3, 4, 78, 1);
+        assert!(!other.starts_with(&prefix));
+
+        let np = new_order_prefix(2, 9);
+        assert!(new_order_key(2, 9, 1234).starts_with(&np));
+        assert!(!new_order_key(2, 10, 1).starts_with(&np));
+    }
+
+    #[test]
+    fn customer_name_index_orders_by_name_then_id() {
+        let a = customer_name_key(1, 1, "ABLEABLEABLE", 5);
+        let b = customer_name_key(1, 1, "ABLEABLEABLE", 9);
+        let c = customer_name_key(1, 1, "BARBARBAR", 1);
+        assert!(a < b && b < c);
+        assert!(a.starts_with(&customer_name_prefix(1, 1, "ABLEABLEABLE")));
+    }
+
+    #[test]
+    fn row_roundtrips() {
+        let w = Warehouse { ytd: 123_456 };
+        assert_eq!(Warehouse::decode(&w.encode()), w);
+
+        let d = District {
+            next_o_id: 3001,
+            ytd: 999,
+            tax: 1250,
+        };
+        assert_eq!(District::decode(&d.encode()), d);
+
+        let c = Customer {
+            balance: -1000,
+            ytd_payment: 5000,
+            payment_cnt: 3,
+            credit_lim: 50_000,
+            discount: 500,
+            credit: "GC".to_string(),
+            last: "BARBARBAR".to_string(),
+            first: "Alice".to_string(),
+            data: "x".repeat(60),
+        };
+        assert_eq!(Customer::decode(&c.encode()), c);
+
+        let o = Order {
+            c_id: 42,
+            entry_d: 777,
+            carrier_id: 0,
+            ol_cnt: 7,
+        };
+        assert_eq!(Order::decode(&o.encode()), o);
+
+        let ol = OrderLine {
+            i_id: 999,
+            supply_w_id: 2,
+            quantity: 5,
+            amount: 12_345,
+            delivery_d: 0,
+        };
+        assert_eq!(OrderLine::decode(&ol.encode()), ol);
+
+        let i = Item {
+            price: 4_200,
+            name: "widget".to_string(),
+        };
+        assert_eq!(Item::decode(&i.encode()), i);
+
+        let s = Stock {
+            quantity: 91,
+            ytd: 10,
+            order_cnt: 2,
+            remote_cnt: 0,
+        };
+        assert_eq!(Stock::decode(&s.encode()), s);
+    }
+
+    #[test]
+    fn table_name_list_is_complete_and_unique() {
+        let mut names = TABLE_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+}

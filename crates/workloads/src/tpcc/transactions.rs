@@ -1,0 +1,600 @@
+//! The six TPC-C++ transaction programs (Sec. 2.8.1 and 5.3).
+//!
+//! Each program opens its own transaction at the database's default
+//! isolation level (read-only programs use `begin_read_only`, so the mixed
+//! SI/SSI mode of Sec. 3.8 applies when enabled), performs its reads and
+//! writes directly against the key/value tables, and commits. Engine aborts
+//! (deadlock, first-committer-wins, unsafe) propagate to the driver, which
+//! classifies them; the spec-mandated 1% New Order rollback surfaces as a
+//! `UserRequested` abort.
+
+use std::ops::Bound;
+
+use ssi_common::rng::{tpcc_last_name, WorkloadRng};
+use ssi_common::{AbortKind, Error};
+use ssi_core::{Database, Transaction};
+
+use super::schema::*;
+use super::TpccWorkload;
+
+type TxnResult = Result<(), Error>;
+
+fn missing_row(what: &str) -> Error {
+    Error::Internal(format!("missing {what} row in TPC-C population"))
+}
+
+fn u32_from_key_suffix(key: &[u8]) -> u32 {
+    let n = key.len();
+    u32::from_be_bytes(key[n - 4..].try_into().expect("key suffix"))
+}
+
+impl TpccWorkload {
+    fn random_warehouse(&self, rng: &mut WorkloadRng) -> u32 {
+        rng.uniform(1, self.config.scale.warehouses as u64) as u32
+    }
+
+    fn random_district(&self, rng: &mut WorkloadRng) -> u32 {
+        rng.uniform(1, self.config.scale.districts_per_warehouse as u64) as u32
+    }
+
+    fn random_customer(&self, rng: &mut WorkloadRng) -> u32 {
+        rng.nurand_customer(self.config.scale.customers_per_district as u64) as u32
+    }
+
+    /// Selects a customer id, 60% of the time by last name (median match,
+    /// per the TPC-C rules) and 40% by customer number.
+    fn select_customer(
+        &self,
+        txn: &mut Transaction,
+        rng: &mut WorkloadRng,
+        w: u32,
+        d: u32,
+    ) -> Result<u32, Error> {
+        if rng.chance(0.6) {
+            let last = tpcc_last_name(rng.nurand_name());
+            let prefix = customer_name_prefix(w, d, &last);
+            let matches = txn.scan_prefix(&self.tables.customer_name_idx, &prefix)?;
+            if !matches.is_empty() {
+                let median = &matches[matches.len() / 2];
+                return Ok(u32_from_key_suffix(&median.0));
+            }
+        }
+        Ok(self.random_customer(rng))
+    }
+}
+
+/// The New Order transaction: allocate an order number from the district,
+/// decrement stock for each line, insert the order, its lines and a
+/// new-order entry. Reads the customer's credit rating, which is what the
+/// TPC-C++ Credit Check conflicts with (Fig. 5.3).
+pub fn new_order(workload: &TpccWorkload, db: &Database, rng: &mut WorkloadRng) -> TxnResult {
+    let scale = &workload.config.scale;
+    let tables = &workload.tables;
+    let w = workload.random_warehouse(rng);
+    let d = workload.random_district(rng);
+    let c = workload.random_customer(rng);
+
+    let mut txn = db.begin();
+
+    // Customer: discount and, in TPC-C++, the credit rating set by Credit
+    // Check.
+    let customer_buf = txn
+        .get(&tables.customer, &customer_key(w, d, c))?
+        .ok_or_else(|| missing_row("customer"))?;
+    let _customer = Customer::decode(&customer_buf);
+
+    // District: allocate the order number under an exclusive lock.
+    let district_buf = txn
+        .get_for_update(&tables.district, &district_key(w, d))?
+        .ok_or_else(|| missing_row("district"))?;
+    let mut district = District::decode(&district_buf);
+    let o_id = district.next_o_id;
+    district.next_o_id += 1;
+    txn.put(&tables.district, &district_key(w, d), &district.encode())?;
+
+    let ol_cnt = rng.uniform(5, 15) as u32;
+    let rollback = rng.chance(workload.config.new_order_rollback);
+    let mut total = 0i64;
+
+    for ol in 1..=ol_cnt {
+        let i_id = rng.nurand_item(scale.items as u64) as u32;
+        let supply_w = if scale.warehouses > 1 && rng.chance(0.01) {
+            workload.random_warehouse(rng)
+        } else {
+            w
+        };
+        let item_buf = txn
+            .get(&tables.item, &item_key(i_id))?
+            .ok_or_else(|| missing_row("item"))?;
+        let item = Item::decode(&item_buf);
+
+        let stock_buf = txn
+            .get_for_update(&tables.stock, &stock_key(supply_w, i_id))?
+            .ok_or_else(|| missing_row("stock"))?;
+        let mut stock = Stock::decode(&stock_buf);
+        let quantity = rng.uniform(1, 10) as i64;
+        if stock.quantity >= quantity + 10 {
+            stock.quantity -= quantity;
+        } else {
+            stock.quantity += 91 - quantity;
+        }
+        stock.ytd += quantity;
+        stock.order_cnt += 1;
+        if supply_w != w {
+            stock.remote_cnt += 1;
+        }
+        txn.put(&tables.stock, &stock_key(supply_w, i_id), &stock.encode())?;
+
+        let amount = quantity * item.price;
+        total += amount;
+        let line = OrderLine {
+            i_id,
+            supply_w_id: supply_w,
+            quantity: quantity as u32,
+            amount,
+            delivery_d: 0,
+        };
+        txn.put(
+            &tables.order_line,
+            &order_line_key(w, d, o_id, ol),
+            &line.encode(),
+        )?;
+    }
+    let _ = total;
+
+    let order = Order {
+        c_id: c,
+        entry_d: o_id as u64,
+        carrier_id: 0,
+        ol_cnt,
+    };
+    txn.put(&tables.orders, &order_key(w, d, o_id), &order.encode())?;
+    txn.put(&tables.new_order, &new_order_key(w, d, o_id), &[])?;
+    txn.put(
+        &tables.order_customer_idx,
+        &order_customer_key(w, d, c, o_id),
+        &[],
+    )?;
+
+    if rollback {
+        // The TPC-C "unused item" rollback: all work is discarded.
+        txn.rollback();
+        return Err(Error::abort(AbortKind::UserRequested, ssi_common::TxnId::INVALID));
+    }
+    txn.commit()
+}
+
+/// The Payment transaction: record a customer payment, optionally updating
+/// the warehouse and district year-to-date totals (the hotspot that
+/// `skip_ytd_updates` removes, Sec. 5.3.1).
+pub fn payment(workload: &TpccWorkload, db: &Database, rng: &mut WorkloadRng) -> TxnResult {
+    let tables = &workload.tables;
+    let w = workload.random_warehouse(rng);
+    let d = workload.random_district(rng);
+    let amount = rng.uniform(100, 500_000) as i64;
+
+    let mut txn = db.begin();
+    let c = workload.select_customer(&mut txn, rng, w, d)?;
+
+    if !workload.config.skip_ytd_updates {
+        let wh_buf = txn
+            .get_for_update(&tables.warehouse, &warehouse_key(w))?
+            .ok_or_else(|| missing_row("warehouse"))?;
+        let mut warehouse = Warehouse::decode(&wh_buf);
+        warehouse.ytd += amount;
+        txn.put(&tables.warehouse, &warehouse_key(w), &warehouse.encode())?;
+
+        let district_buf = txn
+            .get_for_update(&tables.district, &district_key(w, d))?
+            .ok_or_else(|| missing_row("district"))?;
+        let mut district = District::decode(&district_buf);
+        district.ytd += amount;
+        txn.put(&tables.district, &district_key(w, d), &district.encode())?;
+    }
+
+    let customer_buf = txn
+        .get_for_update(&tables.customer, &customer_key(w, d, c))?
+        .ok_or_else(|| missing_row("customer"))?;
+    let mut customer = Customer::decode(&customer_buf);
+    customer.balance -= amount;
+    customer.ytd_payment += amount;
+    customer.payment_cnt += 1;
+    txn.put(&tables.customer, &customer_key(w, d, c), &customer.encode())?;
+
+    txn.commit()
+}
+
+/// The Order Status transaction (read-only): the status of a customer's most
+/// recent order.
+pub fn order_status(workload: &TpccWorkload, db: &Database, rng: &mut WorkloadRng) -> TxnResult {
+    let tables = &workload.tables;
+    let w = workload.random_warehouse(rng);
+    let d = workload.random_district(rng);
+
+    let mut txn = db.begin_read_only();
+    let c = workload.select_customer(&mut txn, rng, w, d)?;
+
+    let customer_buf = txn
+        .get(&tables.customer, &customer_key(w, d, c))?
+        .ok_or_else(|| missing_row("customer"))?;
+    let _customer = Customer::decode(&customer_buf);
+
+    let orders = txn.scan_prefix(&tables.order_customer_idx, &order_customer_prefix(w, d, c))?;
+    if let Some((key, _)) = orders.last() {
+        let o_id = u32_from_key_suffix(key);
+        if let Some(order_buf) = txn.get(&tables.orders, &order_key(w, d, o_id))? {
+            let order = Order::decode(&order_buf);
+            let lines = txn.scan_prefix(&tables.order_line, &order_line_prefix(w, d, o_id))?;
+            debug_assert!(lines.len() as u32 <= order.ol_cnt.max(15));
+        }
+    }
+    txn.commit()
+}
+
+/// The Delivery transaction: deliver the oldest undelivered order of one
+/// district (one order per transaction, per the simplification discussed in
+/// Sec. 2.8.1), updating the order, its lines and the customer's balance.
+pub fn delivery(workload: &TpccWorkload, db: &Database, rng: &mut WorkloadRng) -> TxnResult {
+    let tables = &workload.tables;
+    let w = workload.random_warehouse(rng);
+    let d = workload.random_district(rng);
+
+    let mut txn = db.begin();
+    let pending = txn.scan_prefix(&tables.new_order, &new_order_prefix(w, d))?;
+    let Some((oldest_key, _)) = pending.first() else {
+        // DLVY1 in the thesis' terminology: nothing to deliver.
+        return txn.commit();
+    };
+    let o_id = u32_from_key_suffix(oldest_key);
+
+    txn.delete(&tables.new_order, oldest_key)?;
+
+    let order_buf = txn
+        .get_for_update(&tables.orders, &order_key(w, d, o_id))?
+        .ok_or_else(|| missing_row("order"))?;
+    let mut order = Order::decode(&order_buf);
+    order.carrier_id = rng.uniform(1, 10) as u32;
+    txn.put(&tables.orders, &order_key(w, d, o_id), &order.encode())?;
+
+    let lines = txn.scan_prefix(&tables.order_line, &order_line_prefix(w, d, o_id))?;
+    let mut total = 0i64;
+    for (key, value) in &lines {
+        let mut line = OrderLine::decode(value);
+        total += line.amount;
+        line.delivery_d = order.entry_d + 1;
+        txn.put(&tables.order_line, key, &line.encode())?;
+    }
+
+    let customer_buf = txn
+        .get_for_update(&tables.customer, &customer_key(w, d, order.c_id))?
+        .ok_or_else(|| missing_row("customer"))?;
+    let mut customer = Customer::decode(&customer_buf);
+    customer.balance += total;
+    txn.put(
+        &tables.customer,
+        &customer_key(w, d, order.c_id),
+        &customer.encode(),
+    )?;
+
+    txn.commit()
+}
+
+/// The Stock Level transaction (read-only): count the recently ordered items
+/// whose stock is below a threshold. This is the heavy reader of the Stock
+/// Level mix (Sec. 5.3.5).
+pub fn stock_level(workload: &TpccWorkload, db: &Database, rng: &mut WorkloadRng) -> TxnResult {
+    let tables = &workload.tables;
+    let w = workload.random_warehouse(rng);
+    let d = workload.random_district(rng);
+    let threshold = rng.uniform(10, 20) as i64;
+
+    let mut txn = db.begin_read_only();
+    let district_buf = txn
+        .get(&tables.district, &district_key(w, d))?
+        .ok_or_else(|| missing_row("district"))?;
+    let district = District::decode(&district_buf);
+
+    let first_order = district.next_o_id.saturating_sub(20);
+    let lower = order_line_key(w, d, first_order, 0);
+    let upper = order_line_key(w, d, district.next_o_id, 0);
+    let lines = txn.scan(
+        &tables.order_line,
+        Bound::Included(lower.as_slice()),
+        Bound::Excluded(upper.as_slice()),
+    )?;
+
+    let mut items: Vec<u32> = lines
+        .iter()
+        .map(|(_, value)| OrderLine::decode(value).i_id)
+        .collect();
+    items.sort_unstable();
+    items.dedup();
+
+    let mut low_stock = 0usize;
+    for i_id in items {
+        if let Some(stock_buf) = txn.get(&tables.stock, &stock_key(w, i_id))? {
+            if Stock::decode(&stock_buf).quantity < threshold {
+                low_stock += 1;
+            }
+        }
+    }
+    let _ = low_stock;
+    txn.commit()
+}
+
+/// The TPC-C++ Credit Check transaction (Sec. 5.3.2, Fig. 5.1): compute the
+/// customer's outstanding balance (delivered-but-unpaid plus undelivered new
+/// orders) and update the credit rating accordingly.
+pub fn credit_check(workload: &TpccWorkload, db: &Database, rng: &mut WorkloadRng) -> TxnResult {
+    let tables = &workload.tables;
+    let w = workload.random_warehouse(rng);
+    let d = workload.random_district(rng);
+    let c = workload.random_customer(rng);
+
+    let mut txn = db.begin();
+    let customer_buf = txn
+        .get(&tables.customer, &customer_key(w, d, c))?
+        .ok_or_else(|| missing_row("customer"))?;
+    let mut customer = Customer::decode(&customer_buf);
+
+    // Sum the value of this customer's undelivered orders: join the
+    // customer's orders against the NewOrder table and total their lines.
+    let mut new_order_balance = 0i64;
+    let orders = txn.scan_prefix(&tables.order_customer_idx, &order_customer_prefix(w, d, c))?;
+    for (key, _) in &orders {
+        let o_id = u32_from_key_suffix(key);
+        if txn.get(&tables.new_order, &new_order_key(w, d, o_id))?.is_some() {
+            let lines = txn.scan_prefix(&tables.order_line, &order_line_prefix(w, d, o_id))?;
+            new_order_balance += lines
+                .iter()
+                .map(|(_, value)| OrderLine::decode(value).amount)
+                .sum::<i64>();
+        }
+    }
+
+    customer.credit = if customer.balance + new_order_balance > customer.credit_lim {
+        "BC".to_string()
+    } else {
+        "GC".to_string()
+    };
+    txn.put(&tables.customer, &customer_key(w, d, c), &customer.encode())?;
+    txn.commit()
+}
+
+/// Post-run consistency checks (the TPC-C consistency conditions that our
+/// simplified population maintains):
+///
+/// 1. for every district, `d_next_o_id - 1` equals the largest order id
+///    present in the Orders table;
+/// 2. every NewOrder row refers to an existing order with no carrier;
+/// 3. every order has between 5 and 15 order lines, matching its `ol_cnt`.
+///
+/// Returns a description of the first violation found, or `None`.
+pub fn consistency_violations(workload: &TpccWorkload, db: &Database) -> Option<String> {
+    let scale = &workload.config.scale;
+    let tables = &workload.tables;
+    let mut txn = db.begin_read_only();
+
+    for w in 1..=scale.warehouses {
+        for d in 1..=scale.districts_per_warehouse {
+            let district_buf = txn
+                .get(&tables.district, &district_key(w, d))
+                .ok()?
+                .expect("district row");
+            let district = District::decode(&district_buf);
+
+            let orders = txn
+                .scan_prefix(&tables.orders, &new_order_prefix(w, d))
+                .ok()?;
+            let max_order = orders
+                .iter()
+                .map(|(key, _)| u32_from_key_suffix(key))
+                .max()
+                .unwrap_or(0);
+            if max_order != district.next_o_id - 1 {
+                return Some(format!(
+                    "district ({w},{d}): next_o_id {} but max order {max_order}",
+                    district.next_o_id
+                ));
+            }
+
+            let pending = txn
+                .scan_prefix(&tables.new_order, &new_order_prefix(w, d))
+                .ok()?;
+            for (key, _) in &pending {
+                let o_id = u32_from_key_suffix(key);
+                match txn.get(&tables.orders, &order_key(w, d, o_id)).ok()? {
+                    Some(buf) => {
+                        let order = Order::decode(&buf);
+                        if order.carrier_id != 0 {
+                            return Some(format!(
+                                "new-order ({w},{d},{o_id}) already has a carrier"
+                            ));
+                        }
+                    }
+                    None => {
+                        return Some(format!("new-order ({w},{d},{o_id}) has no order row"))
+                    }
+                }
+            }
+
+            for (key, value) in &orders {
+                let o_id = u32_from_key_suffix(key);
+                let order = Order::decode(value);
+                let lines = txn
+                    .scan_prefix(&tables.order_line, &order_line_prefix(w, d, o_id))
+                    .ok()?;
+                if lines.len() != order.ol_cnt as usize {
+                    return Some(format!(
+                        "order ({w},{d},{o_id}): ol_cnt {} but {} lines",
+                        order.ol_cnt,
+                        lines.len()
+                    ));
+                }
+            }
+        }
+    }
+    txn.commit().ok();
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ScaleFactor, TpccConfig, TpccWorkload, TXN_NEW_ORDER};
+    use super::*;
+    use crate::driver::{run_workload, RunConfig, Workload};
+    use ssi_common::IsolationLevel;
+    use ssi_core::Options;
+    use std::time::Duration;
+
+    fn test_workload(db: &Database) -> TpccWorkload {
+        TpccWorkload::setup(
+            db,
+            TpccConfig {
+                scale: ScaleFactor::test_scale(1),
+                skip_ytd_updates: false,
+                stock_level_mix: false,
+                new_order_rollback: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn new_order_advances_district_counter_and_inserts_rows() {
+        let db = Database::open(Options::default());
+        let workload = test_workload(&db);
+        let mut rng = WorkloadRng::new(5);
+
+        let before_orders = workload.tables.orders.key_count();
+        let before_new = workload.tables.new_order.key_count();
+        new_order(&workload, &db, &mut rng).unwrap();
+        assert_eq!(workload.tables.orders.key_count(), before_orders + 1);
+        assert_eq!(workload.tables.new_order.key_count(), before_new + 1);
+        assert_eq!(consistency_violations(&workload, &db), None);
+    }
+
+    #[test]
+    fn payment_updates_customer_and_ytd() {
+        let db = Database::open(Options::default());
+        let workload = test_workload(&db);
+        let mut rng = WorkloadRng::new(6);
+        payment(&workload, &db, &mut rng).unwrap();
+
+        // The warehouse YTD total must have grown (skip_ytd_updates=false).
+        let mut txn = db.begin();
+        let wh = Warehouse::decode(
+            &txn.get(&workload.tables.warehouse, &warehouse_key(1))
+                .unwrap()
+                .unwrap(),
+        );
+        txn.commit().unwrap();
+        assert!(wh.ytd > 0);
+    }
+
+    #[test]
+    fn delivery_consumes_new_orders() {
+        let db = Database::open(Options::default());
+        let workload = test_workload(&db);
+        let mut rng = WorkloadRng::new(7);
+        // Deleted rows become tombstones, so count *visible* pending orders
+        // with a scan rather than with `key_count`.
+        let pending = |db: &Database| {
+            let mut txn = db.begin();
+            let rows = txn
+                .scan(
+                    &workload.tables.new_order,
+                    Bound::Unbounded,
+                    Bound::Unbounded,
+                )
+                .unwrap();
+            txn.commit().unwrap();
+            rows.len()
+        };
+        let before = pending(&db);
+        // Run enough deliveries to consume at least one pending order
+        // (random district selection may repeat districts).
+        for _ in 0..10 {
+            delivery(&workload, &db, &mut rng).unwrap();
+        }
+        assert!(pending(&db) < before);
+        assert_eq!(consistency_violations(&workload, &db), None);
+    }
+
+    #[test]
+    fn read_only_transactions_run_clean() {
+        let db = Database::open(Options::default());
+        let workload = test_workload(&db);
+        let mut rng = WorkloadRng::new(8);
+        for _ in 0..5 {
+            order_status(&workload, &db, &mut rng).unwrap();
+            stock_level(&workload, &db, &mut rng).unwrap();
+        }
+    }
+
+    #[test]
+    fn credit_check_updates_the_rating() {
+        let db = Database::open(Options::default());
+        let workload = test_workload(&db);
+        let mut rng = WorkloadRng::new(9);
+        credit_check(&workload, &db, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn new_order_rollback_counts_as_user_abort() {
+        let db = Database::open(Options::default());
+        let workload = TpccWorkload::setup(
+            &db,
+            TpccConfig {
+                scale: ScaleFactor::test_scale(1),
+                skip_ytd_updates: false,
+                stock_level_mix: false,
+                new_order_rollback: 1.0,
+            },
+        );
+        let mut rng = WorkloadRng::new(10);
+        let before_orders = workload.tables.orders.key_count();
+        let err = new_order(&workload, &db, &mut rng).unwrap_err();
+        assert_eq!(err.abort_kind(), Some(AbortKind::UserRequested));
+        assert_eq!(workload.tables.orders.key_count(), before_orders);
+        assert_eq!(consistency_violations(&workload, &db), None);
+    }
+
+    #[test]
+    fn short_concurrent_run_keeps_consistency_under_ssi() {
+        let db = Database::open(Options::default());
+        let workload = test_workload(&db);
+        let stats = run_workload(
+            &db,
+            &workload,
+            &RunConfig {
+                mpl: 4,
+                warmup: Duration::from_millis(20),
+                duration: Duration::from_millis(300),
+                seed: 99,
+            },
+        );
+        assert!(stats.commits > 0);
+        assert!(stats.per_type_commits[TXN_NEW_ORDER] > 0);
+        assert_eq!(workload.check_consistency(&db), None);
+    }
+
+    #[test]
+    fn short_concurrent_run_under_s2pl_also_consistent() {
+        let db = Database::open(
+            Options::default().with_isolation(IsolationLevel::StrictTwoPhaseLocking),
+        );
+        let workload = test_workload(&db);
+        let stats = run_workload(
+            &db,
+            &workload,
+            &RunConfig {
+                mpl: 4,
+                warmup: Duration::from_millis(20),
+                duration: Duration::from_millis(300),
+                seed: 100,
+            },
+        );
+        assert!(stats.commits > 0);
+        assert_eq!(workload.check_consistency(&db), None);
+    }
+}

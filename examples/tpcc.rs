@@ -1,0 +1,86 @@
+//! Run the TPC-C++ benchmark (Sec. 5.3 of the thesis): TPC-C plus the
+//! Credit Check transaction that makes the mix non-serializable under plain
+//! snapshot isolation.
+//!
+//! The run reports total transactions per second (all types), the abort
+//! breakdown, and the result of the post-run consistency checks.
+//!
+//! ```bash
+//! cargo run --release --example tpcc -- [warehouses] [mpl] [seconds] [--standard-scale] [--skip-ytd] [--stock-level]
+//! ```
+//!
+//! By default the thesis' "tiny" data scaling (Sec. 5.3.6) is used so the
+//! example loads quickly; pass `--standard-scale` for the full population.
+
+use std::time::Duration;
+
+use serializable_si::workloads::tpcc::ScaleFactor;
+use serializable_si::{
+    run_workload, AbortKind, Database, IsolationLevel, Options, RunConfig, TpccConfig,
+    TpccWorkload,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let numbers: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let warehouses = *numbers.first().unwrap_or(&1) as u32;
+    let mpl = *numbers.get(1).unwrap_or(&8) as usize;
+    let seconds = *numbers.get(2).unwrap_or(&2);
+    let standard_scale = args.iter().any(|a| a == "--standard-scale");
+    let skip_ytd = args.iter().any(|a| a == "--skip-ytd");
+    let stock_level = args.iter().any(|a| a == "--stock-level");
+
+    let scale = if standard_scale {
+        ScaleFactor::standard(warehouses)
+    } else {
+        ScaleFactor::tiny(warehouses)
+    };
+    println!(
+        "TPC-C++: {warehouses} warehouse(s), {} scale (~{} rows), MPL {mpl}, {seconds}s per level",
+        if standard_scale { "standard" } else { "tiny" },
+        scale.approximate_rows()
+    );
+    println!(
+        "options: skip_ytd={skip_ytd}, stock_level_mix={stock_level}\n"
+    );
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "level", "txn/s", "NewOrder/s", "deadlock", "conflict", "unsafe", "consistency"
+    );
+
+    for level in IsolationLevel::evaluated() {
+        let db = Database::open(Options::default().with_isolation(level));
+        let mut config = TpccConfig::new(scale).with_skip_ytd(skip_ytd);
+        if stock_level {
+            config = config.with_stock_level_mix();
+        }
+        let workload = TpccWorkload::setup(&db, config);
+        let stats = run_workload(
+            &db,
+            &workload,
+            &RunConfig {
+                mpl,
+                warmup: Duration::from_millis(300),
+                duration: Duration::from_secs(seconds),
+                seed: 2008,
+            },
+        );
+        let consistency = match serializable_si::workloads::driver::Workload::check_consistency(
+            &workload, &db,
+        ) {
+            None => "ok".to_string(),
+            Some(problem) => format!("VIOLATED: {problem}"),
+        };
+        println!(
+            "{:<6} {:>10.0} {:>10.1} {:>10.4} {:>10.4} {:>10.4} {:>12}",
+            level.label(),
+            stats.throughput(),
+            stats.per_type_commits.first().copied().unwrap_or(0) as f64
+                / stats.elapsed.as_secs_f64(),
+            stats.aborts_per_commit(AbortKind::Deadlock),
+            stats.aborts_per_commit(AbortKind::UpdateConflict),
+            stats.aborts_per_commit(AbortKind::Unsafe),
+            consistency,
+        );
+    }
+}

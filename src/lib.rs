@@ -1,0 +1,30 @@
+//! Umbrella crate for the *Serializable Isolation for Snapshot Databases*
+//! reproduction.
+//!
+//! This crate simply re-exports the workspace members so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`core`](ssi_core) — the embedded database with SI, S2PL and
+//!   Serializable SI concurrency control (the paper's contribution);
+//! * [`storage`](ssi_storage) — the multi-version storage substrate;
+//! * [`lock`](ssi_lock) — the lock manager with SIREAD and gap locks;
+//! * [`workloads`](ssi_workloads) — SmallBank, sibench and TPC-C++ plus the
+//!   benchmark driver;
+//! * [`common`](ssi_common) — shared types, errors, encoding and statistics.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the mapping from the paper's figures to the
+//! benchmark harness.
+
+pub use ssi_common as common;
+pub use ssi_core as core;
+pub use ssi_lock as lock;
+pub use ssi_storage as storage;
+pub use ssi_workloads as workloads;
+
+pub use ssi_common::{AbortKind, Error, IsolationLevel, Result, TxnId};
+pub use ssi_core::{
+    Database, LockGranularity, Options, SsiOptions, SsiVariant, TableRef, Transaction,
+    VictimPolicy,
+};
+pub use ssi_workloads::{run_workload, RunConfig, SiBench, SmallBank, TpccConfig, TpccWorkload};

@@ -1,0 +1,212 @@
+//! Property-based tests.
+//!
+//! The central property is the paper's correctness claim (Sec. 3.4): for
+//! *any* interleaving of *any* set of transactions, the committed
+//! transactions under Serializable SI form an acyclic multiversion
+//! serialization graph. We generate random small workloads (random read /
+//! write / scan / delete steps over a small key space, sliced into random
+//! interleavings), execute them single-threaded in the generated order, and
+//! check the recorded history with the MVSG verifier.
+//!
+//! A second property checks the complementary statement for plain SI: it
+//! never aborts anything except on write-write conflicts — so every
+//! generated schedule without concurrent writes to the same key commits —
+//! which guards against the SSI machinery accidentally leaking into the SI
+//! code path.
+
+use proptest::prelude::*;
+
+use serializable_si::{Database, IsolationLevel, Options, TableRef, Transaction};
+
+/// One step of a generated transaction.
+#[derive(Clone, Debug)]
+enum Step {
+    Get(u8),
+    Put(u8, u8),
+    Delete(u8),
+    ScanAll,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..8).prop_map(Step::Get),
+        ((0u8..8), any::<u8>()).prop_map(|(k, v)| Step::Put(k, v)),
+        (0u8..8).prop_map(Step::Delete),
+        Just(Step::ScanAll),
+    ]
+}
+
+/// A generated workload: up to 4 transactions of up to 5 steps each, plus an
+/// interleaving order.
+#[derive(Clone, Debug)]
+struct GeneratedWorkload {
+    transactions: Vec<Vec<Step>>,
+    /// Interleaving: a sequence of transaction indexes; each occurrence
+    /// executes that transaction's next step (or its commit once it has no
+    /// steps left).
+    order: Vec<usize>,
+}
+
+fn workload_strategy() -> impl Strategy<Value = GeneratedWorkload> {
+    let txns = prop::collection::vec(prop::collection::vec(step_strategy(), 1..5), 2..4);
+    txns.prop_flat_map(|transactions| {
+        // Each transaction contributes (steps + 1) slots: its steps plus the
+        // final commit.
+        let slots: Vec<usize> = transactions
+            .iter()
+            .enumerate()
+            .flat_map(|(i, steps)| std::iter::repeat(i).take(steps.len() + 1))
+            .collect();
+        let order = Just(slots).prop_shuffle();
+        (Just(transactions), order).prop_map(|(transactions, order)| GeneratedWorkload {
+            transactions,
+            order,
+        })
+    })
+}
+
+fn seed_table(db: &Database) -> TableRef {
+    let table = db.create_table("t").unwrap();
+    let mut txn = db.begin();
+    for k in 0u8..8 {
+        txn.put(&table, &[k], &[0]).unwrap();
+    }
+    txn.commit().unwrap();
+    table
+}
+
+fn apply_step(txn: &mut Transaction, table: &TableRef, step: &Step) -> serializable_si::Result<()> {
+    match step {
+        Step::Get(k) => txn.get(table, &[*k]).map(|_| ()),
+        Step::Put(k, v) => txn.put(table, &[*k], &[*v]),
+        Step::Delete(k) => txn.delete(table, &[*k]),
+        Step::ScanAll => txn
+            .scan(table, std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+            .map(|_| ()),
+    }
+}
+
+/// Executes the generated workload at the given isolation level; returns
+/// `(number committed, is the recorded history serializable)`.
+fn execute(workload: &GeneratedWorkload, level: IsolationLevel) -> (usize, bool) {
+    let mut options = Options::default().with_isolation(level).with_history();
+    // Single-threaded execution: a blocking lock can never be released by
+    // anyone, so keep the timeout short. Timeouts count as aborts.
+    options.lock.wait_timeout = std::time::Duration::from_millis(10);
+    let db = Database::open(options);
+    let table = seed_table(&db);
+
+    let mut handles: Vec<Option<Transaction>> = workload
+        .transactions
+        .iter()
+        .map(|_| Some(db.begin()))
+        .collect();
+    let mut progress = vec![0usize; workload.transactions.len()];
+    let mut committed = 0usize;
+
+    for &txn_idx in &workload.order {
+        let steps = &workload.transactions[txn_idx];
+        let Some(handle) = handles[txn_idx].as_mut() else {
+            continue;
+        };
+        if progress[txn_idx] < steps.len() {
+            let step = &steps[progress[txn_idx]];
+            progress[txn_idx] += 1;
+            if apply_step(handle, &table, step).is_err() {
+                handles[txn_idx] = None; // aborted by the engine
+            }
+        } else {
+            // Commit slot.
+            let handle = handles[txn_idx].take().unwrap();
+            if handle.commit().is_ok() {
+                committed += 1;
+            }
+        }
+    }
+    // Roll back anything unfinished.
+    for handle in handles.into_iter().flatten() {
+        handle.rollback();
+    }
+
+    let serializable = db.history().unwrap().analyze().is_serializable();
+    (committed, serializable)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// The headline property (Theorem of Sec. 3.4): whatever commits under
+    /// Serializable SI is conflict-serializable.
+    #[test]
+    fn ssi_histories_are_always_serializable(workload in workload_strategy()) {
+        let (_committed, serializable) =
+            execute(&workload, IsolationLevel::SerializableSnapshotIsolation);
+        prop_assert!(serializable);
+    }
+
+    /// The same property holds for the basic (boolean-flag) variant and at
+    /// page granularity — coarser detection may abort more, never less.
+    #[test]
+    fn ssi_basic_variant_histories_are_serializable(workload in workload_strategy()) {
+        let mut options = Options::berkeley_like(4).with_history();
+        options.lock.wait_timeout = std::time::Duration::from_millis(10);
+        let db = Database::open(options);
+        let table = seed_table(&db);
+
+        let mut handles: Vec<Option<Transaction>> =
+            workload.transactions.iter().map(|_| Some(db.begin())).collect();
+        let mut progress = vec![0usize; workload.transactions.len()];
+        for &txn_idx in &workload.order {
+            let steps = &workload.transactions[txn_idx];
+            let Some(handle) = handles[txn_idx].as_mut() else { continue };
+            if progress[txn_idx] < steps.len() {
+                let step = &steps[progress[txn_idx]];
+                progress[txn_idx] += 1;
+                if apply_step(handle, &table, step).is_err() {
+                    handles[txn_idx] = None;
+                }
+            } else {
+                let handle = handles[txn_idx].take().unwrap();
+                let _ = handle.commit();
+            }
+        }
+        for handle in handles.into_iter().flatten() {
+            handle.rollback();
+        }
+        prop_assert!(db.history().unwrap().analyze().is_serializable());
+    }
+
+    /// S2PL histories are serializable as well (sanity for the classic
+    /// algorithm our comparison baseline uses).
+    #[test]
+    fn s2pl_histories_are_always_serializable(workload in workload_strategy()) {
+        let (_committed, serializable) =
+            execute(&workload, IsolationLevel::StrictTwoPhaseLocking);
+        prop_assert!(serializable);
+    }
+
+    /// Plain SI only ever aborts on write-write conflicts: if the generated
+    /// transactions write disjoint key sets, every one of them commits.
+    #[test]
+    fn si_commits_everything_when_write_sets_are_disjoint(
+        workload in workload_strategy()
+    ) {
+        // Restrict to disjoint write sets by remapping each transaction's
+        // writes into its own key region.
+        let mut disjoint = workload.clone();
+        for (i, steps) in disjoint.transactions.iter_mut().enumerate() {
+            for step in steps.iter_mut() {
+                if let Step::Put(k, _) | Step::Delete(k) = step {
+                    *k = (*k % 2) + (i as u8) * 2;
+                }
+            }
+        }
+        let total = disjoint.transactions.len();
+        let (committed, _serializable) =
+            execute(&disjoint, IsolationLevel::SnapshotIsolation);
+        prop_assert_eq!(committed, total);
+    }
+}

@@ -1,0 +1,140 @@
+//! Regression test distilled from a proptest-discovered schedule: three
+//! transactions whose committed subset must stay serializable under
+//! Serializable SI. Kept as a named test (rather than only a proptest seed)
+//! because it exercises a subtle combination of scans, deletes and
+//! committed-suspended readers.
+
+use serializable_si::{Database, IsolationLevel, Options};
+
+/// A pivot whose outgoing neighbour is a pure (blind) writer that commits
+/// and is retired before the pivot reads: the pivot's outgoing conflict can
+/// then only be discovered through the ignored newer version, whose creator
+/// is no longer registered. The engine must still record the pivot's
+/// outgoing conflict (conservatively) or this read-only-anomaly-shaped
+/// schedule commits non-serializably.
+#[test]
+fn proptest_regression_retired_blind_writer_schedule() {
+    let db = Database::open(
+        Options::default()
+            .with_isolation(IsolationLevel::SerializableSnapshotIsolation)
+            .with_history(),
+    );
+    let table = db.create_table("t").unwrap();
+    let mut setup = db.begin();
+    for k in 0u8..8 {
+        setup.put(&table, &[k], &[0]).unwrap();
+    }
+    setup.commit().unwrap();
+
+    // T2: blind Put(1); T1: Delete(3) then ScanAll; T0: ScanAll.
+    // Order: T2.put, T1.delete, T2.commit, T1.scan, T0.scan, T0.commit,
+    // T1.commit.
+    let mut t0 = Some(db.begin());
+    let mut t1 = Some(db.begin());
+    let mut t2 = Some(db.begin());
+    let mut committed = 0usize;
+
+    let mut run = |slot: &mut Option<serializable_si::Transaction>,
+                   op: &mut dyn FnMut(&mut serializable_si::Transaction) -> bool| {
+        if let Some(handle) = slot.as_mut() {
+            if !op(handle) {
+                *slot = None;
+            }
+        }
+    };
+    run(&mut t2, &mut |h| h.put(&table, &[1], &[47]).is_ok());
+    run(&mut t1, &mut |h| h.delete(&table, &[3]).is_ok());
+    if let Some(h) = t2.take() {
+        if h.commit().is_ok() {
+            committed += 1;
+        }
+    }
+    run(&mut t1, &mut |h| h.scan_prefix(&table, &[]).is_ok());
+    run(&mut t0, &mut |h| h.scan_prefix(&table, &[]).is_ok());
+    if let Some(h) = t0.take() {
+        if h.commit().is_ok() {
+            committed += 1;
+        }
+    }
+    if let Some(h) = t1.take() {
+        if h.commit().is_ok() {
+            committed += 1;
+        }
+    }
+
+    let report = db.history().unwrap().analyze();
+    assert!(
+        report.is_serializable(),
+        "{committed} transactions committed into a cycle: {:?}",
+        report.cycle
+    );
+    // The blind writer and the read-only scan can always commit; only the
+    // pivot (T1) may need to abort.
+    assert!(committed >= 2);
+}
+
+#[test]
+fn proptest_regression_scan_delete_schedule() {
+    let db = Database::open(
+        Options::default()
+            .with_isolation(IsolationLevel::SerializableSnapshotIsolation)
+            .with_history(),
+    );
+    let table = db.create_table("t").unwrap();
+    let mut setup = db.begin();
+    for k in 0u8..8 {
+        setup.put(&table, &[k], &[0]).unwrap();
+    }
+    setup.commit().unwrap();
+
+    // T0: Delete(7), Get(0), Put(7,92); T1: ScanAll, Delete(5);
+    // T2: Get(6), Delete(6), Get(5), Get(1).
+    // Order: 2,1,2,2,2,2(commit),0,1,0,1(commit),0,0(commit).
+    let mut t0 = Some(db.begin());
+    let mut t1 = Some(db.begin());
+    let mut t2 = Some(db.begin());
+
+    let mut log: Vec<(&str, bool)> = Vec::new();
+    macro_rules! step {
+        ($name:expr, $txn:ident, $op:expr) => {
+            if let Some(handle) = $txn.as_mut() {
+                #[allow(clippy::redundant_closure_call)]
+                let ok = ($op)(handle).is_ok();
+                log.push(($name, ok));
+                if !ok {
+                    $txn = None;
+                }
+            }
+        };
+    }
+    macro_rules! commit {
+        ($name:expr, $txn:ident) => {
+            if let Some(handle) = $txn.take() {
+                let ok = handle.commit().is_ok();
+                log.push(($name, ok));
+            }
+        };
+    }
+
+    type T<'a> = &'a mut serializable_si::Transaction;
+    step!("t2.get6", t2, |h: T| h.get(&table, &[6]));
+    step!("t1.scan", t1, |h: T| h.scan_prefix(&table, &[]));
+    step!("t2.del6", t2, |h: T| h.delete(&table, &[6]));
+    step!("t2.get5", t2, |h: T| h.get(&table, &[5]));
+    step!("t2.get1", t2, |h: T| h.get(&table, &[1]));
+    commit!("t2.commit", t2);
+    step!("t0.del7", t0, |h: T| h.delete(&table, &[7]));
+    step!("t1.del5", t1, |h: T| h.delete(&table, &[5]));
+    step!("t0.get0", t0, |h: T| h.get(&table, &[0]));
+    commit!("t1.commit", t1);
+    step!("t0.put7", t0, |h: T| h.put(&table, &[7], &[92]));
+    commit!("t0.commit", t0);
+
+    let report = db.history().unwrap().analyze();
+    assert!(
+        report.is_serializable(),
+        "non-serializable history committed; steps: {log:?}; cycle: {:?}; edges: {:?}",
+        report.cycle,
+        report.edges
+    );
+}

@@ -1,0 +1,223 @@
+//! The TPC-C++ Credit Check anomaly (Sec. 5.3.3, Example 5 of the thesis).
+//!
+//! The Credit Check transaction reads a customer's balance and undelivered
+//! orders and writes the customer's credit rating; New Order reads the
+//! rating and inserts orders; Payment updates the balance. Interleaving a
+//! Credit Check with a concurrent Payment and New Order can commit a credit
+//! rating computed from a state that never existed in any serial order.
+//! Under Serializable SI one of the participants aborts instead.
+
+use serializable_si::core::MvsgReport;
+use serializable_si::{Database, IsolationLevel, Options, TableRef, Transaction};
+
+/// A miniature credit-check schema: one customer with a balance, a credit
+/// limit of 1000, a credit flag, and an "open orders" total.
+struct Fixture {
+    db: Database,
+    t: TableRef,
+}
+
+fn get_i64(txn: &mut Transaction, t: &TableRef, key: &[u8]) -> i64 {
+    txn.get(t, key)
+        .unwrap()
+        .map(|v| String::from_utf8_lossy(&v).parse().unwrap())
+        .unwrap_or(0)
+}
+
+fn put_i64(txn: &mut Transaction, t: &TableRef, key: &[u8], v: i64) -> serializable_si::Result<()> {
+    txn.put(t, key, v.to_string().as_bytes())
+}
+
+impl Fixture {
+    fn new(level: IsolationLevel) -> Self {
+        let db = Database::open(Options::default().with_isolation(level).with_history());
+        let t = db.create_table("credit").unwrap();
+        let mut setup = db.begin();
+        // Delivered-but-unpaid balance of $900 and no open orders; the
+        // credit limit is $1000.
+        put_i64(&mut setup, &t, b"c_balance", 900).unwrap();
+        put_i64(&mut setup, &t, b"open_orders", 0).unwrap();
+        setup.put(&t, b"c_credit", b"GC").unwrap();
+        setup.commit().unwrap();
+        Fixture { db, t }
+    }
+
+    /// New Order of `amount`: reads the credit flag (the customer is shown
+    /// whether they are in bad standing) and adds an open order.
+    fn new_order(&self, txn: &mut Transaction, amount: i64) -> serializable_si::Result<String> {
+        let credit = txn
+            .get(&self.t, b"c_credit")?
+            .map(|v| String::from_utf8_lossy(&v).into_owned())
+            .unwrap_or_default();
+        let open = get_i64(txn, &self.t, b"open_orders");
+        put_i64(txn, &self.t, b"open_orders", open + amount)?;
+        Ok(credit)
+    }
+
+    /// Payment of `amount`: reduces the outstanding balance.
+    fn payment(&self, txn: &mut Transaction, amount: i64) -> serializable_si::Result<()> {
+        let balance = get_i64(txn, &self.t, b"c_balance");
+        put_i64(txn, &self.t, b"c_balance", balance - amount)
+    }
+
+    /// Credit Check run in one piece (reads and the flag write together);
+    /// used by the sanity test below. The anomaly test interleaves the same
+    /// steps manually instead.
+    fn credit_check(&self, txn: &mut Transaction) -> serializable_si::Result<()> {
+        let total = get_i64(txn, &self.t, b"c_balance") + get_i64(txn, &self.t, b"open_orders");
+        let flag: &[u8] = if total > 1000 { b"BC" } else { b"GC" };
+        txn.put(&self.t, b"c_credit", flag)
+    }
+}
+
+/// Sanity: run the three programs strictly serially — every level must end
+/// with the same, correct credit flag.
+#[test]
+fn serial_credit_check_is_correct_at_every_level() {
+    for level in IsolationLevel::evaluated() {
+        let fixture = Fixture::new(level);
+        let db = &fixture.db;
+
+        let mut t = db.begin();
+        fixture.new_order(&mut t, 200).unwrap();
+        t.commit().unwrap();
+
+        let mut t = db.begin();
+        fixture.credit_check(&mut t).unwrap();
+        t.commit().unwrap();
+
+        // balance 900 + open orders 200 = 1100 > 1000 → bad credit.
+        let mut check = db.begin_read_only();
+        assert_eq!(
+            check.get(&fixture.t, b"c_credit").unwrap(),
+            Some(b"BC".to_vec()),
+            "{level}"
+        );
+        check.commit().unwrap();
+
+        let mut t = db.begin();
+        fixture.payment(&mut t, 500).unwrap();
+        t.commit().unwrap();
+        let mut t = db.begin();
+        fixture.credit_check(&mut t).unwrap();
+        t.commit().unwrap();
+
+        let mut check = db.begin_read_only();
+        assert_eq!(
+            check.get(&fixture.t, b"c_credit").unwrap(),
+            Some(b"GC".to_vec()),
+            "{level}: paying off the balance must restore good credit"
+        );
+        check.commit().unwrap();
+    }
+}
+
+/// Runs Example 5's interleaving:
+///
+/// 1. New Order ($200) commits → outstanding total $1100.
+/// 2. Credit Check begins (snapshot shows $1100).
+/// 3. Payment ($500) commits → total back to $600.
+/// 4. New Order ($100) commits, shown "GC".
+/// 5. Credit Check commits "BC".
+/// 6. New Order ($150) is shown "BC" even though the customer never saw the
+///    overdraft after their payment — not possible in any serial order.
+///
+/// Returns (whether every transaction committed, whether the recorded
+/// history is serializable).
+fn run_example5(level: IsolationLevel) -> (bool, bool) {
+    let fixture = Fixture::new(level);
+    let db = &fixture.db;
+    let mut all_ok = true;
+
+    // Step 1.
+    let mut t = db.begin();
+    let step1 = fixture.new_order(&mut t, 200).and_then(|_| t.commit());
+    all_ok &= step1.is_ok();
+
+    // Step 2: Credit Check starts and performs its reads now.
+    let mut cc = db.begin();
+    let cc_reads = (|| -> serializable_si::Result<i64> {
+        Ok(get_i64(&mut cc, &fixture.t, b"c_balance")
+            + get_i64(&mut cc, &fixture.t, b"open_orders"))
+    })();
+    let cc_usable = cc_reads.is_ok();
+
+    // Step 3: Payment commits concurrently.
+    let mut pay = db.begin();
+    let step3 = fixture.payment(&mut pay, 500).and_then(|_| pay.commit());
+    all_ok &= step3.is_ok();
+
+    // Step 4: another New Order commits concurrently with the credit check.
+    let mut no2 = db.begin();
+    let step4 = fixture.new_order(&mut no2, 100).and_then(|_| no2.commit());
+    all_ok &= step4.is_ok();
+
+    // Step 5: the Credit Check writes the flag computed from its snapshot.
+    let step5 = if cc_usable {
+        let total = cc_reads.unwrap();
+        let flag: &[u8] = if total > 1000 { b"BC" } else { b"GC" };
+        cc.put(&fixture.t, b"c_credit", flag).and_then(|_| cc.commit())
+    } else {
+        Err(serializable_si::Error::TransactionClosed)
+    };
+    all_ok &= step5.is_ok();
+
+    let report: MvsgReport = db.history().unwrap().analyze();
+    (all_ok, report.is_serializable())
+}
+
+#[test]
+fn example5_interleaving_commits_and_is_nonserializable_under_si() {
+    let (all_committed, serializable) = run_example5(IsolationLevel::SnapshotIsolation);
+    assert!(all_committed, "plain SI lets every step commit");
+    assert!(
+        !serializable,
+        "the committed history must contain a cycle (this is Example 5)"
+    );
+}
+
+#[test]
+fn example5_interleaving_is_broken_up_by_serializable_si() {
+    let (all_committed, serializable) =
+        run_example5(IsolationLevel::SerializableSnapshotIsolation);
+    assert!(
+        !all_committed,
+        "Serializable SI must abort at least one participant"
+    );
+    assert!(serializable, "whatever did commit must be serializable");
+}
+
+#[test]
+fn full_tpcc_workload_under_ssi_keeps_history_serializable() {
+    use serializable_si::workloads::tpcc::ScaleFactor;
+    use serializable_si::{run_workload, RunConfig, TpccConfig, TpccWorkload};
+    use std::time::Duration;
+
+    let db = Database::open(Options::default().with_history());
+    let workload = TpccWorkload::setup(
+        &db,
+        TpccConfig {
+            scale: ScaleFactor::test_scale(1),
+            skip_ytd_updates: false,
+            stock_level_mix: false,
+            new_order_rollback: 0.01,
+        },
+    );
+    let stats = run_workload(
+        &db,
+        &workload,
+        &RunConfig {
+            mpl: 6,
+            warmup: Duration::from_millis(50),
+            duration: Duration::from_secs(2),
+            seed: 1,
+        },
+    );
+    assert!(stats.commits > 0);
+    let report = db.history().unwrap().analyze();
+    assert!(
+        report.is_serializable(),
+        "TPC-C++ under Serializable SI must stay serializable; cycle: {:?}",
+        report.cycle
+    );
+}
