@@ -24,7 +24,10 @@ use ssi_workloads::smallbank::{SmallBank, SmallBankConfig};
 
 fn bench_ssi_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("ssi_ablation_smallbank");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
     for (name, options) in ablation_options(IsolationLevel::SerializableSnapshotIsolation) {
         let db = Database::open(options);
@@ -72,7 +75,10 @@ fn bench_granularity(c: &mut Criterion) {
     // the simpler Berkeley DB engine model (Sec. 6.1.5).
     use ssi_core::Options;
     let mut group = c.benchmark_group("granularity_smallbank");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
     let configs = [
         ("row", Options::innodb_like()),

@@ -25,7 +25,10 @@ fn setup(level: IsolationLevel, rows: u64) -> (Database, TableRef) {
 
 fn bench_empty_transaction(c: &mut Criterion) {
     let mut group = c.benchmark_group("begin_commit");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
     for level in IsolationLevel::evaluated() {
         let (db, _table) = setup(level, 1);
         group.bench_with_input(BenchmarkId::from_parameter(level.label()), &db, |b, db| {
@@ -40,7 +43,10 @@ fn bench_empty_transaction(c: &mut Criterion) {
 
 fn bench_point_read(c: &mut Criterion) {
     let mut group = c.benchmark_group("point_read");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
     for level in IsolationLevel::evaluated() {
         let (db, table) = setup(level, 1000);
         let mut i = 0u64;
@@ -59,7 +65,10 @@ fn bench_point_read(c: &mut Criterion) {
 
 fn bench_point_write(c: &mut Criterion) {
     let mut group = c.benchmark_group("point_write");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
     for level in IsolationLevel::evaluated() {
         let (db, table) = setup(level, 1000);
         let mut i = 0u64;
@@ -77,7 +86,10 @@ fn bench_point_write(c: &mut Criterion) {
 
 fn bench_read_modify_write(c: &mut Criterion) {
     let mut group = c.benchmark_group("read_modify_write");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
     for level in IsolationLevel::evaluated() {
         let (db, table) = setup(level, 1000);
         let mut i = 0u64;
@@ -96,14 +108,21 @@ fn bench_read_modify_write(c: &mut Criterion) {
 
 fn bench_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("scan_1000_rows");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
     for level in IsolationLevel::evaluated() {
         let (db, table) = setup(level, 1000);
         group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
             b.iter(|| {
                 let mut txn = db.begin_read_only();
                 let rows = txn
-                    .scan(&table, std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+                    .scan(
+                        &table,
+                        std::ops::Bound::Unbounded,
+                        std::ops::Bound::Unbounded,
+                    )
                     .unwrap();
                 txn.commit().unwrap();
                 rows.len()

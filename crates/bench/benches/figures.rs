@@ -22,7 +22,10 @@ fn bench_figure_point(c: &mut Criterion, id: &str, mpl: usize) {
     let def = find_experiment(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
     let harness = HarnessConfig::default();
     let mut group = c.benchmark_group(format!("{id}_mpl{mpl}"));
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for isolation in IsolationLevel::evaluated() {
         let db = Database::open(options_for(&def.spec, isolation));
         let workload = build_workload(&def.spec, &db, &harness);

@@ -14,7 +14,10 @@ use ssi_lock::{LockKey, LockManager, LockMode};
 
 fn bench_uncontended_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("lock_acquire_release");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
     for (name, mode) in [
         ("shared", LockMode::Shared),
         ("exclusive", LockMode::Exclusive),
@@ -39,13 +42,17 @@ fn bench_rw_conflict_discovery(c: &mut Criterion) {
     // An EXCLUSIVE acquisition over a key with N existing SIREAD holders:
     // this is the conflict-discovery path of Fig. 3.5.
     let mut group = c.benchmark_group("exclusive_over_siread_holders");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
     for holders in [1usize, 8, 64] {
         group.bench_function(BenchmarkId::from_parameter(holders), |b| {
             let lm = LockManager::with_defaults();
             let key = LockKey::record(TableId(1), vec![9]);
             for i in 0..holders {
-                lm.lock(TxnId(1000 + i as u64), &key, LockMode::SiRead).unwrap();
+                lm.lock(TxnId(1000 + i as u64), &key, LockMode::SiRead)
+                    .unwrap();
             }
             let mut txn = 0u64;
             b.iter(|| {
@@ -64,7 +71,10 @@ fn bench_distinct_keys(c: &mut Criterion) {
     // One transaction acquiring many distinct SIREAD locks (the footprint of
     // a Serializable SI scan).
     let mut group = c.benchmark_group("siread_locks_per_scan");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
     for keys in [10usize, 100, 1000] {
         group.bench_function(BenchmarkId::from_parameter(keys), |b| {
             let lm = LockManager::with_defaults();
@@ -90,7 +100,10 @@ fn bench_contended_throughput(c: &mut Criterion) {
     // Total lock/unlock throughput with several threads hammering a small
     // hot set of keys (exclusive mode, so there is real blocking).
     let mut group = c.benchmark_group("contended_exclusive");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(15);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(15);
     for threads in [2usize, 8] {
         group.bench_function(BenchmarkId::from_parameter(threads), |b| {
             b.iter_custom(|iters| {
@@ -103,8 +116,7 @@ fn bench_contended_throughput(c: &mut Criterion) {
                         scope.spawn(move || {
                             for i in 0..per_thread {
                                 let id = TxnId((t * per_thread + i + 1) as u64);
-                                let key =
-                                    LockKey::record(TableId(1), vec![(i % 4) as u8]);
+                                let key = LockKey::record(TableId(1), vec![(i % 4) as u8]);
                                 if lm.lock(id, &key, LockMode::Exclusive).is_ok() {
                                     lm.unlock(id, &key, LockMode::Exclusive);
                                 }

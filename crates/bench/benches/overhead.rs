@@ -16,7 +16,10 @@ use ssi_workloads::smallbank::{SmallBank, SmallBankConfig};
 
 fn bench_low_contention_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("low_contention_overhead");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
     for level in IsolationLevel::evaluated() {
         // 10x data volume of the hot configuration (Sec. 6.1.5): page-level
@@ -64,7 +67,10 @@ fn bench_single_thread_overhead(c: &mut Criterion) {
     // Zero-contention per-transaction cost: the purest view of the SSI
     // bookkeeping overhead relative to SI.
     let mut group = c.benchmark_group("single_thread_overhead");
-    group.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for level in [
         IsolationLevel::SnapshotIsolation,
         IsolationLevel::SerializableSnapshotIsolation,
@@ -87,5 +93,9 @@ fn bench_single_thread_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_low_contention_overhead, bench_single_thread_overhead);
+criterion_group!(
+    benches,
+    bench_low_contention_overhead,
+    bench_single_thread_overhead
+);
 criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Concurrent storage-layer benchmarks: the sharded two-level table vs the
+//! pre-sharding single-`RwLock` baseline.
+//!
+//! Three shapes, each at several thread counts:
+//!
+//! * `storage_reads` — pure point-read scaling (N readers, no writers);
+//! * `storage_mixed` — N readers vs M writers on one table;
+//! * `storage_scan_mix` — point readers plus full-table scanners plus a
+//!   writer, exercising the ordered side index concurrently with the hash
+//!   shards.
+//!
+//! Criterion reports time per operation; the `storage_bench` binary runs
+//! the same harness and records the baseline-vs-sharded comparison in
+//! `BENCH_storage.json`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ssi_bench::storage_micro::{
+    run_storage_workload, setup_baseline, setup_sharded, StorageUnderTest, WorkloadShape,
+};
+
+const ROWS: u64 = 10_000;
+
+fn run_case<T: StorageUnderTest>(table: &T, shape: WorkloadShape) -> (u64, Duration) {
+    let out = run_storage_workload(table, shape);
+    (out.reads + out.writes + out.scans, out.elapsed)
+}
+
+fn bench_shape(c: &mut Criterion, group_name: &str, shapes: &[(&str, WorkloadShape)]) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    for (label, shape) in shapes {
+        group.throughput(Throughput::Elements(1));
+        let sharded = setup_sharded(shape.rows);
+        group.bench_function(BenchmarkId::new("sharded", label), |b| {
+            // One timed workload burst; report time-per-op scaled to the
+            // requested iteration count so real criterion's calibration
+            // stays correct if the shim is swapped out.
+            b.iter_custom(|iters| {
+                let (ops, elapsed) = run_case(&sharded, *shape);
+                elapsed.mul_f64(iters as f64 / ops.max(1) as f64)
+            })
+        });
+        let baseline = setup_baseline(shape.rows);
+        group.bench_function(BenchmarkId::new("single_rwlock", label), |b| {
+            b.iter_custom(|iters| {
+                let (ops, elapsed) = run_case(&baseline, *shape);
+                elapsed.mul_f64(iters as f64 / ops.max(1) as f64)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pure_reads(c: &mut Criterion) {
+    let shapes: Vec<(&str, WorkloadShape)> = [1usize, 4, 8]
+        .iter()
+        .map(|&n| {
+            (
+                match n {
+                    1 => "1_reader",
+                    4 => "4_readers",
+                    _ => "8_readers",
+                },
+                WorkloadShape {
+                    readers: n,
+                    writers: 0,
+                    scanners: 0,
+                    rows: ROWS,
+                    duration: Duration::from_millis(150),
+                },
+            )
+        })
+        .collect();
+    bench_shape(c, "storage_reads", &shapes);
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let shapes = [
+        (
+            "4r_2w",
+            WorkloadShape {
+                readers: 4,
+                writers: 2,
+                scanners: 0,
+                rows: ROWS,
+                duration: Duration::from_millis(150),
+            },
+        ),
+        (
+            "8r_4w",
+            WorkloadShape {
+                readers: 8,
+                writers: 4,
+                scanners: 0,
+                rows: ROWS,
+                duration: Duration::from_millis(150),
+            },
+        ),
+    ];
+    bench_shape(c, "storage_mixed", &shapes);
+}
+
+fn bench_scan_mix(c: &mut Criterion) {
+    let shapes = [(
+        "4r_2s_1w",
+        WorkloadShape {
+            readers: 4,
+            writers: 1,
+            scanners: 2,
+            rows: 1_000,
+            duration: Duration::from_millis(150),
+        },
+    )];
+    bench_shape(c, "storage_scan_mix", &shapes);
+}
+
+criterion_group!(benches, bench_pure_reads, bench_mixed, bench_scan_mix);
+criterion_main!(benches);

@@ -16,7 +16,10 @@ use ssi_workloads::tpcc::{ScaleFactor, TpccConfig, TpccWorkload};
 
 fn bench_smallbank_transaction(c: &mut Criterion) {
     let mut group = c.benchmark_group("smallbank_txn");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
     for level in IsolationLevel::evaluated() {
         let db = Database::open(Options::berkeley_like(100).with_isolation(level));
         let bank = SmallBank::setup(
@@ -38,7 +41,10 @@ fn bench_smallbank_transaction(c: &mut Criterion) {
 
 fn bench_sibench_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("sibench_query");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
     for items in [10u64, 100, 1000] {
         let db = Database::open(Options::default());
         let bench = SiBench::setup(&db, items, 1);
@@ -51,7 +57,10 @@ fn bench_sibench_query(c: &mut Criterion) {
 
 fn bench_sibench_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("sibench_update");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
     for level in IsolationLevel::evaluated() {
         let db = Database::open(Options::default().with_isolation(level));
         let bench = SiBench::setup(&db, 100, 1);
@@ -68,7 +77,10 @@ fn bench_sibench_update(c: &mut Criterion) {
 
 fn bench_tpcc_transactions(c: &mut Criterion) {
     let mut group = c.benchmark_group("tpcc_txn_mix");
-    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
     for level in IsolationLevel::evaluated() {
         let db = Database::open(Options::default().with_isolation(level));
         let workload = TpccWorkload::setup(&db, TpccConfig::new(ScaleFactor::tiny(1)));

@@ -18,9 +18,7 @@
 
 use std::time::Duration;
 
-use ssi_bench::{
-    all_experiments, find_experiment, format_table, run_experiment, HarnessConfig,
-};
+use ssi_bench::{all_experiments, find_experiment, format_table, run_experiment, HarnessConfig};
 
 fn print_usage() {
     println!(

@@ -1,0 +1,154 @@
+//! Records the baseline-vs-sharded storage comparison in
+//! `BENCH_storage.json`.
+//!
+//! Runs the `storage_micro` harness (point readers, writers, scanners on
+//! one table) against the sharded `ssi_storage::Table` and the
+//! pre-sharding single-`RwLock` `BaselineTable`, prints a comparison
+//! table, and writes the numbers as JSON so the speedup is recorded
+//! in-repo. Usage:
+//!
+//! ```text
+//! cargo run --release -p ssi-bench --bin storage_bench [output.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use ssi_bench::storage_micro::{
+    run_storage_workload, setup_baseline, setup_sharded, StorageThroughput, WorkloadShape,
+};
+
+struct CaseResult {
+    name: &'static str,
+    shape: WorkloadShape,
+    baseline: StorageThroughput,
+    sharded: StorageThroughput,
+}
+
+impl CaseResult {
+    fn total_ops_per_sec(t: &StorageThroughput) -> f64 {
+        (t.reads + t.writes + t.scans) as f64 / t.elapsed.as_secs_f64()
+    }
+
+    fn speedup(&self) -> f64 {
+        Self::total_ops_per_sec(&self.sharded) / Self::total_ops_per_sec(&self.baseline)
+    }
+}
+
+fn run_case(name: &'static str, shape: WorkloadShape) -> CaseResult {
+    // Warm-up pass on fresh tables, then the measured pass.
+    let sharded = setup_sharded(shape.rows);
+    let baseline = setup_baseline(shape.rows);
+    let warm = WorkloadShape {
+        duration: Duration::from_millis(100),
+        ..shape
+    };
+    run_storage_workload(&sharded, warm);
+    run_storage_workload(&baseline, warm);
+    let sharded_out = run_storage_workload(&sharded, shape);
+    let baseline_out = run_storage_workload(&baseline, shape);
+    CaseResult {
+        name,
+        shape,
+        baseline: baseline_out,
+        sharded: sharded_out,
+    }
+}
+
+fn throughput_json(t: &StorageThroughput) -> String {
+    format!(
+        "{{\"reads_per_sec\": {:.0}, \"writes_per_sec\": {:.0}, \"scans_per_sec\": {:.0}, \"total_ops_per_sec\": {:.0}}}",
+        t.reads_per_sec(),
+        t.writes_per_sec(),
+        t.scans_per_sec(),
+        CaseResult::total_ops_per_sec(t)
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_storage.json".to_string());
+    let duration = Duration::from_millis(400);
+    let rows = 10_000;
+
+    let cases = vec![
+        run_case(
+            "read_1_thread",
+            WorkloadShape {
+                readers: 1,
+                writers: 0,
+                scanners: 0,
+                rows,
+                duration,
+            },
+        ),
+        run_case(
+            "read_8_threads",
+            WorkloadShape {
+                readers: 8,
+                writers: 0,
+                scanners: 0,
+                rows,
+                duration,
+            },
+        ),
+        run_case(
+            "mixed_8r_4w",
+            WorkloadShape {
+                readers: 8,
+                writers: 4,
+                scanners: 0,
+                rows,
+                duration,
+            },
+        ),
+        run_case(
+            "scan_mix_4r_2s_1w",
+            WorkloadShape {
+                readers: 4,
+                writers: 1,
+                scanners: 2,
+                rows: 1_000,
+                duration,
+            },
+        ),
+    ];
+
+    println!(
+        "{:<20} {:>16} {:>16} {:>9}",
+        "case", "baseline ops/s", "sharded ops/s", "speedup"
+    );
+    for case in &cases {
+        println!(
+            "{:<20} {:>16.0} {:>16.0} {:>8.2}x",
+            case.name,
+            CaseResult::total_ops_per_sec(&case.baseline),
+            CaseResult::total_ops_per_sec(&case.sharded),
+            case.speedup()
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"description\": \"Storage-layer throughput: sharded two-level table vs pre-sharding single-RwLock baseline (storage_micro harness)\",\n");
+    let _ = writeln!(json, "  \"rows\": {rows},");
+    let _ = writeln!(json, "  \"duration_ms\": {},", duration.as_millis());
+    json.push_str("  \"cases\": [\n");
+    for (i, case) in cases.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"readers\": {}, \"writers\": {}, \"scanners\": {}, \"baseline\": {}, \"sharded\": {}, \"speedup\": {:.2}}}",
+            case.name,
+            case.shape.readers,
+            case.shape.writers,
+            case.shape.scanners,
+            throughput_json(&case.baseline),
+            throughput_json(&case.sharded),
+            case.speedup()
+        );
+        json.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_storage.json");
+    println!("\nwrote {out_path}");
+}

@@ -14,6 +14,9 @@
 //! tables; the Criterion benches under `benches/` reuse the same
 //! definitions for per-operation microbenchmarks and ablations.
 
+pub mod baseline;
+pub mod storage_micro;
+
 use std::time::Duration;
 
 use ssi_common::stats::RunStats;
@@ -475,10 +478,7 @@ pub fn ablation_options(base: IsolationLevel) -> Vec<(&'static str, Options)> {
 /// isolation level), matching the series the thesis plots.
 pub fn format_table(def: &ExperimentDef, points: &[PointResult]) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "== {} ({}): {}\n",
-        def.id, def.figure, def.title
-    ));
+    out.push_str(&format!("== {} ({}): {}\n", def.id, def.figure, def.title));
     out.push_str(&format!(
         "{:<6} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
         "level", "mpl", "commits/s", "deadlock/c", "conflict/c", "unsafe/c", "latency_us"
@@ -523,7 +523,10 @@ mod tests {
     fn options_match_the_prototype_for_each_workload() {
         let sb = find_experiment("fig6_1").unwrap();
         let opts = options_for(&sb.spec, IsolationLevel::SerializableSnapshotIsolation);
-        assert!(opts.granularity.is_page(), "SmallBank runs on the BDB-like engine");
+        assert!(
+            opts.granularity.is_page(),
+            "SmallBank runs on the BDB-like engine"
+        );
         assert!(opts.wal.flush_latency.is_none(), "fig6_1 does not flush");
 
         let sb2 = find_experiment("fig6_2").unwrap();
@@ -532,7 +535,10 @@ mod tests {
 
         let si = find_experiment("fig6_7").unwrap();
         let opts3 = options_for(&si.spec, IsolationLevel::StrictTwoPhaseLocking);
-        assert!(!opts3.granularity.is_page(), "sibench runs on the InnoDB-like engine");
+        assert!(
+            !opts3.granularity.is_page(),
+            "sibench runs on the InnoDB-like engine"
+        );
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Multi-threaded storage-layer microbenchmark harness.
+//!
+//! Drives N reader threads against M writer threads on one table — point
+//! reads, point writes (install + commit-stamp) and optional range scans —
+//! and reports operations per second. The same harness runs against the
+//! sharded [`ssi_storage::Table`] and the pre-sharding
+//! [`BaselineTable`](crate::baseline::BaselineTable), so the
+//! `storage_concurrent` bench and the `storage_bench` binary measure the
+//! speedup rather than asserting it.
+
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ssi_common::{TableId, TxnId};
+use ssi_storage::Table;
+
+use crate::baseline::BaselineTable;
+
+/// Storage implementations the harness can drive.
+pub trait StorageUnderTest: Sync {
+    fn install_committed(&self, key: &[u8], txn: TxnId, value: Vec<u8>, commit_ts: u64);
+    /// Returns the visible value's length (0 when invisible); forces the
+    /// value to be materialized so both implementations do comparable work.
+    fn read_len(&self, key: &[u8], reader: TxnId, snapshot_ts: u64) -> usize;
+    /// Full-table scan; returns the number of visible rows.
+    fn scan_count(&self, reader: TxnId, snapshot_ts: u64) -> usize;
+    /// Garbage-collects versions no snapshot at or after `horizon` can see.
+    fn purge(&self, horizon: u64);
+}
+
+impl StorageUnderTest for Table {
+    fn install_committed(&self, key: &[u8], txn: TxnId, value: Vec<u8>, commit_ts: u64) {
+        let v = self.install_version(key, txn, Some(value));
+        v.mark_committed(commit_ts);
+    }
+
+    fn read_len(&self, key: &[u8], reader: TxnId, snapshot_ts: u64) -> usize {
+        self.read(key, reader, snapshot_ts)
+            .value
+            .map_or(0, |v| v.len())
+    }
+
+    fn scan_count(&self, reader: TxnId, snapshot_ts: u64) -> usize {
+        self.scan(Bound::Unbounded, Bound::Unbounded, reader, snapshot_ts)
+            .iter()
+            .filter(|e| e.value.is_some())
+            .count()
+    }
+
+    fn purge(&self, horizon: u64) {
+        self.purge_versions(horizon);
+    }
+}
+
+impl StorageUnderTest for BaselineTable {
+    fn install_committed(&self, key: &[u8], txn: TxnId, value: Vec<u8>, commit_ts: u64) {
+        let v = self.install_version(key, txn, Some(value));
+        v.mark_committed(commit_ts);
+    }
+
+    fn read_len(&self, key: &[u8], reader: TxnId, snapshot_ts: u64) -> usize {
+        self.read(key, reader, snapshot_ts)
+            .value
+            .map_or(0, |v| v.len())
+    }
+
+    fn scan_count(&self, reader: TxnId, snapshot_ts: u64) -> usize {
+        self.scan_all(reader, snapshot_ts).len()
+    }
+
+    fn purge(&self, horizon: u64) {
+        self.purge_versions(horizon);
+    }
+}
+
+/// Builds a sharded table preloaded with `rows` committed 64-byte values.
+pub fn setup_sharded(rows: u64) -> Table {
+    let table = Table::new(TableId(1), "storage_micro");
+    preload(&table, rows);
+    table
+}
+
+/// Builds a baseline table with the same contents.
+pub fn setup_baseline(rows: u64) -> BaselineTable {
+    let table = BaselineTable::new();
+    preload(&table, rows);
+    table
+}
+
+fn preload<T: StorageUnderTest>(table: &T, rows: u64) {
+    for i in 0..rows {
+        table.install_committed(&i.to_be_bytes(), TxnId(1), vec![i as u8; 64], 10);
+    }
+}
+
+/// Workload shape of one harness run.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadShape {
+    /// Point-reader threads.
+    pub readers: usize,
+    /// Writer threads (install + commit-stamp).
+    pub writers: usize,
+    /// Scanning threads (full-table snapshot scans).
+    pub scanners: usize,
+    /// Keys in the table.
+    pub rows: u64,
+    /// Measured wall-clock duration.
+    pub duration: Duration,
+}
+
+/// Result of one harness run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StorageThroughput {
+    pub reads: u64,
+    pub writes: u64,
+    pub scans: u64,
+    pub elapsed: Duration,
+}
+
+impl StorageThroughput {
+    pub fn reads_per_sec(&self) -> f64 {
+        self.reads as f64 / self.elapsed.as_secs_f64()
+    }
+
+    pub fn writes_per_sec(&self) -> f64 {
+        self.writes as f64 / self.elapsed.as_secs_f64()
+    }
+
+    pub fn scans_per_sec(&self) -> f64 {
+        self.scans as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs the workload shape against `table` and reports throughput.
+pub fn run_storage_workload<T: StorageUnderTest>(
+    table: &T,
+    shape: WorkloadShape,
+) -> StorageThroughput {
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let writes = AtomicU64::new(0);
+    let scans = AtomicU64::new(0);
+    let start = Instant::now();
+
+    std::thread::scope(|s| {
+        for r in 0..shape.readers {
+            let (stop, reads) = (&stop, &reads);
+            s.spawn(move || {
+                let reader = TxnId(1_000_000 + r as u64);
+                // Each thread strides through the key space from its own
+                // offset so readers do not share cache lines in lockstep.
+                let mut i = (r as u64) * 7919;
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..64 {
+                        i = i.wrapping_add(7919);
+                        let key = (i % shape.rows).to_be_bytes();
+                        std::hint::black_box(table.read_len(&key, reader, u64::MAX - 2));
+                        local += 1;
+                    }
+                }
+                reads.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        for w in 0..shape.writers {
+            let (stop, writes) = (&stop, &writes);
+            s.spawn(move || {
+                let mut i = (w as u64) * 104_729;
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..16 {
+                        i = i.wrapping_add(104_729);
+                        let key = (i % shape.rows).to_be_bytes();
+                        let txn = TxnId(2_000_000 + w as u64 * 1_000_000_000 + n);
+                        table.install_committed(&key, txn, vec![w as u8; 64], 100 + n);
+                        n += 1;
+                        // Keep chains short, as the engine's version GC
+                        // would: purge everything older than the newest
+                        // commit every few thousand writes.
+                        if n.is_multiple_of(4096) {
+                            table.purge(100 + n);
+                        }
+                    }
+                }
+                writes.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        for c in 0..shape.scanners {
+            let (stop, scans) = (&stop, &scans);
+            s.spawn(move || {
+                let reader = TxnId(3_000_000 + c as u64);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(table.scan_count(reader, u64::MAX - 2));
+                    local += 1;
+                }
+                scans.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(shape.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    StorageThroughput {
+        reads: reads.load(Ordering::Relaxed),
+        writes: writes.load(Ordering::Relaxed),
+        scans: scans.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_drives_both_implementations() {
+        let shape = WorkloadShape {
+            readers: 2,
+            writers: 1,
+            scanners: 1,
+            rows: 128,
+            duration: Duration::from_millis(50),
+        };
+        let sharded = setup_sharded(shape.rows);
+        let out = run_storage_workload(&sharded, shape);
+        assert!(out.reads > 0 && out.writes > 0 && out.scans > 0);
+
+        let baseline = setup_baseline(shape.rows);
+        let out = run_storage_workload(&baseline, shape);
+        assert!(out.reads > 0 && out.writes > 0 && out.scans > 0);
+    }
+}

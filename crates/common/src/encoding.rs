@@ -229,7 +229,10 @@ mod tests {
     #[test]
     fn i64_keys_preserve_order_across_sign() {
         let vals = [-5_000_000_000i64, -1, 0, 1, 7, 5_000_000_000];
-        let keys: Vec<Vec<u8>> = vals.iter().map(|v| KeyBuilder::new().i64(*v).build()).collect();
+        let keys: Vec<Vec<u8>> = vals
+            .iter()
+            .map(|v| KeyBuilder::new().i64(*v).build())
+            .collect();
         for w in keys.windows(2) {
             assert!(w[0] < w[1]);
         }

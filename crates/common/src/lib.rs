@@ -15,8 +15,14 @@
 pub mod encoding;
 pub mod error;
 pub mod ids;
+pub mod inline_vec;
 pub mod rng;
 pub mod stats;
 
 pub use error::{AbortKind, Error, Result};
 pub use ids::{IsolationLevel, TableId, Timestamp, TxnId, TS_INFINITY, TS_ZERO};
+pub use inline_vec::InlineVec;
+
+/// Reference-counted immutable byte payload. Snapshot reads hand out clones
+/// of this handle (a refcount bump) instead of copying row bytes.
+pub type Bytes = std::sync::Arc<[u8]>;

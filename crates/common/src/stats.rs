@@ -70,7 +70,8 @@ impl WorkerStats {
         self.total_latency_ns += other.total_latency_ns;
         self.max_latency_ns = self.max_latency_ns.max(other.max_latency_ns);
         if self.per_type_commits.len() < other.per_type_commits.len() {
-            self.per_type_commits.resize(other.per_type_commits.len(), 0);
+            self.per_type_commits
+                .resize(other.per_type_commits.len(), 0);
         }
         for (i, v) in other.per_type_commits.iter().enumerate() {
             self.per_type_commits[i] += v;

@@ -17,7 +17,7 @@
 use std::ops::Bound;
 use std::sync::Arc;
 
-use ssi_common::{Error, IsolationLevel, Result, Timestamp, TxnId};
+use ssi_common::{Bytes, Error, IsolationLevel, Result, Timestamp, TxnId};
 use ssi_lock::{LockKey, LockMode};
 use ssi_storage::ScanEntry;
 
@@ -33,8 +33,10 @@ impl Transaction {
     // ------------------------------------------------------------------
 
     /// Reads the value of `key`, or `None` if it does not exist (for this
-    /// transaction's snapshot / isolation level).
-    pub fn get(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    /// transaction's snapshot / isolation level). The value is a refcounted
+    /// handle to the stored version's payload — the snapshot read path
+    /// performs no byte copy.
+    pub fn get(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Bytes>> {
         let table = table.clone();
         let key = key.to_vec();
         self.run_op(move |txn| txn.do_get(&table, &key))
@@ -45,7 +47,7 @@ impl Transaction {
     /// is returned (the behaviour of `SELECT … FOR UPDATE` in the InnoDB
     /// prototype, Sec. 4.5). Under SI/SSI the first-committer-wins check is
     /// applied exactly as for a write.
-    pub fn get_for_update(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    pub fn get_for_update(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Bytes>> {
         let table = table.clone();
         let key = key.to_vec();
         self.run_op(move |txn| txn.do_get_for_update(&table, &key))
@@ -73,7 +75,7 @@ impl Transaction {
         table: &TableRef,
         lower: Bound<&[u8]>,
         upper: Bound<&[u8]>,
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    ) -> Result<Vec<(Vec<u8>, Bytes)>> {
         let table = table.clone();
         let lower: Bound<Vec<u8>> = clone_bound(lower);
         let upper: Bound<Vec<u8>> = clone_bound(upper);
@@ -85,7 +87,7 @@ impl Transaction {
         &mut self,
         table: &TableRef,
         prefix: &[u8],
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    ) -> Result<Vec<(Vec<u8>, Bytes)>> {
         match prefix_upper_bound(prefix) {
             Some(upper) => self.scan(
                 table,
@@ -218,7 +220,7 @@ impl Transaction {
     // Point reads
     // ------------------------------------------------------------------
 
-    fn do_get(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn do_get(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Bytes>> {
         match self.shared.isolation() {
             IsolationLevel::ReadCommitted => {
                 Ok(table.table.read_latest_committed(key, self.shared.id()))
@@ -258,7 +260,7 @@ impl Transaction {
         }
     }
 
-    fn do_get_for_update(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn do_get_for_update(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Bytes>> {
         let id = self.shared.id();
         match self.shared.isolation() {
             IsolationLevel::ReadCommitted | IsolationLevel::StrictTwoPhaseLocking => {
@@ -269,8 +271,7 @@ impl Transaction {
                 self.record_read(table, key, ts);
                 Ok(value)
             }
-            IsolationLevel::SnapshotIsolation
-            | IsolationLevel::SerializableSnapshotIsolation => {
+            IsolationLevel::SnapshotIsolation | IsolationLevel::SerializableSnapshotIsolation => {
                 let lock = self.lock_target(table, key);
                 let outcome = self.acquire(lock.clone(), LockMode::Exclusive)?;
                 // Snapshot selection is deferred until after the lock is
@@ -312,17 +313,14 @@ impl Transaction {
         }
         if let Some(modes) = self.locks.get_mut(lock) {
             if modes.remove(LockMode::SiRead) {
-                self.db.locks.unlock(self.shared.id(), lock, LockMode::SiRead);
+                self.db
+                    .locks
+                    .unlock(self.shared.id(), lock, LockMode::SiRead);
             }
         }
     }
 
-    fn do_write(
-        &mut self,
-        table: &TableRef,
-        key: &[u8],
-        value: Option<Vec<u8>>,
-    ) -> Result<()> {
+    fn do_write(&mut self, table: &TableRef, key: &[u8], value: Option<Vec<u8>>) -> Result<()> {
         let id = self.shared.id();
         let isolation = self.shared.isolation();
         let is_delete = value.is_none();
@@ -387,7 +385,7 @@ impl Transaction {
         table: &TableRef,
         lower: Bound<&[u8]>,
         upper: Bound<&[u8]>,
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    ) -> Result<Vec<(Vec<u8>, Bytes)>> {
         let id = self.shared.id();
         match self.shared.isolation() {
             IsolationLevel::ReadCommitted => {
@@ -465,7 +463,7 @@ impl Transaction {
     }
 }
 
-fn collect_visible(entries: Vec<ScanEntry>) -> Vec<(Vec<u8>, Vec<u8>)> {
+fn collect_visible(entries: Vec<ScanEntry>) -> Vec<(Vec<u8>, Bytes)> {
     entries
         .into_iter()
         .filter_map(|e| e.value.map(|v| (e.key, v)))

@@ -67,7 +67,7 @@ pub(crate) struct DbInner {
 /// txn.commit().unwrap();
 ///
 /// let mut reader = db.begin_with(IsolationLevel::SnapshotIsolation);
-/// assert_eq!(reader.get(&accounts, b"alice").unwrap(), Some(b"100".to_vec()));
+/// assert_eq!(reader.get(&accounts, b"alice").unwrap().as_deref(), Some(b"100".as_slice()));
 /// reader.commit().unwrap();
 /// ```
 #[derive(Clone)]
@@ -224,26 +224,22 @@ mod tests {
 
     #[test]
     fn begin_read_only_downgrades_when_configured() {
-        let mut opts = Options::default();
-        opts.read_only_queries_at_si = true;
+        let opts = Options {
+            read_only_queries_at_si: true,
+            ..Options::default()
+        };
         let db = Database::open(opts);
         let q = db.begin_read_only();
         assert_eq!(q.isolation(), IsolationLevel::SnapshotIsolation);
         let u = db.begin();
-        assert_eq!(
-            u.isolation(),
-            IsolationLevel::SerializableSnapshotIsolation
-        );
+        assert_eq!(u.isolation(), IsolationLevel::SerializableSnapshotIsolation);
     }
 
     #[test]
     fn begin_read_only_keeps_level_when_not_configured() {
         let db = Database::open_default();
         let q = db.begin_read_only();
-        assert_eq!(
-            q.isolation(),
-            IsolationLevel::SerializableSnapshotIsolation
-        );
+        assert_eq!(q.isolation(), IsolationLevel::SerializableSnapshotIsolation);
     }
 
     #[test]

@@ -30,9 +30,15 @@ fn read_your_own_writes_and_deletes() {
     let mut txn = db.begin();
     assert_eq!(txn.get(&t, b"k").unwrap(), None);
     txn.put(&t, b"k", b"v1").unwrap();
-    assert_eq!(txn.get(&t, b"k").unwrap(), Some(b"v1".to_vec()));
+    assert_eq!(
+        txn.get(&t, b"k").unwrap().as_deref(),
+        Some(b"v1".as_slice())
+    );
     txn.put(&t, b"k", b"v2").unwrap();
-    assert_eq!(txn.get(&t, b"k").unwrap(), Some(b"v2".to_vec()));
+    assert_eq!(
+        txn.get(&t, b"k").unwrap().as_deref(),
+        Some(b"v2".as_slice())
+    );
     txn.delete(&t, b"k").unwrap();
     assert_eq!(txn.get(&t, b"k").unwrap(), None);
     txn.commit().unwrap();
@@ -136,18 +142,27 @@ fn si_readers_see_stable_snapshot() {
     setup.commit().unwrap();
 
     let mut reader = db.begin();
-    assert_eq!(reader.get(&t, b"x").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(
+        reader.get(&t, b"x").unwrap().as_deref(),
+        Some(b"1".as_slice())
+    );
 
     let mut writer = db.begin();
     writer.put(&t, b"x", b"2").unwrap();
     writer.commit().unwrap();
 
     // The reader's snapshot predates the writer's commit.
-    assert_eq!(reader.get(&t, b"x").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(
+        reader.get(&t, b"x").unwrap().as_deref(),
+        Some(b"1".as_slice())
+    );
     reader.commit().unwrap();
 
     let mut after = db.begin();
-    assert_eq!(after.get(&t, b"x").unwrap(), Some(b"2".to_vec()));
+    assert_eq!(
+        after.get(&t, b"x").unwrap().as_deref(),
+        Some(b"2".as_slice())
+    );
     after.commit().unwrap();
 }
 
@@ -188,12 +203,15 @@ fn si_single_statement_update_never_conflicts() {
     for _ in 0..2 {
         let mut txn = db.begin();
         let v = txn.get_for_update(&t, b"ctr").unwrap().unwrap();
-        let n: i64 = String::from_utf8(v).unwrap().parse().unwrap();
+        let n: i64 = String::from_utf8(v.to_vec()).unwrap().parse().unwrap();
         txn.put(&t, b"ctr", (n + 1).to_string().as_bytes()).unwrap();
         txn.commit().unwrap();
     }
     let mut check = db.begin();
-    assert_eq!(check.get(&t, b"ctr").unwrap(), Some(b"2".to_vec()));
+    assert_eq!(
+        check.get(&t, b"ctr").unwrap().as_deref(),
+        Some(b"2".as_slice())
+    );
     check.commit().unwrap();
 }
 
@@ -214,11 +232,11 @@ fn si_permits_write_skew_but_ssi_does_not() {
         let mut t1 = db.begin();
         let mut t2 = db.begin();
         let read_sum = |txn: &mut crate::Transaction| -> i64 {
-            let x: i64 = String::from_utf8(txn.get(&t, b"x").unwrap().unwrap())
+            let x: i64 = String::from_utf8(txn.get(&t, b"x").unwrap().unwrap().to_vec())
                 .unwrap()
                 .parse()
                 .unwrap();
-            let y: i64 = String::from_utf8(txn.get(&t, b"y").unwrap().unwrap())
+            let y: i64 = String::from_utf8(txn.get(&t, b"y").unwrap().unwrap().to_vec())
                 .unwrap()
                 .parse()
                 .unwrap();
@@ -266,15 +284,24 @@ fn ssi_read_only_anomaly_is_prevented() {
     let mut pivot = db.begin(); // r(y) w(x)
     let mut out = db.begin(); // w(y) w(z)
 
-    assert_eq!(pivot.get(&t, b"y").unwrap(), Some(b"0".to_vec()));
+    assert_eq!(
+        pivot.get(&t, b"y").unwrap().as_deref(),
+        Some(b"0".as_slice())
+    );
     out.put(&t, b"y", b"1").unwrap();
     out.put(&t, b"z", b"1").unwrap();
     out.commit().unwrap();
 
     // Tin starts after Tout committed, reads z (new) and x (old).
     let mut t_in = db.begin();
-    assert_eq!(t_in.get(&t, b"z").unwrap(), Some(b"1".to_vec()));
-    assert_eq!(t_in.get(&t, b"x").unwrap(), Some(b"0".to_vec()));
+    assert_eq!(
+        t_in.get(&t, b"z").unwrap().as_deref(),
+        Some(b"1".as_slice())
+    );
+    assert_eq!(
+        t_in.get(&t, b"x").unwrap().as_deref(),
+        Some(b"0".as_slice())
+    );
     t_in.commit().unwrap();
 
     // Completing the pivot's write must now fail: committing it would make
@@ -412,8 +439,10 @@ fn ssi_suspended_transactions_are_cleaned_up() {
 
 #[test]
 fn mixed_mode_read_only_queries_skip_siread_locks() {
-    let mut options = Options::default();
-    options.read_only_queries_at_si = true;
+    let options = Options {
+        read_only_queries_at_si: true,
+        ..Options::default()
+    };
     let db = Database::open(options);
     let t = db.create_table("t").unwrap();
     let mut setup = db.begin();
@@ -462,8 +491,10 @@ fn ssi_detects_phantom_write_skew() {
 fn phantom_detection_requires_gap_locks() {
     // With phantom detection disabled the same interleaving commits on both
     // sides (demonstrating why Sec. 3.5 is needed for row-level locking).
-    let mut options = Options::default();
-    options.detect_phantoms = false;
+    let options = Options {
+        detect_phantoms: false,
+        ..Options::default()
+    };
     let db = Database::open(options);
     let t = db.create_table("oncall").unwrap();
     let mut setup = db.begin();
@@ -541,11 +572,11 @@ fn s2pl_serializes_the_write_skew_example() {
             attempts += 1;
             let mut txn = db1.begin();
             let result = (|| -> crate::Result<bool> {
-                let x: i64 = String::from_utf8(txn.get(&t1ref, target)?.unwrap())
+                let x: i64 = String::from_utf8(txn.get(&t1ref, target)?.unwrap().to_vec())
                     .unwrap()
                     .parse()
                     .unwrap();
-                let y: i64 = String::from_utf8(txn.get(&t1ref, other)?.unwrap())
+                let y: i64 = String::from_utf8(txn.get(&t1ref, other)?.unwrap().to_vec())
                     .unwrap()
                     .parse()
                     .unwrap();
@@ -577,16 +608,19 @@ fn s2pl_serializes_the_write_skew_example() {
         h2.join().unwrap();
     });
     let mut check = db2.begin();
-    let x: i64 = String::from_utf8(check.get(&t2, b"x").unwrap().unwrap())
+    let x: i64 = String::from_utf8(check.get(&t2, b"x").unwrap().unwrap().to_vec())
         .unwrap()
         .parse()
         .unwrap();
-    let y: i64 = String::from_utf8(check.get(&t2, b"y").unwrap().unwrap())
+    let y: i64 = String::from_utf8(check.get(&t2, b"y").unwrap().unwrap().to_vec())
         .unwrap()
         .parse()
         .unwrap();
     check.commit().unwrap();
-    assert!(x + y >= 0, "S2PL must preserve the constraint, got {x} + {y}");
+    assert!(
+        x + y >= 0,
+        "S2PL must preserve the constraint, got {x} + {y}"
+    );
 }
 
 #[test]

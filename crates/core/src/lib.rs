@@ -44,8 +44,8 @@
 //! // then takes its own doctor off call — the classic write-skew pattern.
 //! let mut t1 = db.begin();
 //! let mut t2 = db.begin();
-//! assert_eq!(t1.get(&t, b"bob").unwrap(), Some(b"on".to_vec()));
-//! assert_eq!(t2.get(&t, b"alice").unwrap(), Some(b"on".to_vec()));
+//! assert_eq!(t1.get(&t, b"bob").unwrap().as_deref(), Some(b"on".as_slice()));
+//! assert_eq!(t2.get(&t, b"alice").unwrap().as_deref(), Some(b"on".as_slice()));
 //!
 //! // Under Serializable SI one of the two must abort with the "unsafe"
 //! // error (possibly as early as the write); under plain SI both would

@@ -15,17 +15,41 @@
 //! * provide the global serialization mutex that makes conflict marking and
 //!   the commit-time flag check atomic (the `atomic begin/end` blocks of
 //!   Figs. 3.2/3.3; the analogue of InnoDB's kernel mutex).
+//!
+//! # Sharding
+//!
+//! The registry is sharded the same way as the lock table and the storage
+//! layer: `REGISTRY_SHARDS` small mutex-protected hash maps, selected by
+//! transaction id (ids are sequential, so the low bits spread perfectly).
+//! Begin/find/retire on different transactions therefore never contend on
+//! one mutex.
+//!
+//! Two auxiliary ordered structures keep the operations that used to be
+//! full-registry scans cheap:
+//!
+//! * each shard maintains an **active-begin index** (`BTreeSet` of
+//!   `(begin_ts, id)` for its active snapshot-holding transactions), so
+//!   [`TransactionManager::oldest_active_begin`] is one `first()` per shard
+//!   — O(shards), not O(live transactions) under one big mutex;
+//! * the suspended list is a `BTreeMap` keyed by `(commit_ts, id)`, so
+//!   [`TransactionManager::cleanup_suspended`] pops reclaimable entries in
+//!   commit order and stops at the first survivor — O(reclaimed), not
+//!   O(suspended × registry).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 
 use ssi_common::{IsolationLevel, Timestamp, TxnId};
-use ssi_lock::{LockKey, LockManager, LockMode};
+use ssi_lock::{FxBuildHasher, LockKey, LockManager, LockMode};
 
-use crate::txn_shared::{TxnShared, TxnStatus};
+use crate::txn_shared::TxnShared;
+
+/// Number of registry shards. Power of two; ids are assigned sequentially
+/// so `id % shards` spreads consecutive transactions across all shards.
+const REGISTRY_SHARDS: usize = 64;
 
 /// A committed Serializable-SI transaction kept around because transactions
 /// concurrent with it may still discover conflicts against it.
@@ -33,6 +57,17 @@ struct SuspendedTxn {
     shared: Arc<TxnShared>,
     /// SIREAD locks still registered in the lock table on its behalf.
     siread_locks: Vec<LockKey>,
+}
+
+/// One registry shard: the id → record map plus the ordered index of
+/// active transactions that already hold a snapshot.
+#[derive(Default)]
+struct RegistryShard {
+    records: HashMap<TxnId, Arc<TxnShared>, FxBuildHasher>,
+    /// `(begin_ts, id)` for every registered transaction that received a
+    /// snapshot and has not finished yet. `first()` is this shard's oldest
+    /// active begin timestamp.
+    active_begins: BTreeSet<(Timestamp, TxnId)>,
 }
 
 /// Counters describing transaction-manager activity, exposed for tests and
@@ -57,12 +92,12 @@ pub struct TransactionManager {
     clock: AtomicU64,
     /// Next transaction id.
     next_id: AtomicU64,
-    /// All transaction records that may still be referenced: active
-    /// transactions plus committed-but-suspended Serializable SI
-    /// transactions.
-    registry: Mutex<HashMap<TxnId, Arc<TxnShared>>>,
-    /// Suspended committed transactions, in commit order.
-    suspended: Mutex<Vec<SuspendedTxn>>,
+    /// Sharded registry of all transaction records that may still be
+    /// referenced: active transactions plus committed-but-suspended
+    /// Serializable SI transactions.
+    registry: Box<[Mutex<RegistryShard>]>,
+    /// Suspended committed transactions, ordered by commit timestamp.
+    suspended: Mutex<BTreeMap<(Timestamp, TxnId), SuspendedTxn>>,
     /// Serialization point for conflict marking and commit checks.
     serialization: Mutex<()>,
     /// Activity counters.
@@ -76,8 +111,10 @@ impl TransactionManager {
         TransactionManager {
             clock: AtomicU64::new(1),
             next_id: AtomicU64::new(1),
-            registry: Mutex::new(HashMap::new()),
-            suspended: Mutex::new(Vec::new()),
+            registry: (0..REGISTRY_SHARDS)
+                .map(|_| Mutex::new(RegistryShard::default()))
+                .collect(),
+            suspended: Mutex::new(BTreeMap::new()),
             serialization: Mutex::new(()),
             stats: ManagerStats::default(),
         }
@@ -86,6 +123,11 @@ impl TransactionManager {
     /// Activity counters.
     pub fn stats(&self) -> &ManagerStats {
         &self.stats
+    }
+
+    #[inline]
+    fn shard(&self, id: TxnId) -> &Mutex<RegistryShard> {
+        &self.registry[id.0 as usize & (REGISTRY_SHARDS - 1)]
     }
 
     /// Current value of the logical clock.
@@ -97,7 +139,7 @@ impl TransactionManager {
     pub fn begin(&self, isolation: IsolationLevel) -> Arc<TxnShared> {
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let shared = Arc::new(TxnShared::new(id, isolation));
-        self.registry.lock().insert(id, shared.clone());
+        self.shard(id).lock().records.insert(id, shared.clone());
         self.stats.started.fetch_add(1, Ordering::Relaxed);
         shared
     }
@@ -111,9 +153,19 @@ impl TransactionManager {
         if let Some(ts) = txn.begin_ts() {
             return ts;
         }
+        // Take the shard lock across assign + index insert so a concurrent
+        // finish cannot miss the index entry.
+        let mut shard = self.shard(txn.id()).lock();
+        if let Some(ts) = txn.begin_ts() {
+            return ts;
+        }
         let ts = self.current_ts();
         txn.set_begin_ts(ts);
-        txn.begin_ts().unwrap_or(ts)
+        let ts = txn.begin_ts().unwrap_or(ts);
+        if shard.records.contains_key(&txn.id()) {
+            shard.active_begins.insert((ts, txn.id()));
+        }
+        ts
     }
 
     /// Acquires the global serialization mutex (conflict marking and commit
@@ -140,30 +192,49 @@ impl TransactionManager {
 
     /// Looks up a (possibly suspended) transaction record by id.
     pub fn find(&self, id: TxnId) -> Option<Arc<TxnShared>> {
-        self.registry.lock().get(&id).cloned()
+        self.shard(id).lock().records.get(&id).cloned()
     }
 
     /// The smallest begin timestamp among active transactions, or
     /// `Timestamp::MAX` if none is active (used to decide which suspended
-    /// transactions can be reclaimed).
+    /// transactions can be reclaimed). One ordered-index lookup per shard:
+    /// O(shards), independent of how many transactions are live.
     pub fn oldest_active_begin(&self) -> Timestamp {
         self.registry
-            .lock()
-            .values()
-            .filter(|t| t.status() == TxnStatus::Active)
-            .filter_map(|t| t.begin_ts())
+            .iter()
+            .filter_map(|shard| shard.lock().active_begins.first().map(|(ts, _)| *ts))
             .min()
             .unwrap_or(Timestamp::MAX)
     }
 
     /// Number of entries in the registry (active + suspended), for tests.
     pub fn registry_len(&self) -> usize {
-        self.registry.lock().len()
+        self.registry.iter().map(|s| s.lock().records.len()).sum()
     }
 
     /// Number of suspended committed transactions, for tests and stats.
     pub fn suspended_len(&self) -> usize {
         self.suspended.lock().len()
+    }
+
+    /// Removes a finished transaction's record and active-begin entry.
+    fn retire(&self, txn: &Arc<TxnShared>) {
+        let mut shard = self.shard(txn.id()).lock();
+        shard.records.remove(&txn.id());
+        if let Some(ts) = txn.begin_ts() {
+            shard.active_begins.remove(&(ts, txn.id()));
+        }
+    }
+
+    /// Removes only the active-begin entry (the record stays, e.g. while
+    /// suspended).
+    fn deactivate(&self, txn: &Arc<TxnShared>) {
+        if let Some(ts) = txn.begin_ts() {
+            self.shard(txn.id())
+                .lock()
+                .active_begins
+                .remove(&(ts, txn.id()));
+        }
     }
 
     /// Records that `txn` committed. When `suspend` is true the record is
@@ -177,48 +248,52 @@ impl TransactionManager {
         self.stats.committed.fetch_add(1, Ordering::Relaxed);
         if !suspend {
             debug_assert!(siread_locks.is_empty());
-            self.registry.lock().remove(&txn.id());
+            self.retire(txn);
             txn.clear_conflicts();
         } else {
             self.stats.suspended.fetch_add(1, Ordering::Relaxed);
-            self.suspended.lock().push(SuspendedTxn {
-                shared: txn.clone(),
-                siread_locks,
-            });
+            self.deactivate(txn);
+            let key = (txn.commit_ts().unwrap_or(Timestamp::MAX), txn.id());
+            self.suspended.lock().insert(
+                key,
+                SuspendedTxn {
+                    shared: txn.clone(),
+                    siread_locks,
+                },
+            );
         }
     }
 
     /// Records that `txn` aborted and retires its record.
     pub fn finish_abort(&self, txn: &Arc<TxnShared>) {
         self.stats.aborted.fetch_add(1, Ordering::Relaxed);
-        self.registry.lock().remove(&txn.id());
+        self.retire(txn);
         txn.clear_conflicts();
     }
 
     /// Reclaims suspended transactions that are no longer concurrent with
     /// any active transaction: their SIREAD locks are dropped from the lock
     /// table, their conflict edges cleared and their records removed from
-    /// the registry (Sec. 4.6.1). Returns how many were reclaimed.
+    /// the registry (Sec. 4.6.1).
+    ///
+    /// The suspended list is ordered by commit timestamp, so this pops from
+    /// the front and stops at the first transaction some active transaction
+    /// is still concurrent with — O(reclaimed), not a scan of everything
+    /// suspended. Returns how many were reclaimed.
     pub fn cleanup_suspended(&self, locks: &LockManager) -> usize {
         let horizon = self.oldest_active_begin();
         let mut reclaimed = Vec::new();
         {
             let mut suspended = self.suspended.lock();
-            suspended.retain(|entry| {
-                let commit = entry.shared.commit_ts().unwrap_or(Timestamp::MAX);
-                // Keep the record while some active transaction began before
-                // this one committed (they are concurrent and may still
-                // discover conflicts against it).
-                if horizon < commit {
-                    true
-                } else {
-                    reclaimed.push(SuspendedTxn {
-                        shared: entry.shared.clone(),
-                        siread_locks: entry.siread_locks.clone(),
-                    });
-                    false
+            // Keep a record while some active transaction began before it
+            // committed (they are concurrent and may still discover
+            // conflicts against it): reclaim exactly while commit <= horizon.
+            while let Some(entry) = suspended.first_entry() {
+                if entry.key().0 > horizon {
+                    break;
                 }
-            });
+                reclaimed.push(entry.remove());
+            }
         }
         let count = reclaimed.len();
         for entry in reclaimed {
@@ -226,9 +301,11 @@ impl TransactionManager {
                 locks.unlock(entry.shared.id(), key, LockMode::SiRead);
             }
             entry.shared.clear_conflicts();
-            self.registry.lock().remove(&entry.shared.id());
+            self.retire(&entry.shared);
         }
-        self.stats.cleaned.fetch_add(count as u64, Ordering::Relaxed);
+        self.stats
+            .cleaned
+            .fetch_add(count as u64, Ordering::Relaxed);
         count
     }
 }
@@ -294,6 +371,7 @@ mod tests {
         m.finish_commit(&t, Vec::new(), false);
         assert_eq!(m.registry_len(), 0);
         assert_eq!(m.suspended_len(), 0);
+        assert_eq!(m.oldest_active_begin(), Timestamp::MAX);
     }
 
     #[test]
@@ -345,6 +423,68 @@ mod tests {
         b.mark_aborted();
         m.finish_abort(&b);
         assert_eq!(m.oldest_active_begin(), Timestamp::MAX);
+    }
+
+    #[test]
+    fn oldest_active_begin_scales_across_shards() {
+        // Many concurrent snapshot holders spread over every shard; the
+        // minimum must be exact regardless of which shard holds it.
+        let m = mgr();
+        let mut txns = Vec::new();
+        for i in 0..(REGISTRY_SHARDS * 3) {
+            let t = m.begin(IsolationLevel::SnapshotIsolation);
+            m.ensure_snapshot(&t);
+            // Advance the clock between begins so begin timestamps differ.
+            if i % 3 == 0 {
+                let ts = m.allocate_commit_ts();
+                m.publish_commit_ts(ts);
+            }
+            txns.push(t);
+        }
+        let expected = txns.iter().filter_map(|t| t.begin_ts()).min().unwrap();
+        assert_eq!(m.oldest_active_begin(), expected);
+        // Retire the oldest; the minimum must move.
+        let oldest = txns
+            .iter()
+            .position(|t| t.begin_ts() == Some(expected))
+            .unwrap();
+        let t = txns.remove(oldest);
+        t.mark_aborted();
+        m.finish_abort(&t);
+        let expected = txns.iter().filter_map(|t| t.begin_ts()).min().unwrap();
+        assert_eq!(m.oldest_active_begin(), expected);
+    }
+
+    #[test]
+    fn cleanup_reclaims_in_commit_order_and_stops_early() {
+        let m = mgr();
+        let locks = LockManager::with_defaults();
+        // Three suspended readers committing at increasing timestamps, and
+        // one active transaction that began between the second and third
+        // commit: cleanup must reclaim exactly the first two.
+        let mut suspended = Vec::new();
+        for _ in 0..2 {
+            let r = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+            m.ensure_snapshot(&r);
+            let ts = m.allocate_commit_ts();
+            m.publish_commit_ts(ts);
+            r.mark_committed(ts);
+            m.finish_commit(&r, Vec::new(), true);
+            suspended.push(r);
+        }
+        let active = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        m.ensure_snapshot(&active);
+        let r3 = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        m.ensure_snapshot(&r3);
+        let ts = m.allocate_commit_ts();
+        m.publish_commit_ts(ts);
+        r3.mark_committed(ts);
+        m.finish_commit(&r3, Vec::new(), true);
+
+        assert_eq!(m.suspended_len(), 3);
+        assert_eq!(m.cleanup_suspended(&locks), 2);
+        assert_eq!(m.suspended_len(), 1);
+        assert!(m.find(r3.id()).is_some(), "r3 still concurrent with active");
     }
 
     #[test]

@@ -14,8 +14,8 @@ use ssi_storage::{Table, Version};
 
 use crate::db::DbInner;
 use crate::ssi;
-use crate::verify::{CommittedTxn, ReadRecord, WriteRecordEntry};
 use crate::txn_shared::TxnShared;
+use crate::verify::{CommittedTxn, ReadRecord, WriteRecordEntry};
 
 /// Local (handle-side) transaction state.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -121,10 +121,7 @@ impl Transaction {
 
     /// Runs an operation body, aborting the transaction if it fails with a
     /// retryable concurrency-control error.
-    pub(crate) fn run_op<T>(
-        &mut self,
-        body: impl FnOnce(&mut Self) -> Result<T>,
-    ) -> Result<T> {
+    pub(crate) fn run_op<T>(&mut self, body: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
         self.check_active()?;
         match body(self) {
             Ok(v) => Ok(v),
@@ -153,8 +150,7 @@ impl Transaction {
             self.abort_internal();
             return Err(Error::unsafe_abort(self.shared.id()));
         }
-        let is_ssi =
-            self.shared.isolation() == IsolationLevel::SerializableSnapshotIsolation;
+        let is_ssi = self.shared.isolation() == IsolationLevel::SerializableSnapshotIsolation;
 
         // --- serialization point: unsafe check + atomic visibility ---------
         let commit_ts;
@@ -236,9 +232,11 @@ impl Transaction {
             }
         }
 
-        self.db
-            .txns
-            .finish_commit(&self.shared, if suspend { siread_keys } else { Vec::new() }, suspend);
+        self.db.txns.finish_commit(
+            &self.shared,
+            if suspend { siread_keys } else { Vec::new() },
+            suspend,
+        );
         self.maybe_cleanup();
 
         self.writes.clear();

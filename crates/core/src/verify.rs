@@ -142,7 +142,8 @@ impl MvsgReport {
 
         // Index versions per item: (table, key) -> sorted list of
         // (commit_ts, writer).
-        let mut versions: HashMap<(TableId, &[u8]), Vec<(Timestamp, TxnId)>> = HashMap::new();
+        type VersionIndex<'a> = HashMap<(TableId, &'a [u8]), Vec<(Timestamp, TxnId)>>;
+        let mut versions: VersionIndex = HashMap::new();
         for txn in history {
             for w in &txn.writes {
                 let entry = versions.entry((w.table, w.key.as_slice())).or_default();
@@ -342,9 +343,11 @@ mod tests {
         let report = MvsgReport::build(&history);
         assert!(report.is_serializable());
         assert!(report.pivots.is_empty());
-        assert!(report
-            .edges
-            .contains(&Edge { from: TxnId(1), to: TxnId(2), kind: EdgeKind::Wr }));
+        assert!(report.edges.contains(&Edge {
+            from: TxnId(1),
+            to: TxnId(2),
+            kind: EdgeKind::Wr
+        }));
     }
 
     #[test]
@@ -353,20 +356,8 @@ mod tests {
         // state (version_ts None ≈ initial), T1 writes x, T2 writes y, both
         // concurrent.
         let history = vec![
-            txn(
-                1,
-                5,
-                20,
-                vec![(b"x", None), (b"y", None)],
-                vec![b"x"],
-            ),
-            txn(
-                2,
-                6,
-                21,
-                vec![(b"x", None), (b"y", None)],
-                vec![b"y"],
-            ),
+            txn(1, 5, 20, vec![(b"x", None), (b"y", None)], vec![b"x"]),
+            txn(2, 6, 21, vec![(b"x", None), (b"y", None)], vec![b"y"]),
         ];
         let report = MvsgReport::build(&history);
         assert!(!report.is_serializable());
@@ -382,10 +373,7 @@ mod tests {
             txn(2, 12, 15, vec![(b"x", Some(10))], vec![]),
         ];
         let report = MvsgReport::build(&history);
-        assert!(report
-            .edges
-            .iter()
-            .all(|e| e.kind != EdgeKind::Rw));
+        assert!(report.edges.iter().all(|e| e.kind != EdgeKind::Rw));
         assert!(report.is_serializable());
     }
 
@@ -417,12 +405,16 @@ mod tests {
         ];
         let report = MvsgReport::build(&history);
         assert!(report.is_serializable());
-        assert!(report
-            .edges
-            .contains(&Edge { from: TxnId(1), to: TxnId(2), kind: EdgeKind::Ww }));
-        assert!(report
-            .edges
-            .contains(&Edge { from: TxnId(2), to: TxnId(3), kind: EdgeKind::Ww }));
+        assert!(report.edges.contains(&Edge {
+            from: TxnId(1),
+            to: TxnId(2),
+            kind: EdgeKind::Ww
+        }));
+        assert!(report.edges.contains(&Edge {
+            from: TxnId(2),
+            to: TxnId(3),
+            kind: EdgeKind::Ww
+        }));
     }
 
     #[test]

@@ -108,6 +108,10 @@ mod tests {
         for i in 0u64..1000 {
             used.insert(hash_of(&i.to_be_bytes().to_vec()) % buckets);
         }
-        assert!(used.len() > 48, "only {} of {buckets} buckets used", used.len());
+        assert!(
+            used.len() > 48,
+            "only {} of {buckets} buckets used",
+            used.len()
+        );
     }
 }

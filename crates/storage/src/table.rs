@@ -1,4 +1,4 @@
-//! Ordered multi-version tables.
+//! Sharded ordered multi-version tables.
 //!
 //! A table maps byte-string keys to *version chains* (newest first). The
 //! table itself performs no concurrency control beyond keeping its own data
@@ -13,26 +13,93 @@
 //!   first-committer-wins check;
 //! * ordered key access (`next_key_at_or_after`) used for next-key / gap
 //!   locking against phantoms (Sec. 3.5).
+//!
+//! # Architecture: two-level sharded layout
+//!
+//! Earlier revisions stored every row behind one table-wide
+//! `RwLock<BTreeMap<…>>`, so all point reads, writes and rollbacks on a
+//! table serialized on a single lock. The table is now split in two levels:
+//!
+//! * a **sharded hash index** (`SHARD_COUNT` shards, FxHash from
+//!   `ssi_lock`): each shard is a small `RwLock<HashMap<key, Arc<RowChain>>>`
+//!   mapping a key to its version chain. Point operations touch exactly one
+//!   shard;
+//! * a **side ordered index** (`RwLock<BTreeMap<key, Arc<RowChain>>>`)
+//!   holding the same `Arc<RowChain>` entries, used only by range scans and
+//!   the next-key queries that gap locking needs.
+//!
+//! Each [`RowChain`] owns its version list behind its own `parking_lot`
+//! mutex, so two operations contend only when they touch the *same key*.
+//! Commit stamping ([`Version::mark_committed`]) is an atomic store on the
+//! version itself and takes no table lock at all.
+//!
+//! ## Locking protocol
+//!
+//! Lock order is **shard → chain** and **shard → ordered index**, and the
+//! chain mutex is never held while acquiring the ordered-index lock (scans
+//! take *index → chain*, so holding a chain while waiting on the index
+//! could deadlock). The invariants:
+//!
+//! * a chain present in either map is the unique chain for its key; both
+//!   maps always agree (they are updated while holding the shard write
+//!   lock, which is the insert/remove serialization point for a key);
+//! * versions are only appended (at the head) while holding the shard
+//!   **read** lock plus the chain mutex — so a shard **write** lock alone
+//!   is enough to freeze a chain's membership for removal decisions;
+//! * an empty chain is dead: it is never revived. Removal empties the
+//!   chain under the shard write lock (excluding installers) and unlinks
+//!   it from both maps; a concurrent scan that still holds the `Arc` just
+//!   observes an empty chain and skips the key.
+//!
+//! ## Why scans stay consistent under SSI
+//!
+//! A scan snapshots the range's `(key, chain)` pairs under a brief
+//! ordered-index read lock, then visits each chain under its mutex. Unlike
+//! the old global-lock design, a writer may install a version for a new key
+//! *while* a scan is in flight. That does not weaken Serializable SI:
+//! per-key visibility is still atomic (the chain mutex), uncommitted or
+//! later-committed versions that the scan does observe are reported as
+//! rw-conflicts via `newer_creators`, and inserts the scan misses entirely
+//! are exactly the phantoms that SIREAD **gap locks** exist to catch — the
+//! writer of a new key must acquire the gap lock covering it, where it
+//! meets the scan's gap SIREAD locks in the lock manager regardless of the
+//! storage-level interleaving.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::BuildHasher;
 use std::ops::Bound;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use ssi_common::{TableId, Timestamp, TxnId};
+use ssi_common::{Bytes, InlineVec, TableId, Timestamp, TxnId};
+use ssi_lock::FxBuildHasher;
 
 use crate::version::{Version, VersionState};
+
+/// Number of hash shards per table. Power of two so the shard selector is a
+/// mask; 64 matches the lock manager's sharding and is comfortably above
+/// typical core counts.
+const SHARD_COUNT: usize = 64;
+
+/// Inline capacity of [`VisibleRead::newer_creators`]: nearly all reads see
+/// zero or one concurrent writer, so four inline slots make allocation on
+/// the read path effectively impossible.
+const NEWER_INLINE: usize = 4;
+
+/// Creators of versions newer than the one a read observed, stored inline.
+pub type NewerCreators = InlineVec<TxnId, NEWER_INLINE>;
 
 /// Result of a snapshot read of one key.
 #[derive(Clone, Debug, Default)]
 pub struct VisibleRead {
-    /// The visible value, if any (and not a tombstone).
-    pub value: Option<Vec<u8>>,
+    /// The visible value, if any (and not a tombstone). A refcounted handle
+    /// to the version's payload — cloning it never copies the bytes.
+    pub value: Option<Bytes>,
     /// Creators of versions newer than the version that was read (both
     /// uncommitted ones and ones committed after the reader's snapshot).
     /// Each is a potential rw-antidependency for Serializable SI.
-    pub newer_creators: Vec<TxnId>,
+    pub newer_creators: NewerCreators,
     /// Commit timestamp of the newest committed version of the key,
     /// regardless of snapshot; used for the first-committer-wins check.
     pub newest_committed_ts: Option<Timestamp>,
@@ -55,10 +122,10 @@ pub struct ScanEntry {
     /// Visible value (`None` when the visible version is a tombstone or no
     /// version is visible to the snapshot). Entries with `None` are still
     /// reported so the caller can register conflicts for them.
-    pub value: Option<Vec<u8>>,
+    pub value: Option<Bytes>,
     /// Creators of versions newer than the visible one (see
     /// [`VisibleRead::newer_creators`]).
-    pub newer_creators: Vec<TxnId>,
+    pub newer_creators: NewerCreators,
     /// Commit timestamp of the version that was read (see
     /// [`VisibleRead::read_version_ts`]).
     pub read_version_ts: Option<Timestamp>,
@@ -67,20 +134,104 @@ pub struct ScanEntry {
     pub read_own_write: bool,
 }
 
-/// An ordered multi-version table.
+/// The version chain of one key, newest first, behind its own lock.
+struct RowChain {
+    versions: Mutex<Vec<Arc<Version>>>,
+}
+
+impl RowChain {
+    fn with_version(version: Arc<Version>) -> Arc<Self> {
+        Arc::new(RowChain {
+            versions: Mutex::new(vec![version]),
+        })
+    }
+}
+
+impl RowChain {
+    /// Single traversal computing every [`VisibleRead`] field — the union
+    /// of the old `read_chain` + `newest_committed_in` + `key_exists`
+    /// walks, computed in one pass. The chain is newest-first, so the
+    /// first visible version is the snapshot answer; versions before it
+    /// are the "newer" set and the newest committed timestamp is the
+    /// maximum over all committed versions.
+    fn read_all(&self, reader: TxnId, snapshot_ts: Timestamp) -> VisibleRead {
+        let versions = self.versions.lock();
+        let mut out = VisibleRead::default();
+        let mut found_visible = false;
+        for v in versions.iter() {
+            let state = v.state();
+            if state == VersionState::Aborted {
+                continue;
+            }
+            out.key_exists = true;
+            if let VersionState::Committed(ts) = state {
+                if out.newest_committed_ts.is_none_or(|best| ts > best) {
+                    out.newest_committed_ts = Some(ts);
+                }
+            }
+            if !found_visible {
+                if v.visible_to(reader, snapshot_ts) {
+                    found_visible = true;
+                    out.value = v.value_handle();
+                    out.read_version_ts = v.commit_ts();
+                    out.read_own_write = v.creator() == reader;
+                } else {
+                    // Not visible: newer than whatever will be read.
+                    out.newer_creators.push(v.creator());
+                }
+            }
+        }
+        out
+    }
+
+    /// Latest committed value, or the reader's own uncommitted write.
+    fn read_latest_committed(&self, reader: TxnId) -> Option<Bytes> {
+        let versions = self.versions.lock();
+        for v in versions.iter() {
+            if v.visible_to_read_committed(reader) {
+                return v.value_handle();
+            }
+        }
+        None
+    }
+
+    fn newest_committed_ts(&self) -> Option<Timestamp> {
+        let versions = self.versions.lock();
+        versions.iter().filter_map(|v| v.commit_ts()).max()
+    }
+
+    fn has_live_version(&self) -> bool {
+        let versions = self.versions.lock();
+        versions.iter().any(|v| v.state() != VersionState::Aborted)
+    }
+}
+
+/// One hash shard of a table.
+#[derive(Default)]
+struct Shard {
+    rows: RwLock<HashMap<Arc<[u8]>, Arc<RowChain>, FxBuildHasher>>,
+}
+
+/// A sharded, ordered multi-version table. See the module docs for the
+/// layout and locking protocol.
 pub struct Table {
     id: TableId,
     name: String,
-    rows: RwLock<BTreeMap<Vec<u8>, Vec<Arc<Version>>>>,
+    shards: Box<[Shard]>,
+    /// Ordered side index over the same chains, for scans and next-key
+    /// queries only. Point operations on existing keys never touch it.
+    ordered: RwLock<BTreeMap<Arc<[u8]>, Arc<RowChain>>>,
 }
 
 impl Table {
     /// Creates an empty table.
     pub fn new(id: TableId, name: impl Into<String>) -> Self {
+        let shards = (0..SHARD_COUNT).map(|_| Shard::default()).collect();
         Table {
             id,
             name: name.into(),
-            rows: RwLock::new(BTreeMap::new()),
+            shards,
+            ordered: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -94,88 +245,64 @@ impl Table {
         &self.name
     }
 
-    /// Number of keys with at least one version (including tombstoned keys).
-    pub fn key_count(&self) -> usize {
-        self.rows.read().len()
+    #[inline]
+    fn shard(&self, key: &[u8]) -> &Shard {
+        &self.shards[FxBuildHasher::default().hash_one(key) as usize & (SHARD_COUNT - 1)]
     }
 
-    fn read_chain(
-        chain: &[Arc<Version>],
-        reader: TxnId,
-        snapshot_ts: Timestamp,
-    ) -> (Option<Vec<u8>>, Vec<TxnId>, Option<Timestamp>, bool) {
-        let mut newer = Vec::new();
-        for v in chain.iter() {
-            if v.state() == VersionState::Aborted {
-                continue;
-            }
-            if v.visible_to(reader, snapshot_ts) {
-                let value = v.value().map(|b| b.to_vec());
-                return (value, newer, v.commit_ts(), v.creator() == reader);
-            }
-            // Not visible: it is newer than whatever we will end up reading.
-            newer.push(v.creator());
-        }
-        (None, newer, None, false)
+    /// Looks up the chain for `key` (one shard read lock).
+    #[inline]
+    fn chain(&self, key: &[u8]) -> Option<Arc<RowChain>> {
+        self.shard(key).rows.read().get(key).cloned()
+    }
+
+    /// Number of keys with at least one version (including tombstoned keys).
+    pub fn key_count(&self) -> usize {
+        self.ordered.read().len()
     }
 
     /// Snapshot read of `key` as of `snapshot_ts` on behalf of `reader`.
+    /// One shard read lock, one chain lock, one chain traversal; the value
+    /// comes back as a refcount bump, never a byte copy. The traversal
+    /// runs under the shard read-lock guard, so no chain handle is cloned.
     pub fn read(&self, key: &[u8], reader: TxnId, snapshot_ts: Timestamp) -> VisibleRead {
-        let rows = self.rows.read();
+        let rows = self.shard(key).rows.read();
         match rows.get(key) {
             None => VisibleRead::default(),
-            Some(chain) => {
-                let (value, newer_creators, read_version_ts, read_own_write) =
-                    Self::read_chain(chain, reader, snapshot_ts);
-                VisibleRead {
-                    value,
-                    newer_creators,
-                    newest_committed_ts: Self::newest_committed_in(chain),
-                    key_exists: chain.iter().any(|v| v.state() != VersionState::Aborted),
-                    read_version_ts,
-                    read_own_write,
-                }
-            }
+            Some(chain) => chain.read_all(reader, snapshot_ts),
         }
     }
 
     /// Read-committed read: latest committed value (or the reader's own
     /// uncommitted write).
-    pub fn read_latest_committed(&self, key: &[u8], reader: TxnId) -> Option<Vec<u8>> {
-        let rows = self.rows.read();
-        let chain = rows.get(key)?;
-        for v in chain.iter() {
-            if v.visible_to_read_committed(reader) {
-                return v.value().map(|b| b.to_vec());
-            }
-        }
-        None
-    }
-
-    fn newest_committed_in(chain: &[Arc<Version>]) -> Option<Timestamp> {
-        chain.iter().filter_map(|v| v.commit_ts()).max()
+    pub fn read_latest_committed(&self, key: &[u8], reader: TxnId) -> Option<Bytes> {
+        let rows = self.shard(key).rows.read();
+        rows.get(key)?.read_latest_committed(reader)
     }
 
     /// Commit timestamp of the newest committed version of `key`, if any.
     pub fn newest_committed_ts(&self, key: &[u8]) -> Option<Timestamp> {
-        let rows = self.rows.read();
-        rows.get(key).and_then(|c| Self::newest_committed_in(c))
+        let rows = self.shard(key).rows.read();
+        rows.get(key)?.newest_committed_ts()
     }
 
     /// True if the key has any non-aborted version (committed or not,
     /// tombstone or not). Used to distinguish inserts from updates when
     /// deciding whether gap locks are needed.
     pub fn contains_key(&self, key: &[u8]) -> bool {
-        let rows = self.rows.read();
-        rows.get(key)
-            .map(|c| c.iter().any(|v| v.state() != VersionState::Aborted))
-            .unwrap_or(false)
+        let rows = self.shard(key).rows.read();
+        rows.get(key).is_some_and(|c| c.has_live_version())
     }
 
     /// Installs a new uncommitted version of `key` (a value or, when `value`
     /// is `None`, a deletion tombstone) created by `creator`, and returns a
     /// handle the caller keeps in its write set for later commit stamping or
     /// rollback.
+    ///
+    /// Updates of existing keys take the shard **read** lock plus the chain
+    /// mutex, so concurrent writers of different keys never contend; only
+    /// the first write of a brand-new key takes the shard and ordered-index
+    /// write locks.
     pub fn install_version(
         &self,
         key: &[u8],
@@ -183,21 +310,78 @@ impl Table {
         value: Option<Vec<u8>>,
     ) -> Arc<Version> {
         let version = Arc::new(Version::new(creator, value));
-        let mut rows = self.rows.write();
-        rows.entry(key.to_vec())
-            .or_default()
-            .insert(0, version.clone());
+        let shard = self.shard(key);
+
+        // Fast path: the key exists; append under the shard read lock. The
+        // read lock excludes removal (which needs the write lock), so the
+        // chain cannot be unlinked while we push.
+        {
+            let rows = shard.rows.read();
+            if let Some(chain) = rows.get(key) {
+                chain.versions.lock().insert(0, version.clone());
+                return version;
+            }
+        }
+
+        // Slow path: first version of this key. Re-check under the shard
+        // write lock, then publish the chain in both maps.
+        let mut rows = shard.rows.write();
+        if let Some(chain) = rows.get(key) {
+            chain.versions.lock().insert(0, version.clone());
+            return version;
+        }
+        let key: Arc<[u8]> = Arc::from(key);
+        let chain = RowChain::with_version(version.clone());
+        rows.insert(key.clone(), chain.clone());
+        self.ordered.write().insert(key, chain);
         version
     }
 
     /// Unlinks a version previously installed with [`Table::install_version`]
     /// (rollback path). The version should already be marked aborted.
     pub fn unlink_version(&self, key: &[u8], version: &Arc<Version>) {
-        let mut rows = self.rows.write();
-        if let Some(chain) = rows.get_mut(key) {
-            chain.retain(|v| !Arc::ptr_eq(v, version));
-            if chain.is_empty() {
-                rows.remove(key);
+        let Some(chain) = self.chain(key) else { return };
+        let now_empty = {
+            let mut versions = chain.versions.lock();
+            versions.retain(|v| !Arc::ptr_eq(v, version));
+            versions.is_empty()
+        };
+        if now_empty {
+            self.remove_if_empty(key);
+        }
+    }
+
+    /// Removes `key`'s chain from both maps if it is (still) empty. Takes
+    /// the shard write lock first, which excludes concurrent installs, so
+    /// the emptiness check is stable.
+    fn remove_if_empty(&self, key: &[u8]) {
+        let shard = self.shard(key);
+        let removed = {
+            let mut rows = shard.rows.write();
+            match rows.get(key) {
+                Some(chain) if chain.versions.lock().is_empty() => {
+                    let chain = chain.clone();
+                    rows.remove(key);
+                    Some(chain)
+                }
+                _ => None,
+            }
+        };
+        if let Some(chain) = removed {
+            self.unlink_from_ordered(key, &chain);
+        }
+    }
+
+    /// Removes `key` from the ordered index iff it still maps to `chain`.
+    /// Called after the chain was removed from its hash shard, and never
+    /// while a chain mutex is held (see the module docs on lock order).
+    /// `ptr_eq` guards against removing a successor chain installed for
+    /// the same key in the meantime.
+    fn unlink_from_ordered(&self, key: &[u8], chain: &Arc<RowChain>) {
+        let mut ordered = self.ordered.write();
+        if let Some(current) = ordered.get(key) {
+            if Arc::ptr_eq(current, chain) {
+                ordered.remove(key);
             }
         }
     }
@@ -207,6 +391,10 @@ impl Table {
     /// version is a tombstone or that have no visible version at all —
     /// Serializable SI needs those entries to register rw-conflicts with the
     /// concurrent writers that created the newer versions.
+    ///
+    /// Entries come back in key order. The ordered-index lock is held only
+    /// while collecting the range's chain handles; the per-chain reads run
+    /// after it is released.
     pub fn scan(
         &self,
         lower: Bound<&[u8]>,
@@ -214,20 +402,25 @@ impl Table {
         reader: TxnId,
         snapshot_ts: Timestamp,
     ) -> Vec<ScanEntry> {
-        let rows = self.rows.read();
-        let mut out = Vec::new();
-        for (key, chain) in rows.range::<[u8], _>((lower, upper)) {
-            if chain.iter().all(|v| v.state() == VersionState::Aborted) {
+        let chains: Vec<(Arc<[u8]>, Arc<RowChain>)> = {
+            let ordered = self.ordered.read();
+            ordered
+                .range::<[u8], _>((lower, upper))
+                .map(|(k, c)| (k.clone(), c.clone()))
+                .collect()
+        };
+        let mut out = Vec::with_capacity(chains.len());
+        for (key, chain) in chains {
+            let r = chain.read_all(reader, snapshot_ts);
+            if !r.key_exists {
                 continue;
             }
-            let (value, newer_creators, read_version_ts, read_own_write) =
-                Self::read_chain(chain, reader, snapshot_ts);
             out.push(ScanEntry {
-                key: key.clone(),
-                value,
-                newer_creators,
-                read_version_ts,
-                read_own_write,
+                key: key.to_vec(),
+                value: r.value,
+                newer_creators: r.newer_creators,
+                read_version_ts: r.read_version_ts,
+                read_own_write: r.read_own_write,
             });
         }
         out
@@ -236,25 +429,28 @@ impl Table {
     /// Smallest key `>= key` present in the table (used by insert/delete gap
     /// locking: the lock target is the key *after* the one being modified).
     pub fn next_key_at_or_after(&self, key: &[u8]) -> Option<Vec<u8>> {
-        let rows = self.rows.read();
-        rows.range::<[u8], _>((Bound::Included(key), Bound::Unbounded))
+        let ordered = self.ordered.read();
+        ordered
+            .range::<[u8], _>((Bound::Included(key), Bound::Unbounded))
             .next()
-            .map(|(k, _)| k.clone())
+            .map(|(k, _)| k.to_vec())
     }
 
     /// Smallest key strictly greater than `key`.
     pub fn next_key_after(&self, key: &[u8]) -> Option<Vec<u8>> {
-        let rows = self.rows.read();
-        rows.range::<[u8], _>((Bound::Excluded(key), Bound::Unbounded))
+        let ordered = self.ordered.read();
+        ordered
+            .range::<[u8], _>((Bound::Excluded(key), Bound::Unbounded))
             .next()
-            .map(|(k, _)| k.clone())
+            .map(|(k, _)| k.to_vec())
     }
 
     /// All keys in the given range (used by tests and the verifier).
     pub fn keys_in_range(&self, lower: Bound<&[u8]>, upper: Bound<&[u8]>) -> Vec<Vec<u8>> {
-        let rows = self.rows.read();
-        rows.range::<[u8], _>((lower, upper))
-            .map(|(k, _)| k.clone())
+        let ordered = self.ordered.read();
+        ordered
+            .range::<[u8], _>((lower, upper))
+            .map(|(k, _)| k.to_vec())
             .collect()
     }
 
@@ -264,50 +460,96 @@ impl Table {
     /// dropped, and fully dead keys (only an old tombstone left) are removed.
     /// Returns the number of versions reclaimed.
     pub fn purge_versions(&self, oldest_active_snapshot: Timestamp) -> usize {
-        let mut rows = self.rows.write();
         let mut reclaimed = 0;
-        let mut dead_keys = Vec::new();
-        for (key, chain) in rows.iter_mut() {
-            // Position of the newest version committed at or before the
-            // horizon; everything after it (older) is unreachable.
-            let mut keep_upto = None;
-            for (i, v) in chain.iter().enumerate() {
-                match v.state() {
-                    VersionState::Committed(ts) if ts <= oldest_active_snapshot => {
-                        keep_upto = Some(i);
-                        break;
-                    }
-                    _ => {}
-                }
-            }
-            if let Some(idx) = keep_upto {
-                reclaimed += chain.len() - (idx + 1);
-                chain.truncate(idx + 1);
-                // If the only remaining reachable version is a tombstone and
-                // nothing newer exists, the key is gone for good.
-                if chain.len() == 1 && chain[0].is_tombstone() {
-                    if let VersionState::Committed(ts) = chain[0].state() {
-                        if ts <= oldest_active_snapshot {
-                            reclaimed += 1;
-                            dead_keys.push(key.clone());
+        for shard in self.shards.iter() {
+            let mut dead_keys: Vec<Arc<[u8]>> = Vec::new();
+            {
+                let rows = shard.rows.read();
+                for (key, chain) in rows.iter() {
+                    let mut versions = chain.versions.lock();
+                    // Position of the newest version committed at or before
+                    // the horizon; everything after it (older) is
+                    // unreachable.
+                    let mut keep_upto = None;
+                    for (i, v) in versions.iter().enumerate() {
+                        match v.state() {
+                            VersionState::Committed(ts) if ts <= oldest_active_snapshot => {
+                                keep_upto = Some(i);
+                                break;
+                            }
+                            _ => {}
                         }
                     }
+                    if let Some(idx) = keep_upto {
+                        reclaimed += versions.len() - (idx + 1);
+                        versions.truncate(idx + 1);
+                        // If the only remaining reachable version is a
+                        // tombstone and nothing newer exists, the key is
+                        // gone for good.
+                        if versions.len() == 1 && versions[0].is_tombstone() {
+                            if let VersionState::Committed(ts) = versions[0].state() {
+                                if ts <= oldest_active_snapshot {
+                                    dead_keys.push(key.clone());
+                                }
+                            }
+                        }
+                    }
+                    // Also drop aborted leftovers.
+                    let before = versions.len();
+                    versions.retain(|v| v.state() != VersionState::Aborted);
+                    reclaimed += before - versions.len();
                 }
             }
-            // Also drop aborted leftovers.
-            let before = chain.len();
-            chain.retain(|v| v.state() != VersionState::Aborted);
-            reclaimed += before - chain.len();
-        }
-        for key in dead_keys {
-            rows.remove(&key);
+            for key in dead_keys {
+                reclaimed += self.remove_dead_key(&key, oldest_active_snapshot);
+            }
         }
         reclaimed
     }
 
+    /// Removes a key whose chain consists solely of one committed tombstone
+    /// at or before the horizon. Re-verified under the shard write lock, so
+    /// a version installed since the purge scan keeps the key alive.
+    fn remove_dead_key(&self, key: &[u8], horizon: Timestamp) -> usize {
+        let shard = self.shard(key);
+        let removed = {
+            let mut rows = shard.rows.write();
+            let Some(chain) = rows.get(key) else { return 0 };
+            let dead = {
+                let mut versions = chain.versions.lock();
+                let is_dead = versions.len() == 1
+                    && versions[0].is_tombstone()
+                    && matches!(versions[0].state(),
+                                VersionState::Committed(ts) if ts <= horizon);
+                if is_dead {
+                    // Empty the chain so scans holding the Arc skip it.
+                    versions.clear();
+                }
+                is_dead
+            };
+            if !dead {
+                return 0;
+            }
+            let chain = chain.clone();
+            rows.remove(key);
+            chain
+        };
+        self.unlink_from_ordered(key, &removed);
+        1
+    }
+
     /// Total number of versions stored (all chains), for tests and stats.
     pub fn version_count(&self) -> usize {
-        self.rows.read().values().map(|c| c.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.rows
+                    .read()
+                    .values()
+                    .map(|c| c.versions.lock().len())
+                    .sum::<usize>()
+            })
+            .sum()
     }
 }
 
@@ -333,6 +575,10 @@ mod tests {
         Table::new(TableId(1), "test")
     }
 
+    fn val(r: &VisibleRead) -> Option<Vec<u8>> {
+        r.value.as_deref().map(|b| b.to_vec())
+    }
+
     #[test]
     fn empty_read() {
         let tbl = table();
@@ -348,7 +594,7 @@ mod tests {
         let tbl = table();
         tbl.install_version(b"a", t(1), Some(vec![1]));
         let mine = tbl.read(b"a", t(1), 5);
-        assert_eq!(mine.value, Some(vec![1]));
+        assert_eq!(val(&mine), Some(vec![1]));
         let theirs = tbl.read(b"a", t(2), 5);
         assert_eq!(theirs.value, None);
         assert_eq!(theirs.newer_creators, vec![t(1)]);
@@ -360,7 +606,7 @@ mod tests {
         let tbl = table();
         let v = tbl.install_version(b"a", t(1), Some(vec![1]));
         v.mark_committed(10);
-        assert_eq!(tbl.read(b"a", t(2), 10).value, Some(vec![1]));
+        assert_eq!(val(&tbl.read(b"a", t(2), 10)), Some(vec![1]));
         assert_eq!(tbl.read(b"a", t(2), 9).value, None);
         assert_eq!(tbl.read(b"a", t(2), 9).newer_creators, vec![t(1)]);
         assert_eq!(tbl.newest_committed_ts(b"a"), Some(10));
@@ -376,12 +622,12 @@ mod tests {
         // A reader with snapshot 15 sees version 1 and learns that T2 wrote a
         // newer version — exactly the rw-dependency signal of Fig. 3.4.
         let r = tbl.read(b"a", t(3), 15);
-        assert_eq!(r.value, Some(vec![1]));
+        assert_eq!(val(&r), Some(vec![1]));
         assert_eq!(r.newer_creators, vec![t(2)]);
         assert_eq!(r.newest_committed_ts, Some(20));
         // A reader with snapshot 25 sees version 2 with no newer versions.
         let r2 = tbl.read(b"a", t(3), 25);
-        assert_eq!(r2.value, Some(vec![2]));
+        assert_eq!(val(&r2), Some(vec![2]));
         assert!(r2.newer_creators.is_empty());
     }
 
@@ -392,7 +638,7 @@ mod tests {
         v1.mark_committed(10);
         let del = tbl.install_version(b"a", t(2), None);
         del.mark_committed(20);
-        assert_eq!(tbl.read(b"a", t(3), 15).value, Some(vec![1]));
+        assert_eq!(val(&tbl.read(b"a", t(3), 15)), Some(vec![1]));
         assert_eq!(tbl.read(b"a", t(3), 25).value, None);
         // The key still exists (with a tombstone) so scans can detect the
         // conflict for old snapshots.
@@ -418,10 +664,16 @@ mod tests {
         v1.mark_committed(10);
         let v2 = tbl.install_version(b"a", t(2), Some(vec![2]));
         v2.mark_committed(20);
-        assert_eq!(tbl.read_latest_committed(b"a", t(9)), Some(vec![2]));
+        assert_eq!(
+            tbl.read_latest_committed(b"a", t(9)).as_deref(),
+            Some(&[2][..])
+        );
         // Own uncommitted write wins.
         tbl.install_version(b"a", t(9), Some(vec![9]));
-        assert_eq!(tbl.read_latest_committed(b"a", t(9)), Some(vec![9]));
+        assert_eq!(
+            tbl.read_latest_committed(b"a", t(9)).as_deref(),
+            Some(&[9][..])
+        );
     }
 
     #[test]
@@ -491,8 +743,8 @@ mod tests {
         // tombstone is dead.
         let reclaimed = tbl.purge_versions(25);
         assert!(reclaimed >= 2, "reclaimed {reclaimed}");
-        assert_eq!(tbl.read(b"a", t(9), 25).value, Some(vec![2]));
-        assert_eq!(tbl.read(b"a", t(9), 35).value, Some(vec![3]));
+        assert_eq!(val(&tbl.read(b"a", t(9), 25)), Some(vec![2]));
+        assert_eq!(val(&tbl.read(b"a", t(9), 35)), Some(vec![3]));
         assert_eq!(tbl.key_count(), 1);
     }
 
@@ -505,5 +757,187 @@ mod tests {
         tbl.install_version(b"b", t(1), Some(vec![3]));
         assert_eq!(tbl.version_count(), 3);
         assert_eq!(tbl.key_count(), 2);
+    }
+
+    #[test]
+    fn read_returns_refcounted_handle_not_a_copy() {
+        // The zero-copy guarantee of the read path: every read of the same
+        // version must return a handle to the same heap allocation, i.e. a
+        // refcount bump, never a byte copy.
+        let tbl = table();
+        let v = tbl.install_version(b"a", t(1), Some(vec![42; 128]));
+        v.mark_committed(10);
+        let r1 = tbl.read(b"a", t(2), 20).value.expect("visible");
+        let r2 = tbl.read(b"a", t(3), 20).value.expect("visible");
+        assert!(
+            Arc::ptr_eq(&r1, &r2),
+            "reads must share the version's payload allocation"
+        );
+        assert_eq!(
+            r1.as_ptr(),
+            v.value().unwrap().as_ptr(),
+            "handle points into the stored version"
+        );
+        // Scans hand out the same handle.
+        let entries = tbl.scan(Bound::Unbounded, Bound::Unbounded, t(4), 20);
+        assert!(Arc::ptr_eq(entries[0].value.as_ref().unwrap(), &r1));
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let tbl = table();
+        for i in 0..1000u64 {
+            tbl.install_version(&i.to_be_bytes(), t(1), Some(vec![1]));
+        }
+        let populated = tbl
+            .shards
+            .iter()
+            .filter(|s| !s.rows.read().is_empty())
+            .count();
+        assert!(populated > SHARD_COUNT / 2, "only {populated} shards used");
+        assert_eq!(tbl.key_count(), 1000);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_never_see_partial_chains() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // Writers install + commit or install + abort/unlink on a small hot
+        // key set while readers hammer reads and scans. Every read must see
+        // either nothing or a fully installed, committed value of the
+        // expected shape; rollback races must never surface as panics or
+        // torn state.
+        let tbl = Arc::new(table());
+        let stop = Arc::new(AtomicBool::new(false));
+        let keys: Vec<Vec<u8>> = (0..8u64).map(|i| i.to_be_bytes().to_vec()).collect();
+
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let tbl = tbl.clone();
+                let stop = stop.clone();
+                let keys = keys.clone();
+                s.spawn(move || {
+                    let mut ts = 1000 + w;
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let key = &keys[(n % 8) as usize];
+                        let txn = t(w * 1_000_000 + n + 1);
+                        let payload = vec![w as u8; 64];
+                        let v = tbl.install_version(key, txn, Some(payload));
+                        if n.is_multiple_of(3) {
+                            // Rollback path: abort and unlink.
+                            v.mark_aborted();
+                            tbl.unlink_version(key, &v);
+                        } else {
+                            ts += 4;
+                            v.mark_committed(ts);
+                        }
+                        n += 1;
+                    }
+                });
+            }
+            for r in 0..4u64 {
+                let tbl = tbl.clone();
+                let stop = stop.clone();
+                let keys = keys.clone();
+                s.spawn(move || {
+                    let reader = t(900_000_000 + r);
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let key = &keys[(n % 8) as usize];
+                        let read = tbl.read(key, reader, u64::MAX - 1);
+                        if let Some(value) = &read.value {
+                            assert_eq!(value.len(), 64, "torn value");
+                            assert!(value.iter().all(|b| *b == value[0]), "torn value");
+                        }
+                        if n.is_multiple_of(16) {
+                            for entry in
+                                tbl.scan(Bound::Unbounded, Bound::Unbounded, reader, u64::MAX - 1)
+                            {
+                                if let Some(value) = &entry.value {
+                                    assert_eq!(value.len(), 64, "torn scan value");
+                                }
+                            }
+                        }
+                        n += 1;
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        // The maps must still agree after the dust settles, in both
+        // directions: every ordered-index key resolves in its hash shard
+        // and every hash-shard key appears in the ordered index.
+        let mut ordered_keys = tbl.keys_in_range(Bound::Unbounded, Bound::Unbounded);
+        ordered_keys.sort();
+        let mut shard_keys: Vec<Vec<u8>> = tbl
+            .shards
+            .iter()
+            .flat_map(|s| s.rows.read().keys().map(|k| k.to_vec()).collect::<Vec<_>>())
+            .collect();
+        shard_keys.sort();
+        assert_eq!(
+            ordered_keys, shard_keys,
+            "hash shards and ordered index diverged"
+        );
+        for key in &ordered_keys {
+            assert!(tbl.chain(key).is_some(), "ordered index out of sync");
+        }
+    }
+
+    #[test]
+    fn scans_stay_key_ordered_across_shards_under_concurrent_inserts() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let tbl = Arc::new(table());
+        let stop = Arc::new(AtomicBool::new(false));
+        // Seed every even key, committed at ts 10.
+        for i in (0..512u64).step_by(2) {
+            let v = tbl.install_version(&i.to_be_bytes(), t(1), Some(i.to_be_bytes().to_vec()));
+            v.mark_committed(10);
+        }
+        std::thread::scope(|s| {
+            {
+                let tbl = tbl.clone();
+                let stop = stop.clone();
+                s.spawn(move || {
+                    // Keep inserting odd keys (new chains → ordered-index
+                    // writes) while scans run.
+                    let mut i = 1u64;
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v =
+                            tbl.install_version(&(i % 512).to_be_bytes(), t(2 + n), Some(vec![9]));
+                        v.mark_committed(100 + n);
+                        i += 2;
+                        n += 1;
+                    }
+                });
+            }
+            for _ in 0..3 {
+                let tbl = tbl.clone();
+                let stop = stop.clone();
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let entries = tbl.scan(Bound::Unbounded, Bound::Unbounded, t(999_999), 50);
+                        // Strictly ascending keys, and every seeded even key
+                        // (committed before the scan snapshot) is present.
+                        assert!(
+                            entries.windows(2).all(|w| w[0].key < w[1].key),
+                            "scan keys out of order"
+                        );
+                        let evens = entries
+                            .iter()
+                            .filter(|e| {
+                                u64::from_be_bytes(e.key.as_slice().try_into().unwrap()) % 2 == 0
+                            })
+                            .count();
+                        assert_eq!(evens, 256, "scan lost a committed key");
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 }

@@ -16,7 +16,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ssi_common::{Timestamp, TxnId, TS_ZERO};
+use ssi_common::{Bytes, Timestamp, TxnId, TS_ZERO};
 
 /// Lifecycle state of a version, derived from its commit-timestamp cell.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -41,8 +41,10 @@ pub struct Version {
     /// Commit timestamp of the creator; [`TS_ZERO`] while uncommitted,
     /// [`ABORTED_SENTINEL`] once rolled back.
     commit_ts: AtomicU64,
-    /// Row payload; `None` is a deletion tombstone.
-    value: Option<Vec<u8>>,
+    /// Row payload; `None` is a deletion tombstone. The payload is a
+    /// reference-counted slice so readers can return a handle to it (a
+    /// refcount bump) instead of copying the bytes.
+    value: Option<Bytes>,
 }
 
 impl Version {
@@ -51,7 +53,7 @@ impl Version {
         Version {
             creator,
             commit_ts: AtomicU64::new(TS_ZERO),
-            value,
+            value: value.map(Bytes::from),
         }
     }
 
@@ -65,6 +67,13 @@ impl Version {
     #[inline]
     pub fn value(&self) -> Option<&[u8]> {
         self.value.as_deref()
+    }
+
+    /// Zero-copy handle to the payload: clones the refcounted pointer
+    /// without touching the bytes. `None` for tombstones.
+    #[inline]
+    pub fn value_handle(&self) -> Option<Bytes> {
+        self.value.clone()
     }
 
     /// True if this version is a deletion tombstone.

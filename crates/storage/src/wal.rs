@@ -146,7 +146,9 @@ mod tests {
 
     #[test]
     fn no_flush_mode_is_immediate() {
-        let wal = WriteAheadLog::new(WalConfig { flush_latency: None });
+        let wal = WriteAheadLog::new(WalConfig {
+            flush_latency: None,
+        });
         let start = Instant::now();
         for i in 0..100 {
             wal.commit_record(t(i), i + 1, 64);

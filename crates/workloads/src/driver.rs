@@ -148,7 +148,8 @@ mod tests {
             let table = db.create_table("counters").unwrap();
             let mut txn = db.begin();
             for i in 0..n {
-                txn.put(&table, &i.to_be_bytes(), &0u64.to_be_bytes()).unwrap();
+                txn.put(&table, &i.to_be_bytes(), &0u64.to_be_bytes())
+                    .unwrap();
             }
             txn.commit().unwrap();
             Counters { table, n }
@@ -165,7 +166,7 @@ mod tests {
                 .unwrap();
             let sum = rows
                 .iter()
-                .map(|(_, v)| u64::from_be_bytes(v.as_slice().try_into().unwrap()))
+                .map(|(_, v)| u64::from_be_bytes(v[..].try_into().unwrap()))
                 .sum();
             txn.commit().unwrap();
             sum
@@ -188,7 +189,7 @@ mod tests {
             let result = (|| {
                 let current = txn
                     .get_for_update(&self.table, &key)?
-                    .map(|v| u64::from_be_bytes(v.as_slice().try_into().unwrap()))
+                    .map(|v| u64::from_be_bytes(v[..].try_into().unwrap()))
                     .unwrap_or(0);
                 txn.put(&self.table, &key, &(current + 1).to_be_bytes())?;
                 Ok(())

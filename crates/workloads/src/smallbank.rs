@@ -169,8 +169,12 @@ impl SmallBank {
             for c in customer..end {
                 txn.put(&account, &account_key(&name_of(c)), &c.to_be_bytes())
                     .unwrap();
-                txn.put(&savings, &balance_key(c), &encode_i64(config.initial_balance))
-                    .unwrap();
+                txn.put(
+                    &savings,
+                    &balance_key(c),
+                    &encode_i64(config.initial_balance),
+                )
+                .unwrap();
                 txn.put(
                     &checking,
                     &balance_key(c),
@@ -218,7 +222,7 @@ impl SmallBank {
     ) -> Result<(), Error> {
         let value = txn
             .get_for_update(table, &balance_key(customer))?
-            .unwrap_or_else(|| encode_i64(0));
+            .unwrap_or_else(|| encode_i64(0).into());
         txn.put(table, &balance_key(customer), &value)
     }
 
@@ -237,7 +241,11 @@ impl SmallBank {
         let mut total = 0;
         for table in [&self.savings, &self.checking] {
             let rows = txn
-                .scan(table, std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+                .scan(
+                    table,
+                    std::ops::Bound::Unbounded,
+                    std::ops::Bound::Unbounded,
+                )
                 .unwrap();
             total += rows.iter().map(|(_, v)| decode_i64(v)).sum::<i64>();
         }
@@ -267,7 +275,7 @@ impl SmallBank {
         let name = name_of(customer);
         let id = txn
             .get(&self.account, &account_key(&name))?
-            .map(|v| u64::from_be_bytes(v.as_slice().try_into().unwrap()))
+            .map(|v| u64::from_be_bytes(v[..].try_into().unwrap()))
             .unwrap_or(customer);
         Ok(id)
     }
@@ -297,8 +305,8 @@ impl SmallBank {
     /// Balance(N): return the sum of savings and checking balances.
     fn op_balance(&self, txn: &mut Transaction, customer: u64) -> Result<(), Error> {
         let id = self.lookup_customer(txn, customer)?;
-        let _total =
-            self.read_balance(txn, &self.savings, id)? + self.read_balance(txn, &self.checking, id)?;
+        let _total = self.read_balance(txn, &self.savings, id)?
+            + self.read_balance(txn, &self.checking, id)?;
         match self.config.mitigation {
             // Break the vulnerable Bal → WC edge (Sec. 2.8.5).
             Mitigation::MaterializeBalanceWriteCheck => self.touch_conflict_row(txn, id)?,
@@ -349,8 +357,8 @@ impl SmallBank {
     ) -> Result<(), Error> {
         let id1 = self.lookup_customer(txn, customer1)?;
         let id2 = self.lookup_customer(txn, customer2)?;
-        let total =
-            self.read_balance(txn, &self.savings, id1)? + self.read_balance(txn, &self.checking, id1)?;
+        let total = self.read_balance(txn, &self.savings, id1)?
+            + self.read_balance(txn, &self.checking, id1)?;
         let dest = self.read_balance(txn, &self.checking, id2)?;
         self.write_balance(txn, &self.checking, id2, dest + total)?;
         self.write_balance(txn, &self.savings, id1, 0)?;
@@ -376,8 +384,8 @@ impl SmallBank {
             Mitigation::PromoteWriteCheckTransact => self.promote_row(txn, &self.savings, id)?,
             _ => {}
         }
-        let combined =
-            self.read_balance(txn, &self.savings, id)? + self.read_balance(txn, &self.checking, id)?;
+        let combined = self.read_balance(txn, &self.savings, id)?
+            + self.read_balance(txn, &self.checking, id)?;
         let checking = self.read_balance(txn, &self.checking, id)?;
         if combined < amount {
             self.write_balance(txn, &self.checking, id, checking - amount - 100)
@@ -388,11 +396,7 @@ impl SmallBank {
 
     /// Runs one randomly chosen SmallBank operation inside an already-open
     /// transaction; returns the operation's type index.
-    fn run_random_op(
-        &self,
-        txn: &mut Transaction,
-        rng: &mut WorkloadRng,
-    ) -> Result<usize, Error> {
+    fn run_random_op(&self, txn: &mut Transaction, rng: &mut WorkloadRng) -> Result<usize, Error> {
         let customer = rng.uniform(0, self.config.customers - 1);
         let amount = rng.uniform(1, 100) as i64;
         let ty = rng.index(5);
@@ -478,7 +482,7 @@ mod tests {
             customers: 50,
             ops_per_txn: 1,
             initial_balance: 1_000,
-                mitigation: Mitigation::None,
+            mitigation: Mitigation::None,
         }
     }
 
@@ -525,10 +529,7 @@ mod tests {
         let bank = SmallBank::setup(&db, small_config());
         let mut txn = db.begin();
         let err = bank.op_transact_savings(&mut txn, 1, -5_000).unwrap_err();
-        assert_eq!(
-            err.abort_kind(),
-            Some(ssi_common::AbortKind::UserRequested)
-        );
+        assert_eq!(err.abort_kind(), Some(ssi_common::AbortKind::UserRequested));
     }
 
     #[test]
@@ -568,8 +569,7 @@ mod tests {
         use ssi_common::IsolationLevel;
 
         let run = |mitigation: Mitigation| -> bool {
-            let mut options =
-                Options::default().with_isolation(IsolationLevel::SnapshotIsolation);
+            let mut options = Options::default().with_isolation(IsolationLevel::SnapshotIsolation);
             // The single-threaded interleaving cannot release blocking
             // locks, so a short timeout stands in for "the technique forced
             // the programs to serialize".
@@ -619,8 +619,7 @@ mod tests {
         use ssi_common::IsolationLevel;
 
         let run = |mitigation: Mitigation| -> bool {
-            let mut options =
-                Options::default().with_isolation(IsolationLevel::SnapshotIsolation);
+            let mut options = Options::default().with_isolation(IsolationLevel::SnapshotIsolation);
             options.lock.wait_timeout = std::time::Duration::from_millis(50);
             let db = Database::open(options);
             let bank = SmallBank::setup(
@@ -634,7 +633,9 @@ mod tests {
             );
             let mut wc = db.begin();
             let mut bal = db.begin();
-            let r1 = bank.op_write_check(&mut wc, 0, 100).and_then(|_| wc.commit());
+            let r1 = bank
+                .op_write_check(&mut wc, 0, 100)
+                .and_then(|_| wc.commit());
             let r2 = bank.op_balance(&mut bal, 0).and_then(|_| bal.commit());
             r1.is_ok() && r2.is_ok()
         };
@@ -643,8 +644,7 @@ mod tests {
         assert!(run(Mitigation::None));
         // …but the interleaved versions do once the conflict is introduced.
         let run_interleaved = |mitigation: Mitigation| -> bool {
-            let mut options =
-                Options::default().with_isolation(IsolationLevel::SnapshotIsolation);
+            let mut options = Options::default().with_isolation(IsolationLevel::SnapshotIsolation);
             options.lock.wait_timeout = std::time::Duration::from_millis(50);
             let db = Database::open(options);
             let bank = SmallBank::setup(
@@ -661,7 +661,9 @@ mod tests {
             // Balance performs its (possibly promoted/materialized) reads
             // first, then WriteCheck runs and commits, then Balance commits.
             let r_bal_ops = bank.op_balance(&mut bal, 0);
-            let r1 = bank.op_write_check(&mut wc, 0, 100).and_then(|_| wc.commit());
+            let r1 = bank
+                .op_write_check(&mut wc, 0, 100)
+                .and_then(|_| wc.commit());
             let r2 = r_bal_ops.and_then(|_| bal.commit());
             r1.is_ok() && r2.is_ok()
         };
@@ -679,7 +681,7 @@ mod tests {
                 customers: 20,
                 ops_per_txn: 1,
                 initial_balance: 1_000,
-                    mitigation: Mitigation::None,
+                mitigation: Mitigation::None,
             },
         );
         let stats = run_workload(

@@ -102,7 +102,11 @@ pub fn load(db: &Database, workload: &TpccWorkload) {
 
             // Customers and the last-name index.
             for c in 1..=scale.customers_per_district {
-                let last = tpcc_last_name(if c <= 1000 { (c - 1) as u64 } else { rng.nurand_name() });
+                let last = tpcc_last_name(if c <= 1000 {
+                    (c - 1) as u64
+                } else {
+                    rng.nurand_name()
+                });
                 let customer = Customer {
                     balance: -1000,
                     ytd_payment: 1000,
@@ -114,11 +118,7 @@ pub fn load(db: &Database, workload: &TpccWorkload) {
                     first: format!("first{c}"),
                     data: "c".repeat(50),
                 };
-                batcher.put(
-                    &tables.customer,
-                    &customer_key(w, d, c),
-                    &customer.encode(),
-                );
+                batcher.put(&tables.customer, &customer_key(w, d, c), &customer.encode());
                 batcher.put(
                     &tables.customer_name_idx,
                     &customer_name_key(w, d, &last, c),
@@ -201,6 +201,6 @@ mod tests {
         assert_eq!(t.new_order.key_count(), 2 * 2 * 6);
         // 5..=15 lines per order.
         let lines = t.order_line.key_count();
-        assert!(lines >= 2 * 2 * 20 * 5 && lines <= 2 * 2 * 20 * 15);
+        assert!((2 * 2 * 20 * 5..=2 * 2 * 20 * 15).contains(&lines));
     }
 }

@@ -291,10 +291,7 @@ mod tests {
     #[test]
     fn mix_respects_configured_ratios() {
         let db = Database::open(ssi_core::Options::default());
-        let workload = TpccWorkload::setup(
-            &db,
-            TpccConfig::new(ScaleFactor::test_scale(1)),
-        );
+        let workload = TpccWorkload::setup(&db, TpccConfig::new(ScaleFactor::test_scale(1)));
         let mut rng = WorkloadRng::new(1);
         let mut counts = [0usize; 6];
         for _ in 0..10_000 {
@@ -303,7 +300,12 @@ mod tests {
         let frac = |i: usize| counts[i] as f64 / 10_000.0;
         assert!((frac(TXN_NEW_ORDER) - 0.41).abs() < 0.03);
         assert!((frac(TXN_PAYMENT) - 0.43).abs() < 0.03);
-        for ty in [TXN_ORDER_STATUS, TXN_DELIVERY, TXN_STOCK_LEVEL, TXN_CREDIT_CHECK] {
+        for ty in [
+            TXN_ORDER_STATUS,
+            TXN_DELIVERY,
+            TXN_STOCK_LEVEL,
+            TXN_CREDIT_CHECK,
+        ] {
             assert!((frac(ty) - 0.04).abs() < 0.015, "type {ty}: {}", frac(ty));
         }
     }

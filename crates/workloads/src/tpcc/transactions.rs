@@ -159,7 +159,10 @@ pub fn new_order(workload: &TpccWorkload, db: &Database, rng: &mut WorkloadRng) 
     if rollback {
         // The TPC-C "unused item" rollback: all work is discarded.
         txn.rollback();
-        return Err(Error::abort(AbortKind::UserRequested, ssi_common::TxnId::INVALID));
+        return Err(Error::abort(
+            AbortKind::UserRequested,
+            ssi_common::TxnId::INVALID,
+        ));
     }
     txn.commit()
 }
@@ -343,7 +346,10 @@ pub fn credit_check(workload: &TpccWorkload, db: &Database, rng: &mut WorkloadRn
     let orders = txn.scan_prefix(&tables.order_customer_idx, &order_customer_prefix(w, d, c))?;
     for (key, _) in &orders {
         let o_id = u32_from_key_suffix(key);
-        if txn.get(&tables.new_order, &new_order_key(w, d, o_id))?.is_some() {
+        if txn
+            .get(&tables.new_order, &new_order_key(w, d, o_id))?
+            .is_some()
+        {
             let lines = txn.scan_prefix(&tables.order_line, &order_line_prefix(w, d, o_id))?;
             new_order_balance += lines
                 .iter()
@@ -412,9 +418,7 @@ pub fn consistency_violations(workload: &TpccWorkload, db: &Database) -> Option<
                             ));
                         }
                     }
-                    None => {
-                        return Some(format!("new-order ({w},{d},{o_id}) has no order row"))
-                    }
+                    None => return Some(format!("new-order ({w},{d},{o_id}) has no order row")),
                 }
             }
 

@@ -31,11 +31,10 @@ fn main() -> Result<(), Error> {
         attempts += 1;
         let mut txn = db.begin();
         let result = (|| -> Result<(), Error> {
-            let balance: i64 = String::from_utf8_lossy(
-                &txn.get_for_update(&accounts, b"alice")?.unwrap(),
-            )
-            .parse()
-            .unwrap();
+            let balance: i64 =
+                String::from_utf8_lossy(&txn.get_for_update(&accounts, b"alice")?.unwrap())
+                    .parse()
+                    .unwrap();
             txn.put(&accounts, b"alice", (balance - 30).to_string().as_bytes())?;
             Ok(())
         })();
@@ -63,7 +62,10 @@ fn main() -> Result<(), Error> {
     for (name, result) in [("t1", r1), ("t2", r2)] {
         match result {
             Ok(()) => println!("{name}: committed"),
-            Err(Error::Aborted { kind: AbortKind::Unsafe, .. }) => {
+            Err(Error::Aborted {
+                kind: AbortKind::Unsafe,
+                ..
+            }) => {
                 println!("{name}: aborted (unsafe — would not be serializable)")
             }
             Err(e) => println!("{name}: {e}"),

@@ -14,9 +14,7 @@
 use std::time::Duration;
 
 use serializable_si::workloads::smallbank::SmallBankConfig;
-use serializable_si::{
-    run_workload, Database, IsolationLevel, Options, RunConfig, SmallBank,
-};
+use serializable_si::{run_workload, Database, IsolationLevel, Options, RunConfig, SmallBank};
 
 fn main() {
     let mut args = std::env::args().skip(1);

@@ -16,8 +16,7 @@ use std::time::Duration;
 
 use serializable_si::workloads::tpcc::ScaleFactor;
 use serializable_si::{
-    run_workload, AbortKind, Database, IsolationLevel, Options, RunConfig, TpccConfig,
-    TpccWorkload,
+    run_workload, AbortKind, Database, IsolationLevel, Options, RunConfig, TpccConfig, TpccWorkload,
 };
 
 fn main() {
@@ -40,9 +39,7 @@ fn main() {
         if standard_scale { "standard" } else { "tiny" },
         scale.approximate_rows()
     );
-    println!(
-        "options: skip_ytd={skip_ytd}, stock_level_mix={stock_level}\n"
-    );
+    println!("options: skip_ytd={skip_ytd}, stock_level_mix={stock_level}\n");
     println!(
         "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "level", "txn/s", "NewOrder/s", "deadlock", "conflict", "unsafe", "consistency"
@@ -65,12 +62,11 @@ fn main() {
                 seed: 2008,
             },
         );
-        let consistency = match serializable_si::workloads::driver::Workload::check_consistency(
-            &workload, &db,
-        ) {
-            None => "ok".to_string(),
-            Some(problem) => format!("VIOLATED: {problem}"),
-        };
+        let consistency =
+            match serializable_si::workloads::driver::Workload::check_consistency(&workload, &db) {
+                None => "ok".to_string(),
+                Some(problem) => format!("VIOLATED: {problem}"),
+            };
         println!(
             "{:<6} {:>10.0} {:>10.1} {:>10.4} {:>10.4} {:>10.4} {:>12}",
             level.label(),

@@ -18,7 +18,7 @@ const SHIFT_DOCTORS: [&[u8]; 2] = [b"dr-alice", b"dr-bob"];
 fn on_duty_count(txn: &mut Transaction, duties: &TableRef) -> Result<usize, Error> {
     let mut count = 0;
     for doctor in SHIFT_DOCTORS {
-        if txn.get(duties, doctor)? == Some(b"on duty".to_vec()) {
+        if txn.get(duties, doctor)?.as_deref() == Some(b"on duty".as_slice()) {
             count += 1;
         }
     }
@@ -30,7 +30,7 @@ fn on_duty_count(txn: &mut Transaction, duties: &TableRef) -> Result<usize, Erro
 /// not.
 fn take_off_duty(db: &Database, duties: &TableRef, doctor: &[u8]) -> Result<bool, Error> {
     let mut txn = db.begin();
-    if txn.get(duties, doctor)? != Some(b"on duty".to_vec()) {
+    if txn.get(duties, doctor)?.as_deref() != Some(b"on duty".as_slice()) {
         txn.rollback();
         return Ok(false);
     }

@@ -24,7 +24,6 @@ pub use ssi_workloads as workloads;
 
 pub use ssi_common::{AbortKind, Error, IsolationLevel, Result, TxnId};
 pub use ssi_core::{
-    Database, LockGranularity, Options, SsiOptions, SsiVariant, TableRef, Transaction,
-    VictimPolicy,
+    Database, LockGranularity, Options, SsiOptions, SsiVariant, TableRef, Transaction, VictimPolicy,
 };
 pub use ssi_workloads::{run_workload, RunConfig, SiBench, SmallBank, TpccConfig, TpccWorkload};

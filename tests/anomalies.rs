@@ -5,9 +5,7 @@
 //! (the interleavings of Examples 1–3 and Figs. 2.1–2.3) and checks which
 //! isolation levels allow it to commit.
 
-use serializable_si::{
-    AbortKind, Database, Error, IsolationLevel, Options, TableRef, Transaction,
-};
+use serializable_si::{AbortKind, Database, Error, IsolationLevel, Options, TableRef, Transaction};
 
 fn open(level: IsolationLevel) -> Database {
     Database::open(Options::default().with_isolation(level))
@@ -46,12 +44,8 @@ fn run_bank_write_skew(level: IsolationLevel) -> (bool, i64) {
     let sum2 = get_i64(&mut t2, &table, b"x") + get_i64(&mut t2, &table, b"y");
     assert_eq!((sum1, sum2), (100, 100));
 
-    let r1 = t1
-        .put(&table, b"x", b"-20")
-        .and_then(|_| t1.commit());
-    let r2 = t2
-        .put(&table, b"y", b"-30")
-        .and_then(|_| t2.commit());
+    let r1 = t1.put(&table, b"x", b"-20").and_then(|_| t1.commit());
+    let r2 = t2.put(&table, b"y", b"-30").and_then(|_| t2.commit());
     let both = r1.is_ok() && r2.is_ok();
 
     let mut check = db.begin();
@@ -64,7 +58,10 @@ fn run_bank_write_skew(level: IsolationLevel) -> (bool, i64) {
 fn bank_write_skew_slips_through_plain_si() {
     let (both_committed, total) = run_bank_write_skew(IsolationLevel::SnapshotIsolation);
     assert!(both_committed, "plain SI permits the interleaving");
-    assert!(total < 0, "the constraint x + y > 0 is violated (total {total})");
+    assert!(
+        total < 0,
+        "the constraint x + y > 0 is violated (total {total})"
+    );
 }
 
 #[test]
@@ -96,7 +93,10 @@ fn lost_update_is_prevented_by_first_committer_wins() {
         Err(e) => e.abort_kind() == Some(AbortKind::UpdateConflict),
         Ok(()) => matches!(
             t2.commit(),
-            Err(Error::Aborted { kind: AbortKind::UpdateConflict, .. })
+            Err(Error::Aborted {
+                kind: AbortKind::UpdateConflict,
+                ..
+            })
         ),
     };
     assert!(failed, "the second writer must hit an update conflict");
@@ -189,7 +189,10 @@ fn read_only_anomaly_is_prevented_by_serializable_si() {
     // must be the victim.
     assert!(in_ok, "the read-only transaction itself should not abort");
     assert!(out_ok);
-    assert!(!pivot_ok, "the pivot must abort to keep the history serializable");
+    assert!(
+        !pivot_ok,
+        "the pivot must abort to keep the history serializable"
+    );
 }
 
 /// Sec. 3.8: when read-only queries are explicitly run at plain SI while
@@ -198,8 +201,10 @@ fn read_only_anomaly_is_prevented_by_serializable_si() {
 /// trade-off the thesis describes.
 #[test]
 fn mixed_mode_queries_do_not_cause_update_aborts() {
-    let mut options = Options::default();
-    options.read_only_queries_at_si = true;
+    let options = Options {
+        read_only_queries_at_si: true,
+        ..Options::default()
+    };
     let db = Database::open(options);
     let table = seed_accounts(&db, &[(b"x", 0), (b"y", 0), (b"z", 0)]);
 
@@ -219,7 +224,10 @@ fn mixed_mode_queries_do_not_cause_update_aborts() {
     // Because the query took no SIREAD locks, the pivot no longer sees an
     // incoming conflict and commits: the anomaly is tolerated by design in
     // this configuration.
-    assert!(pivot.put(&table, b"x", b"1").and_then(|_| pivot.commit()).is_ok());
+    assert!(pivot
+        .put(&table, b"x", b"1")
+        .and_then(|_| pivot.commit())
+        .is_ok());
 }
 
 /// Phantom write skew (Sec. 3.5): each transaction counts the rows matching

@@ -55,7 +55,7 @@ fn concurrent_increments_are_never_lost() {
                 let table = table.clone();
                 scope.spawn(move || {
                     for i in 0..per_thread {
-                        let key = ((t as u64 + i) % 4).to_be_bytes();
+                        let key = ((t + i) % 4).to_be_bytes();
                         retrying(|| {
                             let mut txn = db.begin();
                             let value: i64 = txn
@@ -115,17 +115,24 @@ fn concurrent_transfers_conserve_money_under_ssi() {
                         )
                         .parse()
                         .unwrap();
-                        let dst: i64 = String::from_utf8_lossy(
-                            &txn.get(&table, &to.to_be_bytes())?.unwrap(),
-                        )
-                        .parse()
-                        .unwrap();
+                        let dst: i64 =
+                            String::from_utf8_lossy(&txn.get(&table, &to.to_be_bytes())?.unwrap())
+                                .parse()
+                                .unwrap();
                         if src < amount {
                             txn.rollback();
                             return Ok(());
                         }
-                        txn.put(&table, &from.to_be_bytes(), (src - amount).to_string().as_bytes())?;
-                        txn.put(&table, &to.to_be_bytes(), (dst + amount).to_string().as_bytes())?;
+                        txn.put(
+                            &table,
+                            &from.to_be_bytes(),
+                            (src - amount).to_string().as_bytes(),
+                        )?;
+                        txn.put(
+                            &table,
+                            &to.to_be_bytes(),
+                            (dst + amount).to_string().as_bytes(),
+                        )?;
                         txn.commit()?;
                         transfers.fetch_add(1, Ordering::Relaxed);
                         Ok(())
@@ -137,7 +144,11 @@ fn concurrent_transfers_conserve_money_under_ssi() {
 
     let mut txn = db.begin();
     let rows = txn
-        .scan(&table, std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+        .scan(
+            &table,
+            std::ops::Bound::Unbounded,
+            std::ops::Bound::Unbounded,
+        )
         .unwrap();
     txn.commit().unwrap();
     let balances: Vec<i64> = rows
@@ -221,7 +232,7 @@ fn no_resource_leaks_after_heavy_churn() {
                 for i in 0..200u64 {
                     let key = ((t * 31 + i) % 16).to_be_bytes();
                     // Alternate reads, writes and scans.
-                    let _ = retrying(|| {
+                    retrying(|| {
                         let mut txn = db.begin();
                         match i % 3 {
                             0 => {
@@ -255,5 +266,8 @@ fn no_resource_leaks_after_heavy_churn() {
     assert_eq!(db.lock_manager().grant_count(), 0);
     // Old versions can be reclaimed once nothing is running.
     let reclaimed = db.purge_old_versions();
-    assert!(reclaimed > 0, "version GC should reclaim overwritten versions");
+    assert!(
+        reclaimed > 0,
+        "version GC should reclaim overwritten versions"
+    );
 }

@@ -55,7 +55,7 @@ fn workload_strategy() -> impl Strategy<Value = GeneratedWorkload> {
         let slots: Vec<usize> = transactions
             .iter()
             .enumerate()
-            .flat_map(|(i, steps)| std::iter::repeat(i).take(steps.len() + 1))
+            .flat_map(|(i, steps)| std::iter::repeat_n(i, steps.len() + 1))
             .collect();
         let order = Just(slots).prop_shuffle();
         (Just(transactions), order).prop_map(|(transactions, order)| GeneratedWorkload {
@@ -81,7 +81,11 @@ fn apply_step(txn: &mut Transaction, table: &TableRef, step: &Step) -> serializa
         Step::Put(k, v) => txn.put(table, &[*k], &[*v]),
         Step::Delete(k) => txn.delete(table, &[*k]),
         Step::ScanAll => txn
-            .scan(table, std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+            .scan(
+                table,
+                std::ops::Bound::Unbounded,
+                std::ops::Bound::Unbounded,
+            )
             .map(|_| ()),
     }
 }

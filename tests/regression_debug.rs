@@ -34,8 +34,8 @@ fn proptest_regression_retired_blind_writer_schedule() {
     let mut t2 = Some(db.begin());
     let mut committed = 0usize;
 
-    let mut run = |slot: &mut Option<serializable_si::Transaction>,
-                   op: &mut dyn FnMut(&mut serializable_si::Transaction) -> bool| {
+    let run = |slot: &mut Option<serializable_si::Transaction>,
+               op: &mut dyn FnMut(&mut serializable_si::Transaction) -> bool| {
         if let Some(handle) = slot.as_mut() {
             if !op(handle) {
                 *slot = None;

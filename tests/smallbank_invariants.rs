@@ -6,9 +6,7 @@
 use std::time::Duration;
 
 use serializable_si::workloads::smallbank::SmallBankConfig;
-use serializable_si::{
-    run_workload, Database, IsolationLevel, Options, RunConfig, SmallBank,
-};
+use serializable_si::{run_workload, Database, IsolationLevel, Options, RunConfig, SmallBank};
 
 fn run_bank(level: IsolationLevel, customers: u64, seconds: u64) -> (SmallBank, Database, u64) {
     let db = Database::open(Options::default().with_isolation(level));
@@ -38,9 +36,11 @@ fn run_bank(level: IsolationLevel, customers: u64, seconds: u64) -> (SmallBank, 
 fn serializable_si_preserves_the_no_overdraft_invariant() {
     // Very hot: only 4 customers, so WriteCheck/TransactSavings write skew
     // would show up quickly if it were possible.
-    let (bank, db, commits) =
-        run_bank(IsolationLevel::SerializableSnapshotIsolation, 4, 2);
-    assert!(commits > 100, "the run should make progress ({commits} commits)");
+    let (bank, db, commits) = run_bank(IsolationLevel::SerializableSnapshotIsolation, 4, 2);
+    assert!(
+        commits > 100,
+        "the run should make progress ({commits} commits)"
+    );
     assert_eq!(
         bank.negative_savings_accounts(&db),
         0,
@@ -51,7 +51,10 @@ fn serializable_si_preserves_the_no_overdraft_invariant() {
 #[test]
 fn strict_two_phase_locking_preserves_the_invariant() {
     let (bank, db, commits) = run_bank(IsolationLevel::StrictTwoPhaseLocking, 4, 2);
-    assert!(commits > 50, "the run should make progress ({commits} commits)");
+    assert!(
+        commits > 50,
+        "the run should make progress ({commits} commits)"
+    );
     assert_eq!(bank.negative_savings_accounts(&db), 0);
 }
 
@@ -87,7 +90,10 @@ fn run_smallbank_read_only_anomaly(level: IsolationLevel) -> (bool, bool) {
     txn.commit().unwrap();
 
     let read = |txn: &mut serializable_si::Transaction, table| -> i64 {
-        txn.get(table, &key).unwrap().map(|v| decode_i64(&v)).unwrap_or(0)
+        txn.get(table, &key)
+            .unwrap()
+            .map(|v| decode_i64(&v))
+            .unwrap_or(0)
     };
 
     let mut all_committed = true;
@@ -211,8 +217,7 @@ fn complex_transactions_remain_serializable() {
 
 #[test]
 fn no_locks_or_suspended_transactions_leak_after_a_run() {
-    let (_bank, db, _commits) =
-        run_bank(IsolationLevel::SerializableSnapshotIsolation, 8, 1);
+    let (_bank, db, _commits) = run_bank(IsolationLevel::SerializableSnapshotIsolation, 8, 1);
     // Once every worker has finished, a final empty write transaction
     // triggers cleanup; afterwards nothing should linger.
     let t = db.table("checking").unwrap();

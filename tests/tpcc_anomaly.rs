@@ -89,8 +89,8 @@ fn serial_credit_check_is_correct_at_every_level() {
         // balance 900 + open orders 200 = 1100 > 1000 → bad credit.
         let mut check = db.begin_read_only();
         assert_eq!(
-            check.get(&fixture.t, b"c_credit").unwrap(),
-            Some(b"BC".to_vec()),
+            check.get(&fixture.t, b"c_credit").unwrap().as_deref(),
+            Some(b"BC".as_slice()),
             "{level}"
         );
         check.commit().unwrap();
@@ -104,8 +104,8 @@ fn serial_credit_check_is_correct_at_every_level() {
 
         let mut check = db.begin_read_only();
         assert_eq!(
-            check.get(&fixture.t, b"c_credit").unwrap(),
-            Some(b"GC".to_vec()),
+            check.get(&fixture.t, b"c_credit").unwrap().as_deref(),
+            Some(b"GC".as_slice()),
             "{level}: paying off the balance must restore good credit"
         );
         check.commit().unwrap();
@@ -136,10 +136,10 @@ fn run_example5(level: IsolationLevel) -> (bool, bool) {
 
     // Step 2: Credit Check starts and performs its reads now.
     let mut cc = db.begin();
-    let cc_reads = (|| -> serializable_si::Result<i64> {
-        Ok(get_i64(&mut cc, &fixture.t, b"c_balance")
-            + get_i64(&mut cc, &fixture.t, b"open_orders"))
-    })();
+    let read_both = |cc: &mut serializable_si::Transaction| -> serializable_si::Result<i64> {
+        Ok(get_i64(cc, &fixture.t, b"c_balance") + get_i64(cc, &fixture.t, b"open_orders"))
+    };
+    let cc_reads = read_both(&mut cc);
     let cc_usable = cc_reads.is_ok();
 
     // Step 3: Payment commits concurrently.
@@ -156,7 +156,8 @@ fn run_example5(level: IsolationLevel) -> (bool, bool) {
     let step5 = if cc_usable {
         let total = cc_reads.unwrap();
         let flag: &[u8] = if total > 1000 { b"BC" } else { b"GC" };
-        cc.put(&fixture.t, b"c_credit", flag).and_then(|_| cc.commit())
+        cc.put(&fixture.t, b"c_credit", flag)
+            .and_then(|_| cc.commit())
     } else {
         Err(serializable_si::Error::TransactionClosed)
     };
@@ -178,8 +179,7 @@ fn example5_interleaving_commits_and_is_nonserializable_under_si() {
 
 #[test]
 fn example5_interleaving_is_broken_up_by_serializable_si() {
-    let (all_committed, serializable) =
-        run_example5(IsolationLevel::SerializableSnapshotIsolation);
+    let (all_committed, serializable) = run_example5(IsolationLevel::SerializableSnapshotIsolation);
     assert!(
         !all_committed,
         "Serializable SI must abort at least one participant"
