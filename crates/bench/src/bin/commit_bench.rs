@@ -1,0 +1,236 @@
+//! Records the lock-step-vs-fine-grained commit-pipeline comparison in
+//! `BENCH_commit.json`.
+//!
+//! Runs the `commit_micro` harness (whole transactions: begin → reads →
+//! writes → commit) at 1/4/8 threads for SI and Serializable SI, plus a
+//! contention-heavy pivot workload, against two engine configurations:
+//!
+//! * **baseline** — `Options::with_lockstep_commit()`: conflict marking and
+//!   commits serialized under one global mutex, the structure of the thesis
+//!   prototype (and of this repo before the fine-grained pipeline);
+//! * **pipeline** — the default lock-free/fine-grained commit pipeline
+//!   (atomic state words, pair locks, ordered timestamp publication).
+//!
+//! Prints a comparison table and writes the numbers as JSON so the speedup
+//! is recorded in-repo. Usage:
+//!
+//! ```text
+//! cargo run --release -p ssi-bench --bin commit_bench [--smoke] [output.json]
+//! ```
+//!
+//! `--smoke` shrinks the measurement windows so CI can exercise the binary
+//! cheaply; the recorded numbers in the repository come from a full run.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use ssi_bench::commit_micro::{
+    preload, run_commit_section_bench, run_commit_workload, CommitThroughput, CommitWorkload,
+};
+use ssi_common::IsolationLevel;
+use ssi_core::{Database, Options};
+
+struct Case {
+    name: &'static str,
+    isolation: IsolationLevel,
+    shape: CommitWorkload,
+}
+
+struct CaseResult {
+    case: Case,
+    baseline: CommitThroughput,
+    pipeline: CommitThroughput,
+}
+
+impl CaseResult {
+    fn speedup(&self) -> f64 {
+        self.pipeline.committed_per_sec() / self.baseline.committed_per_sec().max(1.0)
+    }
+}
+
+/// Runs a case `reps` times per configuration, interleaving baseline and
+/// pipeline runs so slow drifts of the (shared) container hit both equally,
+/// and returns the median run of each by committed throughput.
+fn run_case(case: &Case, reps: usize) -> (CommitThroughput, CommitThroughput) {
+    let run = |options: Options| {
+        let db = Database::open(options);
+        preload(&db, case.shape.keys);
+        run_commit_workload(&db, case.isolation, &case.shape)
+    };
+    let mut baseline = Vec::new();
+    let mut pipeline = Vec::new();
+    for _ in 0..reps {
+        baseline.push(run(Options::default().with_lockstep_commit()));
+        pipeline.push(run(Options::default()));
+    }
+    let median = |mut v: Vec<CommitThroughput>| {
+        v.sort_by(|a, b| a.committed_per_sec().total_cmp(&b.committed_per_sec()));
+        v[v.len() / 2]
+    };
+    (median(baseline), median(pipeline))
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_commit.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = other.to_string(),
+        }
+    }
+
+    let (duration, warmup) = if smoke {
+        (Duration::from_millis(40), Duration::from_millis(10))
+    } else {
+        (Duration::from_millis(800), Duration::from_millis(200))
+    };
+    let mixed = |threads: usize, isolation: IsolationLevel, name: &'static str| Case {
+        name,
+        isolation,
+        shape: CommitWorkload {
+            threads,
+            keys: 4096,
+            reads_per_txn: 2,
+            writes_per_txn: 2,
+            hot: None,
+            read_only_pct: 0,
+            duration,
+            warmup,
+        },
+    };
+    let cases = vec![
+        mixed(1, IsolationLevel::SnapshotIsolation, "si_mixed_1t"),
+        mixed(4, IsolationLevel::SnapshotIsolation, "si_mixed_4t"),
+        mixed(8, IsolationLevel::SnapshotIsolation, "si_mixed_8t"),
+        mixed(
+            1,
+            IsolationLevel::SerializableSnapshotIsolation,
+            "ssi_mixed_1t",
+        ),
+        mixed(
+            4,
+            IsolationLevel::SerializableSnapshotIsolation,
+            "ssi_mixed_4t",
+        ),
+        mixed(
+            8,
+            IsolationLevel::SerializableSnapshotIsolation,
+            "ssi_mixed_8t",
+        ),
+        Case {
+            name: "ssi_pivot_8t",
+            isolation: IsolationLevel::SerializableSnapshotIsolation,
+            shape: CommitWorkload {
+                threads: 8,
+                keys: 4096,
+                reads_per_txn: 2,
+                writes_per_txn: 1,
+                hot: Some(16),
+                read_only_pct: 0,
+                duration,
+                warmup,
+            },
+        },
+    ];
+
+    println!(
+        "{:<14} {:>3} {:>14} {:>14} {:>8} {:>10}",
+        "case", "thr", "baseline c/s", "pipeline c/s", "speedup", "aborts/c"
+    );
+    let reps = if smoke { 1 } else { 3 };
+    let mut results = Vec::new();
+    for case in cases {
+        let (baseline, pipeline) = run_case(&case, reps);
+        let result = CaseResult {
+            case,
+            baseline,
+            pipeline,
+        };
+        println!(
+            "{:<14} {:>3} {:>14.0} {:>14.0} {:>7.2}x {:>10.3}",
+            result.case.name,
+            result.case.shape.threads,
+            result.baseline.committed_per_sec(),
+            result.pipeline.committed_per_sec(),
+            result.speedup(),
+            result.pipeline.aborts_per_commit(),
+        );
+        results.push(result);
+    }
+
+    // Serialization-point microbenchmark: commit sections only (one-key
+    // update transactions, no contention), the capacity that caps
+    // multi-core commit scaling.
+    let section = |options: Options| {
+        let db = Database::open(options);
+        preload(&db, 16);
+        let mut runs: Vec<f64> = (0..reps)
+            .map(|_| run_commit_section_bench(&db, 8, duration))
+            .collect();
+        runs.sort_by(f64::total_cmp);
+        runs[runs.len() / 2]
+    };
+    let section_baseline = section(Options::default().with_lockstep_commit());
+    let section_pipeline = section(Options::default());
+    println!(
+        "{:<14} {:>3} {:>14.0} {:>14.0} {:>7.2}x {:>10}",
+        "commit_section",
+        8,
+        section_baseline,
+        section_pipeline,
+        section_pipeline / section_baseline.max(1.0),
+        "-"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"commit_pipeline\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    json.push_str(
+        "  \"comment\": \"committed txns/sec (median of interleaved reps): lock-step \
+         global-mutex baseline vs the fine-grained commit pipeline (atomic state words + \
+         pair locks + deposit-drain ts publication). CAVEAT: this container has ONE CPU, \
+         where a short uncontended mutex wastes no idle cores, so end-to-end ratios \
+         compress toward 1.0x; the pipeline's structural win (commit sections of \
+         independent transactions overlap instead of serializing) needs >= 2 cores to \
+         appear as wall-clock speedup. What IS visible on one CPU: the pipeline never \
+         loses, and conflict-heavy shapes gain from gate-free conflict marking.\",\n",
+    );
+    json.push_str("  \"cases\": [\n");
+    for r in results.iter() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"threads\": {}, \"isolation\": \"{:?}\", \
+             \"baseline_committed_per_sec\": {:.0}, \"pipeline_committed_per_sec\": {:.0}, \
+             \"speedup\": {:.3}, \"baseline_aborts_per_commit\": {:.4}, \
+             \"pipeline_aborts_per_commit\": {:.4}}}",
+            r.case.name,
+            r.case.shape.threads,
+            r.case.isolation,
+            r.baseline.committed_per_sec(),
+            r.pipeline.committed_per_sec(),
+            r.speedup(),
+            r.baseline.aborts_per_commit(),
+            r.pipeline.aborts_per_commit(),
+        );
+        json.push_str(",\n");
+    }
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"commit_section_8t\", \"threads\": 8, \"isolation\": \
+         \"SerializableSnapshotIsolation\", \"baseline_committed_per_sec\": {:.0}, \
+         \"pipeline_committed_per_sec\": {:.0}, \"speedup\": {:.3}, \
+         \"baseline_aborts_per_commit\": 0.0, \"pipeline_aborts_per_commit\": 0.0}}",
+        section_baseline,
+        section_pipeline,
+        section_pipeline / section_baseline.max(1.0),
+    );
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("\nwrote {out_path}");
+}

@@ -1,0 +1,256 @@
+//! Multi-threaded end-to-end commit-throughput harness.
+//!
+//! Drives N client threads through whole transactions (begin → reads →
+//! writes → commit) against one [`Database`] and reports committed
+//! transactions per second. The same harness runs against the default
+//! fine-grained commit pipeline and against the lock-step baseline
+//! ([`ssi_core::Options::with_lockstep_commit`], the demoted global mutex
+//! that mirrors the thesis prototype's kernel-mutex serialization), so the
+//! `commit_bench` binary measures the pipeline's speedup rather than
+//! asserting it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ssi_common::IsolationLevel;
+use ssi_core::Database;
+
+/// Shape of one commit-throughput run.
+#[derive(Clone, Copy, Debug)]
+pub struct CommitWorkload {
+    /// Client threads running transactions.
+    pub threads: usize,
+    /// Keys preloaded into the table; reads and writes pick from them.
+    pub keys: u64,
+    /// Point reads per transaction.
+    pub reads_per_txn: usize,
+    /// Point writes per transaction.
+    pub writes_per_txn: usize,
+    /// When set, all reads and writes draw from the first `hot` keys only —
+    /// the contention-heavy pivot workload (write-skew storms).
+    pub hot: Option<u64>,
+    /// Fraction of transactions (in 1/256ths) that run as read-only
+    /// queries (`reads_per_txn` gets, no writes) — the paper's
+    /// queries-plus-updates mix. Update transactions use the full shape.
+    pub read_only_pct: u8,
+    /// Measured wall-clock duration.
+    pub duration: Duration,
+    /// Unmeasured warm-up before the clock starts.
+    pub warmup: Duration,
+}
+
+/// Result of one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommitThroughput {
+    /// Transactions committed inside the measurement window.
+    pub committed: u64,
+    /// Transactions aborted inside the measurement window (any retryable
+    /// reason: first-committer-wins, unsafe structures, deadlocks).
+    pub aborted: u64,
+    /// Measured wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl CommitThroughput {
+    /// Committed transactions per second.
+    pub fn committed_per_sec(&self) -> f64 {
+        self.committed as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Aborts per committed transaction.
+    pub fn aborts_per_commit(&self) -> f64 {
+        if self.committed == 0 {
+            return self.aborted as f64;
+        }
+        self.aborted as f64 / self.committed as f64
+    }
+}
+
+/// Preloads `keys` rows into a fresh table named `bench`.
+pub fn preload(db: &Database, keys: u64) {
+    let table = db.create_table("bench").unwrap();
+    let mut txn = db.begin_with(IsolationLevel::SnapshotIsolation);
+    for i in 0..keys {
+        txn.put(&table, &i.to_be_bytes(), &[0u8; 32]).unwrap();
+    }
+    txn.commit().unwrap();
+}
+
+/// Runs `shape` at `isolation` against `db` (already preloaded via
+/// [`preload`]) and reports throughput over the measurement window.
+pub fn run_commit_workload(
+    db: &Database,
+    isolation: IsolationLevel,
+    shape: &CommitWorkload,
+) -> CommitThroughput {
+    let table = db.table("bench").unwrap();
+    let stop = AtomicBool::new(false);
+    let measuring = AtomicBool::new(shape.warmup.is_zero());
+    let committed = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    let key_space = shape.hot.unwrap_or(shape.keys).max(1);
+
+    let measured = std::thread::scope(|s| {
+        for t in 0..shape.threads {
+            let db = db.clone();
+            let table = table.clone();
+            let (stop, measuring) = (&stop, &measuring);
+            let (committed, aborted) = (&committed, &aborted);
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x5EED ^ (t as u64) << 8);
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let read_only = (rng.gen_range(0..256u32) as u8) < shape.read_only_pct;
+                    let mut txn = db.begin_with(isolation);
+                    let mut ok = true;
+                    for _ in 0..shape.reads_per_txn {
+                        let key = rng.gen_range(0..key_space).to_be_bytes();
+                        if txn.get(&table, &key).is_err() {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok && !read_only {
+                        for _ in 0..shape.writes_per_txn {
+                            let key = rng.gen_range(0..key_space).to_be_bytes();
+                            if txn.put(&table, &key, &n.to_be_bytes()).is_err() {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    let result = if ok {
+                        txn.commit()
+                    } else {
+                        Err(ssi_common::Error::TransactionClosed)
+                    };
+                    if measuring.load(Ordering::Relaxed) {
+                        match result {
+                            Ok(()) => committed.fetch_add(1, Ordering::Relaxed),
+                            Err(_) => aborted.fetch_add(1, Ordering::Relaxed),
+                        };
+                    }
+                    n += 1;
+                }
+            });
+        }
+        // Janitor: purge unreachable versions on a fixed cadence, as a
+        // deployed engine's background GC would. A fixed cadence (rather
+        // than per-thread op counts) keeps version-chain lengths — the
+        // dominant read cost on hot keys — identical across configurations
+        // and runs.
+        s.spawn(|| {
+            let db = db.clone();
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(5));
+                db.purge_old_versions();
+            }
+        });
+        std::thread::sleep(shape.warmup);
+        measuring.store(true, Ordering::Relaxed);
+        let start = Instant::now();
+        std::thread::sleep(shape.duration);
+        let elapsed = start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        elapsed
+    });
+
+    CommitThroughput {
+        committed: committed.load(Ordering::Relaxed),
+        aborted: aborted.load(Ordering::Relaxed),
+        elapsed: measured,
+    }
+}
+
+/// Measures raw commit-section capacity: `threads` threads run nothing but
+/// the commit pipeline's serialized core — begin, allocate, mark-committed,
+/// publish, retire — with no reads, writes, locks or storage. This isolates
+/// the serialization point whose capacity caps multi-core commit scaling:
+/// under the lock-step baseline every iteration crosses the global gate,
+/// under the fine-grained pipeline it is a handful of atomics. Returns
+/// sections per second.
+pub fn run_commit_section_bench(db: &Database, threads: usize, duration: Duration) -> f64 {
+    let stop = AtomicBool::new(false);
+    let sections = AtomicU64::new(0);
+    let start = Instant::now();
+    let elapsed = std::thread::scope(|s| {
+        for t in 0..threads {
+            let db = db.clone();
+            let (stop, sections) = (&stop, &sections);
+            s.spawn(move || {
+                let table = db.table("bench").unwrap();
+                // Each thread updates its own key: no lock contention and
+                // no conflicts, so iteration cost is dominated by the
+                // commit pipeline itself.
+                let key = (t as u64).to_be_bytes();
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut txn = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+                    let _ = txn.put(&table, &key, &[1]);
+                    let _ = txn.commit();
+                    local += 1;
+                    if local.is_multiple_of(4096) {
+                        db.purge_old_versions();
+                    }
+                }
+                sections.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        let elapsed = start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        elapsed
+    });
+    sections.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssi_core::Options;
+
+    #[test]
+    fn harness_drives_both_pipelines() {
+        let shape = CommitWorkload {
+            threads: 2,
+            keys: 128,
+            reads_per_txn: 2,
+            writes_per_txn: 1,
+            hot: None,
+            read_only_pct: 0,
+            duration: Duration::from_millis(50),
+            warmup: Duration::ZERO,
+        };
+        for options in [
+            Options::default(),
+            Options::default().with_lockstep_commit(),
+        ] {
+            let db = Database::open(options);
+            preload(&db, shape.keys);
+            let out =
+                run_commit_workload(&db, IsolationLevel::SerializableSnapshotIsolation, &shape);
+            assert!(out.committed > 0, "no transactions committed");
+        }
+    }
+
+    #[test]
+    fn pivot_workload_generates_unsafe_aborts() {
+        let shape = CommitWorkload {
+            threads: 4,
+            keys: 128,
+            reads_per_txn: 2,
+            writes_per_txn: 1,
+            hot: Some(8),
+            read_only_pct: 0,
+            duration: Duration::from_millis(80),
+            warmup: Duration::ZERO,
+        };
+        let db = Database::open(Options::default());
+        preload(&db, shape.keys);
+        let out = run_commit_workload(&db, IsolationLevel::SerializableSnapshotIsolation, &shape);
+        assert!(out.committed > 0);
+        assert!(out.aborted > 0, "hot-set workload should produce aborts");
+    }
+}

@@ -15,6 +15,7 @@
 //! definitions for per-operation microbenchmarks and ablations.
 
 pub mod baseline;
+pub mod commit_micro;
 pub mod storage_micro;
 
 use std::time::Duration;

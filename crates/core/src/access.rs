@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use ssi_common::{Bytes, Error, IsolationLevel, Result, Timestamp, TxnId};
 use ssi_lock::{LockKey, LockMode};
-use ssi_storage::ScanEntry;
+use ssi_storage::{as_ref_bound, clone_bound};
 
 use crate::db::TableRef;
 use crate::options::LockGranularity;
@@ -132,6 +132,109 @@ impl Transaction {
 
     fn row_granularity(&self) -> bool {
         matches!(self.db.options.granularity, LockGranularity::Row)
+    }
+
+    /// Closes a scanned region against phantoms. `visited` holds the keys
+    /// the scan processed inside `(from, to)` in ascending order; the
+    /// caller must already hold, in `mode`, the gap locks of every visited
+    /// key *and* of the region's upper boundary.
+    ///
+    /// Any other key present in the region was committed into a gap while
+    /// the scan was paging. Each one is gap-locked in `mode` as well — an
+    /// insert splits a gap, and without a lock on the new key's gap a
+    /// *second* insert in front of it would escape detection — and the
+    /// region is re-queried until a full pass finds nothing new. After that
+    /// fixpoint, every key in the region carries our gap lock, so any later
+    /// insert's next-key gap target must collide with a lock this
+    /// transaction holds. Returns the newly discovered keys in ascending
+    /// order for the caller to read/conflict on.
+    ///
+    /// The pass count is bounded: a writer storm that lands a fresh insert
+    /// inside the race window of every single pass would otherwise starve
+    /// the scan. Exhausting the bound aborts this transaction (retryably),
+    /// which is sound — an aborted scan imposes no ordering constraints.
+    fn sweep_gap_region(
+        &mut self,
+        table: &TableRef,
+        from: Bound<&[u8]>,
+        to: Bound<&[u8]>,
+        visited: &[Vec<u8>],
+        mode: LockMode,
+    ) -> Result<Vec<Vec<u8>>> {
+        const MAX_PASSES: usize = 16;
+        debug_assert!(visited.windows(2).all(|w| w[0] < w[1]));
+        let mut seen: Vec<Vec<u8>> = visited.to_vec();
+        let mut missed: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..MAX_PASSES {
+            let mut grew = false;
+            for key in table.table.keys_in_range(from, to) {
+                let Err(pos) = seen.binary_search(&key) else {
+                    continue;
+                };
+                let outcome = self.acquire(LockKey::gap(table.id(), key.clone()), mode)?;
+                if mode == LockMode::SiRead {
+                    self.mark_read_conflicts(&outcome.rw_conflicts)?;
+                }
+                seen.insert(pos, key.clone());
+                let mpos = missed.binary_search(&key).unwrap_err();
+                missed.insert(mpos, key);
+                grew = true;
+            }
+            if !grew {
+                return Ok(missed);
+            }
+        }
+        Err(Error::unsafe_abort(self.shared.id()))
+    }
+
+    /// 2PL handling of keys [`Transaction::sweep_gap_region`] discovered:
+    /// lock, read and splice each one into the (key-ordered) result.
+    fn absorb_missed_rows_2pl(
+        &mut self,
+        table: &TableRef,
+        missed: Vec<Vec<u8>>,
+        result: &mut Vec<(Vec<u8>, Bytes)>,
+    ) -> Result<()> {
+        let id = self.shared.id();
+        for key in missed {
+            let lock = self.lock_target(table, &key);
+            self.acquire(lock, LockMode::Shared)?;
+            if let Some(value) = table.table.read_latest_committed(&key, id) {
+                let pos = result
+                    .binary_search_by(|(k, _)| k.as_slice().cmp(&key))
+                    .unwrap_or_else(|p| p);
+                result.insert(pos, (key.clone(), value));
+            }
+            let ts = table.table.newest_committed_ts(&key);
+            self.record_read(table, &key, ts);
+        }
+        Ok(())
+    }
+
+    /// SSI handling of keys [`Transaction::sweep_gap_region`] discovered:
+    /// treat each exactly like a cursor-visited row — row SIREAD first
+    /// (without it a later *update* of the phantom key, which takes no gap
+    /// lock, would escape both detection channels), then conflict with the
+    /// creators of its (invisible) versions under that lock and record the
+    /// predicate read for the verifier. Such keys are never visible to the
+    /// scan's snapshot — a version committed before the snapshot would have
+    /// been in the ordered index when the page was read.
+    fn absorb_missed_keys_ssi(
+        &mut self,
+        table: &TableRef,
+        missed: Vec<Vec<u8>>,
+        snapshot: Timestamp,
+    ) -> Result<()> {
+        let id = self.shared.id();
+        for key in missed {
+            let lock = self.lock_target(table, &key);
+            let outcome = self.acquire(lock, LockMode::SiRead)?;
+            self.mark_read_conflicts(&outcome.rw_conflicts)?;
+            let probe = table.table.read(&key, id, snapshot);
+            self.mark_read_conflicts(&probe.newer_creators)?;
+            self.record_read(table, &key, probe.read_version_ts);
+        }
+        Ok(())
     }
 
     fn gap_locking_enabled(&self) -> bool {
@@ -380,6 +483,11 @@ impl Transaction {
     // Predicate reads
     // ------------------------------------------------------------------
 
+    /// All scan variants stream rows through the storage layer's paging
+    /// cursor ([`ssi_storage::Table::cursor`]): only one page of chain
+    /// handles is materialized at a time and the table's ordered-index lock
+    /// is released between pages, so a large scan never blocks writers of
+    /// new keys for its whole duration.
     fn do_scan(
         &mut self,
         table: &TableRef,
@@ -390,98 +498,169 @@ impl Transaction {
         match self.shared.isolation() {
             IsolationLevel::ReadCommitted => {
                 let snapshot = self.db.txns.current_ts();
-                let entries = table.table.scan(lower, upper, id, snapshot);
-                Ok(collect_visible(entries))
+                Ok(table
+                    .table
+                    .cursor(lower, upper, id, snapshot)
+                    .filter_map(|e| e.value.map(|v| (e.key, v)))
+                    .collect())
             }
             IsolationLevel::StrictTwoPhaseLocking => {
                 let snapshot = self.db.txns.current_ts();
-                let entries = table.table.scan(lower, upper, id, snapshot);
-                let mut result = Vec::with_capacity(entries.len());
-                for entry in &entries {
-                    let lock = self.lock_target(table, &entry.key);
-                    self.acquire(lock, LockMode::Shared)?;
-                    if self.gap_locking_enabled() {
+                let gap_on = self.gap_locking_enabled();
+                let mut result = Vec::new();
+                // Region bookkeeping for the phantom sweep: keys visited
+                // (and gap-locked) since the last sweep, and where that
+                // region starts.
+                let mut region_start: Bound<Vec<u8>> = clone_bound(lower);
+                let mut batch: Vec<Vec<u8>> = Vec::new();
+                for entry in table.table.cursor(lower, upper, id, snapshot) {
+                    if gap_on {
                         let gap = LockKey::gap(table.id(), entry.key.clone());
                         self.acquire(gap, LockMode::Shared)?;
                     }
+                    let lock = self.lock_target(table, &entry.key);
+                    self.acquire(lock, LockMode::Shared)?;
                     // Re-read under the lock: the value may have changed
                     // between the unlocked scan and the lock grant.
                     if let Some(value) = table.table.read_latest_committed(&entry.key, id) {
                         result.push((entry.key.clone(), value));
                     }
                     let ts = table.table.newest_committed_ts(&entry.key);
-                    let key = entry.key.clone();
-                    self.record_read(table, &key, ts);
+                    self.record_read(table, &entry.key, ts);
+                    if gap_on {
+                        batch.push(entry.key);
+                        if batch.len() >= GAP_SWEEP_BATCH {
+                            // Rows committed into the region's gaps before
+                            // their gap locks were granted were missed by
+                            // the storage scan; lock and include them.
+                            let to = Bound::Included(batch.last().unwrap().clone());
+                            let missed = self.sweep_gap_region(
+                                table,
+                                as_ref_bound(&region_start),
+                                as_ref_bound(&to),
+                                &batch,
+                                LockMode::Shared,
+                            )?;
+                            self.absorb_missed_rows_2pl(table, missed, &mut result)?;
+                            region_start = bound_excluded(to);
+                            batch.clear();
+                        }
+                    }
                 }
-                if self.gap_locking_enabled() {
+                if gap_on {
                     let end_gap = self.end_gap_target(table, &upper);
                     self.acquire(end_gap, LockMode::Shared)?;
+                    let missed = self.sweep_gap_region(
+                        table,
+                        as_ref_bound(&region_start),
+                        upper,
+                        &batch,
+                        LockMode::Shared,
+                    )?;
+                    self.absorb_missed_rows_2pl(table, missed, &mut result)?;
                 }
                 Ok(result)
             }
             IsolationLevel::SnapshotIsolation => {
                 let snapshot = self.db.txns.ensure_snapshot(&self.shared);
-                let entries = table.table.scan(lower, upper, id, snapshot);
-                for entry in &entries {
+                let mut result = Vec::new();
+                for entry in table.table.cursor(lower, upper, id, snapshot) {
                     if !entry.read_own_write {
-                        let key = entry.key.clone();
-                        self.record_read(table, &key, entry.read_version_ts);
+                        self.record_read(table, &entry.key, entry.read_version_ts);
+                    }
+                    if let Some(value) = entry.value {
+                        result.push((entry.key, value));
                     }
                 }
-                Ok(collect_visible(entries))
+                Ok(result)
             }
             IsolationLevel::SerializableSnapshotIsolation => {
                 let snapshot = self.db.txns.ensure_snapshot(&self.shared);
-                let entries = table.table.scan(lower, upper, id, snapshot);
-                for entry in &entries {
+                let gap_on = self.gap_locking_enabled();
+                let mut result = Vec::new();
+                let mut region_start: Bound<Vec<u8>> = clone_bound(lower);
+                let mut batch: Vec<Vec<u8>> = Vec::new();
+                for entry in table.table.cursor(lower, upper, id, snapshot) {
                     // Fig. 3.6: every examined row is read under an SIREAD
                     // lock with the usual conflict checks…
                     let lock = self.lock_target(table, &entry.key);
                     let outcome = self.acquire(lock, LockMode::SiRead)?;
                     self.mark_read_conflicts(&outcome.rw_conflicts)?;
-                    self.mark_read_conflicts(&entry.newer_creators)?;
+                    // …re-probing the version chain *under* the SIREAD so
+                    // the paper's lock-then-read order (Fig. 3.4) holds per
+                    // row: a writer that installed, committed and released
+                    // its EXCLUSIVE lock entirely between the storage page
+                    // read and this lock grant is invisible to both the
+                    // page's `newer_creators` and the lock table, but a
+                    // fresh chain read under the lock cannot miss it.
+                    let probe = table.table.read(&entry.key, id, snapshot);
+                    self.mark_read_conflicts(&probe.newer_creators)?;
                     // …plus an SIREAD gap lock so that inserts into the
                     // scanned range are detected.
-                    if self.gap_locking_enabled() {
+                    if gap_on {
                         let gap = LockKey::gap(table.id(), entry.key.clone());
                         let gap_outcome = self.acquire(gap, LockMode::SiRead)?;
                         self.mark_read_conflicts(&gap_outcome.rw_conflicts)?;
                     }
                     if !entry.read_own_write {
-                        let key = entry.key.clone();
-                        self.record_read(table, &key, entry.read_version_ts);
+                        self.record_read(table, &entry.key, entry.read_version_ts);
+                    }
+                    if gap_on {
+                        batch.push(entry.key.clone());
+                        if batch.len() >= GAP_SWEEP_BATCH {
+                            // With the region's gap SIREADs held, keys
+                            // committed into its gaps before those locks
+                            // were granted (phantoms this scan missed) are
+                            // in the ordered index: gap-lock each of them
+                            // too (so inserts into the sub-gaps they create
+                            // are caught) and conflict with their creators
+                            // exactly as for a newer version.
+                            let to = Bound::Included(batch.last().unwrap().clone());
+                            let missed = self.sweep_gap_region(
+                                table,
+                                as_ref_bound(&region_start),
+                                as_ref_bound(&to),
+                                &batch,
+                                LockMode::SiRead,
+                            )?;
+                            self.absorb_missed_keys_ssi(table, missed, snapshot)?;
+                            region_start = bound_excluded(to);
+                            batch.clear();
+                        }
+                    }
+                    if let Some(value) = entry.value {
+                        result.push((entry.key, value));
                     }
                 }
-                if self.gap_locking_enabled() {
+                if gap_on {
                     let end_gap = self.end_gap_target(table, &upper);
                     let gap_outcome = self.acquire(end_gap, LockMode::SiRead)?;
                     self.mark_read_conflicts(&gap_outcome.rw_conflicts)?;
+                    let missed = self.sweep_gap_region(
+                        table,
+                        as_ref_bound(&region_start),
+                        upper,
+                        &batch,
+                        LockMode::SiRead,
+                    )?;
+                    self.absorb_missed_keys_ssi(table, missed, snapshot)?;
                 }
-                Ok(collect_visible(entries))
+                Ok(result)
             }
         }
     }
 }
 
-fn collect_visible(entries: Vec<ScanEntry>) -> Vec<(Vec<u8>, Bytes)> {
-    entries
-        .into_iter()
-        .filter_map(|e| e.value.map(|v| (e.key, v)))
-        .collect()
-}
+/// Entries between phantom sweeps of a gap-locking scan: one ordered-index
+/// region query per this many visited rows (one per short scan), instead of
+/// one per row.
+const GAP_SWEEP_BATCH: usize = 32;
 
-fn clone_bound(b: Bound<&[u8]>) -> Bound<Vec<u8>> {
+/// Turns an inclusive region boundary into the exclusive start of the next
+/// region.
+fn bound_excluded(b: Bound<Vec<u8>>) -> Bound<Vec<u8>> {
     match b {
-        Bound::Included(k) => Bound::Included(k.to_vec()),
-        Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
-        Bound::Unbounded => Bound::Unbounded,
-    }
-}
-
-fn as_ref_bound(b: &Bound<Vec<u8>>) -> Bound<&[u8]> {
-    match b {
-        Bound::Included(k) => Bound::Included(k.as_slice()),
-        Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+        Bound::Included(k) | Bound::Excluded(k) => Bound::Excluded(k),
         Bound::Unbounded => Bound::Unbounded,
     }
 }

@@ -11,10 +11,60 @@
 //! * keep committed Serializable-SI transactions *suspended* — their record
 //!   and their SIREAD locks stay alive until no concurrent transaction
 //!   remains (Sec. 3.3), and clean them up eagerly in commit order
-//!   (Sec. 4.6.1, the InnoDB strategy);
-//! * provide the global serialization mutex that makes conflict marking and
-//!   the commit-time flag check atomic (the `atomic begin/end` blocks of
-//!   Figs. 3.2/3.3; the analogue of InnoDB's kernel mutex).
+//!   (Sec. 4.6.1, the InnoDB strategy).
+//!
+//! # The commit pipeline
+//!
+//! The thesis prototype serializes all conflict marking and commit-time
+//! flag checks under InnoDB's kernel mutex; earlier revisions of this crate
+//! mirrored that with a global `Mutex<()>`. That mutex is gone. The commit
+//! and conflict paths are now built from three fine-grained pieces:
+//!
+//! 1. **The per-transaction state word** — commit timestamp, status, doomed
+//!    flag and both conflict flags packed into one `AtomicU64` on
+//!    [`TxnShared`] (layout in [`crate::txn_shared`]). Under the basic
+//!    variant, conflict marking and the commit-time flag check are CAS
+//!    loops on the two participants' words; no locks at all.
+//!
+//! 2. **The pair-lock ordering rule** — the enhanced variant additionally
+//!    tracks conflict-neighbour *identities*, which need more than one
+//!    word. Where a pair of transactions must be updated atomically
+//!    together (recording an edge plus the pivot test of Fig. 3.9), the two
+//!    per-transaction conflict mutexes are taken **in increasing
+//!    transaction-id order** — never more than two, never nested with a
+//!    third. A committing transaction holds only its *own* conflict mutex,
+//!    which suffices: any edge recorded against it is serialized either
+//!    before its commit check (and is seen) or after its status flips to
+//!    committed (and the marker sees a committed counterpart, Fig. 3.9's
+//!    committed-writer case).
+//!
+//! 3. **Ordered timestamp publication (deposit-drain)** — commit
+//!    timestamps are *allocated* from one counter (`next_ts`, a fetch-add)
+//!    but *published* to the snapshot clock (`clock`) strictly in
+//!    allocation order. The owner of timestamp `t` stamps its versions
+//!    first, then *deposits* `t`; whoever completes the pending prefix
+//!    drains every consecutive deposited timestamp into the clock in one
+//!    step, so no committer ever needs a predecessor to be scheduled again
+//!    after it finished stamping. A committer does wait (short adaptive
+//!    spin, then parked on a condvar with precise wakeups) until its *own*
+//!    timestamp is published, so a committed transaction is visible to new
+//!    snapshots when `commit` returns. New snapshots read `clock`, so a
+//!    snapshot at `s` provably sees every version of every commit with
+//!    timestamp `<= s` fully stamped — the atomic-visibility guarantee the
+//!    global mutex used to provide — while commits whose write sets touch
+//!    different keys run the whole pipeline in parallel. The same ordering
+//!    gives the SSI checks a sound way to reason about *unpublished*
+//!    neighbours: once `clock >= t`, any transaction still showing
+//!    "uncommitted" must commit with a timestamp `> t` (see
+//!    [`TransactionManager::wait_for_publication`]).
+//!
+//! Every allocated timestamp **must** be published exactly once, even when
+//! the commit fails between allocation and publication (the timestamp is
+//! then published "empty"); otherwise the publication chain would stall.
+//!
+//! The old global mutex survives only as [`TransactionManager::commit_gate`]
+//! — an opt-in lock-step mode ([`crate::SsiOptions::lockstep_commit`]) kept
+//! as the in-tree baseline the `commit_bench` binary measures against.
 //!
 //! # Sharding
 //!
@@ -34,13 +84,16 @@
 //! * the suspended list is a `BTreeMap` keyed by `(commit_ts, id)`, so
 //!   [`TransactionManager::cleanup_suspended`] pops reclaimable entries in
 //!   commit order and stops at the first survivor — O(reclaimed), not
-//!   O(suspended × registry).
+//!   O(suspended × registry). Reclaimed SIREAD locks are dropped with one
+//!   batched lock-manager call per transaction (one shard-lock acquisition
+//!   per lock-table shard touched, not one per key).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use ssi_common::{IsolationLevel, Timestamp, TxnId};
 use ssi_lock::{FxBuildHasher, LockKey, LockManager, LockMode};
@@ -50,6 +103,20 @@ use crate::txn_shared::TxnShared;
 /// Number of registry shards. Power of two; ids are assigned sequentially
 /// so `id % shards` spreads consecutive transactions across all shards.
 const REGISTRY_SHARDS: usize = 64;
+
+/// Spins of the publication wait loop before parking, on multi-core
+/// machines: the predecessor is typically mid-stamping on another core and
+/// finishes within nanoseconds, so parking would cost far more than the
+/// wait. On a single-core machine spinning is counterproductive — the
+/// predecessor cannot run until we sleep — so the limit drops to zero and
+/// waiters park immediately (a clean scheduler handoff, exactly like a
+/// contended futex mutex).
+fn publish_spin_limit() -> u32 {
+    match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => 64,
+        _ => 0,
+    }
+}
 
 /// A committed Serializable-SI transaction kept around because transactions
 /// concurrent with it may still discover conflicts against it.
@@ -84,12 +151,19 @@ pub struct ManagerStats {
     pub suspended: AtomicU64,
     /// Suspended transactions reclaimed by cleanup.
     pub cleaned: AtomicU64,
+    /// Publication waits that outlasted the spin phase and parked the
+    /// thread (commit pipeline contention signal).
+    pub publish_parks: AtomicU64,
 }
 
 /// The transaction manager.
 pub struct TransactionManager {
-    /// Global logical clock; the last issued timestamp.
+    /// The snapshot clock: the highest *published* commit timestamp. Only
+    /// ever advances in timestamp order (see the module docs).
     clock: AtomicU64,
+    /// The allocation counter: the highest commit timestamp handed out.
+    /// Always `>= clock`; the gap is the set of in-flight commits.
+    next_ts: AtomicU64,
     /// Next transaction id.
     next_id: AtomicU64,
     /// Sharded registry of all transaction records that may still be
@@ -98,8 +172,28 @@ pub struct TransactionManager {
     registry: Box<[Mutex<RegistryShard>]>,
     /// Suspended committed transactions, ordered by commit timestamp.
     suspended: Mutex<BTreeMap<(Timestamp, TxnId), SuspendedTxn>>,
-    /// Serialization point for conflict marking and commit checks.
-    serialization: Mutex<()>,
+    /// Lock-step fallback gate reproducing the thesis prototype's
+    /// kernel-mutex commit; taken only when
+    /// [`crate::SsiOptions::lockstep_commit`] is set (benchmark baseline).
+    gate: Mutex<()>,
+    /// Timestamps whose owners finished stamping but whose predecessors
+    /// have not all published yet. Deposited here so *any* later publisher
+    /// can advance the clock through them — the owner of a timestamp never
+    /// has to be scheduled again just to move the clock past its commit.
+    pending_publish: Mutex<BTreeSet<Timestamp>>,
+    /// Number of threads parked waiting for the clock to advance. Checked
+    /// by publishers so the common, uncontended publish never touches the
+    /// condvar at all.
+    publish_waiters: AtomicU64,
+    /// Parking lot for publication waiters (see
+    /// [`TransactionManager::wait_until_published`]): waiting threads sleep
+    /// here instead of burning the scheduler with yields — essential when
+    /// committers outnumber cores and the owner of the next timestamp has
+    /// been preempted mid-pipeline.
+    publish_mu: Mutex<()>,
+    publish_cv: Condvar,
+    /// Pre-publication spins before parking (see [`publish_spin_limit`]).
+    publish_spins: u32,
     /// Activity counters.
     stats: ManagerStats,
 }
@@ -110,12 +204,18 @@ impl TransactionManager {
     pub fn new() -> Self {
         TransactionManager {
             clock: AtomicU64::new(1),
+            next_ts: AtomicU64::new(1),
             next_id: AtomicU64::new(1),
             registry: (0..REGISTRY_SHARDS)
                 .map(|_| Mutex::new(RegistryShard::default()))
                 .collect(),
             suspended: Mutex::new(BTreeMap::new()),
-            serialization: Mutex::new(()),
+            gate: Mutex::new(()),
+            pending_publish: Mutex::new(BTreeSet::new()),
+            publish_waiters: AtomicU64::new(0),
+            publish_mu: Mutex::new(()),
+            publish_cv: Condvar::new(),
+            publish_spins: publish_spin_limit(),
             stats: ManagerStats::default(),
         }
     }
@@ -130,7 +230,8 @@ impl TransactionManager {
         &self.registry[id.0 as usize & (REGISTRY_SHARDS - 1)]
     }
 
-    /// Current value of the logical clock.
+    /// Current value of the snapshot clock (highest published commit
+    /// timestamp).
     pub fn current_ts(&self) -> Timestamp {
         self.clock.load(Ordering::Acquire)
     }
@@ -168,26 +269,107 @@ impl TransactionManager {
         ts
     }
 
-    /// Acquires the global serialization mutex (conflict marking and commit
-    /// checks run under it).
-    pub fn serialization_lock(&self) -> MutexGuard<'_, ()> {
-        self.serialization.lock()
+    /// Acquires the lock-step fallback gate (the demoted global mutex; see
+    /// the module docs). Only the lock-step baseline mode takes it.
+    pub fn commit_gate(&self) -> MutexGuard<'_, ()> {
+        self.gate.lock()
     }
 
-    /// Allocates the next commit timestamp. Must be called while holding the
-    /// serialization mutex; the new value is *not* published to readers until
-    /// [`TransactionManager::publish_commit_ts`] is called, so the caller can
-    /// stamp its versions first and new snapshots can never observe a
-    /// half-committed transaction.
+    /// Allocates the next commit timestamp. The new value is *not* visible
+    /// to readers until [`TransactionManager::publish_commit_ts`] is called,
+    /// so the caller can stamp its versions first and new snapshots can
+    /// never observe a half-committed transaction. Every allocated
+    /// timestamp must eventually be published exactly once, even on commit
+    /// failure, or the publication chain stalls.
     pub fn allocate_commit_ts(&self) -> Timestamp {
-        self.current_ts() + 1
+        self.next_ts.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Publishes a commit timestamp allocated with
     /// [`TransactionManager::allocate_commit_ts`], making it visible to new
-    /// snapshots.
+    /// snapshots. The clock still advances strictly in allocation order —
+    /// the atomic-visibility invariant — but out-of-order finishers
+    /// *deposit* their timestamp instead of queueing to store it
+    /// themselves: whoever completes the pending prefix drains every
+    /// consecutive deposited timestamp in one step. A committer therefore
+    /// never needs its predecessors to be *scheduled again* after they
+    /// finished stamping, and a pile-up behind one preempted commit clears
+    /// with a single group wakeup rather than a serial chain of handoffs.
+    ///
+    /// Blocks until `ts` itself is published (so a committed transaction is
+    /// visible to new snapshots when `commit` returns), which is bounded by
+    /// the commits ahead of us, each of which only has stamping left to do.
     pub fn publish_commit_ts(&self, ts: Timestamp) {
-        self.clock.store(ts, Ordering::Release);
+        debug_assert!(ts > 0);
+        let advanced = {
+            let mut pending = self.pending_publish.lock();
+            pending.insert(ts);
+            let mut advanced = false;
+            // Drain the ready prefix. The clock is only ever stored under
+            // this mutex, so the +1 steps stay prefix-closed.
+            while let Some(&next) = pending.first() {
+                if next != self.clock.load(Ordering::Acquire) + 1 {
+                    break;
+                }
+                pending.pop_first();
+                self.clock.store(next, Ordering::Release);
+                advanced = true;
+            }
+            advanced
+        };
+        if advanced && self.publish_waiters.load(Ordering::SeqCst) > 0 {
+            // The empty lock section orders this notify after any waiter's
+            // clock re-check, closing the lost-wakeup window; it is skipped
+            // entirely when nobody is parked.
+            drop(self.publish_mu.lock());
+            self.publish_cv.notify_all();
+        }
+        if self.clock.load(Ordering::Acquire) < ts {
+            self.wait_until_published(ts);
+        }
+    }
+
+    /// Waits until every commit timestamp `<= ts` has been published.
+    ///
+    /// This is the fence the SSI checks use to reason about apparently
+    /// uncommitted neighbours: after this returns, any transaction whose
+    /// state word still shows "uncommitted" is guaranteed to commit (if
+    /// ever) with a timestamp `> ts`, because all timestamps `<= ts` have
+    /// completed the mark-committed → stamp → publish pipeline.
+    pub fn wait_for_publication(&self, ts: Timestamp) {
+        if self.clock.load(Ordering::Acquire) < ts {
+            self.wait_until_published(ts);
+        }
+    }
+
+    /// Blocks until `clock >= ts`: a short spin for the common case (the
+    /// predecessor is mid-stamping on another core), then parks on the
+    /// publication condvar. Parking matters when committers outnumber
+    /// cores: a yield loop would burn whole scheduler quanta while the
+    /// owner of the next timestamp waits to run, serializing the system on
+    /// context-switch latency. The wait carries a timeout backstop so a
+    /// missed wakeup degrades to a periodic re-check, never a hang.
+    fn wait_until_published(&self, ts: Timestamp) {
+        for _ in 0..self.publish_spins {
+            if self.clock.load(Ordering::Acquire) >= ts {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        self.stats.publish_parks.fetch_add(1, Ordering::Relaxed);
+        self.publish_waiters.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.publish_mu.lock();
+        while self.clock.load(Ordering::Acquire) < ts {
+            // The waiter-count increment (SeqCst) and the publisher's
+            // empty lock section make the wakeup precise: a publisher that
+            // advances the clock either sees the count and notifies after
+            // this thread is parked, or this re-check sees the new clock.
+            // The long timeout is a pure backstop, not a polling interval.
+            self.publish_cv
+                .wait_for(&mut guard, Duration::from_millis(5));
+        }
+        drop(guard);
+        self.publish_waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Looks up a (possibly suspended) transaction record by id.
@@ -279,7 +461,10 @@ impl TransactionManager {
     /// The suspended list is ordered by commit timestamp, so this pops from
     /// the front and stops at the first transaction some active transaction
     /// is still concurrent with — O(reclaimed), not a scan of everything
-    /// suspended. Returns how many were reclaimed.
+    /// suspended. Each reclaimed transaction's SIREAD locks are released
+    /// with a single batched lock-manager call (one lock-table shard
+    /// acquisition per shard touched rather than one per key). Returns how
+    /// many were reclaimed.
     pub fn cleanup_suspended(&self, locks: &LockManager) -> usize {
         let horizon = self.oldest_active_begin();
         let mut reclaimed = Vec::new();
@@ -297,9 +482,10 @@ impl TransactionManager {
         }
         let count = reclaimed.len();
         for entry in reclaimed {
-            for key in &entry.siread_locks {
-                locks.unlock(entry.shared.id(), key, LockMode::SiRead);
-            }
+            locks.unlock_batch(
+                entry.shared.id(),
+                entry.siread_locks.iter().map(|key| (key, LockMode::SiRead)),
+            );
             entry.shared.clear_conflicts();
             self.retire(&entry.shared);
         }
@@ -325,6 +511,14 @@ mod tests {
         TransactionManager::new()
     }
 
+    /// Allocates, "stamps" (no versions in these tests) and publishes the
+    /// next commit timestamp, as the write-commit pipeline does.
+    fn tick(m: &TransactionManager) -> Timestamp {
+        let ts = m.allocate_commit_ts();
+        m.publish_commit_ts(ts);
+        ts
+    }
+
     #[test]
     fn begin_assigns_unique_ids_and_registers() {
         let m = mgr();
@@ -342,8 +536,7 @@ mod tests {
         let t = m.begin(IsolationLevel::SnapshotIsolation);
         let s1 = m.ensure_snapshot(&t);
         // Advance the clock as if another transaction committed.
-        let ts = m.allocate_commit_ts();
-        m.publish_commit_ts(ts);
+        tick(&m);
         let s2 = m.ensure_snapshot(&t);
         assert_eq!(s1, s2, "snapshot must not move once assigned");
     }
@@ -352,14 +545,34 @@ mod tests {
     fn commit_timestamps_are_monotonic_and_published() {
         let m = mgr();
         let before = m.current_ts();
-        let ts = {
-            let _g = m.serialization_lock();
-            let ts = m.allocate_commit_ts();
-            m.publish_commit_ts(ts);
-            ts
-        };
+        let ts = tick(&m);
         assert_eq!(ts, before + 1);
         assert_eq!(m.current_ts(), ts);
+    }
+
+    #[test]
+    fn publication_is_in_allocation_order() {
+        // Allocate two timestamps, publish them from two threads in the
+        // wrong order: the clock must still advance 1 → 2 → 3 and the
+        // later publisher must wait for the earlier one.
+        let m = mgr();
+        let t2 = m.allocate_commit_ts();
+        let t3 = m.allocate_commit_ts();
+        assert_eq!((t2, t3), (2, 3));
+        std::thread::scope(|s| {
+            let m2 = &m;
+            let late = s.spawn(move || {
+                m2.publish_commit_ts(t3);
+                m2.current_ts()
+            });
+            // Give the late publisher a head start so it really waits.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(m.current_ts(), 1, "t3 must not publish before t2");
+            m.publish_commit_ts(t2);
+            assert_eq!(late.join().unwrap(), 3);
+        });
+        assert_eq!(m.current_ts(), 3);
+        m.wait_for_publication(3);
     }
 
     #[test]
@@ -388,8 +601,7 @@ mod tests {
         m.ensure_snapshot(&c);
         locks.lock(r.id(), &key, LockMode::SiRead).unwrap();
 
-        r.mark_committed(m.current_ts() + 1);
-        m.publish_commit_ts(m.current_ts() + 1);
+        r.mark_committed(tick(&m));
         m.finish_commit(&r, vec![key.clone()], true);
         assert_eq!(m.suspended_len(), 1);
         assert!(m.find(r.id()).is_some(), "suspended txns stay findable");
@@ -399,7 +611,7 @@ mod tests {
         assert!(locks.holds(r.id(), &key).contains(LockMode::SiRead));
 
         // Once C finishes, R is reclaimable and its SIREAD lock disappears.
-        c.mark_committed(m.current_ts() + 1);
+        c.mark_committed(tick(&m));
         m.finish_commit(&c, Vec::new(), false);
         assert_eq!(m.cleanup_suspended(&locks), 1);
         assert_eq!(m.suspended_len(), 0);
@@ -408,16 +620,38 @@ mod tests {
     }
 
     #[test]
+    fn cleanup_drops_many_siread_locks_in_one_batch() {
+        // A suspended reader holding SIREAD locks spread over many
+        // lock-table shards: cleanup must drop every one of them.
+        let m = mgr();
+        let locks = LockManager::with_defaults();
+        let r = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        m.ensure_snapshot(&r);
+        let keys: Vec<LockKey> = (0..100u64)
+            .map(|i| LockKey::record(TableId(1), i.to_be_bytes().to_vec()))
+            .collect();
+        for key in &keys {
+            locks.lock(r.id(), key, LockMode::SiRead).unwrap();
+        }
+        r.mark_committed(tick(&m));
+        m.finish_commit(&r, keys.clone(), true);
+        assert_eq!(m.cleanup_suspended(&locks), 1);
+        assert_eq!(locks.grant_count(), 0, "all SIREAD locks must be dropped");
+        for key in &keys {
+            assert!(locks.holds(r.id(), key).is_empty());
+        }
+    }
+
+    #[test]
     fn oldest_active_begin_ignores_finished_transactions() {
         let m = mgr();
         let a = m.begin(IsolationLevel::SnapshotIsolation);
         m.ensure_snapshot(&a);
-        let ts = m.allocate_commit_ts();
-        m.publish_commit_ts(ts);
+        tick(&m);
         let b = m.begin(IsolationLevel::SnapshotIsolation);
         m.ensure_snapshot(&b);
         assert_eq!(m.oldest_active_begin(), a.begin_ts().unwrap());
-        a.mark_committed(m.current_ts() + 1);
+        a.mark_committed(tick(&m));
         m.finish_commit(&a, Vec::new(), false);
         assert_eq!(m.oldest_active_begin(), b.begin_ts().unwrap());
         b.mark_aborted();
@@ -436,8 +670,7 @@ mod tests {
             m.ensure_snapshot(&t);
             // Advance the clock between begins so begin timestamps differ.
             if i % 3 == 0 {
-                let ts = m.allocate_commit_ts();
-                m.publish_commit_ts(ts);
+                tick(&m);
             }
             txns.push(t);
         }
@@ -466,9 +699,7 @@ mod tests {
         for _ in 0..2 {
             let r = m.begin(IsolationLevel::SerializableSnapshotIsolation);
             m.ensure_snapshot(&r);
-            let ts = m.allocate_commit_ts();
-            m.publish_commit_ts(ts);
-            r.mark_committed(ts);
+            r.mark_committed(tick(&m));
             m.finish_commit(&r, Vec::new(), true);
             suspended.push(r);
         }
@@ -476,9 +707,7 @@ mod tests {
         m.ensure_snapshot(&active);
         let r3 = m.begin(IsolationLevel::SerializableSnapshotIsolation);
         m.ensure_snapshot(&r3);
-        let ts = m.allocate_commit_ts();
-        m.publish_commit_ts(ts);
-        r3.mark_committed(ts);
+        r3.mark_committed(tick(&m));
         m.finish_commit(&r3, Vec::new(), true);
 
         assert_eq!(m.suspended_len(), 3);
@@ -502,5 +731,30 @@ mod tests {
         assert_eq!(s.started.load(Ordering::Relaxed), 2);
         assert_eq!(s.committed.load(Ordering::Relaxed), 1);
         assert_eq!(s.aborted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_allocate_publish_keeps_clock_monotonic() {
+        // 8 threads × 100 writer commits each: every thread allocates,
+        // pretends to stamp, publishes. The clock must end exactly at
+        // 1 + 800 and never be observed going backwards.
+        let m = mgr();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = &m;
+                s.spawn(move || {
+                    let mut last_seen = 0;
+                    for _ in 0..100 {
+                        let ts = m.allocate_commit_ts();
+                        m.publish_commit_ts(ts);
+                        let now = m.current_ts();
+                        assert!(now >= ts);
+                        assert!(now >= last_seen, "clock went backwards");
+                        last_seen = now;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.current_ts(), 1 + 800);
     }
 }

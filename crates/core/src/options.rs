@@ -75,6 +75,12 @@ pub struct SsiOptions {
     pub abort_early: bool,
     /// Victim selection policy.
     pub victim: VictimPolicy,
+    /// Run conflict marking and commits in lock-step under one global mutex,
+    /// reproducing the thesis prototype's kernel-mutex serialization. The
+    /// fine-grained commit pipeline (see [`crate::manager`]) is the default;
+    /// this fallback exists as the in-tree baseline the `commit_bench`
+    /// binary measures the pipeline against.
+    pub lockstep_commit: bool,
 }
 
 impl Default for SsiOptions {
@@ -84,6 +90,7 @@ impl Default for SsiOptions {
             upgrade_siread: true,
             abort_early: true,
             victim: VictimPolicy::PreferPivot,
+            lockstep_commit: false,
         }
     }
 }
@@ -166,6 +173,13 @@ impl Options {
     /// Enables history recording for the serializability verifier.
     pub fn with_history(mut self) -> Self {
         self.record_history = true;
+        self
+    }
+
+    /// Enables the lock-step (global-mutex) commit baseline; see
+    /// [`SsiOptions::lockstep_commit`].
+    pub fn with_lockstep_commit(mut self) -> Self {
+        self.ssi.lockstep_commit = true;
         self
     }
 }

@@ -8,19 +8,45 @@
 //!   (SIREAD vs EXCLUSIVE) or through the existence of a newer row version.
 //!   It implements Fig. 3.3 (basic variant) and Fig. 3.9 (enhanced variant),
 //!   plus the abort-early and victim-selection refinements of Sec. 3.7.
-//! * [`commit_check`] — called at the beginning of commit processing, under
-//!   the serialization mutex, implementing Fig. 3.2 / Fig. 3.10.
+//! * [`commit_transaction`] — the commit-time unsafe check of Fig. 3.2 /
+//!   Fig. 3.10 fused with the commit-timestamp assignment, so the check and
+//!   the status transition are one atomic step.
 //!
 //! Both operate purely on [`TxnShared`] records; they know nothing about
 //! tables or locks.
+//!
+//! # Synchronization: no global mutex
+//!
+//! The paper wraps these paths in `atomic begin/end` blocks backed by
+//! InnoDB's kernel mutex. Here the same atomicity comes from two
+//! fine-grained mechanisms (see [`crate::manager`] for the full protocol):
+//!
+//! * **Basic variant** — all the state the checks consult (status, commit
+//!   timestamp, doomed flag, both conflict booleans) lives in one atomic
+//!   state word per transaction, so `mark_conflict` is two CAS loops (one
+//!   per participant) and the commit check-and-mark is a single CAS. No
+//!   locks are taken at all.
+//! * **Enhanced variant** — conflict-neighbour identities also matter, so
+//!   each transaction carries a small conflict mutex. `mark_conflict` locks
+//!   the two participants **in increasing transaction-id order** (deadlock
+//!   freedom: no path ever holds more than these two, and a committing
+//!   transaction holds only its own). Commit-time ordering tests against
+//!   neighbours that look uncommitted use the manager's publication fence
+//!   ([`TransactionManager::wait_for_publication`]) to rule out a
+//!   neighbour whose timestamp was allocated but whose status store has
+//!   not yet become visible.
 
 use std::sync::Arc;
 
-use ssi_common::{Error, Result, TxnId};
+use parking_lot::MutexGuard;
+
+use ssi_common::{Error, Result, Timestamp, TxnId};
 
 use crate::manager::TransactionManager;
 use crate::options::{SsiOptions, SsiVariant, VictimPolicy};
-use crate::txn_shared::{ConflictEdge, TxnShared};
+use crate::txn_shared::{
+    word_status, ConflictEdge, ConflictState, TxnShared, TxnStatus, WORD_DOOMED, WORD_IN, WORD_OUT,
+};
 
 /// Which of the two parties of a conflict is executing the current
 /// operation. The paper's `markConflict` aborts "the reader" or "the
@@ -36,83 +62,99 @@ pub enum CallerRole {
     Writer,
 }
 
-/// Evaluates the "dangerous structure" condition for `txn` given its current
-/// conflict edges: both edges present, and — in the enhanced variant — the
+/// Locks the conflict mutexes of both participants in increasing
+/// transaction-id order (the lock-ordering rule that replaces the global
+/// serialization mutex) and returns the guards in `(reader, writer)` order.
+fn lock_pair<'a>(
+    reader: &'a TxnShared,
+    writer: &'a TxnShared,
+) -> (MutexGuard<'a, ConflictState>, MutexGuard<'a, ConflictState>) {
+    debug_assert_ne!(reader.id(), writer.id());
+    if reader.id() < writer.id() {
+        let r = reader.conflicts.lock();
+        let w = writer.conflicts.lock();
+        (r, w)
+    } else {
+        let w = writer.conflicts.lock();
+        let r = reader.conflicts.lock();
+        (r, w)
+    }
+}
+
+/// Evaluates the "dangerous structure" condition for `txn` given its
+/// conflict state: both edges present, and — in the enhanced variant — the
 /// outgoing neighbour did not demonstrably commit after the incoming one
 /// (Fig. 3.10 line 3–4). Running transactions count as "commit at infinity".
-pub(crate) fn unsafe_now(opts: &SsiOptions, txn: &TxnShared) -> bool {
-    let conflicts = txn.conflicts.lock();
-    if !(conflicts.in_edge.is_set() && conflicts.out_edge.is_set()) {
+/// The caller must hold `txn`'s conflict mutex (enhanced paths).
+fn conflict_state_unsafe(opts: &SsiOptions, txn: &TxnShared, st: &ConflictState) -> bool {
+    if !(st.in_edge.is_set() && st.out_edge.is_set()) {
         return false;
     }
     match opts.variant {
         SsiVariant::Basic => true,
         SsiVariant::Enhanced => {
-            let out_commit = conflicts.out_edge.outgoing_commit_bound(txn);
-            let in_commit = conflicts.in_edge.incoming_commit_bound(txn);
-            out_commit <= in_commit
+            st.out_edge.outgoing_commit_bound(txn) <= st.in_edge.incoming_commit_bound(txn)
         }
     }
 }
 
-/// Records the edge `from_reader -> to_writer` on both transaction records.
-///
-/// The enhanced variant keeps the identity of the single conflicting
-/// transaction and degrades to a self-loop once a second, different
-/// counterpart shows up (Sec. 3.6); the basic variant keeps booleans, which
-/// we represent as an immediate self-loop.
-fn record_edge(opts: &SsiOptions, reader: &Arc<TxnShared>, writer: &Arc<TxnShared>) {
-    match opts.variant {
-        SsiVariant::Basic => {
-            reader.conflicts.lock().out_edge = ConflictEdge::SelfLoop;
-            writer.conflicts.lock().in_edge = ConflictEdge::SelfLoop;
+/// The commit-time variant of the dangerous-structure test, hardened
+/// against the one race the lock-free pipeline admits: an out-neighbour
+/// that has *allocated* a commit timestamp but whose committed status is
+/// not visible yet would be treated as "commits at infinity" and could
+/// slip a genuinely dangerous structure through. When the incoming bound
+/// is a real (finite) commit timestamp, waiting until every timestamp up
+/// to it has been published makes "still uncommitted" mean "will commit
+/// strictly later than the incoming transaction" — restoring exactly the
+/// guarantee the global mutex used to give.
+fn unsafe_at_commit(mgr: &TransactionManager, txn: &TxnShared, st: &ConflictState) -> bool {
+    if !(st.in_edge.is_set() && st.out_edge.is_set()) {
+        return false;
+    }
+    let in_commit = st.in_edge.incoming_commit_bound(txn);
+    let mut out_commit = st.out_edge.outgoing_commit_bound(txn);
+    if out_commit == Timestamp::MAX && in_commit != Timestamp::MAX {
+        if let ConflictEdge::Txn(out) = &st.out_edge {
+            mgr.wait_for_publication(in_commit);
+            out_commit = out.commit_ts().unwrap_or(Timestamp::MAX);
         }
-        SsiVariant::Enhanced => {
-            {
-                let mut rc = reader.conflicts.lock();
-                rc.out_edge = match &rc.out_edge {
-                    ConflictEdge::None => ConflictEdge::Txn(writer.clone()),
-                    ConflictEdge::Txn(existing) if existing.id() == writer.id() => {
-                        ConflictEdge::Txn(writer.clone())
-                    }
-                    _ => ConflictEdge::SelfLoop,
-                };
+    }
+    out_commit <= in_commit
+}
+
+/// Resolves the outgoing commit bound of a *committed* pivot candidate
+/// (`owner`, committed at `owner_commit`) for the committed-writer test of
+/// Fig. 3.9, using the publication fence for apparently uncommitted
+/// neighbours exactly as [`unsafe_at_commit`] does.
+fn settled_outgoing_bound(
+    mgr: &TransactionManager,
+    owner: &TxnShared,
+    edge: &ConflictEdge,
+    owner_commit: Timestamp,
+) -> Timestamp {
+    match edge {
+        ConflictEdge::None => Timestamp::MAX,
+        ConflictEdge::SelfLoop => edge.outgoing_commit_bound(owner),
+        ConflictEdge::Txn(out) => match out.commit_ts() {
+            Some(ts) => ts,
+            None => {
+                mgr.wait_for_publication(owner_commit);
+                out.commit_ts().unwrap_or(Timestamp::MAX)
             }
-            {
-                let mut wc = writer.conflicts.lock();
-                wc.in_edge = match &wc.in_edge {
-                    ConflictEdge::None => ConflictEdge::Txn(reader.clone()),
-                    ConflictEdge::Txn(existing) if existing.id() == reader.id() => {
-                        ConflictEdge::Txn(reader.clone())
-                    }
-                    _ => ConflictEdge::SelfLoop,
-                };
-            }
-        }
+        },
     }
 }
 
-/// Chooses the victim among the active pivots according to the configured
-/// policy. Returns `None` when nothing needs to be aborted right now.
-fn choose_victim(
+/// Applies the victim policy to the set of active pivots among the two
+/// participants. `pivots` holds the ids of the parties that are active,
+/// undoomed and currently unsafe.
+fn select_victim(
     opts: &SsiOptions,
     reader: &Arc<TxnShared>,
     writer: &Arc<TxnShared>,
-    caller: CallerRole,
+    caller_id: TxnId,
+    pivots: &[TxnId],
 ) -> Option<TxnId> {
-    if !opts.abort_early {
-        return None;
-    }
-    let caller_txn = match caller {
-        CallerRole::Reader => reader,
-        CallerRole::Writer => writer,
-    };
-    let mut pivots: Vec<&Arc<TxnShared>> = Vec::new();
-    for t in [reader, writer] {
-        if t.is_active() && !t.is_doomed() && unsafe_now(opts, t) {
-            pivots.push(t);
-        }
-    }
     if pivots.is_empty() {
         return None;
     }
@@ -121,13 +163,13 @@ fn choose_victim(
             // Abort the pivot; when both are pivots (classic write skew with
             // mutual edges) prefer the caller so no cross-thread signalling
             // is needed.
-            if pivots.iter().any(|t| t.id() == caller_txn.id()) {
-                caller_txn.id()
+            if pivots.contains(&caller_id) {
+                caller_id
             } else {
-                pivots[0].id()
+                pivots[0]
             }
         }
-        VictimPolicy::PreferCaller => caller_txn.id(),
+        VictimPolicy::PreferCaller => caller_id,
         VictimPolicy::PreferYounger => {
             // Larger id = started later = younger. Only consider the two
             // parties, and only active ones.
@@ -137,7 +179,7 @@ fn choose_victim(
                 .map(|t| t.id())
                 .collect();
             candidates.sort();
-            *candidates.last().unwrap_or(&caller_txn.id())
+            *candidates.last().unwrap_or(&caller_id)
         }
     };
     Some(victim)
@@ -159,74 +201,194 @@ pub(crate) fn mark_conflict(
     if reader.id() == writer.id() {
         return Ok(());
     }
+    let _gate = opts.lockstep_commit.then(|| mgr.commit_gate());
+    match opts.variant {
+        SsiVariant::Basic => mark_conflict_basic(opts, reader, writer, caller),
+        SsiVariant::Enhanced => mark_conflict_enhanced(mgr, opts, reader, writer, caller),
+    }
+}
 
-    let _guard = mgr.serialization_lock();
+/// Basic-variant conflict marking: two CAS loops on the participants' state
+/// words, no locks. Each loop atomically re-validates the paper's
+/// preconditions (Fig. 3.3) against the word it is about to update, so a
+/// concurrent commit or doom is either observed here or observes the flag.
+fn mark_conflict_basic(
+    opts: &SsiOptions,
+    reader: &Arc<TxnShared>,
+    writer: &Arc<TxnShared>,
+    caller: CallerRole,
+) -> Result<()> {
+    let caller_is_reader = caller == CallerRole::Reader;
+    let (caller_txn, other) = if caller_is_reader {
+        (reader, writer)
+    } else {
+        (writer, reader)
+    };
 
-    let caller_txn = match caller {
-        CallerRole::Reader => reader,
-        CallerRole::Writer => writer,
+    // An already-doomed caller aborts before recording anything, as the
+    // global-mutex implementation did; the caller's CAS loop below
+    // re-checks in case the doom lands mid-call.
+    if caller_txn.is_doomed() {
+        return Err(Error::unsafe_abort(caller_txn.id()));
+    }
+
+    // The other party's word first: a transaction that already aborted — or
+    // is doomed to — cannot be part of a cycle of committed transactions,
+    // so no conflict is recorded at all (Sec. 3.7.1). If it *committed*
+    // carrying the complementary flag, it is a committed pivot and aborting
+    // the caller is the only way to break the potential cycle.
+    let other_bit = if caller_is_reader { WORD_IN } else { WORD_OUT };
+    let complement_bit = if caller_is_reader { WORD_OUT } else { WORD_IN };
+    let mut word = other.load_word();
+    loop {
+        match word_status(word) {
+            TxnStatus::Aborted => return Ok(()),
+            _ if word & WORD_DOOMED != 0 => return Ok(()),
+            TxnStatus::Committed if word & complement_bit != 0 => {
+                return Err(Error::unsafe_abort(caller_txn.id()));
+            }
+            _ => {}
+        }
+        if word & other_bit != 0 {
+            break;
+        }
+        match other.cas_word(word, word | other_bit) {
+            Ok(_) => break,
+            Err(current) => word = current,
+        }
+    }
+
+    // The caller's word: the caller is executing this operation, so it is
+    // active unless another thread doomed it in the meantime.
+    let caller_bit = if caller_is_reader { WORD_OUT } else { WORD_IN };
+    let mut word = caller_txn.load_word();
+    loop {
+        if word & WORD_DOOMED != 0 {
+            return Err(Error::unsafe_abort(caller_txn.id()));
+        }
+        if word & caller_bit != 0 {
+            break;
+        }
+        match caller_txn.cas_word(word, word | caller_bit) {
+            Ok(_) => break,
+            Err(current) => word = current,
+        }
+    }
+
+    // Abort-early victim selection (Sec. 3.7.1/3.7.2) on fresh word loads:
+    // a pivot is a single word showing active + in + out, so the test is
+    // atomic per participant.
+    if !opts.abort_early {
+        return Ok(());
+    }
+    let is_pivot = |w: u64| {
+        word_status(w) == TxnStatus::Active
+            && w & WORD_DOOMED == 0
+            && w & WORD_IN != 0
+            && w & WORD_OUT != 0
     };
-    let other = match caller {
-        CallerRole::Reader => writer,
-        CallerRole::Writer => reader,
+    let mut pivots: Vec<TxnId> = Vec::new();
+    for t in [reader, writer] {
+        if is_pivot(t.load_word()) {
+            pivots.push(t.id());
+        }
+    }
+    if let Some(victim) = select_victim(opts, reader, writer, caller_txn.id(), &pivots) {
+        if victim == caller_txn.id() {
+            return Err(Error::unsafe_abort(victim));
+        }
+        if other.id() == victim {
+            // Doom the other party only while it is still active; a pivot
+            // can never slip past this into a commit because the commit CAS
+            // re-checks both flags atomically.
+            other.doom_if_active();
+        }
+    }
+    Ok(())
+}
+
+/// Enhanced-variant conflict marking: both participants' conflict mutexes
+/// are held (in id order) for the duration, which serializes this call
+/// against every other marking touching either party and against their
+/// commit checks (a committing transaction holds its own conflict mutex).
+fn mark_conflict_enhanced(
+    mgr: &TransactionManager,
+    opts: &SsiOptions,
+    reader: &Arc<TxnShared>,
+    writer: &Arc<TxnShared>,
+    caller: CallerRole,
+) -> Result<()> {
+    let (caller_txn, other) = match caller {
+        CallerRole::Reader => (reader, writer),
+        CallerRole::Writer => (writer, reader),
     };
+
+    let (mut rc, mut wc) = lock_pair(reader, writer);
 
     // A transaction that already aborted — or that is already doomed to —
     // cannot be part of a cycle of committed transactions, so no conflict is
     // recorded against it (Sec. 3.7.1).
-    if matches!(other.status(), crate::txn_shared::TxnStatus::Aborted) || other.is_doomed() {
+    if other.status() == TxnStatus::Aborted || other.is_doomed() {
         return Ok(());
     }
     if caller_txn.is_doomed() {
         return Err(Error::unsafe_abort(caller_txn.id()));
     }
 
-    // Committed-counterpart checks: if the other side has already committed
-    // with the complementary conflict present, aborting the caller is the
-    // only way to break the potential cycle.
-    match opts.variant {
-        SsiVariant::Basic => {
-            if writer.is_committed() && writer.conflicts.lock().out_edge.is_set() {
-                debug_assert_eq!(caller, CallerRole::Reader);
+    // Fig. 3.9: only the committed-writer case can require an abort; if the
+    // reader has committed, the writer (still running) is the outgoing
+    // transaction of that pivot and cannot have committed first, so no
+    // abort is needed.
+    if writer.is_committed() {
+        let commit = writer.commit_ts().unwrap_or(Timestamp::MAX);
+        if wc.out_edge.is_set() {
+            let out_commit = settled_outgoing_bound(mgr, writer, &wc.out_edge, commit);
+            if out_commit <= commit {
                 return Err(Error::unsafe_abort(caller_txn.id()));
-            }
-            if reader.is_committed() && reader.conflicts.lock().in_edge.is_set() {
-                debug_assert_eq!(caller, CallerRole::Writer);
-                return Err(Error::unsafe_abort(caller_txn.id()));
-            }
-        }
-        SsiVariant::Enhanced => {
-            // Fig. 3.9: only the committed-writer case can require an abort;
-            // if the reader has committed, the writer (still running) is the
-            // outgoing transaction of that pivot and cannot have committed
-            // first, so no abort is needed.
-            if writer.is_committed() {
-                let commit = writer.commit_ts().unwrap_or(u64::MAX);
-                let out_commit = {
-                    let wc = writer.conflicts.lock();
-                    if wc.out_edge.is_set() {
-                        Some(wc.out_edge.outgoing_commit_bound(writer))
-                    } else {
-                        None
-                    }
-                };
-                if let Some(out_commit) = out_commit {
-                    if out_commit <= commit {
-                        return Err(Error::unsafe_abort(caller_txn.id()));
-                    }
-                }
             }
         }
     }
 
-    record_edge(opts, reader, writer);
+    // Record the edge on both records (Sec. 3.6): keep the identity of the
+    // single conflicting transaction, degrade to a self-loop once a second,
+    // different counterpart shows up. Flag bits in the state words are kept
+    // in sync under the same locks.
+    rc.out_edge = match &rc.out_edge {
+        ConflictEdge::None => ConflictEdge::Txn(writer.clone()),
+        ConflictEdge::Txn(existing) if existing.id() == writer.id() => {
+            ConflictEdge::Txn(writer.clone())
+        }
+        _ => ConflictEdge::SelfLoop,
+    };
+    reader.set_out_flag();
+    wc.in_edge = match &wc.in_edge {
+        ConflictEdge::None => ConflictEdge::Txn(reader.clone()),
+        ConflictEdge::Txn(existing) if existing.id() == reader.id() => {
+            ConflictEdge::Txn(reader.clone())
+        }
+        _ => ConflictEdge::SelfLoop,
+    };
+    writer.set_in_flag();
 
-    if let Some(victim) = choose_victim(opts, reader, writer, caller) {
+    // Abort-early victim selection (Sec. 3.7.1/3.7.2).
+    if !opts.abort_early {
+        return Ok(());
+    }
+    let mut pivots: Vec<TxnId> = Vec::new();
+    if reader.is_active() && !reader.is_doomed() && conflict_state_unsafe(opts, reader, &rc) {
+        pivots.push(reader.id());
+    }
+    if writer.is_active() && !writer.is_doomed() && conflict_state_unsafe(opts, writer, &wc) {
+        pivots.push(writer.id());
+    }
+    if let Some(victim) = select_victim(opts, reader, writer, caller_txn.id(), &pivots) {
         if victim == caller_txn.id() {
             return Err(Error::unsafe_abort(victim));
         }
-        // Doom the other party: it aborts at its next operation or commit.
         if other.id() == victim {
+            // Dooming under the victim's conflict mutex: its commit check
+            // holds the same mutex, so the doom is either seen there or
+            // happens after the victim finished.
             other.doom();
         }
     }
@@ -250,48 +412,164 @@ pub(crate) fn mark_conflict_with_retired_writer(
     opts: &SsiOptions,
     reader: &Arc<TxnShared>,
 ) -> Result<()> {
-    let _guard = mgr.serialization_lock();
-    if reader.is_doomed() {
-        return Err(Error::unsafe_abort(reader.id()));
+    let _gate = opts.lockstep_commit.then(|| mgr.commit_gate());
+    match opts.variant {
+        SsiVariant::Basic => {
+            let mut word = reader.load_word();
+            loop {
+                if word & WORD_DOOMED != 0 {
+                    return Err(Error::unsafe_abort(reader.id()));
+                }
+                if word & WORD_OUT != 0 {
+                    break;
+                }
+                match reader.cas_word(word, word | WORD_OUT) {
+                    Ok(_) => break,
+                    Err(current) => word = current,
+                }
+            }
+            if opts.abort_early {
+                let word = reader.load_word();
+                if word_status(word) == TxnStatus::Active
+                    && word & WORD_IN != 0
+                    && word & WORD_OUT != 0
+                {
+                    return Err(Error::unsafe_abort(reader.id()));
+                }
+            }
+            Ok(())
+        }
+        SsiVariant::Enhanced => {
+            let mut st = reader.conflicts.lock();
+            if reader.is_doomed() {
+                return Err(Error::unsafe_abort(reader.id()));
+            }
+            st.out_edge = ConflictEdge::SelfLoop;
+            reader.set_out_flag();
+            if opts.abort_early && reader.is_active() && conflict_state_unsafe(opts, reader, &st) {
+                return Err(Error::unsafe_abort(reader.id()));
+            }
+            Ok(())
+        }
     }
-    {
-        let mut conflicts = reader.conflicts.lock();
-        conflicts.out_edge = crate::txn_shared::ConflictEdge::SelfLoop;
+}
+
+/// Enhanced commit check, run while holding `txn`'s conflict mutex: doomed
+/// flag, the ordering-aware unsafe test, and — on success — the Sec. 3.6
+/// cleanup invariant (conflict references to transactions that have already
+/// committed are replaced with self-loops so suspended transactions only
+/// reference transactions with an equal or later commit).
+fn enhanced_commit_check_locked(
+    mgr: &TransactionManager,
+    txn: &Arc<TxnShared>,
+    st: &mut ConflictState,
+) -> Result<()> {
+    if txn.is_doomed() {
+        return Err(Error::unsafe_abort(txn.id()));
     }
-    if opts.abort_early && reader.is_active() && unsafe_now(opts, reader) {
-        return Err(Error::unsafe_abort(reader.id()));
+    if unsafe_at_commit(mgr, txn, st) {
+        return Err(Error::unsafe_abort(txn.id()));
+    }
+    if let ConflictEdge::Txn(other) = &st.in_edge {
+        if other.is_committed() {
+            st.in_edge = ConflictEdge::SelfLoop;
+        }
+    }
+    if let ConflictEdge::Txn(other) = &st.out_edge {
+        if other.is_committed() {
+            st.out_edge = ConflictEdge::SelfLoop;
+        }
     }
     Ok(())
 }
 
-/// Commit-time unsafe check (Fig. 3.2 / Fig. 3.10). Must be called under the
-/// serialization mutex *before* the transaction is marked committed.
+/// Commit-time unsafe check (Fig. 3.2 / Fig. 3.10) *without* the status
+/// transition — used by tests that probe the check in isolation.
+#[cfg(test)]
+pub(crate) fn commit_check(
+    mgr: &TransactionManager,
+    opts: &SsiOptions,
+    txn: &Arc<TxnShared>,
+) -> Result<()> {
+    match opts.variant {
+        SsiVariant::Basic => {
+            let word = txn.load_word();
+            if word & WORD_DOOMED != 0 || (word & WORD_IN != 0 && word & WORD_OUT != 0) {
+                return Err(Error::unsafe_abort(txn.id()));
+            }
+            Ok(())
+        }
+        SsiVariant::Enhanced => {
+            let mut st = txn.conflicts.lock();
+            enhanced_commit_check_locked(mgr, txn, &mut st)
+        }
+    }
+}
+
+/// Atomically runs the commit-time unsafe check (Fig. 3.2 / Fig. 3.10) and,
+/// on success, assigns the commit timestamp and flips the transaction to
+/// committed. Returns the commit timestamp the caller must stamp its
+/// versions with and then publish (writers only — when `has_writes` is
+/// false the current snapshot clock is reused and nothing needs publishing).
 ///
-/// On success, for the enhanced variant, conflict references to transactions
-/// that have already committed are replaced with self-loops so that the
-/// cleanup invariant of Sec. 3.6 (suspended transactions only reference
-/// transactions with an equal or later commit) holds.
-pub(crate) fn commit_check(opts: &SsiOptions, txn: &Arc<TxnShared>) -> Result<()> {
-    if txn.is_doomed() {
-        return Err(Error::unsafe_abort(txn.id()));
-    }
-    if unsafe_now(opts, txn) {
-        return Err(Error::unsafe_abort(txn.id()));
-    }
-    if opts.variant == SsiVariant::Enhanced {
-        let mut c = txn.conflicts.lock();
-        if let ConflictEdge::Txn(other) = &c.in_edge {
-            if other.is_committed() {
-                c.in_edge = ConflictEdge::SelfLoop;
+/// * Basic variant: check and transition are a single CAS on the state
+///   word; a conflict flag arriving between the check and the CAS forces a
+///   retry that observes it.
+/// * Enhanced variant: runs under the transaction's own conflict mutex,
+///   which excludes concurrent edge recording and dooming against it.
+///
+/// On failure after a timestamp was allocated, the timestamp is published
+/// empty here so the publication chain never stalls; the caller only
+/// publishes the returned timestamp of a *successful* writer commit.
+pub(crate) fn commit_transaction(
+    mgr: &TransactionManager,
+    opts: &SsiOptions,
+    txn: &Arc<TxnShared>,
+    has_writes: bool,
+) -> Result<Timestamp> {
+    match opts.variant {
+        SsiVariant::Basic => {
+            // Pre-check before allocating so a doomed/pivot transaction
+            // does not burn a timestamp.
+            let word = txn.load_word();
+            if word & WORD_DOOMED != 0 || (word & WORD_IN != 0 && word & WORD_OUT != 0) {
+                return Err(Error::unsafe_abort(txn.id()));
+            }
+            let ts = if has_writes {
+                mgr.allocate_commit_ts()
+            } else {
+                mgr.current_ts()
+            };
+            match txn.try_commit_word(ts, true) {
+                Ok(()) => Ok(ts),
+                Err(_) => {
+                    if has_writes {
+                        mgr.publish_commit_ts(ts);
+                    }
+                    Err(Error::unsafe_abort(txn.id()))
+                }
             }
         }
-        if let ConflictEdge::Txn(other) = &c.out_edge {
-            if other.is_committed() {
-                c.out_edge = ConflictEdge::SelfLoop;
+        SsiVariant::Enhanced => {
+            let mut st = txn.conflicts.lock();
+            enhanced_commit_check_locked(mgr, txn, &mut st)?;
+            let ts = if has_writes {
+                mgr.allocate_commit_ts()
+            } else {
+                mgr.current_ts()
+            };
+            match txn.try_commit_word(ts, false) {
+                Ok(()) => Ok(ts),
+                Err(_) => {
+                    drop(st);
+                    if has_writes {
+                        mgr.publish_commit_ts(ts);
+                    }
+                    Err(Error::unsafe_abort(txn.id()))
+                }
             }
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -326,8 +604,8 @@ mod tests {
         assert_eq!(writer.conflict_flags(), (true, false));
         assert!(!reader.is_doomed());
         assert!(!writer.is_doomed());
-        assert!(commit_check(&opts, &reader).is_ok());
-        assert!(commit_check(&opts, &writer).is_ok());
+        assert!(commit_check(&mgr, &opts, &reader).is_ok());
+        assert!(commit_check(&mgr, &opts, &writer).is_ok());
     }
 
     #[test]
@@ -371,7 +649,7 @@ mod tests {
         assert!(pivot.is_doomed());
         assert!(!t_out.is_doomed());
         // The doomed pivot fails its commit check.
-        let err = commit_check(&opts, &pivot).unwrap_err();
+        let err = commit_check(&mgr, &opts, &pivot).unwrap_err();
         assert_eq!(err.abort_kind(), Some(AbortKind::Unsafe));
     }
 
@@ -388,6 +666,22 @@ mod tests {
         // reader now discovers a conflict with the committed writer: it must
         // abort (Fig. 3.3 line 3-5).
         let err = mark_conflict(&mgr, &opts, &reader, &writer, CallerRole::Reader).unwrap_err();
+        assert_eq!(err.abort_kind(), Some(AbortKind::Unsafe));
+    }
+
+    #[test]
+    fn basic_variant_aborts_writer_against_committed_reader_with_in_edge() {
+        let (mgr, _) = setup();
+        let opts = basic();
+        let reader = begin(&mgr);
+        let writer = begin(&mgr);
+        let other = begin(&mgr);
+        // reader picks up an incoming edge and then commits.
+        mark_conflict(&mgr, &opts, &other, &reader, CallerRole::Writer).unwrap();
+        reader.mark_committed(100);
+        // writer now discovers the rw-dependency reader -> writer: the
+        // reader is a committed pivot, so the caller must abort.
+        let err = mark_conflict(&mgr, &opts, &reader, &writer, CallerRole::Writer).unwrap_err();
         assert_eq!(err.abort_kind(), Some(AbortKind::Unsafe));
     }
 
@@ -439,7 +733,7 @@ mod tests {
         t_in.mark_committed(50);
         t_out.mark_committed(80);
         // in-commit (50) < out-commit (80): not dangerous, commit allowed.
-        assert!(commit_check(&opts, &pivot).is_ok());
+        assert!(commit_check(&mgr, &opts, &pivot).is_ok());
 
         // Under the basic variant the same situation is (conservatively)
         // rejected.
@@ -447,7 +741,7 @@ mod tests {
             abort_early: false,
             ..basic()
         };
-        assert!(commit_check(&basic_opts, &pivot).is_err());
+        assert!(commit_check(&mgr, &basic_opts, &pivot).is_err());
     }
 
     #[test]
@@ -464,7 +758,7 @@ mod tests {
         mark_conflict(&mgr, &opts, &pivot, &t_out, CallerRole::Writer).unwrap();
         // Tout commits first — the dangerous pattern of Theorem 2.
         t_out.mark_committed(40);
-        let err = commit_check(&opts, &pivot).unwrap_err();
+        let err = commit_check(&mgr, &opts, &pivot).unwrap_err();
         assert_eq!(err.abort_kind(), Some(AbortKind::Unsafe));
     }
 
@@ -521,8 +815,90 @@ mod tests {
         let pivot = begin(&mgr);
         mark_conflict(&mgr, &opts, &t_in, &pivot, CallerRole::Writer).unwrap();
         t_in.mark_committed(30);
-        commit_check(&opts, &pivot).unwrap();
+        commit_check(&mgr, &opts, &pivot).unwrap();
         let c = pivot.conflicts.lock();
         assert!(matches!(c.in_edge, ConflictEdge::SelfLoop));
+    }
+
+    #[test]
+    fn commit_transaction_assigns_and_requires_publication() {
+        let (mgr, opts) = setup();
+        let t = begin(&mgr);
+        let ts = commit_transaction(&mgr, &opts, &t, true).unwrap();
+        assert_eq!(t.commit_ts(), Some(ts));
+        assert!(t.is_committed());
+        assert_eq!(
+            mgr.current_ts(),
+            ts - 1,
+            "writer ts unpublished until stamped"
+        );
+        mgr.publish_commit_ts(ts);
+        assert_eq!(mgr.current_ts(), ts);
+
+        // Read-only commit reuses the published clock.
+        let r = begin(&mgr);
+        let rts = commit_transaction(&mgr, &opts, &r, false).unwrap();
+        assert_eq!(rts, mgr.current_ts());
+    }
+
+    #[test]
+    fn commit_transaction_rejects_doomed_and_publishes_nothing() {
+        for opts in [SsiOptions::default(), basic()] {
+            let mgr = TransactionManager::new();
+            let t = begin(&mgr);
+            t.doom();
+            let before = mgr.current_ts();
+            assert!(commit_transaction(&mgr, &opts, &t, true).is_err());
+            assert!(t.is_active(), "failed commit leaves status untouched");
+            assert_eq!(mgr.current_ts(), before);
+            // The pipeline must not be stalled: the next writer commits fine.
+            let w = begin(&mgr);
+            let ts = commit_transaction(&mgr, &opts, &w, true).unwrap();
+            mgr.publish_commit_ts(ts);
+            assert_eq!(mgr.current_ts(), ts);
+        }
+    }
+
+    #[test]
+    fn basic_commit_cas_observes_concurrent_pivot_completion() {
+        // Race a basic-variant commit against the arrival of the second
+        // conflict flag from another thread: in every interleaving either
+        // the commit fails, or it demonstrably happened before the flag
+        // (in which case the marker sees a committed transaction).
+        let opts = basic();
+        for _ in 0..100 {
+            let mgr = TransactionManager::new();
+            let t = begin(&mgr);
+            let other = begin(&mgr);
+            mark_conflict(&mgr, &opts, &t, &other, CallerRole::Reader).unwrap();
+            let (t2, mgr2, opts2) = (t.clone(), &mgr, &opts);
+            std::thread::scope(|s| {
+                let marker = s.spawn(move || {
+                    // A reader discovers the edge reader -> t, completing
+                    // the pivot on t.
+                    let r = begin(mgr2);
+                    mark_conflict(mgr2, opts2, &r, &t2, CallerRole::Reader)
+                });
+                let commit = commit_transaction(&mgr, &opts, &t, true);
+                let marked = marker.join().unwrap();
+                match commit {
+                    Ok(ts) => {
+                        mgr.publish_commit_ts(ts);
+                        // Commit won the race, so the marker's CAS loop saw
+                        // a committed writer carrying an OUT edge (Fig. 3.3
+                        // line 3-5) and had to abort the caller.
+                        assert!(
+                            marked.is_err(),
+                            "marker must abort against a committed pivot"
+                        );
+                    }
+                    Err(_) => {
+                        // The IN flag (or the doom that followed it) arrived
+                        // first and the commit CAS observed it.
+                        assert!(t.is_active() || t.is_doomed());
+                    }
+                }
+            });
+        }
     }
 }

@@ -142,6 +142,14 @@ impl Transaction {
     /// if one is configured), locks are released — except SIREAD locks,
     /// which stay registered while the transaction is suspended (Sec. 3.3) —
     /// and eligible suspended transactions are cleaned up (Sec. 4.6.1).
+    ///
+    /// The commit pipeline (see [`crate::manager`]) runs in three phases
+    /// with no global lock: the unsafe check is fused with the
+    /// commit-timestamp assignment into one atomic step on the transaction's
+    /// state word, the write set is stamped, and finally the timestamp is
+    /// published to the snapshot clock in allocation order — so new
+    /// snapshots never observe a half-stamped commit even though concurrent
+    /// commits overlap freely.
     pub fn commit(mut self) -> Result<()> {
         if self.state != LocalState::Active {
             return Err(Error::TransactionClosed);
@@ -151,33 +159,52 @@ impl Transaction {
             return Err(Error::unsafe_abort(self.shared.id()));
         }
         let is_ssi = self.shared.isolation() == IsolationLevel::SerializableSnapshotIsolation;
+        let has_writes = !self.writes.is_empty();
 
-        // --- serialization point: unsafe check + atomic visibility ---------
-        let commit_ts;
-        {
-            let _guard = self.db.txns.serialization_lock();
-            if is_ssi {
-                if let Err(e) = ssi::commit_check(&self.db.options.ssi, &self.shared) {
-                    drop(_guard);
+        // --- commit point: unsafe check fused with timestamp assignment ----
+        // (`_gate` reproduces the old global-mutex serialization when the
+        // lock-step baseline mode is on; it is never taken otherwise. The
+        // guard borrows from a clone of the `Arc` so `self` stays free for
+        // the abort path.)
+        let db = self.db.clone();
+        let _gate = db
+            .options
+            .ssi
+            .lockstep_commit
+            .then(|| db.txns.commit_gate());
+        let commit_ts = if is_ssi {
+            match ssi::commit_transaction(
+                &self.db.txns,
+                &self.db.options.ssi,
+                &self.shared,
+                has_writes,
+            ) {
+                Ok(ts) => ts,
+                Err(e) => {
                     self.abort_internal();
                     return Err(e);
                 }
             }
-            if self.writes.is_empty() {
-                // Read-only transactions do not advance the clock; their
-                // "commit time" is the current instant, which is all the
-                // overlap bookkeeping needs.
-                commit_ts = self.db.txns.current_ts();
-                self.shared.mark_committed(commit_ts);
+        } else {
+            // Non-SSI levels have no commit-time check; read-only
+            // transactions do not advance the clock — their "commit time"
+            // is the current instant, which is all the overlap bookkeeping
+            // needs.
+            let ts = if has_writes {
+                self.db.txns.allocate_commit_ts()
             } else {
-                commit_ts = self.db.txns.allocate_commit_ts();
-                for w in &self.writes {
-                    w.version.mark_committed(commit_ts);
-                }
-                self.db.txns.publish_commit_ts(commit_ts);
-                self.shared.mark_committed(commit_ts);
+                self.db.txns.current_ts()
+            };
+            self.shared.mark_committed(ts);
+            ts
+        };
+        if has_writes {
+            for w in &self.writes {
+                w.version.mark_committed(commit_ts);
             }
+            self.db.txns.publish_commit_ts(commit_ts);
         }
+        drop(_gate);
 
         // --- durability (group commit; simulated flush latency) ------------
         if !self.writes.is_empty() {

@@ -372,6 +372,17 @@ impl LockManager {
     pub fn unlock(&self, txn: TxnId, key: &LockKey, mode: LockMode) {
         let shard = &self.shards[self.shard_index(key)];
         let mut map = shard.lock();
+        Self::unlock_locked(&mut map, txn, key, mode);
+    }
+
+    /// Single-key release against an already-locked shard map; shared by
+    /// [`LockManager::unlock`] and [`LockManager::unlock_batch`].
+    fn unlock_locked(
+        map: &mut HashMap<LockKey, LockEntry, FxBuildHasher>,
+        txn: TxnId,
+        key: &LockKey,
+        mode: LockMode,
+    ) {
         if let Some(entry) = map.get_mut(key) {
             if let Some(pos) = entry.granted.iter().position(|(t, _)| *t == txn) {
                 entry.granted[pos].1.remove(mode);
@@ -401,14 +412,30 @@ impl LockManager {
         }
     }
 
-    /// Releases a batch of `(key, mode)` pairs held by `txn`.
+    /// Releases a batch of `(key, mode)` pairs held by `txn`, grouped by
+    /// lock-table shard so each shard mutex is taken once per shard touched
+    /// rather than once per key — the batch analogue of
+    /// [`LockManager::unlock`], used when a suspended Serializable-SI
+    /// transaction's SIREAD locks are reclaimed all at once.
     pub fn unlock_batch<'a>(
         &self,
         txn: TxnId,
         locks: impl IntoIterator<Item = (&'a LockKey, LockMode)>,
     ) {
-        for (key, mode) in locks {
-            self.unlock(txn, key, mode);
+        let mut items: Vec<(usize, &'a LockKey, LockMode)> = locks
+            .into_iter()
+            .map(|(key, mode)| (self.shard_index(key), key, mode))
+            .collect();
+        items.sort_unstable_by_key(|(shard, _, _)| *shard);
+        let mut i = 0;
+        while i < items.len() {
+            let shard = items[i].0;
+            let mut map = self.shards[shard].lock();
+            while i < items.len() && items[i].0 == shard {
+                let (_, key, mode) = items[i];
+                Self::unlock_locked(&mut map, txn, key, mode);
+                i += 1;
+            }
         }
     }
 

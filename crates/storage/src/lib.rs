@@ -27,6 +27,8 @@ pub mod wal;
 
 pub use catalog::Catalog;
 pub use page::PageMap;
-pub use table::{ScanEntry, Table, VisibleRead};
+pub use table::{
+    as_ref_bound, clone_bound, ScanCursor, ScanEntry, ScanPage, Table, VisibleRead, SCAN_PAGE_SIZE,
+};
 pub use version::{Version, VersionState};
 pub use wal::{WalConfig, WriteAheadLog};
