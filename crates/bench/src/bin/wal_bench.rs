@@ -1,0 +1,232 @@
+//! Records the durability-cost comparison in `BENCH_wal.json`.
+//!
+//! Runs the same 8-writer-thread commit workload against four durability
+//! configurations of the same engine:
+//!
+//! * **off** — `Durability::Off`, the pure in-memory engine (the baseline
+//!   every earlier bench measured; the durable code path is entirely
+//!   absent, so this records the "no regression" number);
+//! * **buffered** — `Durability::Buffered`: commits append to the redo log
+//!   but never wait for the device;
+//! * **per_commit_fsync** — every commit issues its own fsync (the classic
+//!   naive durable commit; `fsync_every_commit` baseline);
+//! * **group_commit** — `Durability::GroupCommit`: committers share
+//!   flushes, so concurrent commits amortize the device wait.
+//!
+//! The headline number is the group-commit **amortization factor**: commit
+//! records per fsync at 8 threads, vs exactly 1.0 for per-commit fsync.
+//!
+//! ```text
+//! cargo run --release -p ssi-bench --bin wal_bench [--smoke] [output.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use ssi_core::{Database, Durability, Options};
+
+struct Case {
+    name: &'static str,
+    mode: Option<Durability>,
+    fsync_every_commit: bool,
+}
+
+#[derive(Debug)]
+struct CaseResult {
+    name: &'static str,
+    threads: usize,
+    committed: u64,
+    elapsed_secs: f64,
+    records: u64,
+    fsyncs: u64,
+    log_bytes: u64,
+}
+
+impl CaseResult {
+    fn committed_per_sec(&self) -> f64 {
+        self.committed as f64 / self.elapsed_secs.max(1e-9)
+    }
+
+    fn records_per_fsync(&self) -> f64 {
+        self.records as f64 / self.fsyncs.max(1) as f64
+    }
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ssi-wal-bench-{}-{name}", std::process::id()))
+}
+
+fn run_case(case: &Case, threads: usize, txns_per_thread: u64) -> CaseResult {
+    let dir = bench_dir(case.name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut options = Options::default();
+    if let Some(mode) = case.mode {
+        options = options.with_durability(mode, &dir);
+        options.durability.fsync_every_commit = case.fsync_every_commit;
+    }
+    let db = Database::open(options);
+    let table = db.create_table("bench").unwrap();
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for worker in 0..threads as u64 {
+            let db = db.clone();
+            let table = table.clone();
+            s.spawn(move || {
+                let payload = [0x5Au8; 100];
+                for i in 0..txns_per_thread {
+                    // Two writes to disjoint per-worker keys: no aborts, so
+                    // every case commits exactly threads * txns_per_thread.
+                    let mut txn = db.begin();
+                    txn.put(&table, &(worker << 32 | i).to_be_bytes(), &payload)
+                        .unwrap();
+                    txn.put(
+                        &table,
+                        &(worker << 32 | i | 1 << 24).to_be_bytes(),
+                        &payload,
+                    )
+                    .unwrap();
+                    txn.commit().unwrap();
+                }
+            });
+        }
+    });
+    let elapsed_secs = start.elapsed().as_secs_f64();
+
+    let (records, fsyncs, log_bytes) = match db.durability_stats() {
+        Some(stats) => (
+            stats.records.load(Ordering::Relaxed),
+            stats.fsyncs.load(Ordering::Relaxed),
+            stats.bytes.load(Ordering::Relaxed),
+        ),
+        None => (0, 0, 0),
+    };
+    let committed = db
+        .transaction_manager()
+        .stats()
+        .committed
+        .load(Ordering::Relaxed);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    CaseResult {
+        name: case.name,
+        threads,
+        committed,
+        elapsed_secs,
+        records,
+        fsyncs,
+        log_bytes,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_wal.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = other.to_string(),
+        }
+    }
+    let threads = 8;
+    let txns_per_thread: u64 = if smoke { 40 } else { 400 };
+
+    let cases = [
+        Case {
+            name: "off",
+            mode: None,
+            fsync_every_commit: false,
+        },
+        Case {
+            name: "buffered",
+            mode: Some(Durability::Buffered),
+            fsync_every_commit: false,
+        },
+        Case {
+            name: "per_commit_fsync",
+            mode: Some(Durability::GroupCommit),
+            fsync_every_commit: true,
+        },
+        Case {
+            name: "group_commit",
+            mode: Some(Durability::GroupCommit),
+            fsync_every_commit: false,
+        },
+    ];
+
+    println!(
+        "{:<18} {:>3} {:>12} {:>9} {:>8} {:>12}",
+        "case", "thr", "commits/s", "records", "fsyncs", "rec/fsync"
+    );
+    let mut results = Vec::new();
+    for case in &cases {
+        let result = run_case(case, threads, txns_per_thread);
+        println!(
+            "{:<18} {:>3} {:>12.0} {:>9} {:>8} {:>12.1}",
+            result.name,
+            result.threads,
+            result.committed_per_sec(),
+            result.records,
+            result.fsyncs,
+            result.records_per_fsync(),
+        );
+        results.push(result);
+    }
+
+    let find = |name: &str| results.iter().find(|r| r.name == name).unwrap();
+    let per_commit = find("per_commit_fsync");
+    let group = find("group_commit");
+    // Amortization: group commit's records-per-fsync over the per-commit
+    // baseline's (which is 1.0 by construction).
+    let amortization = group.records_per_fsync() / per_commit.records_per_fsync().max(1.0);
+    let speedup = group.committed_per_sec() / per_commit.committed_per_sec().max(1.0);
+    println!(
+        "\ngroup commit amortizes fsyncs {amortization:.1}x over per-commit fsync \
+         ({speedup:.2}x committed throughput) at {threads} threads"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"wal_durability\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    json.push_str(
+        "  \"comment\": \"8 writer threads, disjoint-key 2-write transactions, 100-byte \
+         values. 'off' is the unchanged in-memory engine (durability code entirely off \
+         the path: parity with the pre-durability numbers). 'per_commit_fsync' issues one \
+         fsync per commit; 'group_commit' lets concurrent committers share flushes via \
+         the deposit-drain-ordered log, so records_per_fsync is the amortization \
+         factor.\",\n",
+    );
+    json.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"threads\": {}, \"committed\": {}, \
+             \"committed_per_sec\": {:.0}, \"records\": {}, \"fsyncs\": {}, \
+             \"records_per_fsync\": {:.2}, \"log_bytes\": {}}}{}",
+            r.name,
+            r.threads,
+            r.committed,
+            r.committed_per_sec(),
+            r.records,
+            r.fsyncs,
+            r.records_per_fsync(),
+            r.log_bytes,
+            if i + 1 == results.len() { "\n" } else { ",\n" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"group_commit_fsync_amortization\": {amortization:.2},\n  \
+         \"group_commit_speedup_vs_per_commit\": {speedup:.3}\n}}"
+    );
+
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("wrote {out_path}");
+}

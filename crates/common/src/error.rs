@@ -72,6 +72,11 @@ pub enum Error {
     /// Internal invariant violation; indicates a bug in the engine rather
     /// than a recoverable condition.
     Internal(String),
+    /// The durability subsystem (write-ahead log, checkpoint or recovery)
+    /// hit an I/O failure. When surfaced from `commit`, the transaction is
+    /// committed in memory but its persistence is uncertain; when surfaced
+    /// from open/recovery, the database could not be brought up.
+    Durability(String),
 }
 
 impl Error {
@@ -128,6 +133,7 @@ impl fmt::Display for Error {
             Error::TableExists(name) => write!(f, "table already exists: {name}"),
             Error::LockTimeout => write!(f, "lock wait timed out"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
+            Error::Durability(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }
@@ -160,6 +166,7 @@ mod tests {
         assert!(!Error::abort(AbortKind::UserRequested, t).is_retryable());
         assert!(!Error::NoSuchTable("x".into()).is_retryable());
         assert!(!Error::Internal("bug".into()).is_retryable());
+        assert!(!Error::Durability("disk".into()).is_retryable());
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! The embedded database: catalog + lock manager + transaction manager +
 //! write-ahead log, wired together by [`Options`].
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
-use ssi_common::{IsolationLevel, Result, TableId};
+use parking_lot::Mutex;
+
+use ssi_common::{Error, IsolationLevel, Result, TableId};
 use ssi_lock::LockManager;
 use ssi_storage::{Catalog, PageMap, Table, WriteAheadLog};
+use ssi_wal::{CheckpointStats, Checkpointer, Recovered, SyncPolicy, WalStats, WalWriter};
 
 use crate::manager::TransactionManager;
-use crate::options::{LockGranularity, Options};
+use crate::options::{Durability, LockGranularity, Options};
 use crate::txn::Transaction;
 use crate::verify::HistoryRecorder;
 
@@ -41,6 +45,33 @@ impl std::fmt::Debug for TableRef {
     }
 }
 
+/// The durability half of a database: the on-disk redo log plus the
+/// bookkeeping checkpoints need. Present only when
+/// [`crate::DurabilityOptions::mode`] is not [`Durability::Off`].
+pub(crate) struct DurableState {
+    pub(crate) wal: WalWriter,
+    pub(crate) dir: PathBuf,
+    /// Serializes checkpoint runs (rotation + snapshot + truncation).
+    checkpoint_lock: Mutex<()>,
+    /// Serializes durable `create_table` calls so the create record can be
+    /// appended to the log *before* the table is published in the catalog
+    /// (log-first: a table no writer can reach yet cannot produce commits
+    /// recovery would fail to resolve).
+    create_lock: Mutex<()>,
+    checkpoint_every_bytes: Option<u64>,
+    /// Error of the most recent failed automatic checkpoint, kept so
+    /// background failures are observable (auto-checkpointing must not
+    /// fail the unrelated commit that triggered it). Cleared by the next
+    /// successful checkpoint.
+    auto_checkpoint_error: Mutex<Option<String>>,
+    /// What recovery found when the database was opened.
+    recovered: Recovered,
+    /// OS advisory lock on the durable directory; held for the lifetime of
+    /// this database so a second open of the same directory fails instead
+    /// of interleaving log appends (dropped — and released — with us).
+    _dir_lock: std::fs::File,
+}
+
 /// Internal shared state of a database.
 pub(crate) struct DbInner {
     pub(crate) options: Options,
@@ -50,6 +81,84 @@ pub(crate) struct DbInner {
     pub(crate) wal: WriteAheadLog,
     pub(crate) pages: Option<PageMap>,
     pub(crate) history: Option<HistoryRecorder>,
+    pub(crate) durable: Option<DurableState>,
+}
+
+impl DbInner {
+    /// Takes a checkpoint: rotates the log at the published clock, writes a
+    /// fuzzy snapshot of every table at the cut timestamp, and truncates
+    /// the covered log segments (protocol in the `ssi-wal` crate docs).
+    pub(crate) fn checkpoint(&self) -> Result<CheckpointStats> {
+        let durable = self
+            .durable
+            .as_ref()
+            .ok_or_else(|| Error::Durability("durability is disabled".to_string()))?;
+        let guard = durable.checkpoint_lock.lock();
+        self.checkpoint_locked(durable, guard)
+    }
+
+    /// The checkpoint body; `_serialize` is the held run-serialization
+    /// guard (blocking from [`DbInner::checkpoint`], opportunistic from
+    /// [`DbInner::maybe_auto_checkpoint`]).
+    fn checkpoint_locked(
+        &self,
+        durable: &DurableState,
+        _serialize: parking_lot::MutexGuard<'_, ()>,
+    ) -> Result<CheckpointStats> {
+        // Exclude in-flight creates for the whole run: a create that has
+        // appended its record to the current segment but not yet published
+        // its table in the catalog would otherwise be cut off — the
+        // rotation prunes the segment holding the only create record while
+        // the snapshot (taken from the catalog) misses the table, and
+        // post-checkpoint commits to it become unresolvable at recovery.
+        // Lock order is checkpoint_lock -> create_lock; the create path
+        // takes only create_lock, so there is no cycle.
+        let _creates_quiesced = durable.create_lock.lock();
+        let (cut_ts, old_seq) = durable
+            .wal
+            .rotate(|| self.txns.current_ts())
+            .map_err(|e| Error::Durability(format!("log rotation failed: {e}")))?;
+        let stats = Checkpointer::new(&durable.dir)
+            .run(&self.catalog, cut_ts, old_seq)
+            .map_err(|e| Error::Durability(format!("checkpoint at ts {cut_ts} failed: {e}")))?;
+        *durable.auto_checkpoint_error.lock() = None;
+        Ok(stats)
+    }
+
+    /// Auto-checkpoint trigger, called after durable commits: runs a
+    /// checkpoint once the log grew past the configured threshold. The
+    /// committer that wins the `try_lock` runs it; everyone else skips
+    /// instead of queueing behind a checkpoint already in progress. A
+    /// failure must not fail the unrelated commit that triggered it, but
+    /// is not swallowed either: it is retained for
+    /// [`Database::auto_checkpoint_error`] (cleared by the next success),
+    /// so persistent failures — which would otherwise grow the log
+    /// unboundedly in silence — stay observable.
+    pub(crate) fn maybe_auto_checkpoint(&self) {
+        let Some(durable) = &self.durable else { return };
+        let Some(limit) = durable.checkpoint_every_bytes else {
+            return;
+        };
+        if durable.wal.epoch_bytes() >= limit {
+            if let Some(guard) = durable.checkpoint_lock.try_lock() {
+                if let Err(e) = self.checkpoint_locked(durable, guard) {
+                    *durable.auto_checkpoint_error.lock() = Some(e.to_string());
+                }
+            }
+        }
+    }
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        // Clean close: in buffered mode the tail of the log may only be in
+        // the OS page cache — push it to the device so reopening loses
+        // nothing. (No transaction can be in flight: handles hold an `Arc`
+        // to this struct.)
+        if let Some(durable) = &self.durable {
+            let _ = durable.wal.sync();
+        }
+    }
 }
 
 /// An embedded multi-version database offering snapshot isolation, strict
@@ -76,8 +185,25 @@ pub struct Database {
 }
 
 impl Database {
-    /// Opens a new in-memory database with the given options.
+    /// Opens a database with the given options.
+    ///
+    /// With durability enabled this recovers from the configured directory;
+    /// failures there are process-fatal here — use [`Database::try_open`]
+    /// to handle them.
     pub fn open(options: Options) -> Self {
+        Self::try_open(options).expect("failed to open database")
+    }
+
+    /// Opens a database with the given options, surfacing durability
+    /// errors.
+    ///
+    /// When [`crate::DurabilityOptions::mode`] is not [`Durability::Off`],
+    /// the configured directory is created if missing and *recovered* if
+    /// not: the newest valid checkpoint snapshot is loaded, every whole
+    /// commit record beyond it is replayed, and the commit/begin clocks
+    /// resume past the highest recovered timestamp — so a reopened
+    /// database continues exactly where the durable prefix ended.
+    pub fn try_open(options: Options) -> Result<Self> {
         let pages = match options.granularity {
             LockGranularity::Row => None,
             LockGranularity::Page { pages } => Some(PageMap::new(pages)),
@@ -87,18 +213,59 @@ impl Database {
         } else {
             None
         };
+        let catalog = Catalog::new();
+        let txns = TransactionManager::new();
+        let durable = match options.durability.mode {
+            Durability::Off => None,
+            mode => {
+                let dir = options.durability.dir.clone().ok_or_else(|| {
+                    Error::Durability("durability enabled but no directory configured".to_string())
+                })?;
+                let io = |what: &'static str| {
+                    let dir = dir.display().to_string();
+                    move |e: std::io::Error| Error::Durability(format!("{what} ({dir}): {e}"))
+                };
+                std::fs::create_dir_all(&dir).map_err(io("create durable dir"))?;
+                // Exclusive ownership of the directory across the whole
+                // recover + append lifecycle: a second opener gets an error
+                // here instead of interleaving frames into the same segment.
+                let dir_lock = ssi_wal::lock_dir(&dir).map_err(io("lock durable dir"))?;
+                let recovered =
+                    ssi_wal::recover_into(&dir, &catalog).map_err(io("recovery failed"))?;
+                txns.restore_clock(recovered.max_commit_ts);
+                let policy = match (mode, options.durability.fsync_every_commit) {
+                    (Durability::Buffered, _) => SyncPolicy::Never,
+                    (Durability::GroupCommit, false) => SyncPolicy::GroupCommit,
+                    (Durability::GroupCommit, true) => SyncPolicy::EveryCommit,
+                    (Durability::Off, _) => unreachable!(),
+                };
+                let wal = WalWriter::open(&dir, recovered.next_segment_seq, policy)
+                    .map_err(io("open log segment"))?;
+                Some(DurableState {
+                    wal,
+                    dir,
+                    checkpoint_lock: Mutex::new(()),
+                    create_lock: Mutex::new(()),
+                    checkpoint_every_bytes: options.durability.checkpoint_every_bytes,
+                    auto_checkpoint_error: Mutex::new(None),
+                    recovered,
+                    _dir_lock: dir_lock,
+                })
+            }
+        };
         let inner = DbInner {
             locks: LockManager::new(options.lock.clone()),
             wal: WriteAheadLog::new(options.wal.clone()),
-            txns: TransactionManager::new(),
-            catalog: Catalog::new(),
+            txns,
+            catalog,
             pages,
             history,
+            durable,
             options,
         };
-        Database {
+        Ok(Database {
             inner: Arc::new(inner),
-        }
+        })
     }
 
     /// Opens a database with default options (Serializable SI, row-level
@@ -113,10 +280,36 @@ impl Database {
     }
 
     /// Creates a table.
+    ///
+    /// With durability enabled the creation is *logged first* and only
+    /// then published in the catalog (serialized by a create lock so the
+    /// logged id is the id the catalog assigns). The ordering matters: the
+    /// moment a table is reachable through [`Database::table`], writers
+    /// can produce fsync-acknowledged commits against it, so its create
+    /// record must already be in the log or recovery could not resolve
+    /// those commits. A failed append leaves no table behind; a logged
+    /// create whose process dies before any commit merely replays as an
+    /// empty table. The record becomes durable together with the first
+    /// fsynced commit (or checkpoint) that follows it.
     pub fn create_table(&self, name: &str) -> Result<TableRef> {
-        Ok(TableRef {
-            table: self.inner.catalog.create_table(name)?,
-        })
+        let table = match &self.inner.durable {
+            None => self.inner.catalog.create_table(name)?,
+            Some(durable) => {
+                let _serialize = durable.create_lock.lock();
+                if self.inner.catalog.table(name).is_ok() {
+                    return Err(Error::TableExists(name.to_string()));
+                }
+                let id = self.inner.catalog.next_table_id();
+                durable
+                    .wal
+                    .append_create_table(id, name)
+                    .map_err(|e| Error::Durability(format!("logging create_table({name}): {e}")))?;
+                let table = self.inner.catalog.create_table(name)?;
+                debug_assert_eq!(table.id(), id, "create serialization violated");
+                table
+            }
+        };
+        Ok(TableRef { table })
     }
 
     /// Looks up a table by name.
@@ -173,6 +366,36 @@ impl Database {
     /// The write-ahead log (exposed for statistics and tests).
     pub fn wal(&self) -> &WriteAheadLog {
         &self.inner.wal
+    }
+
+    /// Takes a checkpoint now: snapshots every table at the published
+    /// clock and truncates the redo log segments the snapshot covers.
+    /// Errors when durability is off.
+    pub fn checkpoint(&self) -> Result<CheckpointStats> {
+        self.inner.checkpoint()
+    }
+
+    /// Counters of the durability log (records, bytes, fsyncs, batches);
+    /// `None` when durability is off.
+    pub fn durability_stats(&self) -> Option<&WalStats> {
+        self.inner.durable.as_ref().map(|d| d.wal.stats())
+    }
+
+    /// What crash recovery found when this database was opened; `None`
+    /// when durability is off.
+    pub fn recovery_info(&self) -> Option<&Recovered> {
+        self.inner.durable.as_ref().map(|d| &d.recovered)
+    }
+
+    /// Error of the most recent failed *automatic* checkpoint, if the
+    /// failure has not been superseded by a successful one. Automatic
+    /// checkpoints run piggybacked on commits and must not fail them, so
+    /// their errors surface here instead.
+    pub fn auto_checkpoint_error(&self) -> Option<String> {
+        self.inner
+            .durable
+            .as_ref()
+            .and_then(|d| d.auto_checkpoint_error.lock().clone())
     }
 
     /// The history recorder, if the database was opened with

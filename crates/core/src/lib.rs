@@ -74,10 +74,13 @@ mod access;
 mod engine_tests;
 
 pub use db::{Database, TableRef};
-pub use options::{LockGranularity, Options, SsiOptions, SsiVariant, VictimPolicy};
+pub use options::{
+    Durability, DurabilityOptions, LockGranularity, Options, SsiOptions, SsiVariant, VictimPolicy,
+};
 pub use ssi::CallerRole;
 pub use txn::Transaction;
 pub use txn_shared::{TxnShared, TxnStatus};
 pub use verify::{CommittedTxn, HistoryRecorder, MvsgReport};
 
 pub use ssi_common::{AbortKind, Error, IsolationLevel, Result, TxnId};
+pub use ssi_wal::{CheckpointStats, Recovered, WalStats};

@@ -154,6 +154,10 @@ pub struct ManagerStats {
     /// Publication waits that outlasted the spin phase and parked the
     /// thread (commit pipeline contention signal).
     pub publish_parks: AtomicU64,
+    /// Full registry sweeps performed to refresh the cached
+    /// `oldest_active_begin` watermark (cleanup cost signal: without the
+    /// cache this would equal the number of cleanup calls).
+    pub watermark_sweeps: AtomicU64,
 }
 
 /// The transaction manager.
@@ -194,6 +198,23 @@ pub struct TransactionManager {
     publish_cv: Condvar,
     /// Pre-publication spins before parking (see [`publish_spin_limit`]).
     publish_spins: u32,
+    /// Cached lower bound on [`TransactionManager::oldest_active_begin`],
+    /// used by suspended-cleanup so the common per-commit call does not
+    /// sweep all registry shards. Safety: begin timestamps are assigned
+    /// from the monotone snapshot clock, so any value that was `<=` the
+    /// oldest active begin (or `<=` the clock, when nothing was active)
+    /// when computed remains a valid lower bound forever — the cache can
+    /// only be *conservative*, never unsafe. See
+    /// [`TransactionManager::cleanup_suspended`].
+    begin_watermark: AtomicU64,
+    /// Value of [`Self::finish_gen`] when `begin_watermark` was last
+    /// refreshed. The oldest active begin can only *increase* when a
+    /// snapshot-holding transaction finishes, so an unchanged generation
+    /// proves a fresh sweep would find nothing new.
+    watermark_gen: AtomicU64,
+    /// Bumped whenever a snapshot-holding transaction leaves the active
+    /// set (commit or abort).
+    finish_gen: AtomicU64,
     /// Activity counters.
     stats: ManagerStats,
 }
@@ -216,8 +237,21 @@ impl TransactionManager {
             publish_mu: Mutex::new(()),
             publish_cv: Condvar::new(),
             publish_spins: publish_spin_limit(),
+            begin_watermark: AtomicU64::new(0),
+            watermark_gen: AtomicU64::new(u64::MAX),
+            finish_gen: AtomicU64::new(0),
             stats: ManagerStats::default(),
         }
+    }
+
+    /// Restores the clocks after crash recovery: the snapshot clock and the
+    /// allocation counter resume from `clock`, so the first post-recovery
+    /// snapshot sees every replayed commit and the next commit timestamp is
+    /// `clock + 1`. Must be called before any transaction begins.
+    pub fn restore_clock(&self, clock: Timestamp) {
+        let clock = clock.max(1);
+        self.clock.store(clock, Ordering::SeqCst);
+        self.next_ts.store(clock, Ordering::SeqCst);
     }
 
     /// Activity counters.
@@ -401,10 +435,18 @@ impl TransactionManager {
 
     /// Removes a finished transaction's record and active-begin entry.
     fn retire(&self, txn: &Arc<TxnShared>) {
-        let mut shard = self.shard(txn.id()).lock();
-        shard.records.remove(&txn.id());
-        if let Some(ts) = txn.begin_ts() {
-            shard.active_begins.remove(&(ts, txn.id()));
+        let removed = {
+            let mut shard = self.shard(txn.id()).lock();
+            shard.records.remove(&txn.id());
+            match txn.begin_ts() {
+                Some(ts) => shard.active_begins.remove(&(ts, txn.id())),
+                None => false,
+            }
+        };
+        if removed {
+            // The oldest active begin may have moved: let the next cleanup
+            // refresh its cached watermark.
+            self.finish_gen.fetch_add(1, Ordering::Release);
         }
     }
 
@@ -412,10 +454,14 @@ impl TransactionManager {
     /// suspended).
     fn deactivate(&self, txn: &Arc<TxnShared>) {
         if let Some(ts) = txn.begin_ts() {
-            self.shard(txn.id())
+            let removed = self
+                .shard(txn.id())
                 .lock()
                 .active_begins
                 .remove(&(ts, txn.id()));
+            if removed {
+                self.finish_gen.fetch_add(1, Ordering::Release);
+            }
         }
     }
 
@@ -466,7 +512,54 @@ impl TransactionManager {
     /// acquisition per shard touched rather than one per key). Returns how
     /// many were reclaimed.
     pub fn cleanup_suspended(&self, locks: &LockManager) -> usize {
-        let horizon = self.oldest_active_begin();
+        // The horizon is the cached watermark (a permanently valid lower
+        // bound on the oldest active begin, see its field docs). The
+        // O(shards) sweep only runs when the front of the suspended list is
+        // not yet reclaimable under the cached bound *and* some
+        // snapshot-holding transaction finished since the last sweep —
+        // otherwise a sweep provably returns the same value. Per-commit
+        // cleanup therefore costs one atomic load + one BTreeMap peek in
+        // the steady state, instead of 64 shard locks.
+        let mut horizon = self.begin_watermark.load(Ordering::Acquire);
+        {
+            let suspended = self.suspended.lock();
+            match suspended.first_key_value() {
+                None => return 0,
+                Some((&(first_commit, _), _)) if first_commit > horizon => {
+                    let gen = self.finish_gen.load(Ordering::Acquire);
+                    if self.watermark_gen.load(Ordering::Acquire) == gen {
+                        return 0;
+                    }
+                    drop(suspended);
+                    // Clock read *before* the sweep. Every transaction that
+                    // held a snapshot before this read is visited by the
+                    // sweep (it is already in its shard's index); every
+                    // transaction that acquires one after this read gets
+                    // `begin >= clock_before` (the clock is monotone). So
+                    // `min(sweep, clock_before)` is `<=` every active begin
+                    // — including begins the sweep raced past — and, begins
+                    // being issued from the monotone clock, it stays a
+                    // valid lower bound forever. (The raw sweep alone has a
+                    // TOCTOU: a transaction registering in an already-swept
+                    // shard can be missed while a later-shard minimum — or
+                    // MAX — is returned.)
+                    let clock_before = self.current_ts();
+                    self.stats.watermark_sweeps.fetch_add(1, Ordering::Relaxed);
+                    let swept = self.oldest_active_begin().min(clock_before);
+                    // fetch_max, not store: two racing sweeps may finish in
+                    // either order, and a plain store could pair an older
+                    // (lower) horizon with the newest generation — wedging
+                    // the fast path below until some future finish bumps
+                    // the generation. Every computed bound stays valid
+                    // forever (begins are issued from the monotone clock),
+                    // so keeping the maximum is always safe.
+                    let previous = self.begin_watermark.fetch_max(swept, Ordering::AcqRel);
+                    horizon = swept.max(previous);
+                    self.watermark_gen.store(gen, Ordering::Release);
+                }
+                Some(_) => {}
+            }
+        }
         let mut reclaimed = Vec::new();
         {
             let mut suspended = self.suspended.lock();
@@ -714,6 +807,88 @@ mod tests {
         assert_eq!(m.cleanup_suspended(&locks), 2);
         assert_eq!(m.suspended_len(), 1);
         assert!(m.find(r3.id()).is_some(), "r3 still concurrent with active");
+    }
+
+    #[test]
+    fn cleanup_caches_the_begin_watermark_between_sweeps() {
+        let m = mgr();
+        let locks = LockManager::with_defaults();
+        let sweeps = |m: &TransactionManager| m.stats().watermark_sweeps.load(Ordering::Relaxed);
+
+        // A long-running reader pins the horizon; a suspended commit after
+        // its begin is not reclaimable.
+        let pin = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        m.ensure_snapshot(&pin);
+        let r = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        m.ensure_snapshot(&r);
+        r.mark_committed(tick(&m));
+        m.finish_commit(&r, Vec::new(), true);
+
+        assert_eq!(m.cleanup_suspended(&locks), 0);
+        let after_first = sweeps(&m);
+        assert!(after_first >= 1, "first cleanup must sweep");
+        // Nothing finished since: further cleanups must not sweep again —
+        // this is the per-commit saving (old code swept all shards every
+        // time).
+        for _ in 0..10 {
+            assert_eq!(m.cleanup_suspended(&locks), 0);
+        }
+        assert_eq!(sweeps(&m), after_first, "cached watermark must be reused");
+
+        // The pinning reader finishes: the next cleanup re-sweeps once and
+        // reclaims.
+        pin.mark_aborted();
+        m.finish_abort(&pin);
+        assert_eq!(m.cleanup_suspended(&locks), 1);
+        assert_eq!(sweeps(&m), after_first + 1);
+        assert_eq!(m.suspended_len(), 0);
+    }
+
+    #[test]
+    fn watermark_stays_safe_across_empty_active_set() {
+        // Regression shape for the empty -> non-empty transition: after a
+        // sweep finds no active transactions, a NEW transaction begins and
+        // a reader commits suspended after it. The cached watermark must
+        // not reclaim the reader while the new transaction is concurrent
+        // with it.
+        let m = mgr();
+        let locks = LockManager::with_defaults();
+
+        // Sweep with nothing active (via a reclaimed suspended entry).
+        let r0 = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        m.ensure_snapshot(&r0);
+        r0.mark_committed(tick(&m));
+        m.finish_commit(&r0, Vec::new(), true);
+        assert_eq!(m.cleanup_suspended(&locks), 1);
+
+        // New active transaction A, then reader R commits suspended at a
+        // later timestamp: R is concurrent with A and must stay.
+        let a = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        m.ensure_snapshot(&a);
+        let r = m.begin(IsolationLevel::SerializableSnapshotIsolation);
+        m.ensure_snapshot(&r);
+        r.mark_committed(tick(&m));
+        m.finish_commit(&r, Vec::new(), true);
+        assert_eq!(m.cleanup_suspended(&locks), 0, "R is concurrent with A");
+        assert!(m.find(r.id()).is_some());
+
+        // Once A finishes, R goes.
+        a.mark_aborted();
+        m.finish_abort(&a);
+        assert_eq!(m.cleanup_suspended(&locks), 1);
+    }
+
+    #[test]
+    fn restore_clock_resumes_allocation_past_recovered_commits() {
+        let m = mgr();
+        m.restore_clock(41);
+        assert_eq!(m.current_ts(), 41);
+        let t = m.begin(IsolationLevel::SnapshotIsolation);
+        assert_eq!(m.ensure_snapshot(&t), 41);
+        let ts = m.allocate_commit_ts();
+        assert_eq!(ts, 42);
+        m.publish_commit_ts(ts);
+        assert_eq!(m.current_ts(), 42);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! (Sec. 3.7.2), commit-time log flushing (Sec. 6.1), and the mixed mode that
 //! runs read-only transactions at plain SI (Sec. 3.8).
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use ssi_common::IsolationLevel;
@@ -95,6 +96,45 @@ impl Default for SsiOptions {
     }
 }
 
+/// When (and whether) committed write sets reach stable storage. See the
+/// `ssi-wal` crate docs for the log format and the group-commit protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Pure in-memory operation (the default): no log, no recovery, no
+    /// change to any existing code path.
+    #[default]
+    Off,
+    /// Commits are appended to the redo log in publication order but
+    /// `commit` does not wait for `fsync`; the device is synced at
+    /// checkpoints and on clean close. A crash may lose a suffix of
+    /// recently acknowledged commits, never a non-prefix subset.
+    Buffered,
+    /// `commit` returns only after an `fsync` covering the transaction's
+    /// commit timestamp. Concurrent committers share flushes (group
+    /// commit), so the per-commit fsync cost amortizes under load.
+    GroupCommit,
+}
+
+/// Configuration of the durability subsystem.
+#[derive(Clone, Debug, Default)]
+pub struct DurabilityOptions {
+    /// Durability mode.
+    pub mode: Durability,
+    /// Directory holding log segments and checkpoint snapshots. Required
+    /// unless `mode` is [`Durability::Off`]; created if missing; recovered
+    /// from if non-empty.
+    pub dir: Option<PathBuf>,
+    /// Take a checkpoint automatically once this many bytes have been
+    /// appended to the log since the last one. `None` (the default) leaves
+    /// checkpointing to explicit `Database::checkpoint` calls.
+    pub checkpoint_every_bytes: Option<u64>,
+    /// Benchmark baseline: every commit performs its own fsync instead of
+    /// sharing group flushes. Only meaningful with
+    /// [`Durability::GroupCommit`]; `wal_bench` measures group commit
+    /// against this. Not for production use.
+    pub fsync_every_commit: bool,
+}
+
 /// Top-level engine options.
 #[derive(Clone, Debug)]
 pub struct Options {
@@ -104,6 +144,10 @@ pub struct Options {
     pub granularity: LockGranularity,
     /// Write-ahead-log behaviour (simulated flush latency, group commit).
     pub wal: WalConfig,
+    /// Real durability: on-disk redo log, checkpoints and crash recovery.
+    /// Independent of `wal`, which only *simulates* flush latency for the
+    /// paper's figures.
+    pub durability: DurabilityOptions,
     /// Serializable-SI-specific options.
     pub ssi: SsiOptions,
     /// Take gap locks on scans/inserts/deletes to detect phantoms
@@ -126,6 +170,7 @@ impl Default for Options {
             default_isolation: IsolationLevel::SerializableSnapshotIsolation,
             granularity: LockGranularity::Row,
             wal: WalConfig::default(),
+            durability: DurabilityOptions::default(),
             ssi: SsiOptions::default(),
             detect_phantoms: true,
             read_only_queries_at_si: false,
@@ -182,6 +227,14 @@ impl Options {
         self.ssi.lockstep_commit = true;
         self
     }
+
+    /// Enables the durability subsystem in the given mode, storing the log
+    /// and checkpoints under `dir` (recovered from if non-empty).
+    pub fn with_durability(mut self, mode: Durability, dir: impl Into<PathBuf>) -> Self {
+        self.durability.mode = mode;
+        self.durability.dir = Some(dir.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +262,20 @@ mod tests {
         assert!(o.granularity.is_page());
         assert_eq!(o.ssi.variant, SsiVariant::Basic);
         assert!(!o.detect_phantoms);
+    }
+
+    #[test]
+    fn durability_defaults_off_and_builder_sets_dir() {
+        let o = Options::default();
+        assert_eq!(o.durability.mode, Durability::Off);
+        assert!(o.durability.dir.is_none());
+        assert!(o.durability.checkpoint_every_bytes.is_none());
+        let o = Options::default().with_durability(Durability::GroupCommit, "/tmp/x");
+        assert_eq!(o.durability.mode, Durability::GroupCommit);
+        assert_eq!(
+            o.durability.dir.as_deref(),
+            Some(std::path::Path::new("/tmp/x"))
+        );
     }
 
     #[test]

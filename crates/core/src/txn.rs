@@ -161,6 +161,22 @@ impl Transaction {
         let is_ssi = self.shared.isolation() == IsolationLevel::SerializableSnapshotIsolation;
         let has_writes = !self.writes.is_empty();
 
+        // Encode the redo record *ahead of* the commit point: the write-set
+        // deep copies and buffer growth happen here, outside the ordered-
+        // publication window, so a large write set never stalls the
+        // publication of successor timestamps. Only the timestamp patch and
+        // one CRC pass remain inside the window (submit below). Dropped
+        // unused if the commit check fails.
+        let mut prepared = match &self.db.durable {
+            Some(_) if has_writes => Some(ssi_wal::PreparedCommit::from_parts(
+                self.shared.id(),
+                self.writes
+                    .iter()
+                    .map(|w| (w.table.id(), w.key.as_slice(), w.version.value())),
+            )),
+            _ => None,
+        };
+
         // --- commit point: unsafe check fused with timestamp assignment ----
         // (`_gate` reproduces the old global-mutex serialization when the
         // lock-step baseline mode is on; it is never taken otherwise. The
@@ -199,6 +215,16 @@ impl Transaction {
             ts
         };
         if has_writes {
+            // Redo logging, step 1 of the protocol in `ssi-wal`: park the
+            // pre-encoded write set in the log's pending buffer *before*
+            // the timestamp is deposited for publication, so whoever
+            // advances the clock past `commit_ts` can rely on the record
+            // being present and the log file staying timestamp-ordered.
+            if let Some(durable) = &self.db.durable {
+                durable
+                    .wal
+                    .submit_prepared(commit_ts, prepared.take().expect("prepared above"));
+            }
             for w in &self.writes {
                 w.version.mark_committed(commit_ts);
             }
@@ -206,7 +232,27 @@ impl Transaction {
         }
         drop(_gate);
 
-        // --- durability (group commit; simulated flush latency) ------------
+        // --- durability (real log: seal + group-commit fsync) ---------------
+        // The clock now covers `commit_ts`, so sealing appends the ordered
+        // prefix; `wait_durable` then blocks (in GroupCommit mode) until an
+        // fsync — ours or a neighbour's — covers our timestamp. An I/O
+        // failure here is remembered and returned after the in-memory
+        // bookkeeping completes: the transaction *is* committed in memory,
+        // only its persistence is uncertain (see `Error::Durability`).
+        let mut durability_error = None;
+        if has_writes {
+            if let Some(durable) = &self.db.durable {
+                let result = durable
+                    .wal
+                    .seal_upto(commit_ts)
+                    .and_then(|()| durable.wal.wait_durable(commit_ts));
+                if let Err(e) = result {
+                    durability_error = Some(Error::Durability(format!("commit {commit_ts}: {e}")));
+                }
+            }
+        }
+
+        // --- simulated flush latency (paper figure reproduction) ------------
         if !self.writes.is_empty() {
             let bytes: usize = self
                 .writes
@@ -268,7 +314,13 @@ impl Transaction {
 
         self.writes.clear();
         self.state = LocalState::Committed;
-        Ok(())
+        if has_writes {
+            self.db.maybe_auto_checkpoint();
+        }
+        match durability_error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Rolls the transaction back, undoing all of its writes.

@@ -41,6 +41,33 @@ impl Catalog {
         Ok(table)
     }
 
+    /// Creates a table with an explicit id (crash recovery rebuilding a
+    /// persisted catalog). Idempotent for a matching `(id, name)` pair —
+    /// the existing handle is returned — and an error when either the name
+    /// or the id is already bound differently. `next_id` is advanced past
+    /// `id` so later dynamic creates never collide with recovered tables.
+    pub fn create_table_with_id(&self, id: TableId, name: &str) -> Result<Arc<Table>> {
+        let mut by_name = self.by_name.write();
+        let mut by_id = self.by_id.write();
+        match (by_name.get(name), by_id.get(&id)) {
+            (Some(existing), _) if existing.id() == id => return Ok(existing.clone()),
+            (Some(_), _) | (_, Some(_)) => return Err(Error::TableExists(name.to_string())),
+            (None, None) => {}
+        }
+        self.next_id.fetch_max(id.0 + 1, Ordering::Relaxed);
+        let table = Arc::new(Table::new(id, name));
+        by_name.insert(name.to_string(), table.clone());
+        by_id.insert(id, table.clone());
+        Ok(table)
+    }
+
+    /// The id the next [`Catalog::create_table`] will assign, for callers
+    /// that must write the id somewhere (a redo log) *before* publishing
+    /// the table. Only meaningful while the caller serializes creates.
+    pub fn next_table_id(&self) -> TableId {
+        TableId(self.next_id.load(Ordering::Relaxed))
+    }
+
     /// Looks a table up by name.
     pub fn table(&self, name: &str) -> Result<Arc<Table>> {
         self.by_name
@@ -115,6 +142,31 @@ mod tests {
             Err(Error::NoSuchTable(name)) if name == "nope"
         ));
         assert!(cat.table_by_id(TableId(99)).is_err());
+    }
+
+    #[test]
+    fn create_with_explicit_id_is_idempotent_and_reserves_ids() {
+        let cat = Catalog::new();
+        let t = cat.create_table_with_id(TableId(7), "recovered").unwrap();
+        assert_eq!(t.id(), TableId(7));
+        // Same (id, name): idempotent.
+        let again = cat.create_table_with_id(TableId(7), "recovered").unwrap();
+        assert!(Arc::ptr_eq(&t, &again));
+        // Conflicting bindings are rejected.
+        assert!(cat.create_table_with_id(TableId(8), "recovered").is_err());
+        assert!(cat.create_table_with_id(TableId(7), "other").is_err());
+        // Dynamic creates continue past the reserved id.
+        let next = cat.create_table("fresh").unwrap();
+        assert!(next.id().0 > 7);
+    }
+
+    #[test]
+    fn next_table_id_peeks_the_upcoming_assignment() {
+        let cat = Catalog::new();
+        let peeked = cat.next_table_id();
+        let t = cat.create_table("x").unwrap();
+        assert_eq!(t.id(), peeked);
+        assert_ne!(cat.next_table_id(), peeked);
     }
 
     #[test]

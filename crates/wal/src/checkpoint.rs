@@ -1,0 +1,322 @@
+//! Fuzzy checkpoints: a consistent snapshot of the sharded tables at a
+//! published timestamp, plus log truncation (invariants in the crate docs).
+//!
+//! # Snapshot file format
+//!
+//! ```text
+//! [magic "SSICKPT1": 8 bytes]
+//! body := [checkpoint_ts: u64] [n_tables: u32]
+//!         n_tables * ( [table_id: u32] [name_len: u32] [name]
+//!                      [n_rows: u64]
+//!                      n_rows * ( [key_len: u32] [key]
+//!                                 [commit_ts: u64]
+//!                                 [val_len: u32] [val] ) )
+//! [crc32(body): u32]
+//! ```
+//!
+//! Only rows *live* at the checkpoint timestamp are stored (a key whose
+//! visible version is a tombstone is omitted — equivalent to a purge of
+//! everything at or below the checkpoint horizon). Each row carries the
+//! commit timestamp of the version it was read from, so recovery rebuilds
+//! version chains with their original timestamps and is idempotent.
+
+use std::io::Write;
+use std::ops::Bound;
+use std::path::Path;
+
+use ssi_common::{Timestamp, TxnId};
+use ssi_storage::Catalog;
+
+use crate::record::{crc32, crc32_update, put_u32, put_u64, Cursor, CRC_INIT};
+use crate::{list_segments, list_snapshots, snapshot_path, sync_dir};
+
+/// Magic prefix of snapshot files.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SSICKPT1";
+
+/// Reserved transaction id recovery and checkpointing act under. Real
+/// transaction ids start at 1, so it never collides with a live creator.
+pub const RECOVERY_TXN_ID: TxnId = TxnId(0);
+
+/// What a checkpoint did, for logging and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckpointStats {
+    /// Timestamp the snapshot is consistent at.
+    pub checkpoint_ts: Timestamp,
+    /// Tables snapshotted.
+    pub tables: u64,
+    /// Live rows written.
+    pub rows: u64,
+    /// Snapshot file size in bytes.
+    pub bytes: u64,
+    /// Log segments deleted by truncation.
+    pub segments_pruned: u64,
+}
+
+/// Writes snapshots and truncates the log. Stateless besides the target
+/// directory; the caller (the database) serializes checkpoint runs.
+pub struct Checkpointer<'a> {
+    dir: &'a Path,
+}
+
+impl<'a> Checkpointer<'a> {
+    /// A checkpointer for the durable directory `dir`.
+    pub fn new(dir: &'a Path) -> Self {
+        Checkpointer { dir }
+    }
+
+    /// Takes a fuzzy snapshot of every table in `catalog` at `ts` (which
+    /// must be a published timestamp with every `<= ts` record already
+    /// sealed past — i.e. the cut returned by `WalWriter::rotate`), makes
+    /// it durable, then prunes log segments with sequence `<= old_seq` and
+    /// superseded snapshots. Returns what it did.
+    pub fn run(
+        &self,
+        catalog: &Catalog,
+        ts: Timestamp,
+        old_seq: u64,
+    ) -> std::io::Result<CheckpointStats> {
+        let mut stats = self.write_snapshot(catalog, ts)?;
+        stats.segments_pruned = self.prune(ts, old_seq)?;
+        Ok(stats)
+    }
+
+    /// Serializes the committed state at `ts` into `snapshot-<ts>.ckpt`
+    /// (via a temp file + rename, so a crash never corrupts the previous
+    /// snapshot). The body streams to disk one table at a time with the
+    /// CRC computed incrementally, so peak memory is one table's rows,
+    /// not the whole database.
+    pub fn write_snapshot(
+        &self,
+        catalog: &Catalog,
+        ts: Timestamp,
+    ) -> std::io::Result<CheckpointStats> {
+        let mut tables = catalog.tables();
+        tables.sort_by_key(|t| t.id().0);
+
+        let mut stats = CheckpointStats {
+            checkpoint_ts: ts,
+            tables: tables.len() as u64,
+            ..CheckpointStats::default()
+        };
+        let tmp = self.dir.join(format!("snapshot-{ts:016x}.tmp"));
+        {
+            let mut out = BodyWriter::create(&tmp)?;
+            let mut header = Vec::with_capacity(12);
+            put_u64(&mut header, ts);
+            put_u32(&mut header, tables.len() as u32);
+            out.write_body(&header)?;
+
+            let mut buf = Vec::with_capacity(4096);
+            for table in &tables {
+                buf.clear();
+                put_u32(&mut buf, table.id().0);
+                put_u32(&mut buf, table.name().len() as u32);
+                buf.extend_from_slice(table.name().as_bytes());
+                let rows_at = buf.len();
+                put_u64(&mut buf, 0); // patched below
+                let mut rows = 0u64;
+                // Fuzzy scan: the cursor pages through the live table;
+                // per-row visibility at `ts` is atomic, and commits newer
+                // than `ts` are invisible to this snapshot by construction.
+                for entry in table.cursor(Bound::Unbounded, Bound::Unbounded, RECOVERY_TXN_ID, ts) {
+                    let Some(value) = entry.value else {
+                        continue; // tombstone or nothing visible: dead at ts
+                    };
+                    put_u32(&mut buf, entry.key.len() as u32);
+                    buf.extend_from_slice(&entry.key);
+                    put_u64(&mut buf, entry.read_version_ts.unwrap_or(ts));
+                    put_u32(&mut buf, value.len() as u32);
+                    buf.extend_from_slice(&value);
+                    rows += 1;
+                }
+                buf[rows_at..rows_at + 8].copy_from_slice(&rows.to_le_bytes());
+                out.write_body(&buf)?;
+                stats.rows += rows;
+            }
+            stats.bytes = out.finish()?;
+        }
+        std::fs::rename(&tmp, snapshot_path(self.dir, ts))?;
+        sync_dir(self.dir)?;
+        Ok(stats)
+    }
+
+    /// Deletes log segments with sequence `<= old_seq` (their records are
+    /// all `<= ts` and covered by the snapshot) and snapshots older than
+    /// `ts`. Returns the number of segments removed.
+    fn prune(&self, ts: Timestamp, old_seq: u64) -> std::io::Result<u64> {
+        let mut pruned = 0;
+        for (seq, path) in list_segments(self.dir)? {
+            if seq <= old_seq {
+                std::fs::remove_file(&path)?;
+                pruned += 1;
+            }
+        }
+        for (snap_ts, path) in list_snapshots(self.dir)? {
+            if snap_ts < ts {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        sync_dir(self.dir)?;
+        Ok(pruned)
+    }
+}
+
+/// Streams a snapshot to disk: writes the magic up front, folds every body
+/// chunk into a running CRC, and appends the finalized CRC at the end —
+/// producing exactly the `magic + body + crc32(body)` layout the format
+/// defines, without materializing the body.
+struct BodyWriter {
+    file: std::fs::File,
+    crc_state: u32,
+    body_bytes: u64,
+}
+
+impl BodyWriter {
+    fn create(path: &Path) -> std::io::Result<Self> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(SNAPSHOT_MAGIC)?;
+        Ok(BodyWriter {
+            file,
+            crc_state: CRC_INIT,
+            body_bytes: 0,
+        })
+    }
+
+    fn write_body(&mut self, chunk: &[u8]) -> std::io::Result<()> {
+        self.crc_state = crc32_update(self.crc_state, chunk);
+        self.body_bytes += chunk.len() as u64;
+        self.file.write_all(chunk)
+    }
+
+    /// Appends the CRC footer and fsyncs; returns the total file size.
+    fn finish(mut self) -> std::io::Result<u64> {
+        let crc = self.crc_state ^ 0xFFFF_FFFF;
+        self.file.write_all(&crc.to_le_bytes())?;
+        self.file.sync_all()?;
+        Ok(SNAPSHOT_MAGIC.len() as u64 + self.body_bytes + 4)
+    }
+}
+
+/// One table decoded from a snapshot file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct SnapshotTable {
+    pub id: u32,
+    pub name: String,
+    /// `(key, commit_ts, value)` in key order.
+    pub rows: Vec<(Vec<u8>, Timestamp, Vec<u8>)>,
+}
+
+/// Decodes a snapshot file; `None` if missing, torn or corrupt (recovery
+/// treats an undecodable newest snapshot as a fatal error — the segments
+/// it covers are pruned, so no fallback can reconstruct the gap).
+pub(crate) fn load_snapshot(path: &Path) -> Option<(Timestamp, Vec<SnapshotTable>)> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
+        return None;
+    }
+    let (head, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let body = head.strip_prefix(SNAPSHOT_MAGIC.as_slice())?;
+    if crc32(body) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+        return None;
+    }
+    let mut cur = Cursor::new(body);
+    let ts = cur.u64()?;
+    let n_tables = cur.u32()?;
+    let mut tables = Vec::with_capacity(n_tables.min(1024) as usize);
+    for _ in 0..n_tables {
+        let id = cur.u32()?;
+        let name_len = cur.u32()? as usize;
+        let name = String::from_utf8(cur.bytes(name_len)?.to_vec()).ok()?;
+        let n_rows = cur.u64()?;
+        let mut rows = Vec::with_capacity(n_rows.min(1 << 20) as usize);
+        for _ in 0..n_rows {
+            let key_len = cur.u32()? as usize;
+            let key = cur.bytes(key_len)?.to_vec();
+            let commit_ts = cur.u64()?;
+            let val_len = cur.u32()? as usize;
+            let value = cur.bytes(val_len)?.to_vec();
+            rows.push((key, commit_ts, value));
+        }
+        tables.push(SnapshotTable { id, name, rows });
+    }
+    cur.at_end().then_some((ts, tables))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::temp_dir;
+    use ssi_common::TableId;
+
+    fn populate(catalog: &Catalog) {
+        let t = catalog.create_table("accounts").unwrap();
+        for (key, ts) in [(b"alice".as_slice(), 5u64), (b"bob", 7)] {
+            let v = t.install_version(key, TxnId(1), Some(key.to_vec()));
+            v.mark_committed(ts);
+        }
+        // A row committed after the checkpoint ts, and a tombstoned key:
+        // neither may appear in a snapshot at ts 8.
+        let late = t.install_version(b"carol", TxnId(2), Some(b"x".to_vec()));
+        late.mark_committed(9);
+        let dead = t.install_version(b"dave", TxnId(3), None);
+        dead.mark_committed(6);
+        let _ = TableId(0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_excludes_late_and_dead_rows() {
+        let dir = temp_dir("snap");
+        let catalog = Catalog::new();
+        populate(&catalog);
+        let stats = Checkpointer::new(&dir).write_snapshot(&catalog, 8).unwrap();
+        assert_eq!(stats.rows, 2);
+        assert_eq!(stats.tables, 1);
+
+        let (ts, tables) = load_snapshot(&snapshot_path(&dir, 8)).unwrap();
+        assert_eq!(ts, 8);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].name, "accounts");
+        let rows = &tables[0].rows;
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (b"alice".to_vec(), 5, b"alice".to_vec()));
+        assert_eq!(rows[1], (b"bob".to_vec(), 7, b"bob".to_vec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected() {
+        let dir = temp_dir("snap-corrupt");
+        let catalog = Catalog::new();
+        populate(&catalog);
+        Checkpointer::new(&dir).write_snapshot(&catalog, 8).unwrap();
+        let path = snapshot_path(&dir, 8);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_snapshot(&path).is_none());
+        // Truncated file.
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(load_snapshot(&path).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_removes_covered_segments_and_old_snapshots() {
+        let dir = temp_dir("prune");
+        for seq in 1..=3u64 {
+            std::fs::write(crate::segment_path(&dir, seq), b"x").unwrap();
+        }
+        let catalog = Catalog::new();
+        Checkpointer::new(&dir).write_snapshot(&catalog, 4).unwrap();
+        let stats = Checkpointer::new(&dir).run(&catalog, 9, 2).unwrap();
+        assert_eq!(stats.segments_pruned, 2);
+        let segments = list_segments(&dir).unwrap();
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].0, 3);
+        let snapshots = list_snapshots(&dir).unwrap();
+        assert_eq!(snapshots.len(), 1);
+        assert_eq!(snapshots[0].0, 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

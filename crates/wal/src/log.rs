@@ -1,0 +1,576 @@
+//! The append side of the redo log: segment files, the pending buffer fed
+//! by committers, timestamp-ordered sealing, and the group-commit flusher
+//! election (protocol in the crate docs).
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use ssi_common::{TableId, Timestamp, TxnId};
+
+use crate::record::{crc32, Record, WriteEntry, FRAME_HEADER};
+use crate::{segment_path, sync_dir};
+
+/// When commits wait for the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Never fsync at commit (buffered durability): records reach the OS
+    /// when sealed and the device at checkpoints and clean close. A crash
+    /// may lose the buffered suffix, never the prefix order.
+    Never,
+    /// Committers wait for an fsync covering their commit timestamp; one
+    /// flusher syncs for every sealed commit at once (group commit).
+    GroupCommit,
+    /// Every commit performs its own fsync, sharing nothing. This is the
+    /// measurement baseline `wal_bench` compares group commit against; it
+    /// has no production use.
+    EveryCommit,
+}
+
+/// Activity counters, exposed for tests, stats and `wal_bench`.
+#[derive(Default, Debug)]
+pub struct WalStats {
+    /// Commit records appended to segment files.
+    pub records: AtomicU64,
+    /// Bytes appended (frames, including control records).
+    pub bytes: AtomicU64,
+    /// Physical fsyncs issued.
+    pub fsyncs: AtomicU64,
+    /// `seal_upto` calls that appended at least one record.
+    pub seal_batches: AtomicU64,
+}
+
+impl WalStats {
+    /// Commit records per fsync — the group-commit amortization factor.
+    pub fn records_per_fsync(&self) -> f64 {
+        let records = self.records.load(Ordering::Relaxed) as f64;
+        let fsyncs = self.fsyncs.load(Ordering::Relaxed).max(1) as f64;
+        records / fsyncs
+    }
+}
+
+/// A commit record fully encoded *ahead of* the commit point, with a
+/// placeholder timestamp. Committers build this before entering the commit
+/// pipeline, so the deep copies of the write set and all buffer growth
+/// happen outside the ordered-publication window; inside the window only
+/// the timestamp patch and one CRC pass over the finished frame remain
+/// (see [`WalWriter::submit_prepared`]).
+pub struct PreparedCommit {
+    frame: Vec<u8>,
+}
+
+/// Frame offset of the commit timestamp: header, then the kind byte.
+const TS_OFFSET: usize = FRAME_HEADER + 1;
+
+impl PreparedCommit {
+    /// Encodes borrowed write-set parts as a complete commit frame
+    /// (timestamp zeroed, CRC deferred to [`PreparedCommit::finish`] so
+    /// the payload is checksummed exactly once) — the zero-copy path:
+    /// each key/value is copied exactly once, from its storage slice into
+    /// the frame.
+    pub fn from_parts<'a, I>(txn: TxnId, writes: I) -> Self
+    where
+        I: ExactSizeIterator<Item = (TableId, &'a [u8], Option<&'a [u8]>)>,
+    {
+        let frame = crate::record::encode_commit_frame_unchecksummed(0, txn, writes);
+        debug_assert!(frame.len() >= TS_OFFSET + 8);
+        PreparedCommit { frame }
+    }
+
+    /// Owned-write-set convenience (tests).
+    pub fn new(txn: TxnId, writes: Vec<WriteEntry>) -> Self {
+        Self::from_parts(
+            txn,
+            writes
+                .iter()
+                .map(|w| (w.table, w.key.as_slice(), w.value.as_deref())),
+        )
+    }
+
+    /// Stamps the real commit timestamp and recomputes the CRC.
+    fn finish(mut self, ts: Timestamp) -> Vec<u8> {
+        self.frame[TS_OFFSET..TS_OFFSET + 8].copy_from_slice(&ts.to_le_bytes());
+        let crc = crc32(&self.frame[FRAME_HEADER..]);
+        self.frame[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.frame
+    }
+}
+
+/// Append state: the current segment and the pending buffer. One short
+/// mutex. No *commit-path* fsync happens while it is held (flushers clone
+/// the file handle and sync outside it); the one exception is
+/// [`WalWriter::rotate`], which holds it across the old segment's fsync so
+/// that `durable_ts` can be advanced before any committer captures the new
+/// (empty) file as its flush target — checkpoints therefore stall
+/// concurrent commits for one device sync, which is rare and bounded.
+struct Appender {
+    file: Arc<File>,
+    seq: u64,
+    /// Encoded frames submitted by committers, awaiting sealing, keyed by
+    /// commit timestamp.
+    pending: BTreeMap<Timestamp, Vec<u8>>,
+    /// Highest commit timestamp appended to a segment file.
+    sealed_ts: Timestamp,
+    /// Bytes appended since the last rotation (auto-checkpoint trigger).
+    /// Segments start empty, so this is also the current segment's length —
+    /// the rollback point when an append fails partway.
+    epoch_bytes: u64,
+}
+
+/// Flush state for the group-commit protocol.
+struct FlushState {
+    /// Commit timestamps `<= durable_ts` are on stable storage.
+    durable_ts: Timestamp,
+    /// True while some committer is inside `fsync` on behalf of the group.
+    flush_in_progress: bool,
+}
+
+/// The write-ahead log of one durable database.
+pub struct WalWriter {
+    dir: PathBuf,
+    policy: SyncPolicy,
+    appender: Mutex<Appender>,
+    flush: Mutex<FlushState>,
+    flushed: Condvar,
+    /// Set when the log can no longer vouch for what is on the device: a
+    /// partial append that could not be rolled back (the segment may end in
+    /// a half-frame that a later append would bury), or a failed `fsync`
+    /// (the kernel may have dropped dirty pages and consumed the error, so
+    /// a retry could spuriously succeed — the PostgreSQL fsync lesson).
+    /// Once set, every append and every durability wait fails: no commit
+    /// is ever acknowledged that recovery might silently discard.
+    poisoned: AtomicBool,
+    stats: WalStats,
+}
+
+impl WalWriter {
+    /// Opens the log for appending, creating segment `seq` in `dir`.
+    pub fn open(dir: &Path, seq: u64, policy: SyncPolicy) -> std::io::Result<Self> {
+        let file = create_segment(dir, seq)?;
+        // Normally 0 (fresh segment); a leftover from a crashed earlier
+        // open keeps the length-tracking invariant intact either way.
+        let epoch_bytes = file.metadata()?.len();
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            policy,
+            appender: Mutex::new(Appender {
+                file: Arc::new(file),
+                seq,
+                pending: BTreeMap::new(),
+                sealed_ts: 0,
+                epoch_bytes,
+            }),
+            flush: Mutex::new(FlushState {
+                durable_ts: 0,
+                flush_in_progress: false,
+            }),
+            flushed: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+            stats: WalStats::default(),
+        })
+    }
+
+    /// The sync policy the log was opened with.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &WalStats {
+        &self.stats
+    }
+
+    /// Sequence number of the segment currently being appended to.
+    pub fn current_segment(&self) -> u64 {
+        self.appender.lock().seq
+    }
+
+    /// Bytes appended since the last rotation (or open).
+    pub fn epoch_bytes(&self) -> u64 {
+        self.appender.lock().epoch_bytes
+    }
+
+    /// Appends a create-table control record immediately. Not fsynced by
+    /// itself: the next durable commit's fsync covers it, so a table is
+    /// durable at the latest with the first committed write that needs it.
+    pub fn append_create_table(&self, table: TableId, name: &str) -> std::io::Result<()> {
+        let frame = Record::CreateTable {
+            table,
+            name: name.to_string(),
+        }
+        .encode();
+        let mut appender = self.appender.lock();
+        self.write_frame(&mut appender, &frame)?;
+        self.stats
+            .bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Parks the encoded commit record of `ts` in the pending buffer. Must
+    /// be called *before* the timestamp is deposited for publication (see
+    /// the crate docs); performs no I/O and cannot fail.
+    pub fn submit_prepared(&self, ts: Timestamp, prepared: PreparedCommit) {
+        let frame = prepared.finish(ts);
+        let mut appender = self.appender.lock();
+        let previous = appender.pending.insert(ts, frame);
+        debug_assert!(previous.is_none(), "two commit records for ts {ts}");
+    }
+
+    /// Encode-and-submit convenience (tests and single-step callers);
+    /// equivalent to [`PreparedCommit::new`] + [`WalWriter::submit_prepared`].
+    pub fn submit(&self, ts: Timestamp, txn: TxnId, writes: Vec<WriteEntry>) {
+        self.submit_prepared(ts, PreparedCommit::new(txn, writes));
+    }
+
+    /// Appends every pending record with timestamp `<= ts` to the current
+    /// segment, in timestamp order. Callers invoke this only after the
+    /// snapshot clock covers `ts`, which guarantees the pending buffer
+    /// holds *all* records up to `ts` — so the file stays timestamp-ordered
+    /// no matter which committer seals first. Idempotent.
+    pub fn seal_upto(&self, ts: Timestamp) -> std::io::Result<()> {
+        let mut appender = self.appender.lock();
+        self.seal_locked(&mut appender, ts)
+    }
+
+    /// The seal loop, under the held append lock (shared by
+    /// [`WalWriter::seal_upto`] and [`WalWriter::rotate`]). A record whose
+    /// append fails is put *back* into the pending buffer before the error
+    /// is returned: the failed frame may belong to a different committer
+    /// than the caller, and that committer must still find its record
+    /// sealable later (or hit the poisoned log) rather than be acknowledged
+    /// durable while its record exists nowhere.
+    fn seal_locked(&self, appender: &mut Appender, ts: Timestamp) -> std::io::Result<()> {
+        let mut batch = 0u64;
+        let mut bytes = 0u64;
+        let mut result = Ok(());
+        while let Some(entry) = appender.pending.first_entry() {
+            if *entry.key() > ts {
+                break;
+            }
+            let (record_ts, frame) = entry.remove_entry();
+            if let Err(e) = self.write_frame(appender, &frame) {
+                appender.pending.insert(record_ts, frame);
+                result = Err(e);
+                break;
+            }
+            appender.sealed_ts = appender.sealed_ts.max(record_ts);
+            batch += 1;
+            bytes += frame.len() as u64;
+        }
+        self.stats.records.fetch_add(batch, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+        if batch > 0 {
+            self.stats.seal_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Blocks until every sealed record with timestamp `<= ts` is on stable
+    /// storage, per the configured [`SyncPolicy`]. The caller must have
+    /// sealed `ts` first.
+    pub fn wait_durable(&self, ts: Timestamp) -> std::io::Result<()> {
+        match self.policy {
+            SyncPolicy::Never => Ok(()),
+            SyncPolicy::EveryCommit => {
+                // Baseline: one fsync per commit, no sharing.
+                self.check_poisoned()?;
+                let (file, target) = {
+                    let appender = self.appender.lock();
+                    (appender.file.clone(), appender.sealed_ts)
+                };
+                self.fsync(&file)?;
+                let mut flush = self.flush.lock();
+                flush.durable_ts = flush.durable_ts.max(target);
+                Ok(())
+            }
+            SyncPolicy::GroupCommit => {
+                let mut flush = self.flush.lock();
+                loop {
+                    if flush.durable_ts >= ts {
+                        return Ok(());
+                    }
+                    // Checked inside the loop: a flusher that fails
+                    // poisons the log and wakes everyone, and no waiter
+                    // may then re-elect itself and be "confirmed" by a
+                    // spuriously succeeding retry.
+                    self.check_poisoned()?;
+                    if !flush.flush_in_progress {
+                        // Become the flusher for everything sealed so far.
+                        flush.flush_in_progress = true;
+                        drop(flush);
+                        // Snapshot (file, covered ts) consistently: records
+                        // <= target are in this file even if a rotation
+                        // happens while we sync.
+                        let (file, target) = {
+                            let appender = self.appender.lock();
+                            (appender.file.clone(), appender.sealed_ts)
+                        };
+                        let result = self.fsync(&file);
+                        flush = self.flush.lock();
+                        flush.flush_in_progress = false;
+                        if result.is_ok() {
+                            flush.durable_ts = flush.durable_ts.max(target);
+                        }
+                        self.flushed.notify_all();
+                        result?;
+                    } else {
+                        self.flushed.wait(&mut flush);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rotates to a fresh segment for a checkpoint. Under the append lock:
+    /// reads the published clock via `clock`, seals everything up to it,
+    /// fsyncs and closes the old segment, and opens segment `seq + 1`.
+    /// Returns `(cut_ts, old_seq)`: every record with `ts <= cut_ts` is in
+    /// segments `<= old_seq`, every later record lands in newer segments —
+    /// the cut invariant checkpointing relies on.
+    pub fn rotate(&self, clock: impl FnOnce() -> Timestamp) -> std::io::Result<(Timestamp, u64)> {
+        let mut appender = self.appender.lock();
+        // Read the clock *after* taking the append lock: any seal that ran
+        // before us covered only timestamps <= this value.
+        let cut_ts = clock();
+        // Seal the <= cut_ts prefix into the old segment (all of it is
+        // pending or already sealed, because submit precedes publication).
+        self.seal_locked(&mut appender, cut_ts)?;
+        let file = appender.file.clone();
+        self.fsync(&file)?;
+
+        let old_seq = appender.seq;
+        let new_file = create_segment(&self.dir, old_seq + 1)?;
+        appender.file = Arc::new(new_file);
+        appender.seq = old_seq + 1;
+        appender.epoch_bytes = 0;
+
+        // The old segment is fully durable: advance the durability horizon
+        // so committers covered by it never fsync the (empty) new segment.
+        let sealed = appender.sealed_ts;
+        drop(appender);
+        let mut flush = self.flush.lock();
+        flush.durable_ts = flush.durable_ts.max(sealed);
+        drop(flush);
+        self.flushed.notify_all();
+        Ok((cut_ts, old_seq))
+    }
+
+    /// Flushes and fsyncs everything sealed so far (clean shutdown for
+    /// buffered mode). Pending records of in-flight commits, if any, are
+    /// not sealed — their owners are still before their publication point.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.check_poisoned()?;
+        let (file, target) = {
+            let appender = self.appender.lock();
+            (appender.file.clone(), appender.sealed_ts)
+        };
+        self.fsync(&file)?;
+        let mut flush = self.flush.lock();
+        flush.durable_ts = flush.durable_ts.max(target);
+        Ok(())
+    }
+
+    /// True once the log has hit an unrecoverable I/O failure (see the
+    /// `poisoned` field docs); every later append or durability wait fails.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    fn check_poisoned(&self) -> std::io::Result<()> {
+        if self.is_poisoned() {
+            return Err(std::io::Error::other(
+                "write-ahead log poisoned by an earlier I/O failure; \
+                 commits can no longer be made durable",
+            ));
+        }
+        Ok(())
+    }
+
+    /// `sync_all` wrapper: a failed fsync permanently poisons the log —
+    /// the kernel may have dropped the dirty pages *and* consumed the
+    /// error flag, so a retry could spuriously succeed and acknowledge
+    /// commits whose bytes are gone.
+    fn fsync(&self, file: &File) -> std::io::Result<()> {
+        let result = file.sync_all();
+        self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+        if result.is_err() {
+            self.poisoned.store(true, Ordering::Release);
+        }
+        result
+    }
+
+    fn write_frame(&self, appender: &mut Appender, frame: &[u8]) -> std::io::Result<()> {
+        self.check_poisoned()?;
+        match (&*appender.file).write_all(frame) {
+            Ok(()) => {
+                appender.epoch_bytes += frame.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // write_all may have put a partial frame in the file. Roll
+                // the segment back to the last whole-frame boundary so
+                // later appends stay readable; if even that fails, poison
+                // the log so no later commit can be acknowledged behind
+                // unreadable bytes.
+                if appender.file.set_len(appender.epoch_bytes).is_err() {
+                    self.poisoned.store(true, Ordering::Release);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+fn create_segment(dir: &Path, seq: u64) -> std::io::Result<File> {
+    let path = segment_path(dir, seq);
+    let file = OpenOptions::new().create(true).append(true).open(&path)?;
+    sync_dir(dir)?;
+    Ok(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{decode_stream, Record, WriteEntry};
+    use crate::testutil::temp_dir;
+
+    fn entry(key: &[u8], value: &[u8]) -> WriteEntry {
+        WriteEntry {
+            table: TableId(1),
+            key: key.to_vec(),
+            value: Some(value.to_vec()),
+        }
+    }
+
+    fn read_segment(dir: &Path, seq: u64) -> Vec<Record> {
+        let bytes = std::fs::read(segment_path(dir, seq)).unwrap();
+        let (records, _, err) = decode_stream(&bytes);
+        assert_eq!(err, None, "segment {seq} has a torn tail");
+        records
+    }
+
+    #[test]
+    fn seal_appends_in_timestamp_order_regardless_of_submit_order() {
+        let dir = temp_dir("seal-order");
+        let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+        // Submit out of order, as racing committers would.
+        for ts in [5u64, 3, 4, 2] {
+            wal.submit(ts, TxnId(ts), vec![entry(&[ts as u8], b"v")]);
+        }
+        wal.seal_upto(4).unwrap();
+        wal.seal_upto(5).unwrap();
+        let records = read_segment(&dir, 1);
+        let ts: Vec<u64> = records
+            .iter()
+            .map(|r| match r {
+                Record::Commit(c) => c.commit_ts,
+                _ => panic!("unexpected record"),
+            })
+            .collect();
+        assert_eq!(ts, vec![2, 3, 4, 5]);
+        assert_eq!(wal.stats().records.load(Ordering::Relaxed), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seal_is_idempotent_and_leaves_later_records_pending() {
+        let dir = temp_dir("seal-idem");
+        let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+        wal.submit(2, TxnId(1), vec![entry(b"a", b"1")]);
+        wal.submit(9, TxnId(2), vec![entry(b"b", b"2")]);
+        wal.seal_upto(2).unwrap();
+        wal.seal_upto(2).unwrap();
+        assert_eq!(read_segment(&dir, 1).len(), 1);
+        wal.seal_upto(9).unwrap();
+        assert_eq!(read_segment(&dir, 1).len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_shares_fsyncs_across_threads() {
+        let dir = temp_dir("group");
+        let wal = Arc::new(WalWriter::open(&dir, 1, SyncPolicy::GroupCommit).unwrap());
+        let next_ts = Arc::new(AtomicU64::new(1));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let wal = wal.clone();
+                let next_ts = next_ts.clone();
+                s.spawn(move || {
+                    for i in 0..20u64 {
+                        let ts = next_ts.fetch_add(1, Ordering::Relaxed) + 1;
+                        wal.submit(ts, TxnId(t * 100 + i), vec![entry(&ts.to_be_bytes(), b"v")]);
+                        // Tests drive the log directly (no publication
+                        // clock), so only seal what must be on disk: the
+                        // prefix up to our own ts may contain gaps from
+                        // unsubmitted later timestamps — that's fine, those
+                        // seal later and the file stays ts-ordered because
+                        // submissions here are monotone per sealing point.
+                        wal.seal_upto(ts).unwrap();
+                        wal.wait_durable(ts).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(wal.stats().records.load(Ordering::Relaxed), 160);
+        let fsyncs = wal.stats().fsyncs.load(Ordering::Relaxed);
+        assert!(fsyncs >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_commit_policy_fsyncs_each_commit() {
+        let dir = temp_dir("percommit");
+        let wal = WalWriter::open(&dir, 1, SyncPolicy::EveryCommit).unwrap();
+        for ts in 2..7u64 {
+            wal.submit(ts, TxnId(ts), vec![entry(&[ts as u8], b"v")]);
+            wal.seal_upto(ts).unwrap();
+            wal.wait_durable(ts).unwrap();
+        }
+        assert_eq!(wal.stats().fsyncs.load(Ordering::Relaxed), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_cuts_by_timestamp_and_opens_next_segment() {
+        let dir = temp_dir("rotate");
+        let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+        wal.submit(2, TxnId(1), vec![entry(b"a", b"1")]);
+        wal.submit(3, TxnId(2), vec![entry(b"b", b"2")]);
+        wal.submit(7, TxnId(3), vec![entry(b"c", b"3")]);
+        wal.seal_upto(2).unwrap();
+        // Clock says 3: the pending ts=3 goes to the old segment, ts=7
+        // stays for the new one.
+        let (cut, old_seq) = wal.rotate(|| 3).unwrap();
+        assert_eq!((cut, old_seq), (3, 1));
+        assert_eq!(wal.current_segment(), 2);
+        assert_eq!(read_segment(&dir, 1).len(), 2);
+        wal.seal_upto(7).unwrap();
+        let new_records = read_segment(&dir, 2);
+        assert_eq!(new_records.len(), 1);
+        assert!(
+            matches!(&new_records[0], Record::Commit(c) if c.commit_ts == 7),
+            "ts=7 must land in the post-rotation segment"
+        );
+        assert!(wal.epoch_bytes() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_table_records_interleave_with_commits() {
+        let dir = temp_dir("create");
+        let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+        wal.append_create_table(TableId(1), "accounts").unwrap();
+        wal.submit(2, TxnId(1), vec![entry(b"a", b"1")]);
+        wal.seal_upto(2).unwrap();
+        let records = read_segment(&dir, 1);
+        assert_eq!(records.len(), 2);
+        assert!(matches!(&records[0], Record::CreateTable { name, .. } if name == "accounts"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

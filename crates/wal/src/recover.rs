@@ -1,0 +1,447 @@
+//! Crash recovery: rebuild the committed state of a durable directory into
+//! a fresh catalog (invariants in the crate docs).
+
+use std::path::Path;
+
+use ssi_common::{TableId, Timestamp};
+use ssi_storage::{Catalog, Table};
+
+use crate::checkpoint::{load_snapshot, RECOVERY_TXN_ID};
+use crate::record::{decode_stream, CommitRecord, Record};
+use crate::{list_segments, list_snapshots};
+
+/// What recovery found and rebuilt.
+#[derive(Clone, Debug, Default)]
+pub struct Recovered {
+    /// Timestamp of the snapshot recovery started from (0 = none).
+    pub snapshot_ts: Timestamp,
+    /// Highest committed timestamp restored; the engine must restore its
+    /// commit/begin clocks to at least this value.
+    pub max_commit_ts: Timestamp,
+    /// Commit records replayed from the log (beyond the snapshot).
+    pub txns_replayed: u64,
+    /// Log segments scanned.
+    pub segments_scanned: u64,
+    /// True if a segment ended in a torn tail (half-written frame) that was
+    /// discarded.
+    pub torn_tail: bool,
+    /// First free segment sequence number: the reopened log appends here.
+    pub next_segment_seq: u64,
+}
+
+/// Rebuilds the committed state persisted in `dir` into `catalog`:
+///
+/// 1. load the newest snapshot — a snapshot that exists but does not
+///    decode is a hard error, because the segments it covers are pruned
+///    and nothing can fill the gap;
+/// 2. scan every log segment in sequence order, stopping a segment at the
+///    first torn or corrupt frame;
+/// 3. apply create-table records, then replay every whole commit record
+///    with `ts >` the snapshot timestamp, in commit-timestamp order, so
+///    each key's version chain is rebuilt newest-first.
+///
+/// Replayed versions are installed committed at their original timestamps
+/// under the reserved [`RECOVERY_TXN_ID`], so running recovery twice over
+/// the same directory yields the same state (idempotence), and a snapshot
+/// taken by a later checkpoint round-trips exactly.
+///
+/// Every transaction the pre-crash engine acknowledged as durably
+/// committed is recovered: its record was fsynced before `commit`
+/// returned (group-commit mode), records are whole-transaction frames,
+/// and the log is timestamp-ordered — a torn tail can only remove a
+/// suffix of *unacknowledged* commits.
+pub fn recover_into(dir: &Path, catalog: &Catalog) -> std::io::Result<Recovered> {
+    let mut recovered = Recovered::default();
+
+    // 1. The newest snapshot. It must decode: checkpointing prunes the
+    // segments a snapshot covers, so "skip the corrupt snapshot" would
+    // not fall back to anything — it would silently recover a gapped,
+    // near-empty state and report success. A snapshot that exists but
+    // does not decode is therefore a hard recovery error. (Older
+    // leftover snapshots — a crash between rename and prune — are
+    // equally unusable: their covering segments may already be gone.)
+    let snapshots = list_snapshots(dir)?;
+    let snapshot = match snapshots.last() {
+        None => None,
+        Some((ts, path)) => Some(load_snapshot(path).ok_or_else(|| {
+            std::io::Error::other(format!(
+                "checkpoint snapshot at ts {ts} exists but is corrupt; \
+                 refusing to recover a gapped state ({})",
+                path.display()
+            ))
+        })?),
+    };
+    if let Some((ts, tables)) = snapshot {
+        recovered.snapshot_ts = ts;
+        recovered.max_commit_ts = ts;
+        for table in tables {
+            let handle = catalog
+                .create_table_with_id(TableId(table.id), &table.name)
+                .map_err(|e| std::io::Error::other(format!("snapshot catalog clash: {e}")))?;
+            for (key, commit_ts, value) in table.rows {
+                install_committed(&handle, &key, commit_ts, Some(value));
+            }
+        }
+    }
+
+    // 2. Scan segments; collect whole commit records past the snapshot.
+    //
+    // A torn or corrupt frame can only be the tail of the segment that was
+    // current when a crash hit — segments are append-only and never
+    // reopened for writing. So corruption ends *that segment's* prefix,
+    // but later segments (written by later incarnations that already
+    // recovered past the same tear) are fully trustworthy and must still
+    // be replayed: breaking out of the whole scan here would silently drop
+    // acknowledged commits from every post-reopen segment. The torn tail
+    // itself is truncated away (best-effort) so the garbage bytes are not
+    // left in front of nothing forever.
+    let mut commits: Vec<CommitRecord> = Vec::new();
+    let segments = list_segments(dir)?;
+    recovered.next_segment_seq = segments.last().map_or(1, |(seq, _)| seq + 1);
+    for (_, path) in &segments {
+        recovered.segments_scanned += 1;
+        let bytes = std::fs::read(path)?;
+        let (records, valid_prefix, err) = decode_stream(&bytes);
+        if err.is_some() {
+            recovered.torn_tail = true;
+            truncate_torn_tail(path, valid_prefix as u64);
+        }
+        for record in records {
+            match record {
+                Record::CreateTable { table, name } => {
+                    // Idempotent: the snapshot (or an earlier segment) may
+                    // already have created it.
+                    let _ = catalog.create_table_with_id(table, &name);
+                }
+                Record::Commit(commit) => {
+                    if commit.commit_ts > recovered.snapshot_ts {
+                        commits.push(commit);
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Replay in commit-timestamp order (the log already is, per the
+    // sealing protocol; sorting makes recovery robust to reordered
+    // segments too). Write order within a transaction is preserved.
+    commits.sort_by_key(|c| c.commit_ts);
+    for commit in commits {
+        // The clock must resume past *every* timestamp present in the log
+        // — including commits skipped below — or post-recovery commits
+        // would reuse timestamps already occupied by logged records.
+        recovered.max_commit_ts = recovered.max_commit_ts.max(commit.commit_ts);
+        if replay_commit(catalog, &commit).is_err() {
+            // A commit naming an unknown table: its create record was lost
+            // with a torn tail (creates are logged *before* the table is
+            // reachable by any writer — log-first — so only tail loss
+            // produces this). Skip just this commit — later commits
+            // against known tables are acknowledged, valid data and must
+            // still replay.
+            recovered.torn_tail = true;
+            continue;
+        }
+        recovered.txns_replayed += 1;
+    }
+    Ok(recovered)
+}
+
+/// Cuts a segment back to its valid frame prefix after a torn tail was
+/// found. Best-effort: if the truncation cannot be performed (read-only
+/// filesystem, permissions) recovery still works — `decode_stream` stops
+/// at the same point every time — the garbage just stays on disk.
+fn truncate_torn_tail(path: &Path, valid_prefix: u64) {
+    let result = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .and_then(|file| {
+            file.set_len(valid_prefix)?;
+            file.sync_all()
+        });
+    let _ = result;
+}
+
+fn replay_commit(catalog: &Catalog, commit: &CommitRecord) -> Result<(), ()> {
+    // Resolve all tables first so a commit is applied all-or-nothing.
+    let mut tables = Vec::with_capacity(commit.writes.len());
+    for write in &commit.writes {
+        tables.push(catalog.table_by_id(write.table).map_err(|_| ())?);
+    }
+    for (write, table) in commit.writes.iter().zip(tables) {
+        install_committed(&table, &write.key, commit.commit_ts, write.value.clone());
+    }
+    Ok(())
+}
+
+fn install_committed(
+    table: &std::sync::Arc<Table>,
+    key: &[u8],
+    commit_ts: Timestamp,
+    value: Option<Vec<u8>>,
+) {
+    let version = table.install_version(key, RECOVERY_TXN_ID, value);
+    version.mark_committed(commit_ts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{SyncPolicy, WalWriter};
+    use crate::record::WriteEntry;
+    use crate::testutil::temp_dir;
+    use crate::Checkpointer;
+    use ssi_common::TxnId;
+    use std::ops::Bound;
+
+    fn put(wal: &WalWriter, ts: Timestamp, key: &[u8], value: &[u8]) {
+        wal.submit(
+            ts,
+            TxnId(ts),
+            vec![WriteEntry {
+                table: TableId(1),
+                key: key.to_vec(),
+                value: Some(value.to_vec()),
+            }],
+        );
+        wal.seal_upto(ts).unwrap();
+    }
+
+    fn dump(catalog: &Catalog, name: &str, at: Timestamp) -> Vec<(Vec<u8>, Vec<u8>)> {
+        catalog
+            .table(name)
+            .unwrap()
+            .scan(Bound::Unbounded, Bound::Unbounded, TxnId(999), at)
+            .into_iter()
+            .filter_map(|e| e.value.map(|v| (e.key, v.to_vec())))
+            .collect()
+    }
+
+    #[test]
+    fn log_only_recovery_rebuilds_tables_and_rows() {
+        let dir = temp_dir("rec-log");
+        {
+            let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+            wal.append_create_table(TableId(1), "t").unwrap();
+            put(&wal, 2, b"a", b"1");
+            put(&wal, 3, b"a", b"2");
+            put(&wal, 4, b"b", b"9");
+            wal.sync().unwrap();
+        }
+        let catalog = Catalog::new();
+        let rec = recover_into(&dir, &catalog).unwrap();
+        assert_eq!(rec.max_commit_ts, 4);
+        assert_eq!(rec.txns_replayed, 3);
+        assert!(!rec.torn_tail);
+        assert_eq!(rec.next_segment_seq, 2);
+        // Newest value wins; the chain keeps history (snapshot at ts 2
+        // still sees the old value).
+        assert_eq!(
+            dump(&catalog, "t", 10),
+            vec![
+                (b"a".to_vec(), b"2".to_vec()),
+                (b"b".to_vec(), b"9".to_vec())
+            ]
+        );
+        assert_eq!(dump(&catalog, "t", 2), vec![(b"a".to_vec(), b"1".to_vec())]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstones_replay_as_deletes() {
+        let dir = temp_dir("rec-tomb");
+        {
+            let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+            wal.append_create_table(TableId(1), "t").unwrap();
+            put(&wal, 2, b"a", b"1");
+            wal.submit(
+                3,
+                TxnId(3),
+                vec![WriteEntry {
+                    table: TableId(1),
+                    key: b"a".to_vec(),
+                    value: None,
+                }],
+            );
+            wal.seal_upto(3).unwrap();
+            wal.sync().unwrap();
+        }
+        let catalog = Catalog::new();
+        recover_into(&dir, &catalog).unwrap();
+        assert_eq!(dump(&catalog, "t", 10), vec![]);
+        assert_eq!(dump(&catalog, "t", 2), vec![(b"a".to_vec(), b"1".to_vec())]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_recovers_exact_prefix() {
+        let dir = temp_dir("rec-torn");
+        {
+            let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+            wal.append_create_table(TableId(1), "t").unwrap();
+            for ts in 2..=6u64 {
+                put(&wal, ts, &[ts as u8], b"v");
+            }
+            wal.sync().unwrap();
+        }
+        let path = crate::segment_path(&dir, 1);
+        let full = std::fs::read(&path).unwrap();
+        // Cut the log at every byte; recovery must always succeed and
+        // rebuild a prefix of the committed transactions.
+        let mut last_count = 0;
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let catalog = Catalog::new();
+            let rec = recover_into(&dir, &catalog).unwrap();
+            assert!(rec.txns_replayed >= last_count || cut == full.len());
+            if cut < full.len() {
+                last_count = rec.txns_replayed.max(last_count);
+            }
+            // Replayed prefix: exactly txns 2..2+n.
+            if let Ok(t) = catalog.table("t") {
+                let rows = t.scan(Bound::Unbounded, Bound::Unbounded, TxnId(99), 100);
+                assert_eq!(rows.len() as u64, rec.txns_replayed);
+            } else {
+                assert_eq!(rec.txns_replayed, 0);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_after_a_torn_segment_still_replay() {
+        // Regression: a torn tail in segment N must not swallow segments
+        // written *after* a reopen (their commits were acknowledged by a
+        // later incarnation and are fully valid). The torn garbage itself
+        // must be truncated away.
+        let dir = temp_dir("rec-torn-multiseg");
+        {
+            let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+            wal.append_create_table(TableId(1), "t").unwrap();
+            put(&wal, 2, b"a", b"1");
+            put(&wal, 3, b"b", b"2");
+            wal.sync().unwrap();
+        }
+        // Crash: garbage half-frame at the tail of segment 1.
+        let seg1 = crate::segment_path(&dir, 1);
+        let valid_len = std::fs::metadata(&seg1).unwrap().len();
+        let mut bytes = std::fs::read(&seg1).unwrap();
+        bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01]);
+        std::fs::write(&seg1, &bytes).unwrap();
+
+        // Reopen-incarnation: recovery sees the tear, then new acknowledged
+        // commits land in segment 2.
+        {
+            let catalog = Catalog::new();
+            let rec = recover_into(&dir, &catalog).unwrap();
+            assert!(rec.torn_tail);
+            assert_eq!(rec.txns_replayed, 2);
+            let wal = WalWriter::open(&dir, rec.next_segment_seq, SyncPolicy::Never).unwrap();
+            put(&wal, 4, b"c", b"3");
+            wal.sync().unwrap();
+        }
+
+        // Final recovery: the segment-2 commit must be there.
+        let catalog = Catalog::new();
+        let rec = recover_into(&dir, &catalog).unwrap();
+        assert_eq!(rec.txns_replayed, 3, "post-reopen commit was dropped");
+        assert_eq!(rec.max_commit_ts, 4);
+        assert_eq!(
+            dump(&catalog, "t", 10),
+            vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"2".to_vec()),
+                (b"c".to_vec(), b"3".to_vec()),
+            ]
+        );
+        // The garbage tail was truncated off segment 1 by the first
+        // recovery, so the tear does not resurface.
+        assert_eq!(std::fs::metadata(&seg1).unwrap().len(), valid_len);
+        assert!(!rec.torn_tail, "truncated tear must not be reported again");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_plus_log_recovery_and_idempotence() {
+        let dir = temp_dir("rec-snap");
+        // Build state, checkpoint at ts 3, then two more commits in the log.
+        {
+            let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+            wal.append_create_table(TableId(1), "t").unwrap();
+            put(&wal, 2, b"a", b"1");
+            put(&wal, 3, b"b", b"2");
+            let catalog = Catalog::new();
+            let t = catalog.create_table("t").unwrap();
+            for (k, v, ts) in [(b"a", b"1", 2u64), (b"b", b"2", 3)] {
+                let ver = t.install_version(k, TxnId(9), Some(v.to_vec()));
+                ver.mark_committed(ts);
+            }
+            let (cut, old_seq) = wal.rotate(|| 3).unwrap();
+            Checkpointer::new(&dir).run(&catalog, cut, old_seq).unwrap();
+            put(&wal, 4, b"a", b"3");
+            put(&wal, 5, b"c", b"4");
+            wal.sync().unwrap();
+        }
+        let catalog = Catalog::new();
+        let rec = recover_into(&dir, &catalog).unwrap();
+        assert_eq!(rec.snapshot_ts, 3);
+        assert_eq!(rec.txns_replayed, 2);
+        assert_eq!(rec.max_commit_ts, 5);
+        let expected = vec![
+            (b"a".to_vec(), b"3".to_vec()),
+            (b"b".to_vec(), b"2".to_vec()),
+            (b"c".to_vec(), b"4".to_vec()),
+        ];
+        assert_eq!(dump(&catalog, "t", 10), expected);
+
+        // Idempotence: recovering the same directory again gives the same
+        // state and clocks.
+        let catalog2 = Catalog::new();
+        let rec2 = recover_into(&dir, &catalog2).unwrap();
+        assert_eq!(rec2.max_commit_ts, rec.max_commit_ts);
+        assert_eq!(rec2.snapshot_ts, rec.snapshot_ts);
+        assert_eq!(dump(&catalog2, "t", 10), expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_hard_recovery_error() {
+        // A snapshot's covering segments are pruned, so "skip the corrupt
+        // snapshot" would silently recover a gapped state: recovery must
+        // refuse instead.
+        let dir = temp_dir("rec-badsnap");
+        {
+            let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+            wal.append_create_table(TableId(1), "t").unwrap();
+            put(&wal, 2, b"a", b"1");
+            let catalog = Catalog::new();
+            let t = catalog.create_table("t").unwrap();
+            let v = t.install_version(b"a", TxnId(9), Some(b"1".to_vec()));
+            v.mark_committed(2);
+            let (cut, old_seq) = wal.rotate(|| 2).unwrap();
+            Checkpointer::new(&dir).run(&catalog, cut, old_seq).unwrap();
+        }
+        let snap = crate::snapshot_path(&dir, 2);
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&snap, &bytes).unwrap();
+
+        let catalog = Catalog::new();
+        assert!(
+            recover_into(&dir, &catalog).is_err(),
+            "recovery must refuse an undecodable snapshot"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_directory_recovers_to_empty_state() {
+        let dir = temp_dir("rec-empty");
+        let catalog = Catalog::new();
+        let rec = recover_into(&dir, &catalog).unwrap();
+        assert_eq!(rec.max_commit_ts, 0);
+        assert_eq!(rec.next_segment_seq, 1);
+        assert!(catalog.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -5,10 +5,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use serializable_si::{AbortKind, Database, Error, IsolationLevel, Options};
+use serializable_si::{AbortKind, Database, Durability, Error, IsolationLevel, Options};
 
 fn main() -> Result<(), Error> {
     // A database providing Serializable Snapshot Isolation by default.
+    // (In-memory here; the durable variant is at the end of this tour.)
     let db = Database::open(Options::default());
     let accounts = db.create_table("accounts")?;
 
@@ -88,6 +89,31 @@ fn main() -> Result<(), Error> {
         );
     }
     scan.commit()?;
+
+    // --- opting into durability ---------------------------------------------
+    // With `Durability::GroupCommit` every commit is in the write-ahead log
+    // and fsynced (concurrent commits share flushes) before `commit`
+    // returns, and reopening the same directory recovers everything. See
+    // the `durability` example for checkpoints and crash recovery.
+    let dir = std::env::temp_dir().join(format!("ssi-quickstart-{}", std::process::id()));
+    let durable_options = Options::default().with_durability(Durability::GroupCommit, &dir);
+    {
+        let durable = Database::try_open(durable_options.clone())?;
+        let table = durable.create_table("settings")?;
+        let mut txn = durable.begin();
+        txn.put(&table, b"greeting", b"hello again")?;
+        txn.commit()?; // durable from here on
+    }
+    let durable = Database::try_open(durable_options)?;
+    let table = durable.table("settings")?;
+    let mut reader = durable.begin_read_only();
+    let greeting = reader.get(&table, b"greeting")?.unwrap();
+    println!(
+        "recovered after reopen: {}",
+        String::from_utf8_lossy(&greeting)
+    );
+    reader.commit()?;
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }
 

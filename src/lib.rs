@@ -20,10 +20,12 @@ pub use ssi_common as common;
 pub use ssi_core as core;
 pub use ssi_lock as lock;
 pub use ssi_storage as storage;
+pub use ssi_wal as wal;
 pub use ssi_workloads as workloads;
 
 pub use ssi_common::{AbortKind, Error, IsolationLevel, Result, TxnId};
 pub use ssi_core::{
-    Database, LockGranularity, Options, SsiOptions, SsiVariant, TableRef, Transaction, VictimPolicy,
+    Database, Durability, DurabilityOptions, LockGranularity, Options, SsiOptions, SsiVariant,
+    TableRef, Transaction, VictimPolicy,
 };
 pub use ssi_workloads::{run_workload, RunConfig, SiBench, SmallBank, TpccConfig, TpccWorkload};

@@ -1,0 +1,474 @@
+//! Crash-recovery correctness net for the durability subsystem.
+//!
+//! The core guarantees under test (see the `ssi-wal` crate docs):
+//!
+//! * **round trip** — commit, drop, reopen: every acknowledged commit is
+//!   back, including deletes, across multiple tables and checkpoints;
+//! * **prefix consistency** — truncating the log at *any* byte (torn tail,
+//!   half-written record) recovers exactly the state after some prefix of
+//!   the committed transactions, never a torn or interleaved state;
+//! * **idempotence** — recovering the same directory twice produces the
+//!   same state;
+//! * **invariant preservation** — for randomized transfer histories cut at
+//!   arbitrary log prefixes, the SmallBank-style total-balance invariant
+//!   holds in the recovered state.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use serializable_si::{Database, Durability, Options};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "ssi-durability-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &Path, mode: Durability) -> Database {
+    Database::open(Options::default().with_durability(mode, dir))
+}
+
+/// Logical state dump: every table's visible rows at the current clock.
+fn dump(db: &Database) -> BTreeMap<String, BTreeMap<Vec<u8>, Vec<u8>>> {
+    let mut out = BTreeMap::new();
+    for name in db.table_names() {
+        let table = db.table(&name).unwrap();
+        let mut txn = db.begin_read_only();
+        let rows = txn
+            .scan(&table, Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .into_iter()
+            .map(|(k, v)| (k, v.to_vec()))
+            .collect();
+        txn.commit().unwrap();
+        out.insert(name, rows);
+    }
+    out
+}
+
+fn wal_segments(dir: &Path) -> Vec<PathBuf> {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            let path = e.unwrap().path();
+            (path.extension().is_some_and(|x| x == "wal")).then_some(path)
+        })
+        .collect();
+    segments.sort();
+    segments
+}
+
+#[test]
+fn group_commit_survives_reopen() {
+    let dir = temp_dir("roundtrip");
+    {
+        let db = open(&dir, Durability::GroupCommit);
+        let accounts = db.create_table("accounts").unwrap();
+        let audit = db.create_table("audit").unwrap();
+        let mut t = db.begin();
+        t.put(&accounts, b"alice", b"100").unwrap();
+        t.put(&accounts, b"bob", b"250").unwrap();
+        t.put(&audit, b"e1", b"open").unwrap();
+        t.commit().unwrap();
+        let mut t = db.begin();
+        t.put(&accounts, b"alice", b"70").unwrap();
+        t.delete(&accounts, b"bob").unwrap();
+        t.commit().unwrap();
+    }
+    let db = open(&dir, Durability::GroupCommit);
+    let rec = db.recovery_info().unwrap().clone();
+    assert_eq!(rec.txns_replayed, 2);
+    assert!(!rec.torn_tail);
+    let state = dump(&db);
+    assert_eq!(
+        state["accounts"],
+        BTreeMap::from([(b"alice".to_vec(), b"70".to_vec())]),
+        "update and delete must both replay"
+    );
+    assert_eq!(state["audit"].len(), 1);
+
+    // The reopened database keeps working and survives another reopen.
+    let accounts = db.table("accounts").unwrap();
+    let mut t = db.begin();
+    t.put(&accounts, b"carol", b"5").unwrap();
+    t.commit().unwrap();
+    drop(db);
+    let db = open(&dir, Durability::GroupCommit);
+    assert_eq!(dump(&db)["accounts"].len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn buffered_mode_flushes_on_clean_close() {
+    let dir = temp_dir("buffered");
+    {
+        let db = open(&dir, Durability::Buffered);
+        let t = db.create_table("t").unwrap();
+        for i in 0..50u64 {
+            let mut txn = db.begin();
+            txn.put(&t, &i.to_be_bytes(), b"v").unwrap();
+            txn.commit().unwrap();
+        }
+        // Buffered commits must not fsync per commit.
+        let fsyncs = db
+            .durability_stats()
+            .unwrap()
+            .fsyncs
+            .load(Ordering::Relaxed);
+        assert_eq!(fsyncs, 0, "buffered mode must not fsync on commit");
+    }
+    let db = open(&dir, Durability::Buffered);
+    assert_eq!(dump(&db)["t"].len(), 50);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_truncates_log_and_recovers_snapshot_plus_tail() {
+    let dir = temp_dir("checkpoint");
+    {
+        let db = open(&dir, Durability::GroupCommit);
+        let t = db.create_table("t").unwrap();
+        for i in 0..40u64 {
+            let mut txn = db.begin();
+            txn.put(&t, &i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+            txn.commit().unwrap();
+        }
+        // Delete a few so the snapshot must reflect tombstones by omission.
+        let mut txn = db.begin();
+        txn.delete(&t, &3u64.to_be_bytes()).unwrap();
+        txn.commit().unwrap();
+
+        let stats = db.checkpoint().unwrap();
+        assert_eq!(stats.rows, 39);
+        assert_eq!(stats.segments_pruned, 1);
+
+        // Post-checkpoint commits land in the new segment.
+        for i in 100..105u64 {
+            let mut txn = db.begin();
+            txn.put(&t, &i.to_be_bytes(), b"tail").unwrap();
+            txn.commit().unwrap();
+        }
+        assert_eq!(wal_segments(&dir).len(), 1, "old segment must be pruned");
+    }
+    let db = open(&dir, Durability::GroupCommit);
+    let rec = db.recovery_info().unwrap().clone();
+    assert!(rec.snapshot_ts > 0, "recovery must start from the snapshot");
+    assert_eq!(
+        rec.txns_replayed, 5,
+        "only the post-checkpoint tail replays"
+    );
+    assert_eq!(dump(&db)["t"].len(), 44);
+
+    // A second checkpoint over recovered state round-trips too.
+    db.checkpoint().unwrap();
+    drop(db);
+    let db = open(&dir, Durability::GroupCommit);
+    assert_eq!(dump(&db)["t"].len(), 44);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auto_checkpoint_triggers_on_log_growth() {
+    let dir = temp_dir("autockpt");
+    let mut options = Options::default().with_durability(Durability::Buffered, &dir);
+    options.durability.checkpoint_every_bytes = Some(4096);
+    {
+        let db = Database::open(options.clone());
+        let t = db.create_table("t").unwrap();
+        for i in 0..200u64 {
+            let mut txn = db.begin();
+            txn.put(&t, &i.to_be_bytes(), &[7u8; 64]).unwrap();
+            txn.commit().unwrap();
+        }
+        let snapshots = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "ckpt")
+            })
+            .count();
+        assert!(
+            snapshots >= 1,
+            "log growth must have triggered a checkpoint"
+        );
+    }
+    let db = Database::open(options);
+    assert_eq!(dump(&db)["t"].len(), 200);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_group_commits_all_survive_reopen() {
+    // 8 writer threads; every commit acknowledged before the crash point
+    // must be present after recovery (group commit must lose nothing).
+    let dir = temp_dir("concurrent");
+    let committed: Vec<(u64, u64)> = {
+        let db = open(&dir, Durability::GroupCommit);
+        let t = db.create_table("t").unwrap();
+        let mut acks = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for worker in 0..8u64 {
+                let db = db.clone();
+                let t = t.clone();
+                handles.push(s.spawn(move || {
+                    let mut acked = Vec::new();
+                    for i in 0..25u64 {
+                        let key = worker * 1000 + i;
+                        let mut txn = db.begin();
+                        if txn.put(&t, &key.to_be_bytes(), &i.to_le_bytes()).is_ok()
+                            && txn.commit().is_ok()
+                        {
+                            acked.push((key, i));
+                        }
+                    }
+                    acked
+                }));
+            }
+            for h in handles {
+                acks.extend(h.join().unwrap());
+            }
+        });
+        let stats = db.durability_stats().unwrap();
+        assert_eq!(
+            stats.records.load(Ordering::Relaxed),
+            acks.len() as u64,
+            "one log record per acknowledged commit"
+        );
+        acks
+    };
+    assert_eq!(committed.len(), 200, "disjoint keys: no commit may abort");
+    let db = open(&dir, Durability::GroupCommit);
+    let state = &dump(&db)["t"];
+    assert_eq!(state.len(), committed.len());
+    for (key, i) in committed {
+        assert_eq!(
+            state.get(&key.to_be_bytes()[..].to_vec()).map(|v| &v[..]),
+            Some(&i.to_le_bytes()[..]),
+            "acknowledged commit of key {key} lost"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn double_open_of_a_durable_directory_is_refused() {
+    // Two writers appending to the same segment would interleave frames
+    // into CRC garbage; the directory lock must make the second open fail
+    // while the first handle lives, and succeed after it is dropped.
+    let dir = temp_dir("double-open");
+    let db = open(&dir, Durability::GroupCommit);
+    let second =
+        Database::try_open(Options::default().with_durability(Durability::GroupCommit, &dir));
+    assert!(
+        matches!(second, Err(serializable_si::Error::Durability(_))),
+        "second open must be refused: {second:?}"
+    );
+    drop(db);
+    Database::try_open(Options::default().with_durability(Durability::GroupCommit, &dir))
+        .expect("reopen after drop must succeed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn commits_after_torn_tail_reopen_survive_next_recovery() {
+    // Regression (review finding): a crash leaves a torn tail; the reopened
+    // database acknowledges new fsynced commits into a later segment. Those
+    // commits must survive the *next* recovery — the old torn segment must
+    // not render everything after it unreadable.
+    let dir = temp_dir("torn-reopen");
+    {
+        let db = open(&dir, Durability::GroupCommit);
+        let t = db.create_table("t").unwrap();
+        for i in 0..5u64 {
+            let mut txn = db.begin();
+            txn.put(&t, &i.to_be_bytes(), b"old").unwrap();
+            txn.commit().unwrap();
+        }
+    }
+    // Tear the tail: chop half of the last record's frame.
+    let segments = wal_segments(&dir);
+    let full = std::fs::read(&segments[0]).unwrap();
+    std::fs::write(&segments[0], &full[..full.len() - 7]).unwrap();
+
+    {
+        let db = open(&dir, Durability::GroupCommit);
+        assert!(db.recovery_info().unwrap().torn_tail);
+        assert_eq!(db.recovery_info().unwrap().txns_replayed, 4);
+        let t = db.table("t").unwrap();
+        let mut txn = db.begin();
+        txn.put(&t, b"new-key", b"acked").unwrap();
+        txn.commit().unwrap(); // fsynced: acknowledged durable
+    }
+
+    let db = open(&dir, Durability::GroupCommit);
+    let state = &dump(&db)["t"];
+    assert_eq!(
+        state.get(&b"new-key"[..]).map(|v| &v[..]),
+        Some(&b"acked"[..]),
+        "acknowledged post-reopen commit lost"
+    );
+    assert_eq!(state.len(), 5, "4 old prefix rows + the new key");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Applies transaction `i` of the deterministic history to `model`.
+fn model_apply(model: &mut BTreeMap<Vec<u8>, Vec<u8>>, i: u64) {
+    // Mixed puts/overwrites/deletes over a small key space, derived from a
+    // cheap hash so the history is deterministic per index.
+    let h = |x: u64| {
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^ (z >> 31)
+    };
+    for op in 0..1 + h(i) % 3 {
+        let key = (h(i * 7 + op) % 12).to_be_bytes().to_vec();
+        if h(i * 13 + op) % 5 == 0 {
+            model.remove(&key);
+        } else {
+            model.insert(key, format!("v{}-{}", i, op).into_bytes());
+        }
+    }
+}
+
+/// Runs the same history against a real durable database; returns the
+/// model state after every commit (index 0 = empty).
+fn run_history(dir: &Path, txns: u64) -> Vec<BTreeMap<Vec<u8>, Vec<u8>>> {
+    let db = open(dir, Durability::GroupCommit);
+    let t = db.create_table("t").unwrap();
+    let mut model = BTreeMap::new();
+    let mut states = vec![model.clone()];
+    for i in 0..txns {
+        let before = model.clone();
+        model_apply(&mut model, i);
+        let mut txn = db.begin();
+        // Apply the model diff as the transaction's writes.
+        for (key, value) in &model {
+            if before.get(key) != Some(value) {
+                txn.put(&t, key, value).unwrap();
+            }
+        }
+        for key in before.keys() {
+            if !model.contains_key(key) {
+                txn.delete(&t, key).unwrap();
+            }
+        }
+        txn.commit().unwrap();
+        states.push(model.clone());
+    }
+    states
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Cut the log at an arbitrary byte: recovery must yield exactly the
+    /// state after some prefix of the committed transactions, and
+    /// recovering twice must agree.
+    fn torn_log_tail_recovers_a_consistent_prefix((txns, cut_permille) in (3u64..16, 0u64..=1000)) {
+        let dir = temp_dir("torn");
+        let states = run_history(&dir, txns);
+
+        // Simulate a crash with a torn tail: truncate the single segment.
+        let segments = wal_segments(&dir);
+        prop_assert_eq!(segments.len(), 1);
+        let full = std::fs::read(&segments[0]).unwrap();
+        let cut = (full.len() as u64 * cut_permille / 1000) as usize;
+        std::fs::write(&segments[0], &full[..cut]).unwrap();
+
+        let db = open(&dir, Durability::GroupCommit);
+        let replayed = db.recovery_info().unwrap().txns_replayed as usize;
+        prop_assert!(replayed < states.len());
+        let recovered = dump(&db).remove("t").unwrap_or_default();
+        prop_assert_eq!(
+            &recovered, &states[replayed],
+            "recovered state is not the prefix state after {} txns", replayed
+        );
+        // Monotone coverage: cutting at the very end loses nothing.
+        if cut == full.len() {
+            prop_assert_eq!(replayed + 1, states.len());
+        }
+        drop(db);
+
+        // Idempotence: a second recovery of the same directory agrees.
+        let db2 = open(&dir, Durability::GroupCommit);
+        prop_assert_eq!(db2.recovery_info().unwrap().txns_replayed as usize, replayed);
+        prop_assert_eq!(&dump(&db2).remove("t").unwrap_or_default(), &states[replayed]);
+        drop(db2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// SmallBank-style invariant: randomized transfer histories keep the
+    /// total balance constant; a crash cut at any log prefix must recover
+    /// a state that still satisfies the invariant (all-or-nothing per
+    /// transaction).
+    fn smallbank_invariant_survives_crash_cut((transfers, cut_permille, seed) in (1u64..24, 0u64..=1000, 0u64..1000)) {
+        const ACCOUNTS: u64 = 8;
+        const INITIAL: i64 = 100;
+        let dir = temp_dir("smallbank");
+        {
+            let db = open(&dir, Durability::GroupCommit);
+            let t = db.create_table("accounts").unwrap();
+            let mut setup = db.begin();
+            for a in 0..ACCOUNTS {
+                setup.put(&t, &a.to_be_bytes(), INITIAL.to_string().as_bytes()).unwrap();
+            }
+            setup.commit().unwrap();
+            let h = |x: u64| {
+                let mut z = x.wrapping_add(seed).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 29)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z ^ (z >> 32)
+            };
+            for i in 0..transfers {
+                let from = h(i * 2) % ACCOUNTS;
+                let to = (from + 1 + h(i * 2 + 1) % (ACCOUNTS - 1)) % ACCOUNTS;
+                let amount = (h(i * 3) % 40) as i64;
+                let mut txn = db.begin();
+                let get = |txn: &mut serializable_si::Transaction, a: u64| -> i64 {
+                    String::from_utf8(txn.get(&t, &a.to_be_bytes()).unwrap().unwrap().to_vec())
+                        .unwrap().parse().unwrap()
+                };
+                let from_balance = get(&mut txn, from);
+                let to_balance = get(&mut txn, to);
+                txn.put(&t, &from.to_be_bytes(), (from_balance - amount).to_string().as_bytes()).unwrap();
+                txn.put(&t, &to.to_be_bytes(), (to_balance + amount).to_string().as_bytes()).unwrap();
+                txn.commit().unwrap();
+            }
+        }
+
+        let segments = wal_segments(&dir);
+        prop_assert_eq!(segments.len(), 1);
+        let full = std::fs::read(&segments[0]).unwrap();
+        let cut = (full.len() as u64 * cut_permille / 1000) as usize;
+        std::fs::write(&segments[0], &full[..cut]).unwrap();
+
+        let db = open(&dir, Durability::GroupCommit);
+        let state = dump(&db).remove("accounts").unwrap_or_default();
+        // The setup transaction is atomic: either nothing or all accounts
+        // exist, and then every later prefix preserves the total.
+        if state.is_empty() {
+            prop_assert_eq!(db.recovery_info().unwrap().txns_replayed, 0);
+        } else {
+            prop_assert_eq!(state.len() as u64, ACCOUNTS);
+            let total: i64 = state.values()
+                .map(|v| String::from_utf8(v.clone()).unwrap().parse::<i64>().unwrap())
+                .sum();
+            prop_assert_eq!(total, ACCOUNTS as i64 * INITIAL,
+                "crash cut broke the transfer invariant");
+        }
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
