@@ -145,7 +145,7 @@ pub fn run_commit_workload(
             let db = db.clone();
             while !stop.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(5));
-                db.purge_old_versions();
+                db.purge();
             }
         });
         std::thread::sleep(shape.warmup);
@@ -192,7 +192,7 @@ pub fn run_commit_section_bench(db: &Database, threads: usize, duration: Duratio
                     let _ = txn.commit();
                     local += 1;
                     if local.is_multiple_of(4096) {
-                        db.purge_old_versions();
+                        db.purge();
                     }
                 }
                 sections.fetch_add(local, Ordering::Relaxed);

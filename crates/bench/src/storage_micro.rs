@@ -49,7 +49,7 @@ impl StorageUnderTest for Table {
     }
 
     fn purge(&self, horizon: u64) {
-        self.purge_versions(horizon);
+        self.purge_old_versions(horizon);
     }
 }
 

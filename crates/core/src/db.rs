@@ -2,16 +2,17 @@
 //! write-ahead log, wired together by [`Options`].
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ssi_common::{Error, IsolationLevel, Result, TableId};
+use ssi_common::{Error, IsolationLevel, Result, TableId, Timestamp};
 use ssi_lock::LockManager;
-use ssi_storage::{Catalog, PageMap, Table, WriteAheadLog};
+use ssi_storage::{Catalog, PageMap, PurgeStats, Table, WriteAheadLog};
 use ssi_wal::{CheckpointStats, Checkpointer, Recovered, SyncPolicy, WalStats, WalWriter};
 
-use crate::manager::TransactionManager;
+use crate::manager::{GcPin, TransactionManager};
 use crate::options::{Durability, LockGranularity, Options};
 use crate::txn::Transaction;
 use crate::verify::HistoryRecorder;
@@ -36,6 +37,12 @@ impl TableRef {
     /// Number of distinct keys currently stored (including tombstoned ones).
     pub fn key_count(&self) -> usize {
         self.table.key_count()
+    }
+
+    /// Total number of row versions stored across all chains (stats; the
+    /// figure version GC shrinks).
+    pub fn version_count(&self) -> usize {
+        self.table.version_count()
     }
 }
 
@@ -82,6 +89,13 @@ pub(crate) struct DbInner {
     pub(crate) pages: Option<PageMap>,
     pub(crate) history: Option<HistoryRecorder>,
     pub(crate) durable: Option<DurableState>,
+    /// Write commits since the last automatic purge (see
+    /// [`crate::Options::purge_every_commits`]).
+    commits_since_purge: AtomicU64,
+    /// Single-flight gate for automatic purges: the committer that wins the
+    /// `try_lock` runs the purge, everyone else skips instead of queueing
+    /// behind a GC pass already in progress.
+    purge_lock: Mutex<()>,
 }
 
 impl DbInner {
@@ -105,6 +119,16 @@ impl DbInner {
         durable: &DurableState,
         _serialize: parking_lot::MutexGuard<'_, ()>,
     ) -> Result<CheckpointStats> {
+        // Pin the reclamation horizon for the whole run, *before* the cut
+        // is read: the fuzzy snapshot streams every table at the cut
+        // timestamp while commits — and purges — continue, so versions
+        // visible at the cut must stay reachable until the snapshot has
+        // renamed into place. The pin is at the current clock, which is
+        // `<=` the cut (the cut is read later from the same monotone
+        // clock) and `>=` every purge horizon already computed, so neither
+        // a future nor an in-flight purge can steal a version the snapshot
+        // still has to stream. Dropped (unpinning) when this returns.
+        let _pin = self.txns.pin_gc_horizon();
         // Exclude in-flight creates for the whole run: a create that has
         // appended its record to the current segment but not yet published
         // its table in the catalog would otherwise be cut off — the
@@ -144,6 +168,43 @@ impl DbInner {
                 if let Err(e) = self.checkpoint_locked(durable, guard) {
                     *durable.auto_checkpoint_error.lock() = Some(e.to_string());
                 }
+            }
+        }
+    }
+
+    /// Runs one version-GC pass over every table at the pinned safe horizon
+    /// ([`TransactionManager::gc_horizon`]) and records the result in
+    /// [`crate::manager::ManagerStats`].
+    pub(crate) fn purge(&self) -> PurgeStats {
+        let horizon = self.txns.gc_horizon();
+        let stats = self.catalog.purge_old_versions(horizon);
+        let counters = self.txns.stats();
+        counters.purge_runs.fetch_add(1, Ordering::Relaxed);
+        counters
+            .purged_versions
+            .fetch_add(stats.versions, Ordering::Relaxed);
+        counters
+            .purged_chains
+            .fetch_add(stats.chains, Ordering::Relaxed);
+        stats
+    }
+
+    /// Automatic purge trigger, called after write commits on the same
+    /// steady-state path as suspended-cleanup: once
+    /// [`crate::Options::purge_every_commits`] write commits have
+    /// accumulated, the committer that wins the `try_lock` runs one purge
+    /// pass; everyone else keeps committing. The counter resets when a
+    /// purge actually starts, so a skipped trigger (pass already running)
+    /// retries on the next commit instead of waiting a whole period.
+    pub(crate) fn maybe_auto_purge(&self) {
+        let Some(every) = self.options.purge_every_commits else {
+            return;
+        };
+        let n = self.commits_since_purge.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= every.get() {
+            if let Some(_guard) = self.purge_lock.try_lock() {
+                self.commits_since_purge.store(0, Ordering::Relaxed);
+                self.purge();
             }
         }
     }
@@ -262,6 +323,8 @@ impl Database {
             history,
             durable,
             options,
+            commits_since_purge: AtomicU64::new(0),
+            purge_lock: Mutex::new(()),
         };
         Ok(Database {
             inner: Arc::new(inner),
@@ -404,19 +467,34 @@ impl Database {
         self.inner.history.as_ref()
     }
 
-    /// Garbage-collects row versions that are no longer visible to any
-    /// active transaction. Returns the number of versions reclaimed.
-    pub fn purge_old_versions(&self) -> usize {
-        let horizon = match self.inner.txns.oldest_active_begin() {
-            u64::MAX => self.inner.txns.current_ts(),
-            ts => ts,
-        };
-        self.inner
-            .catalog
-            .tables()
-            .iter()
-            .map(|t| t.purge_versions(horizon))
-            .sum()
+    /// Garbage-collects row versions no snapshot can see anymore: one GC
+    /// pass over every table at the pinned safe horizon (the clamped
+    /// begin-watermark, capped by the oldest live pin — see
+    /// [`TransactionManager::gc_horizon`]). Safe to call concurrently with
+    /// readers, writers and checkpoints; also runs automatically when
+    /// [`crate::Options::purge_every_commits`] is set. Returns what was
+    /// reclaimed.
+    pub fn purge(&self) -> PurgeStats {
+        self.inner.purge()
+    }
+
+    /// Pins the version-GC horizon at the current published clock for the
+    /// lifetime of the returned guard: no purge (manual or automatic)
+    /// reclaims a version that a snapshot at or after the pinned timestamp
+    /// can read. Intended for long out-of-band scans over versions an
+    /// ordinary transaction snapshot would protect anyway — checkpoints
+    /// take the same pin internally around their fuzzy table snapshot.
+    pub fn pin_purge_horizon(&self) -> GcPin<'_> {
+        self.inner.txns.pin_gc_horizon()
+    }
+
+    /// Test/bench escape hatch: purges at an explicit horizon, bypassing
+    /// the safe-horizon computation and the pins. Reclaims versions that
+    /// live snapshots may still need if misused — the TOCTOU regression
+    /// test uses it to demonstrate exactly that failure.
+    #[doc(hidden)]
+    pub fn purge_at(&self, horizon: Timestamp) -> PurgeStats {
+        self.inner.catalog.purge_old_versions(horizon)
     }
 }
 
@@ -463,6 +541,56 @@ mod tests {
         let db = Database::open_default();
         let q = db.begin_read_only();
         assert_eq!(q.isolation(), IsolationLevel::SerializableSnapshotIsolation);
+    }
+
+    #[test]
+    fn auto_purge_runs_on_commit_cadence_and_reports_stats() {
+        let db = Database::open(Options::default().with_auto_purge(8));
+        let t = db.create_table("t").unwrap();
+        for i in 0..64u64 {
+            let mut txn = db.begin();
+            txn.put(&t, b"hot", &i.to_be_bytes()).unwrap();
+            txn.commit().unwrap();
+        }
+        let stats = db.transaction_manager().stats();
+        assert!(
+            stats.purge_runs.load(Ordering::Relaxed) >= 1,
+            "commit cadence must have triggered purges"
+        );
+        assert!(stats.purged_versions.load(Ordering::Relaxed) > 0);
+        assert!(
+            t.version_count() < 64,
+            "hot-key chain must have been trimmed, got {}",
+            t.version_count()
+        );
+    }
+
+    #[test]
+    fn purge_respects_a_held_pin() {
+        let db = Database::open_default();
+        let t = db.create_table("t").unwrap();
+        let mut txn = db.begin();
+        txn.put(&t, b"k", b"v0").unwrap();
+        txn.commit().unwrap();
+
+        let pin = db.pin_purge_horizon();
+        for i in 0..10u64 {
+            let mut txn = db.begin();
+            txn.put(&t, b"k", &i.to_be_bytes()).unwrap();
+            txn.commit().unwrap();
+        }
+        // Everything committed after the pin — and the version visible *at*
+        // the pin — must survive a purge while the pin is held.
+        let stats = db.purge();
+        assert!(stats.horizon <= pin.ts(), "horizon passed the pin");
+        assert_eq!(stats.versions, 0);
+        assert_eq!(t.version_count(), 11);
+
+        drop(pin);
+        let stats = db.purge();
+        assert!(stats.horizon > 0);
+        assert_eq!(stats.versions, 10, "unpinned purge trims to the newest");
+        assert_eq!(t.version_count(), 1);
     }
 
     #[test]

@@ -74,13 +74,15 @@ mod access;
 mod engine_tests;
 
 pub use db::{Database, TableRef};
+pub use manager::{GcPin, ManagerStats, TransactionManager};
 pub use options::{
     Durability, DurabilityOptions, LockGranularity, Options, SsiOptions, SsiVariant, VictimPolicy,
 };
 pub use ssi::CallerRole;
 pub use txn::Transaction;
 pub use txn_shared::{TxnShared, TxnStatus};
-pub use verify::{CommittedTxn, HistoryRecorder, MvsgReport};
+pub use verify::{CommittedTxn, HistoryRecorder, LostRead, MvsgReport};
 
 pub use ssi_common::{AbortKind, Error, IsolationLevel, Result, TxnId};
+pub use ssi_storage::PurgeStats;
 pub use ssi_wal::{CheckpointStats, Recovered, WalStats};

@@ -87,6 +87,44 @@
 //!   O(suspended × registry). Reclaimed SIREAD locks are dropped with one
 //!   batched lock-manager call per transaction (one shard-lock acquisition
 //!   per lock-table shard touched, not one per key).
+//!
+//! # Reclamation: the pinned GC horizon
+//!
+//! Version garbage collection ([`ssi_storage::Table::purge_old_versions`])
+//! may only drop a version once no snapshot can ever need it again. The
+//! horizon it runs at comes from [`TransactionManager::gc_horizon`], which
+//! is built from two pieces:
+//!
+//! * **the clamped begin-watermark** — the raw shard-by-shard sweep of
+//!   [`TransactionManager::oldest_active_begin`] has a TOCTOU: a transaction
+//!   registering in an already-swept shard can be missed while the sweep
+//!   returns a later shard's minimum (or `MAX`), so purging at the raw
+//!   result can reclaim a version a just-started snapshot still needs. The
+//!   fix is the same clamp `cleanup_suspended` uses: read the snapshot
+//!   clock *before* the sweep and take the minimum. Every transaction that
+//!   held a snapshot before that read is visited by the sweep; every
+//!   transaction that acquires one later gets `begin >= clock_before` (the
+//!   clock is monotone) — so `min(sweep, clock_before)` is `<=` every
+//!   active *and every future* begin timestamp, forever. The clamped value
+//!   is cached as the monotone `begin_watermark` (generation-gated, shared
+//!   with suspended-cleanup), so the steady-state horizon costs one atomic
+//!   load, not 64 shard locks;
+//!
+//! * **horizon pins** ([`GcHorizon`], [`GcPin`]) — consumers of old
+//!   versions that are *not* transactions register a floor the horizon may
+//!   not pass. A checkpoint pins the horizon at the published clock before
+//!   rotating the log and streaming its fuzzy table snapshot (a concurrent
+//!   purge past the cut would otherwise steal versions the snapshot still
+//!   has to stream); long scans and recovery can pin the same way. A pin
+//!   taken at the current clock is also safe against purges already in
+//!   flight: any horizon computed earlier was `<=` the clock at that
+//!   moment, hence `<=` the pin — so the pin never needs to chase a racing
+//!   purge, it only has to exist before the clock-ordered work it protects.
+//!
+//! The resulting horizon is monotone (the base watermark only grows, and
+//! pins are created at the current clock, which is `>=` every horizon
+//! handed out so far) and never exceeds the oldest live pin — the two
+//! invariants the GC stress net's proptest checks.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -102,7 +140,16 @@ use crate::txn_shared::TxnShared;
 
 /// Number of registry shards. Power of two; ids are assigned sequentially
 /// so `id % shards` spreads consecutive transactions across all shards.
-const REGISTRY_SHARDS: usize = 64;
+/// Public so tests that choreograph sweep/begin interleavings can compute a
+/// transaction's shard.
+pub const REGISTRY_SHARDS: usize = 64;
+
+/// Test-only instrumentation callback: invoked with the shard index after
+/// each registry shard is visited by the `oldest_active_begin` sweep (no
+/// shard lock held), so tests can deterministically interleave a begin with
+/// a mid-flight sweep. See
+/// [`TransactionManager::set_sweep_pause_hook`].
+pub type SweepPauseHook = Arc<dyn Fn(usize) + Send + Sync>;
 
 /// Spins of the publication wait loop before parking, on multi-core
 /// machines: the predecessor is typically mid-stamping on another core and
@@ -137,6 +184,69 @@ struct RegistryShard {
     active_begins: BTreeSet<(Timestamp, TxnId)>,
 }
 
+/// The pinned version-reclamation horizon (see the module docs, §
+/// Reclamation). Owns the multiset of active pins; the monotone base
+/// watermark lives on the [`TransactionManager`] (it is shared with
+/// suspended-cleanup).
+pub struct GcHorizon {
+    /// Active pins: pinned timestamp → number of live [`GcPin`] guards at
+    /// it. `first_key_value` is the binding floor.
+    pins: Mutex<BTreeMap<Timestamp, u64>>,
+    /// Highest horizon ever returned by
+    /// [`TransactionManager::gc_horizon`], for observability (the stress
+    /// net's monotonicity proptest reads the returned values directly; this
+    /// is for stats).
+    published: AtomicU64,
+}
+
+impl GcHorizon {
+    fn new() -> Self {
+        GcHorizon {
+            pins: Mutex::new(BTreeMap::new()),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// The oldest pinned timestamp, if any pin is live.
+    fn oldest_pin(&self) -> Option<Timestamp> {
+        self.pins.lock().first_key_value().map(|(&ts, _)| ts)
+    }
+}
+
+/// An RAII horizon pin: while this guard lives, no purge computes a horizon
+/// above [`GcPin::ts`], so every version some snapshot at or after `ts` can
+/// read stays reachable. Created by
+/// [`TransactionManager::pin_gc_horizon`]; dropping it unpins.
+pub struct GcPin<'a> {
+    horizon: &'a GcHorizon,
+    ts: Timestamp,
+}
+
+impl GcPin<'_> {
+    /// The pinned timestamp.
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+}
+
+impl Drop for GcPin<'_> {
+    fn drop(&mut self) {
+        let mut pins = self.horizon.pins.lock();
+        match pins.get_mut(&self.ts) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                pins.remove(&self.ts);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for GcPin<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GcPin").field("ts", &self.ts).finish()
+    }
+}
+
 /// Counters describing transaction-manager activity, exposed for tests and
 /// the experiment harness.
 #[derive(Default, Debug)]
@@ -158,6 +268,12 @@ pub struct ManagerStats {
     /// `oldest_active_begin` watermark (cleanup cost signal: without the
     /// cache this would equal the number of cleanup calls).
     pub watermark_sweeps: AtomicU64,
+    /// Version-GC passes run (`Database::purge`, manual or automatic).
+    pub purge_runs: AtomicU64,
+    /// Row versions reclaimed by version GC.
+    pub purged_versions: AtomicU64,
+    /// Whole key chains removed by version GC (dead tombstoned keys).
+    pub purged_chains: AtomicU64,
 }
 
 /// The transaction manager.
@@ -215,6 +331,14 @@ pub struct TransactionManager {
     /// Bumped whenever a snapshot-holding transaction leaves the active
     /// set (commit or abort).
     finish_gen: AtomicU64,
+    /// The pinned reclamation horizon (see the module docs, § Reclamation).
+    gc: GcHorizon,
+    /// Test-only sweep instrumentation; `None` (and one relaxed atomic
+    /// check) in normal operation. Sweeps are off the hot path — they run
+    /// only when a snapshot holder finished since the last one — so the
+    /// check costs nothing that matters.
+    sweep_pause_hook: Mutex<Option<SweepPauseHook>>,
+    sweep_hook_set: std::sync::atomic::AtomicBool,
     /// Activity counters.
     stats: ManagerStats,
 }
@@ -240,6 +364,9 @@ impl TransactionManager {
             begin_watermark: AtomicU64::new(0),
             watermark_gen: AtomicU64::new(u64::MAX),
             finish_gen: AtomicU64::new(0),
+            gc: GcHorizon::new(),
+            sweep_pause_hook: Mutex::new(None),
+            sweep_hook_set: std::sync::atomic::AtomicBool::new(false),
             stats: ManagerStats::default(),
         }
     }
@@ -415,12 +542,133 @@ impl TransactionManager {
     /// `Timestamp::MAX` if none is active (used to decide which suspended
     /// transactions can be reclaimed). One ordered-index lookup per shard:
     /// O(shards), independent of how many transactions are live.
+    ///
+    /// **The raw sweep result must never be used as a reclamation horizon
+    /// on its own**: the shards are visited one at a time, so a transaction
+    /// acquiring its snapshot in an already-visited shard is missed while a
+    /// later shard's minimum (or `MAX`) is returned. Clamp with the
+    /// pre-sweep clock — [`TransactionManager::gc_horizon`] does — before
+    /// reclaiming anything at the result.
     pub fn oldest_active_begin(&self) -> Timestamp {
-        self.registry
-            .iter()
-            .filter_map(|shard| shard.lock().active_begins.first().map(|(ts, _)| *ts))
-            .min()
-            .unwrap_or(Timestamp::MAX)
+        let mut min_ts = Timestamp::MAX;
+        for (i, shard) in self.registry.iter().enumerate() {
+            if let Some(&(ts, _)) = shard.lock().active_begins.first() {
+                min_ts = min_ts.min(ts);
+            }
+            if self.sweep_hook_set.load(Ordering::Relaxed) {
+                let hook = self.sweep_pause_hook.lock().clone();
+                if let Some(hook) = hook {
+                    hook(i);
+                }
+            }
+        }
+        min_ts
+    }
+
+    /// Installs (or clears) the test-only sweep instrumentation hook: it is
+    /// called with the shard index after each registry shard is visited by
+    /// the [`TransactionManager::oldest_active_begin`] sweep, with no shard
+    /// lock held. Tests use it to pause a sweep mid-flight and interleave a
+    /// snapshot acquisition — the TOCTOU the clamped horizon exists to
+    /// survive. Not for production use.
+    #[doc(hidden)]
+    pub fn set_sweep_pause_hook(&self, hook: Option<SweepPauseHook>) {
+        self.sweep_hook_set.store(hook.is_some(), Ordering::Relaxed);
+        *self.sweep_pause_hook.lock() = hook;
+    }
+
+    /// Refreshes (or reuses) the cached begin-watermark: a monotone lower
+    /// bound on every active — and every future — begin timestamp. The
+    /// O(shards) sweep runs only when a snapshot-holding transaction
+    /// finished since the last sweep; otherwise a sweep provably returns
+    /// the same value and the cached bound is reused. See the field docs of
+    /// `begin_watermark` for why every computed bound stays valid forever.
+    fn refresh_begin_watermark(&self) -> Timestamp {
+        let gen = self.finish_gen.load(Ordering::Acquire);
+        if self.watermark_gen.load(Ordering::Acquire) == gen {
+            // The watermark is loaded *after* the generation check: a
+            // racing sweep publishes its fetch_max before its generation
+            // store, so a matching generation (acquire) guarantees this
+            // load sees that sweep's value. Loading before the check could
+            // pair a fresh generation with a stale watermark and hand out
+            // a lower horizon than one already returned elsewhere.
+            return self.begin_watermark.load(Ordering::Acquire);
+        }
+        // Clock read *before* the sweep. Every transaction that held a
+        // snapshot before this read is visited by the sweep (it is already
+        // in its shard's index); every transaction that acquires one after
+        // this read gets `begin >= clock_before` (the clock is monotone).
+        // So `min(sweep, clock_before)` is `<=` every active begin —
+        // including begins the sweep raced past — and, begins being issued
+        // from the monotone clock, it stays a valid lower bound forever.
+        // (The raw sweep alone has a TOCTOU: a transaction registering in
+        // an already-swept shard can be missed while a later-shard minimum
+        // — or MAX — is returned.)
+        let clock_before = self.current_ts();
+        self.stats.watermark_sweeps.fetch_add(1, Ordering::Relaxed);
+        let swept = self.oldest_active_begin().min(clock_before);
+        // fetch_max, not store: two racing sweeps may finish in either
+        // order, and a plain store could pair an older (lower) horizon with
+        // the newest generation — wedging the fast path until some future
+        // finish bumps the generation. Every computed bound stays valid
+        // forever, so keeping the maximum is always safe.
+        let previous = self.begin_watermark.fetch_max(swept, Ordering::AcqRel);
+        self.watermark_gen.store(gen, Ordering::Release);
+        swept.max(previous)
+    }
+
+    /// The safe version-reclamation horizon: the clamped begin-watermark,
+    /// capped by the oldest live [`GcPin`]. Purging at this value never
+    /// reclaims a version that any active snapshot, any snapshot acquired
+    /// later, or any pinned consumer (a checkpoint streaming its fuzzy
+    /// snapshot, a long scan) can still need. The returned value is
+    /// monotone across calls (see the module docs, § Reclamation).
+    pub fn gc_horizon(&self) -> Timestamp {
+        let base = self.refresh_begin_watermark();
+        let horizon = match self.gc.oldest_pin() {
+            Some(pin) => base.min(pin),
+            None => base,
+        };
+        self.gc.published.fetch_max(horizon, Ordering::AcqRel);
+        horizon
+    }
+
+    /// Pins the reclamation horizon at the current published clock and
+    /// returns the RAII guard; while the guard lives,
+    /// [`TransactionManager::gc_horizon`] never exceeds the pinned
+    /// timestamp. Pinning at the *current* clock is also safe against
+    /// purges already in flight: any horizon computed before this call was
+    /// `<=` the clock at its computation, hence `<=` this pin — so versions
+    /// visible at or after the pin cannot have been scheduled for
+    /// reclamation by an earlier read of the horizon either.
+    pub fn pin_gc_horizon(&self) -> GcPin<'_> {
+        let mut pins = self.gc.pins.lock();
+        // The clock is read *under* the pins mutex. A concurrent
+        // `gc_horizon` either runs its pin check after this insert (and
+        // sees the pin), or completed the check before this lock was
+        // acquired — in which case its pre-sweep clock was read even
+        // earlier, so the horizon it returns is `<=` this pin's timestamp.
+        // Reading the clock before taking the lock would open a window
+        // where a purge computes a horizon *above* the pin about to be
+        // inserted (clock advances between the read and the insert),
+        // breaking both the pin contract and horizon monotonicity.
+        let ts = self.current_ts();
+        *pins.entry(ts).or_insert(0) += 1;
+        GcPin {
+            horizon: &self.gc,
+            ts,
+        }
+    }
+
+    /// The oldest live pinned timestamp, if any (tests and stats).
+    pub fn oldest_gc_pin(&self) -> Option<Timestamp> {
+        self.gc.oldest_pin()
+    }
+
+    /// Highest reclamation horizon handed out so far (stats; `0` before the
+    /// first purge).
+    pub fn last_gc_horizon(&self) -> Timestamp {
+        self.gc.published.load(Ordering::Acquire)
     }
 
     /// Number of entries in the registry (active + suspended), for tests.
@@ -526,36 +774,12 @@ impl TransactionManager {
             match suspended.first_key_value() {
                 None => return 0,
                 Some((&(first_commit, _), _)) if first_commit > horizon => {
-                    let gen = self.finish_gen.load(Ordering::Acquire);
-                    if self.watermark_gen.load(Ordering::Acquire) == gen {
-                        return 0;
-                    }
                     drop(suspended);
-                    // Clock read *before* the sweep. Every transaction that
-                    // held a snapshot before this read is visited by the
-                    // sweep (it is already in its shard's index); every
-                    // transaction that acquires one after this read gets
-                    // `begin >= clock_before` (the clock is monotone). So
-                    // `min(sweep, clock_before)` is `<=` every active begin
-                    // — including begins the sweep raced past — and, begins
-                    // being issued from the monotone clock, it stays a
-                    // valid lower bound forever. (The raw sweep alone has a
-                    // TOCTOU: a transaction registering in an already-swept
-                    // shard can be missed while a later-shard minimum — or
-                    // MAX — is returned.)
-                    let clock_before = self.current_ts();
-                    self.stats.watermark_sweeps.fetch_add(1, Ordering::Relaxed);
-                    let swept = self.oldest_active_begin().min(clock_before);
-                    // fetch_max, not store: two racing sweeps may finish in
-                    // either order, and a plain store could pair an older
-                    // (lower) horizon with the newest generation — wedging
-                    // the fast path below until some future finish bumps
-                    // the generation. Every computed bound stays valid
-                    // forever (begins are issued from the monotone clock),
-                    // so keeping the maximum is always safe.
-                    let previous = self.begin_watermark.fetch_max(swept, Ordering::AcqRel);
-                    horizon = swept.max(previous);
-                    self.watermark_gen.store(gen, Ordering::Release);
+                    // The refresh reuses the cached bound (one generation
+                    // check) unless a snapshot-holding transaction finished
+                    // since the last sweep; see `refresh_begin_watermark`
+                    // for the TOCTOU clamp that makes the sweep safe.
+                    horizon = self.refresh_begin_watermark();
                 }
                 Some(_) => {}
             }
@@ -876,6 +1100,102 @@ mod tests {
         a.mark_aborted();
         m.finish_abort(&a);
         assert_eq!(m.cleanup_suspended(&locks), 1);
+    }
+
+    #[test]
+    fn gc_horizon_tracks_oldest_active_begin() {
+        let m = mgr();
+        // Nothing active: the horizon is the (pre-sweep) clock.
+        assert_eq!(m.gc_horizon(), m.current_ts());
+        tick(&m);
+        let a = m.begin(IsolationLevel::SnapshotIsolation);
+        m.ensure_snapshot(&a);
+        tick(&m);
+        // The horizon never passes the oldest active begin. (It may lag
+        // below it: the sweep reruns only once a snapshot holder finishes.)
+        assert!(m.gc_horizon() <= a.begin_ts().unwrap());
+        a.mark_committed(tick(&m));
+        m.finish_commit(&a, Vec::new(), false);
+        assert_eq!(m.gc_horizon(), m.current_ts());
+    }
+
+    #[test]
+    fn gc_horizon_is_monotone_across_begin_and_finish() {
+        let m = mgr();
+        let mut last = 0;
+        for i in 0..20u64 {
+            let t = m.begin(IsolationLevel::SnapshotIsolation);
+            m.ensure_snapshot(&t);
+            if i % 2 == 0 {
+                tick(&m);
+            }
+            let h = m.gc_horizon();
+            assert!(h >= last, "horizon went backwards: {h} < {last}");
+            last = h;
+            t.mark_aborted();
+            m.finish_abort(&t);
+            let h = m.gc_horizon();
+            assert!(h >= last, "horizon went backwards: {h} < {last}");
+            last = h;
+        }
+        assert_eq!(m.last_gc_horizon(), last);
+    }
+
+    #[test]
+    fn gc_pins_floor_the_horizon_until_dropped() {
+        let m = mgr();
+        let pin = m.pin_gc_horizon();
+        let pinned_at = pin.ts();
+        assert_eq!(m.oldest_gc_pin(), Some(pinned_at));
+        // The clock marches on; the horizon must not pass the pin.
+        for _ in 0..5 {
+            tick(&m);
+        }
+        assert!(m.current_ts() > pinned_at);
+        assert_eq!(m.gc_horizon(), pinned_at);
+        // A second, younger pin does not loosen the floor.
+        let pin2 = m.pin_gc_horizon();
+        assert_eq!(m.gc_horizon(), pinned_at);
+        drop(pin);
+        // The younger pin now binds.
+        assert_eq!(m.oldest_gc_pin(), Some(pin2.ts()));
+        assert_eq!(m.gc_horizon(), pin2.ts());
+        drop(pin2);
+        assert_eq!(m.oldest_gc_pin(), None);
+        assert_eq!(m.gc_horizon(), m.current_ts());
+    }
+
+    #[test]
+    fn duplicate_pins_at_one_timestamp_are_counted() {
+        let m = mgr();
+        let a = m.pin_gc_horizon();
+        let b = m.pin_gc_horizon(); // same clock, same timestamp
+        assert_eq!(a.ts(), b.ts());
+        tick(&m);
+        drop(a);
+        assert_eq!(
+            m.oldest_gc_pin(),
+            Some(b.ts()),
+            "one guard down, the other must still pin"
+        );
+        assert_eq!(m.gc_horizon(), b.ts());
+        drop(b);
+        assert_eq!(m.oldest_gc_pin(), None);
+    }
+
+    #[test]
+    fn sweep_pause_hook_fires_per_shard_and_clears() {
+        let m = mgr();
+        let visits = Arc::new(AtomicU64::new(0));
+        let v = visits.clone();
+        m.set_sweep_pause_hook(Some(Arc::new(move |_i| {
+            v.fetch_add(1, Ordering::Relaxed);
+        })));
+        m.oldest_active_begin();
+        assert_eq!(visits.load(Ordering::Relaxed), REGISTRY_SHARDS as u64);
+        m.set_sweep_pause_hook(None);
+        m.oldest_active_begin();
+        assert_eq!(visits.load(Ordering::Relaxed), REGISTRY_SHARDS as u64);
     }
 
     #[test]

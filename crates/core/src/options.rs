@@ -7,6 +7,7 @@
 //! (Sec. 3.7.2), commit-time log flushing (Sec. 6.1), and the mixed mode that
 //! runs read-only transactions at plain SI (Sec. 3.8).
 
+use std::num::NonZeroU64;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -160,6 +161,14 @@ pub struct Options {
     /// serialization graph can be checked after a run (used by tests; adds
     /// overhead, off by default).
     pub record_history: bool,
+    /// Run one version-GC pass automatically after every this many write
+    /// commits (single-flight: the committer that trips the threshold runs
+    /// it, concurrent committers never queue behind it). The pass purges at
+    /// the pinned safe horizon, so it can never reclaim a version a live —
+    /// or concurrently starting — snapshot still needs. `None` (the
+    /// default) leaves reclamation to explicit
+    /// [`crate::Database::purge`] calls.
+    pub purge_every_commits: Option<NonZeroU64>,
     /// Lock manager configuration.
     pub lock: LockConfig,
 }
@@ -175,6 +184,7 @@ impl Default for Options {
             detect_phantoms: true,
             read_only_queries_at_si: false,
             record_history: false,
+            purge_every_commits: None,
             lock: LockConfig::default(),
         }
     }
@@ -235,6 +245,15 @@ impl Options {
         self.durability.dir = Some(dir.into());
         self
     }
+
+    /// Enables automatic version GC every `every_commits` write commits
+    /// (see [`Options::purge_every_commits`]). Panics if `every_commits`
+    /// is zero.
+    pub fn with_auto_purge(mut self, every_commits: u64) -> Self {
+        self.purge_every_commits =
+            Some(NonZeroU64::new(every_commits).expect("purge_every_commits must be non-zero"));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +295,19 @@ mod tests {
             o.durability.dir.as_deref(),
             Some(std::path::Path::new("/tmp/x"))
         );
+    }
+
+    #[test]
+    fn auto_purge_defaults_off_and_builder_sets_cadence() {
+        assert!(Options::default().purge_every_commits.is_none());
+        let o = Options::default().with_auto_purge(64);
+        assert_eq!(o.purge_every_commits.map(|n| n.get()), Some(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn auto_purge_rejects_zero_cadence() {
+        let _ = Options::default().with_auto_purge(0);
     }
 
     #[test]

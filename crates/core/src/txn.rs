@@ -277,6 +277,7 @@ impl Transaction {
                     .map(|w| WriteRecordEntry {
                         table: w.table.id(),
                         key: w.key.clone(),
+                        tombstone: w.version.is_tombstone(),
                     })
                     .collect(),
             });
@@ -315,6 +316,11 @@ impl Transaction {
         self.writes.clear();
         self.state = LocalState::Committed;
         if has_writes {
+            // Background maintenance piggybacked on write commits, after the
+            // commit is fully visible: version GC on its commit cadence and
+            // checkpoints on log growth. Both are single-flight try-locks —
+            // a committer either runs one pass or skips, never queues.
+            self.db.maybe_auto_purge();
             self.db.maybe_auto_checkpoint();
         }
         match durability_error {

@@ -41,6 +41,11 @@ pub struct WriteRecordEntry {
     pub table: TableId,
     /// Item key.
     pub key: Vec<u8>,
+    /// True if the version was a deletion tombstone. Lets the verifier
+    /// decide whether a later read of *absence* is consistent (the newest
+    /// version at the reader's snapshot was a tombstone) or a lost read
+    /// (it was a live value the reader should have seen).
+    pub tombstone: bool,
 }
 
 /// Read/write footprint of one committed transaction.
@@ -118,6 +123,23 @@ pub struct Edge {
     pub kind: EdgeKind,
 }
 
+/// A read that observed *absence* although the newest version committed at
+/// or before the reader's snapshot was a live value — the reader should
+/// have seen it. In a correct engine this cannot happen (version GC never
+/// reclaims the newest version at or below any snapshot); it is the
+/// signature of a purged-too-early chain or a broken visibility check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LostRead {
+    /// The reader.
+    pub reader: TxnId,
+    /// Table of the item.
+    pub table: TableId,
+    /// Item key.
+    pub key: Vec<u8>,
+    /// Commit timestamp of the live version the reader failed to observe.
+    pub missed_ts: Timestamp,
+}
+
 /// Result of analysing a recorded history.
 #[derive(Clone, Debug)]
 pub struct MvsgReport {
@@ -128,12 +150,16 @@ pub struct MvsgReport {
     /// Pivots of dangerous structures: transactions with an incoming and an
     /// outgoing rw-antidependency from/to concurrent transactions.
     pub pivots: Vec<TxnId>,
+    /// Reads of absence that should have observed a live value (see
+    /// [`LostRead`]).
+    pub lost_reads: Vec<LostRead>,
 }
 
 impl MvsgReport {
-    /// True if the history is conflict-serializable (no cycle).
+    /// True if the history is conflict-serializable: the MVSG is acyclic
+    /// and no read lost a value it was entitled to see.
     pub fn is_serializable(&self) -> bool {
-        self.cycle.is_none()
+        self.cycle.is_none() && self.lost_reads.is_empty()
     }
 
     /// Builds the MVSG for a set of committed transactions and analyses it.
@@ -141,16 +167,22 @@ impl MvsgReport {
         let by_id: HashMap<TxnId, &CommittedTxn> = history.iter().map(|t| (t.id, t)).collect();
 
         // Index versions per item: (table, key) -> sorted list of
-        // (commit_ts, writer).
-        type VersionIndex<'a> = HashMap<(TableId, &'a [u8]), Vec<(Timestamp, TxnId)>>;
+        // (commit_ts, writer, tombstone).
+        type VersionIndex<'a> = HashMap<(TableId, &'a [u8]), Vec<(Timestamp, TxnId, bool)>>;
         let mut versions: VersionIndex = HashMap::new();
         for txn in history {
             for w in &txn.writes {
                 let entry = versions.entry((w.table, w.key.as_slice())).or_default();
                 // A transaction overwriting the same key several times only
-                // produces one externally visible version.
-                if !entry.contains(&(txn.commit_ts, txn.id)) {
-                    entry.push((txn.commit_ts, txn.id));
+                // produces one externally visible version — the last write
+                // (the write set is recorded in install order) decides
+                // whether it is a tombstone.
+                match entry
+                    .iter_mut()
+                    .find(|(ts, id, _)| (*ts, *id) == (txn.commit_ts, txn.id))
+                {
+                    Some(existing) => existing.2 = w.tombstone,
+                    None => entry.push((txn.commit_ts, txn.id, w.tombstone)),
                 }
             }
         }
@@ -159,6 +191,7 @@ impl MvsgReport {
         }
 
         let mut edges: HashSet<Edge> = HashSet::new();
+        let mut lost_reads: Vec<LostRead> = Vec::new();
 
         // ww edges: consecutive writers in version order.
         for list in versions.values() {
@@ -177,10 +210,50 @@ impl MvsgReport {
         for txn in history {
             for r in &txn.reads {
                 let item_versions = versions.get(&(r.table, r.key.as_slice()));
+                // The version this read observed. A read of *absence*
+                // (`version_ts: None`) is pinned to the newest version
+                // committed at or before the reader's snapshot, if any:
+                // under snapshot reads, absence means exactly that this
+                // version was a deletion tombstone. Usually the engine
+                // records the tombstone's timestamp itself; `None` with an
+                // earlier writer present happens when version GC removed
+                // the dead tombstone chain before the read. Treating such a
+                // read as "initial state" (the old behaviour) would add rw
+                // edges from the reader *backwards* to every long-committed
+                // writer of the key and manufacture cycles in histories
+                // that are perfectly serializable. With no writer at or
+                // before the snapshot the read really did see the initial
+                // state (0). And if that newest version was a *live* value,
+                // the read is flagged as lost — a correct engine can never
+                // return absence over a visible live version, so pinning
+                // silently would launder exactly the purged-too-early bugs
+                // this verifier exists to catch.
+                let read_ts = r.version_ts.unwrap_or_else(|| {
+                    let newest_at_snapshot = item_versions
+                        .into_iter()
+                        .flatten()
+                        .filter(|&&(ts, _, _)| ts <= txn.begin_ts)
+                        .max_by_key(|&&(ts, _, _)| ts);
+                    match newest_at_snapshot {
+                        None => 0,
+                        Some(&(ts, _, tombstone)) => {
+                            if !tombstone {
+                                lost_reads.push(LostRead {
+                                    reader: txn.id,
+                                    table: r.table,
+                                    key: r.key.clone(),
+                                    missed_ts: ts,
+                                });
+                            }
+                            ts
+                        }
+                    }
+                });
                 // wr: the creator of the version read precedes the reader.
-                if let Some(read_ts) = r.version_ts {
+                if read_ts != 0 {
                     if let Some(list) = item_versions {
-                        if let Some((_, writer)) = list.iter().find(|(ts, _)| *ts == read_ts) {
+                        if let Some((_, writer, _)) = list.iter().find(|(ts, _, _)| *ts == read_ts)
+                        {
                             if *writer != txn.id {
                                 edges.insert(Edge {
                                     from: *writer,
@@ -193,8 +266,7 @@ impl MvsgReport {
                 }
                 // rw: the reader precedes the writer of any later version.
                 if let Some(list) = item_versions {
-                    let read_ts = r.version_ts.unwrap_or(0);
-                    for (ts, writer) in list {
+                    for (ts, writer, _) in list {
                         if *ts > read_ts && *writer != txn.id {
                             edges.insert(Edge {
                                 from: txn.id,
@@ -214,6 +286,7 @@ impl MvsgReport {
             edges: edge_vec,
             cycle,
             pivots,
+            lost_reads,
         }
     }
 }
@@ -328,9 +401,18 @@ mod tests {
                 .map(|k| WriteRecordEntry {
                     table: TableId(1),
                     key: k.to_vec(),
+                    tombstone: false,
                 })
                 .collect(),
         }
+    }
+
+    /// Marks every write of `txn` as a deletion tombstone.
+    fn as_delete(mut txn: CommittedTxn) -> CommittedTxn {
+        for w in &mut txn.writes {
+            w.tombstone = true;
+        }
+        txn
     }
 
     #[test]
@@ -397,6 +479,88 @@ mod tests {
     }
 
     #[test]
+    fn read_of_absence_after_purged_tombstone_orders_after_the_deleter() {
+        // T1 writes k at 10, T2 deletes k at 20 (version GC later removed
+        // the dead tombstone chain), T3 with snapshot 25 reads k as absent —
+        // recorded as `version_ts: None` because no version is left to
+        // observe. T3 must order AFTER the deleter (wr), with no rw edge
+        // back to T1 or T2: the old initial-state treatment produced
+        // exactly those backward edges and false cycles under GC churn.
+        let history = vec![
+            txn(1, 1, 10, vec![], vec![b"k"]),
+            as_delete(txn(2, 11, 20, vec![], vec![b"k"])),
+            txn(3, 25, 30, vec![(b"k", None)], vec![]),
+        ];
+        let report = MvsgReport::build(&history);
+        assert!(report.is_serializable());
+        assert!(report.edges.contains(&Edge {
+            from: TxnId(2),
+            to: TxnId(3),
+            kind: EdgeKind::Wr
+        }));
+        assert!(
+            report
+                .edges
+                .iter()
+                .all(|e| !(e.from == TxnId(3) && e.kind == EdgeKind::Rw)),
+            "a read of post-delete absence must not antidepend on earlier writers"
+        );
+        // But an insert the reader's snapshot could not see still gets the
+        // forward rw edge.
+        let history = vec![
+            as_delete(txn(2, 11, 20, vec![], vec![b"k"])),
+            txn(3, 25, 30, vec![(b"k", None)], vec![]),
+            txn(4, 26, 40, vec![], vec![b"k"]),
+        ];
+        let report = MvsgReport::build(&history);
+        assert!(report.edges.contains(&Edge {
+            from: TxnId(3),
+            to: TxnId(4),
+            kind: EdgeKind::Rw
+        }));
+    }
+
+    #[test]
+    fn read_of_absence_over_a_live_version_is_a_lost_read() {
+        // T1 commits a live value of k at 10; T3 with snapshot 25 reads k
+        // as absent. No correct engine can produce this (the newest version
+        // at the snapshot is live and must be visible) — it is the
+        // signature of a purged-too-early chain, and the verifier must fail
+        // the history rather than pin the absence and launder the bug.
+        let history = vec![
+            txn(1, 1, 10, vec![], vec![b"k"]),
+            txn(3, 25, 30, vec![(b"k", None)], vec![]),
+        ];
+        let report = MvsgReport::build(&history);
+        assert_eq!(
+            report.lost_reads,
+            vec![LostRead {
+                reader: TxnId(3),
+                table: TableId(1),
+                key: b"k".to_vec(),
+                missed_ts: 10,
+            }]
+        );
+        assert!(
+            !report.is_serializable(),
+            "a lost read must fail the oracle"
+        );
+
+        // A put-then-delete inside one transaction counts as a delete (the
+        // last write decides): absence over it is consistent.
+        let mut deleter = txn(2, 11, 20, vec![], vec![b"k", b"k"]);
+        deleter.writes[1].tombstone = true;
+        let history = vec![
+            txn(1, 1, 10, vec![], vec![b"k"]),
+            deleter,
+            txn(3, 25, 30, vec![(b"k", None)], vec![]),
+        ];
+        let report = MvsgReport::build(&history);
+        assert!(report.lost_reads.is_empty());
+        assert!(report.is_serializable());
+    }
+
+    #[test]
     fn ww_edges_follow_version_order() {
         let history = vec![
             txn(1, 1, 10, vec![], vec![b"x"]),
@@ -425,6 +589,7 @@ mod tests {
         t1.writes.push(WriteRecordEntry {
             table: TableId(1),
             key: b"x".to_vec(),
+            tombstone: false,
         });
         let history = vec![t1, txn(2, 11, 20, vec![], vec![b"x"])];
         let report = MvsgReport::build(&history);

@@ -6,9 +6,9 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use ssi_common::{Error, Result, TableId};
+use ssi_common::{Error, Result, TableId, Timestamp};
 
-use crate::table::Table;
+use crate::table::{PurgeStats, Table};
 
 /// Set of tables addressable by name or by [`TableId`].
 #[derive(Default)]
@@ -98,6 +98,17 @@ impl Catalog {
         self.by_id.read().values().cloned().collect()
     }
 
+    /// Garbage-collects every table at the given reclamation horizon (see
+    /// [`Table::purge_old_versions`] for the safety contract the horizon
+    /// must satisfy) and returns the combined result.
+    pub fn purge_old_versions(&self, horizon: Timestamp) -> PurgeStats {
+        let mut stats = PurgeStats::at(horizon);
+        for table in self.tables() {
+            stats.merge(&table.purge_old_versions(horizon));
+        }
+        stats
+    }
+
     /// Number of tables.
     pub fn len(&self) -> usize {
         self.by_name.read().len()
@@ -167,6 +178,23 @@ mod tests {
         let t = cat.create_table("x").unwrap();
         assert_eq!(t.id(), peeked);
         assert_ne!(cat.next_table_id(), peeked);
+    }
+
+    #[test]
+    fn purge_aggregates_across_tables() {
+        use ssi_common::TxnId;
+        let cat = Catalog::new();
+        for name in ["a", "b"] {
+            let t = cat.create_table(name).unwrap();
+            let v1 = t.install_version(b"k", TxnId(1), Some(vec![1]));
+            v1.mark_committed(10);
+            let v2 = t.install_version(b"k", TxnId(2), Some(vec![2]));
+            v2.mark_committed(20);
+        }
+        let stats = cat.purge_old_versions(25);
+        assert_eq!(stats.horizon, 25);
+        assert_eq!(stats.versions, 2, "one stale version per table");
+        assert_eq!(stats.chains, 0);
     }
 
     #[test]

@@ -28,7 +28,8 @@ pub mod wal;
 pub use catalog::Catalog;
 pub use page::PageMap;
 pub use table::{
-    as_ref_bound, clone_bound, ScanCursor, ScanEntry, ScanPage, Table, VisibleRead, SCAN_PAGE_SIZE,
+    as_ref_bound, clone_bound, PurgeStats, ScanCursor, ScanEntry, ScanPage, Table, VisibleRead,
+    SCAN_PAGE_SIZE,
 };
 pub use version::{Version, VersionState};
 pub use wal::{WalConfig, WriteAheadLog};

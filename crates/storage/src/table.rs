@@ -139,6 +139,40 @@ pub struct ScanEntry {
     pub read_own_write: bool,
 }
 
+/// What one garbage-collection pass reclaimed (see
+/// [`Table::purge_old_versions`]). Aggregates with [`PurgeStats::merge`], so
+/// a catalog-wide purge reports one combined figure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PurgeStats {
+    /// Horizon the purge ran at: every version kept is reachable from some
+    /// snapshot at or above this timestamp.
+    pub horizon: Timestamp,
+    /// Versions reclaimed (unreachable committed versions plus aborted
+    /// leftovers).
+    pub versions: u64,
+    /// Whole key chains removed (keys whose only reachable version was a
+    /// committed tombstone at or below the horizon).
+    pub chains: u64,
+}
+
+impl PurgeStats {
+    /// An empty result at `horizon`.
+    pub fn at(horizon: Timestamp) -> Self {
+        PurgeStats {
+            horizon,
+            ..PurgeStats::default()
+        }
+    }
+
+    /// Folds another purge result in (sums counters, keeps the highest
+    /// horizon).
+    pub fn merge(&mut self, other: &PurgeStats) {
+        self.horizon = self.horizon.max(other.horizon);
+        self.versions += other.versions;
+        self.chains += other.chains;
+    }
+}
+
 /// One page of a paged range scan (see [`Table::scan_page`]).
 #[derive(Debug)]
 pub struct ScanPage {
@@ -597,12 +631,18 @@ impl Table {
     }
 
     /// Garbage-collects versions that can no longer be seen by any snapshot
-    /// at or after `oldest_active_snapshot`: for each key the newest version
-    /// committed at or before the horizon is kept, everything older is
-    /// dropped, and fully dead keys (only an old tombstone left) are removed.
-    /// Returns the number of versions reclaimed.
-    pub fn purge_versions(&self, oldest_active_snapshot: Timestamp) -> usize {
-        let mut reclaimed = 0;
+    /// at or after `horizon`: for each key the newest version committed at
+    /// or before the horizon is kept, everything older is dropped, and fully
+    /// dead keys (only an old tombstone left) are removed.
+    ///
+    /// The horizon must be a *safe* reclamation horizon — at or below every
+    /// active snapshot, every snapshot that can still be acquired, and every
+    /// pinned timestamp (a checkpoint streaming a fuzzy snapshot, a long
+    /// scan). Computing such a horizon is `ssi-core`'s job
+    /// (`TransactionManager::gc_horizon`); this method trusts its argument.
+    /// Returns what was reclaimed.
+    pub fn purge_old_versions(&self, horizon: Timestamp) -> PurgeStats {
+        let mut stats = PurgeStats::at(horizon);
         for shard in self.shards.iter() {
             let mut dead_keys: Vec<Arc<[u8]>> = Vec::new();
             {
@@ -615,7 +655,7 @@ impl Table {
                     let mut keep_upto = None;
                     for (i, v) in versions.iter().enumerate() {
                         match v.state() {
-                            VersionState::Committed(ts) if ts <= oldest_active_snapshot => {
+                            VersionState::Committed(ts) if ts <= horizon => {
                                 keep_upto = Some(i);
                                 break;
                             }
@@ -623,14 +663,14 @@ impl Table {
                         }
                     }
                     if let Some(idx) = keep_upto {
-                        reclaimed += versions.len() - (idx + 1);
+                        stats.versions += (versions.len() - (idx + 1)) as u64;
                         versions.truncate(idx + 1);
                         // If the only remaining reachable version is a
                         // tombstone and nothing newer exists, the key is
                         // gone for good.
                         if versions.len() == 1 && versions[0].is_tombstone() {
                             if let VersionState::Committed(ts) = versions[0].state() {
-                                if ts <= oldest_active_snapshot {
+                                if ts <= horizon {
                                     dead_keys.push(key.clone());
                                 }
                             }
@@ -639,14 +679,17 @@ impl Table {
                     // Also drop aborted leftovers.
                     let before = versions.len();
                     versions.retain(|v| v.state() != VersionState::Aborted);
-                    reclaimed += before - versions.len();
+                    stats.versions += (before - versions.len()) as u64;
                 }
             }
             for key in dead_keys {
-                reclaimed += self.remove_dead_key(&key, oldest_active_snapshot);
+                if self.remove_dead_key(&key, horizon) > 0 {
+                    stats.versions += 1;
+                    stats.chains += 1;
+                }
             }
         }
-        reclaimed
+        stats
     }
 
     /// Removes a key whose chain consists solely of one committed tombstone
@@ -883,11 +926,56 @@ mod tests {
 
         // Oldest active snapshot is 25: version 1 is unreachable, the "b"
         // tombstone is dead.
-        let reclaimed = tbl.purge_versions(25);
-        assert!(reclaimed >= 2, "reclaimed {reclaimed}");
+        let stats = tbl.purge_old_versions(25);
+        assert!(stats.versions >= 2, "reclaimed {stats:?}");
+        assert_eq!(stats.chains, 1, "the dead tombstone chain is removed");
+        assert_eq!(stats.horizon, 25);
         assert_eq!(val(&tbl.read(b"a", t(9), 25)), Some(vec![2]));
         assert_eq!(val(&tbl.read(b"a", t(9), 35)), Some(vec![3]));
         assert_eq!(tbl.key_count(), 1);
+    }
+
+    #[test]
+    fn purge_never_reclaims_versions_at_or_above_the_horizon() {
+        // Versions visible to any snapshot >= horizon must survive: the
+        // newest version committed at or below the horizon is the one every
+        // such snapshot reads for this key.
+        let tbl = table();
+        for (creator, ts) in [(1u64, 10u64), (2, 20), (3, 30)] {
+            let v = tbl.install_version(b"a", t(creator), Some(vec![creator as u8]));
+            v.mark_committed(ts);
+        }
+        let stats = tbl.purge_old_versions(15);
+        assert_eq!(
+            stats.versions, 0,
+            "the ts-10 version is what a snapshot at 15 reads: nothing is reclaimable"
+        );
+        assert_eq!(val(&tbl.read(b"a", t(9), 15)), Some(vec![1]));
+        assert_eq!(val(&tbl.read(b"a", t(9), 25)), Some(vec![2]));
+        assert_eq!(val(&tbl.read(b"a", t(9), 35)), Some(vec![3]));
+    }
+
+    #[test]
+    fn purge_stats_merge_sums_and_keeps_highest_horizon() {
+        let mut a = PurgeStats {
+            horizon: 10,
+            versions: 3,
+            chains: 1,
+        };
+        a.merge(&PurgeStats {
+            horizon: 7,
+            versions: 2,
+            chains: 0,
+        });
+        assert_eq!(
+            a,
+            PurgeStats {
+                horizon: 10,
+                versions: 5,
+                chains: 1
+            }
+        );
+        assert_eq!(PurgeStats::at(4).horizon, 4);
     }
 
     #[test]

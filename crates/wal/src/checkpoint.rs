@@ -19,6 +19,24 @@
 //! everything at or below the checkpoint horizon). Each row carries the
 //! commit timestamp of the version it was read from, so recovery rebuilds
 //! version chains with their original timestamps and is idempotent.
+//!
+//! # Scheduling against version GC
+//!
+//! The fuzzy snapshot streams every table at the cut timestamp `C` *while
+//! commits continue*, one ordered-index page at a time. A concurrent
+//! version purge at a horizon `H > C` could reclaim, for a not-yet-streamed
+//! key, the version visible at `C` (the newest one committed `<= C`) —
+//! the row would silently vanish from the snapshot while the pre-cut log
+//! segments that could replay it are about to be pruned. The caller must
+//! therefore hold the reclamation horizon at or below `C` for the whole
+//! run: the database pins the GC horizon (`TransactionManager::
+//! pin_gc_horizon` in `ssi-core`) at the published clock *before* rotating
+//! the log — the cut is read later from the same monotone clock, so
+//! `pin <= C` — and drops the pin after [`Checkpointer::run`] returns.
+//! Purges at any horizon `H <= C` are harmless at every interleaving: they
+//! only drop versions older than the one a snapshot at `C` reads
+//! (`snapshot_survives_purge_at_or_below_the_cut` below demonstrates both
+//! directions).
 
 use std::io::Write;
 use std::ops::Bound;
@@ -280,6 +298,40 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0], (b"alice".to_vec(), 5, b"alice".to_vec()));
         assert_eq!(rows[1], (b"bob".to_vec(), 7, b"bob".to_vec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_survives_purge_at_or_below_the_cut() {
+        // The scheduling constraint from the module docs, both directions:
+        // purging at a horizon <= the cut before/while snapshotting loses
+        // nothing, while a purge *past* the cut steals the version the
+        // snapshot needs — which is why checkpoints pin the GC horizon.
+        let dir = temp_dir("snap-purge");
+        let catalog = Catalog::new();
+        let t = catalog.create_table("accounts").unwrap();
+        let v1 = t.install_version(b"k", TxnId(1), Some(b"old".to_vec()));
+        v1.mark_committed(5);
+        let v2 = t.install_version(b"k", TxnId(2), Some(b"new".to_vec()));
+        v2.mark_committed(12);
+
+        // Cut at 8: the snapshot must contain the ts-5 version. A purge at
+        // the cut itself (the tightest pinned horizon) keeps it.
+        catalog.purge_old_versions(8);
+        let stats = Checkpointer::new(&dir).write_snapshot(&catalog, 8).unwrap();
+        assert_eq!(stats.rows, 1);
+        let (_, tables) = load_snapshot(&snapshot_path(&dir, 8)).unwrap();
+        assert_eq!(tables[0].rows, vec![(b"k".to_vec(), 5, b"old".to_vec())]);
+
+        // An unpinned purge past the cut (horizon 12) reclaims the ts-5
+        // version; a snapshot at 8 taken now has lost the row. This is the
+        // failure mode the pin exists to prevent.
+        catalog.purge_old_versions(12);
+        let stats = Checkpointer::new(&dir).write_snapshot(&catalog, 8).unwrap();
+        assert_eq!(
+            stats.rows, 0,
+            "purge past the cut must lose the row — the pin prevents this"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -324,6 +324,176 @@ fn commits_after_torn_tail_reopen_survive_next_recovery() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Copies a durable directory's files into a fresh directory, so one run's
+/// log can be crash-cut several ways without re-running the workload.
+fn copy_dir(src: &Path, tag: &str) -> PathBuf {
+    let dst = temp_dir(tag);
+    std::fs::create_dir_all(&dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_file() {
+            std::fs::copy(&path, dst.join(path.file_name().unwrap())).unwrap();
+        }
+    }
+    dst
+}
+
+/// Sums the recovered account balances; `None` when the table is absent or
+/// empty (recovery landed before the setup transaction).
+fn account_sum(db: &Database) -> Option<(u64, i64)> {
+    let state = dump(db).remove("accounts")?;
+    if state.is_empty() {
+        return None;
+    }
+    let sum = state
+        .values()
+        .map(|v| {
+            String::from_utf8(v.clone())
+                .unwrap()
+                .parse::<i64>()
+                .unwrap()
+        })
+        .sum();
+    Some((state.len() as u64, sum))
+}
+
+#[test]
+fn checkpoint_racing_purge_recovers_transfer_invariant_at_any_cut() {
+    // The reclamation/checkpoint scheduling test: transfer writers, a
+    // checkpoint looper and a version-GC hammer all run concurrently (plus
+    // the automatic commit-cadence purge), so fuzzy table snapshots stream
+    // *while* purges fire. The horizon pin must keep every version a
+    // snapshot still needs; a purge past the cut would write a snapshot
+    // with rows missing, and recovery from it — at any crash cut of the
+    // tail segment — would break the constant-sum invariant or lose
+    // accounts entirely.
+    const ACCOUNTS: u64 = 8;
+    const INITIAL: i64 = 1000;
+    let dir = temp_dir("ckpt-vs-purge");
+    {
+        let options = Options::default()
+            .with_durability(Durability::GroupCommit, &dir)
+            .with_auto_purge(4);
+        let db = Database::open(options);
+        let t = db.create_table("accounts").unwrap();
+        let mut setup = db.begin();
+        for a in 0..ACCOUNTS {
+            setup
+                .put(&t, &a.to_be_bytes(), INITIAL.to_string().as_bytes())
+                .unwrap();
+        }
+        setup.commit().unwrap();
+
+        let stop = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            {
+                let db = db.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        db.checkpoint().expect("checkpoint failed mid-race");
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                });
+            }
+            {
+                let db = db.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        db.purge();
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            let mut writers = Vec::new();
+            for w in 0..4u64 {
+                let db = db.clone();
+                let t = t.clone();
+                writers.push(s.spawn(move || {
+                    for i in 0..60u64 {
+                        let h = (w * 1_000_003 + i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        let from = h % ACCOUNTS;
+                        let to = (from + 1 + (h >> 8) % (ACCOUNTS - 1)) % ACCOUNTS;
+                        let amount = ((h >> 16) % 50) as i64;
+                        let mut txn = db.begin();
+                        let transfer = (|| -> serializable_si::Result<()> {
+                            let get = |txn: &mut serializable_si::Transaction,
+                                       a: u64|
+                             -> serializable_si::Result<i64> {
+                                Ok(String::from_utf8(
+                                    txn.get(&t, &a.to_be_bytes())?.unwrap().to_vec(),
+                                )
+                                .unwrap()
+                                .parse()
+                                .unwrap())
+                            };
+                            let from_balance = get(&mut txn, from)?;
+                            let to_balance = get(&mut txn, to)?;
+                            txn.put(
+                                &t,
+                                &from.to_be_bytes(),
+                                (from_balance - amount).to_string().as_bytes(),
+                            )?;
+                            txn.put(
+                                &t,
+                                &to.to_be_bytes(),
+                                (to_balance + amount).to_string().as_bytes(),
+                            )?;
+                            txn.commit()
+                        })();
+                        match transfer {
+                            Ok(()) => {}
+                            Err(e) if e.is_retryable() => {} // aborted: sum unchanged
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }));
+            }
+            for w in writers {
+                w.join().unwrap();
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+
+        // The race must actually have happened: purges ran (cadence +
+        // hammer) while checkpoints cut and pruned the log.
+        let stats = db.transaction_manager().stats();
+        assert!(stats.purge_runs.load(Ordering::Relaxed) > 0);
+        assert!(
+            db.transaction_manager().oldest_gc_pin().is_none(),
+            "every checkpoint must release its horizon pin"
+        );
+    }
+
+    // Crash-cut the tail segment at several fractions — each on a copy of
+    // the directory, so one workload run covers all cuts — and recover.
+    for cut_permille in [0u64, 250, 500, 750, 1000] {
+        let case = copy_dir(&dir, &format!("ckpt-vs-purge-cut{cut_permille}"));
+        let segments = wal_segments(&case);
+        if let Some(last) = segments.last() {
+            let full = std::fs::read(last).unwrap();
+            let cut = (full.len() as u64 * cut_permille / 1000) as usize;
+            std::fs::write(last, &full[..cut]).unwrap();
+        }
+        let db = open(&case, Durability::GroupCommit);
+        let (accounts, sum) = account_sum(&db)
+            .expect("a checkpoint snapshot always covers at least the setup transaction");
+        assert_eq!(
+            accounts, ACCOUNTS,
+            "recovery lost accounts (cut {cut_permille}‰)"
+        );
+        assert_eq!(
+            sum,
+            ACCOUNTS as i64 * INITIAL,
+            "checkpoint-vs-purge race broke the transfer invariant (cut {cut_permille}‰)"
+        );
+        drop(db);
+        let _ = std::fs::remove_dir_all(&case);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Applies transaction `i` of the deterministic history to `model`.
 fn model_apply(model: &mut BTreeMap<Vec<u8>, Vec<u8>>, i: u64) {
     // Mixed puts/overwrites/deletes over a small key space, derived from a
@@ -468,6 +638,86 @@ proptest! {
             prop_assert_eq!(total, ACCOUNTS as i64 * INITIAL,
                 "crash cut broke the transfer invariant");
         }
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Transfers with checkpoints and automatic version GC interleaved
+    /// deterministically, crash-cut at an arbitrary byte of the tail
+    /// segment: recovery must land on a per-transaction prefix (the
+    /// constant-sum invariant holds), must never replay onto a
+    /// purged-too-early chain (the snapshot would be missing rows and the
+    /// sum would drift), and a second recovery must agree with the first.
+    fn checkpointed_and_purged_history_survives_crash_cut(
+        (transfers, ckpt_every, cut_permille, seed) in (4u64..20, 2u64..6, 0u64..=1000, 0u64..500)
+    ) {
+        const ACCOUNTS: u64 = 8;
+        const INITIAL: i64 = 100;
+        let dir = temp_dir("ckpt-purge-cut");
+        {
+            let options = Options::default()
+                .with_durability(Durability::GroupCommit, &dir)
+                .with_auto_purge(3);
+            let db = Database::open(options);
+            let t = db.create_table("accounts").unwrap();
+            let mut setup = db.begin();
+            for a in 0..ACCOUNTS {
+                setup.put(&t, &a.to_be_bytes(), INITIAL.to_string().as_bytes()).unwrap();
+            }
+            setup.commit().unwrap();
+            let h = |x: u64| {
+                let mut z = x.wrapping_add(seed).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 29)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z ^ (z >> 32)
+            };
+            for i in 0..transfers {
+                if i % ckpt_every == 0 {
+                    db.checkpoint().unwrap();
+                }
+                let from = h(i * 2) % ACCOUNTS;
+                let to = (from + 1 + h(i * 2 + 1) % (ACCOUNTS - 1)) % ACCOUNTS;
+                let amount = (h(i * 3) % 40) as i64;
+                let mut txn = db.begin();
+                let get = |txn: &mut serializable_si::Transaction, a: u64| -> i64 {
+                    String::from_utf8(txn.get(&t, &a.to_be_bytes()).unwrap().unwrap().to_vec())
+                        .unwrap().parse().unwrap()
+                };
+                let from_balance = get(&mut txn, from);
+                let to_balance = get(&mut txn, to);
+                txn.put(&t, &from.to_be_bytes(), (from_balance - amount).to_string().as_bytes()).unwrap();
+                txn.put(&t, &to.to_be_bytes(), (to_balance + amount).to_string().as_bytes()).unwrap();
+                txn.commit().unwrap();
+            }
+            prop_assert!(
+                db.transaction_manager().stats().purge_runs.load(Ordering::Relaxed) > 0,
+                "the commit cadence must have purged during the history"
+            );
+        }
+
+        // Crash: cut the tail segment at an arbitrary byte. Pre-cut
+        // segments and the newest snapshot stay intact, as after a real
+        // crash (they were fsynced by the checkpoints).
+        let segments = wal_segments(&dir);
+        if let Some(last) = segments.last() {
+            let full = std::fs::read(last).unwrap();
+            let cut = (full.len() as u64 * cut_permille / 1000) as usize;
+            std::fs::write(last, &full[..cut]).unwrap();
+        }
+
+        let db = open(&dir, Durability::GroupCommit);
+        let first = account_sum(&db);
+        let replayed = db.recovery_info().unwrap().txns_replayed;
+        let (accounts, sum) = first.expect("the first checkpoint covers the setup transaction");
+        prop_assert_eq!(accounts, ACCOUNTS);
+        prop_assert_eq!(sum, ACCOUNTS as i64 * INITIAL,
+            "crash cut with checkpoints + purge broke the transfer invariant");
+        drop(db);
+
+        // Idempotence: recovering the already-truncated directory again
+        // agrees exactly.
+        let db = open(&dir, Durability::GroupCommit);
+        prop_assert_eq!(db.recovery_info().unwrap().txns_replayed, replayed);
+        prop_assert_eq!(account_sum(&db), Some((ACCOUNTS, ACCOUNTS as i64 * INITIAL)));
         drop(db);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,193 @@
+//! Deterministic regression net for the pinned GC horizon.
+//!
+//! The headline test reproduces the `oldest_active_begin` TOCTOU that made
+//! the pre-PR purge horizon unsafe: the registry sweep visits its 64 shards
+//! one at a time, so a transaction acquiring its snapshot in an
+//! already-swept shard is missed while the sweep returns `MAX` (or a later
+//! shard's minimum). The old purge fell back to the *post-sweep* clock in
+//! that case, so a commit landing between the snapshot acquisition and the
+//! fallback read pushed the horizon past the missed snapshot — and the
+//! purge reclaimed the exact version that snapshot still had to read.
+//!
+//! The choreography is made deterministic with the manager's test-only
+//! sweep-pause hook: the sweep is frozen right after it passes the
+//! reader's shard, the reader then acquires its snapshot, a writer commits
+//! a newer version, and only then is the sweep released. Run against the
+//! old horizon computation the reader's version is gone; run against the
+//! clamped [`GcHorizon`] it survives.
+//!
+//! [`GcHorizon`]: serializable_si::core::manager::GcHorizon
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use serializable_si::core::manager::REGISTRY_SHARDS;
+use serializable_si::{Database, IsolationLevel, Options};
+
+/// What one run of the race choreography observed.
+struct RaceOutcome {
+    /// The reader's snapshot timestamp (acquired mid-sweep).
+    snapshot_ts: u64,
+    /// The horizon the purge ran at.
+    purge_horizon: u64,
+    /// What the reader saw for the hot key *after* the purge, under the
+    /// same snapshot.
+    read_after_purge: Option<Vec<u8>>,
+}
+
+/// Drives the sweep/begin TOCTOU deterministically. With `clamped` the
+/// purge uses the new safe horizon (`Database::purge`); without it the
+/// purge replicates the pre-PR computation (raw sweep, post-sweep clock
+/// fallback) via the `purge_at` escape hatch.
+fn race_sweep_against_snapshot_acquisition(clamped: bool) -> RaceOutcome {
+    // Plain SI everywhere: SI transactions never suspend, so
+    // suspended-cleanup never sweeps and the only registry sweep in the
+    // whole run is the one the purge performs — the one we choreograph.
+    let db = Database::open(Options::default().with_isolation(IsolationLevel::SnapshotIsolation));
+    let table = db.create_table("t").unwrap();
+    let mut setup = db.begin();
+    setup.put(&table, b"k", b"v1").unwrap();
+    setup.commit().unwrap();
+
+    // Register the reader but do NOT acquire its snapshot yet (snapshot
+    // assignment is deferred to the first operation).
+    let mut reader = db.begin();
+    let reader_shard = reader.id().0 as usize & (REGISTRY_SHARDS - 1);
+
+    // Freeze the sweep right after it visits the reader's shard.
+    let reached = Arc::new(Barrier::new(2));
+    let release = Arc::new(Barrier::new(2));
+    let fired = Arc::new(AtomicBool::new(false));
+    {
+        let (reached, release, fired) = (reached.clone(), release.clone(), fired.clone());
+        db.transaction_manager()
+            .set_sweep_pause_hook(Some(Arc::new(move |shard| {
+                if shard == reader_shard && !fired.swap(true, Ordering::SeqCst) {
+                    reached.wait();
+                    release.wait();
+                }
+            })));
+    }
+
+    let outcome = std::thread::scope(|s| {
+        let purger = {
+            let db = db.clone();
+            s.spawn(move || {
+                if clamped {
+                    db.purge().horizon
+                } else {
+                    // The pre-PR horizon: raw shard sweep, post-sweep clock
+                    // fallback when nothing (appears to be) active.
+                    let mgr = db.transaction_manager();
+                    let horizon = match mgr.oldest_active_begin() {
+                        u64::MAX => mgr.current_ts(),
+                        ts => ts,
+                    };
+                    db.purge_at(horizon);
+                    horizon
+                }
+            })
+        };
+
+        // The sweep has passed the reader's shard and is frozen.
+        reached.wait();
+
+        // Reader acquires its snapshot now — in a shard the sweep will not
+        // look at again — and proves v1 is visible to it.
+        let first = reader.get(&table, b"k").unwrap();
+        assert_eq!(first.as_deref(), Some(b"v1".as_slice()));
+        let snapshot_ts = reader.snapshot_ts().unwrap();
+
+        // A writer commits a newer version, pushing the clock past the
+        // reader's snapshot before the sweep resumes.
+        let mut writer = db.begin();
+        writer.put(&table, b"k", b"v2").unwrap();
+        writer.commit().unwrap();
+
+        release.wait();
+        let purge_horizon = purger.join().unwrap();
+
+        RaceOutcome {
+            snapshot_ts,
+            purge_horizon,
+            read_after_purge: reader.get(&table, b"k").unwrap().map(|v| v.to_vec()),
+        }
+    });
+    db.transaction_manager().set_sweep_pause_hook(None);
+    outcome
+}
+
+/// The raw computation loses the race: the sweep misses the reader, the
+/// clock fallback lands past its snapshot, and the purge reclaims the
+/// version the reader still needs. This is the pre-PR behaviour — the test
+/// documents that the unclamped horizon genuinely fails (if it ever starts
+/// "passing", the choreography no longer exercises the race).
+#[test]
+fn unclamped_horizon_loses_the_sweep_toctou_race() {
+    let outcome = race_sweep_against_snapshot_acquisition(false);
+    assert!(
+        outcome.purge_horizon > outcome.snapshot_ts,
+        "the racy horizon ({}) must land past the missed snapshot ({})",
+        outcome.purge_horizon,
+        outcome.snapshot_ts
+    );
+    assert_eq!(
+        outcome.read_after_purge, None,
+        "the purge at the racy horizon reclaims the version the reader's \
+         snapshot still needs (v2 is invisible to it, v1 is gone)"
+    );
+}
+
+/// The clamped [`GcHorizon`] wins the same race: the pre-sweep clock caps
+/// the horizon below every snapshot the sweep might have missed, so the
+/// reader's version survives.
+///
+/// [`GcHorizon`]: serializable_si::core::manager::GcHorizon
+#[test]
+fn clamped_gc_horizon_survives_the_sweep_toctou_race() {
+    let outcome = race_sweep_against_snapshot_acquisition(true);
+    assert!(
+        outcome.purge_horizon <= outcome.snapshot_ts,
+        "the clamped horizon ({}) must stay at or below the raced snapshot ({})",
+        outcome.purge_horizon,
+        outcome.snapshot_ts
+    );
+    assert_eq!(
+        outcome.read_after_purge.as_deref(),
+        Some(b"v1".as_slice()),
+        "the version visible to the raced snapshot must survive the purge"
+    );
+}
+
+/// Public-API pin flow a long out-of-band scan would use: while the pin is
+/// held nothing at or above it is reclaimed, and dropping the pin releases
+/// the horizon.
+#[test]
+fn long_scan_pin_protects_versions_until_dropped() {
+    let db = Database::open_default();
+    let table = db.create_table("t").unwrap();
+    let mut txn = db.begin();
+    txn.put(&table, b"k", b"base").unwrap();
+    txn.commit().unwrap();
+
+    let pin = db.pin_purge_horizon();
+    for i in 0..20u64 {
+        let mut txn = db.begin();
+        txn.put(&table, b"k", &i.to_be_bytes()).unwrap();
+        txn.commit().unwrap();
+    }
+    let stats = db.purge();
+    assert!(stats.horizon <= pin.ts());
+    assert_eq!(
+        table.version_count(),
+        21,
+        "a held pin keeps the whole chain reachable"
+    );
+    assert_eq!(db.transaction_manager().oldest_gc_pin(), Some(pin.ts()));
+
+    drop(pin);
+    assert_eq!(db.transaction_manager().oldest_gc_pin(), None);
+    let stats = db.purge();
+    assert_eq!(stats.versions, 20);
+    assert_eq!(table.version_count(), 1);
+}
