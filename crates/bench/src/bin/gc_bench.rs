@@ -8,12 +8,18 @@
 //!   window, so every read walks an ever-longer chain and memory grows
 //!   linearly with commits;
 //! * **auto_purge** — `Options::purge_every_commits` keeps GC running on
-//!   the commit cadence at the pinned safe horizon.
+//!   the commit cadence at the pinned safe horizon — inline, on whichever
+//!   committer trips the threshold;
+//! * **background_gc** — `Options::with_background_gc`: the maintenance
+//!   hub's dedicated thread purges incrementally per storage shard, so
+//!   committers do zero purge work (`purge_runs` fully attributed to
+//!   `background_purge_runs`).
 //!
-//! The headline numbers: reader throughput with background purge must stay
-//! within noise of (or beat) the no-purge baseline, while the final
-//! version count — the memory-growth proxy — stops tracking the commit
-//! count and stays near the live-key floor.
+//! The headline numbers: reader throughput with purge on must stay within
+//! noise of (or beat) the no-purge baseline, while the final version
+//! count — the memory-growth proxy — stops tracking the commit count and
+//! stays near the live-key floor; the background mode must hold the same
+//! bound with its purge passes attributed entirely to the GC thread.
 //!
 //! ```text
 //! cargo run --release -p ssi-bench --bin gc_bench [--smoke] [output.json]
@@ -32,6 +38,8 @@ const READER_THREADS: u64 = 4;
 struct Case {
     name: &'static str,
     purge_every: Option<u64>,
+    /// Background incremental-GC thread cadence (None: no thread).
+    gc_interval: Option<Duration>,
 }
 
 #[derive(Debug)]
@@ -42,6 +50,7 @@ struct CaseResult {
     elapsed_secs: f64,
     final_versions: usize,
     purge_runs: u64,
+    background_purge_runs: u64,
     purged_versions: u64,
 }
 
@@ -59,6 +68,9 @@ fn run_case(case: &Case, duration: Duration) -> CaseResult {
     let mut options = Options::default().with_isolation(IsolationLevel::SnapshotIsolation);
     if let Some(every) = case.purge_every {
         options = options.with_auto_purge(every);
+    }
+    if let Some(interval) = case.gc_interval {
+        options = options.with_background_gc(interval);
     }
     let db = Database::open(options);
     let table = db.create_table("hot").unwrap();
@@ -124,6 +136,7 @@ fn run_case(case: &Case, duration: Duration) -> CaseResult {
         elapsed_secs: elapsed.as_secs_f64(),
         final_versions: table.version_count(),
         purge_runs: stats.purge_runs.load(Ordering::Relaxed),
+        background_purge_runs: stats.background_purge_runs.load(Ordering::Relaxed),
         purged_versions: stats.purged_versions.load(Ordering::Relaxed),
     }
 }
@@ -147,10 +160,17 @@ fn main() {
         Case {
             name: "no_purge",
             purge_every: None,
+            gc_interval: None,
         },
         Case {
             name: "auto_purge",
             purge_every: Some(64),
+            gc_interval: None,
+        },
+        Case {
+            name: "background_gc",
+            purge_every: None,
+            gc_interval: Some(Duration::from_millis(2)),
         },
     ];
 
@@ -175,11 +195,18 @@ fn main() {
 
     let baseline = results.iter().find(|r| r.name == "no_purge").unwrap();
     let purged = results.iter().find(|r| r.name == "auto_purge").unwrap();
+    let background = results.iter().find(|r| r.name == "background_gc").unwrap();
     let read_ratio = purged.reads_per_sec() / baseline.reads_per_sec().max(1.0);
+    let bg_read_ratio = background.reads_per_sec() / baseline.reads_per_sec().max(1.0);
     println!(
-        "\nbackground purge: {read_ratio:.2}x reader throughput vs no-purge baseline; \
+        "\ninline purge: {read_ratio:.2}x reader throughput vs no-purge baseline; \
          final versions {} vs {} (live-key floor {HOT_KEYS})",
         purged.final_versions, baseline.final_versions
+    );
+    println!(
+        "background GC thread: {bg_read_ratio:.2}x reader throughput vs no-purge; final \
+         versions {}; {}/{} purge passes attributed to the GC thread (commit path: zero)",
+        background.final_versions, background.background_purge_runs, background.purge_runs
     );
 
     let mut json = String::new();
@@ -193,11 +220,13 @@ fn main() {
         "  \"comment\": \"Hot-key churn: 2 writer threads overwrite 16 keys (disjoint \
          slices, no aborts) while 4 reader threads point-read them at SI. 'no_purge' \
          lets version chains grow for the whole window; 'auto_purge' runs GC every 64 \
-         write commits at the pinned safe horizon. final_versions is the memory-growth \
+         write commits at the pinned safe horizon, inline on the tripping committer; \
+         'background_gc' runs the maintenance hub's thread purging incrementally per \
+         storage shard every 2ms (commit path does zero purge work; \
+         background_purge_runs == purge_runs). final_versions is the memory-growth \
          proxy: without purge it tracks the commit count, with purge it stays near the \
          16-key live floor. read_throughput_ratio is auto_purge/no_purge reads per \
-         second (>= ~1.0 expected: shorter chains make reads cheaper, purge work rides \
-         on writer commits).\",\n",
+         second; background_read_throughput_ratio is background_gc/no_purge.\",\n",
     );
     json.push_str("  \"cases\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -206,13 +235,15 @@ fn main() {
             "    {{\"name\": \"{}\", \"reader_threads\": {READER_THREADS}, \
              \"writer_threads\": {WRITER_THREADS}, \"hot_keys\": {HOT_KEYS}, \
              \"reads\": {}, \"reads_per_sec\": {:.0}, \"writes_committed\": {}, \
-             \"final_versions\": {}, \"purge_runs\": {}, \"purged_versions\": {}}}{}",
+             \"final_versions\": {}, \"purge_runs\": {}, \"background_purge_runs\": {}, \
+             \"purged_versions\": {}}}{}",
             r.name,
             r.reads,
             r.reads_per_sec(),
             r.writes_committed,
             r.final_versions,
             r.purge_runs,
+            r.background_purge_runs,
             r.purged_versions,
             if i + 1 == results.len() { "\n" } else { ",\n" },
         );
@@ -221,8 +252,10 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"read_throughput_ratio\": {read_ratio:.3},\n  \
-         \"final_versions_no_purge\": {},\n  \"final_versions_auto_purge\": {}\n}}",
-        baseline.final_versions, purged.final_versions
+         \"background_read_throughput_ratio\": {bg_read_ratio:.3},\n  \
+         \"final_versions_no_purge\": {},\n  \"final_versions_auto_purge\": {},\n  \
+         \"final_versions_background_gc\": {}\n}}",
+        baseline.final_versions, purged.final_versions, background.final_versions
     );
 
     std::fs::write(&out_path, &json).expect("write bench output");

@@ -11,10 +11,17 @@
 //! * **per_commit_fsync** — every commit issues its own fsync (the classic
 //!   naive durable commit; `fsync_every_commit` baseline);
 //! * **group_commit** — `Durability::GroupCommit`: committers share
-//!   flushes, so concurrent commits amortize the device wait.
+//!   flushes, so concurrent commits amortize the device wait — but the
+//!   batch is bounded by natural committer pile-up (whoever finds no flush
+//!   running syncs immediately);
+//! * **background_flusher** — `GroupCommit` plus the dedicated flusher
+//!   thread (`Options::with_background_flusher`): committers enqueue and
+//!   park, the flusher fsyncs when the batch ages out (`flush_max_delay`)
+//!   or fills up, so the batch size is set by the knob, not by pile-up.
 //!
-//! The headline number is the group-commit **amortization factor**: commit
-//! records per fsync at 8 threads, vs exactly 1.0 for per-commit fsync.
+//! The headline numbers are the **amortization factors**: commit records
+//! per fsync at 8 threads, vs exactly 1.0 for per-commit fsync — once for
+//! committer-elected group commit, once for the background flusher.
 //!
 //! ```text
 //! cargo run --release -p ssi-bench --bin wal_bench [--smoke] [output.json]
@@ -23,7 +30,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ssi_core::{Database, Durability, Options};
 
@@ -31,6 +38,8 @@ struct Case {
     name: &'static str,
     mode: Option<Durability>,
     fsync_every_commit: bool,
+    /// Dedicated flusher with this `flush_max_delay` (None: committer-elected).
+    flush_max_delay: Option<Duration>,
 }
 
 #[derive(Debug)]
@@ -65,6 +74,9 @@ fn run_case(case: &Case, threads: usize, txns_per_thread: u64) -> CaseResult {
     if let Some(mode) = case.mode {
         options = options.with_durability(mode, &dir);
         options.durability.fsync_every_commit = case.fsync_every_commit;
+        if let Some(delay) = case.flush_max_delay {
+            options = options.with_background_flusher(delay);
+        }
     }
     let db = Database::open(options);
     let table = db.create_table("bench").unwrap();
@@ -138,21 +150,31 @@ fn main() {
             name: "off",
             mode: None,
             fsync_every_commit: false,
+            flush_max_delay: None,
         },
         Case {
             name: "buffered",
             mode: Some(Durability::Buffered),
             fsync_every_commit: false,
+            flush_max_delay: None,
         },
         Case {
             name: "per_commit_fsync",
             mode: Some(Durability::GroupCommit),
             fsync_every_commit: true,
+            flush_max_delay: None,
         },
         Case {
             name: "group_commit",
             mode: Some(Durability::GroupCommit),
             fsync_every_commit: false,
+            flush_max_delay: None,
+        },
+        Case {
+            name: "background_flusher",
+            mode: Some(Durability::GroupCommit),
+            fsync_every_commit: false,
+            flush_max_delay: Some(Duration::from_millis(2)),
         },
     ];
 
@@ -178,13 +200,20 @@ fn main() {
     let find = |name: &str| results.iter().find(|r| r.name == name).unwrap();
     let per_commit = find("per_commit_fsync");
     let group = find("group_commit");
-    // Amortization: group commit's records-per-fsync over the per-commit
-    // baseline's (which is 1.0 by construction).
+    let background = find("background_flusher");
+    // Amortization: records-per-fsync over the per-commit baseline's
+    // (which is 1.0 by construction).
     let amortization = group.records_per_fsync() / per_commit.records_per_fsync().max(1.0);
     let speedup = group.committed_per_sec() / per_commit.committed_per_sec().max(1.0);
+    let bg_amortization = background.records_per_fsync() / per_commit.records_per_fsync().max(1.0);
+    let bg_vs_group = background.records_per_fsync() / group.records_per_fsync().max(1.0);
     println!(
         "\ngroup commit amortizes fsyncs {amortization:.1}x over per-commit fsync \
          ({speedup:.2}x committed throughput) at {threads} threads"
+    );
+    println!(
+        "background flusher amortizes fsyncs {bg_amortization:.1}x over per-commit fsync \
+         ({bg_vs_group:.2}x the committer-elected batch size) at {threads} threads"
     );
 
     let mut json = String::new();
@@ -199,8 +228,9 @@ fn main() {
          values. 'off' is the unchanged in-memory engine (durability code entirely off \
          the path: parity with the pre-durability numbers). 'per_commit_fsync' issues one \
          fsync per commit; 'group_commit' lets concurrent committers share flushes via \
-         the deposit-drain-ordered log, so records_per_fsync is the amortization \
-         factor.\",\n",
+         the deposit-drain-ordered log (batch bounded by committer pile-up); \
+         'background_flusher' adds the dedicated flusher thread with flush_max_delay=2ms \
+         (batch bounded by the knob). records_per_fsync is the amortization factor.\",\n",
     );
     json.push_str("  \"cases\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -224,7 +254,9 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"group_commit_fsync_amortization\": {amortization:.2},\n  \
-         \"group_commit_speedup_vs_per_commit\": {speedup:.3}\n}}"
+         \"group_commit_speedup_vs_per_commit\": {speedup:.3},\n  \
+         \"background_flusher_fsync_amortization\": {bg_amortization:.2},\n  \
+         \"background_flusher_batch_vs_group_commit\": {bg_vs_group:.3}\n}}"
     );
 
     std::fs::write(&out_path, &json).expect("write bench output");

@@ -12,6 +12,7 @@ use ssi_lock::LockManager;
 use ssi_storage::{Catalog, PageMap, PurgeStats, Table, WriteAheadLog};
 use ssi_wal::{CheckpointStats, Checkpointer, Recovered, SyncPolicy, WalStats, WalWriter};
 
+use crate::maintenance::{MaintenanceHook, MaintenanceHub};
 use crate::manager::{GcPin, TransactionManager};
 use crate::options::{Durability, LockGranularity, Options};
 use crate::txn::Transaction;
@@ -56,7 +57,10 @@ impl std::fmt::Debug for TableRef {
 /// bookkeeping checkpoints need. Present only when
 /// [`crate::DurabilityOptions::mode`] is not [`Durability::Off`].
 pub(crate) struct DurableState {
-    pub(crate) wal: WalWriter,
+    /// Shared with the dedicated flusher thread (when one is configured),
+    /// which must outlive no one: the maintenance hub is joined before
+    /// this struct — and the directory lock below — drops.
+    pub(crate) wal: Arc<WalWriter>,
     pub(crate) dir: PathBuf,
     /// Serializes checkpoint runs (rotation + snapshot + truncation).
     checkpoint_lock: Mutex<()>,
@@ -82,13 +86,20 @@ pub(crate) struct DurableState {
 /// Internal shared state of a database.
 pub(crate) struct DbInner {
     pub(crate) options: Options,
-    pub(crate) catalog: Catalog,
+    /// Shared with the background GC thread (maintenance hub).
+    pub(crate) catalog: Arc<Catalog>,
     pub(crate) locks: LockManager,
-    pub(crate) txns: TransactionManager,
+    /// Shared with the background GC thread (maintenance hub).
+    pub(crate) txns: Arc<TransactionManager>,
     pub(crate) wal: WriteAheadLog,
     pub(crate) pages: Option<PageMap>,
     pub(crate) history: Option<HistoryRecorder>,
     pub(crate) durable: Option<DurableState>,
+    /// Background maintenance threads (dedicated WAL flusher, incremental
+    /// GC). The threads hold `Arc`s to the shared pieces above — never to
+    /// `DbInner` itself, so dropping the last database handle still runs
+    /// `DbInner::drop`, which joins them.
+    maintenance: Option<MaintenanceHub>,
     /// Write commits since the last automatic purge (see
     /// [`crate::Options::purge_every_commits`]).
     commits_since_purge: AtomicU64,
@@ -178,14 +189,7 @@ impl DbInner {
     pub(crate) fn purge(&self) -> PurgeStats {
         let horizon = self.txns.gc_horizon();
         let stats = self.catalog.purge_old_versions(horizon);
-        let counters = self.txns.stats();
-        counters.purge_runs.fetch_add(1, Ordering::Relaxed);
-        counters
-            .purged_versions
-            .fetch_add(stats.versions, Ordering::Relaxed);
-        counters
-            .purged_chains
-            .fetch_add(stats.chains, Ordering::Relaxed);
+        self.txns.stats().record_purge(&stats, false);
         stats
     }
 
@@ -197,6 +201,11 @@ impl DbInner {
     /// purge actually starts, so a skipped trigger (pass already running)
     /// retries on the next commit instead of waiting a whole period.
     pub(crate) fn maybe_auto_purge(&self) {
+        // The background GC thread owns reclamation when it runs: the
+        // commit path does zero purge work (the whole point of the thread).
+        if self.maintenance.as_ref().is_some_and(|m| m.has_gc()) {
+            return;
+        }
         let Some(every) = self.options.purge_every_commits else {
             return;
         };
@@ -212,10 +221,24 @@ impl DbInner {
 
 impl Drop for DbInner {
     fn drop(&mut self) {
-        // Clean close: in buffered mode the tail of the log may only be in
-        // the OS page cache — push it to the device so reopening loses
-        // nothing. (No transaction can be in flight: handles hold an `Arc`
-        // to this struct.)
+        // Close ordering — the three steps below must stay in this order:
+        //
+        // 1. Join the background maintenance threads. The flusher drains
+        //    everything sealed before it exits, so no acknowledged commit
+        //    is left un-fsynced; the GC thread finishes at most one pass.
+        // 2. Final `sync()`: in buffered mode the tail of the log may only
+        //    be in the OS page cache — push it to the device so reopening
+        //    loses nothing. (No transaction can be in flight: handles hold
+        //    an `Arc` to this struct.)
+        // 3. Only then do the fields drop, releasing the WAL directory
+        //    lock (`DurableState::_dir_lock`). Because the join in step 1
+        //    happens-before that release, a fast reopen of the same
+        //    directory can never race a still-flushing old incarnation:
+        //    by the time a second open can acquire the lock, the old
+        //    flusher has exited and its last fsync has retired.
+        if let Some(mut hub) = self.maintenance.take() {
+            hub.shutdown_and_join();
+        }
         if let Some(durable) = &self.durable {
             let _ = durable.wal.sync();
         }
@@ -274,8 +297,8 @@ impl Database {
         } else {
             None
         };
-        let catalog = Catalog::new();
-        let txns = TransactionManager::new();
+        let catalog = Arc::new(Catalog::new());
+        let txns = Arc::new(TransactionManager::new());
         let durable = match options.durability.mode {
             Durability::Off => None,
             mode => {
@@ -300,8 +323,19 @@ impl Database {
                     (Durability::GroupCommit, true) => SyncPolicy::EveryCommit,
                     (Durability::Off, _) => unreachable!(),
                 };
-                let wal = WalWriter::open(&dir, recovered.next_segment_seq, policy)
-                    .map_err(io("open log segment"))?;
+                let wal = Arc::new(
+                    WalWriter::open(&dir, recovered.next_segment_seq, policy)
+                        .map_err(io("open log segment"))?,
+                );
+                // Dedicated-flusher mode must be set before the first
+                // commit can seal anything; the thread itself starts with
+                // the maintenance hub below. The per-commit-fsync baseline
+                // keeps its unshared fsyncs.
+                if options.maintenance.flush_max_delay.is_some()
+                    && policy != SyncPolicy::EveryCommit
+                {
+                    wal.attach_flusher();
+                }
                 Some(DurableState {
                     wal,
                     dir,
@@ -314,6 +348,12 @@ impl Database {
                 })
             }
         };
+        let maintenance = MaintenanceHub::start(
+            &options.maintenance,
+            durable.as_ref().map(|d| d.wal.clone()),
+            catalog.clone(),
+            txns.clone(),
+        );
         let inner = DbInner {
             locks: LockManager::new(options.lock.clone()),
             wal: WriteAheadLog::new(options.wal.clone()),
@@ -322,6 +362,7 @@ impl Database {
             pages,
             history,
             durable,
+            maintenance,
             options,
             commits_since_purge: AtomicU64::new(0),
             purge_lock: Mutex::new(()),
@@ -495,6 +536,72 @@ impl Database {
     #[doc(hidden)]
     pub fn purge_at(&self, horizon: Timestamp) -> PurgeStats {
         self.inner.catalog.purge_old_versions(horizon)
+    }
+
+    /// True when a dedicated WAL flusher thread serves this database (see
+    /// [`crate::MaintenanceOptions::flush_max_delay`]).
+    pub fn has_background_flusher(&self) -> bool {
+        self.inner
+            .maintenance
+            .as_ref()
+            .is_some_and(|m| m.has_flusher())
+    }
+
+    /// True when a background incremental-GC thread serves this database
+    /// (see [`crate::MaintenanceOptions::gc_interval`]).
+    pub fn has_background_gc(&self) -> bool {
+        self.inner.maintenance.as_ref().is_some_and(|m| m.has_gc())
+    }
+
+    /// Installs (or clears) the maintenance step hook: it fires at every
+    /// background-thread phase transition
+    /// ([`crate::maintenance::MaintenanceEvent`]) and may block, so tests
+    /// can single-step the threads deterministically — the same pattern as
+    /// [`TransactionManager::set_sweep_pause_hook`]. Not for production
+    /// use. No-op when no background thread is configured.
+    #[doc(hidden)]
+    pub fn set_maintenance_hook(&self, hook: Option<MaintenanceHook>) {
+        if let Some(hub) = &self.inner.maintenance {
+            hub.set_hook(hook);
+        }
+    }
+
+    /// Forces the dedicated flusher to run one flush pass now, regardless
+    /// of batch age or size (deterministic test stepping). Asynchronous:
+    /// observe completion through the hook or the durability stats. No-op
+    /// without a flusher thread.
+    #[doc(hidden)]
+    pub fn step_flusher(&self) {
+        if self.has_background_flusher() {
+            if let Some(durable) = &self.inner.durable {
+                durable.wal.request_flush();
+            }
+        }
+    }
+
+    /// Forces the background GC thread to run one pass now, regardless of
+    /// its interval (deterministic test stepping). Asynchronous. No-op
+    /// without a GC thread.
+    #[doc(hidden)]
+    pub fn step_gc(&self) {
+        if let Some(hub) = &self.inner.maintenance {
+            hub.step_gc();
+        }
+    }
+
+    /// Test-only fault injection: poisons the write-ahead log exactly as a
+    /// failed fsync would. Every parked committer wakes with an error and
+    /// every later durability wait fails; the flusher thread exits. Errors
+    /// when durability is off.
+    #[doc(hidden)]
+    pub fn poison_wal(&self) -> Result<()> {
+        let durable = self
+            .inner
+            .durable
+            .as_ref()
+            .ok_or_else(|| Error::Durability("durability is disabled".to_string()))?;
+        durable.wal.poison();
+        Ok(())
     }
 }
 

@@ -61,6 +61,7 @@
 //! ```
 
 pub mod db;
+pub mod maintenance;
 pub mod manager;
 pub mod options;
 pub mod ssi;
@@ -74,9 +75,11 @@ mod access;
 mod engine_tests;
 
 pub use db::{Database, TableRef};
+pub use maintenance::{MaintenanceEvent, MaintenanceHook};
 pub use manager::{GcPin, ManagerStats, TransactionManager};
 pub use options::{
-    Durability, DurabilityOptions, LockGranularity, Options, SsiOptions, SsiVariant, VictimPolicy,
+    Durability, DurabilityOptions, LockGranularity, MaintenanceOptions, Options, SsiOptions,
+    SsiVariant, VictimPolicy,
 };
 pub use ssi::CallerRole;
 pub use txn::Transaction;
@@ -85,4 +88,4 @@ pub use verify::{CommittedTxn, HistoryRecorder, LostRead, MvsgReport};
 
 pub use ssi_common::{AbortKind, Error, IsolationLevel, Result, TxnId};
 pub use ssi_storage::PurgeStats;
-pub use ssi_wal::{CheckpointStats, Recovered, WalStats};
+pub use ssi_wal::{CheckpointStats, FlushEvent, FlushReason, Recovered, WalStats};

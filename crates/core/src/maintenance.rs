@@ -1,0 +1,262 @@
+//! Background maintenance: supervised threads that take durability and
+//! reclamation work off the commit path.
+//!
+//! The [`MaintenanceHub`] owns up to two threads, both optional, both
+//! started by `Database::try_open` and joined before the database releases
+//! its on-disk WAL lock (see `DbInner::drop`):
+//!
+//! * **the dedicated WAL flusher** — runs `ssi-wal`'s
+//!   [`flusher loop`](ssi_wal::flusher): group-commit committers enqueue
+//!   and park, the flusher fsyncs the sealed prefix when the batch reaches
+//!   [`crate::MaintenanceOptions::flush_max_delay`] or the size threshold
+//!   trips, and checkpoint rotation hands it the old segment so the device
+//!   sync happens off the append lock;
+//! * **the incremental GC thread** — every
+//!   [`crate::MaintenanceOptions::gc_interval`] it purges the next
+//!   [`crate::MaintenanceOptions::gc_shards_per_pass`] storage shards of
+//!   every table ([`ssi_storage::Table::purge_shard`]) at the pinned safe
+//!   horizon, advancing a wrapping shard cursor — so reclamation is spread
+//!   into small slices, no lock is held for longer than one shard, and the
+//!   commit path does zero purge work (inline
+//!   [`crate::Options::purge_every_commits`] is skipped while the thread
+//!   runs). Passes are attributed to
+//!   [`crate::ManagerStats::background_purge_runs`].
+//!
+//! # Deterministic stepping
+//!
+//! Both threads report phase transitions through one injectable hook
+//! ([`MaintenanceHook`], installed with `Database::set_maintenance_hook`) —
+//! the same pattern as the transaction manager's sweep-pause hook. The
+//! hook may block, so a test can hold a thread at a step point; combined
+//! with `Database::step_flusher` / `Database::step_gc` (which force one
+//! pass regardless of timers) and effectively-infinite intervals, tests
+//! single-step the threads with no wall-clock dependence.
+//!
+//! # Shutdown
+//!
+//! `shutdown_and_join` sets the shared stop flag, kicks both threads, and
+//! joins them: the flusher drains every sealed record before exiting (no
+//! acknowledged — or even sealable — commit is left un-fsynced by a clean
+//! close), the GC thread finishes at most one pass. Only after the join
+//! does `DbInner` drop the durable state and with it the directory lock, so
+//! a fast reopen can never race a still-flushing old incarnation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use ssi_storage::{Catalog, PurgeStats, SHARD_COUNT};
+use ssi_wal::{FlushEvent, FlusherConfig, WalWriter};
+
+use crate::manager::TransactionManager;
+use crate::options::MaintenanceOptions;
+
+/// Phase transitions of the background threads, reported through the
+/// [`MaintenanceHook`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaintenanceEvent {
+    /// The dedicated WAL flusher changed phase (batch opened, flushing,
+    /// flushed, poisoned).
+    Flusher(FlushEvent),
+    /// A background GC pass is starting at this shard-cursor position.
+    GcPassStart { first_shard: usize },
+    /// A background GC pass finished, having reclaimed this much.
+    GcPassEnd { versions: u64, chains: u64 },
+}
+
+/// Test instrumentation callback: invoked at every [`MaintenanceEvent`]
+/// with no internal lock held, so it may block to single-step the thread.
+pub type MaintenanceHook = Arc<dyn Fn(&MaintenanceEvent) + Send + Sync>;
+
+/// State shared between the hub handle and its threads.
+struct HubShared {
+    shutdown: AtomicBool,
+    /// GC wakeup (interval waits park here; `step_gc` and shutdown kick it).
+    gc_mu: Mutex<()>,
+    gc_cv: Condvar,
+    gc_force: AtomicBool,
+    /// Test-only step hook; `None` (one relaxed load) in normal operation.
+    hook: Mutex<Option<MaintenanceHook>>,
+    hook_set: AtomicBool,
+}
+
+impl HubShared {
+    fn observe(&self, event: MaintenanceEvent) {
+        if self.hook_set.load(Ordering::Relaxed) {
+            let hook = self.hook.lock().clone();
+            if let Some(hook) = hook {
+                hook(&event);
+            }
+        }
+    }
+}
+
+/// Owner of the background maintenance threads (module docs above).
+pub(crate) struct MaintenanceHub {
+    shared: Arc<HubShared>,
+    /// The log the flusher serves, kept to kick it on shutdown.
+    wal: Option<Arc<WalWriter>>,
+    flusher: Option<JoinHandle<()>>,
+    gc: Option<JoinHandle<()>>,
+}
+
+impl MaintenanceHub {
+    /// Starts the configured threads; `None` when the options ask for no
+    /// background work (or none is applicable — e.g. a flusher delay with
+    /// durability off). `wal` must already have had `attach_flusher`
+    /// called when a flusher is requested.
+    pub(crate) fn start(
+        options: &MaintenanceOptions,
+        wal: Option<Arc<WalWriter>>,
+        catalog: Arc<Catalog>,
+        txns: Arc<TransactionManager>,
+    ) -> Option<MaintenanceHub> {
+        let flusher_wal = match (&wal, options.flush_max_delay) {
+            (Some(wal), Some(_)) if wal.has_flusher() => Some(wal.clone()),
+            _ => None,
+        };
+        if flusher_wal.is_none() && options.gc_interval.is_none() {
+            return None;
+        }
+        let shared = Arc::new(HubShared {
+            shutdown: AtomicBool::new(false),
+            gc_mu: Mutex::new(()),
+            gc_cv: Condvar::new(),
+            gc_force: AtomicBool::new(false),
+            hook: Mutex::new(None),
+            hook_set: AtomicBool::new(false),
+        });
+        let flusher = flusher_wal.as_ref().map(|wal| {
+            let wal = wal.clone();
+            let shared = shared.clone();
+            let config = FlusherConfig {
+                max_delay: options.flush_max_delay.expect("checked above"),
+                max_batch_bytes: options.flush_max_bytes.max(1),
+            };
+            std::thread::Builder::new()
+                .name("ssi-wal-flusher".into())
+                .spawn(move || {
+                    wal.flusher_loop(&config, &shared.shutdown, &mut |event| {
+                        shared.observe(MaintenanceEvent::Flusher(event));
+                    });
+                })
+                .expect("spawn wal flusher thread")
+        });
+        let gc = options.gc_interval.map(|interval| {
+            let shared = shared.clone();
+            let shards_per_pass = options.gc_shards_per_pass.max(1);
+            std::thread::Builder::new()
+                .name("ssi-gc".into())
+                .spawn(move || gc_loop(&shared, &catalog, &txns, interval, shards_per_pass))
+                .expect("spawn gc thread")
+        });
+        Some(MaintenanceHub {
+            shared,
+            wal: flusher_wal,
+            flusher,
+            gc,
+        })
+    }
+
+    /// True when the hub runs a dedicated WAL flusher.
+    pub(crate) fn has_flusher(&self) -> bool {
+        self.flusher.is_some()
+    }
+
+    /// True when the hub runs a background GC thread.
+    pub(crate) fn has_gc(&self) -> bool {
+        self.gc.is_some()
+    }
+
+    /// Installs (or clears) the step hook.
+    pub(crate) fn set_hook(&self, hook: Option<MaintenanceHook>) {
+        self.shared
+            .hook_set
+            .store(hook.is_some(), Ordering::Relaxed);
+        *self.shared.hook.lock() = hook;
+    }
+
+    /// Forces one background GC pass now, regardless of the interval.
+    /// Asynchronous: returns before the pass runs (observe it through the
+    /// hook, or poll `ManagerStats::background_purge_runs`).
+    pub(crate) fn step_gc(&self) {
+        self.shared.gc_force.store(true, Ordering::Release);
+        drop(self.shared.gc_mu.lock());
+        self.shared.gc_cv.notify_all();
+    }
+
+    /// Stops and joins every thread (see the module docs, § Shutdown).
+    /// Idempotent; also run by `Drop`.
+    pub(crate) fn shutdown_and_join(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(wal) = &self.wal {
+            // Prompt wakeup; the flusher drains all sealed work and exits.
+            wal.request_flush();
+        }
+        drop(self.shared.gc_mu.lock());
+        self.shared.gc_cv.notify_all();
+        if let Some(t) = self.flusher.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.gc.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MaintenanceHub {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+/// The background GC thread: purge `shards_per_pass` shards of every table
+/// per tick, at the pinned safe horizon, behind a wrapping shard cursor.
+fn gc_loop(
+    shared: &HubShared,
+    catalog: &Catalog,
+    txns: &TransactionManager,
+    interval: Duration,
+    shards_per_pass: usize,
+) {
+    let mut cursor = 0usize;
+    loop {
+        // Interval wait, cut short by step_gc or shutdown.
+        {
+            let mut guard = shared.gc_mu.lock();
+            let deadline = Instant::now() + interval;
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if shared.gc_force.swap(false, Ordering::AcqRel) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                shared.gc_cv.wait_for(&mut guard, deadline - now);
+            }
+        }
+        shared.observe(MaintenanceEvent::GcPassStart {
+            first_shard: cursor,
+        });
+        let horizon = txns.gc_horizon();
+        let mut stats = PurgeStats::at(horizon);
+        for table in catalog.tables() {
+            for i in 0..shards_per_pass.min(SHARD_COUNT) {
+                stats.merge(&table.purge_shard(cursor + i, horizon));
+            }
+        }
+        cursor = (cursor + shards_per_pass) % SHARD_COUNT;
+        txns.stats().record_purge(&stats, true);
+        shared.observe(MaintenanceEvent::GcPassEnd {
+            versions: stats.versions,
+            chains: stats.chains,
+        });
+    }
+}

@@ -270,10 +270,31 @@ pub struct ManagerStats {
     pub watermark_sweeps: AtomicU64,
     /// Version-GC passes run (`Database::purge`, manual or automatic).
     pub purge_runs: AtomicU64,
+    /// Version-GC passes run by the background maintenance thread (a
+    /// subset of `purge_runs`): with background GC on and inline
+    /// `purge_every_commits` off, `purge_runs == background_purge_runs`
+    /// proves the commit path did zero purge work.
+    pub background_purge_runs: AtomicU64,
     /// Row versions reclaimed by version GC.
     pub purged_versions: AtomicU64,
     /// Whole key chains removed by version GC (dead tombstoned keys).
     pub purged_chains: AtomicU64,
+}
+
+impl ManagerStats {
+    /// Folds one version-GC pass into the counters, attributing it to the
+    /// background GC thread when `background` (the single accounting point
+    /// shared by `Database::purge` and the maintenance hub's GC loop).
+    pub fn record_purge(&self, stats: &ssi_storage::PurgeStats, background: bool) {
+        self.purge_runs.fetch_add(1, Ordering::Relaxed);
+        if background {
+            self.background_purge_runs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.purged_versions
+            .fetch_add(stats.versions, Ordering::Relaxed);
+        self.purged_chains
+            .fetch_add(stats.chains, Ordering::Relaxed);
+    }
 }
 
 /// The transaction manager.

@@ -116,6 +116,52 @@ pub enum Durability {
     GroupCommit,
 }
 
+/// Configuration of the background maintenance subsystem (the
+/// [`crate::maintenance::MaintenanceHub`]): a dedicated WAL flusher thread
+/// and an incremental version-GC thread, both owned by the database, started
+/// from `Database::try_open` and joined on drop.
+#[derive(Clone, Debug)]
+pub struct MaintenanceOptions {
+    /// Run a dedicated WAL flusher thread with this maximum batch delay:
+    /// in [`Durability::GroupCommit`] committers enqueue and park instead
+    /// of self-electing, and the flusher fsyncs the sealed prefix once the
+    /// batch is this old (or [`MaintenanceOptions::flush_max_bytes`] trips)
+    /// — so batch size is no longer bounded by natural committer pile-up,
+    /// at a worst-case acknowledged-commit latency of roughly this delay
+    /// plus one fsync. In [`Durability::Buffered`] the same thread bounds
+    /// the crash-loss window: the sealed tail reaches the device within
+    /// this delay instead of at the next checkpoint or clean close.
+    /// `None` (the default) keeps committer-elected group commit. Ignored
+    /// when durability is off or in the per-commit-fsync baseline.
+    pub flush_max_delay: Option<Duration>,
+    /// Size threshold of the dedicated flusher: fsync early once this many
+    /// bytes have been sealed since the last sync, regardless of age.
+    pub flush_max_bytes: u64,
+    /// Run a background GC thread purging row versions incrementally —
+    /// [`MaintenanceOptions::gc_shards_per_pass`] storage shards per table
+    /// per pass — on this cadence, at the pinned safe horizon. Replaces
+    /// the inline [`Options::purge_every_commits`] work on committers
+    /// (which is skipped while the thread runs): the commit path does zero
+    /// purge work. `None` (the default) starts no thread.
+    pub gc_interval: Option<Duration>,
+    /// Storage shards each background GC pass purges per table (clamped to
+    /// at least 1). Smaller values spread reclamation thinner; a full
+    /// table sweep completes every `SHARD_COUNT / gc_shards_per_pass`
+    /// intervals.
+    pub gc_shards_per_pass: usize,
+}
+
+impl Default for MaintenanceOptions {
+    fn default() -> Self {
+        MaintenanceOptions {
+            flush_max_delay: None,
+            flush_max_bytes: 1 << 20,
+            gc_interval: None,
+            gc_shards_per_pass: 16,
+        }
+    }
+}
+
 /// Configuration of the durability subsystem.
 #[derive(Clone, Debug, Default)]
 pub struct DurabilityOptions {
@@ -169,6 +215,9 @@ pub struct Options {
     /// default) leaves reclamation to explicit
     /// [`crate::Database::purge`] calls.
     pub purge_every_commits: Option<NonZeroU64>,
+    /// Background maintenance threads (dedicated WAL flusher, incremental
+    /// version GC).
+    pub maintenance: MaintenanceOptions,
     /// Lock manager configuration.
     pub lock: LockConfig,
 }
@@ -185,6 +234,7 @@ impl Default for Options {
             read_only_queries_at_si: false,
             record_history: false,
             purge_every_commits: None,
+            maintenance: MaintenanceOptions::default(),
             lock: LockConfig::default(),
         }
     }
@@ -252,6 +302,20 @@ impl Options {
     pub fn with_auto_purge(mut self, every_commits: u64) -> Self {
         self.purge_every_commits =
             Some(NonZeroU64::new(every_commits).expect("purge_every_commits must be non-zero"));
+        self
+    }
+
+    /// Runs a dedicated WAL flusher thread with the given maximum batch
+    /// delay (see [`MaintenanceOptions::flush_max_delay`]).
+    pub fn with_background_flusher(mut self, max_delay: Duration) -> Self {
+        self.maintenance.flush_max_delay = Some(max_delay);
+        self
+    }
+
+    /// Runs a background incremental-GC thread on the given cadence (see
+    /// [`MaintenanceOptions::gc_interval`]).
+    pub fn with_background_gc(mut self, interval: Duration) -> Self {
+        self.maintenance.gc_interval = Some(interval);
         self
     }
 }

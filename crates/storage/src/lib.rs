@@ -29,7 +29,7 @@ pub use catalog::Catalog;
 pub use page::PageMap;
 pub use table::{
     as_ref_bound, clone_bound, PurgeStats, ScanCursor, ScanEntry, ScanPage, Table, VisibleRead,
-    SCAN_PAGE_SIZE,
+    SCAN_PAGE_SIZE, SHARD_COUNT,
 };
 pub use version::{Version, VersionState};
 pub use wal::{WalConfig, WriteAheadLog};

@@ -79,8 +79,9 @@ use crate::version::{Version, VersionState};
 
 /// Number of hash shards per table. Power of two so the shard selector is a
 /// mask; 64 matches the lock manager's sharding and is comfortably above
-/// typical core counts.
-const SHARD_COUNT: usize = 64;
+/// typical core counts. Public so incremental maintenance (per-shard purge
+/// cursors in `ssi-core`) can walk the shard space.
+pub const SHARD_COUNT: usize = 64;
 
 /// Keys fetched per ordered-index lock acquisition by the paging scan
 /// cursor: large enough that per-page overhead is negligible, small enough
@@ -643,50 +644,65 @@ impl Table {
     /// Returns what was reclaimed.
     pub fn purge_old_versions(&self, horizon: Timestamp) -> PurgeStats {
         let mut stats = PurgeStats::at(horizon);
-        for shard in self.shards.iter() {
-            let mut dead_keys: Vec<Arc<[u8]>> = Vec::new();
-            {
-                let rows = shard.rows.read();
-                for (key, chain) in rows.iter() {
-                    let mut versions = chain.versions.lock();
-                    // Position of the newest version committed at or before
-                    // the horizon; everything after it (older) is
-                    // unreachable.
-                    let mut keep_upto = None;
-                    for (i, v) in versions.iter().enumerate() {
-                        match v.state() {
-                            VersionState::Committed(ts) if ts <= horizon => {
-                                keep_upto = Some(i);
-                                break;
-                            }
-                            _ => {}
+        for idx in 0..SHARD_COUNT {
+            stats.merge(&self.purge_shard(idx, horizon));
+        }
+        stats
+    }
+
+    /// Garbage-collects one hash shard at the given reclamation horizon —
+    /// the incremental unit background GC schedules, so a single pass never
+    /// touches more than one shard's worth of chains. Purging every shard
+    /// at one pinned horizon reclaims exactly what
+    /// [`Table::purge_old_versions`] at that horizon would: the shards
+    /// partition the key space, and dead-key removal stays inside the shard
+    /// the key hashes to. The same safety contract on `horizon` applies.
+    /// `idx` is taken modulo [`SHARD_COUNT`], so cursors can wrap freely.
+    pub fn purge_shard(&self, idx: usize, horizon: Timestamp) -> PurgeStats {
+        let shard = &self.shards[idx & (SHARD_COUNT - 1)];
+        let mut stats = PurgeStats::at(horizon);
+        let mut dead_keys: Vec<Arc<[u8]>> = Vec::new();
+        {
+            let rows = shard.rows.read();
+            for (key, chain) in rows.iter() {
+                let mut versions = chain.versions.lock();
+                // Position of the newest version committed at or before
+                // the horizon; everything after it (older) is
+                // unreachable.
+                let mut keep_upto = None;
+                for (i, v) in versions.iter().enumerate() {
+                    match v.state() {
+                        VersionState::Committed(ts) if ts <= horizon => {
+                            keep_upto = Some(i);
+                            break;
                         }
+                        _ => {}
                     }
-                    if let Some(idx) = keep_upto {
-                        stats.versions += (versions.len() - (idx + 1)) as u64;
-                        versions.truncate(idx + 1);
-                        // If the only remaining reachable version is a
-                        // tombstone and nothing newer exists, the key is
-                        // gone for good.
-                        if versions.len() == 1 && versions[0].is_tombstone() {
-                            if let VersionState::Committed(ts) = versions[0].state() {
-                                if ts <= horizon {
-                                    dead_keys.push(key.clone());
-                                }
-                            }
-                        }
-                    }
-                    // Also drop aborted leftovers.
-                    let before = versions.len();
-                    versions.retain(|v| v.state() != VersionState::Aborted);
-                    stats.versions += (before - versions.len()) as u64;
                 }
+                if let Some(idx) = keep_upto {
+                    stats.versions += (versions.len() - (idx + 1)) as u64;
+                    versions.truncate(idx + 1);
+                    // If the only remaining reachable version is a
+                    // tombstone and nothing newer exists, the key is
+                    // gone for good.
+                    if versions.len() == 1 && versions[0].is_tombstone() {
+                        if let VersionState::Committed(ts) = versions[0].state() {
+                            if ts <= horizon {
+                                dead_keys.push(key.clone());
+                            }
+                        }
+                    }
+                }
+                // Also drop aborted leftovers.
+                let before = versions.len();
+                versions.retain(|v| v.state() != VersionState::Aborted);
+                stats.versions += (before - versions.len()) as u64;
             }
-            for key in dead_keys {
-                if self.remove_dead_key(&key, horizon) > 0 {
-                    stats.versions += 1;
-                    stats.chains += 1;
-                }
+        }
+        for key in dead_keys {
+            if self.remove_dead_key(&key, horizon) > 0 {
+                stats.versions += 1;
+                stats.chains += 1;
             }
         }
         stats
@@ -953,6 +969,47 @@ mod tests {
         assert_eq!(val(&tbl.read(b"a", t(9), 15)), Some(vec![1]));
         assert_eq!(val(&tbl.read(b"a", t(9), 25)), Some(vec![2]));
         assert_eq!(val(&tbl.read(b"a", t(9), 35)), Some(vec![3]));
+    }
+
+    #[test]
+    fn per_shard_purge_reclaims_exactly_what_whole_table_purge_would() {
+        // Two identical tables: purge one in a single whole-table pass and
+        // the other shard by shard (in a scrambled order) at the same
+        // pinned horizon — stats and surviving state must agree exactly.
+        let build = || {
+            let tbl = table();
+            for k in 0..200u64 {
+                for (creator, ts) in [(1u64, 10u64), (2, 20), (3, 30)] {
+                    let v = tbl.install_version(&k.to_be_bytes(), t(creator), Some(vec![k as u8]));
+                    v.mark_committed(ts);
+                }
+            }
+            // Dead tombstones sprinkled over the shards.
+            for k in 200..232u64 {
+                let v = tbl.install_version(&k.to_be_bytes(), t(4), None);
+                v.mark_committed(15);
+            }
+            tbl
+        };
+        let whole = build();
+        let sharded = build();
+        let horizon = 25;
+
+        let whole_stats = whole.purge_old_versions(horizon);
+        let mut sharded_stats = PurgeStats::at(horizon);
+        for i in 0..SHARD_COUNT {
+            // Wrapping index exercises the modulo contract too.
+            sharded_stats.merge(&sharded.purge_shard(i + SHARD_COUNT, horizon));
+        }
+        assert_eq!(sharded_stats, whole_stats);
+        assert_eq!(sharded.version_count(), whole.version_count());
+        assert_eq!(sharded.key_count(), whole.key_count());
+        for k in 0..200u64 {
+            assert_eq!(
+                val(&sharded.read(&k.to_be_bytes(), t(9), 25)),
+                val(&whole.read(&k.to_be_bytes(), t(9), 25)),
+            );
+        }
     }
 
     #[test]

@@ -66,6 +66,15 @@
 //!    skips this step entirely; the data reaches the OS on seal and the
 //!    device on checkpoint or clean close.
 //!
+//! With a **dedicated flusher** attached ([`WalWriter::attach_flusher`] +
+//! a thread running [`flusher`]'s loop), step 3 changes: committers never
+//! self-elect — they park until the flusher's batch ages out
+//! ([`FlusherConfig::max_delay`]) or fills up, so the batch size is no
+//! longer bounded by natural committer pile-up; buffered mode gains a
+//! periodic-sync lag bound; and segment rotation hands the old segment to
+//! the flusher instead of fsyncing it under the append lock (protocol in
+//! the [`flusher`] module docs and on [`WalWriter::rotate`]).
+//!
 //! I/O failures are handled conservatively: a partial append is rolled
 //! back to the last whole-frame boundary and the record returned to the
 //! pending buffer (its committer can still seal it later), while an
@@ -101,11 +110,13 @@
 //! same state.
 
 pub mod checkpoint;
+pub mod flusher;
 pub mod log;
 pub mod record;
 pub mod recover;
 
 pub use checkpoint::{CheckpointStats, Checkpointer};
+pub use flusher::{FlushEvent, FlushReason, FlusherConfig};
 pub use log::{PreparedCommit, SyncPolicy, WalStats, WalWriter};
 pub use record::{crc32, CommitRecord, Record, WriteEntry};
 pub use recover::{recover_into, Recovered};

@@ -8,6 +8,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -43,6 +44,12 @@ pub struct WalStats {
     pub fsyncs: AtomicU64,
     /// `seal_upto` calls that appended at least one record.
     pub seal_batches: AtomicU64,
+    /// Fsyncs issued by the dedicated flusher thread (a subset of
+    /// `fsyncs`; with a flusher attached these should account for *all*
+    /// commit-path fsyncs — committers never self-elect).
+    pub flusher_fsyncs: AtomicU64,
+    /// Flush passes the dedicated flusher completed.
+    pub flusher_batches: AtomicU64,
 }
 
 impl WalStats {
@@ -122,12 +129,27 @@ struct Appender {
     epoch_bytes: u64,
 }
 
+/// What [`WalWriter::flusher_wait_for_work`] woke up for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FlusherWork {
+    /// Something sealed or retired awaits an fsync (or a flush was forced).
+    Work,
+    /// Shutdown requested and nothing is left to drain.
+    Shutdown,
+    /// The log is poisoned; the flusher can vouch for nothing anymore.
+    Poisoned,
+}
+
 /// Flush state for the group-commit protocol.
 struct FlushState {
     /// Commit timestamps `<= durable_ts` are on stable storage.
     durable_ts: Timestamp,
     /// True while some committer is inside `fsync` on behalf of the group.
     flush_in_progress: bool,
+    /// Segments handed off by a flusher-aware rotation, each paired with
+    /// the highest timestamp sealed into it: the dedicated flusher fsyncs
+    /// them *off* the append lock and then advances `durable_ts`.
+    retired: Vec<(Arc<File>, Timestamp)>,
 }
 
 /// The write-ahead log of one durable database.
@@ -137,6 +159,37 @@ pub struct WalWriter {
     appender: Mutex<Appender>,
     flush: Mutex<FlushState>,
     flushed: Condvar,
+    /// Wakes the dedicated flusher (waits on the `flush` mutex): signaled
+    /// when new records are sealed, a rotation retires a segment, a flush
+    /// is forced, or shutdown/poison needs the thread's attention.
+    work_cv: Condvar,
+    /// True once a dedicated flusher thread drives fsyncs for this log:
+    /// group-commit committers park instead of self-electing, and rotation
+    /// hands the old segment to the flusher instead of syncing it under
+    /// the append lock.
+    flusher_attached: AtomicBool,
+    /// One-shot request for an immediate flush pass, regardless of batch
+    /// age or size (tests single-stepping the flusher; clean shutdown).
+    force_flush: AtomicBool,
+    /// Mirror of `Appender::sealed_ts`, readable without the append lock
+    /// (the flusher's has-work check must not nest the two mutexes).
+    sealed_hint: AtomicU64,
+    /// Nanoseconds since `epoch` at which the oldest not-yet-fsynced
+    /// sealed record entered the log (0 = none): the batch-age clock the
+    /// flusher's `flush_max_delay` window runs on.
+    first_unsynced_nanos: AtomicU64,
+    /// Bytes sealed since the last flush pass (the flusher's size-threshold
+    /// trigger).
+    unsynced_bytes: AtomicU64,
+    /// True when *any* frame — including control records, which advance no
+    /// timestamp — was appended since the last fsync of the current
+    /// segment. `sync_all_sealed`'s nothing-to-do early return must test
+    /// this, not just `sealed_ts`: a `create_table` record appended after
+    /// the last durable commit would otherwise be skipped by a clean
+    /// close's sync (the pre-flusher `sync()` fsynced unconditionally).
+    dirty_appends: AtomicBool,
+    /// Time base for `first_unsynced_nanos`.
+    epoch: Instant,
     /// Set when the log can no longer vouch for what is on the device: a
     /// partial append that could not be rolled back (the segment may end in
     /// a half-frame that a later append would bury), or a failed `fsync`
@@ -168,8 +221,17 @@ impl WalWriter {
             flush: Mutex::new(FlushState {
                 durable_ts: 0,
                 flush_in_progress: false,
+                retired: Vec::new(),
             }),
             flushed: Condvar::new(),
+            work_cv: Condvar::new(),
+            flusher_attached: AtomicBool::new(false),
+            force_flush: AtomicBool::new(false),
+            sealed_hint: AtomicU64::new(0),
+            first_unsynced_nanos: AtomicU64::new(0),
+            unsynced_bytes: AtomicU64::new(0),
+            dirty_appends: AtomicBool::new(epoch_bytes > 0),
+            epoch: Instant::now(),
             poisoned: AtomicBool::new(false),
             stats: WalStats::default(),
         })
@@ -234,8 +296,19 @@ impl WalWriter {
     /// holds *all* records up to `ts` — so the file stays timestamp-ordered
     /// no matter which committer seals first. Idempotent.
     pub fn seal_upto(&self, ts: Timestamp) -> std::io::Result<()> {
-        let mut appender = self.appender.lock();
-        self.seal_locked(&mut appender, ts)
+        let result = {
+            let mut appender = self.appender.lock();
+            self.seal_locked(&mut appender, ts)
+        };
+        if self.flusher_attached.load(Ordering::Acquire) {
+            // The empty lock section orders this wakeup after the flusher's
+            // has-work check: either the check saw the new `sealed_hint`, or
+            // the flusher is parked on `work_cv` when the notify lands. In
+            // buffered mode this is the *only* signal the flusher gets.
+            drop(self.flush.lock());
+            self.work_cv.notify_one();
+        }
+        result
     }
 
     /// The seal loop, under the held append lock (shared by
@@ -267,6 +340,24 @@ impl WalWriter {
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
         if batch > 0 {
             self.stats.seal_batches.fetch_add(1, Ordering::Relaxed);
+            if self.flusher_attached.load(Ordering::Acquire) {
+                // Batch-age bookkeeping for the dedicated flusher: open the
+                // batch window if no unsynced record opened it already (the
+                // marker write precedes the `sealed_hint` publication, so
+                // the flusher never sees work without an open window), and
+                // count the bytes toward the size threshold. Skipped in
+                // committer-elected mode, where nothing reads or resets it.
+                let now = self.epoch.elapsed().as_nanos().max(1) as u64;
+                let _ = self.first_unsynced_nanos.compare_exchange(
+                    0,
+                    now,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+                self.unsynced_bytes.fetch_add(bytes, Ordering::AcqRel);
+            }
+            self.sealed_hint
+                .fetch_max(appender.sealed_ts, Ordering::AcqRel);
         }
         result
     }
@@ -290,6 +381,23 @@ impl WalWriter {
                 Ok(())
             }
             SyncPolicy::GroupCommit => {
+                if self.flusher_attached.load(Ordering::Acquire) {
+                    // Dedicated-flusher mode: committers only enqueue (their
+                    // record is already sealed) and park — the flusher fsyncs
+                    // when the batch ages out or the size threshold trips, so
+                    // batch size is no longer bounded by natural committer
+                    // pile-up. The timed wait is a backstop, not a poll: the
+                    // flusher's pass (and `poison`) notify precisely.
+                    let mut flush = self.flush.lock();
+                    loop {
+                        if flush.durable_ts >= ts {
+                            return Ok(());
+                        }
+                        self.check_poisoned()?;
+                        self.work_cv.notify_one();
+                        self.flushed.wait_for(&mut flush, Duration::from_millis(50));
+                    }
+                }
                 let mut flush = self.flush.lock();
                 loop {
                     if flush.durable_ts >= ts {
@@ -329,10 +437,22 @@ impl WalWriter {
 
     /// Rotates to a fresh segment for a checkpoint. Under the append lock:
     /// reads the published clock via `clock`, seals everything up to it,
-    /// fsyncs and closes the old segment, and opens segment `seq + 1`.
-    /// Returns `(cut_ts, old_seq)`: every record with `ts <= cut_ts` is in
-    /// segments `<= old_seq`, every later record lands in newer segments —
-    /// the cut invariant checkpointing relies on.
+    /// and opens segment `seq + 1`. Returns `(cut_ts, old_seq)`: every
+    /// record with `ts <= cut_ts` is in segments `<= old_seq`, every later
+    /// record lands in newer segments — the cut invariant checkpointing
+    /// relies on.
+    ///
+    /// What happens to the old segment's device sync depends on whether a
+    /// dedicated flusher is attached. Without one, it is fsynced here,
+    /// *under* the append lock (so `durable_ts` can advance before any
+    /// committer captures the empty new segment as its flush target) —
+    /// checkpoints then stall concurrent commits for one device sync.
+    /// With a flusher, only the cut read and the seal stay under the lock:
+    /// the sealed old segment is *handed to the flusher* (pushed onto the
+    /// retired queue with the timestamp it covers), which fsyncs it off
+    /// the append lock and advances `durable_ts` afterwards — committers
+    /// covered by the old segment stay parked until that pass, exactly as
+    /// if their batch had not aged out yet.
     pub fn rotate(&self, clock: impl FnOnce() -> Timestamp) -> std::io::Result<(Timestamp, u64)> {
         let mut appender = self.appender.lock();
         // Read the clock *after* taking the append lock: any seal that ran
@@ -341,6 +461,37 @@ impl WalWriter {
         // Seal the <= cut_ts prefix into the old segment (all of it is
         // pending or already sealed, because submit precedes publication).
         self.seal_locked(&mut appender, cut_ts)?;
+        if self.flusher_attached.load(Ordering::Acquire) {
+            let old_file = appender.file.clone();
+            let sealed = appender.sealed_ts;
+            let old_seq = appender.seq;
+            let new_file = create_segment(&self.dir, old_seq + 1)?;
+            appender.file = Arc::new(new_file);
+            appender.seq = old_seq + 1;
+            appender.epoch_bytes = 0;
+            // Open the batch window if no unsynced seal already did, so
+            // the retired segment cannot wait longer than `max_delay`.
+            let now = self.epoch.elapsed().as_nanos().max(1) as u64;
+            let _ = self.first_unsynced_nanos.compare_exchange(
+                0,
+                now,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+            // The retirement is queued *while the append lock is still
+            // held*: a flush pass captures (file, sealed_ts) under that
+            // lock, so it can never observe the new empty file without
+            // also finding the old segment in the retired queue — dropping
+            // the append lock first would open a window where the pass
+            // fsyncs only the empty file and advances `durable_ts` past
+            // records that exist solely in the never-synced old segment.
+            // Lock order append -> flush is safe: no path acquires the
+            // append lock while holding the flush lock.
+            self.flush.lock().retired.push((old_file, sealed));
+            drop(appender);
+            self.work_cv.notify_one();
+            return Ok((cut_ts, old_seq));
+        }
         let file = appender.file.clone();
         self.fsync(&file)?;
 
@@ -365,15 +516,206 @@ impl WalWriter {
     /// buffered mode). Pending records of in-flight commits, if any, are
     /// not sealed — their owners are still before their publication point.
     pub fn sync(&self) -> std::io::Result<()> {
+        self.sync_all_sealed(false).map(|_| ())
+    }
+
+    /// The body shared by [`WalWriter::sync`] and the dedicated flusher's
+    /// flush pass: fsyncs every retired segment plus the current one and
+    /// advances `durable_ts` over everything covered. Two orderings make
+    /// the advanced horizon sound against racing rotations:
+    ///
+    /// * rotation queues its retirement *before* releasing the append lock
+    ///   (see [`WalWriter::rotate`]), so a capture that observes the
+    ///   post-rotation file is guaranteed to find the old segment in the
+    ///   retired queue;
+    /// * the (file, target) snapshot is captured *before* the retired
+    ///   queue is drained — a rotation racing the two steps retires
+    ///   exactly the captured file, so every record `<=` the advanced
+    ///   horizon is in a file this pass (or an earlier one) fsyncs;
+    ///   draining first could admit a retirement whose sealed records
+    ///   exceed the captured target without syncing its file.
+    fn sync_all_sealed(&self, from_flusher: bool) -> std::io::Result<Timestamp> {
         self.check_poisoned()?;
+        // Reset the batch markers before capturing the target: a seal
+        // racing this pass either lands before the capture (and is covered
+        // by it) or re-opens the window for the next pass. The dirty flag
+        // is consumed the same way — an append racing the fsync re-arms it.
+        self.first_unsynced_nanos.store(0, Ordering::Release);
+        self.unsynced_bytes.store(0, Ordering::Release);
+        let dirty = self.dirty_appends.swap(false, Ordering::AcqRel);
         let (file, target) = {
             let appender = self.appender.lock();
             (appender.file.clone(), appender.sealed_ts)
         };
-        self.fsync(&file)?;
+        let retired = {
+            let mut flush = self.flush.lock();
+            if !dirty && flush.retired.is_empty() && flush.durable_ts >= target {
+                return Ok(flush.durable_ts); // nothing appended anywhere is unsynced
+            }
+            std::mem::take(&mut flush.retired)
+        };
+        let mut covered = target;
+        let mut fsyncs = 0u64;
+        let mut result = Ok(());
+        for (old, sealed) in &retired {
+            covered = (*sealed).max(covered);
+            if result.is_ok() {
+                result = self.fsync(old);
+                fsyncs += 1;
+            }
+        }
+        if result.is_ok() {
+            result = self.fsync(&file);
+            fsyncs += 1;
+        }
+        if from_flusher {
+            self.stats
+                .flusher_fsyncs
+                .fetch_add(fsyncs, Ordering::Relaxed);
+            self.stats.flusher_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        let durable = {
+            let mut flush = self.flush.lock();
+            if result.is_ok() {
+                flush.durable_ts = flush.durable_ts.max(covered);
+            }
+            flush.durable_ts
+        };
+        self.flushed.notify_all();
+        result.map(|()| durable)
+    }
+
+    /// Switches the log into dedicated-flusher mode: group-commit
+    /// committers park instead of self-electing, and rotation hands the
+    /// old segment to the flusher instead of fsyncing it under the append
+    /// lock. The caller is responsible for actually running
+    /// [`WalWriter::flusher_loop`](crate::flusher) on some thread — with
+    /// no loop running, the timed backstops in the wait paths keep
+    /// committers parked forever, so attach-and-forget is a bug.
+    pub fn attach_flusher(&self) {
+        debug_assert!(
+            self.policy != SyncPolicy::EveryCommit,
+            "the per-commit-fsync baseline must not share flushes"
+        );
+        self.flusher_attached.store(true, Ordering::Release);
+    }
+
+    /// True once [`WalWriter::attach_flusher`] was called.
+    pub fn has_flusher(&self) -> bool {
+        self.flusher_attached.load(Ordering::Acquire)
+    }
+
+    /// Requests an immediate flush pass from the dedicated flusher,
+    /// regardless of batch age or size (single-stepping tests, shutdown).
+    /// Asynchronous: returns before the pass runs.
+    pub fn request_flush(&self) {
+        self.force_flush.store(true, Ordering::Release);
+        drop(self.flush.lock());
+        self.work_cv.notify_all();
+    }
+
+    /// Highest commit timestamp known to be on stable storage.
+    pub fn durable_ts(&self) -> Timestamp {
+        self.flush.lock().durable_ts
+    }
+
+    /// Highest commit timestamp sealed into a segment file.
+    pub fn sealed_ts(&self) -> Timestamp {
+        self.sealed_hint.load(Ordering::Acquire)
+    }
+
+    /// Test-only fault injection: poisons the log exactly as a failed
+    /// fsync would, then wakes the flusher and every parked committer —
+    /// all of which must come back with an error, never hang.
+    #[doc(hidden)]
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        // The empty lock section orders the wakeups after any waiter's
+        // predicate re-check, closing the lost-wakeup window.
+        drop(self.flush.lock());
+        self.flushed.notify_all();
+        self.work_cv.notify_all();
+    }
+
+    /// Blocks until the dedicated flusher has work (something sealed or
+    /// retired is not yet durable, or a flush was forced), shutdown is
+    /// requested with nothing left to drain, or the log is poisoned.
+    pub(crate) fn flusher_wait_for_work(&self, shutdown: &AtomicBool) -> FlusherWork {
         let mut flush = self.flush.lock();
-        flush.durable_ts = flush.durable_ts.max(target);
-        Ok(())
+        loop {
+            if self.is_poisoned() {
+                return FlusherWork::Poisoned;
+            }
+            let has_work = !flush.retired.is_empty()
+                || self.sealed_hint.load(Ordering::Acquire) > flush.durable_ts
+                || self.force_flush.load(Ordering::Acquire);
+            if has_work {
+                return FlusherWork::Work;
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return FlusherWork::Shutdown;
+            }
+            // Timed backstop against a missed wakeup; notifies are precise.
+            self.work_cv.wait_for(&mut flush, Duration::from_millis(25));
+        }
+    }
+
+    /// Parks the flusher for at most `window` (woken early by new seals,
+    /// retirements, force or shutdown). The early-exit predicates —
+    /// force, shutdown, poison, and the batch-size threshold — are
+    /// re-checked *under the flush mutex* before parking: any of them
+    /// landing between the caller's bare-atomic checks and this wait
+    /// would otherwise notify with no waiter and be lost for up to the
+    /// whole window (the force flag is only peeked here, never consumed —
+    /// the caller's loop does that). Callers re-check their predicates
+    /// after every return.
+    pub(crate) fn flusher_wait_window(
+        &self,
+        window: Duration,
+        shutdown: &AtomicBool,
+        max_batch_bytes: u64,
+    ) {
+        let mut flush = self.flush.lock();
+        if shutdown.load(Ordering::Acquire)
+            || self.force_flush.load(Ordering::Acquire)
+            || self.is_poisoned()
+            || self.unsynced_bytes.load(Ordering::Acquire) >= max_batch_bytes
+        {
+            return;
+        }
+        self.work_cv.wait_for(&mut flush, window);
+    }
+
+    /// Age of the oldest sealed-but-unsynced record (`None`: no open batch).
+    pub(crate) fn batch_age(&self) -> Option<Duration> {
+        let opened = self.first_unsynced_nanos.load(Ordering::Acquire);
+        (opened != 0).then(|| {
+            self.epoch
+                .elapsed()
+                .saturating_sub(Duration::from_nanos(opened))
+        })
+    }
+
+    /// Bytes sealed since the last flush pass.
+    pub(crate) fn unsynced_batch_bytes(&self) -> u64 {
+        self.unsynced_bytes.load(Ordering::Acquire)
+    }
+
+    /// Consumes a pending force-flush request.
+    pub(crate) fn take_force_flush(&self) -> bool {
+        self.force_flush.swap(false, Ordering::AcqRel)
+    }
+
+    /// One dedicated-flusher flush pass (stats-attributed to the flusher).
+    pub(crate) fn flush_pass(&self) -> std::io::Result<Timestamp> {
+        self.sync_all_sealed(true)
+    }
+
+    /// Wakes every parked committer (flusher exit paths: each waiter
+    /// re-checks `durable_ts`/poison and either returns or errors).
+    pub(crate) fn wake_committers(&self) {
+        drop(self.flush.lock());
+        self.flushed.notify_all();
     }
 
     /// True once the log has hit an unrecoverable I/O failure (see the
@@ -410,6 +752,7 @@ impl WalWriter {
         match (&*appender.file).write_all(frame) {
             Ok(()) => {
                 appender.epoch_bytes += frame.len() as u64;
+                self.dirty_appends.store(true, Ordering::Release);
                 Ok(())
             }
             Err(e) => {
@@ -558,6 +901,25 @@ mod tests {
             "ts=7 must land in the post-rotation segment"
         );
         assert!(wal.epoch_bytes() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_covers_control_records_and_skips_when_clean() {
+        let dir = temp_dir("sync-dirty");
+        let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+        // Fresh segment, nothing appended: nothing to push.
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().fsyncs.load(Ordering::Relaxed), 0);
+        // A control record advances no commit timestamp but still dirties
+        // the segment — a clean close must fsync it (regression: the
+        // sealed-ts-only early return used to skip it).
+        wal.append_create_table(TableId(1), "t").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().fsyncs.load(Ordering::Relaxed), 1);
+        // Clean again: the early return skips the redundant fsync.
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().fsyncs.load(Ordering::Relaxed), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

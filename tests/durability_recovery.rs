@@ -338,6 +338,30 @@ fn copy_dir(src: &Path, tag: &str) -> PathBuf {
     dst
 }
 
+/// Copies a durable directory *while the database is still writing to it* —
+/// a live crash image. Append-only segments are copied in ascending
+/// sequence order, so every closed segment is whole and only the current
+/// append target yields a prefix, exactly the shape a real crash leaves.
+fn live_crash_copy(src: &Path, tag: &str) -> PathBuf {
+    let dst = temp_dir(tag);
+    std::fs::create_dir_all(&dst).unwrap();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(src)
+        .unwrap()
+        .filter_map(|e| {
+            let path = e.unwrap().path();
+            path.is_file().then_some(path)
+        })
+        .collect();
+    files.sort();
+    for path in files {
+        // A file pruned between the listing and the copy is skipped (this
+        // test runs without checkpoints, so it cannot actually happen; the
+        // tolerance keeps the helper honest for reuse).
+        let _ = std::fs::copy(&path, dst.join(path.file_name().unwrap()));
+    }
+    dst
+}
+
 /// Sums the recovered account balances; `None` when the table is absent or
 /// empty (recovery landed before the setup transaction).
 fn account_sum(db: &Database) -> Option<(u64, i64)> {
@@ -487,6 +511,129 @@ fn checkpoint_racing_purge_recovers_transfer_invariant_at_any_cut() {
             sum,
             ACCOUNTS as i64 * INITIAL,
             "checkpoint-vs-purge race broke the transfer invariant (cut {cut_permille}‰)"
+        );
+        drop(db);
+        let _ = std::fs::remove_dir_all(&case);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn background_maintenance_with_checkpoints_survives_any_cut() {
+    // The PR-4 checkpoint-vs-purge race, now with the maintenance hub's
+    // threads in the mix: the dedicated flusher (so checkpoint rotation
+    // hands segments off instead of fsyncing under the append lock) and
+    // the incremental background GC thread, plus a checkpoint looper and
+    // transfer writers. Crash-cut at several fractions of the tail
+    // segment: the SmallBank sum must hold at every cut.
+    const ACCOUNTS: u64 = 8;
+    const INITIAL: i64 = 1000;
+    let dir = temp_dir("bg-ckpt-cut");
+    {
+        let options = Options::default()
+            .with_durability(Durability::GroupCommit, &dir)
+            .with_background_flusher(std::time::Duration::from_millis(2))
+            .with_background_gc(std::time::Duration::from_millis(1));
+        let db = Database::open(options);
+        assert!(db.has_background_flusher() && db.has_background_gc());
+        let t = db.create_table("accounts").unwrap();
+        let mut setup = db.begin();
+        for a in 0..ACCOUNTS {
+            setup
+                .put(&t, &a.to_be_bytes(), INITIAL.to_string().as_bytes())
+                .unwrap();
+        }
+        setup.commit().unwrap();
+
+        let stop = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            {
+                let db = db.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        db.checkpoint().expect("checkpoint failed mid-race");
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                });
+            }
+            let mut writers = Vec::new();
+            for w in 0..4u64 {
+                let db = db.clone();
+                let t = t.clone();
+                writers.push(s.spawn(move || {
+                    for i in 0..40u64 {
+                        let h = (w * 1_000_003 + i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        let from = h % ACCOUNTS;
+                        let to = (from + 1 + (h >> 8) % (ACCOUNTS - 1)) % ACCOUNTS;
+                        let amount = ((h >> 16) % 50) as i64;
+                        let mut txn = db.begin();
+                        let transfer = (|| -> serializable_si::Result<()> {
+                            let get = |txn: &mut serializable_si::Transaction,
+                                       a: u64|
+                             -> serializable_si::Result<i64> {
+                                Ok(String::from_utf8(
+                                    txn.get(&t, &a.to_be_bytes())?.unwrap().to_vec(),
+                                )
+                                .unwrap()
+                                .parse()
+                                .unwrap())
+                            };
+                            let from_balance = get(&mut txn, from)?;
+                            let to_balance = get(&mut txn, to)?;
+                            txn.put(
+                                &t,
+                                &from.to_be_bytes(),
+                                (from_balance - amount).to_string().as_bytes(),
+                            )?;
+                            txn.put(
+                                &t,
+                                &to.to_be_bytes(),
+                                (to_balance + amount).to_string().as_bytes(),
+                            )?;
+                            txn.commit()
+                        })();
+                        match transfer {
+                            Ok(()) => {}
+                            Err(e) if e.is_retryable() => {}
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }));
+            }
+            for w in writers {
+                w.join().unwrap();
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+        // The background GC thread must actually have run while the
+        // checkpoints and transfers raced it.
+        let stats = db.transaction_manager().stats();
+        assert!(
+            stats.background_purge_runs.load(Ordering::Relaxed) > 0,
+            "background GC never ran during the race window"
+        );
+    }
+
+    for cut_permille in [0u64, 250, 500, 750, 1000] {
+        let case = copy_dir(&dir, &format!("bg-ckpt-cut{cut_permille}"));
+        let segments = wal_segments(&case);
+        if let Some(last) = segments.last() {
+            let full = std::fs::read(last).unwrap();
+            let cut = (full.len() as u64 * cut_permille / 1000) as usize;
+            std::fs::write(last, &full[..cut]).unwrap();
+        }
+        let db = open(&case, Durability::GroupCommit);
+        let (accounts, sum) = account_sum(&db)
+            .expect("a checkpoint snapshot always covers at least the setup transaction");
+        assert_eq!(
+            accounts, ACCOUNTS,
+            "recovery lost accounts (cut {cut_permille}‰)"
+        );
+        assert_eq!(
+            sum,
+            ACCOUNTS as i64 * INITIAL,
+            "background maintenance broke the transfer invariant (cut {cut_permille}‰)"
         );
         drop(db);
         let _ = std::fs::remove_dir_all(&case);
@@ -720,5 +867,155 @@ proptest! {
         prop_assert_eq!(account_sum(&db), Some((ACCOUNTS, ACCOUNTS as i64 * INITIAL)));
         drop(db);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Crash net for the maintenance hub: transfer writers run with the
+    /// dedicated flusher and the background GC thread mid-flight while a
+    /// *live* copy of the durable directory is taken (the crash image),
+    /// which is then cut at an arbitrary byte. The recovered state must be
+    /// a whole-transaction prefix (the SmallBank sum holds), must contain
+    /// every commit the flusher had acknowledged before the copy began
+    /// (per-writer monotone counters, written in the same transaction as
+    /// the transfer, prove none was lost), and a second recovery agrees.
+    fn live_crash_cut_under_background_maintenance_loses_no_acked_commit(
+        (copy_delay_ms, cut_permille, seed) in (0u64..25, 0u64..=1000, 0u64..500)
+    ) {
+        const ACCOUNTS: u64 = 8;
+        const INITIAL: i64 = 100;
+        const WRITERS: u64 = 3;
+        let dir = temp_dir("live-cut");
+        let acked: Vec<AtomicU64> = (0..WRITERS).map(|_| AtomicU64::new(0)).collect();
+        let acked_at_copy: Vec<u64>;
+        {
+            let options = Options::default()
+                .with_durability(Durability::GroupCommit, &dir)
+                .with_background_flusher(std::time::Duration::from_millis(1))
+                .with_background_gc(std::time::Duration::from_millis(1));
+            let db = Database::open(options);
+            let t = db.create_table("accounts").unwrap();
+            let counters = db.create_table("counters").unwrap();
+            let mut setup = db.begin();
+            for a in 0..ACCOUNTS {
+                setup.put(&t, &a.to_be_bytes(), INITIAL.to_string().as_bytes()).unwrap();
+            }
+            setup.commit().unwrap();
+
+            let mut copy = None;
+            std::thread::scope(|s| {
+                let mut writers = Vec::new();
+                for w in 0..WRITERS {
+                    let db = db.clone();
+                    let t = t.clone();
+                    let counters = counters.clone();
+                    let acked = &acked;
+                    writers.push(s.spawn(move || {
+                        for i in 1..=30u64 {
+                            let h = (seed ^ (w * 1_000_003 + i))
+                                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                            let from = h % ACCOUNTS;
+                            let to = (from + 1 + (h >> 8) % (ACCOUNTS - 1)) % ACCOUNTS;
+                            let amount = ((h >> 16) % 40) as i64;
+                            let mut txn = db.begin();
+                            let transfer = (|| -> serializable_si::Result<()> {
+                                let get = |txn: &mut serializable_si::Transaction,
+                                           a: u64|
+                                 -> serializable_si::Result<i64> {
+                                    Ok(String::from_utf8(
+                                        txn.get(&t, &a.to_be_bytes())?.unwrap().to_vec(),
+                                    )
+                                    .unwrap()
+                                    .parse()
+                                    .unwrap())
+                                };
+                                let from_balance = get(&mut txn, from)?;
+                                let to_balance = get(&mut txn, to)?;
+                                txn.put(&t, &from.to_be_bytes(),
+                                    (from_balance - amount).to_string().as_bytes())?;
+                                txn.put(&t, &to.to_be_bytes(),
+                                    (to_balance + amount).to_string().as_bytes())?;
+                                // Same transaction: replays iff the transfer does.
+                                txn.put(&counters, &w.to_be_bytes(), &i.to_be_bytes())?;
+                                txn.commit()
+                            })();
+                            match transfer {
+                                // `commit` returning Ok in group-commit mode
+                                // means the flusher's fsync covered it: only
+                                // then is the attempt index published as acked.
+                                Ok(()) => acked[w as usize].store(i, Ordering::Release),
+                                Err(e) if e.is_retryable() => {}
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                    }));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(copy_delay_ms));
+                // Snapshot the acked indices *before* the copy starts: every
+                // one of these commits was durable before any byte is read.
+                let snapshot: Vec<u64> =
+                    acked.iter().map(|a| a.load(Ordering::Acquire)).collect();
+                copy = Some((snapshot, live_crash_copy(&dir, "live-cut-img")));
+                for w in writers {
+                    w.join().unwrap();
+                }
+            });
+            let (snapshot, image) = copy.unwrap();
+            acked_at_copy = snapshot;
+            drop(db);
+            let _ = std::fs::remove_dir_all(&dir);
+
+            // Cut the live image's tail segment at an arbitrary byte on top
+            // of whatever tear the copy itself caught.
+            let segments = wal_segments(&image);
+            prop_assert_eq!(segments.len(), 1, "no checkpoints: a single segment");
+            let full = std::fs::read(&segments[0]).unwrap();
+            let cut = (full.len() as u64 * cut_permille / 1000) as usize;
+            std::fs::write(&segments[0], &full[..cut]).unwrap();
+
+            let db = open(&image, Durability::GroupCommit);
+            let replayed = db.recovery_info().unwrap().txns_replayed;
+            let state = dump(&db);
+            if let Some(accounts) = state.get("accounts").filter(|s| !s.is_empty()) {
+                prop_assert_eq!(accounts.len() as u64, ACCOUNTS);
+                let sum: i64 = accounts.values()
+                    .map(|v| String::from_utf8(v.clone()).unwrap().parse::<i64>().unwrap())
+                    .sum();
+                prop_assert_eq!(sum, ACCOUNTS as i64 * INITIAL,
+                    "live crash cut broke the transfer invariant");
+            } else {
+                // Recovery landed before the setup transaction: nothing —
+                // in particular no acked transfer — may exist.
+                prop_assert!(acked_at_copy.iter().all(|&n| n == 0) || cut_permille < 1000,
+                    "acked transfers existed but the setup commit is gone");
+            }
+            // Cutting at 100% of the live image keeps every commit acked
+            // before the copy began: the recovered per-writer counter must
+            // have reached the snapshot index.
+            if cut_permille == 1000 {
+                let empty = BTreeMap::new();
+                let recovered_counters = state.get("counters").unwrap_or(&empty);
+                for (w, &need) in acked_at_copy.iter().enumerate() {
+                    if need == 0 {
+                        continue;
+                    }
+                    let got = recovered_counters
+                        .get(&(w as u64).to_be_bytes()[..].to_vec())
+                        .map(|v| u64::from_be_bytes(v[..8].try_into().unwrap()))
+                        .unwrap_or(0);
+                    prop_assert!(got >= need,
+                        "writer {w}: acked commit {need} lost (recovered counter {got})");
+                }
+            }
+            drop(db);
+
+            // Idempotence: a second recovery of the cut image agrees.
+            let db = open(&image, Durability::GroupCommit);
+            prop_assert_eq!(db.recovery_info().unwrap().txns_replayed, replayed);
+            drop(db);
+            let _ = std::fs::remove_dir_all(&image);
+        }
     }
 }
