@@ -3,7 +3,9 @@
 //!
 //! Runs the `commit_micro` harness (whole transactions: begin → reads →
 //! writes → commit) at 1/4/8 threads for SI and Serializable SI, plus a
-//! contention-heavy pivot workload, against two engine configurations:
+//! contention-heavy pivot workload and a straggler-committer scenario (one
+//! committer held inside every commit window while bystanders commit),
+//! against two engine configurations:
 //!
 //! * **baseline** — `Options::with_lockstep_commit()`: conflict marking and
 //!   commits serialized under one global mutex, the structure of the thesis
@@ -25,7 +27,8 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use ssi_bench::commit_micro::{
-    preload, run_commit_section_bench, run_commit_workload, CommitThroughput, CommitWorkload,
+    preload, run_commit_section_bench, run_commit_workload, run_straggler_bench, CommitThroughput,
+    CommitWorkload, StragglerWorkload,
 };
 use ssi_common::IsolationLevel;
 use ssi_core::{Database, Options};
@@ -63,11 +66,17 @@ fn run_case(case: &Case, reps: usize) -> (CommitThroughput, CommitThroughput) {
         baseline.push(run(Options::default().with_lockstep_commit()));
         pipeline.push(run(Options::default()));
     }
-    let median = |mut v: Vec<CommitThroughput>| {
-        v.sort_by(|a, b| a.committed_per_sec().total_cmp(&b.committed_per_sec()));
-        v[v.len() / 2]
-    };
-    (median(baseline), median(pipeline))
+    (median_run(baseline), median_run(pipeline))
+}
+
+/// Median run by committed throughput.
+fn median_run(mut v: Vec<CommitThroughput>) -> CommitThroughput {
+    v.sort_by(|a, b| a.committed_per_sec().total_cmp(&b.committed_per_sec()));
+    v.remove(v.len() / 2)
+}
+
+fn micros(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e6
 }
 
 fn main() {
@@ -135,8 +144,15 @@ fn main() {
     ];
 
     println!(
-        "{:<14} {:>3} {:>14} {:>14} {:>8} {:>10}",
-        "case", "thr", "baseline c/s", "pipeline c/s", "speedup", "aborts/c"
+        "{:<16} {:>3} {:>13} {:>13} {:>8} {:>9} {:>11} {:>11}",
+        "case",
+        "thr",
+        "baseline c/s",
+        "pipeline c/s",
+        "speedup",
+        "aborts/c",
+        "base p99us",
+        "pipe p99us"
     );
     let reps = if smoke { 1 } else { 3 };
     let mut results = Vec::new();
@@ -148,16 +164,69 @@ fn main() {
             pipeline,
         };
         println!(
-            "{:<14} {:>3} {:>14.0} {:>14.0} {:>7.2}x {:>10.3}",
+            "{:<16} {:>3} {:>13.0} {:>13.0} {:>7.2}x {:>9.3} {:>11.1} {:>11.1}",
             result.case.name,
             result.case.shape.threads,
             result.baseline.committed_per_sec(),
             result.pipeline.committed_per_sec(),
             result.speedup(),
             result.pipeline.aborts_per_commit(),
+            micros(result.baseline.latency.p99()),
+            micros(result.pipeline.latency.p99()),
         );
         results.push(result);
     }
+
+    // Straggler scenario: one committer held inside every commit window
+    // (after its timestamp is stamped and deposited, before finalization)
+    // while bystanders commit disjoint keys. The number that matters is the
+    // bystanders' tail latency: under the lock-step baseline it tracks the
+    // hold time (the straggler sleeps holding the global commit gate);
+    // under the read-side-resolution pipeline it does not.
+    let straggler_hold = if smoke {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_millis(5)
+    };
+    let straggler_shape = StragglerWorkload {
+        threads: 4,
+        hold: straggler_hold,
+        duration,
+        warmup,
+    };
+    let straggler = |options: Options| {
+        let db = Database::open(options);
+        preload(&db, 64);
+        median_run(
+            (0..reps)
+                .map(|_| run_straggler_bench(&db, &straggler_shape))
+                .collect(),
+        )
+    };
+    let straggler_baseline = straggler(Options::default().with_lockstep_commit());
+    let straggler_pipeline = straggler(Options::default());
+    println!(
+        "{:<16} {:>3} {:>13.0} {:>13.0} {:>7.2}x {:>9.3} {:>11.1} {:>11.1}",
+        "straggler_4t",
+        straggler_shape.threads,
+        straggler_baseline.committed_per_sec(),
+        straggler_pipeline.committed_per_sec(),
+        straggler_pipeline.committed_per_sec() / straggler_baseline.committed_per_sec().max(1.0),
+        straggler_pipeline.aborts_per_commit(),
+        micros(straggler_baseline.latency.p99()),
+        micros(straggler_pipeline.latency.p99()),
+    );
+    println!(
+        "  straggler hold {:?}: bystander p50/p99/p999 baseline {:.1}/{:.1}/{:.1} us, \
+         pipeline {:.1}/{:.1}/{:.1} us",
+        straggler_hold,
+        micros(straggler_baseline.latency.p50()),
+        micros(straggler_baseline.latency.p99()),
+        micros(straggler_baseline.latency.p999()),
+        micros(straggler_pipeline.latency.p50()),
+        micros(straggler_pipeline.latency.p99()),
+        micros(straggler_pipeline.latency.p999()),
+    );
 
     // Serialization-point microbenchmark: commit sections only (one-key
     // update transactions, no contention), the capacity that caps
@@ -174,12 +243,14 @@ fn main() {
     let section_baseline = section(Options::default().with_lockstep_commit());
     let section_pipeline = section(Options::default());
     println!(
-        "{:<14} {:>3} {:>14.0} {:>14.0} {:>7.2}x {:>10}",
+        "{:<16} {:>3} {:>13.0} {:>13.0} {:>7.2}x {:>9} {:>11} {:>11}",
         "commit_section",
         8,
         section_baseline,
         section_pipeline,
         section_pipeline / section_baseline.max(1.0),
+        "-",
+        "-",
         "-"
     );
 
@@ -193,12 +264,20 @@ fn main() {
     json.push_str(
         "  \"comment\": \"committed txns/sec (median of interleaved reps): lock-step \
          global-mutex baseline vs the fine-grained commit pipeline (atomic state words + \
-         pair locks + deposit-drain ts publication). CAVEAT: this container has ONE CPU, \
-         where a short uncontended mutex wastes no idle cores, so end-to-end ratios \
+         pair locks + read-side commit resolution over deposit-drain ts publication). \
+         Latency percentiles are per successful commit() call, from a log-bucketed \
+         histogram (16 sub-buckets per octave, ~6% value resolution). The straggler case \
+         holds one committer for hold_ms inside every commit window (post-stamp, \
+         pre-finalize) and reports BYSTANDER latency: under the lock-step baseline \
+         bystander p99 tracks the hold (they queue on the global gate), under the \
+         pipeline it does not (readers resolve provisional commits themselves; nobody \
+         waits on publication). CAVEAT: this container has ONE CPU, where a short \
+         uncontended mutex wastes no idle cores, so end-to-end throughput ratios \
          compress toward 1.0x; the pipeline's structural win (commit sections of \
          independent transactions overlap instead of serializing) needs >= 2 cores to \
          appear as wall-clock speedup. What IS visible on one CPU: the pipeline never \
-         loses, and conflict-heavy shapes gain from gate-free conflict marking.\",\n",
+         loses, conflict-heavy shapes gain from gate-free conflict marking, and the \
+         straggler tail-latency gap is orders of magnitude.\",\n",
     );
     json.push_str("  \"cases\": [\n");
     for r in results.iter() {
@@ -207,7 +286,10 @@ fn main() {
             "    {{\"name\": \"{}\", \"threads\": {}, \"isolation\": \"{:?}\", \
              \"baseline_committed_per_sec\": {:.0}, \"pipeline_committed_per_sec\": {:.0}, \
              \"speedup\": {:.3}, \"baseline_aborts_per_commit\": {:.4}, \
-             \"pipeline_aborts_per_commit\": {:.4}}}",
+             \"pipeline_aborts_per_commit\": {:.4}, \
+             \"baseline_p50_us\": {:.1}, \"baseline_p99_us\": {:.1}, \
+             \"baseline_p999_us\": {:.1}, \"pipeline_p50_us\": {:.1}, \
+             \"pipeline_p99_us\": {:.1}, \"pipeline_p999_us\": {:.1}}}",
             r.case.name,
             r.case.shape.threads,
             r.case.isolation,
@@ -216,9 +298,40 @@ fn main() {
             r.speedup(),
             r.baseline.aborts_per_commit(),
             r.pipeline.aborts_per_commit(),
+            micros(r.baseline.latency.p50()),
+            micros(r.baseline.latency.p99()),
+            micros(r.baseline.latency.p999()),
+            micros(r.pipeline.latency.p50()),
+            micros(r.pipeline.latency.p99()),
+            micros(r.pipeline.latency.p999()),
         );
         json.push_str(",\n");
     }
+    let _ = write!(
+        json,
+        "    {{\"name\": \"straggler_4t\", \"threads\": {}, \"isolation\": \
+         \"SerializableSnapshotIsolation\", \"hold_ms\": {}, \
+         \"baseline_committed_per_sec\": {:.0}, \"pipeline_committed_per_sec\": {:.0}, \
+         \"speedup\": {:.3}, \"baseline_aborts_per_commit\": {:.4}, \
+         \"pipeline_aborts_per_commit\": {:.4}, \
+         \"baseline_p50_us\": {:.1}, \"baseline_p99_us\": {:.1}, \
+         \"baseline_p999_us\": {:.1}, \"pipeline_p50_us\": {:.1}, \
+         \"pipeline_p99_us\": {:.1}, \"pipeline_p999_us\": {:.1}}}",
+        straggler_shape.threads,
+        straggler_hold.as_millis(),
+        straggler_baseline.committed_per_sec(),
+        straggler_pipeline.committed_per_sec(),
+        straggler_pipeline.committed_per_sec() / straggler_baseline.committed_per_sec().max(1.0),
+        straggler_baseline.aborts_per_commit(),
+        straggler_pipeline.aborts_per_commit(),
+        micros(straggler_baseline.latency.p50()),
+        micros(straggler_baseline.latency.p99()),
+        micros(straggler_baseline.latency.p999()),
+        micros(straggler_pipeline.latency.p50()),
+        micros(straggler_pipeline.latency.p99()),
+        micros(straggler_pipeline.latency.p999()),
+    );
+    json.push_str(",\n");
     let _ = writeln!(
         json,
         "    {{\"name\": \"commit_section_8t\", \"threads\": 8, \"isolation\": \

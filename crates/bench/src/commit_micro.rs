@@ -10,12 +10,16 @@
 //! asserting it.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use ssi_common::IsolationLevel;
-use ssi_core::Database;
+use ssi_core::{CommitPhase, Database};
+
+use crate::hist::LatencyHistogram;
 
 /// Shape of one commit-throughput run.
 #[derive(Clone, Copy, Debug)]
@@ -42,7 +46,7 @@ pub struct CommitWorkload {
 }
 
 /// Result of one run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct CommitThroughput {
     /// Transactions committed inside the measurement window.
     pub committed: u64,
@@ -51,6 +55,10 @@ pub struct CommitThroughput {
     pub aborted: u64,
     /// Measured wall-clock time.
     pub elapsed: Duration,
+    /// Per-call latency of the successful `commit()` calls inside the
+    /// measurement window (the commit pipeline itself, not the reads and
+    /// writes), merged across all worker threads.
+    pub latency: LatencyHistogram,
 }
 
 impl CommitThroughput {
@@ -90,6 +98,7 @@ pub fn run_commit_workload(
     let measuring = AtomicBool::new(shape.warmup.is_zero());
     let committed = AtomicU64::new(0);
     let aborted = AtomicU64::new(0);
+    let latency = Mutex::new(LatencyHistogram::default());
     let key_space = shape.hot.unwrap_or(shape.keys).max(1);
 
     let measured = std::thread::scope(|s| {
@@ -98,8 +107,10 @@ pub fn run_commit_workload(
             let table = table.clone();
             let (stop, measuring) = (&stop, &measuring);
             let (committed, aborted) = (&committed, &aborted);
+            let latency = &latency;
             s.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(0x5EED ^ (t as u64) << 8);
+                let mut local_latency = LatencyHistogram::default();
                 let mut n = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let read_only = (rng.gen_range(0..256u32) as u8) < shape.read_only_pct;
@@ -122,7 +133,12 @@ pub fn run_commit_workload(
                         }
                     }
                     let result = if ok {
-                        txn.commit()
+                        let begun = Instant::now();
+                        let result = txn.commit();
+                        if result.is_ok() && measuring.load(Ordering::Relaxed) {
+                            local_latency.record(begun.elapsed());
+                        }
+                        result
                     } else {
                         Err(ssi_common::Error::TransactionClosed)
                     };
@@ -134,6 +150,7 @@ pub fn run_commit_workload(
                     }
                     n += 1;
                 }
+                latency.lock().merge(&local_latency);
             });
         }
         // Janitor: purge unreachable versions on a fixed cadence, as a
@@ -161,6 +178,139 @@ pub fn run_commit_workload(
         committed: committed.load(Ordering::Relaxed),
         aborted: aborted.load(Ordering::Relaxed),
         elapsed: measured,
+        latency: latency.into_inner(),
+    }
+}
+
+/// Shape of a straggler-committer run.
+///
+/// One dedicated straggler thread repeatedly updates its own key and is
+/// held inside every commit window — between provisional stamping (its
+/// timestamp already deposited) and finalization — for `hold` via the
+/// manager's commit pause hook. Meanwhile `threads` bystander committers
+/// run single-key update transactions on disjoint keys.
+///
+/// Under the lock-step baseline the straggler sleeps while holding the
+/// global commit gate, so every bystander commit issued during the hold
+/// blocks behind it and bystander tail latency tracks `hold`. Under the
+/// fine-grained pipeline commit resolution is read-side: nobody waits for
+/// the straggler to publish, and bystander latency is independent of the
+/// hold time.
+#[derive(Clone, Copy, Debug)]
+pub struct StragglerWorkload {
+    /// Bystander committer threads (the straggler is one extra).
+    pub threads: usize,
+    /// How long the straggler is held inside each commit window.
+    pub hold: Duration,
+    /// Measured wall-clock duration.
+    pub duration: Duration,
+    /// Unmeasured warm-up before the clock starts.
+    pub warmup: Duration,
+}
+
+/// Runs the straggler scenario against `db` (already preloaded via
+/// [`preload`]); the reported throughput and latency histogram cover the
+/// bystanders only. Installs the commit pause hook for the duration of the
+/// run and clears it before returning.
+pub fn run_straggler_bench(db: &Database, shape: &StragglerWorkload) -> CommitThroughput {
+    let table = db.table("bench").unwrap();
+    let stop = AtomicBool::new(false);
+    let measuring = AtomicBool::new(shape.warmup.is_zero());
+    let committed = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    let latency = Mutex::new(LatencyHistogram::default());
+
+    // The hook holds exactly the transaction whose id the straggler thread
+    // registered, at PreFinalize: its commit timestamp is stamped on its
+    // versions and deposited into the publication chain, but the commit is
+    // not yet finalized — the window the read-side resolution protocol
+    // exists for.
+    let straggler_id = Arc::new(AtomicU64::new(u64::MAX));
+    {
+        let straggler_id = Arc::clone(&straggler_id);
+        let hold = shape.hold;
+        db.transaction_manager()
+            .set_commit_pause_hook(Some(Arc::new(move |id, phase| {
+                if phase == CommitPhase::PreFinalize && id.0 == straggler_id.load(Ordering::Acquire)
+                {
+                    std::thread::sleep(hold);
+                }
+            })));
+    }
+
+    let measured = std::thread::scope(|s| {
+        {
+            let db = db.clone();
+            let table = table.clone();
+            let stop = &stop;
+            let straggler_id = Arc::clone(&straggler_id);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let mut txn = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+                    if txn.put(&table, b"straggler", b"1").is_err() {
+                        continue;
+                    }
+                    straggler_id.store(txn.id().0, Ordering::Release);
+                    let _ = txn.commit();
+                    straggler_id.store(u64::MAX, Ordering::Release);
+                }
+            });
+        }
+        for t in 0..shape.threads {
+            let db = db.clone();
+            let table = table.clone();
+            let (stop, measuring) = (&stop, &measuring);
+            let (committed, aborted) = (&committed, &aborted);
+            let latency = &latency;
+            s.spawn(move || {
+                // Each bystander updates its own key: no conflicts with the
+                // straggler or each other, so any latency coupling comes
+                // from the commit pipeline, not from data contention.
+                let key = (t as u64).to_be_bytes();
+                let mut local_latency = LatencyHistogram::default();
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut txn = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+                    let ok = txn.put(&table, &key, &n.to_be_bytes()).is_ok();
+                    let result = if ok {
+                        let begun = Instant::now();
+                        let result = txn.commit();
+                        if result.is_ok() && measuring.load(Ordering::Relaxed) {
+                            local_latency.record(begun.elapsed());
+                        }
+                        result
+                    } else {
+                        Err(ssi_common::Error::TransactionClosed)
+                    };
+                    if measuring.load(Ordering::Relaxed) {
+                        match result {
+                            Ok(()) => committed.fetch_add(1, Ordering::Relaxed),
+                            Err(_) => aborted.fetch_add(1, Ordering::Relaxed),
+                        };
+                    }
+                    n += 1;
+                    if n.is_multiple_of(4096) {
+                        db.purge();
+                    }
+                }
+                latency.lock().merge(&local_latency);
+            });
+        }
+        std::thread::sleep(shape.warmup);
+        measuring.store(true, Ordering::Relaxed);
+        let start = Instant::now();
+        std::thread::sleep(shape.duration);
+        let elapsed = start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        elapsed
+    });
+    db.transaction_manager().set_commit_pause_hook(None);
+
+    CommitThroughput {
+        committed: committed.load(Ordering::Relaxed),
+        aborted: aborted.load(Ordering::Relaxed),
+        elapsed: measured,
+        latency: latency.into_inner(),
     }
 }
 
@@ -232,7 +382,28 @@ mod tests {
             let out =
                 run_commit_workload(&db, IsolationLevel::SerializableSnapshotIsolation, &shape);
             assert!(out.committed > 0, "no transactions committed");
+            assert_eq!(
+                out.latency.count(),
+                out.committed,
+                "every committed transaction must contribute a latency sample"
+            );
+            assert!(out.latency.p99() >= out.latency.p50());
         }
+    }
+
+    #[test]
+    fn straggler_harness_keeps_bystanders_committing() {
+        let shape = StragglerWorkload {
+            threads: 2,
+            hold: Duration::from_millis(2),
+            duration: Duration::from_millis(60),
+            warmup: Duration::ZERO,
+        };
+        let db = Database::open(Options::default());
+        preload(&db, 16);
+        let out = run_straggler_bench(&db, &shape);
+        assert!(out.committed > 0, "bystanders must commit during the hold");
+        assert_eq!(out.latency.count(), out.committed);
     }
 
     #[test]

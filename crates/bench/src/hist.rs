@@ -1,0 +1,220 @@
+//! Hand-rolled log-bucketed latency histogram (no external dependencies).
+//!
+//! Buckets are logarithmic in nanoseconds with 16 linear sub-buckets per
+//! power of two (HdrHistogram-style, 4 significant bits): any recorded
+//! value lands in a bucket whose lower bound is within 1/16 (6.25%) of the
+//! true value, which is plenty for p50/p99/p999 reporting, while the whole
+//! histogram stays a fixed 976-slot array that records in O(1) without
+//! allocation and merges with a single pass. That makes it cheap enough to
+//! keep one per worker thread on the commit hot path and fold them together
+//! at the end of a run.
+
+use std::time::Duration;
+
+/// Sub-bucket resolution: 2^4 linear sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values below 16 ns get exact buckets; every octave above contributes 16.
+const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// Bucket holding `ns`. Monotone in `ns`; exact below 16 ns.
+fn bucket_index(ns: u64) -> usize {
+    if ns < SUBS as u64 {
+        ns as usize
+    } else {
+        let octave = 63 - ns.leading_zeros();
+        let sub = (ns >> (octave - SUB_BITS)) & (SUBS as u64 - 1);
+        (octave - SUB_BITS + 1) as usize * SUBS + sub as usize
+    }
+}
+
+/// Smallest nanosecond value mapping to `index` (inverse of
+/// [`bucket_index`] up to sub-bucket granularity).
+fn bucket_floor(index: usize) -> u64 {
+    if index < SUBS {
+        index as u64
+    } else {
+        let group = (index / SUBS) as u32;
+        let sub = (index % SUBS) as u64;
+        (SUBS as u64 + sub) << (group - 1)
+    }
+}
+
+/// Fixed-size logarithmic latency histogram with ~6% value resolution.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    total_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another histogram (e.g. a worker thread's) into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Mean of all recorded samples (exact, from the running sum).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.total_ns / self.count as u128) as u64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the lower bound of the bucket
+    /// holding the sample of that rank — an underestimate by at most one
+    /// sub-bucket width (~6%). Returns zero on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &hits) in self.buckets.iter().enumerate() {
+            seen += hits;
+            if seen >= rank {
+                return Duration::from_nanos(bucket_floor(index));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> Duration {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_tight() {
+        let mut values: Vec<u64> = Vec::new();
+        for exp in 0..63u32 {
+            for off in [0u64, 1, 3, 7] {
+                values.push((1u64 << exp) + off * ((1u64 << exp) / 8).max(1));
+            }
+        }
+        values.sort_unstable();
+        let mut last = 0usize;
+        for ns in values {
+            let index = bucket_index(ns);
+            assert!(index >= last, "bucket order broke at {ns}");
+            last = index;
+            let floor = bucket_floor(index);
+            assert!(floor <= ns, "floor {floor} above value {ns}");
+            assert!(
+                ns - floor <= ns / SUBS as u64 + 1,
+                "bucket too coarse: {ns} -> floor {floor}"
+            );
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn exact_below_sixteen_nanos() {
+        for ns in 0..16u64 {
+            assert_eq!(bucket_index(ns), ns as usize);
+            assert_eq!(bucket_floor(ns as usize), ns);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_ramp() {
+        let mut h = LatencyHistogram::default();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.p50().as_nanos() as f64;
+        let p99 = h.p99().as_nanos() as f64;
+        let p999 = h.p999().as_nanos() as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.07, "p50 {p50}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.07, "p99 {p99}");
+        assert!((p999 - 999_000.0).abs() / 999_000.0 < 0.07, "p999 {p999}");
+        assert_eq!(h.max(), Duration::from_millis(1));
+        // Mean of 1..=1000 us is 500.5 us, tracked exactly.
+        assert_eq!(h.mean(), Duration::from_nanos(500_500));
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut whole = LatencyHistogram::default();
+        for i in 0..500u64 {
+            let d = Duration::from_nanos(i * i + 17);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            whole.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.mean(), whole.mean());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p99(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod baseline;
 pub mod commit_micro;
+pub mod hist;
 pub mod storage_micro;
 
 use std::time::Duration;

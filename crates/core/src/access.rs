@@ -15,17 +15,31 @@
 //!   SIREAD gap locks so later inserts into the scanned range are detected.
 
 use std::ops::Bound;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use ssi_common::{Bytes, Error, IsolationLevel, Result, Timestamp, TxnId};
 use ssi_lock::{LockKey, LockMode};
-use ssi_storage::{as_ref_bound, clone_bound};
+use ssi_storage::{as_ref_bound, clone_bound, VisibleRead};
 
 use crate::db::TableRef;
 use crate::options::LockGranularity;
 use crate::ssi::{self, CallerRole};
 use crate::txn::{Transaction, WriteRecord};
+use crate::txn_shared::DependencyOutcome;
 use crate::verify::ReadRecord;
+
+/// How a speculative read (of a provisionally stamped version) resolved.
+enum Speculation {
+    /// The creator settled as committed meanwhile: an ordinary read.
+    Committed,
+    /// The creator is still in its commit window; a commit dependency on it
+    /// is registered and the value is used speculatively.
+    Speculative,
+    /// The creator aborted (or retired): the version chain has changed —
+    /// or is about to — so the read must be retried.
+    Retry,
+}
 
 impl Transaction {
     // ------------------------------------------------------------------
@@ -206,7 +220,7 @@ impl Transaction {
                 result.insert(pos, (key.clone(), value));
             }
             let ts = table.table.newest_committed_ts(&key);
-            self.record_read(table, &key, ts);
+            self.record_read(table, &key, ts, false);
         }
         Ok(())
     }
@@ -225,14 +239,18 @@ impl Transaction {
         missed: Vec<Vec<u8>>,
         snapshot: Timestamp,
     ) -> Result<()> {
-        let id = self.shared.id();
         for key in missed {
             let lock = self.lock_target(table, &key);
             let outcome = self.acquire(lock, LockMode::SiRead)?;
             self.mark_read_conflicts(&outcome.rw_conflicts)?;
-            let probe = table.table.read(&key, id, snapshot);
+            let probe = self.snapshot_read(table, &key, snapshot);
             self.mark_read_conflicts(&probe.newer_creators)?;
-            self.record_read(table, &key, probe.read_version_ts);
+            self.record_read(
+                table,
+                &key,
+                probe.read_version_ts,
+                probe.speculative_of.is_some(),
+            );
         }
         Ok(())
     }
@@ -309,13 +327,94 @@ impl Transaction {
     /// transaction's own uncommitted write are skipped: they impose no
     /// ordering constraints between transactions and would otherwise be
     /// indistinguishable from reads of a non-existent key.
-    fn record_read(&mut self, table: &TableRef, key: &[u8], version_ts: Option<Timestamp>) {
+    fn record_read(
+        &mut self,
+        table: &TableRef,
+        key: &[u8],
+        version_ts: Option<Timestamp>,
+        speculative: bool,
+    ) {
         if self.db.history.is_some() {
             self.reads.push(ReadRecord {
                 table: table.id(),
                 key: key.to_vec(),
                 version_ts,
+                speculative,
             });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Speculative-read resolution
+    // ------------------------------------------------------------------
+
+    /// Snapshot point read that resolves provisional versions itself
+    /// instead of waiting for the creator's timestamp to be published.
+    ///
+    /// When the storage layer reports the visible version as provisional
+    /// (`speculative_of`), the creator is in its commit window with a
+    /// stamped timestamp at or below our snapshot. Three cases:
+    ///
+    /// * the creator already settled as committed — an ordinary read;
+    /// * the creator is still committing — the value is taken
+    ///   *speculatively* after registering a commit dependency, so an
+    ///   eventual abort of the creator dooms this transaction too
+    ///   (and our own commit waits for the creator to settle first);
+    /// * the creator aborted or retired — the chain is changing under us,
+    ///   retry until the read settles.
+    ///
+    /// The returned read keeps `speculative_of` set only if the value was
+    /// actually taken speculatively.
+    fn snapshot_read(&mut self, table: &TableRef, key: &[u8], snapshot: Timestamp) -> VisibleRead {
+        loop {
+            let mut read = table.table.read(key, self.shared.id(), snapshot);
+            let Some(creator) = read.speculative_of else {
+                return read;
+            };
+            match self.resolve_speculative_creator(creator) {
+                Speculation::Committed => {
+                    read.speculative_of = None;
+                    return read;
+                }
+                Speculation::Speculative => {
+                    self.db
+                        .txns
+                        .stats()
+                        .speculative_reads
+                        .fetch_add(1, Ordering::Relaxed);
+                    return read;
+                }
+                Speculation::Retry => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    /// Resolves the creator of a provisionally stamped version, registering
+    /// a commit dependency when it is still in its window. A creator gone
+    /// from the registry is ambiguous — committed-and-retired or
+    /// aborted-and-retired — but both have already settled the version cell
+    /// (plain stamp or un-stamp happen *before* retirement), so a retry
+    /// reads the truth.
+    fn resolve_speculative_creator(&mut self, creator: TxnId) -> Speculation {
+        if self.speculative_deps.iter().any(|d| d.id() == creator) {
+            // Already a dependency: our commit waits for it either way.
+            return Speculation::Speculative;
+        }
+        let Some(writer) = self.db.txns.find(creator) else {
+            return Speculation::Retry;
+        };
+        match writer.register_commit_dependent(&self.shared) {
+            DependencyOutcome::Committed => Speculation::Committed,
+            DependencyOutcome::Aborted => Speculation::Retry,
+            DependencyOutcome::Registered => {
+                self.db
+                    .txns
+                    .stats()
+                    .commit_dependencies
+                    .fetch_add(1, Ordering::Relaxed);
+                self.speculative_deps.push(writer);
+                Speculation::Speculative
+            }
         }
     }
 
@@ -333,14 +432,19 @@ impl Transaction {
                 self.acquire(lock, LockMode::Shared)?;
                 let value = table.table.read_latest_committed(key, self.shared.id());
                 let ts = table.table.newest_committed_ts(key);
-                self.record_read(table, key, ts);
+                self.record_read(table, key, ts, false);
                 Ok(value)
             }
             IsolationLevel::SnapshotIsolation => {
                 let snapshot = self.db.txns.ensure_snapshot(&self.shared);
-                let read = table.table.read(key, self.shared.id(), snapshot);
+                let read = self.snapshot_read(table, key, snapshot);
                 if !read.read_own_write {
-                    self.record_read(table, key, read.read_version_ts);
+                    self.record_read(
+                        table,
+                        key,
+                        read.read_version_ts,
+                        read.speculative_of.is_some(),
+                    );
                 }
                 Ok(read.value)
             }
@@ -351,12 +455,19 @@ impl Transaction {
                 // EXCLUSIVE holder…
                 let outcome = self.acquire(lock, LockMode::SiRead)?;
                 self.mark_read_conflicts(&outcome.rw_conflicts)?;
-                // …then the ordinary snapshot read, and a conflict with the
+                // …then the ordinary snapshot read — resolving a creator
+                // caught in its commit window instead of waiting for its
+                // timestamp to be published — and a conflict with the
                 // creator of every newer version.
-                let read = table.table.read(key, self.shared.id(), snapshot);
+                let read = self.snapshot_read(table, key, snapshot);
                 self.mark_read_conflicts(&read.newer_creators)?;
                 if !read.read_own_write {
-                    self.record_read(table, key, read.read_version_ts);
+                    self.record_read(
+                        table,
+                        key,
+                        read.read_version_ts,
+                        read.speculative_of.is_some(),
+                    );
                 }
                 Ok(read.value)
             }
@@ -371,7 +482,7 @@ impl Transaction {
                 self.acquire(lock, LockMode::Exclusive)?;
                 let value = table.table.read_latest_committed(key, id);
                 let ts = table.table.newest_committed_ts(key);
-                self.record_read(table, key, ts);
+                self.record_read(table, key, ts, false);
                 Ok(value)
             }
             IsolationLevel::SnapshotIsolation | IsolationLevel::SerializableSnapshotIsolation => {
@@ -392,7 +503,7 @@ impl Transaction {
                 }
                 let value = table.table.read_latest_committed(key, id);
                 let ts = table.table.newest_committed_ts(key);
-                self.record_read(table, key, ts);
+                self.record_read(table, key, ts, false);
                 Ok(value)
             }
         }
@@ -498,11 +609,22 @@ impl Transaction {
         match self.shared.isolation() {
             IsolationLevel::ReadCommitted => {
                 let snapshot = self.db.txns.current_ts();
-                Ok(table
-                    .table
-                    .cursor(lower, upper, id, snapshot)
-                    .filter_map(|e| e.value.map(|v| (e.key, v)))
-                    .collect())
+                let mut result = Vec::new();
+                for entry in table.table.cursor(lower, upper, id, snapshot) {
+                    // Even read-committed must not return data that can
+                    // still roll back: resolve provisional rows the same
+                    // way the snapshot levels do (the commit dependency is
+                    // settled in `Transaction::commit`).
+                    let value = if entry.speculative_of.is_some() {
+                        self.snapshot_read(table, &entry.key, snapshot).value
+                    } else {
+                        entry.value
+                    };
+                    if let Some(value) = value {
+                        result.push((entry.key, value));
+                    }
+                }
+                Ok(result)
             }
             IsolationLevel::StrictTwoPhaseLocking => {
                 let snapshot = self.db.txns.current_ts();
@@ -526,7 +648,7 @@ impl Transaction {
                         result.push((entry.key.clone(), value));
                     }
                     let ts = table.table.newest_committed_ts(&entry.key);
-                    self.record_read(table, &entry.key, ts);
+                    self.record_read(table, &entry.key, ts, false);
                     if gap_on {
                         batch.push(entry.key);
                         if batch.len() >= GAP_SWEEP_BATCH {
@@ -565,10 +687,26 @@ impl Transaction {
                 let snapshot = self.db.txns.ensure_snapshot(&self.shared);
                 let mut result = Vec::new();
                 for entry in table.table.cursor(lower, upper, id, snapshot) {
-                    if !entry.read_own_write {
-                        self.record_read(table, &entry.key, entry.read_version_ts);
+                    let (value, version_ts, own, speculative) = if entry.speculative_of.is_some() {
+                        let read = self.snapshot_read(table, &entry.key, snapshot);
+                        (
+                            read.value,
+                            read.read_version_ts,
+                            read.read_own_write,
+                            read.speculative_of.is_some(),
+                        )
+                    } else {
+                        (
+                            entry.value,
+                            entry.read_version_ts,
+                            entry.read_own_write,
+                            false,
+                        )
+                    };
+                    if !own {
+                        self.record_read(table, &entry.key, version_ts, speculative);
                     }
-                    if let Some(value) = entry.value {
+                    if let Some(value) = value {
                         result.push((entry.key, value));
                     }
                 }
@@ -592,8 +730,11 @@ impl Transaction {
                     // its EXCLUSIVE lock entirely between the storage page
                     // read and this lock grant is invisible to both the
                     // page's `newer_creators` and the lock table, but a
-                    // fresh chain read under the lock cannot miss it.
-                    let probe = table.table.read(&entry.key, id, snapshot);
+                    // fresh chain read under the lock cannot miss it. The
+                    // probe also resolves provisional rows (registering a
+                    // commit dependency on a mid-window creator), so its
+                    // result supersedes the page entry's below.
+                    let probe = self.snapshot_read(table, &entry.key, snapshot);
                     self.mark_read_conflicts(&probe.newer_creators)?;
                     // …plus an SIREAD gap lock so that inserts into the
                     // scanned range are detected.
@@ -602,8 +743,13 @@ impl Transaction {
                         let gap_outcome = self.acquire(gap, LockMode::SiRead)?;
                         self.mark_read_conflicts(&gap_outcome.rw_conflicts)?;
                     }
-                    if !entry.read_own_write {
-                        self.record_read(table, &entry.key, entry.read_version_ts);
+                    if !probe.read_own_write {
+                        self.record_read(
+                            table,
+                            &entry.key,
+                            probe.read_version_ts,
+                            probe.speculative_of.is_some(),
+                        );
                     }
                     if gap_on {
                         batch.push(entry.key.clone());
@@ -628,7 +774,7 @@ impl Transaction {
                             batch.clear();
                         }
                     }
-                    if let Some(value) = entry.value {
+                    if let Some(value) = probe.value {
                         result.push((entry.key, value));
                     }
                 }

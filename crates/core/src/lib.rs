@@ -76,7 +76,7 @@ mod engine_tests;
 
 pub use db::{Database, TableRef};
 pub use maintenance::{MaintenanceEvent, MaintenanceHook};
-pub use manager::{GcPin, ManagerStats, TransactionManager};
+pub use manager::{CommitPauseHook, CommitPhase, GcPin, ManagerStats, TransactionManager};
 pub use options::{
     Durability, DurabilityOptions, LockGranularity, MaintenanceOptions, Options, SsiOptions,
     SsiVariant, VictimPolicy,
@@ -84,7 +84,10 @@ pub use options::{
 pub use ssi::CallerRole;
 pub use txn::Transaction;
 pub use txn_shared::{TxnShared, TxnStatus};
-pub use verify::{CommittedTxn, HistoryRecorder, LostRead, MvsgReport};
+pub use verify::{
+    CommittedTxn, DanglingSpeculativeRead, HistoryRecorder, LostRead, MvsgReport, ReadRecord,
+    WriteRecordEntry,
+};
 
 pub use ssi_common::{AbortKind, Error, IsolationLevel, Result, TxnId};
 pub use ssi_storage::PurgeStats;

@@ -45,18 +45,41 @@
 //!    first, then *deposits* `t`; whoever completes the pending prefix
 //!    drains every consecutive deposited timestamp into the clock in one
 //!    step, so no committer ever needs a predecessor to be scheduled again
-//!    after it finished stamping. A committer does wait (short adaptive
-//!    spin, then parked on a condvar with precise wakeups) until its *own*
-//!    timestamp is published, so a committed transaction is visible to new
-//!    snapshots when `commit` returns. New snapshots read `clock`, so a
-//!    snapshot at `s` provably sees every version of every commit with
-//!    timestamp `<= s` fully stamped — the atomic-visibility guarantee the
-//!    global mutex used to provide — while commits whose write sets touch
-//!    different keys run the whole pipeline in parallel. The same ordering
-//!    gives the SSI checks a sound way to reason about *unpublished*
-//!    neighbours: once `clock >= t`, any transaction still showing
-//!    "uncommitted" must commit with a timestamp `> t` (see
-//!    [`TransactionManager::wait_for_publication`]).
+//!    after it finished stamping. New snapshots read `clock`, so a
+//!    snapshot at `s` sees every commit with timestamp `<= s` at least
+//!    *provisionally* stamped, while commits whose write sets touch
+//!    different keys run the whole pipeline in parallel.
+//!
+//!    **No committer waits for its own timestamp to be published.** A
+//!    non-durable commit deposits its timestamp mid-window (between
+//!    provisional stamping and finalize) and returns as soon as its own
+//!    finalize settles — its latency is decoupled from straggler
+//!    predecessors entirely. The price is that a new snapshot can cover a
+//!    commit that is still in its window: the reader then finds a
+//!    *provisionally* stamped version and resolves it **itself** from the
+//!    creator's state word — committed, pending (take the read
+//!    speculatively and register a commit dependency), or aborted — instead
+//!    of parking on the publication condvar (the protocol lives in
+//!    [`crate::txn_shared`], § the `Committing` state machine). The read
+//!    path therefore never blocks on publication;
+//!    [`ManagerStats::read_publication_waits`] counts the read-side slow
+//!    path — which no longer has any engine call site — to prove it.
+//!
+//!    The SSI checks used to lean on publication as a fence ("once
+//!    `clock >= t`, anything still unstamped commits after `t`"); they now
+//!    get the same bound cheaper from the state word: timestamps are
+//!    allocated only *after* the `Active → Committing` transition, so a
+//!    word still showing `Active` belongs to a transaction whose eventual
+//!    commit timestamp exceeds everything already allocated — no waiting
+//!    required (see [`crate::ssi`]).
+//!
+//!    Ordered publication itself survives for the two consumers that
+//!    genuinely need a prefix-closed clock: snapshot acquisition, and the
+//!    WAL seal order in durable mode — durable commits finalize *before*
+//!    stamping (no provisional window, since a checkpoint must never
+//!    stream a version that can still roll back) and keep a commit-path
+//!    [`TransactionManager::wait_for_publication`] so log sealing follows
+//!    timestamp order.
 //!
 //! Every allocated timestamp **must** be published exactly once, even when
 //! the commit fails between allocation and publication (the timestamp is
@@ -151,18 +174,41 @@ pub const REGISTRY_SHARDS: usize = 64;
 /// [`TransactionManager::set_sweep_pause_hook`].
 pub type SweepPauseHook = Arc<dyn Fn(usize) + Send + Sync>;
 
-/// Spins of the publication wait loop before parking, on multi-core
-/// machines: the predecessor is typically mid-stamping on another core and
-/// finishes within nanoseconds, so parking would cost far more than the
-/// wait. On a single-core machine spinning is counterproductive — the
-/// predecessor cannot run until we sleep — so the limit drops to zero and
-/// waiters park immediately (a clean scheduler handoff, exactly like a
-/// contended futex mutex).
-fn publish_spin_limit() -> u32 {
+/// The shared spin budget for the commit pipeline's short waits — the
+/// publication wait loop, the `Allocating` settle loop in [`crate::ssi`]
+/// and the dependency wait in [`crate::txn`]. On multi-core machines the
+/// awaited thread is typically a few instructions from done on another
+/// core, so a short spin beats parking or yielding. On a single-core
+/// machine spinning is counterproductive — the awaited thread cannot run
+/// until we sleep — so the budget drops to zero and waiters go straight to
+/// their fallback (park or yield), a clean scheduler handoff exactly like
+/// a contended futex mutex.
+fn commit_spin_limit() -> u32 {
     match std::thread::available_parallelism() {
         Ok(n) if n.get() > 1 => 64,
         _ => 0,
     }
+}
+
+/// Test-only instrumentation callback: invoked with the committing
+/// transaction's id at the [`CommitPhase`] points of the write-commit
+/// pipeline, so tests and benchmarks can hold a committer mid-window (the
+/// "straggler" choreography) while readers and later committers proceed.
+/// See [`TransactionManager::set_commit_pause_hook`].
+pub type CommitPauseHook = Arc<dyn Fn(TxnId, CommitPhase) + Send + Sync>;
+
+/// Points in the write-commit pipeline where the commit pause hook fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CommitPhase {
+    /// After versions are provisionally stamped, before the commit
+    /// timestamp is deposited for publication: a committer held here has
+    /// allocated its timestamp but new snapshots cannot cover it yet.
+    PreDeposit,
+    /// After the timestamp is deposited, before the dependency wait and
+    /// finalize: a committer held here is the straggler scenario — its
+    /// timestamp is published, readers can take its versions
+    /// speculatively, later committers must not wait for it.
+    PreFinalize,
 }
 
 /// A committed Serializable-SI transaction kept around because transactions
@@ -264,6 +310,22 @@ pub struct ManagerStats {
     /// Publication waits that outlasted the spin phase and parked the
     /// thread (commit pipeline contention signal).
     pub publish_parks: AtomicU64,
+    /// Publication waits taken on the *read* path. After the read-side
+    /// commit-resolution change this has no engine call site left, so the
+    /// stress net asserts it stays zero — readers resolve in-flight
+    /// commits from the creator's state word instead of parking.
+    pub read_publication_waits: AtomicU64,
+    /// Reads that took a provisionally stamped version speculatively
+    /// (creator still in its commit window, timestamp covered by the
+    /// reader's snapshot).
+    pub speculative_reads: AtomicU64,
+    /// Commit dependencies registered by speculative readers on
+    /// still-committing creators (a subset of `speculative_reads`: a
+    /// creator that settles before registration needs no dependency).
+    pub commit_dependencies: AtomicU64,
+    /// Transactions doomed because a creator they speculatively read from
+    /// aborted out of its commit window (dependency-abort cascades).
+    pub dependency_cascade_aborts: AtomicU64,
     /// Full registry sweeps performed to refresh the cached
     /// `oldest_active_begin` watermark (cleanup cost signal: without the
     /// cache this would equal the number of cleanup calls).
@@ -333,7 +395,7 @@ pub struct TransactionManager {
     /// been preempted mid-pipeline.
     publish_mu: Mutex<()>,
     publish_cv: Condvar,
-    /// Pre-publication spins before parking (see [`publish_spin_limit`]).
+    /// Pre-publication spins before parking (see [`commit_spin_limit`]).
     publish_spins: u32,
     /// Cached lower bound on [`TransactionManager::oldest_active_begin`],
     /// used by suspended-cleanup so the common per-commit call does not
@@ -360,6 +422,11 @@ pub struct TransactionManager {
     /// check costs nothing that matters.
     sweep_pause_hook: Mutex<Option<SweepPauseHook>>,
     sweep_hook_set: std::sync::atomic::AtomicBool,
+    /// Test-only commit-pipeline instrumentation (straggler choreography);
+    /// same `None` + relaxed-flag fast path as the sweep hook, checked
+    /// twice per write commit.
+    commit_pause_hook: Mutex<Option<CommitPauseHook>>,
+    commit_hook_set: std::sync::atomic::AtomicBool,
     /// Activity counters.
     stats: ManagerStats,
 }
@@ -381,13 +448,15 @@ impl TransactionManager {
             publish_waiters: AtomicU64::new(0),
             publish_mu: Mutex::new(()),
             publish_cv: Condvar::new(),
-            publish_spins: publish_spin_limit(),
+            publish_spins: commit_spin_limit(),
             begin_watermark: AtomicU64::new(0),
             watermark_gen: AtomicU64::new(u64::MAX),
             finish_gen: AtomicU64::new(0),
             gc: GcHorizon::new(),
             sweep_pause_hook: Mutex::new(None),
             sweep_hook_set: std::sync::atomic::AtomicBool::new(false),
+            commit_pause_hook: Mutex::new(None),
+            commit_hook_set: std::sync::atomic::AtomicBool::new(false),
             stats: ManagerStats::default(),
         }
     }
@@ -470,17 +539,19 @@ impl TransactionManager {
     /// Publishes a commit timestamp allocated with
     /// [`TransactionManager::allocate_commit_ts`], making it visible to new
     /// snapshots. The clock still advances strictly in allocation order —
-    /// the atomic-visibility invariant — but out-of-order finishers
-    /// *deposit* their timestamp instead of queueing to store it
-    /// themselves: whoever completes the pending prefix drains every
-    /// consecutive deposited timestamp in one step. A committer therefore
-    /// never needs its predecessors to be *scheduled again* after they
-    /// finished stamping, and a pile-up behind one preempted commit clears
-    /// with a single group wakeup rather than a serial chain of handoffs.
+    /// out-of-order finishers *deposit* their timestamp instead of queueing
+    /// to store it themselves: whoever completes the pending prefix drains
+    /// every consecutive deposited timestamp in one step. A committer
+    /// therefore never needs its predecessors to be *scheduled again* after
+    /// they finished stamping, and a pile-up behind one preempted commit
+    /// clears with a single group wakeup rather than a serial chain of
+    /// handoffs.
     ///
-    /// Blocks until `ts` itself is published (so a committed transaction is
-    /// visible to new snapshots when `commit` returns), which is bounded by
-    /// the commits ahead of us, each of which only has stamping left to do.
+    /// **Deposit-only**: this never waits, not even for `ts` itself — a
+    /// straggling predecessor delays when *new snapshots* start seeing this
+    /// commit, but no longer delays the commit's own completion. Paths that
+    /// genuinely need `clock >= ts` (the durable WAL seal order, tests)
+    /// call [`TransactionManager::wait_for_publication`] explicitly.
     pub fn publish_commit_ts(&self, ts: Timestamp) {
         debug_assert!(ts > 0);
         let advanced = {
@@ -506,22 +577,43 @@ impl TransactionManager {
             drop(self.publish_mu.lock());
             self.publish_cv.notify_all();
         }
+    }
+
+    /// Waits until every commit timestamp `<= ts` has been published.
+    ///
+    /// After this returns the snapshot clock covers `ts`: every commit at
+    /// or below it has deposited. The durable commit path uses this to keep
+    /// the WAL seal order aligned with timestamp order; **the read path
+    /// never calls it** — readers resolve in-flight commits from the
+    /// creator's state word instead (see the module docs).
+    pub fn wait_for_publication(&self, ts: Timestamp) {
         if self.clock.load(Ordering::Acquire) < ts {
             self.wait_until_published(ts);
         }
     }
 
-    /// Waits until every commit timestamp `<= ts` has been published.
-    ///
-    /// This is the fence the SSI checks use to reason about apparently
-    /// uncommitted neighbours: after this returns, any transaction whose
-    /// state word still shows "uncommitted" is guaranteed to commit (if
-    /// ever) with a timestamp `> ts`, because all timestamps `<= ts` have
-    /// completed the mark-committed → stamp → publish pipeline.
-    pub fn wait_for_publication(&self, ts: Timestamp) {
+    /// Read-path variant of [`TransactionManager::wait_for_publication`],
+    /// instrumented with [`ManagerStats::read_publication_waits`]. The
+    /// read-side commit-resolution protocol removed every engine call site
+    /// of this function; it is kept (and counted) so the stress net can
+    /// assert the counter stays at zero — any future change that re-blocks
+    /// the read path on publication shows up as a counted regression, not
+    /// a silent tail-latency bug.
+    pub fn wait_for_publication_for_read(&self, ts: Timestamp) {
         if self.clock.load(Ordering::Acquire) < ts {
+            self.stats
+                .read_publication_waits
+                .fetch_add(1, Ordering::Relaxed);
             self.wait_until_published(ts);
         }
+    }
+
+    /// The parallelism-gated spin budget shared by the commit pipeline's
+    /// short waits (see [`commit_spin_limit`]). Zero on single-core
+    /// machines, where spinning only delays the awaited thread.
+    #[inline]
+    pub(crate) fn spin_limit(&self) -> u32 {
+        self.publish_spins
     }
 
     /// Blocks until `clock >= ts`: a short spin for the common case (the
@@ -596,6 +688,31 @@ impl TransactionManager {
     pub fn set_sweep_pause_hook(&self, hook: Option<SweepPauseHook>) {
         self.sweep_hook_set.store(hook.is_some(), Ordering::Relaxed);
         *self.sweep_pause_hook.lock() = hook;
+    }
+
+    /// Installs (or clears) the test-only commit-pipeline pause hook: it is
+    /// called with the committing transaction's id at each [`CommitPhase`]
+    /// point. Tests and the straggler benchmark use it to hold one
+    /// committer inside its commit window — timestamp allocated and
+    /// published, versions provisionally stamped, finalize withheld — while
+    /// readers and later committers proceed. Not for production use.
+    #[doc(hidden)]
+    pub fn set_commit_pause_hook(&self, hook: Option<CommitPauseHook>) {
+        self.commit_hook_set
+            .store(hook.is_some(), Ordering::Relaxed);
+        *self.commit_pause_hook.lock() = hook;
+    }
+
+    /// Fires the commit pause hook, if one is installed (one relaxed load
+    /// when not).
+    #[inline]
+    pub(crate) fn fire_commit_pause(&self, id: TxnId, phase: CommitPhase) {
+        if self.commit_hook_set.load(Ordering::Relaxed) {
+            let hook = self.commit_pause_hook.lock().clone();
+            if let Some(hook) = hook {
+                hook(id, phase);
+            }
+        }
     }
 
     /// Refreshes (or reuses) the cached begin-watermark: a monotone lower
@@ -890,27 +1007,85 @@ mod tests {
 
     #[test]
     fn publication_is_in_allocation_order() {
-        // Allocate two timestamps, publish them from two threads in the
-        // wrong order: the clock must still advance 1 → 2 → 3 and the
-        // later publisher must wait for the earlier one.
+        // Publish two timestamps in the wrong order: the deposit must not
+        // block the out-of-order publisher, the clock must not advance past
+        // the gap, and depositing the missing prefix must drain both in one
+        // step.
         let m = mgr();
         let t2 = m.allocate_commit_ts();
         let t3 = m.allocate_commit_ts();
         assert_eq!((t2, t3), (2, 3));
+        m.publish_commit_ts(t3); // returns immediately — deposit only
+        assert_eq!(m.current_ts(), 1, "t3 must not publish before t2");
+        m.publish_commit_ts(t2);
+        assert_eq!(m.current_ts(), 3, "prefix drain publishes both");
+        m.wait_for_publication(3);
+    }
+
+    #[test]
+    fn wait_for_publication_blocks_until_prefix_drains() {
+        // An explicit waiter (the durable seal path's shape) parks until a
+        // straggling predecessor deposits.
+        let m = mgr();
+        let t2 = m.allocate_commit_ts();
+        let t3 = m.allocate_commit_ts();
+        m.publish_commit_ts(t3);
         std::thread::scope(|s| {
             let m2 = &m;
-            let late = s.spawn(move || {
-                m2.publish_commit_ts(t3);
+            let waiter = s.spawn(move || {
+                m2.wait_for_publication(t3);
                 m2.current_ts()
             });
-            // Give the late publisher a head start so it really waits.
+            // Give the waiter a head start so it really parks.
             std::thread::sleep(std::time::Duration::from_millis(10));
-            assert_eq!(m.current_ts(), 1, "t3 must not publish before t2");
+            assert_eq!(m.current_ts(), 1);
             m.publish_commit_ts(t2);
-            assert_eq!(late.join().unwrap(), 3);
+            assert_eq!(waiter.join().unwrap(), 3);
         });
         assert_eq!(m.current_ts(), 3);
-        m.wait_for_publication(3);
+    }
+
+    #[test]
+    fn read_path_publication_wait_is_counted() {
+        let m = mgr();
+        // Published prefix: the fast path takes no wait and counts nothing.
+        let ts = tick(&m);
+        m.wait_for_publication_for_read(ts);
+        assert_eq!(
+            m.stats().read_publication_waits.load(Ordering::Relaxed),
+            0,
+            "covered timestamps must not count as read waits"
+        );
+        let t2 = m.allocate_commit_ts();
+        std::thread::scope(|s| {
+            let m2 = &m;
+            let waiter = s.spawn(move || m2.wait_for_publication_for_read(t2));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            m.publish_commit_ts(t2);
+            waiter.join().unwrap();
+        });
+        assert_eq!(m.stats().read_publication_waits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn commit_pause_hook_fires_and_clears() {
+        let m = mgr();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s2 = seen.clone();
+        m.set_commit_pause_hook(Some(Arc::new(move |id, phase| {
+            s2.lock().push((id, phase));
+        })));
+        m.fire_commit_pause(TxnId(7), CommitPhase::PreDeposit);
+        m.fire_commit_pause(TxnId(7), CommitPhase::PreFinalize);
+        m.set_commit_pause_hook(None);
+        m.fire_commit_pause(TxnId(8), CommitPhase::PreDeposit);
+        assert_eq!(
+            *seen.lock(),
+            vec![
+                (TxnId(7), CommitPhase::PreDeposit),
+                (TxnId(7), CommitPhase::PreFinalize)
+            ]
+        );
     }
 
     #[test]
@@ -1263,6 +1438,9 @@ mod tests {
                     for _ in 0..100 {
                         let ts = m.allocate_commit_ts();
                         m.publish_commit_ts(ts);
+                        // Deposit alone need not cover ts (a predecessor
+                        // may still be pending); the explicit wait must.
+                        m.wait_for_publication(ts);
                         let now = m.current_ts();
                         assert!(now >= ts);
                         assert!(now >= last_seen, "clock went backwards");

@@ -8,14 +8,17 @@
 //!   (SIREAD vs EXCLUSIVE) or through the existence of a newer row version.
 //!   It implements Fig. 3.3 (basic variant) and Fig. 3.9 (enhanced variant),
 //!   plus the abort-early and victim-selection refinements of Sec. 3.7.
-//! * [`commit_transaction`] — the commit-time unsafe check of Fig. 3.2 /
-//!   Fig. 3.10 fused with the commit-timestamp assignment, so the check and
-//!   the status transition are one atomic step.
+//! * [`begin_commit`] / [`finalize_commit`] — the commit-time unsafe check
+//!   of Fig. 3.2 / Fig. 3.10, split across the two halves of the
+//!   `Committing` window (see [`crate::txn_shared`]): `begin_commit` runs
+//!   the full check fused with the `Active → Committing` transition,
+//!   `finalize_commit` re-validates what concurrent markers may have
+//!   changed and flips the word to `Committed`.
 //!
 //! Both operate purely on [`TxnShared`] records; they know nothing about
 //! tables or locks.
 //!
-//! # Synchronization: no global mutex
+//! # Synchronization: no global mutex, no publication fence
 //!
 //! The paper wraps these paths in `atomic begin/end` blocks backed by
 //! InnoDB's kernel mutex. Here the same atomicity comes from two
@@ -24,17 +27,39 @@
 //! * **Basic variant** — all the state the checks consult (status, commit
 //!   timestamp, doomed flag, both conflict booleans) lives in one atomic
 //!   state word per transaction, so `mark_conflict` is two CAS loops (one
-//!   per participant) and the commit check-and-mark is a single CAS. No
-//!   locks are taken at all.
+//!   per participant) and each commit transition is a single CAS. No locks
+//!   are taken at all. Markers keep setting flags on a word inside its
+//!   commit window; the finalize CAS re-checks `in && out`, so a pivot
+//!   completed mid-window fails its commit organically.
 //! * **Enhanced variant** — conflict-neighbour identities also matter, so
 //!   each transaction carries a small conflict mutex. `mark_conflict` locks
 //!   the two participants **in increasing transaction-id order** (deadlock
 //!   freedom: no path ever holds more than these two, and a committing
-//!   transaction holds only its own). Commit-time ordering tests against
-//!   neighbours that look uncommitted use the manager's publication fence
-//!   ([`TransactionManager::wait_for_publication`]) to rule out a
-//!   neighbour whose timestamp was allocated but whose status store has
-//!   not yet become visible.
+//!   transaction holds only its own, only for the duration of its check).
+//!
+//! Earlier revisions closed one race with a *publication fence*: an
+//! out-neighbour whose timestamp was allocated but not yet stored looked
+//! "uncommitted", so ordering tests blocked on
+//! `TransactionManager::wait_for_publication` before trusting that
+//! appearance. Those fences are gone. Commit timestamps are now allocated
+//! only **after** the `Active → Committing` word transition, which makes
+//! the state word self-sufficient ([`CommitResolution`]):
+//!
+//! * a word showing `Active` belongs to a transaction whose eventual
+//!   commit timestamp exceeds every timestamp already allocated — "commits
+//!   at infinity" is sound with no wait;
+//! * a word showing `Committing` carries the pending timestamp, usable by
+//!   the ordering tests (exact if the owner commits; conservative — the
+//!   edge evaporates — if it aborts);
+//! * the only opaque state is the few-instruction `Allocating` gap between
+//!   the transition and the timestamp store, which observers spin out
+//!   (parallelism-gated budget, never parking).
+//!
+//! Fig. 3.9's committed-writer rule is extended accordingly: a writer
+//! inside its commit window counts as committed at its pending timestamp,
+//! so an edge recorded against it mid-window is resolved by the *marker*
+//! (which aborts itself if the structure is dangerous) — the committing
+//! transaction's finalize only needs to re-check its doomed flag.
 
 use std::sync::Arc;
 
@@ -45,7 +70,8 @@ use ssi_common::{Error, Result, Timestamp, TxnId};
 use crate::manager::TransactionManager;
 use crate::options::{SsiOptions, SsiVariant, VictimPolicy};
 use crate::txn_shared::{
-    word_status, ConflictEdge, ConflictState, TxnShared, TxnStatus, WORD_DOOMED, WORD_IN, WORD_OUT,
+    word_status, CommitResolution, ConflictEdge, ConflictState, TxnShared, TxnStatus, WORD_DOOMED,
+    WORD_IN, WORD_OUT,
 };
 
 /// Which of the two parties of a conflict is executing the current
@@ -98,49 +124,71 @@ fn conflict_state_unsafe(opts: &SsiOptions, txn: &TxnShared, st: &ConflictState)
     }
 }
 
-/// The commit-time variant of the dangerous-structure test, hardened
-/// against the one race the lock-free pipeline admits: an out-neighbour
-/// that has *allocated* a commit timestamp but whose committed status is
-/// not visible yet would be treated as "commits at infinity" and could
-/// slip a genuinely dangerous structure through. When the incoming bound
-/// is a real (finite) commit timestamp, waiting until every timestamp up
-/// to it has been published makes "still uncommitted" mean "will commit
-/// strictly later than the incoming transaction" — restoring exactly the
-/// guarantee the global mutex used to give.
+/// Reads `txn`'s commit resolution, spinning out the `Allocating` gap (the
+/// few instructions between the `Active → Committing` transition and the
+/// pending-timestamp store — though a preempted owner can stretch it to a
+/// scheduler quantum, hence the yield fallback once the parallelism-gated
+/// spin budget is spent). Never returns `Allocating`; never parks. The
+/// loop terminates because an owner in that gap executes only a fetch-add
+/// and a store — it cannot block on anything.
+fn settle_resolution(mgr: &TransactionManager, txn: &TxnShared) -> CommitResolution {
+    let mut spins = 0;
+    loop {
+        let res = txn.commit_resolution();
+        if res != CommitResolution::Allocating {
+            return res;
+        }
+        if spins < mgr.spin_limit() {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// The commit-time variant of the dangerous-structure test. Earlier
+/// revisions had to *wait for publication* here before trusting an
+/// apparently uncommitted out-neighbour; the allocation-after-`Committing`
+/// ordering makes the state word sufficient: an `Active` out-neighbour
+/// provably commits later than the (already allocated) incoming bound, a
+/// window-bound neighbour exposes its pending timestamp, and only the
+/// `Allocating` gap is spun out.
 fn unsafe_at_commit(mgr: &TransactionManager, txn: &TxnShared, st: &ConflictState) -> bool {
     if !(st.in_edge.is_set() && st.out_edge.is_set()) {
         return false;
     }
     let in_commit = st.in_edge.incoming_commit_bound(txn);
-    let mut out_commit = st.out_edge.outgoing_commit_bound(txn);
-    if out_commit == Timestamp::MAX && in_commit != Timestamp::MAX {
-        if let ConflictEdge::Txn(out) = &st.out_edge {
-            mgr.wait_for_publication(in_commit);
-            out_commit = out.commit_ts().unwrap_or(Timestamp::MAX);
-        }
-    }
+    let out_commit = match &st.out_edge {
+        ConflictEdge::Txn(out) => match settle_resolution(mgr, out) {
+            CommitResolution::Committed(ts) | CommitResolution::Pending(ts) => ts,
+            // Still active: will allocate — and hence commit, if ever —
+            // after every allocated timestamp, in particular after
+            // `in_commit`. Aborted: the edge carries no dangerous
+            // structure.
+            CommitResolution::Active | CommitResolution::Aborted => Timestamp::MAX,
+            CommitResolution::Allocating => unreachable!("settled above"),
+        },
+        edge => edge.outgoing_commit_bound(txn),
+    };
     out_commit <= in_commit
 }
 
-/// Resolves the outgoing commit bound of a *committed* pivot candidate
-/// (`owner`, committed at `owner_commit`) for the committed-writer test of
-/// Fig. 3.9, using the publication fence for apparently uncommitted
-/// neighbours exactly as [`unsafe_at_commit`] does.
+/// Resolves the outgoing commit bound of a pivot candidate (`owner`,
+/// committed or pending) for the committed-writer test of Fig. 3.9, with
+/// the same no-wait resolution as [`unsafe_at_commit`].
 fn settled_outgoing_bound(
     mgr: &TransactionManager,
     owner: &TxnShared,
     edge: &ConflictEdge,
-    owner_commit: Timestamp,
 ) -> Timestamp {
     match edge {
         ConflictEdge::None => Timestamp::MAX,
         ConflictEdge::SelfLoop => edge.outgoing_commit_bound(owner),
-        ConflictEdge::Txn(out) => match out.commit_ts() {
-            Some(ts) => ts,
-            None => {
-                mgr.wait_for_publication(owner_commit);
-                out.commit_ts().unwrap_or(Timestamp::MAX)
-            }
+        ConflictEdge::Txn(out) => match settle_resolution(mgr, out) {
+            CommitResolution::Committed(ts) | CommitResolution::Pending(ts) => ts,
+            CommitResolution::Active | CommitResolution::Aborted => Timestamp::MAX,
+            CommitResolution::Allocating => unreachable!("settled above"),
         },
     }
 }
@@ -336,13 +384,21 @@ fn mark_conflict_enhanced(
     }
 
     // Fig. 3.9: only the committed-writer case can require an abort; if the
-    // reader has committed, the writer (still running) is the outgoing
-    // transaction of that pivot and cannot have committed first, so no
-    // abort is needed.
-    if writer.is_committed() {
-        let commit = writer.commit_ts().unwrap_or(Timestamp::MAX);
+    // reader has committed (or is committing), the writer — the caller,
+    // still active, hence allocating later — is the outgoing transaction of
+    // that pivot and cannot have committed first, so no abort is needed.
+    //
+    // A writer *inside its commit window* counts as committed at its
+    // pending timestamp: its own finalize only re-checks the doomed flag,
+    // so a dangerous structure completed by this very edge must be resolved
+    // here, by aborting the caller. (If the writer later aborts instead of
+    // finalizing, this was conservative — a spurious caller abort, never a
+    // missed cycle.)
+    if let CommitResolution::Committed(commit) | CommitResolution::Pending(commit) =
+        settle_resolution(mgr, writer)
+    {
         if wc.out_edge.is_set() {
-            let out_commit = settled_outgoing_bound(mgr, writer, &wc.out_edge, commit);
+            let out_commit = settled_outgoing_bound(mgr, writer, &wc.out_edge);
             if out_commit <= commit {
                 return Err(Error::unsafe_abort(caller_txn.id()));
             }
@@ -506,68 +562,118 @@ pub(crate) fn commit_check(
     }
 }
 
-/// Atomically runs the commit-time unsafe check (Fig. 3.2 / Fig. 3.10) and,
-/// on success, assigns the commit timestamp and flips the transaction to
-/// committed. Returns the commit timestamp the caller must stamp its
-/// versions with and then publish (writers only — when `has_writes` is
-/// false the current snapshot clock is reused and nothing needs publishing).
+/// Opens a writer's commit window: runs the commit-time unsafe check
+/// (Fig. 3.2 / Fig. 3.10) fused with the `Active → Committing` transition,
+/// then allocates the commit timestamp and installs it into the state word
+/// as pending. Returns the timestamp the caller must stamp its versions
+/// with (provisionally), deposit for publication, and eventually settle
+/// with [`finalize_commit`] — or withdraw by aborting.
 ///
 /// * Basic variant: check and transition are a single CAS on the state
 ///   word; a conflict flag arriving between the check and the CAS forces a
 ///   retry that observes it.
-/// * Enhanced variant: runs under the transaction's own conflict mutex,
-///   which excludes concurrent edge recording and dooming against it.
+/// * Enhanced variant: the check and the transition run under the
+///   transaction's own conflict mutex, which excludes concurrent edge
+///   recording against it; the mutex is released before the allocation, so
+///   markers are never blocked for the duration of the window.
 ///
-/// On failure after a timestamp was allocated, the timestamp is published
-/// empty here so the publication chain never stalls; the caller only
-/// publishes the returned timestamp of a *successful* writer commit.
+/// The allocation happens strictly *after* the transition — the ordering
+/// every no-wait resolution in this module leans on. A failed entry has
+/// allocated nothing, so there is no timestamp to publish empty.
+pub(crate) fn begin_commit(
+    mgr: &TransactionManager,
+    opts: &SsiOptions,
+    txn: &Arc<TxnShared>,
+) -> Result<Timestamp> {
+    match opts.variant {
+        SsiVariant::Basic => {
+            if txn.enter_committing(true).is_err() {
+                return Err(Error::unsafe_abort(txn.id()));
+            }
+        }
+        SsiVariant::Enhanced => {
+            let mut st = txn.conflicts.lock();
+            enhanced_commit_check_locked(mgr, txn, &mut st)?;
+            if txn.enter_committing(false).is_err() {
+                return Err(Error::unsafe_abort(txn.id()));
+            }
+        }
+    }
+    let ts = mgr.allocate_commit_ts();
+    txn.set_pending_commit_ts(ts);
+    Ok(ts)
+}
+
+/// Settles a writer's commit window (`Committing → Committed`). The basic
+/// variant re-checks the pivot flags — markers kept setting them during
+/// the window, so a dangerous structure completed mid-window fails here
+/// (and, if speculative readers took this transaction's versions, cascades
+/// into their abort). The enhanced variant only re-checks the doomed flag:
+/// structures completed mid-window were resolved by the marker against the
+/// pending timestamp (see [`mark_conflict_enhanced`]).
+///
+/// On failure the caller owns the cleanup: un-stamp versions, mark the
+/// transaction aborted, drain and doom its commit dependents. The
+/// timestamp was already deposited, so the publication chain is not
+/// stalled by the failure.
+pub(crate) fn finalize_commit(opts: &SsiOptions, txn: &Arc<TxnShared>) -> Result<()> {
+    let check_pivot = matches!(opts.variant, SsiVariant::Basic);
+    match txn.finalize_commit(check_pivot) {
+        Ok(()) => Ok(()),
+        Err(_) => Err(Error::unsafe_abort(txn.id())),
+    }
+}
+
+/// Commits a transaction with no writes: the commit-time unsafe check plus
+/// a single `Active → Committed` CAS at the current snapshot clock. No
+/// window, no allocation, nothing to publish. (Callers that performed
+/// speculative reads must have waited their dependencies out first.)
+pub(crate) fn commit_read_only(
+    mgr: &TransactionManager,
+    opts: &SsiOptions,
+    txn: &Arc<TxnShared>,
+) -> Result<Timestamp> {
+    match opts.variant {
+        SsiVariant::Basic => {
+            let ts = mgr.current_ts();
+            match txn.try_commit_word(ts, true) {
+                Ok(()) => Ok(ts),
+                Err(_) => Err(Error::unsafe_abort(txn.id())),
+            }
+        }
+        SsiVariant::Enhanced => {
+            let mut st = txn.conflicts.lock();
+            enhanced_commit_check_locked(mgr, txn, &mut st)?;
+            let ts = mgr.current_ts();
+            match txn.try_commit_word(ts, false) {
+                Ok(()) => Ok(ts),
+                Err(_) => Err(Error::unsafe_abort(txn.id())),
+            }
+        }
+    }
+}
+
+/// Whole write-commit pipeline in one call, minus stamping and dependency
+/// waits — a test helper probing the check/transition logic in isolation.
+/// On a finalize failure the timestamp is deposited and the transaction
+/// marked aborted, mirroring (in miniature) the engine's abort path.
+#[cfg(test)]
 pub(crate) fn commit_transaction(
     mgr: &TransactionManager,
     opts: &SsiOptions,
     txn: &Arc<TxnShared>,
     has_writes: bool,
 ) -> Result<Timestamp> {
-    match opts.variant {
-        SsiVariant::Basic => {
-            // Pre-check before allocating so a doomed/pivot transaction
-            // does not burn a timestamp.
-            let word = txn.load_word();
-            if word & WORD_DOOMED != 0 || (word & WORD_IN != 0 && word & WORD_OUT != 0) {
-                return Err(Error::unsafe_abort(txn.id()));
-            }
-            let ts = if has_writes {
-                mgr.allocate_commit_ts()
-            } else {
-                mgr.current_ts()
-            };
-            match txn.try_commit_word(ts, true) {
-                Ok(()) => Ok(ts),
-                Err(_) => {
-                    if has_writes {
-                        mgr.publish_commit_ts(ts);
-                    }
-                    Err(Error::unsafe_abort(txn.id()))
-                }
-            }
-        }
-        SsiVariant::Enhanced => {
-            let mut st = txn.conflicts.lock();
-            enhanced_commit_check_locked(mgr, txn, &mut st)?;
-            let ts = if has_writes {
-                mgr.allocate_commit_ts()
-            } else {
-                mgr.current_ts()
-            };
-            match txn.try_commit_word(ts, false) {
-                Ok(()) => Ok(ts),
-                Err(_) => {
-                    drop(st);
-                    if has_writes {
-                        mgr.publish_commit_ts(ts);
-                    }
-                    Err(Error::unsafe_abort(txn.id()))
-                }
-            }
+    if !has_writes {
+        return commit_read_only(mgr, opts, txn);
+    }
+    let ts = begin_commit(mgr, opts, txn)?;
+    match finalize_commit(opts, txn) {
+        Ok(()) => Ok(ts),
+        Err(e) => {
+            mgr.publish_commit_ts(ts);
+            txn.mark_aborted();
+            Err(e)
         }
     }
 }
@@ -821,6 +927,56 @@ mod tests {
     }
 
     #[test]
+    fn marker_treats_pending_writer_as_committed() {
+        // The writer is inside its commit window (pending timestamp
+        // installed, finalize withheld) with an out-neighbour that committed
+        // earlier: a reader discovering an edge into it completes a
+        // dangerous structure that the writer's finalize will not re-check
+        // (enhanced variant), so the marker must abort the caller — exactly
+        // the committed-writer rule, keyed off the pending timestamp.
+        let (mgr, opts) = setup();
+        let reader = begin(&mgr);
+        let writer = begin(&mgr);
+        let other = begin(&mgr);
+        mark_conflict(&mgr, &opts, &writer, &other, CallerRole::Reader).unwrap();
+        let other_ts = mgr.allocate_commit_ts();
+        other.mark_committed(other_ts);
+        mgr.publish_commit_ts(other_ts);
+        let ts = begin_commit(&mgr, &opts, &writer).unwrap();
+        assert!(
+            ts > other_ts,
+            "out-neighbour committed before the pending ts"
+        );
+        assert_eq!(writer.commit_ts(), None, "pending, not committed");
+        let err = mark_conflict(&mgr, &opts, &reader, &writer, CallerRole::Reader).unwrap_err();
+        assert_eq!(err.abort_kind(), Some(AbortKind::Unsafe));
+        // The writer itself can still settle (enhanced finalize re-checks
+        // only the doomed flag).
+        finalize_commit(&opts, &writer).unwrap();
+        mgr.publish_commit_ts(ts);
+    }
+
+    #[test]
+    fn basic_finalize_fails_when_pivot_completes_mid_window() {
+        let (mgr, _) = setup();
+        let opts = basic();
+        let t = begin(&mgr);
+        let out = begin(&mgr);
+        mark_conflict(&mgr, &opts, &t, &out, CallerRole::Reader).unwrap();
+        let ts = begin_commit(&mgr, &opts, &t).unwrap();
+        // A marker completes the pivot while t is in its window (the basic
+        // CAS loop records flags on Committing words).
+        let r = begin(&mgr);
+        mark_conflict(&mgr, &opts, &r, &t, CallerRole::Reader).unwrap();
+        assert_eq!(t.conflict_flags(), (true, true));
+        // The finalize re-check catches it.
+        assert!(finalize_commit(&opts, &t).is_err());
+        mgr.publish_commit_ts(ts);
+        t.mark_aborted();
+        assert!(!t.is_committed());
+    }
+
+    #[test]
     fn commit_transaction_assigns_and_requires_publication() {
         let (mgr, opts) = setup();
         let t = begin(&mgr);
@@ -894,8 +1050,10 @@ mod tests {
                     }
                     Err(_) => {
                         // The IN flag (or the doom that followed it) arrived
-                        // first and the commit CAS observed it.
-                        assert!(t.is_active() || t.is_doomed());
+                        // before the entry CAS (t stays active) or inside
+                        // the window (the finalize CAS observed it and the
+                        // helper aborted t). Never a committed pivot.
+                        assert!(!t.is_committed());
                     }
                 }
             });

@@ -13,8 +13,9 @@ use ssi_lock::{LockKey, LockMode, LockOutcome, ModeSet};
 use ssi_storage::{Table, Version};
 
 use crate::db::DbInner;
+use crate::manager::CommitPhase;
 use crate::ssi;
-use crate::txn_shared::TxnShared;
+use crate::txn_shared::{TxnShared, TxnStatus};
 use crate::verify::{CommittedTxn, ReadRecord, WriteRecordEntry};
 
 /// Local (handle-side) transaction state.
@@ -50,6 +51,11 @@ pub struct Transaction {
     /// Reads recorded for the serializability verifier (only when the
     /// database was opened with history recording).
     pub(crate) reads: Vec<ReadRecord>,
+    /// Creators of provisionally stamped versions this transaction read
+    /// speculatively. Every one of them must settle (commit) before this
+    /// transaction may finalize its own commit; if any aborts, this
+    /// transaction is doomed with it.
+    pub(crate) speculative_deps: Vec<Arc<TxnShared>>,
     /// Whether the application declared the transaction read-only.
     read_only: bool,
 }
@@ -64,6 +70,7 @@ impl Transaction {
             locks: HashMap::new(),
             writes: Vec::new(),
             reads: Vec::new(),
+            speculative_deps: Vec::new(),
             read_only,
         }
     }
@@ -143,13 +150,22 @@ impl Transaction {
     /// which stay registered while the transaction is suspended (Sec. 3.3) —
     /// and eligible suspended transactions are cleaned up (Sec. 4.6.1).
     ///
-    /// The commit pipeline (see [`crate::manager`]) runs in three phases
-    /// with no global lock: the unsafe check is fused with the
-    /// commit-timestamp assignment into one atomic step on the transaction's
-    /// state word, the write set is stamped, and finally the timestamp is
-    /// published to the snapshot clock in allocation order — so new
-    /// snapshots never observe a half-stamped commit even though concurrent
-    /// commits overlap freely.
+    /// The commit pipeline (see [`crate::manager`]) is wait-free on the
+    /// read side: a writer enters the `Committing` window (running its
+    /// unsafe check), allocates its timestamp, stamps its write set
+    /// *provisionally*, deposits the timestamp for ordered publication —
+    /// and never waits for the snapshot clock to catch up. Readers who
+    /// encounter a provisional version at or below their snapshot take it
+    /// speculatively, registering a commit dependency on the writer; the
+    /// writer settles those dependencies when it finalizes (or dooms the
+    /// dependents if it aborts out of the window). A committer with
+    /// speculative reads of its own must wait for *its* dependencies to
+    /// settle before finalizing — see [`Transaction::wait_for_dependencies`].
+    ///
+    /// Durable mode opts out of speculation entirely: the WAL's seal order
+    /// requires commits to become visible in timestamp order, so durable
+    /// commits finalize before stamping and keep the ordered-publication
+    /// wait on the commit path (never on the read path).
     pub fn commit(mut self) -> Result<()> {
         if self.state != LocalState::Active {
             return Err(Error::TransactionClosed);
@@ -177,7 +193,7 @@ impl Transaction {
             _ => None,
         };
 
-        // --- commit point: unsafe check fused with timestamp assignment ----
+        // --- commit point ---------------------------------------------------
         // (`_gate` reproduces the old global-mutex serialization when the
         // lock-step baseline mode is on; it is never taken otherwise. The
         // guard borrows from a clone of the `Arc` so `self` stays free for
@@ -188,13 +204,26 @@ impl Transaction {
             .ssi
             .lockstep_commit
             .then(|| db.txns.commit_gate());
-        let commit_ts = if is_ssi {
-            match ssi::commit_transaction(
-                &self.db.txns,
-                &self.db.options.ssi,
-                &self.shared,
-                has_writes,
-            ) {
+        let commit_ts = if has_writes {
+            // Writers open a `Committing` window: the unsafe check runs on
+            // entry and the timestamp is allocated strictly *after* entry —
+            // that ordering is what lets SSI checks bound a neighbour's
+            // commit timestamp without waiting for publication.
+            let entered = if is_ssi {
+                ssi::begin_commit(&self.db.txns, &self.db.options.ssi, &self.shared)
+            } else {
+                // Non-SSI levels have no commit-time check; they share the
+                // window so readers can resolve their provisional stamps.
+                match self.shared.enter_committing(false) {
+                    Ok(()) => {
+                        let ts = self.db.txns.allocate_commit_ts();
+                        self.shared.set_pending_commit_ts(ts);
+                        Ok(ts)
+                    }
+                    Err(_) => Err(Error::unsafe_abort(self.shared.id())),
+                }
+            };
+            match entered {
                 Ok(ts) => ts,
                 Err(e) => {
                     self.abort_internal();
@@ -202,46 +231,113 @@ impl Transaction {
                 }
             }
         } else {
-            // Non-SSI levels have no commit-time check; read-only
-            // transactions do not advance the clock — their "commit time"
-            // is the current instant, which is all the overlap bookkeeping
-            // needs.
-            let ts = if has_writes {
-                self.db.txns.allocate_commit_ts()
+            // No writes: nothing to stamp, so the commit is a single
+            // settling step — but only after any speculative reads have
+            // been confirmed, since a read-only answer derived from a
+            // rolled-back version must not be returned as committed.
+            if let Err(e) = self.wait_for_dependencies() {
+                self.abort_internal();
+                return Err(e);
+            }
+            let settled = if is_ssi {
+                ssi::commit_read_only(&self.db.txns, &self.db.options.ssi, &self.shared)
             } else {
-                self.db.txns.current_ts()
+                // Read-only transactions do not advance the clock — their
+                // "commit time" is the current instant, which is all the
+                // overlap bookkeeping needs.
+                let ts = self.db.txns.current_ts();
+                self.shared.mark_committed(ts);
+                Ok(ts)
             };
-            self.shared.mark_committed(ts);
-            ts
+            match settled {
+                Ok(ts) => ts,
+                Err(e) => {
+                    self.abort_internal();
+                    return Err(e);
+                }
+            }
         };
+
+        let mut durability_error = None;
         if has_writes {
-            // Redo logging, step 1 of the protocol in `ssi-wal`: park the
-            // pre-encoded write set in the log's pending buffer *before*
-            // the timestamp is deposited for publication, so whoever
-            // advances the clock past `commit_ts` can rely on the record
-            // being present and the log file staying timestamp-ordered.
-            if let Some(durable) = &self.db.durable {
-                durable
-                    .wal
-                    .submit_prepared(commit_ts, prepared.take().expect("prepared above"));
+            if self.db.durable.is_some() {
+                // Durable mode: no speculation. The WAL requires commits to
+                // become visible in timestamp order, so settle the outcome
+                // *before* stamping — versions go straight from uncommitted
+                // to committed, and a reader never sees a stampable window.
+                // The timestamp was allocated but not yet deposited, so a
+                // failure here must still deposit it — an allocated-but-
+                // never-deposited timestamp would stall the publication
+                // chain for every successor.
+                let settled = self
+                    .wait_for_dependencies()
+                    .and_then(|()| self.finalize_window(is_ssi));
+                if let Err(e) = settled {
+                    self.db.txns.publish_commit_ts(commit_ts);
+                    self.abort_internal();
+                    return Err(e);
+                }
+                // Redo logging, step 1 of the protocol in `ssi-wal`: park
+                // the pre-encoded write set in the log's pending buffer
+                // *before* the timestamp is deposited for publication, so
+                // whoever advances the clock past `commit_ts` can rely on
+                // the record being present and the log file staying
+                // timestamp-ordered.
+                if let Some(durable) = &self.db.durable {
+                    durable
+                        .wal
+                        .submit_prepared(commit_ts, prepared.take().expect("prepared above"));
+                }
+                for w in &self.writes {
+                    w.version.mark_committed(commit_ts);
+                }
+                self.db.txns.publish_commit_ts(commit_ts);
+            } else {
+                // Speculative pipeline: stamp provisionally, deposit the
+                // timestamp (never waiting for publication), then settle.
+                for w in &self.writes {
+                    w.version.mark_provisional(commit_ts);
+                }
+                self.db
+                    .txns
+                    .fire_commit_pause(self.shared.id(), CommitPhase::PreDeposit);
+                self.db.txns.publish_commit_ts(commit_ts);
+                self.db
+                    .txns
+                    .fire_commit_pause(self.shared.id(), CommitPhase::PreFinalize);
+                if let Err(e) = self.wait_for_dependencies() {
+                    self.abort_internal();
+                    return Err(e);
+                }
+                if let Err(e) = self.finalize_window(is_ssi) {
+                    self.abort_internal();
+                    return Err(e);
+                }
+                // Settle the stamps: plain committed timestamps that decode
+                // without the creator-word lookup.
+                for w in &self.writes {
+                    w.version.mark_committed(commit_ts);
+                }
             }
-            for w in &self.writes {
-                w.version.mark_committed(commit_ts);
-            }
-            self.db.txns.publish_commit_ts(commit_ts);
+            // The word is settled (`Committed`), so dependents who re-check
+            // see the commit; anyone registered before the flip is drained
+            // here and simply dropped — registration was their guarantee of
+            // learning the outcome, and the outcome is now readable.
+            drop(self.shared.take_dependents());
         }
         drop(_gate);
 
         // --- durability (real log: seal + group-commit fsync) ---------------
-        // The clock now covers `commit_ts`, so sealing appends the ordered
-        // prefix; `wait_durable` then blocks (in GroupCommit mode) until an
-        // fsync — ours or a neighbour's — covers our timestamp. An I/O
-        // failure here is remembered and returned after the in-memory
-        // bookkeeping completes: the transaction *is* committed in memory,
-        // only its persistence is uncertain (see `Error::Durability`).
-        let mut durability_error = None;
+        // Sealing appends the ordered prefix, so first make sure the clock
+        // covers `commit_ts` (deposit alone no longer guarantees it);
+        // `wait_durable` then blocks (in GroupCommit mode) until an fsync —
+        // ours or a neighbour's — covers our timestamp. An I/O failure here
+        // is remembered and returned after the in-memory bookkeeping
+        // completes: the transaction *is* committed in memory, only its
+        // persistence is uncertain (see `Error::Durability`).
         if has_writes {
             if let Some(durable) = &self.db.durable {
+                self.db.txns.wait_for_publication(commit_ts);
                 let result = durable
                     .wal
                     .seal_upto(commit_ts)
@@ -329,6 +425,60 @@ impl Transaction {
         }
     }
 
+    /// Settles the `Committing` window as committed, re-running the
+    /// variant's cheap re-checks (see [`crate::ssi::finalize_commit`]).
+    fn finalize_window(&self, is_ssi: bool) -> Result<()> {
+        if is_ssi {
+            ssi::finalize_commit(&self.db.options.ssi, &self.shared)
+        } else {
+            // Non-SSI windows only fail if a dependency cascade doomed us
+            // mid-window (a creator we read speculatively rolled back).
+            self.shared
+                .finalize_commit(false)
+                .map_err(|_| Error::unsafe_abort(self.shared.id()))
+        }
+    }
+
+    /// Blocks until every commit dependency (creator of a speculatively
+    /// read version) settles. Returns an error if any of them aborted — the
+    /// speculative read was of data that never committed — or if this
+    /// transaction was doomed while waiting.
+    ///
+    /// Dependencies always point at transactions that entered their commit
+    /// window *before* this one took the speculative read, so the wait
+    /// graph is acyclic and the earliest unsettled window can always make
+    /// progress. The spin budget is the manager's shared one (zero on
+    /// single-core hosts).
+    fn wait_for_dependencies(&self) -> Result<()> {
+        if self.speculative_deps.is_empty() {
+            return Ok(());
+        }
+        let spin_limit = self.db.txns.spin_limit();
+        for dep in &self.speculative_deps {
+            let mut spins = 0u32;
+            loop {
+                match dep.status() {
+                    TxnStatus::Committed => break,
+                    TxnStatus::Aborted => {
+                        return Err(Error::unsafe_abort(self.shared.id()));
+                    }
+                    TxnStatus::Active | TxnStatus::Committing => {
+                        if self.shared.is_doomed() {
+                            return Err(Error::unsafe_abort(self.shared.id()));
+                        }
+                        if spins < spin_limit {
+                            spins += 1;
+                            std::hint::spin_loop();
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Rolls the transaction back, undoing all of its writes.
     pub fn rollback(mut self) {
         self.abort_internal();
@@ -354,6 +504,21 @@ impl Transaction {
         }
 
         self.shared.mark_aborted();
+        // Dependency cascade: anyone who speculatively read one of the
+        // versions just unlinked must not commit. The word is already
+        // `Aborted` (stored before this drain), so late registrants learn
+        // the outcome from `register_commit_dependent` itself; everyone who
+        // registered earlier is doomed here.
+        let dependents = self.shared.take_dependents();
+        if !dependents.is_empty() {
+            let stats = self.db.txns.stats();
+            for dep in dependents {
+                dep.doom();
+                stats
+                    .dependency_cascade_aborts
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
         self.db.txns.finish_abort(&self.shared);
         self.maybe_cleanup();
         self.state = LocalState::Aborted;

@@ -21,8 +21,9 @@
 //!  +--+---+---+---+------+------------------------------------------+
 //! ```
 //!
-//! * bits 0–55: the commit timestamp (0 while uncommitted);
-//! * bits 56–57: lifecycle status (0 active, 1 committed, 2 aborted);
+//! * bits 0–55: the commit timestamp (0 until allocated);
+//! * bits 56–57: lifecycle status (0 active, 1 committed, 2 aborted,
+//!   3 *committing*);
 //! * bit 58: doomed — selected as a victim by another thread;
 //! * bit 59: an incoming rw-conflict has been recorded;
 //! * bit 60: an outgoing rw-conflict has been recorded.
@@ -31,9 +32,59 @@
 //! word, checks like "has this transaction committed with an outgoing
 //! conflict?" (Fig. 3.3) or "is this transaction a pivot?" (both flags set)
 //! are single atomic loads, and state transitions that must be conditional
-//! on them — most importantly *commit*, which under the basic variant must
-//! fail iff the word shows `doomed` or `in && out` at the instant the
-//! status changes — are single compare-and-swap loops.
+//! on them — most importantly the commit transitions, which under the basic
+//! variant must fail iff the word shows `doomed` or `in && out` at the
+//! instant the status changes — are single compare-and-swap loops.
+//!
+//! # The `Committing` state machine
+//!
+//! Commit is not one transition but two, with a visible window in between
+//! (the window is what lets readers resolve an in-flight commit themselves
+//! instead of parking on the ordered-publication condvar — see
+//! [`crate::manager`]):
+//!
+//! ```text
+//!            enter_committing            finalize_commit
+//!   Active ───────────────────▶ Committing ─────────────▶ Committed
+//!            (commit checks)        │       (re-checks)
+//!                                   ▼ mark_aborted
+//!                                Aborted
+//! ```
+//!
+//! 1. [`TxnShared::enter_committing`] CASes `Active → Committing` with the
+//!    timestamp field still zero, performing the same doomed/pivot checks
+//!    the old single-shot commit CAS did. **The commit timestamp is
+//!    allocated only after this transition** — that ordering is load-bearing:
+//!    any observer that reads a word with status `Active` knows the
+//!    transaction's eventual commit timestamp will be larger than every
+//!    timestamp already allocated, with no racy window (the old design
+//!    closed that window by waiting for ordered publication instead).
+//! 2. [`TxnShared::set_pending_commit_ts`] stores the allocated timestamp
+//!    into the word: observers now see `Committing(ts)`. A word with status
+//!    `Committing` and a zero timestamp field is mid-allocation; observers
+//!    spin the few instructions until the timestamp appears (they never
+//!    park).
+//! 3. [`TxnShared::finalize_commit`] CASes `Committing → Committed`,
+//!    re-checking the doomed bit (and, for the basic variant, the pivot
+//!    flags, which concurrent markers may have completed during the
+//!    window). Failure aborts the transaction instead.
+//!
+//! # Commit dependencies
+//!
+//! During the window a transaction's versions are stamped *provisionally*
+//! and its timestamp may already be published, so a reader whose snapshot
+//! covers the timestamp can observe state that might still be rolled back.
+//! Such a reader takes the read **speculatively**: it registers itself as a
+//! *commit dependent* ([`TxnShared::register_commit_dependent`]) of the
+//! committing transaction. A speculative reader may not finalize its own
+//! commit until every transaction it depends on has settled
+//! (`wait_for_dependencies` in [`crate::txn`]); a creator that aborts
+//! drains its dependents ([`TxnShared::take_dependents`]) and dooms each of
+//! them, cascading the abort through any chain of speculation.
+//! Registration and draining serialize on the dependents mutex, and the
+//! final status is stored in the word *before* the drain, so a registration
+//! that misses the drain observes the settled status instead — no dependent
+//! is ever lost.
 //!
 //! The *identities* of conflict neighbours (the enhanced variant's
 //! [`ConflictEdge::Txn`] references, Sec. 3.6) cannot fit in the word; they
@@ -69,12 +120,18 @@ pub(crate) const WORD_OUT: u64 = 1 << 60;
 const STATUS_ACTIVE: u64 = 0;
 const STATUS_COMMITTED: u64 = 1;
 const STATUS_ABORTED: u64 = 2;
+const STATUS_COMMITTING: u64 = 3;
 
 /// Lifecycle status of a transaction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TxnStatus {
     /// Running; operations are being executed.
     Active,
+    /// Passed its commit checks and entered the commit window: a commit
+    /// timestamp is allocated (or about to be) and versions are being
+    /// stamped provisionally, but the transaction can still abort. See the
+    /// module docs for the state machine.
+    Committing,
     /// Successfully committed.
     Committed,
     /// Rolled back (by the application or by the engine).
@@ -86,16 +143,70 @@ pub(crate) fn word_status(word: u64) -> TxnStatus {
     match (word & WORD_STATUS_MASK) >> WORD_STATUS_SHIFT {
         STATUS_ACTIVE => TxnStatus::Active,
         STATUS_COMMITTED => TxnStatus::Committed,
+        STATUS_COMMITTING => TxnStatus::Committing,
         _ => TxnStatus::Aborted,
     }
 }
 
-/// Decodes the commit timestamp of a state word (`None` while uncommitted).
+/// Decodes the commit timestamp of a state word: `Some` only once the word
+/// shows status `Committed`. A `Committing` word may carry an allocated
+/// (pending) timestamp in its low bits, and an `Aborted` word may retain a
+/// stale one from an abandoned commit window — neither is a commit
+/// timestamp; use [`word_commit_resolution`] to see pending state.
 pub(crate) fn word_commit_ts(word: u64) -> Option<Timestamp> {
-    match word & WORD_TS_MASK {
-        TS_ZERO => None,
-        ts => Some(ts),
+    match word_status(word) {
+        TxnStatus::Committed => Some(word & WORD_TS_MASK),
+        _ => None,
     }
+}
+
+/// Full commit-progress reading of a state word, for observers (readers,
+/// conflict markers) that resolve an in-flight commit themselves instead of
+/// waiting for ordered publication.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum CommitResolution {
+    /// Still running. Because timestamps are allocated only *after* the
+    /// `Active → Committing` transition, an observer holding an already
+    /// allocated timestamp `t` knows this transaction's commit timestamp
+    /// (if it ever commits) will exceed `t`.
+    Active,
+    /// In the commit window but the allocated timestamp is not in the word
+    /// yet. This window is a handful of instructions wide; observers spin
+    /// it out rather than parking.
+    Allocating,
+    /// In the commit window with timestamp allocated: will commit at the
+    /// contained timestamp unless it aborts.
+    Pending(Timestamp),
+    /// Committed at the contained timestamp.
+    Committed(Timestamp),
+    /// Aborted.
+    Aborted,
+}
+
+/// Decodes a state word into its [`CommitResolution`].
+pub(crate) fn word_commit_resolution(word: u64) -> CommitResolution {
+    match word_status(word) {
+        TxnStatus::Active => CommitResolution::Active,
+        TxnStatus::Aborted => CommitResolution::Aborted,
+        TxnStatus::Committed => CommitResolution::Committed(word & WORD_TS_MASK),
+        TxnStatus::Committing => match word & WORD_TS_MASK {
+            TS_ZERO => CommitResolution::Allocating,
+            ts => CommitResolution::Pending(ts),
+        },
+    }
+}
+
+/// Outcome of [`TxnShared::register_commit_dependent`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum DependencyOutcome {
+    /// The creator is still committing; the dependent is registered and
+    /// will be drained (and doomed) if the creator aborts.
+    Registered,
+    /// The creator already committed; the read is settled, no dependency.
+    Committed,
+    /// The creator already aborted; the speculative value must be
+    /// discarded and the read retried.
+    Aborted,
 }
 
 /// Endpoint of a recorded rw-conflict edge (Sec. 3.6).
@@ -127,27 +238,38 @@ impl ConflictEdge {
     /// <= commit-time(in)` means the structure may be dangerous).
     ///
     /// The bound must never over-estimate: a known single neighbour that is
-    /// still running will commit later than anything already committed
-    /// ("infinity"), but a self-loop stands for *several* (or forgotten)
-    /// neighbours, any of which may have committed arbitrarily early, so the
-    /// conservative bound is the owner's own commit time — or zero while the
-    /// owner is still running.
+    /// still `Active` will draw its timestamp later than anything already
+    /// allocated ("infinity" — sound because allocation happens only after
+    /// the `Committing` transition), a neighbour with a pending timestamp
+    /// is bounded by that timestamp (exact if it commits, irrelevant if it
+    /// aborts since the edge then carries no dangerous structure), and a
+    /// neighbour caught mid-allocation may hold an arbitrarily early
+    /// timestamp, so the only safe answer is zero. A self-loop stands for
+    /// *several* (or forgotten) neighbours, any of which may have committed
+    /// arbitrarily early, so the conservative bound is the owner's own
+    /// (possibly pending) commit time — or zero while the owner runs.
     pub fn outgoing_commit_bound(&self, owner: &TxnShared) -> Timestamp {
         match self {
             ConflictEdge::None => Timestamp::MAX,
-            ConflictEdge::SelfLoop => owner.commit_ts().unwrap_or(TS_ZERO),
-            ConflictEdge::Txn(other) => other.commit_ts().unwrap_or(Timestamp::MAX),
+            ConflictEdge::SelfLoop => owner.allocated_commit_ts().unwrap_or(TS_ZERO),
+            ConflictEdge::Txn(other) => match word_commit_resolution(other.load_word()) {
+                CommitResolution::Committed(ts) | CommitResolution::Pending(ts) => ts,
+                CommitResolution::Active | CommitResolution::Aborted => Timestamp::MAX,
+                CommitResolution::Allocating => TS_ZERO,
+            },
         }
     }
 
     /// Commit-time bound of this edge when it is `owner`'s *incoming*
-    /// conflict. The bound must never under-estimate, so unknown or running
-    /// neighbours count as "infinity".
+    /// conflict. The bound must never under-estimate, so unknown, running
+    /// or mid-allocation neighbours count as "infinity"; a pending
+    /// timestamp is usable (exact if the neighbour commits, conservative —
+    /// the edge evaporates — if it aborts).
     pub fn incoming_commit_bound(&self, owner: &TxnShared) -> Timestamp {
         match self {
             ConflictEdge::None => TS_ZERO,
-            ConflictEdge::SelfLoop => owner.commit_ts().unwrap_or(Timestamp::MAX),
-            ConflictEdge::Txn(other) => other.commit_ts().unwrap_or(Timestamp::MAX),
+            ConflictEdge::SelfLoop => owner.allocated_commit_ts().unwrap_or(Timestamp::MAX),
+            ConflictEdge::Txn(other) => other.allocated_commit_ts().unwrap_or(Timestamp::MAX),
         }
     }
 }
@@ -180,6 +302,11 @@ pub struct TxnShared {
     /// transactions' conflict mutexes must be held together, they are
     /// acquired in increasing transaction-id order.
     pub(crate) conflicts: Mutex<ConflictState>,
+    /// Transactions that took one of this transaction's provisionally
+    /// stamped versions speculatively while this transaction was in its
+    /// commit window. Drained once the outcome settles: dropped on commit,
+    /// doomed on abort. See the module docs ("Commit dependencies").
+    dependents: Mutex<Vec<Arc<TxnShared>>>,
 }
 
 impl TxnShared {
@@ -191,6 +318,7 @@ impl TxnShared {
             begin_ts: AtomicU64::new(TS_ZERO),
             state: AtomicU64::new(0),
             conflicts: Mutex::new(ConflictState::default()),
+            dependents: Mutex::new(Vec::new()),
         }
     }
 
@@ -233,9 +361,27 @@ impl TxnShared {
             .compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Acquire)
     }
 
-    /// Commit timestamp, once committed.
+    /// Commit timestamp, once committed. `None` while the transaction is
+    /// still committing, even if its timestamp is already allocated — use
+    /// [`TxnShared::allocated_commit_ts`] to observe pending timestamps.
     pub fn commit_ts(&self) -> Option<Timestamp> {
         word_commit_ts(self.load_word())
+    }
+
+    /// Commit-progress reading of the state word (single atomic load).
+    #[inline]
+    pub(crate) fn commit_resolution(&self) -> CommitResolution {
+        word_commit_resolution(self.load_word())
+    }
+
+    /// The allocated commit timestamp, whether still pending (the
+    /// transaction is in its commit window and may yet abort) or settled.
+    /// `None` while active, mid-allocation, or after an abort.
+    pub(crate) fn allocated_commit_ts(&self) -> Option<Timestamp> {
+        match self.commit_resolution() {
+            CommitResolution::Committed(ts) | CommitResolution::Pending(ts) => Some(ts),
+            _ => None,
+        }
     }
 
     /// Current status.
@@ -275,9 +421,13 @@ impl TxnShared {
     /// is set (the basic variant's Fig. 3.2 test) — not carrying both
     /// conflict flags. Returns the offending word on failure.
     ///
-    /// This is the heart of the lock-free commit: any concurrent
-    /// `mark_conflict` that dooms this transaction or completes a pivot
-    /// races with the CAS, and exactly one of the two observes the other.
+    /// This single-shot `Active → Committed` transition survives for
+    /// transactions that never open a commit window (read-only commits,
+    /// which have no versions to stamp); writers go through
+    /// [`TxnShared::enter_committing`] / [`TxnShared::finalize_commit`]
+    /// instead. Any concurrent `mark_conflict` that dooms this transaction
+    /// or completes a pivot races with the CAS, and exactly one of the two
+    /// observes the other.
     pub(crate) fn try_commit_word(&self, ts: Timestamp, check_pivot: bool) -> Result<(), u64> {
         debug_assert!(ts <= WORD_TS_MASK, "commit timestamp overflows the word");
         let mut current = self.load_word();
@@ -297,6 +447,107 @@ impl TxnShared {
                 Err(w) => current = w,
             }
         }
+    }
+
+    /// Atomically enters the commit window (`Active → Committing`) *iff*
+    /// the word passes the commit check at the instant of the transition:
+    /// not doomed and — when `check_pivot` is set (the basic variant's
+    /// Fig. 3.2 test) — not carrying both conflict flags. Returns the
+    /// offending word on failure.
+    ///
+    /// The timestamp field is left at zero; callers must allocate the
+    /// commit timestamp strictly *after* this transition succeeds (see the
+    /// module docs for why that ordering is load-bearing) and install it
+    /// with [`TxnShared::set_pending_commit_ts`].
+    pub(crate) fn enter_committing(&self, check_pivot: bool) -> Result<(), u64> {
+        let mut current = self.load_word();
+        loop {
+            if current & WORD_DOOMED != 0 {
+                return Err(current);
+            }
+            if check_pivot && current & WORD_IN != 0 && current & WORD_OUT != 0 {
+                return Err(current);
+            }
+            debug_assert_eq!(word_status(current), TxnStatus::Active);
+            debug_assert_eq!(current & WORD_TS_MASK, TS_ZERO);
+            let new = (current & !WORD_STATUS_MASK) | (STATUS_COMMITTING << WORD_STATUS_SHIFT);
+            match self.cas_word(current, new) {
+                Ok(_) => return Ok(()),
+                Err(w) => current = w,
+            }
+        }
+    }
+
+    /// Installs the allocated commit timestamp into a `Committing` word,
+    /// moving observers from `Allocating` to `Pending(ts)`. Preserves the
+    /// status and flag bits (markers may race flag updates in).
+    pub(crate) fn set_pending_commit_ts(&self, ts: Timestamp) {
+        debug_assert!(
+            ts != TS_ZERO && ts <= WORD_TS_MASK,
+            "commit timestamp out of range for the word"
+        );
+        self.state
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |w| {
+                debug_assert_eq!(word_status(w), TxnStatus::Committing);
+                Some((w & !WORD_TS_MASK) | (ts & WORD_TS_MASK))
+            })
+            .ok();
+    }
+
+    /// Atomically settles the commit (`Committing → Committed`) *iff* the
+    /// word still passes the commit check: not doomed and — when
+    /// `check_pivot` is set — not a pivot (markers may have completed the
+    /// dangerous structure during the window; under the basic variant that
+    /// must fail this transaction, which is what triggers dependency-abort
+    /// cascades organically). Returns the offending word on failure, in
+    /// which case the caller must abort and drain-doom its dependents.
+    pub(crate) fn finalize_commit(&self, check_pivot: bool) -> Result<(), u64> {
+        let mut current = self.load_word();
+        loop {
+            if current & WORD_DOOMED != 0 {
+                return Err(current);
+            }
+            if check_pivot && current & WORD_IN != 0 && current & WORD_OUT != 0 {
+                return Err(current);
+            }
+            debug_assert_eq!(word_status(current), TxnStatus::Committing);
+            debug_assert_ne!(current & WORD_TS_MASK, TS_ZERO);
+            let new = (current & !WORD_STATUS_MASK) | (STATUS_COMMITTED << WORD_STATUS_SHIFT);
+            match self.cas_word(current, new) {
+                Ok(_) => return Ok(()),
+                Err(w) => current = w,
+            }
+        }
+    }
+
+    /// Registers `dep` as a commit dependent of this transaction, or
+    /// reports that the outcome has already settled. The status check and
+    /// the registration are atomic with respect to
+    /// [`TxnShared::take_dependents`] (both hold the dependents mutex), and
+    /// settling paths store the final word status *before* draining, so a
+    /// registration can never be missed by the drain *and* observe a
+    /// not-yet-settled status.
+    pub(crate) fn register_commit_dependent(&self, dep: &Arc<TxnShared>) -> DependencyOutcome {
+        let mut deps = self.dependents.lock();
+        match self.status() {
+            TxnStatus::Committed => DependencyOutcome::Committed,
+            TxnStatus::Aborted => DependencyOutcome::Aborted,
+            _ => {
+                deps.push(dep.clone());
+                DependencyOutcome::Registered
+            }
+        }
+    }
+
+    /// Drains the registered dependents. Callers must have stored the final
+    /// (`Committed` or `Aborted`) status into the word first; on commit the
+    /// returned list is simply dropped, on abort each entry must be doomed.
+    pub(crate) fn take_dependents(&self) -> Vec<Arc<TxnShared>> {
+        debug_assert!(matches!(
+            self.status(),
+            TxnStatus::Committed | TxnStatus::Aborted
+        ));
+        std::mem::take(&mut *self.dependents.lock())
     }
 
     /// Marks the transaction aborted.
@@ -527,6 +778,140 @@ mod tests {
             Timestamp::MAX
         );
         assert_eq!(ConflictEdge::None.incoming_commit_bound(&owner), 0);
+    }
+
+    #[test]
+    fn edge_bounds_use_pending_timestamps() {
+        let owner = txn(1);
+        let other = Arc::new(txn(2));
+        let edge = ConflictEdge::Txn(other.clone());
+
+        // Mid-allocation: outgoing must assume "arbitrarily early",
+        // incoming must assume "arbitrarily late".
+        other.enter_committing(true).unwrap();
+        assert_eq!(edge.outgoing_commit_bound(&owner), TS_ZERO);
+        assert_eq!(edge.incoming_commit_bound(&owner), Timestamp::MAX);
+
+        // Pending timestamp is usable in both directions.
+        other.set_pending_commit_ts(42);
+        assert_eq!(edge.outgoing_commit_bound(&owner), 42);
+        assert_eq!(edge.incoming_commit_bound(&owner), 42);
+
+        // An abort from the window withdraws the bound again.
+        other.mark_aborted();
+        assert_eq!(edge.outgoing_commit_bound(&owner), Timestamp::MAX);
+        assert_eq!(edge.incoming_commit_bound(&owner), Timestamp::MAX);
+    }
+
+    #[test]
+    fn committing_lifecycle_and_resolution() {
+        let t = txn(1);
+        assert_eq!(t.commit_resolution(), CommitResolution::Active);
+        t.enter_committing(true).unwrap();
+        assert_eq!(t.status(), TxnStatus::Committing);
+        assert_eq!(t.commit_resolution(), CommitResolution::Allocating);
+        assert_eq!(t.allocated_commit_ts(), None);
+        t.set_pending_commit_ts(9);
+        assert_eq!(t.commit_resolution(), CommitResolution::Pending(9));
+        assert_eq!(t.allocated_commit_ts(), Some(9));
+        // Pending is not committed: the strict decoder hides the timestamp.
+        assert_eq!(t.commit_ts(), None);
+        assert!(!t.is_committed());
+        t.finalize_commit(true).unwrap();
+        assert!(t.is_committed());
+        assert_eq!(t.commit_ts(), Some(9));
+        assert_eq!(t.commit_resolution(), CommitResolution::Committed(9));
+    }
+
+    #[test]
+    fn commit_window_transitions_fail_on_doomed_or_pivot() {
+        // Doomed before entry.
+        let t = txn(1);
+        t.doom();
+        assert!(t.enter_committing(true).is_err());
+
+        // Pivot entry under the basic check.
+        let p = txn(2);
+        set_in(&p, ConflictEdge::SelfLoop);
+        set_out(&p, ConflictEdge::SelfLoop);
+        assert!(p.enter_committing(true).is_err());
+        // The enhanced variant decides the dangerous structure separately.
+        assert!(p.enter_committing(false).is_ok());
+
+        // Doomed during the window: finalize must fail.
+        let d = txn(3);
+        d.enter_committing(true).unwrap();
+        d.set_pending_commit_ts(7);
+        d.doom();
+        assert!(d.finalize_commit(true).is_err());
+
+        // Pivot completed during the window (basic variant).
+        let q = txn(4);
+        set_in(&q, ConflictEdge::SelfLoop);
+        q.enter_committing(true).unwrap();
+        q.set_pending_commit_ts(8);
+        set_out(&q, ConflictEdge::SelfLoop);
+        assert!(q.finalize_commit(true).is_err());
+        // Aborting from the window hides the stale pending timestamp.
+        q.mark_aborted();
+        assert_eq!(q.commit_ts(), None);
+        assert_eq!(q.allocated_commit_ts(), None);
+        assert_eq!(q.commit_resolution(), CommitResolution::Aborted);
+    }
+
+    #[test]
+    fn commit_dependents_register_and_drain() {
+        let creator = Arc::new(txn(1));
+        let r1 = Arc::new(txn(2));
+        let r2 = Arc::new(txn(3));
+
+        creator.enter_committing(true).unwrap();
+        creator.set_pending_commit_ts(5);
+        assert_eq!(
+            creator.register_commit_dependent(&r1),
+            DependencyOutcome::Registered
+        );
+
+        // Settle as committed: the drain returns the dependent (caller
+        // drops it) and later registrations see the settled status.
+        creator.finalize_commit(true).unwrap();
+        let drained = creator.take_dependents();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].id(), r1.id());
+        assert_eq!(
+            creator.register_commit_dependent(&r2),
+            DependencyOutcome::Committed
+        );
+        assert!(creator.take_dependents().is_empty());
+
+        // Abort path: dependents drained for dooming, later registrations
+        // told to retry.
+        let aborter = Arc::new(txn(4));
+        aborter.enter_committing(true).unwrap();
+        aborter.set_pending_commit_ts(6);
+        assert_eq!(
+            aborter.register_commit_dependent(&r1),
+            DependencyOutcome::Registered
+        );
+        aborter.mark_aborted();
+        let doomed = aborter.take_dependents();
+        assert_eq!(doomed.len(), 1);
+        assert_eq!(
+            aborter.register_commit_dependent(&r2),
+            DependencyOutcome::Aborted
+        );
+    }
+
+    #[test]
+    fn doom_if_active_leaves_committing_windows_alone() {
+        let t = txn(1);
+        t.enter_committing(true).unwrap();
+        assert!(!t.doom_if_active());
+        assert!(!t.is_doomed());
+        // A direct doom still reaches the window and fails the finalize.
+        t.set_pending_commit_ts(5);
+        t.doom();
+        assert!(t.finalize_commit(true).is_err());
     }
 
     #[test]

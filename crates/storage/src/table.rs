@@ -118,6 +118,12 @@ pub struct VisibleRead {
     /// True if the read was satisfied by the reader's own uncommitted write;
     /// such reads impose no inter-transaction ordering constraints.
     pub read_own_write: bool,
+    /// Creator of the version the read observed when that version was
+    /// *provisionally* stamped (creator still committing) at or below the
+    /// reader's snapshot. The value was taken speculatively: the engine
+    /// must register a commit dependency on this transaction (and retry the
+    /// read if it turns out to have aborted) before using the value.
+    pub speculative_of: Option<TxnId>,
 }
 
 /// One row produced by a snapshot range scan.
@@ -138,6 +144,9 @@ pub struct ScanEntry {
     /// True if the visible version was the reader's own uncommitted write
     /// (see [`VisibleRead::read_own_write`]).
     pub read_own_write: bool,
+    /// Creator to register a commit dependency with when the entry's value
+    /// was taken speculatively (see [`VisibleRead::speculative_of`]).
+    pub speculative_of: Option<TxnId>,
 }
 
 /// What one garbage-collection pass reclaimed (see
@@ -291,6 +300,21 @@ impl RowChain {
                     out.value = v.value_handle();
                     out.read_version_ts = v.commit_ts();
                     out.read_own_write = v.creator() == reader;
+                } else if let VersionState::Provisional(ts) = state {
+                    if ts <= snapshot_ts {
+                        // Provisionally stamped at or below the snapshot:
+                        // the creator allocated its timestamp and published
+                        // it, but its final commit step is still pending.
+                        // Take the value speculatively and report the
+                        // creator so the engine can register a commit
+                        // dependency (or retry if the creator aborted).
+                        found_visible = true;
+                        out.value = v.value_handle();
+                        out.read_version_ts = Some(ts);
+                        out.speculative_of = Some(v.creator());
+                    } else {
+                        out.newer_creators.push(v.creator());
+                    }
                 } else {
                     // Not visible: newer than whatever will be read.
                     out.newer_creators.push(v.creator());
@@ -566,6 +590,7 @@ impl Table {
                 newer_creators: r.newer_creators,
                 read_version_ts: r.read_version_ts,
                 read_own_write: r.read_own_write,
+                speculative_of: r.speculative_of,
             });
         }
         ScanPage {
@@ -811,6 +836,34 @@ mod tests {
         assert_eq!(tbl.read(b"a", t(2), 9).value, None);
         assert_eq!(tbl.read(b"a", t(2), 9).newer_creators, vec![t(1)]);
         assert_eq!(tbl.newest_committed_ts(b"a"), Some(10));
+    }
+
+    #[test]
+    fn provisional_version_is_taken_speculatively_when_snapshot_covers_it() {
+        let tbl = table();
+        let v1 = tbl.install_version(b"a", t(1), Some(vec![1]));
+        v1.mark_committed(10);
+        let v2 = tbl.install_version(b"a", t(2), Some(vec![2]));
+        v2.mark_provisional(20);
+        // Snapshot below the provisional stamp: plain invisible-newer.
+        let r = tbl.read(b"a", t(3), 15);
+        assert_eq!(val(&r), Some(vec![1]));
+        assert_eq!(r.newer_creators, vec![t(2)]);
+        assert_eq!(r.speculative_of, None);
+        // Snapshot covering the provisional stamp: the value is taken, but
+        // flagged speculative-of its creator; the newest *committed*
+        // timestamp still excludes the unsettled version.
+        let r = tbl.read(b"a", t(3), 25);
+        assert_eq!(val(&r), Some(vec![2]));
+        assert_eq!(r.speculative_of, Some(t(2)));
+        assert_eq!(r.read_version_ts, Some(20));
+        assert_eq!(r.newest_committed_ts, Some(10));
+        // Once finalized the same read settles with no speculation.
+        v2.mark_committed(20);
+        let r = tbl.read(b"a", t(3), 25);
+        assert_eq!(val(&r), Some(vec![2]));
+        assert_eq!(r.speculative_of, None);
+        assert_eq!(r.newest_committed_ts, Some(20));
     }
 
     #[test]

@@ -23,6 +23,13 @@ use ssi_common::{Bytes, Timestamp, TxnId, TS_ZERO};
 pub enum VersionState {
     /// The creating transaction has not committed yet.
     Uncommitted,
+    /// The creating transaction is *committing* at the contained timestamp:
+    /// the timestamp is allocated and stamped, but the creator's final
+    /// commit step has not run, so the transaction can still abort. Readers
+    /// whose snapshot covers the timestamp may take the version
+    /// *speculatively* by registering a commit dependency on the creator
+    /// (resolution lives in `ssi-core`; storage only reports the state).
+    Provisional(Timestamp),
     /// The creating transaction committed at the contained timestamp.
     Committed(Timestamp),
     /// The creating transaction aborted; the version is logically absent and
@@ -32,6 +39,12 @@ pub enum VersionState {
 
 /// Sentinel stored in the commit-timestamp cell of aborted versions.
 const ABORTED_SENTINEL: u64 = u64::MAX;
+
+/// Bit set in the commit-timestamp cell while the stamp is provisional
+/// (creator still committing). Timestamps are far below 2^63, and
+/// [`ABORTED_SENTINEL`] has every *other* bit set too, so the flag is
+/// unambiguous.
+const PROVISIONAL_BIT: u64 = 1 << 63;
 
 /// One version of one row.
 #[derive(Debug)]
@@ -88,6 +101,7 @@ impl Version {
         match self.commit_ts.load(Ordering::Acquire) {
             TS_ZERO => VersionState::Uncommitted,
             ABORTED_SENTINEL => VersionState::Aborted,
+            ts if ts & PROVISIONAL_BIT != 0 => VersionState::Provisional(ts & !PROVISIONAL_BIT),
             ts => VersionState::Committed(ts),
         }
     }
@@ -102,11 +116,24 @@ impl Version {
     }
 
     /// Stamps the version with its creator's commit timestamp. Called by the
-    /// engine while it holds the commit serialization point, so that all of a
-    /// transaction's versions become visible atomically.
+    /// engine once the creator's commit outcome is settled (directly for
+    /// commit paths that never expose a provisional window, or as the
+    /// finalizing re-stamp after [`Version::mark_provisional`]).
     pub fn mark_committed(&self, ts: Timestamp) {
-        debug_assert!(ts != TS_ZERO && ts != ABORTED_SENTINEL);
+        debug_assert!(ts != TS_ZERO && ts != ABORTED_SENTINEL && ts & PROVISIONAL_BIT == 0);
         self.commit_ts.store(ts, Ordering::Release);
+    }
+
+    /// Stamps the version with a *provisional* commit timestamp: the
+    /// creator has allocated `ts` and entered its committing window, but
+    /// can still abort. Readers resolve the version through the creator's
+    /// transaction state; the creator re-stamps with
+    /// [`Version::mark_committed`] (or [`Version::mark_aborted`]) once the
+    /// outcome is settled.
+    pub fn mark_provisional(&self, ts: Timestamp) {
+        debug_assert!(ts != TS_ZERO && ts != ABORTED_SENTINEL && ts & PROVISIONAL_BIT == 0);
+        self.commit_ts
+            .store(ts | PROVISIONAL_BIT, Ordering::Release);
     }
 
     /// Marks the version as rolled back. The table will unlink it; until
@@ -124,6 +151,11 @@ impl Version {
         match self.state() {
             VersionState::Uncommitted => self.creator == reader,
             VersionState::Committed(ts) => ts <= snapshot_ts || self.creator == reader,
+            // A provisional stamp is never *settled*-visible; the chain
+            // read reports it separately so the engine can take it
+            // speculatively (with a commit dependency) when the snapshot
+            // covers it.
+            VersionState::Provisional(_) => self.creator == reader,
             VersionState::Aborted => false,
         }
     }
@@ -135,6 +167,9 @@ impl Version {
         match self.state() {
             VersionState::Uncommitted => self.creator == reader,
             VersionState::Committed(_) => true,
+            // Read committed must never surface a value that can still be
+            // rolled back: skip to the settled version beneath.
+            VersionState::Provisional(_) => self.creator == reader,
             VersionState::Aborted => false,
         }
     }
@@ -190,6 +225,28 @@ mod tests {
         assert!(!v.visible_to(t(1), 100));
         assert!(!v.visible_to(t(2), 100));
         assert!(!v.visible_to_read_committed(t(1)));
+    }
+
+    #[test]
+    fn provisional_stamp_is_not_settled_visible() {
+        let v = Version::new(t(1), Some(vec![1]));
+        v.mark_provisional(10);
+        assert_eq!(v.state(), VersionState::Provisional(10));
+        assert_eq!(v.commit_ts(), None);
+        // Never settled-visible to others, even with a covering snapshot;
+        // still visible to its creator.
+        assert!(!v.visible_to(t(2), 100));
+        assert!(v.visible_to(t(1), 1));
+        assert!(!v.visible_to_read_committed(t(2)));
+        // Finalizing re-stamp settles it.
+        v.mark_committed(10);
+        assert_eq!(v.state(), VersionState::Committed(10));
+        assert!(v.visible_to(t(2), 10));
+        // An aborting creator overwrites the provisional stamp.
+        let v2 = Version::new(t(2), Some(vec![2]));
+        v2.mark_provisional(11);
+        v2.mark_aborted();
+        assert_eq!(v2.state(), VersionState::Aborted);
     }
 
     #[test]

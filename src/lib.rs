@@ -25,8 +25,8 @@ pub use ssi_workloads as workloads;
 
 pub use ssi_common::{AbortKind, Error, IsolationLevel, Result, TxnId};
 pub use ssi_core::{
-    Database, Durability, DurabilityOptions, FlushEvent, FlushReason, GcPin, LockGranularity,
-    MaintenanceEvent, MaintenanceHook, MaintenanceOptions, Options, PurgeStats, SsiOptions,
-    SsiVariant, TableRef, Transaction, VictimPolicy,
+    CommitPhase, Database, Durability, DurabilityOptions, FlushEvent, FlushReason, GcPin,
+    LockGranularity, MaintenanceEvent, MaintenanceHook, MaintenanceOptions, Options, PurgeStats,
+    SsiOptions, SsiVariant, TableRef, Transaction, VictimPolicy,
 };
 pub use ssi_workloads::{run_workload, RunConfig, SiBench, SmallBank, TpccConfig, TpccWorkload};

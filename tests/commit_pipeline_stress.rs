@@ -11,11 +11,14 @@
 //! between `mark_conflict` and concurrent commits, exactly the windows the
 //! old mutex closed wholesale.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serializable_si::{Database, Error, IsolationLevel, Options, SsiVariant, TableRef};
+use serializable_si::{
+    CommitPhase, Database, Error, IsolationLevel, Options, SsiOptions, SsiVariant, TableRef, TxnId,
+};
 
 /// Outcome counters of one stress run.
 #[derive(Default)]
@@ -154,9 +157,18 @@ fn stress(variant: SsiVariant, threads: usize, iters: u64, keys: u64, seed: u64)
         );
     }
 
+    // Read-side commit resolution: under the speculative pipeline no read
+    // ever parks on the ordered-publication chain — readers resolve
+    // mid-window creators themselves.
+    let mgr = db.transaction_manager();
+    assert_eq!(
+        mgr.stats().read_publication_waits.load(Ordering::Relaxed),
+        0,
+        "a read parked on the publication chain"
+    );
+
     // Resource invariants: with every handle finished, one cleanup round
     // must drain the suspended list, the registry and every SIREAD lock.
-    let mgr = db.transaction_manager();
     mgr.cleanup_suspended(db.lock_manager());
     assert_eq!(mgr.suspended_len(), 0, "suspended transactions leaked");
     assert_eq!(mgr.registry_len(), 0, "registry entries leaked");
@@ -275,4 +287,229 @@ fn insert_delete_churn_with_scans_stays_serializable() {
         "non-serializable churn history: cycle {:?}",
         report.cycle
     );
+    assert_eq!(
+        db.transaction_manager()
+            .stats()
+            .read_publication_waits
+            .load(Ordering::Relaxed),
+        0,
+        "a read parked on the publication chain"
+    );
+}
+
+/// Installs a commit pause hook that holds the transaction whose id is in
+/// `straggler_id` at `PreFinalize` (timestamp stamped and deposited,
+/// finalize withheld) until `hold` clears, flagging `held` on entry.
+fn install_straggler_hook(
+    db: &Database,
+    straggler_id: &Arc<AtomicU64>,
+    hold: &Arc<AtomicBool>,
+    held: &Arc<AtomicBool>,
+) {
+    let straggler_id = Arc::clone(straggler_id);
+    let hold = Arc::clone(hold);
+    let held = Arc::clone(held);
+    db.transaction_manager()
+        .set_commit_pause_hook(Some(Arc::new(move |id: TxnId, phase: CommitPhase| {
+            if phase == CommitPhase::PreFinalize && id.0 == straggler_id.load(Ordering::Acquire) {
+                held.store(true, Ordering::Release);
+                while hold.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }
+        })));
+}
+
+/// The straggler choreography: one committer is held between stamping its
+/// timestamp and finalizing. Readers must resolve its provisional versions
+/// themselves (no parking on the publication chain), later committers must
+/// not queue behind it, and a speculative reader's own commit must wait for
+/// the straggler to settle.
+fn straggler_choreography(variant: SsiVariant) {
+    let options = Options {
+        ssi: SsiOptions {
+            variant,
+            ..Default::default()
+        },
+        ..Options::default()
+    }
+    .with_history();
+    let db = Database::open(options);
+    let table = db.create_table("t").unwrap();
+    let mut init = db.begin();
+    init.put(&table, b"a", b"0").unwrap();
+    init.put(&table, b"b", b"0").unwrap();
+    init.commit().unwrap();
+
+    let straggler_id = Arc::new(AtomicU64::new(0));
+    let hold = Arc::new(AtomicBool::new(true));
+    let held = Arc::new(AtomicBool::new(false));
+    install_straggler_hook(&db, &straggler_id, &hold, &held);
+
+    std::thread::scope(|scope| {
+        let straggler = {
+            let db = db.clone();
+            let table = table.clone();
+            let straggler_id = Arc::clone(&straggler_id);
+            scope.spawn(move || {
+                let mut txn = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+                txn.put(&table, b"a", b"1").unwrap();
+                straggler_id.store(txn.id().0, Ordering::Release);
+                txn.commit().unwrap();
+            })
+        };
+        while !held.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+
+        // The straggler's timestamp is deposited, so a fresh snapshot
+        // covers it; its version is still provisional. The read resolves it
+        // speculatively — value visible, no publication wait.
+        let mut reader = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+        let v = reader.get(&table, b"a").unwrap().unwrap();
+        assert_eq!(&v[..], b"1", "provisional version not visible to reader");
+
+        // A later committer does not queue behind the straggler: this
+        // commit completes while the straggler is held (the test would hang
+        // here under the old ordered-publication wait).
+        let mut later = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+        later.put(&table, b"b", b"2").unwrap();
+        later.commit().unwrap();
+
+        // The speculative reader's own commit must wait for its dependency.
+        let reader_commit = scope.spawn(move || reader.commit());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            !reader_commit.is_finished(),
+            "speculative reader committed before its dependency settled"
+        );
+
+        hold.store(false, Ordering::Release);
+        straggler.join().unwrap();
+        reader_commit.join().unwrap().unwrap();
+    });
+    db.transaction_manager().set_commit_pause_hook(None);
+
+    let stats = db.transaction_manager().stats();
+    assert!(stats.speculative_reads.load(Ordering::Relaxed) >= 1);
+    assert!(stats.commit_dependencies.load(Ordering::Relaxed) >= 1);
+    assert_eq!(
+        stats.read_publication_waits.load(Ordering::Relaxed),
+        0,
+        "a read parked on the publication chain"
+    );
+    let report = db.history().unwrap().analyze();
+    assert!(
+        report.is_serializable(),
+        "straggler choreography produced a non-serializable history"
+    );
+}
+
+#[test]
+fn straggler_committer_never_blocks_readers_enhanced() {
+    straggler_choreography(SsiVariant::Enhanced);
+}
+
+#[test]
+fn straggler_committer_never_blocks_readers_basic() {
+    straggler_choreography(SsiVariant::Basic);
+}
+
+#[test]
+fn dependency_cascade_dooms_speculative_readers() {
+    // A committer that fails its finalize re-check must drag every
+    // speculative reader of its provisional versions down with it. Basic
+    // variant: markers keep setting conflict flags on a word inside its
+    // commit window, so completing the pivot mid-window makes the finalize
+    // fail organically.
+    let options = Options {
+        ssi: SsiOptions {
+            variant: SsiVariant::Basic,
+            ..Default::default()
+        },
+        ..Options::default()
+    }
+    .with_history();
+    let db = Database::open(options);
+    let table = db.create_table("t").unwrap();
+    let mut init = db.begin();
+    init.put(&table, b"x", b"0").unwrap();
+    init.put(&table, b"y", b"0").unwrap();
+    init.commit().unwrap();
+
+    let straggler_id = Arc::new(AtomicU64::new(0));
+    let hold = Arc::new(AtomicBool::new(true));
+    let held = Arc::new(AtomicBool::new(false));
+    install_straggler_hook(&db, &straggler_id, &hold, &held);
+
+    std::thread::scope(|scope| {
+        // Pins its snapshot before the straggler's timestamp exists.
+        let mut r2 = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+        r2.get(&table, b"x").unwrap();
+
+        let straggler = {
+            let db = db.clone();
+            let table = table.clone();
+            let straggler_id = Arc::clone(&straggler_id);
+            scope.spawn(move || {
+                let mut t = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+                t.get(&table, b"x").unwrap();
+                t.put(&table, b"y", b"1").unwrap();
+                straggler_id.store(t.id().0, Ordering::Release);
+                t.commit()
+            })
+        };
+        while !held.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+
+        // r2's snapshot predates the straggler's version of y, so the read
+        // sees a newer invisible version and records `r2 --rw--> straggler`:
+        // the straggler gains its *in* edge mid-window.
+        let stale = r2.get(&table, b"y").unwrap().unwrap();
+        assert_eq!(&stale[..], b"0");
+
+        // Overwriting x conflicts with the straggler's SIREAD on it: the
+        // straggler gains its *out* edge mid-window and is now a pivot.
+        let mut w = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+        w.put(&table, b"x", b"2").unwrap();
+        w.commit().unwrap();
+
+        // A fresh reader takes the straggler's provisional y speculatively.
+        let mut r = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+        let v = r.get(&table, b"y").unwrap().unwrap();
+        assert_eq!(&v[..], b"1", "provisional version not visible");
+
+        // Release: the straggler's finalize re-check sees in && out and
+        // fails; the abort cascades into the speculative reader.
+        hold.store(false, Ordering::Release);
+        let err = straggler.join().unwrap().unwrap_err();
+        assert!(err.is_retryable(), "straggler must abort retryably: {err}");
+        assert!(
+            r.commit().is_err(),
+            "speculative reader of an aborted creator must not commit"
+        );
+        drop(r2);
+    });
+    db.transaction_manager().set_commit_pause_hook(None);
+
+    let stats = db.transaction_manager().stats();
+    assert!(
+        stats.dependency_cascade_aborts.load(Ordering::Relaxed) >= 1,
+        "cascade abort not counted"
+    );
+    let report = db.history().unwrap().analyze();
+    assert!(
+        report.is_serializable(),
+        "cascade history not serializable (dirty read escaped?)"
+    );
+    // The aborted straggler's value must never appear as a committed read.
+    for txn in db.history().unwrap().snapshot() {
+        for read in &txn.reads {
+            assert!(
+                !read.speculative || read.version_ts.is_some(),
+                "committed speculative read lost its version"
+            );
+        }
+    }
 }
