@@ -51,6 +51,12 @@ struct CaseResult {
     records: u64,
     fsyncs: u64,
     log_bytes: u64,
+    /// I/O failures + flusher fsync retries observed by the WAL. Both must
+    /// be zero on this clean-disk path: nonzero here means the robustness
+    /// machinery (fault classification, retry-with-backoff) intruded on a
+    /// healthy run.
+    io_failures: u64,
+    fsync_retries: u64,
 }
 
 impl CaseResult {
@@ -107,13 +113,15 @@ fn run_case(case: &Case, threads: usize, txns_per_thread: u64) -> CaseResult {
     });
     let elapsed_secs = start.elapsed().as_secs_f64();
 
-    let (records, fsyncs, log_bytes) = match db.durability_stats() {
+    let (records, fsyncs, log_bytes, io_failures, fsync_retries) = match db.durability_stats() {
         Some(stats) => (
             stats.records.load(Ordering::Relaxed),
             stats.fsyncs.load(Ordering::Relaxed),
             stats.bytes.load(Ordering::Relaxed),
+            stats.io_failures.load(Ordering::Relaxed),
+            stats.fsync_retries.load(Ordering::Relaxed),
         ),
-        None => (0, 0, 0),
+        None => (0, 0, 0, 0, 0),
     };
     let committed = db
         .transaction_manager()
@@ -130,6 +138,8 @@ fn run_case(case: &Case, threads: usize, txns_per_thread: u64) -> CaseResult {
         records,
         fsyncs,
         log_bytes,
+        io_failures,
+        fsync_retries,
     }
 }
 
@@ -238,7 +248,8 @@ fn main() {
             json,
             "    {{\"name\": \"{}\", \"threads\": {}, \"committed\": {}, \
              \"committed_per_sec\": {:.0}, \"records\": {}, \"fsyncs\": {}, \
-             \"records_per_fsync\": {:.2}, \"log_bytes\": {}}}{}",
+             \"records_per_fsync\": {:.2}, \"log_bytes\": {}, \
+             \"io_failures\": {}, \"fsync_retries\": {}}}{}",
             r.name,
             r.threads,
             r.committed,
@@ -247,6 +258,8 @@ fn main() {
             r.fsyncs,
             r.records_per_fsync(),
             r.log_bytes,
+            r.io_failures,
+            r.fsync_retries,
             if i + 1 == results.len() { "\n" } else { ",\n" },
         );
     }

@@ -51,6 +51,54 @@ impl fmt::Display for AbortKind {
     }
 }
 
+/// Why a database entered degraded (read-only) mode. Degradation is a
+/// one-way transition taken when the durability subsystem can no longer
+/// guarantee that acknowledged commits reach stable storage; snapshot
+/// reads keep serving, writers fail fast with [`Error::Degraded`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DegradedReason {
+    /// The write-ahead log was poisoned: an fsync (or append) failed and
+    /// retries were exhausted, so durability of further commits cannot be
+    /// promised ("fsync reports an error only once" — the failed range is
+    /// never re-fsynced as if nothing happened).
+    WalPoisoned,
+    /// The log device ran out of space and a checkpoint-to-reclaim attempt
+    /// did not free enough to continue.
+    OutOfSpace,
+    /// The background WAL flusher thread died (panicked); nothing is left
+    /// to make sealed commits durable.
+    WalThreadPanic,
+    /// The background version-GC thread died (panicked). Reads and writes
+    /// still work, but old versions are no longer reclaimed; surfaced so
+    /// operators notice before memory does.
+    GcThreadPanic,
+}
+
+impl DegradedReason {
+    /// Stable label used in health output and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradedReason::WalPoisoned => "wal-poisoned",
+            DegradedReason::OutOfSpace => "out-of-space",
+            DegradedReason::WalThreadPanic => "wal-thread-panic",
+            DegradedReason::GcThreadPanic => "gc-thread-panic",
+        }
+    }
+
+    /// True if this condition blocks write transactions. A dead GC thread
+    /// degrades the *service* (reclamation stops) but writes stay correct
+    /// and durable, so they are allowed to continue.
+    pub fn blocks_writes(self) -> bool {
+        !matches!(self, DegradedReason::GcThreadPanic)
+    }
+}
+
+impl fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Errors surfaced by the storage engine and concurrency control layer.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Error {
@@ -77,6 +125,10 @@ pub enum Error {
     /// committed in memory but its persistence is uncertain; when surfaced
     /// from open/recovery, the database could not be brought up.
     Durability(String),
+    /// The database is in degraded (read-only) mode: a durability or
+    /// maintenance failure made further writes unsafe. Snapshot reads keep
+    /// serving; write attempts fail fast with this error.
+    Degraded(DegradedReason),
 }
 
 impl Error {
@@ -134,6 +186,9 @@ impl fmt::Display for Error {
             Error::LockTimeout => write!(f, "lock wait timed out"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
             Error::Durability(msg) => write!(f, "durability error: {msg}"),
+            Error::Degraded(reason) => {
+                write!(f, "database is degraded (read-only): {reason}")
+            }
         }
     }
 }

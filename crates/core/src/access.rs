@@ -535,6 +535,13 @@ impl Transaction {
     }
 
     fn do_write(&mut self, table: &TableRef, key: &[u8], value: Option<Vec<u8>>) -> Result<()> {
+        // Degraded (read-only) mode: fail fast with the typed reason
+        // before taking any lock, instead of letting the commit discover a
+        // poisoned log later. Reads stay untouched — the in-memory version
+        // store is complete and consistent.
+        if let Some(reason) = self.db.health.write_block_reason() {
+            return Err(Error::Degraded(reason));
+        }
         let id = self.shared.id();
         let isolation = self.shared.isolation();
         let is_delete = value.is_none();

@@ -7,11 +7,15 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ssi_common::{Error, IsolationLevel, Result, TableId, Timestamp};
+use ssi_common::{DegradedReason, Error, IsolationLevel, Result, TableId, Timestamp};
 use ssi_lock::LockManager;
 use ssi_storage::{Catalog, PageMap, PurgeStats, Table, WriteAheadLog};
-use ssi_wal::{CheckpointStats, Checkpointer, Recovered, SyncPolicy, WalStats, WalWriter};
+use ssi_wal::{
+    CheckpointStats, Checkpointer, PoisonCause, Recovered, StdVfs, SyncPolicy, Vfs, WalStats,
+    WalWriter,
+};
 
+use crate::health::{DbHealth, HealthCell};
 use crate::maintenance::{MaintenanceHook, MaintenanceHub};
 use crate::manager::{GcPin, TransactionManager};
 use crate::options::{Durability, LockGranularity, Options};
@@ -62,6 +66,9 @@ pub(crate) struct DurableState {
     /// this struct — and the directory lock below — drops.
     pub(crate) wal: Arc<WalWriter>,
     pub(crate) dir: PathBuf,
+    /// Storage backend all durable I/O goes through (checkpoints included);
+    /// the production default is one pointer hop over `std::fs`.
+    vfs: Arc<dyn Vfs>,
     /// Serializes checkpoint runs (rotation + snapshot + truncation).
     checkpoint_lock: Mutex<()>,
     /// Serializes durable `create_table` calls so the create record can be
@@ -95,6 +102,9 @@ pub(crate) struct DbInner {
     pub(crate) pages: Option<PageMap>,
     pub(crate) history: Option<HistoryRecorder>,
     pub(crate) durable: Option<DurableState>,
+    /// Health state machine (`Healthy → Degraded → Closed`), shared with
+    /// the background maintenance threads.
+    pub(crate) health: Arc<HealthCell>,
     /// Background maintenance threads (dedicated WAL flusher, incremental
     /// GC). The threads hold `Arc`s to the shared pieces above — never to
     /// `DbInner` itself, so dropping the last database handle still runs
@@ -153,7 +163,7 @@ impl DbInner {
             .wal
             .rotate(|| self.txns.current_ts())
             .map_err(|e| Error::Durability(format!("log rotation failed: {e}")))?;
-        let stats = Checkpointer::new(&durable.dir)
+        let stats = Checkpointer::with_vfs(durable.vfs.clone(), &durable.dir)
             .run(&self.catalog, cut_ts, old_seq)
             .map_err(|e| Error::Durability(format!("checkpoint at ts {cut_ts} failed: {e}")))?;
         *durable.auto_checkpoint_error.lock() = None;
@@ -181,6 +191,33 @@ impl DbInner {
                 }
             }
         }
+    }
+
+    /// `Healthy → Degraded{reason}`, counting the transition in
+    /// [`crate::ManagerStats::degraded_transitions`] exactly once (the CAS
+    /// loser observes an incident already recorded).
+    pub(crate) fn degrade(&self, reason: DegradedReason) {
+        if self.health.degrade(reason) {
+            self.txns
+                .stats()
+                .degraded_transitions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Maps the WAL's recorded poison cause onto a degradation reason (a
+    /// poisoned log with no recorded cause reads as a plain I/O poisoning).
+    pub(crate) fn degrade_from_wal(&self) {
+        let cause = self
+            .durable
+            .as_ref()
+            .and_then(|d| d.wal.poison_cause())
+            .unwrap_or(PoisonCause::Io);
+        self.degrade(match cause {
+            PoisonCause::Io => DegradedReason::WalPoisoned,
+            PoisonCause::OutOfSpace => DegradedReason::OutOfSpace,
+            PoisonCause::Panic => DegradedReason::WalThreadPanic,
+        });
     }
 
     /// Runs one version-GC pass over every table at the pinned safe horizon
@@ -299,23 +336,33 @@ impl Database {
         };
         let catalog = Arc::new(Catalog::new());
         let txns = Arc::new(TransactionManager::new());
+        let health = Arc::new(HealthCell::default());
         let durable = match options.durability.mode {
             Durability::Off => None,
             mode => {
                 let dir = options.durability.dir.clone().ok_or_else(|| {
                     Error::Durability("durability enabled but no directory configured".to_string())
                 })?;
+                let vfs: Arc<dyn Vfs> = options
+                    .durability
+                    .vfs
+                    .clone()
+                    .map_or_else(StdVfs::handle, |h| h.0);
                 let io = |what: &'static str| {
                     let dir = dir.display().to_string();
                     move |e: std::io::Error| Error::Durability(format!("{what} ({dir}): {e}"))
                 };
-                std::fs::create_dir_all(&dir).map_err(io("create durable dir"))?;
+                let wal_err = |what: &'static str| {
+                    let dir = dir.display().to_string();
+                    move |e: ssi_wal::WalError| Error::Durability(format!("{what} ({dir}): {e}"))
+                };
+                vfs.create_dir_all(&dir).map_err(io("create durable dir"))?;
                 // Exclusive ownership of the directory across the whole
                 // recover + append lifecycle: a second opener gets an error
                 // here instead of interleaving frames into the same segment.
-                let dir_lock = ssi_wal::lock_dir(&dir).map_err(io("lock durable dir"))?;
-                let recovered =
-                    ssi_wal::recover_into(&dir, &catalog).map_err(io("recovery failed"))?;
+                let dir_lock = ssi_wal::lock_dir(&dir).map_err(wal_err("lock durable dir"))?;
+                let recovered = ssi_wal::recover_into_with(vfs.as_ref(), &dir, &catalog)
+                    .map_err(wal_err("recovery failed"))?;
                 txns.restore_clock(recovered.max_commit_ts);
                 let policy = match (mode, options.durability.fsync_every_commit) {
                     (Durability::Buffered, _) => SyncPolicy::Never,
@@ -323,9 +370,21 @@ impl Database {
                     (Durability::GroupCommit, true) => SyncPolicy::EveryCommit,
                     (Durability::Off, _) => unreachable!(),
                 };
+                // The un-fsynced-frame buffer backs the flusher's
+                // retry-by-re-emission path, so it exists exactly when a
+                // dedicated flusher with a non-zero retry budget will run.
+                let buffer_unsynced = options.maintenance.flush_max_delay.is_some()
+                    && options.maintenance.flush_retry_budget > 0
+                    && policy != SyncPolicy::EveryCommit;
                 let wal = Arc::new(
-                    WalWriter::open(&dir, recovered.next_segment_seq, policy)
-                        .map_err(io("open log segment"))?,
+                    WalWriter::open_with(
+                        vfs.clone(),
+                        &dir,
+                        recovered.next_segment_seq,
+                        policy,
+                        buffer_unsynced,
+                    )
+                    .map_err(wal_err("open log segment"))?,
                 );
                 // Dedicated-flusher mode must be set before the first
                 // commit can seal anything; the thread itself starts with
@@ -339,6 +398,7 @@ impl Database {
                 Some(DurableState {
                     wal,
                     dir,
+                    vfs,
                     checkpoint_lock: Mutex::new(()),
                     create_lock: Mutex::new(()),
                     checkpoint_every_bytes: options.durability.checkpoint_every_bytes,
@@ -353,6 +413,7 @@ impl Database {
             durable.as_ref().map(|d| d.wal.clone()),
             catalog.clone(),
             txns.clone(),
+            health.clone(),
         );
         let inner = DbInner {
             locks: LockManager::new(options.lock.clone()),
@@ -362,14 +423,28 @@ impl Database {
             pages,
             history,
             durable,
+            health,
             maintenance,
             options,
             commits_since_purge: AtomicU64::new(0),
             purge_lock: Mutex::new(()),
         };
-        Ok(Database {
+        let db = Database {
             inner: Arc::new(inner),
-        })
+        };
+        if let Some(durable) = &db.inner.durable {
+            // Checkpoint-to-reclaim: when the flusher hits ENOSPC it asks
+            // us — once per incident — to free log space by checkpointing
+            // (snapshot + truncate the covered segments). The weak handle
+            // keeps the hook from holding the database alive; once the last
+            // user handle drops, reclaim attempts simply report failure.
+            let weak = Arc::downgrade(&db.inner);
+            durable.wal.set_reclaim_hook(Box::new(move || {
+                weak.upgrade()
+                    .is_some_and(|inner| inner.checkpoint().is_ok())
+            }));
+        }
+        Ok(db)
     }
 
     /// Opens a database with default options (Serializable SI, row-level
@@ -381,6 +456,25 @@ impl Database {
     /// The options the database was opened with.
     pub fn options(&self) -> &Options {
         &self.inner.options
+    }
+
+    /// Current health: `Healthy`, `Degraded{reason}` (writes fail fast,
+    /// snapshot reads keep serving) or `Closed`. Degradation is one-way
+    /// and first-cause-wins; see [`crate::health`].
+    pub fn health(&self) -> DbHealth {
+        self.inner.health.get()
+    }
+
+    /// Closes the database: syncs the durable tail (best-effort — a
+    /// poisoned log has nothing more to promise) and moves health to
+    /// `Closed`, after which new write transactions fail fast. Existing
+    /// handles keep serving snapshot reads; background threads are joined
+    /// when the last handle drops, as always.
+    pub fn close(&self) {
+        if let Some(durable) = &self.inner.durable {
+            let _ = durable.wal.sync();
+        }
+        self.inner.health.close();
     }
 
     /// Creates a table.
@@ -399,6 +493,9 @@ impl Database {
         let table = match &self.inner.durable {
             None => self.inner.catalog.create_table(name)?,
             Some(durable) => {
+                if let Some(reason) = self.inner.health.write_block_reason() {
+                    return Err(Error::Degraded(reason));
+                }
                 let _serialize = durable.create_lock.lock();
                 if self.inner.catalog.table(name).is_ok() {
                     return Err(Error::TableExists(name.to_string()));
@@ -601,6 +698,7 @@ impl Database {
             .as_ref()
             .ok_or_else(|| Error::Durability("durability is disabled".to_string()))?;
         durable.wal.poison();
+        self.inner.degrade_from_wal();
         Ok(())
     }
 }

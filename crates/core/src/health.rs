@@ -1,0 +1,150 @@
+//! Database health: `Healthy → Degraded{reason} → Closed`.
+//!
+//! Degradation is the engine's answer to durability failures that survive
+//! the retry budget (see the `ssi-wal` crate docs, § Failure handling): the
+//! database stops accepting writes — they fail fast with
+//! [`ssi_common::Error::Degraded`] — while snapshot reads keep serving from
+//! the in-memory version store, which is complete and consistent (every
+//! version in it committed). The transition is one-way and first-cause-wins:
+//! concurrent failures race to a single CAS, so [`DbHealth::Degraded`]
+//! always reports the *original* fault, not whichever symptom was observed
+//! last.
+//!
+//! A dead background GC thread is the one degraded state that does *not*
+//! block writes ([`DegradedReason::blocks_writes`]): commits stay correct
+//! and durable without reclamation, the condition is surfaced so operators
+//! notice before memory growth does.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use ssi_common::DegradedReason;
+
+/// Observable health of a [`crate::Database`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DbHealth {
+    /// Normal operation.
+    Healthy,
+    /// A durability or maintenance failure made further writes unsafe (or,
+    /// for [`DegradedReason::GcThreadPanic`], degraded the service without
+    /// blocking writes). One-way; snapshot reads keep serving.
+    Degraded {
+        /// The first fault that triggered the transition.
+        reason: DegradedReason,
+    },
+    /// The database was explicitly closed; all new operations fail.
+    Closed,
+}
+
+const HEALTHY: u8 = 0;
+const WAL_POISONED: u8 = 1;
+const OUT_OF_SPACE: u8 = 2;
+const WAL_THREAD_PANIC: u8 = 3;
+const GC_THREAD_PANIC: u8 = 4;
+const CLOSED: u8 = 5;
+
+fn reason_code(reason: DegradedReason) -> u8 {
+    match reason {
+        DegradedReason::WalPoisoned => WAL_POISONED,
+        DegradedReason::OutOfSpace => OUT_OF_SPACE,
+        DegradedReason::WalThreadPanic => WAL_THREAD_PANIC,
+        DegradedReason::GcThreadPanic => GC_THREAD_PANIC,
+    }
+}
+
+fn code_reason(code: u8) -> Option<DegradedReason> {
+    match code {
+        WAL_POISONED => Some(DegradedReason::WalPoisoned),
+        OUT_OF_SPACE => Some(DegradedReason::OutOfSpace),
+        WAL_THREAD_PANIC => Some(DegradedReason::WalThreadPanic),
+        GC_THREAD_PANIC => Some(DegradedReason::GcThreadPanic),
+        _ => None,
+    }
+}
+
+/// One-word health state machine, shared between the database handle, the
+/// commit path and the background maintenance threads.
+#[derive(Debug, Default)]
+pub(crate) struct HealthCell(AtomicU8);
+
+impl HealthCell {
+    /// Current health.
+    pub(crate) fn get(&self) -> DbHealth {
+        match self.0.load(Ordering::Acquire) {
+            HEALTHY => DbHealth::Healthy,
+            CLOSED => DbHealth::Closed,
+            code => DbHealth::Degraded {
+                reason: code_reason(code).expect("valid degraded code"),
+            },
+        }
+    }
+
+    /// `Healthy → Degraded{reason}`; returns true if *this* call made the
+    /// transition (the caller then bumps the degraded-transition counter —
+    /// losers of the race report nothing, so the counter counts incidents,
+    /// not observers).
+    pub(crate) fn degrade(&self, reason: DegradedReason) -> bool {
+        self.0
+            .compare_exchange(
+                HEALTHY,
+                reason_code(reason),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Terminal transition: any state → `Closed`.
+    pub(crate) fn close(&self) {
+        self.0.store(CLOSED, Ordering::Release);
+    }
+
+    /// The reason write transactions must fail fast right now, if any.
+    /// `None` while healthy — and in the one degraded state that keeps
+    /// writes flowing (a dead GC thread).
+    pub(crate) fn write_block_reason(&self) -> Option<DegradedReason> {
+        match self.get() {
+            DbHealth::Healthy => None,
+            DbHealth::Degraded { reason } => reason.blocks_writes().then_some(reason),
+            // Closed blocks everything; surfaced as the closest reason the
+            // typed error can carry. Callers check `get()` when they need
+            // to distinguish.
+            DbHealth::Closed => Some(DegradedReason::WalPoisoned),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_degrade_wins_and_is_one_way() {
+        let cell = HealthCell::default();
+        assert_eq!(cell.get(), DbHealth::Healthy);
+        assert!(cell.degrade(DegradedReason::OutOfSpace));
+        assert!(!cell.degrade(DegradedReason::WalPoisoned));
+        assert_eq!(
+            cell.get(),
+            DbHealth::Degraded {
+                reason: DegradedReason::OutOfSpace
+            }
+        );
+        cell.close();
+        assert_eq!(cell.get(), DbHealth::Closed);
+        assert!(!cell.degrade(DegradedReason::WalPoisoned));
+        assert_eq!(cell.get(), DbHealth::Closed);
+    }
+
+    #[test]
+    fn gc_thread_death_does_not_block_writes() {
+        let cell = HealthCell::default();
+        assert!(cell.degrade(DegradedReason::GcThreadPanic));
+        assert_eq!(cell.write_block_reason(), None);
+        let cell = HealthCell::default();
+        assert!(cell.degrade(DegradedReason::WalThreadPanic));
+        assert_eq!(
+            cell.write_block_reason(),
+            Some(DegradedReason::WalThreadPanic)
+        );
+    }
+}

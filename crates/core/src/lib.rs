@@ -61,6 +61,7 @@
 //! ```
 
 pub mod db;
+pub mod health;
 pub mod maintenance;
 pub mod manager;
 pub mod options;
@@ -75,11 +76,12 @@ mod access;
 mod engine_tests;
 
 pub use db::{Database, TableRef};
+pub use health::DbHealth;
 pub use maintenance::{MaintenanceEvent, MaintenanceHook};
 pub use manager::{CommitPauseHook, CommitPhase, GcPin, ManagerStats, TransactionManager};
 pub use options::{
     Durability, DurabilityOptions, LockGranularity, MaintenanceOptions, Options, SsiOptions,
-    SsiVariant, VictimPolicy,
+    SsiVariant, VfsHandle, VictimPolicy,
 };
 pub use ssi::CallerRole;
 pub use txn::Transaction;
@@ -89,6 +91,9 @@ pub use verify::{
     WriteRecordEntry,
 };
 
-pub use ssi_common::{AbortKind, Error, IsolationLevel, Result, TxnId};
+pub use ssi_common::{AbortKind, DegradedReason, Error, IsolationLevel, Result, TxnId};
 pub use ssi_storage::PurgeStats;
-pub use ssi_wal::{CheckpointStats, FlushEvent, FlushReason, Recovered, WalStats};
+pub use ssi_wal::{
+    CheckpointStats, FaultMode, FaultOp, FaultRule, FaultVfs, FlushEvent, FlushReason, Recovered,
+    StdVfs, Vfs, WalStats,
+};

@@ -41,6 +41,7 @@
 //! does `DbInner` drop the durable state and with it the directory lock, so
 //! a fast reopen can never race a still-flushing old incarnation.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -48,9 +49,11 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use ssi_common::DegradedReason;
 use ssi_storage::{Catalog, PurgeStats, SHARD_COUNT};
-use ssi_wal::{FlushEvent, FlusherConfig, WalWriter};
+use ssi_wal::{FlushEvent, FlusherConfig, PoisonCause, WalWriter};
 
+use crate::health::HealthCell;
 use crate::manager::TransactionManager;
 use crate::options::MaintenanceOptions;
 
@@ -113,6 +116,7 @@ impl MaintenanceHub {
         wal: Option<Arc<WalWriter>>,
         catalog: Arc<Catalog>,
         txns: Arc<TransactionManager>,
+        health: Arc<HealthCell>,
     ) -> Option<MaintenanceHub> {
         let flusher_wal = match (&wal, options.flush_max_delay) {
             (Some(wal), Some(_)) if wal.has_flusher() => Some(wal.clone()),
@@ -132,25 +136,67 @@ impl MaintenanceHub {
         let flusher = flusher_wal.as_ref().map(|wal| {
             let wal = wal.clone();
             let shared = shared.clone();
+            let health = health.clone();
+            let txns = txns.clone();
             let config = FlusherConfig {
                 max_delay: options.flush_max_delay.expect("checked above"),
                 max_batch_bytes: options.flush_max_bytes.max(1),
+                retry_budget: options.flush_retry_budget,
+                retry_backoff: options.flush_retry_backoff,
             };
             std::thread::Builder::new()
                 .name("ssi-wal-flusher".into())
                 .spawn(move || {
-                    wal.flusher_loop(&config, &shared.shutdown, &mut |event| {
-                        shared.observe(MaintenanceEvent::Flusher(event));
-                    });
+                    // Panic containment: the loop runs arbitrary test hooks
+                    // and must never die silently — a vanished flusher
+                    // would park the next committer forever. A panic
+                    // poisons the log (waking every parked committer with
+                    // an error) and degrades health, exactly like a fatal
+                    // I/O failure.
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        wal.flusher_loop(&config, &shared.shutdown, &mut |event| {
+                            match event {
+                                FlushEvent::Retrying { .. } => {
+                                    let stats = txns.stats();
+                                    stats.wal_fsync_retries.fetch_add(1, Ordering::Relaxed);
+                                    stats.wal_faults_observed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                FlushEvent::Poisoned => {
+                                    let stats = txns.stats();
+                                    stats.wal_faults_observed.fetch_add(1, Ordering::Relaxed);
+                                    degrade(&health, &txns, wal_degrade_reason(&wal));
+                                }
+                                _ => {}
+                            }
+                            shared.observe(MaintenanceEvent::Flusher(event));
+                        });
+                    }));
+                    if run.is_err() {
+                        wal.poison_with(PoisonCause::Panic);
+                        wal.wake_all();
+                        degrade(&health, &txns, DegradedReason::WalThreadPanic);
+                    }
                 })
                 .expect("spawn wal flusher thread")
         });
         let gc = options.gc_interval.map(|interval| {
             let shared = shared.clone();
+            let health = health.clone();
+            let txns = txns.clone();
             let shards_per_pass = options.gc_shards_per_pass.max(1);
             std::thread::Builder::new()
                 .name("ssi-gc".into())
-                .spawn(move || gc_loop(&shared, &catalog, &txns, interval, shards_per_pass))
+                .spawn(move || {
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        gc_loop(&shared, &catalog, &txns, interval, shards_per_pass)
+                    }));
+                    if run.is_err() {
+                        // A dead GC thread stops reclamation but not
+                        // correctness: degrade (surfacing it through the
+                        // health API) without blocking writes.
+                        degrade(&health, &txns, DegradedReason::GcThreadPanic);
+                    }
+                })
                 .expect("spawn gc thread")
         });
         Some(MaintenanceHub {
@@ -210,6 +256,25 @@ impl MaintenanceHub {
 impl Drop for MaintenanceHub {
     fn drop(&mut self) {
         self.shutdown_and_join();
+    }
+}
+
+/// `Healthy → Degraded{reason}` with the transition counted exactly once
+/// in [`crate::ManagerStats::degraded_transitions`].
+fn degrade(health: &HealthCell, txns: &TransactionManager, reason: DegradedReason) {
+    if health.degrade(reason) {
+        txns.stats()
+            .degraded_transitions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Maps a poisoned log's recorded cause onto the degradation reason.
+fn wal_degrade_reason(wal: &WalWriter) -> DegradedReason {
+    match wal.poison_cause().unwrap_or(PoisonCause::Io) {
+        PoisonCause::Io => DegradedReason::WalPoisoned,
+        PoisonCause::OutOfSpace => DegradedReason::OutOfSpace,
+        PoisonCause::Panic => DegradedReason::WalThreadPanic,
     }
 }
 

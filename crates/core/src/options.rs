@@ -149,6 +149,16 @@ pub struct MaintenanceOptions {
     /// table sweep completes every `SHARD_COUNT / gc_shards_per_pass`
     /// intervals.
     pub gc_shards_per_pass: usize,
+    /// How many times the dedicated flusher retries a *transient* fsync
+    /// failure before poisoning the log (see the `ssi-wal` crate docs,
+    /// § Failure handling). While un-fsynced frames are buffered for
+    /// re-emission, a failed range is never re-fsynced as if nothing
+    /// happened — retries re-write it to a fresh segment. `0` disables
+    /// retrying (and the re-emission buffer): the first failure poisons,
+    /// as committer-elected group commit always does.
+    pub flush_retry_budget: u32,
+    /// Delay between flusher retry attempts.
+    pub flush_retry_backoff: Duration,
 }
 
 impl Default for MaintenanceOptions {
@@ -158,7 +168,22 @@ impl Default for MaintenanceOptions {
             flush_max_bytes: 1 << 20,
             gc_interval: None,
             gc_shards_per_pass: 16,
+            flush_retry_budget: 4,
+            flush_retry_backoff: Duration::from_millis(5),
         }
+    }
+}
+
+/// A pluggable storage backend for the durability subsystem: everything the
+/// WAL, checkpointer and recovery do on disk goes through this handle. The
+/// default (`None` in [`DurabilityOptions::vfs`]) is the real filesystem;
+/// tests inject `ssi_wal::FaultVfs` to script disk failures.
+#[derive(Clone)]
+pub struct VfsHandle(pub std::sync::Arc<dyn ssi_wal::Vfs>);
+
+impl std::fmt::Debug for VfsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("VfsHandle(..)")
     }
 }
 
@@ -167,6 +192,9 @@ impl Default for MaintenanceOptions {
 pub struct DurabilityOptions {
     /// Durability mode.
     pub mode: Durability,
+    /// Storage backend; `None` (the default) uses the real filesystem
+    /// through one virtual pointer hop. See [`VfsHandle`].
+    pub vfs: Option<VfsHandle>,
     /// Directory holding log segments and checkpoint snapshots. Required
     /// unless `mode` is [`Durability::Off`]; created if missing; recovered
     /// from if non-empty.
@@ -293,6 +321,13 @@ impl Options {
     pub fn with_durability(mut self, mode: Durability, dir: impl Into<PathBuf>) -> Self {
         self.durability.mode = mode;
         self.durability.dir = Some(dir.into());
+        self
+    }
+
+    /// Routes all durable I/O through the given [`ssi_wal::Vfs`] (fault
+    /// injection for tests; see [`DurabilityOptions::vfs`]).
+    pub fn with_vfs(mut self, vfs: std::sync::Arc<dyn ssi_wal::Vfs>) -> Self {
+        self.durability.vfs = Some(VfsHandle(vfs));
         self
     }
 

@@ -343,6 +343,14 @@ impl Transaction {
                     .seal_upto(commit_ts)
                     .and_then(|()| durable.wal.wait_durable(commit_ts));
                 if let Err(e) = result {
+                    // A lost durability promise degrades the database:
+                    // later writers fail fast instead of piling onto a
+                    // poisoned log. This committer still reports the
+                    // classic durability error — its commit *is* applied
+                    // in memory, only persistence is uncertain.
+                    if durable.wal.is_poisoned() {
+                        self.db.degrade_from_wal();
+                    }
                     durability_error = Some(Error::Durability(format!("commit {commit_ts}: {e}")));
                 }
             }

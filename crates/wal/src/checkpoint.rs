@@ -20,6 +20,14 @@
 //! commit timestamp of the version it was read from, so recovery rebuilds
 //! version chains with their original timestamps and is idempotent.
 //!
+//! # Failure hygiene
+//!
+//! The snapshot streams into a `.tmp` file that is fsynced and renamed
+//! into place only once complete. A write that fails mid-way removes its
+//! own `.tmp` (best-effort — a crash can still strand one, which recovery
+//! deletes), so failed checkpoints never accumulate temp litter and a
+//! half-written snapshot is never mistaken for a real one.
+//!
 //! # Scheduling against version GC
 //!
 //! The fuzzy snapshot streams every table at the cut timestamp `C` *while
@@ -38,15 +46,17 @@
 //! (`snapshot_survives_purge_at_or_below_the_cut` below demonstrates both
 //! directions).
 
-use std::io::Write;
 use std::ops::Bound;
 use std::path::Path;
+use std::sync::Arc;
 
 use ssi_common::{Timestamp, TxnId};
 use ssi_storage::Catalog;
 
+use crate::error::{ctx, WalOp, WalResult};
 use crate::record::{crc32, crc32_update, put_u32, put_u64, Cursor, CRC_INIT};
-use crate::{list_segments, list_snapshots, snapshot_path, sync_dir};
+use crate::vfs::{StdVfs, Vfs, VfsFile};
+use crate::{list_segments, list_snapshots, snapshot_path};
 
 /// Magic prefix of snapshot files.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SSICKPT1";
@@ -71,15 +81,24 @@ pub struct CheckpointStats {
 }
 
 /// Writes snapshots and truncates the log. Stateless besides the target
-/// directory; the caller (the database) serializes checkpoint runs.
+/// directory and VFS; the caller (the database) serializes checkpoint runs.
 pub struct Checkpointer<'a> {
+    vfs: Arc<dyn Vfs>,
     dir: &'a Path,
 }
 
 impl<'a> Checkpointer<'a> {
-    /// A checkpointer for the durable directory `dir`.
+    /// A checkpointer for the durable directory `dir` on the production VFS.
     pub fn new(dir: &'a Path) -> Self {
-        Checkpointer { dir }
+        Checkpointer {
+            vfs: StdVfs::handle(),
+            dir,
+        }
+    }
+
+    /// A checkpointer on an explicit [`Vfs`].
+    pub fn with_vfs(vfs: Arc<dyn Vfs>, dir: &'a Path) -> Self {
+        Checkpointer { vfs, dir }
     }
 
     /// Takes a fuzzy snapshot of every table in `catalog` at `ts` (which
@@ -92,7 +111,7 @@ impl<'a> Checkpointer<'a> {
         catalog: &Catalog,
         ts: Timestamp,
         old_seq: u64,
-    ) -> std::io::Result<CheckpointStats> {
+    ) -> WalResult<CheckpointStats> {
         let mut stats = self.write_snapshot(catalog, ts)?;
         stats.segments_pruned = self.prune(ts, old_seq)?;
         Ok(stats)
@@ -100,14 +119,29 @@ impl<'a> Checkpointer<'a> {
 
     /// Serializes the committed state at `ts` into `snapshot-<ts>.ckpt`
     /// (via a temp file + rename, so a crash never corrupts the previous
-    /// snapshot). The body streams to disk one table at a time with the
-    /// CRC computed incrementally, so peak memory is one table's rows,
-    /// not the whole database.
-    pub fn write_snapshot(
+    /// snapshot; a *failed* write removes its own temp file). The body
+    /// streams to disk one table at a time with the CRC computed
+    /// incrementally, so peak memory is one table's rows, not the whole
+    /// database.
+    pub fn write_snapshot(&self, catalog: &Catalog, ts: Timestamp) -> WalResult<CheckpointStats> {
+        let tmp = self.dir.join(format!("snapshot-{ts:016x}.tmp"));
+        match self.write_snapshot_inner(catalog, ts, &tmp) {
+            Ok(stats) => Ok(stats),
+            Err(e) => {
+                // Never leak the half-written temp file; ignore a cleanup
+                // failure (recovery deletes orphans as a second net).
+                let _ = self.vfs.remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    fn write_snapshot_inner(
         &self,
         catalog: &Catalog,
         ts: Timestamp,
-    ) -> std::io::Result<CheckpointStats> {
+        tmp: &Path,
+    ) -> WalResult<CheckpointStats> {
         let mut tables = catalog.tables();
         tables.sort_by_key(|t| t.id().0);
 
@@ -116,9 +150,8 @@ impl<'a> Checkpointer<'a> {
             tables: tables.len() as u64,
             ..CheckpointStats::default()
         };
-        let tmp = self.dir.join(format!("snapshot-{ts:016x}.tmp"));
         {
-            let mut out = BodyWriter::create(&tmp)?;
+            let mut out = BodyWriter::create(self.vfs.as_ref(), tmp)?;
             let mut header = Vec::with_capacity(12);
             put_u64(&mut header, ts);
             put_u32(&mut header, tables.len() as u32);
@@ -153,28 +186,41 @@ impl<'a> Checkpointer<'a> {
             }
             stats.bytes = out.finish()?;
         }
-        std::fs::rename(&tmp, snapshot_path(self.dir, ts))?;
-        sync_dir(self.dir)?;
+        let final_path = snapshot_path(self.dir, ts);
+        ctx(
+            self.vfs.rename(tmp, &final_path),
+            WalOp::Rename,
+            &final_path,
+        )?;
+        ctx(self.vfs.sync_dir(self.dir), WalOp::DirSync, self.dir)?;
         Ok(stats)
     }
 
     /// Deletes log segments with sequence `<= old_seq` (their records are
     /// all `<= ts` and covered by the snapshot) and snapshots older than
     /// `ts`. Returns the number of segments removed.
-    fn prune(&self, ts: Timestamp, old_seq: u64) -> std::io::Result<u64> {
+    fn prune(&self, ts: Timestamp, old_seq: u64) -> WalResult<u64> {
         let mut pruned = 0;
-        for (seq, path) in list_segments(self.dir)? {
+        for (seq, path) in ctx(
+            list_segments(self.vfs.as_ref(), self.dir),
+            WalOp::Read,
+            self.dir,
+        )? {
             if seq <= old_seq {
-                std::fs::remove_file(&path)?;
+                ctx(self.vfs.remove_file(&path), WalOp::Remove, &path)?;
                 pruned += 1;
             }
         }
-        for (snap_ts, path) in list_snapshots(self.dir)? {
+        for (snap_ts, path) in ctx(
+            list_snapshots(self.vfs.as_ref(), self.dir),
+            WalOp::Read,
+            self.dir,
+        )? {
             if snap_ts < ts {
-                std::fs::remove_file(&path)?;
+                ctx(self.vfs.remove_file(&path), WalOp::Remove, &path)?;
             }
         }
-        sync_dir(self.dir)?;
+        ctx(self.vfs.sync_dir(self.dir), WalOp::DirSync, self.dir)?;
         Ok(pruned)
     }
 }
@@ -184,33 +230,39 @@ impl<'a> Checkpointer<'a> {
 /// producing exactly the `magic + body + crc32(body)` layout the format
 /// defines, without materializing the body.
 struct BodyWriter {
-    file: std::fs::File,
+    file: Arc<dyn VfsFile>,
+    path: std::path::PathBuf,
     crc_state: u32,
     body_bytes: u64,
 }
 
 impl BodyWriter {
-    fn create(path: &Path) -> std::io::Result<Self> {
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(SNAPSHOT_MAGIC)?;
+    fn create(vfs: &dyn Vfs, path: &Path) -> WalResult<Self> {
+        let file = ctx(vfs.create_truncate(path), WalOp::Create, path)?;
+        ctx(file.write_all(SNAPSHOT_MAGIC), WalOp::Append, path)?;
         Ok(BodyWriter {
             file,
+            path: path.to_path_buf(),
             crc_state: CRC_INIT,
             body_bytes: 0,
         })
     }
 
-    fn write_body(&mut self, chunk: &[u8]) -> std::io::Result<()> {
+    fn write_body(&mut self, chunk: &[u8]) -> WalResult<()> {
         self.crc_state = crc32_update(self.crc_state, chunk);
         self.body_bytes += chunk.len() as u64;
-        self.file.write_all(chunk)
+        ctx(self.file.write_all(chunk), WalOp::Append, &self.path)
     }
 
     /// Appends the CRC footer and fsyncs; returns the total file size.
-    fn finish(mut self) -> std::io::Result<u64> {
+    fn finish(self) -> WalResult<u64> {
         let crc = self.crc_state ^ 0xFFFF_FFFF;
-        self.file.write_all(&crc.to_le_bytes())?;
-        self.file.sync_all()?;
+        ctx(
+            self.file.write_all(&crc.to_le_bytes()),
+            WalOp::Append,
+            &self.path,
+        )?;
+        ctx(self.file.sync_all(), WalOp::Fsync, &self.path)?;
         Ok(SNAPSHOT_MAGIC.len() as u64 + self.body_bytes + 4)
     }
 }
@@ -227,8 +279,8 @@ pub(crate) struct SnapshotTable {
 /// Decodes a snapshot file; `None` if missing, torn or corrupt (recovery
 /// treats an undecodable newest snapshot as a fatal error — the segments
 /// it covers are pruned, so no fallback can reconstruct the gap).
-pub(crate) fn load_snapshot(path: &Path) -> Option<(Timestamp, Vec<SnapshotTable>)> {
-    let bytes = std::fs::read(path).ok()?;
+pub(crate) fn load_snapshot(vfs: &dyn Vfs, path: &Path) -> Option<(Timestamp, Vec<SnapshotTable>)> {
+    let bytes = vfs.read(path).ok()?;
     if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
         return None;
     }
@@ -264,6 +316,7 @@ pub(crate) fn load_snapshot(path: &Path) -> Option<(Timestamp, Vec<SnapshotTable
 mod tests {
     use super::*;
     use crate::testutil::temp_dir;
+    use crate::vfs::{FaultMode, FaultOp, FaultRule, FaultVfs};
     use ssi_common::TableId;
 
     fn populate(catalog: &Catalog) {
@@ -281,6 +334,10 @@ mod tests {
         let _ = TableId(0);
     }
 
+    fn load_std(path: &Path) -> Option<(Timestamp, Vec<SnapshotTable>)> {
+        load_snapshot(&StdVfs, path)
+    }
+
     #[test]
     fn snapshot_roundtrip_excludes_late_and_dead_rows() {
         let dir = temp_dir("snap");
@@ -290,7 +347,7 @@ mod tests {
         assert_eq!(stats.rows, 2);
         assert_eq!(stats.tables, 1);
 
-        let (ts, tables) = load_snapshot(&snapshot_path(&dir, 8)).unwrap();
+        let (ts, tables) = load_std(&snapshot_path(&dir, 8)).unwrap();
         assert_eq!(ts, 8);
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].name, "accounts");
@@ -320,7 +377,7 @@ mod tests {
         catalog.purge_old_versions(8);
         let stats = Checkpointer::new(&dir).write_snapshot(&catalog, 8).unwrap();
         assert_eq!(stats.rows, 1);
-        let (_, tables) = load_snapshot(&snapshot_path(&dir, 8)).unwrap();
+        let (_, tables) = load_std(&snapshot_path(&dir, 8)).unwrap();
         assert_eq!(tables[0].rows, vec![(b"k".to_vec(), 5, b"old".to_vec())]);
 
         // An unpinned purge past the cut (horizon 12) reclaims the ts-5
@@ -346,10 +403,10 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(load_snapshot(&path).is_none());
+        assert!(load_std(&path).is_none());
         // Truncated file.
         std::fs::write(&path, &bytes[..10]).unwrap();
-        assert!(load_snapshot(&path).is_none());
+        assert!(load_std(&path).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -363,12 +420,67 @@ mod tests {
         Checkpointer::new(&dir).write_snapshot(&catalog, 4).unwrap();
         let stats = Checkpointer::new(&dir).run(&catalog, 9, 2).unwrap();
         assert_eq!(stats.segments_pruned, 2);
-        let segments = list_segments(&dir).unwrap();
+        let segments = list_segments(&StdVfs, &dir).unwrap();
         assert_eq!(segments.len(), 1);
         assert_eq!(segments[0].0, 3);
-        let snapshots = list_snapshots(&dir).unwrap();
+        let snapshots = list_snapshots(&StdVfs, &dir).unwrap();
         assert_eq!(snapshots.len(), 1);
         assert_eq!(snapshots[0].0, 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_snapshot_write_leaves_no_tmp_file() {
+        let dir = temp_dir("snap-tmp-hygiene");
+        let catalog = Catalog::new();
+        populate(&catalog);
+        // Fail the first write to any .tmp file (the magic header).
+        let fault = FaultVfs::new(vec![FaultRule::new(
+            FaultOp::Write,
+            FaultMode::FailOnce,
+            std::io::ErrorKind::Other,
+        )
+        .on_path(".tmp")]);
+        let ckpt = Checkpointer::with_vfs(fault.handle(), &dir);
+        let err = ckpt.write_snapshot(&catalog, 8).unwrap_err();
+        assert_eq!(err.op, WalOp::Append, "{err}");
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().map(String::from))
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "leaked temp files: {leftovers:?}");
+        // And the failure did not destroy the ability to checkpoint later.
+        fault.clear_rules();
+        ckpt.write_snapshot(&catalog, 9).unwrap();
+        assert!(load_std(&snapshot_path(&dir, 9)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_rename_removes_tmp_and_keeps_old_snapshot_authoritative() {
+        let dir = temp_dir("snap-rename");
+        let catalog = Catalog::new();
+        populate(&catalog);
+        Checkpointer::new(&dir).write_snapshot(&catalog, 8).unwrap();
+        let fault = FaultVfs::new(vec![FaultRule::new(
+            FaultOp::Rename,
+            FaultMode::FailOnce,
+            std::io::ErrorKind::Other,
+        )]);
+        let ckpt = Checkpointer::with_vfs(fault.handle(), &dir);
+        let err = ckpt.write_snapshot(&catalog, 9).unwrap_err();
+        assert_eq!(err.op, WalOp::Rename, "{err}");
+        // The old snapshot is still there and valid; no tmp litter.
+        assert!(load_std(&snapshot_path(&dir, 8)).is_some());
+        assert!(load_std(&snapshot_path(&dir, 9)).is_none());
+        let tmp_count = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert_eq!(tmp_count, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

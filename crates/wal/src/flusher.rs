@@ -34,10 +34,24 @@
 //! not yet durable), **let the batch age** (woken early by the size
 //! threshold, force, or shutdown), **flush** (one pass over every retired
 //! segment plus the current one, then advance `durable_ts` and wake the
-//! parked committers). An fsync failure poisons the log; the loop wakes
-//! everyone — parked committers observe the poison and error out, exactly
-//! like the committer-elected path — and exits, since a poisoned log can
-//! never vouch for durability again.
+//! parked committers).
+//!
+//! # Retry policy
+//!
+//! With the log's unsynced-frame buffer enabled, a flush-pass failure
+//! classified *transient* or *out-of-space* (see [`crate::WalError`]) is
+//! retried up to [`FlusherConfig::retry_budget`] times, sleeping
+//! [`FlusherConfig::retry_backoff`] between attempts. The retry honours
+//! the "fsync reports an error only once" rule: a file whose fsync failed
+//! is never fsynced again — the buffered unsynced frames are re-emitted to
+//! a *fresh* segment and the retry fsyncs that instead. An out-of-space
+//! failure additionally triggers one checkpoint-to-reclaim attempt per
+//! incident (pruning covered segments frees log space) before the backoff.
+//! Only when the budget is exhausted — or the failure is fatal, or
+//! buffering is off — does the loop poison the log, wake everyone (parked
+//! committers observe the poison and error out, exactly like the
+//! committer-elected path), and exit, since a poisoned log can never vouch
+//! for durability again.
 //!
 //! The `observe` callback is the deterministic test hook: it fires at each
 //! phase transition (see [`FlushEvent`]) and may block, so a test can
@@ -49,7 +63,8 @@ use std::time::Duration;
 
 use ssi_common::Timestamp;
 
-use crate::log::{FlusherWork, WalWriter};
+use crate::error::{WalError, WalOp};
+use crate::log::{FlusherWork, PoisonCause, WalWriter};
 
 /// Tuning knobs of the dedicated flusher loop.
 #[derive(Clone, Copy, Debug)]
@@ -61,6 +76,12 @@ pub struct FlusherConfig {
     /// Flush early once this many bytes have been sealed since the last
     /// sync, regardless of age.
     pub max_batch_bytes: u64,
+    /// How many times a transient (or reclaimable) flush failure is
+    /// retried before the log is poisoned. Zero restores first-failure
+    /// poisoning.
+    pub retry_budget: u32,
+    /// Sleep between retry attempts.
+    pub retry_backoff: Duration,
 }
 
 impl Default for FlusherConfig {
@@ -68,6 +89,8 @@ impl Default for FlusherConfig {
         FlusherConfig {
             max_delay: Duration::from_millis(2),
             max_batch_bytes: 1 << 20,
+            retry_budget: 4,
+            retry_backoff: Duration::from_millis(5),
         }
     }
 }
@@ -96,6 +119,10 @@ pub enum FlushEvent {
     Flushing { reason: FlushReason },
     /// A flush pass completed; everything `<= durable` is on the device.
     Flushed { durable: Timestamp },
+    /// A flush pass failed retryably; attempt `attempt` of the budget is
+    /// about to run (after reclaim/backoff and, for fsync failures,
+    /// re-emission to a fresh segment).
+    Retrying { attempt: u32 },
     /// The log is poisoned; the loop wakes all waiters and exits.
     Poisoned,
 }
@@ -165,16 +192,77 @@ impl WalWriter {
                 return;
             };
             observe(FlushEvent::Flushing { reason });
-            match self.flush_pass() {
-                Ok(durable) => observe(FlushEvent::Flushed { durable }),
-                Err(_) => {
-                    // The failed fsync poisoned the log and the pass
-                    // already woke every waiter; nothing more this thread
-                    // can ever vouch for.
-                    observe(FlushEvent::Poisoned);
-                    self.wake_committers();
-                    return;
+            if !self.flush_with_retry(config, observe) {
+                return;
+            }
+        }
+    }
+
+    /// One flush, retried per the budget. Returns false when the loop must
+    /// exit (the log is poisoned — by this failure or someone else).
+    fn flush_with_retry(
+        &self,
+        config: &FlusherConfig,
+        observe: &mut dyn FnMut(FlushEvent),
+    ) -> bool {
+        let mut attempt: u32 = 0;
+        let mut reclaim_attempted = false;
+        // Set after an fsync failure: the errored file must never be
+        // fsynced again, so the buffered frames are re-emitted to a fresh
+        // segment before the next pass.
+        let mut needs_reemit = false;
+        loop {
+            let result = if needs_reemit {
+                self.reemit_unsynced()
+            } else {
+                Ok(())
+            };
+            let result: Result<Timestamp, WalError> = match result {
+                Ok(()) => {
+                    needs_reemit = false;
+                    self.flush_pass()
                 }
+                Err(e) => Err(e),
+            };
+            let error = match result {
+                Ok(durable) => {
+                    observe(FlushEvent::Flushed { durable });
+                    return true;
+                }
+                Err(e) => e,
+            };
+            if self.is_poisoned() {
+                // The failure already poisoned the log (no buffering, or a
+                // rollback failure) — or a test hook did. Either way the
+                // pass woke nobody new; do it here and exit.
+                observe(FlushEvent::Poisoned);
+                self.wake_all();
+                return false;
+            }
+            if error.op == WalOp::Fsync && self.buffers_unsynced() {
+                needs_reemit = true;
+            }
+            if !error.is_retryable() || attempt >= config.retry_budget {
+                self.poison_with(if error.is_reclaimable() {
+                    PoisonCause::OutOfSpace
+                } else {
+                    PoisonCause::Io
+                });
+                observe(FlushEvent::Poisoned);
+                self.wake_all();
+                return false;
+            }
+            attempt += 1;
+            self.stats().fsync_retries.fetch_add(1, Ordering::Relaxed);
+            observe(FlushEvent::Retrying { attempt });
+            if error.is_reclaimable() && !reclaim_attempted {
+                // ENOSPC: try to free log space by checkpointing (prunes
+                // covered segments) once per incident, then retry without
+                // burning wall-clock on the backoff.
+                reclaim_attempted = true;
+                self.try_reclaim();
+            } else {
+                std::thread::sleep(config.retry_backoff);
             }
         }
     }
@@ -186,6 +274,7 @@ mod tests {
     use crate::log::SyncPolicy;
     use crate::record::WriteEntry;
     use crate::testutil::temp_dir;
+    use crate::vfs::{FaultMode, FaultOp, FaultRule, FaultVfs};
     use ssi_common::{TableId, TxnId};
     use std::sync::atomic::AtomicU64;
     use std::sync::{Arc, Mutex};
@@ -229,7 +318,7 @@ mod tests {
         let wal = Arc::new(WalWriter::open(&dir, 1, SyncPolicy::GroupCommit).unwrap());
         let config = FlusherConfig {
             max_delay: Duration::from_millis(5),
-            max_batch_bytes: 1 << 20,
+            ..FlusherConfig::default()
         };
         let (shutdown, handle, _events) = spawn_flusher(&wal, config);
 
@@ -256,6 +345,9 @@ mod tests {
         let flusher_fsyncs = wal.stats().flusher_fsyncs.load(Ordering::Relaxed);
         assert!(fsyncs >= 1);
         assert_eq!(fsyncs, flusher_fsyncs, "a committer self-elected");
+        // Clean path: the retry machinery must not have fired.
+        assert_eq!(wal.stats().fsync_retries.load(Ordering::Relaxed), 0);
+        assert_eq!(wal.stats().io_failures.load(Ordering::Relaxed), 0);
 
         shutdown.store(true, Ordering::Release);
         wal.request_flush();
@@ -272,6 +364,7 @@ mod tests {
         let config = FlusherConfig {
             max_delay: Duration::from_secs(3600),
             max_batch_bytes: u64::MAX,
+            ..FlusherConfig::default()
         };
         let (shutdown, handle, events) = spawn_flusher(&wal, config);
 
@@ -310,6 +403,7 @@ mod tests {
         let config = FlusherConfig {
             max_delay: Duration::from_secs(3600),
             max_batch_bytes: 64,
+            ..FlusherConfig::default()
         };
         let (shutdown, handle, events) = spawn_flusher(&wal, config);
 
@@ -344,6 +438,7 @@ mod tests {
         let config = FlusherConfig {
             max_delay: Duration::from_secs(3600),
             max_batch_bytes: u64::MAX,
+            ..FlusherConfig::default()
         };
         let (_shutdown, handle, events) = spawn_flusher(&wal, config);
 
@@ -406,6 +501,7 @@ mod tests {
         let config = FlusherConfig {
             max_delay: Duration::from_millis(5),
             max_batch_bytes: u64::MAX,
+            ..FlusherConfig::default()
         };
         let (shutdown, handle, _events) = spawn_flusher(&wal, config);
 
@@ -426,6 +522,116 @@ mod tests {
         shutdown.store(true, Ordering::Release);
         wal.request_flush();
         handle.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_fsync_failure_is_retried_without_poisoning() {
+        let dir = temp_dir("flusher-retry");
+        let fault = FaultVfs::new(vec![FaultRule::new(
+            FaultOp::Fsync,
+            FaultMode::FailTimes(2),
+            std::io::ErrorKind::Interrupted,
+        )
+        .on_path("segment-")]);
+        let wal = Arc::new(
+            WalWriter::open_with(fault.handle(), &dir, 1, SyncPolicy::GroupCommit, true).unwrap(),
+        );
+        let config = FlusherConfig {
+            max_delay: Duration::from_millis(2),
+            retry_backoff: Duration::from_millis(1),
+            ..FlusherConfig::default()
+        };
+        let (shutdown, handle, events) = spawn_flusher(&wal, config);
+
+        // The committer must be acknowledged despite two injected fsync
+        // failures: the flusher retries by re-emission.
+        wal.submit(2, TxnId(1), vec![entry(b"a")]);
+        wal.seal_upto(2).unwrap();
+        wal.wait_durable(2).unwrap();
+
+        assert!(!wal.is_poisoned(), "transient faults must not poison");
+        assert!(wal.stats().fsync_retries.load(Ordering::Relaxed) >= 1);
+        assert!(events
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|e| matches!(e, FlushEvent::Retrying { .. })));
+
+        shutdown.store(true, Ordering::Release);
+        wal.request_flush();
+        handle.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_poisons_and_errors_parked_committers() {
+        let dir = temp_dir("flusher-budget");
+        let fault = FaultVfs::new(vec![FaultRule::new(
+            FaultOp::Fsync,
+            FaultMode::FailAlways,
+            std::io::ErrorKind::Interrupted,
+        )
+        .on_path("segment-")]);
+        let wal = Arc::new(
+            WalWriter::open_with(fault.handle(), &dir, 1, SyncPolicy::GroupCommit, true).unwrap(),
+        );
+        let config = FlusherConfig {
+            max_delay: Duration::from_millis(2),
+            retry_budget: 3,
+            retry_backoff: Duration::from_millis(1),
+            ..FlusherConfig::default()
+        };
+        let (_shutdown, handle, events) = spawn_flusher(&wal, config);
+
+        wal.submit(2, TxnId(1), vec![entry(b"a")]);
+        wal.seal_upto(2).unwrap();
+        let err = wal.wait_durable(2).unwrap_err();
+        assert_eq!(err.kind, crate::error::WalErrorKind::Poisoned);
+        assert_eq!(wal.poison_cause(), Some(PoisonCause::Io));
+
+        handle.join().unwrap(); // loop exits after poisoning
+        let events = events.lock().unwrap();
+        let retries = events
+            .iter()
+            .filter(|e| matches!(e, FlushEvent::Retrying { .. }))
+            .count();
+        assert_eq!(retries, 3, "must exhaust exactly the budget");
+        assert!(events.iter().any(|e| matches!(e, FlushEvent::Poisoned)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fatal_fsync_failure_poisons_immediately_despite_budget() {
+        let dir = temp_dir("flusher-fatal");
+        let fault = FaultVfs::new(vec![FaultRule::new(
+            FaultOp::Fsync,
+            FaultMode::FailAlways,
+            std::io::ErrorKind::PermissionDenied,
+        )
+        .on_path("segment-")]);
+        let wal = Arc::new(
+            WalWriter::open_with(fault.handle(), &dir, 1, SyncPolicy::GroupCommit, true).unwrap(),
+        );
+        let config = FlusherConfig {
+            max_delay: Duration::from_millis(2),
+            retry_backoff: Duration::from_millis(1),
+            ..FlusherConfig::default()
+        };
+        let (_shutdown, handle, events) = spawn_flusher(&wal, config);
+
+        wal.submit(2, TxnId(1), vec![entry(b"a")]);
+        wal.seal_upto(2).unwrap();
+        assert!(wal.wait_durable(2).is_err());
+        handle.join().unwrap();
+        let events = events.lock().unwrap();
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, FlushEvent::Retrying { .. })),
+            "fatal failures must not burn retries"
+        );
+        assert!(events.iter().any(|e| matches!(e, FlushEvent::Poisoned)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -15,8 +15,14 @@
 //! ```text
 //! <dir>/segment-<seq>.wal     append-only redo log segments, seq ascending
 //! <dir>/snapshot-<ts>.ckpt    checkpoint snapshots (newest is authoritative)
-//! <dir>/snapshot-<ts>.tmp     in-flight checkpoint (ignored by recovery)
+//! <dir>/snapshot-<ts>.tmp     in-flight checkpoint (ignored — and deleted —
+//!                             by recovery)
 //! ```
+//!
+//! All file I/O goes through the pluggable [`Vfs`] trait ([`vfs`] module):
+//! production uses [`StdVfs`] (a `std::fs` passthrough behind one pointer
+//! hop), tests use [`FaultVfs`] to execute deterministic scripted fault
+//! schedules against the exact same code paths.
 //!
 //! # Record format
 //!
@@ -75,13 +81,37 @@
 //! the flusher instead of fsyncing it under the append lock (protocol in
 //! the [`flusher`] module docs and on [`WalWriter::rotate`]).
 //!
-//! I/O failures are handled conservatively: a partial append is rolled
-//! back to the last whole-frame boundary and the record returned to the
-//! pending buffer (its committer can still seal it later), while an
-//! append that cannot be rolled back — or any failed `fsync`, whose error
-//! the kernel reports only once — permanently *poisons* the log: every
-//! further append and durability wait fails, so no commit is ever
-//! acknowledged that recovery might silently discard.
+//! # Failure handling
+//!
+//! Every failure is classified by the [`WalError`] taxonomy ([`error`]
+//! module) as *transient*, *out-of-space*, or *fatal*. A partial append is
+//! rolled back to the last whole-frame boundary and the record returned to
+//! the pending buffer (its committer can still seal it later). With a
+//! dedicated flusher and frame buffering enabled, transient failures are
+//! retried with backoff inside a bounded budget — honouring the "fsync
+//! reports an error only once" rule: a range whose first fsync errored is
+//! never re-fsynced in place; instead the still-buffered unsynced frames
+//! are re-emitted to a *fresh* segment and that is fsynced. ENOSPC gets
+//! one checkpoint-to-reclaim attempt (pruning covered segments frees log
+//! space) before counting against the budget. Only when the budget is
+//! exhausted — or on a fatal error, or without a flusher to retry — is the
+//! log *poisoned*: every further append and durability wait fails, so no
+//! commit is ever acknowledged that recovery might silently discard.
+//!
+//! ## Failure-mode matrix
+//!
+//! What each injected fault class guarantees, per durability mode
+//! (`Off` has no WAL and is unaffected by storage faults by definition):
+//!
+//! | Fault | `Buffered` | `GroupCommit` (+ flusher) | Guarantee |
+//! |---|---|---|---|
+//! | transient append (`EINTR`…) | seal deferred, flusher re-seals | same; commit acks after retried flush covers it | no ack lost; retries visible in stats |
+//! | transient fsync | flusher re-emits unsynced frames to a fresh segment, fsyncs that | same; committers stay parked until durable | never re-fsync an errored range; no ack lost |
+//! | short write (torn append) | rolled back to frame boundary, record re-pended | same | segment stays frame-aligned; commit still seals later |
+//! | ENOSPC | checkpoint-to-reclaim once, then retry budget | same | reclaim prunes covered segments; degrade only if still full |
+//! | failed rename (checkpoint) | checkpoint fails, `.tmp` removed, old snapshot authoritative | same | no torn snapshot ever authoritative; no `.tmp` leak |
+//! | fatal fsync / exhausted budget | log poisoned → `Degraded(ReadOnly)` | same, parked committers woken with typed error | acknowledged prefix recoverable; reads keep serving |
+//! | crash at any byte | torn tail truncated on recovery | same | prefix-consistent committed state |
 //!
 //! # Checkpoint / recovery invariants
 //!
@@ -97,29 +127,36 @@
 //!   snapshot is exactly the committed state at `C`;
 //! * **atomicity** — the snapshot is written to a `.tmp` file, fsynced, and
 //!   renamed into place (then the directory is fsynced); a crash mid-
-//!   checkpoint leaves the previous snapshot authoritative;
+//!   checkpoint leaves the previous snapshot authoritative, and a *failed*
+//!   checkpoint removes its own `.tmp` file;
 //! * **truncation** — only after the new snapshot is durable are the
 //!   pre-rotation segments and older snapshots deleted.
 //!
-//! Recovery ([`recover_into`]) loads the newest valid snapshot, replays
-//! every whole commit record with `ts >` the snapshot timestamp from the
-//! remaining segments in timestamp order, and reports the highest committed
-//! timestamp so the engine can restore its commit/begin clocks. Replayed
-//! versions are installed committed-at-their-original-timestamp, so
-//! recovery is idempotent: recovering the same directory twice produces the
-//! same state.
+//! Recovery ([`recover_into`]) deletes orphaned `.tmp` files, loads the
+//! newest valid snapshot, replays every whole commit record with `ts >` the
+//! snapshot timestamp from the remaining segments in timestamp order
+//! (deduplicating by commit timestamp, since retried flushes may have
+//! re-emitted frames into more than one segment), and reports the highest
+//! committed timestamp so the engine can restore its commit/begin clocks.
+//! Replayed versions are installed committed-at-their-original-timestamp,
+//! so recovery is idempotent: recovering the same directory twice produces
+//! the same state.
 
 pub mod checkpoint;
+pub mod error;
 pub mod flusher;
 pub mod log;
 pub mod record;
 pub mod recover;
+pub mod vfs;
 
 pub use checkpoint::{CheckpointStats, Checkpointer};
+pub use error::{classify, WalError, WalErrorKind, WalOp, WalResult};
 pub use flusher::{FlushEvent, FlushReason, FlusherConfig};
-pub use log::{PreparedCommit, SyncPolicy, WalStats, WalWriter};
+pub use log::{PoisonCause, PreparedCommit, SyncPolicy, WalStats, WalWriter};
 pub use record::{crc32, CommitRecord, Record, WriteEntry};
-pub use recover::{recover_into, Recovered};
+pub use recover::{recover_into, recover_into_with, Recovered};
+pub use vfs::{FaultMode, FaultOp, FaultRule, FaultVfs, StdVfs, Vfs, VfsFile};
 
 use std::path::{Path, PathBuf};
 
@@ -145,15 +182,20 @@ pub(crate) fn parse_snapshot_name(name: &str) -> Option<u64> {
     u64::from_str_radix(ts, 16).ok()
 }
 
+/// True for in-flight checkpoint temp files (`snapshot-*.tmp`). A crashed
+/// or failed checkpoint can leave one behind; recovery deletes them.
+pub(crate) fn is_snapshot_tmp_name(name: &str) -> bool {
+    name.strip_prefix("snapshot-")
+        .and_then(|rest| rest.strip_suffix(".tmp"))
+        .is_some()
+}
+
 /// Lists `(seq, path)` of all log segments in `dir`, ascending by seq.
-pub(crate) fn list_segments(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_segments(vfs: &dyn Vfs, dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     let mut segments = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        if let Some(name) = entry.file_name().to_str() {
-            if let Some(seq) = parse_segment_name(name) {
-                segments.push((seq, entry.path()));
-            }
+    for name in vfs.read_dir(dir)? {
+        if let Some(seq) = parse_segment_name(&name) {
+            segments.push((seq, dir.join(name)));
         }
     }
     segments.sort();
@@ -161,38 +203,15 @@ pub(crate) fn list_segments(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> 
 }
 
 /// Lists `(ts, path)` of all snapshot files in `dir`, ascending by ts.
-pub(crate) fn list_snapshots(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_snapshots(vfs: &dyn Vfs, dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     let mut snapshots = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        if let Some(name) = entry.file_name().to_str() {
-            if let Some(ts) = parse_snapshot_name(name) {
-                snapshots.push((ts, entry.path()));
-            }
+    for name in vfs.read_dir(dir)? {
+        if let Some(ts) = parse_snapshot_name(&name) {
+            snapshots.push((ts, dir.join(name)));
         }
     }
     snapshots.sort();
     Ok(snapshots)
-}
-
-/// Fsyncs the directory itself so renames/creates/deletes inside it are
-/// durable. Real I/O errors propagate — a lost dirent for a fresh segment
-/// or a renamed snapshot is as fatal as a lost file fsync — but platforms
-/// that simply do not support directory fsync are tolerated.
-pub(crate) fn sync_dir(dir: &Path) -> std::io::Result<()> {
-    let f = std::fs::File::open(dir)?;
-    match f.sync_all() {
-        Ok(()) => Ok(()),
-        Err(e)
-            if matches!(
-                e.kind(),
-                std::io::ErrorKind::Unsupported | std::io::ErrorKind::InvalidInput
-            ) =>
-        {
-            Ok(())
-        }
-        Err(e) => Err(e),
-    }
 }
 
 /// Takes the advisory lock guarding a durable directory against double
@@ -202,19 +221,23 @@ pub(crate) fn sync_dir(dir: &Path) -> std::io::Result<()> {
 /// exclusive. The returned handle holds an OS file lock (`flock`-style):
 /// dropping it — or the process dying — releases it, so a crash never
 /// leaves a stale lock behind.
-pub fn lock_dir(dir: &Path) -> std::io::Result<std::fs::File> {
+///
+/// The lock intentionally stays on raw `std::fs` rather than the [`Vfs`]:
+/// it guards *this process's* access to the directory, and injecting
+/// faults into it would only fabricate failure modes the OS lock API does
+/// not have.
+pub fn lock_dir(dir: &Path) -> WalResult<std::fs::File> {
+    let lock_path = dir.join("wal.lock");
     let file = std::fs::OpenOptions::new()
         .create(true)
         .truncate(false)
         .write(true)
-        .open(dir.join("wal.lock"))?;
+        .open(&lock_path)
+        .map_err(|e| WalError::io(WalOp::Lock, &lock_path, e))?;
     match file.try_lock() {
         Ok(()) => Ok(file),
-        Err(std::fs::TryLockError::WouldBlock) => Err(std::io::Error::new(
-            std::io::ErrorKind::WouldBlock,
-            "durable directory is already open in another database handle or process",
-        )),
-        Err(std::fs::TryLockError::Error(e)) => Err(e),
+        Err(std::fs::TryLockError::WouldBlock) => Err(WalError::locked(&lock_path)),
+        Err(std::fs::TryLockError::Error(e)) => Err(WalError::io(WalOp::Lock, &lock_path, e)),
     }
 }
 
@@ -255,5 +278,19 @@ mod tests {
         assert_eq!(parse_segment_name("snapshot-1.ckpt"), None);
         assert_eq!(parse_snapshot_name("segment-1.wal"), None);
         assert_eq!(parse_snapshot_name("snapshot-zz.ckpt"), None);
+        assert!(is_snapshot_tmp_name("snapshot-00ff.tmp"));
+        assert!(!is_snapshot_tmp_name("snapshot-00ff.ckpt"));
+        assert!(!is_snapshot_tmp_name("segment-1.wal"));
+    }
+
+    #[test]
+    fn double_lock_is_typed_locked() {
+        let dir = testutil::temp_dir("lock");
+        let first = lock_dir(&dir).unwrap();
+        let second = lock_dir(&dir).unwrap_err();
+        assert_eq!(second.kind, WalErrorKind::Locked);
+        drop(first);
+        lock_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

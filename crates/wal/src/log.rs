@@ -2,11 +2,9 @@
 //! by committers, timestamp-ordered sealing, and the group-commit flusher
 //! election (protocol in the crate docs).
 
-use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -14,8 +12,10 @@ use parking_lot::{Condvar, Mutex};
 
 use ssi_common::{TableId, Timestamp, TxnId};
 
+use crate::error::{ctx, WalError, WalOp, WalResult};
 use crate::record::{crc32, Record, WriteEntry, FRAME_HEADER};
-use crate::{segment_path, sync_dir};
+use crate::segment_path;
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 
 /// When commits wait for the device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,6 +31,20 @@ pub enum SyncPolicy {
     /// measurement baseline `wal_bench` compares group commit against; it
     /// has no production use.
     EveryCommit,
+}
+
+/// Why the log was poisoned, for the health API to classify the
+/// degradation it causes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoisonCause {
+    /// A fatal I/O failure (or an exhausted retry budget over transient
+    /// ones).
+    Io,
+    /// The device stayed full after checkpoint-to-reclaim and the retry
+    /// budget.
+    OutOfSpace,
+    /// A maintenance thread died; nobody is left to drive durability.
+    Panic,
 }
 
 /// Activity counters, exposed for tests, stats and `wal_bench`.
@@ -50,6 +64,14 @@ pub struct WalStats {
     pub flusher_fsyncs: AtomicU64,
     /// Flush passes the dedicated flusher completed.
     pub flusher_batches: AtomicU64,
+    /// I/O operations that came back with an error (includes injected
+    /// faults; zero on the clean path).
+    pub io_failures: AtomicU64,
+    /// Flush passes re-attempted by the flusher's retry policy after a
+    /// transient or out-of-space failure (zero on the clean path).
+    pub fsync_retries: AtomicU64,
+    /// Checkpoint-to-reclaim attempts triggered by ENOSPC.
+    pub reclaim_attempts: AtomicU64,
 }
 
 impl WalStats {
@@ -116,7 +138,8 @@ impl PreparedCommit {
 /// (empty) file as its flush target — checkpoints therefore stall
 /// concurrent commits for one device sync, which is rare and bounded.
 struct Appender {
-    file: Arc<File>,
+    file: Arc<dyn VfsFile>,
+    path: PathBuf,
     seq: u64,
     /// Encoded frames submitted by committers, awaiting sealing, keyed by
     /// commit timestamp.
@@ -127,6 +150,15 @@ struct Appender {
     /// Segments start empty, so this is also the current segment's length —
     /// the rollback point when an append fails partway.
     epoch_bytes: u64,
+    /// Monotone id assigned to each frame written to any segment; the
+    /// pruning watermark of the unsynced-frame buffer.
+    append_seq: u64,
+    /// With frame buffering enabled: copies of every frame written but not
+    /// yet covered by a successful fsync, keyed by `append_seq`. This is
+    /// what makes fsync failure retryable *without* re-fsyncing the
+    /// errored file — the frames are re-emitted to a fresh segment and
+    /// that is fsynced instead.
+    unsynced: VecDeque<(u64, Vec<u8>)>,
 }
 
 /// What [`WalWriter::flusher_wait_for_work`] woke up for.
@@ -149,13 +181,23 @@ struct FlushState {
     /// Segments handed off by a flusher-aware rotation, each paired with
     /// the highest timestamp sealed into it: the dedicated flusher fsyncs
     /// them *off* the append lock and then advances `durable_ts`.
-    retired: Vec<(Arc<File>, Timestamp)>,
+    retired: Vec<(Arc<dyn VfsFile>, PathBuf, Timestamp)>,
 }
+
+/// Poison-cause codes stored in `WalWriter::poison_cause` (0 = none).
+const CAUSE_IO: u8 = 1;
+const CAUSE_ENOSPC: u8 = 2;
+const CAUSE_PANIC: u8 = 3;
 
 /// The write-ahead log of one durable database.
 pub struct WalWriter {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     policy: SyncPolicy,
+    /// True when frames are buffered until durably synced, enabling the
+    /// flusher's retry-by-re-emission policy. Only meaningful with a
+    /// dedicated flusher; without one there is nobody to drive retries.
+    buffer_unsynced: bool,
     appender: Mutex<Appender>,
     flush: Mutex<FlushState>,
     flushed: Condvar,
@@ -174,6 +216,11 @@ pub struct WalWriter {
     /// Mirror of `Appender::sealed_ts`, readable without the append lock
     /// (the flusher's has-work check must not nest the two mutexes).
     sealed_hint: AtomicU64,
+    /// Highest timestamp any committer has asked to seal. With frame
+    /// buffering, a seal whose append failed transiently is *deferred*:
+    /// the committer's record stays pending and the flusher re-seals up to
+    /// this watermark on its next pass.
+    requested_seal: AtomicU64,
     /// Nanoseconds since `epoch` at which the oldest not-yet-fsynced
     /// sealed record entered the log (0 = none): the batch-age clock the
     /// flusher's `flush_max_delay` window runs on.
@@ -193,30 +240,57 @@ pub struct WalWriter {
     /// Set when the log can no longer vouch for what is on the device: a
     /// partial append that could not be rolled back (the segment may end in
     /// a half-frame that a later append would bury), or a failed `fsync`
-    /// (the kernel may have dropped dirty pages and consumed the error, so
-    /// a retry could spuriously succeed — the PostgreSQL fsync lesson).
+    /// that the retry policy cannot — or is not there to — repair (the
+    /// kernel may have dropped dirty pages and consumed the error, so a
+    /// bare retry could spuriously succeed — the PostgreSQL fsync lesson).
     /// Once set, every append and every durability wait fails: no commit
     /// is ever acknowledged that recovery might silently discard.
     poisoned: AtomicBool,
+    /// Why (one of the `CAUSE_*` codes; 0 while healthy). First cause wins.
+    poison_cause: AtomicU8,
+    /// Checkpoint-to-reclaim hook installed by the database: invoked by
+    /// the flusher once per ENOSPC incident before the failure counts
+    /// against the retry budget. Returns true when a checkpoint was taken.
+    reclaim: Mutex<Option<Box<dyn Fn() -> bool + Send + Sync>>>,
     stats: WalStats,
 }
 
 impl WalWriter {
-    /// Opens the log for appending, creating segment `seq` in `dir`.
-    pub fn open(dir: &Path, seq: u64, policy: SyncPolicy) -> std::io::Result<Self> {
-        let file = create_segment(dir, seq)?;
+    /// Opens the log for appending, creating segment `seq` in `dir`, on
+    /// the production VFS with frame buffering off.
+    pub fn open(dir: &Path, seq: u64, policy: SyncPolicy) -> WalResult<Self> {
+        Self::open_with(StdVfs::handle(), dir, seq, policy, false)
+    }
+
+    /// Opens the log on an explicit [`Vfs`]. `buffer_unsynced` enables the
+    /// unsynced-frame buffer that makes flusher fsync failures retryable;
+    /// it costs one frame copy per append and is pointless without a
+    /// dedicated flusher.
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        seq: u64,
+        policy: SyncPolicy,
+        buffer_unsynced: bool,
+    ) -> WalResult<Self> {
+        let (file, path) = create_segment(vfs.as_ref(), dir, seq)?;
         // Normally 0 (fresh segment); a leftover from a crashed earlier
         // open keeps the length-tracking invariant intact either way.
-        let epoch_bytes = file.metadata()?.len();
+        let epoch_bytes = ctx(file.len(), WalOp::Create, &path)?;
         Ok(WalWriter {
+            vfs,
             dir: dir.to_path_buf(),
             policy,
+            buffer_unsynced,
             appender: Mutex::new(Appender {
-                file: Arc::new(file),
+                file,
+                path,
                 seq,
                 pending: BTreeMap::new(),
                 sealed_ts: 0,
                 epoch_bytes,
+                append_seq: 0,
+                unsynced: VecDeque::new(),
             }),
             flush: Mutex::new(FlushState {
                 durable_ts: 0,
@@ -228,11 +302,14 @@ impl WalWriter {
             flusher_attached: AtomicBool::new(false),
             force_flush: AtomicBool::new(false),
             sealed_hint: AtomicU64::new(0),
+            requested_seal: AtomicU64::new(0),
             first_unsynced_nanos: AtomicU64::new(0),
             unsynced_bytes: AtomicU64::new(0),
             dirty_appends: AtomicBool::new(epoch_bytes > 0),
             epoch: Instant::now(),
             poisoned: AtomicBool::new(false),
+            poison_cause: AtomicU8::new(0),
+            reclaim: Mutex::new(None),
             stats: WalStats::default(),
         })
     }
@@ -257,10 +334,26 @@ impl WalWriter {
         self.appender.lock().epoch_bytes
     }
 
+    /// Installs the checkpoint-to-reclaim hook the flusher invokes on
+    /// ENOSPC (returns true when a checkpoint was actually taken).
+    pub fn set_reclaim_hook(&self, hook: Box<dyn Fn() -> bool + Send + Sync>) {
+        *self.reclaim.lock() = Some(hook);
+    }
+
+    /// Runs the reclaim hook, if any. Counted in stats either way.
+    pub(crate) fn try_reclaim(&self) -> bool {
+        self.stats.reclaim_attempts.fetch_add(1, Ordering::Relaxed);
+        let hook = self.reclaim.lock();
+        match hook.as_ref() {
+            Some(hook) => hook(),
+            None => false,
+        }
+    }
+
     /// Appends a create-table control record immediately. Not fsynced by
     /// itself: the next durable commit's fsync covers it, so a table is
     /// durable at the latest with the first committed write that needs it.
-    pub fn append_create_table(&self, table: TableId, name: &str) -> std::io::Result<()> {
+    pub fn append_create_table(&self, table: TableId, name: &str) -> WalResult<()> {
         let frame = Record::CreateTable {
             table,
             name: name.to_string(),
@@ -295,18 +388,46 @@ impl WalWriter {
     /// snapshot clock covers `ts`, which guarantees the pending buffer
     /// holds *all* records up to `ts` — so the file stays timestamp-ordered
     /// no matter which committer seals first. Idempotent.
-    pub fn seal_upto(&self, ts: Timestamp) -> std::io::Result<()> {
+    ///
+    /// With frame buffering enabled, a *retryable* append failure is
+    /// deferred rather than surfaced: the failed record is back in the
+    /// pending buffer (the seal loop guarantees that), the requested
+    /// watermark is recorded, and the dedicated flusher re-seals on its
+    /// next pass — the committer simply parks in
+    /// [`WalWriter::wait_durable`] until the retried flush covers it (or
+    /// the budget is exhausted and the poison wakes it with an error).
+    pub fn seal_upto(&self, ts: Timestamp) -> WalResult<()> {
+        self.requested_seal.fetch_max(ts, Ordering::AcqRel);
         let result = {
             let mut appender = self.appender.lock();
             self.seal_locked(&mut appender, ts)
         };
-        if self.flusher_attached.load(Ordering::Acquire) {
+        let flusher = self.flusher_attached.load(Ordering::Acquire);
+        let deferred = match &result {
+            Err(e) => flusher && self.buffer_unsynced && e.is_retryable() && !self.is_poisoned(),
+            Ok(()) => false,
+        };
+        if deferred {
+            // Open the batch-age window so the flusher's max_delay bounds
+            // the retry latency even if nothing else is sealed meanwhile.
+            let now = self.epoch.elapsed().as_nanos().max(1) as u64;
+            let _ = self.first_unsynced_nanos.compare_exchange(
+                0,
+                now,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+        }
+        if flusher {
             // The empty lock section orders this wakeup after the flusher's
             // has-work check: either the check saw the new `sealed_hint`, or
             // the flusher is parked on `work_cv` when the notify lands. In
             // buffered mode this is the *only* signal the flusher gets.
             drop(self.flush.lock());
             self.work_cv.notify_one();
+        }
+        if deferred {
+            return Ok(());
         }
         result
     }
@@ -318,7 +439,7 @@ impl WalWriter {
     /// than the caller, and that committer must still find its record
     /// sealable later (or hit the poisoned log) rather than be acknowledged
     /// durable while its record exists nowhere.
-    fn seal_locked(&self, appender: &mut Appender, ts: Timestamp) -> std::io::Result<()> {
+    fn seal_locked(&self, appender: &mut Appender, ts: Timestamp) -> WalResult<()> {
         let mut batch = 0u64;
         let mut bytes = 0u64;
         let mut result = Ok(());
@@ -365,17 +486,21 @@ impl WalWriter {
     /// Blocks until every sealed record with timestamp `<= ts` is on stable
     /// storage, per the configured [`SyncPolicy`]. The caller must have
     /// sealed `ts` first.
-    pub fn wait_durable(&self, ts: Timestamp) -> std::io::Result<()> {
+    pub fn wait_durable(&self, ts: Timestamp) -> WalResult<()> {
         match self.policy {
             SyncPolicy::Never => Ok(()),
             SyncPolicy::EveryCommit => {
                 // Baseline: one fsync per commit, no sharing.
                 self.check_poisoned()?;
-                let (file, target) = {
+                let (file, path, target) = {
                     let appender = self.appender.lock();
-                    (appender.file.clone(), appender.sealed_ts)
+                    (
+                        appender.file.clone(),
+                        appender.path.clone(),
+                        appender.sealed_ts,
+                    )
                 };
-                self.fsync(&file)?;
+                self.fsync_file(file.as_ref(), &path, true)?;
                 let mut flush = self.flush.lock();
                 flush.durable_ts = flush.durable_ts.max(target);
                 Ok(())
@@ -415,11 +540,15 @@ impl WalWriter {
                         // Snapshot (file, covered ts) consistently: records
                         // <= target are in this file even if a rotation
                         // happens while we sync.
-                        let (file, target) = {
+                        let (file, path, target) = {
                             let appender = self.appender.lock();
-                            (appender.file.clone(), appender.sealed_ts)
+                            (
+                                appender.file.clone(),
+                                appender.path.clone(),
+                                appender.sealed_ts,
+                            )
                         };
-                        let result = self.fsync(&file);
+                        let result = self.fsync_file(file.as_ref(), &path, true);
                         flush = self.flush.lock();
                         flush.flush_in_progress = false;
                         if result.is_ok() {
@@ -453,20 +582,41 @@ impl WalWriter {
     /// the append lock and advances `durable_ts` afterwards — committers
     /// covered by the old segment stay parked until that pass, exactly as
     /// if their batch had not aged out yet.
-    pub fn rotate(&self, clock: impl FnOnce() -> Timestamp) -> std::io::Result<(Timestamp, u64)> {
+    pub fn rotate(&self, clock: impl FnOnce() -> Timestamp) -> WalResult<(Timestamp, u64)> {
         let mut appender = self.appender.lock();
         // Read the clock *after* taking the append lock: any seal that ran
         // before us covered only timestamps <= this value.
         let cut_ts = clock();
         // Seal the <= cut_ts prefix into the old segment (all of it is
         // pending or already sealed, because submit precedes publication).
-        self.seal_locked(&mut appender, cut_ts)?;
+        if let Err(e) = self.seal_locked(&mut appender, cut_ts) {
+            // Same net as `seal_upto`: with a flusher buffering unsynced
+            // frames, a retryable seal failure defers instead of aborting
+            // the rotation — the records stay pending and the flusher
+            // re-seals them into the *fresh* segment. That is exactly the
+            // ENOSPC reclaim case: the old segment cannot take one more
+            // byte, and the checkpoint this rotation serves will cover the
+            // deferred timestamps anyway (recovery skips replayed frames at
+            // or below the snapshot), so parking them behind the cut loses
+            // nothing. Without the net the rotation fails and reclaim can
+            // never free space.
+            let defer = self.flusher_attached.load(Ordering::Acquire)
+                && self.buffer_unsynced
+                && e.is_retryable()
+                && !self.is_poisoned();
+            if !defer {
+                return Err(e);
+            }
+            self.requested_seal.fetch_max(cut_ts, Ordering::AcqRel);
+        }
         if self.flusher_attached.load(Ordering::Acquire) {
             let old_file = appender.file.clone();
+            let old_path = appender.path.clone();
             let sealed = appender.sealed_ts;
             let old_seq = appender.seq;
-            let new_file = create_segment(&self.dir, old_seq + 1)?;
-            appender.file = Arc::new(new_file);
+            let (new_file, new_path) = create_segment(self.vfs.as_ref(), &self.dir, old_seq + 1)?;
+            appender.file = new_file;
+            appender.path = new_path;
             appender.seq = old_seq + 1;
             appender.epoch_bytes = 0;
             // Open the batch window if no unsynced seal already did, so
@@ -487,22 +637,33 @@ impl WalWriter {
             // records that exist solely in the never-synced old segment.
             // Lock order append -> flush is safe: no path acquires the
             // append lock while holding the flush lock.
-            self.flush.lock().retired.push((old_file, sealed));
+            self.flush.lock().retired.push((old_file, old_path, sealed));
             drop(appender);
             self.work_cv.notify_one();
             return Ok((cut_ts, old_seq));
         }
         let file = appender.file.clone();
-        self.fsync(&file)?;
+        let path = appender.path.clone();
+        self.fsync_file(file.as_ref(), &path, true)?;
 
         let old_seq = appender.seq;
-        let new_file = create_segment(&self.dir, old_seq + 1)?;
-        appender.file = Arc::new(new_file);
+        let (new_file, new_path) = create_segment(self.vfs.as_ref(), &self.dir, old_seq + 1)?;
+        appender.file = new_file;
+        appender.path = new_path;
         appender.seq = old_seq + 1;
         appender.epoch_bytes = 0;
 
-        // The old segment is fully durable: advance the durability horizon
-        // so committers covered by it never fsync the (empty) new segment.
+        // The old segment is fully durable: drop its frames from the
+        // unsynced buffer and advance the durability horizon so committers
+        // covered by it never fsync the (empty) new segment.
+        let synced_upto = appender.append_seq;
+        while appender
+            .unsynced
+            .front()
+            .is_some_and(|(seq, _)| *seq < synced_upto)
+        {
+            appender.unsynced.pop_front();
+        }
         let sealed = appender.sealed_ts;
         drop(appender);
         let mut flush = self.flush.lock();
@@ -515,7 +676,7 @@ impl WalWriter {
     /// Flushes and fsyncs everything sealed so far (clean shutdown for
     /// buffered mode). Pending records of in-flight commits, if any, are
     /// not sealed — their owners are still before their publication point.
-    pub fn sync(&self) -> std::io::Result<()> {
+    pub fn sync(&self) -> WalResult<()> {
         self.sync_all_sealed(false).map(|_| ())
     }
 
@@ -534,7 +695,16 @@ impl WalWriter {
     ///   horizon is in a file this pass (or an earlier one) fsyncs;
     ///   draining first could admit a retirement whose sealed records
     ///   exceed the captured target without syncing its file.
-    fn sync_all_sealed(&self, from_flusher: bool) -> std::io::Result<Timestamp> {
+    ///
+    /// Failure semantics: without frame buffering, any fsync error poisons
+    /// the log on the spot (as it always has). With buffering and a
+    /// dedicated flusher, the error is returned *unpoisoned* — the flusher
+    /// retries by re-emitting the still-buffered frames to a fresh segment
+    /// ([`WalWriter::reemit_unsynced`]) and only poisons once its budget
+    /// is exhausted. A retired segment whose fsync failed is dropped from
+    /// the queue either way; that is safe precisely because its frames are
+    /// still in the unsynced buffer and re-emission re-covers them.
+    fn sync_all_sealed(&self, from_flusher: bool) -> WalResult<Timestamp> {
         self.check_poisoned()?;
         // Reset the batch markers before capturing the target: a seal
         // racing this pass either lands before the capture (and is covered
@@ -543,9 +713,23 @@ impl WalWriter {
         self.first_unsynced_nanos.store(0, Ordering::Release);
         self.unsynced_bytes.store(0, Ordering::Release);
         let dirty = self.dirty_appends.swap(false, Ordering::AcqRel);
-        let (file, target) = {
-            let appender = self.appender.lock();
-            (appender.file.clone(), appender.sealed_ts)
+        let (file, path, target, upto_seq) = {
+            let mut appender = self.appender.lock();
+            // Re-seal deferred records up to the requested watermark:
+            // a committer whose append failed transiently left its record
+            // pending, and this pass must cover it before fsyncing.
+            if self.buffer_unsynced {
+                let requested = self.requested_seal.load(Ordering::Acquire);
+                if requested > appender.sealed_ts {
+                    self.seal_locked(&mut appender, requested)?;
+                }
+            }
+            (
+                appender.file.clone(),
+                appender.path.clone(),
+                appender.sealed_ts,
+                appender.append_seq,
+            )
         };
         let retired = {
             let mut flush = self.flush.lock();
@@ -554,18 +738,22 @@ impl WalWriter {
             }
             std::mem::take(&mut flush.retired)
         };
+        // Poisoning on failure is suppressed only where the retry policy
+        // can actually repair the damage: the dedicated flusher with the
+        // frame buffer. Every other caller keeps first-failure poisoning.
+        let poison_on_error = !(from_flusher && self.buffer_unsynced);
         let mut covered = target;
         let mut fsyncs = 0u64;
         let mut result = Ok(());
-        for (old, sealed) in &retired {
+        for (old, old_path, sealed) in &retired {
             covered = (*sealed).max(covered);
             if result.is_ok() {
-                result = self.fsync(old);
+                result = self.fsync_file(old.as_ref(), old_path, poison_on_error);
                 fsyncs += 1;
             }
         }
         if result.is_ok() {
-            result = self.fsync(&file);
+            result = self.fsync_file(file.as_ref(), &path, poison_on_error);
             fsyncs += 1;
         }
         if from_flusher {
@@ -581,8 +769,71 @@ impl WalWriter {
             }
             flush.durable_ts
         };
+        if result.is_ok() && self.buffer_unsynced {
+            // Everything written before the capture is durable: prune the
+            // frame buffer up to the captured watermark. (Append lock taken
+            // after the flush lock is released — the order is append ->
+            // flush, never the reverse.)
+            let mut appender = self.appender.lock();
+            while appender
+                .unsynced
+                .front()
+                .is_some_and(|(seq, _)| *seq < upto_seq)
+            {
+                appender.unsynced.pop_front();
+            }
+        }
         self.flushed.notify_all();
         result.map(|()| durable)
+    }
+
+    /// Re-establishes a syncable log after a failed flusher fsync, without
+    /// ever re-fsyncing the errored file (whose error the kernel reports
+    /// only once): opens a fresh segment and re-writes every buffered
+    /// unsynced frame into it, oldest first. The next flush pass fsyncs
+    /// the fresh segment; on success the buffer is pruned as usual.
+    ///
+    /// Re-emitted frames may duplicate records that *did* reach the device
+    /// before the failure (in the errored segment, or in a retired segment
+    /// that was already synced) — recovery deduplicates replayed commits
+    /// by commit timestamp, so duplicates are harmless.
+    pub(crate) fn reemit_unsynced(&self) -> WalResult<()> {
+        let mut appender = self.appender.lock();
+        if appender.unsynced.is_empty() {
+            // Nothing at risk was written; the next pass can fsync the
+            // current file — it never had an fsync error (only files with
+            // unsynced frames get fsynced, and theirs are all pruned).
+            return Ok(());
+        }
+        let new_seq = appender.seq + 1;
+        let (file, path) = create_segment(self.vfs.as_ref(), &self.dir, new_seq)?;
+        let epoch_bytes = ctx(file.len(), WalOp::Create, &path)?;
+        appender.file = file;
+        appender.path = path;
+        appender.seq = new_seq;
+        appender.epoch_bytes = epoch_bytes;
+        // Re-write the buffered frames directly (not through write_frame:
+        // they must keep their original buffer entries, not gain second
+        // ones). Rollback on partial failure mirrors write_frame; the
+        // buffer is untouched either way, so a later retry re-emits the
+        // full set again into yet another segment.
+        let frames: Vec<Vec<u8>> = appender.unsynced.iter().map(|(_, f)| f.clone()).collect();
+        for frame in &frames {
+            if let Err(e) = appender.file.write_all(frame) {
+                self.stats.io_failures.fetch_add(1, Ordering::Relaxed);
+                let rollback_to = appender.epoch_bytes;
+                if appender.file.set_len(rollback_to).is_err() {
+                    self.poison_with(PoisonCause::Io);
+                }
+                return Err(WalError::io(WalOp::Append, &appender.path, e));
+            }
+            appender.epoch_bytes += frame.len() as u64;
+            self.stats
+                .bytes
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        }
+        self.dirty_appends.store(true, Ordering::Release);
+        Ok(())
     }
 
     /// Switches the log into dedicated-flusher mode: group-commit
@@ -603,6 +854,12 @@ impl WalWriter {
     /// True once [`WalWriter::attach_flusher`] was called.
     pub fn has_flusher(&self) -> bool {
         self.flusher_attached.load(Ordering::Acquire)
+    }
+
+    /// True when the unsynced-frame buffer (and with it the flusher's
+    /// retry policy) is enabled.
+    pub fn buffers_unsynced(&self) -> bool {
+        self.buffer_unsynced
     }
 
     /// Requests an immediate flush pass from the dedicated flusher,
@@ -629,7 +886,38 @@ impl WalWriter {
     /// all of which must come back with an error, never hang.
     #[doc(hidden)]
     pub fn poison(&self) {
+        self.poison_with(PoisonCause::Io);
+        self.wake_all();
+    }
+
+    /// Marks the log poisoned with a cause (first cause wins) without
+    /// waking waiters; failure paths that already own the wakeup protocol
+    /// call this, everything else wants [`WalWriter::poison`] or the
+    /// flusher's exit path.
+    pub fn poison_with(&self, cause: PoisonCause) {
+        let code = match cause {
+            PoisonCause::Io => CAUSE_IO,
+            PoisonCause::OutOfSpace => CAUSE_ENOSPC,
+            PoisonCause::Panic => CAUSE_PANIC,
+        };
+        let _ = self
+            .poison_cause
+            .compare_exchange(0, code, Ordering::AcqRel, Ordering::Relaxed);
         self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Why the log was poisoned (`None` while healthy).
+    pub fn poison_cause(&self) -> Option<PoisonCause> {
+        match self.poison_cause.load(Ordering::Acquire) {
+            CAUSE_IO => Some(PoisonCause::Io),
+            CAUSE_ENOSPC => Some(PoisonCause::OutOfSpace),
+            CAUSE_PANIC => Some(PoisonCause::Panic),
+            _ => None,
+        }
+    }
+
+    /// Wakes the flusher and every parked committer (poison transitions).
+    pub fn wake_all(&self) {
         // The empty lock section orders the wakeups after any waiter's
         // predicate re-check, closing the lost-wakeup window.
         drop(self.flush.lock());
@@ -637,9 +925,10 @@ impl WalWriter {
         self.work_cv.notify_all();
     }
 
-    /// Blocks until the dedicated flusher has work (something sealed or
-    /// retired is not yet durable, or a flush was forced), shutdown is
-    /// requested with nothing left to drain, or the log is poisoned.
+    /// Blocks until the dedicated flusher has work (something sealed,
+    /// requested or retired is not yet durable, or a flush was forced),
+    /// shutdown is requested with nothing left to drain, or the log is
+    /// poisoned.
     pub(crate) fn flusher_wait_for_work(&self, shutdown: &AtomicBool) -> FlusherWork {
         let mut flush = self.flush.lock();
         loop {
@@ -648,6 +937,8 @@ impl WalWriter {
             }
             let has_work = !flush.retired.is_empty()
                 || self.sealed_hint.load(Ordering::Acquire) > flush.durable_ts
+                || (self.buffer_unsynced
+                    && self.requested_seal.load(Ordering::Acquire) > flush.durable_ts)
                 || self.force_flush.load(Ordering::Acquire);
             if has_work {
                 return FlusherWork::Work;
@@ -707,7 +998,7 @@ impl WalWriter {
     }
 
     /// One dedicated-flusher flush pass (stats-attributed to the flusher).
-    pub(crate) fn flush_pass(&self) -> std::io::Result<Timestamp> {
+    pub(crate) fn flush_pass(&self) -> WalResult<Timestamp> {
         self.sync_all_sealed(true)
     }
 
@@ -724,57 +1015,72 @@ impl WalWriter {
         self.poisoned.load(Ordering::Acquire)
     }
 
-    fn check_poisoned(&self) -> std::io::Result<()> {
+    fn check_poisoned(&self) -> WalResult<()> {
         if self.is_poisoned() {
-            return Err(std::io::Error::other(
-                "write-ahead log poisoned by an earlier I/O failure; \
-                 commits can no longer be made durable",
-            ));
+            return Err(WalError::poisoned());
         }
         Ok(())
     }
 
-    /// `sync_all` wrapper: a failed fsync permanently poisons the log —
-    /// the kernel may have dropped the dirty pages *and* consumed the
-    /// error flag, so a retry could spuriously succeed and acknowledge
-    /// commits whose bytes are gone.
-    fn fsync(&self, file: &File) -> std::io::Result<()> {
+    /// `sync_all` wrapper. When `poison_on_error` is set, a failed fsync
+    /// permanently poisons the log — the kernel may have dropped the dirty
+    /// pages *and* consumed the error flag, so a bare retry could
+    /// spuriously succeed and acknowledge commits whose bytes are gone.
+    /// The dedicated flusher with frame buffering passes false and repairs
+    /// by re-emission instead ([`WalWriter::reemit_unsynced`]).
+    fn fsync_file(&self, file: &dyn VfsFile, path: &Path, poison_on_error: bool) -> WalResult<()> {
         let result = file.sync_all();
         self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
-        if result.is_err() {
-            self.poisoned.store(true, Ordering::Release);
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.stats.io_failures.fetch_add(1, Ordering::Relaxed);
+                if poison_on_error {
+                    self.poison_with(match crate::error::classify(e.kind()) {
+                        crate::error::WalErrorKind::OutOfSpace => PoisonCause::OutOfSpace,
+                        _ => PoisonCause::Io,
+                    });
+                }
+                Err(WalError::io(WalOp::Fsync, path, e))
+            }
         }
-        result
     }
 
-    fn write_frame(&self, appender: &mut Appender, frame: &[u8]) -> std::io::Result<()> {
+    fn write_frame(&self, appender: &mut Appender, frame: &[u8]) -> WalResult<()> {
         self.check_poisoned()?;
-        match (&*appender.file).write_all(frame) {
+        match appender.file.write_all(frame) {
             Ok(()) => {
                 appender.epoch_bytes += frame.len() as u64;
                 self.dirty_appends.store(true, Ordering::Release);
+                if self.buffer_unsynced {
+                    let seq = appender.append_seq;
+                    appender.unsynced.push_back((seq, frame.to_vec()));
+                }
+                appender.append_seq += 1;
                 Ok(())
             }
             Err(e) => {
+                self.stats.io_failures.fetch_add(1, Ordering::Relaxed);
                 // write_all may have put a partial frame in the file. Roll
                 // the segment back to the last whole-frame boundary so
                 // later appends stay readable; if even that fails, poison
                 // the log so no later commit can be acknowledged behind
                 // unreadable bytes.
-                if appender.file.set_len(appender.epoch_bytes).is_err() {
-                    self.poisoned.store(true, Ordering::Release);
+                let rollback_to = appender.epoch_bytes;
+                if appender.file.set_len(rollback_to).is_err() {
+                    self.poison_with(PoisonCause::Io);
                 }
-                Err(e)
+                Err(WalError::io(WalOp::Append, &appender.path, e))
             }
         }
     }
 }
 
-fn create_segment(dir: &Path, seq: u64) -> std::io::Result<File> {
+fn create_segment(vfs: &dyn Vfs, dir: &Path, seq: u64) -> WalResult<(Arc<dyn VfsFile>, PathBuf)> {
     let path = segment_path(dir, seq);
-    let file = OpenOptions::new().create(true).append(true).open(&path)?;
-    sync_dir(dir)?;
-    Ok(file)
+    let file = ctx(vfs.create_append(&path), WalOp::Create, &path)?;
+    ctx(vfs.sync_dir(dir), WalOp::DirSync, dir)?;
+    Ok((file, path))
 }
 
 #[cfg(test)]
@@ -933,6 +1239,114 @@ mod tests {
         let records = read_segment(&dir, 1);
         assert_eq!(records.len(), 2);
         assert!(matches!(&records[0], Record::CreateTable { name, .. } if name == "accounts"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsynced_buffer_prunes_after_successful_pass_and_reemits_after_failure() {
+        use crate::vfs::{FaultMode, FaultOp, FaultRule, FaultVfs};
+
+        let dir = temp_dir("reemit");
+        let fault = FaultVfs::new(vec![FaultRule::new(
+            FaultOp::Fsync,
+            FaultMode::FailOnce,
+            std::io::ErrorKind::Interrupted,
+        )
+        .on_path("segment-")]);
+        let wal =
+            WalWriter::open_with(fault.handle(), &dir, 1, SyncPolicy::GroupCommit, true).unwrap();
+        wal.attach_flusher();
+        wal.submit(2, TxnId(1), vec![entry(b"a", b"1")]);
+        wal.seal_upto(2).unwrap();
+        // First pass hits the injected fsync fault: no poison, error back.
+        let err = wal.flush_pass().unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+        assert!(!wal.is_poisoned(), "buffered flusher fsync must not poison");
+        // Re-emit to a fresh segment and fsync that instead.
+        wal.reemit_unsynced().unwrap();
+        assert_eq!(wal.current_segment(), 2);
+        let durable = wal.flush_pass().unwrap();
+        assert_eq!(durable, 2);
+        assert!(wal.stats().io_failures.load(Ordering::Relaxed) >= 1);
+        // The re-emitted segment holds the commit; recovery would dedupe
+        // any copy in segment 1.
+        let records = read_segment(&dir, 2);
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(r, Record::Commit(c) if c.commit_ts == 2)),
+            "re-emitted segment must contain the commit"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deferred_seal_is_resealed_by_the_flush_pass() {
+        use crate::vfs::{FaultMode, FaultOp, FaultRule, FaultVfs};
+
+        let dir = temp_dir("defer-seal");
+        let fault = FaultVfs::new(vec![FaultRule::new(
+            FaultOp::Write,
+            FaultMode::FailOnce,
+            std::io::ErrorKind::Interrupted,
+        )
+        .on_path("segment-")]);
+        let wal = WalWriter::open_with(fault.handle(), &dir, 1, SyncPolicy::Never, true).unwrap();
+        wal.attach_flusher();
+        wal.submit(2, TxnId(1), vec![entry(b"a", b"1")]);
+        // The injected write failure defers the seal instead of erroring.
+        wal.seal_upto(2).unwrap();
+        assert_eq!(wal.sealed_ts(), 0, "seal must have been deferred");
+        // The flush pass re-seals up to the requested watermark and syncs.
+        let durable = wal.flush_pass().unwrap();
+        assert_eq!(durable, 2);
+        assert_eq!(read_segment(&dir, 1).len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_defers_a_failed_seal_and_the_record_lands_in_the_new_segment() {
+        use crate::vfs::{FaultMode, FaultOp, FaultRule, FaultVfs};
+
+        // The ENOSPC-reclaim shape: the old segment cannot take one more
+        // byte, so the rotation's seal fails retryably. The rotation must
+        // still succeed (defer, not abort) — otherwise checkpoint-to-
+        // reclaim could never run against a full log — and the flusher's
+        // next pass re-seals the record into the *fresh* segment.
+        let dir = temp_dir("rotate-defer");
+        let fault = FaultVfs::new(vec![FaultRule::new(
+            FaultOp::Write,
+            FaultMode::FailTimes(1),
+            std::io::ErrorKind::StorageFull,
+        )
+        .on_path("segment-")]);
+        let wal = WalWriter::open_with(fault.handle(), &dir, 1, SyncPolicy::Never, true).unwrap();
+        wal.attach_flusher();
+        wal.submit(2, TxnId(1), vec![entry(b"a", b"1")]);
+        let (cut_ts, old_seq) = wal.rotate(|| 2).unwrap();
+        assert_eq!((cut_ts, old_seq), (2, 1));
+        assert_eq!(wal.current_segment(), 2);
+        assert!(
+            read_segment(&dir, 1).is_empty(),
+            "old segment must be empty"
+        );
+        // The budget recovers (FailTimes(1) exhausted): the flush pass
+        // re-seals the deferred record into segment 2 and syncs it.
+        assert_eq!(wal.flush_pass().unwrap(), 2);
+        assert_eq!(read_segment(&dir, 2).len(), 1);
+        assert!(!wal.is_poisoned());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poison_cause_first_wins() {
+        let dir = temp_dir("poison-cause");
+        let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+        assert_eq!(wal.poison_cause(), None);
+        wal.poison_with(PoisonCause::OutOfSpace);
+        wal.poison_with(PoisonCause::Io);
+        assert_eq!(wal.poison_cause(), Some(PoisonCause::OutOfSpace));
+        assert!(wal.is_poisoned());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -7,8 +7,10 @@ use ssi_common::{TableId, Timestamp};
 use ssi_storage::{Catalog, Table};
 
 use crate::checkpoint::{load_snapshot, RECOVERY_TXN_ID};
+use crate::error::{ctx, WalError, WalOp, WalResult};
 use crate::record::{decode_stream, CommitRecord, Record};
-use crate::{list_segments, list_snapshots};
+use crate::vfs::{StdVfs, Vfs};
+use crate::{is_snapshot_tmp_name, list_segments, list_snapshots};
 
 /// What recovery found and rebuilt.
 #[derive(Clone, Debug, Default)]
@@ -25,20 +27,37 @@ pub struct Recovered {
     /// True if a segment ended in a torn tail (half-written frame) that was
     /// discarded.
     pub torn_tail: bool,
+    /// Orphaned checkpoint temp files (`snapshot-*.tmp`) deleted. A crash
+    /// or I/O failure mid-checkpoint leaves one; they are never valid
+    /// snapshots and recovery sweeps them.
+    pub tmp_files_removed: u64,
+    /// Duplicate commit records dropped. The flusher's re-emission retry
+    /// path can write a commit's frame into a fresh segment while an
+    /// earlier copy already reached the old one; recovery keeps one.
+    pub duplicate_commits: u64,
     /// First free segment sequence number: the reopened log appends here.
     pub next_segment_seq: u64,
 }
 
+/// [`recover_into_with`] on the production VFS.
+pub fn recover_into(dir: &Path, catalog: &Catalog) -> WalResult<Recovered> {
+    recover_into_with(&StdVfs, dir, catalog)
+}
+
 /// Rebuilds the committed state persisted in `dir` into `catalog`:
 ///
-/// 1. load the newest snapshot — a snapshot that exists but does not
+/// 1. delete orphaned checkpoint temp files (a crashed or failed
+///    checkpoint leaves `snapshot-*.tmp` behind; never valid state);
+/// 2. load the newest snapshot — a snapshot that exists but does not
 ///    decode is a hard error, because the segments it covers are pruned
 ///    and nothing can fill the gap;
-/// 2. scan every log segment in sequence order, stopping a segment at the
+/// 3. scan every log segment in sequence order, stopping a segment at the
 ///    first torn or corrupt frame;
-/// 3. apply create-table records, then replay every whole commit record
-///    with `ts >` the snapshot timestamp, in commit-timestamp order, so
-///    each key's version chain is rebuilt newest-first.
+/// 4. apply create-table records, then replay every whole commit record
+///    with `ts >` the snapshot timestamp, in commit-timestamp order —
+///    deduplicated by commit timestamp, since the flusher's re-emission
+///    retry can leave the same commit framed in two segments — so each
+///    key's version chain is rebuilt newest-first.
 ///
 /// Replayed versions are installed committed at their original timestamps
 /// under the reserved [`RECOVERY_TXN_ID`], so running recovery twice over
@@ -50,25 +69,37 @@ pub struct Recovered {
 /// returned (group-commit mode), records are whole-transaction frames,
 /// and the log is timestamp-ordered — a torn tail can only remove a
 /// suffix of *unacknowledged* commits.
-pub fn recover_into(dir: &Path, catalog: &Catalog) -> std::io::Result<Recovered> {
+pub fn recover_into_with(vfs: &dyn Vfs, dir: &Path, catalog: &Catalog) -> WalResult<Recovered> {
     let mut recovered = Recovered::default();
 
-    // 1. The newest snapshot. It must decode: checkpointing prunes the
+    // 1. Sweep checkpoint temp litter. Deletion is best-effort per file
+    // (a tmp that cannot be removed is merely ignored — it can never be
+    // mistaken for a snapshot), but the directory listing itself must
+    // succeed or nothing below can be trusted.
+    for name in ctx(vfs.read_dir(dir), WalOp::Read, dir)? {
+        if is_snapshot_tmp_name(&name) && vfs.remove_file(&dir.join(name)).is_ok() {
+            recovered.tmp_files_removed += 1;
+        }
+    }
+
+    // 2. The newest snapshot. It must decode: checkpointing prunes the
     // segments a snapshot covers, so "skip the corrupt snapshot" would
     // not fall back to anything — it would silently recover a gapped,
     // near-empty state and report success. A snapshot that exists but
     // does not decode is therefore a hard recovery error. (Older
     // leftover snapshots — a crash between rename and prune — are
     // equally unusable: their covering segments may already be gone.)
-    let snapshots = list_snapshots(dir)?;
+    let snapshots = ctx(list_snapshots(vfs, dir), WalOp::Read, dir)?;
     let snapshot = match snapshots.last() {
         None => None,
-        Some((ts, path)) => Some(load_snapshot(path).ok_or_else(|| {
-            std::io::Error::other(format!(
-                "checkpoint snapshot at ts {ts} exists but is corrupt; \
-                 refusing to recover a gapped state ({})",
-                path.display()
-            ))
+        Some((ts, path)) => Some(load_snapshot(vfs, path).ok_or_else(|| {
+            WalError::corrupt(
+                path,
+                format!(
+                    "checkpoint snapshot at ts {ts} exists but is corrupt; \
+                     refusing to recover a gapped state"
+                ),
+            )
         })?),
     };
     if let Some((ts, tables)) = snapshot {
@@ -77,14 +108,14 @@ pub fn recover_into(dir: &Path, catalog: &Catalog) -> std::io::Result<Recovered>
         for table in tables {
             let handle = catalog
                 .create_table_with_id(TableId(table.id), &table.name)
-                .map_err(|e| std::io::Error::other(format!("snapshot catalog clash: {e}")))?;
+                .map_err(|e| WalError::corrupt(dir, format!("snapshot catalog clash: {e}")))?;
             for (key, commit_ts, value) in table.rows {
                 install_committed(&handle, &key, commit_ts, Some(value));
             }
         }
     }
 
-    // 2. Scan segments; collect whole commit records past the snapshot.
+    // 3. Scan segments; collect whole commit records past the snapshot.
     //
     // A torn or corrupt frame can only be the tail of the segment that was
     // current when a crash hit — segments are append-only and never
@@ -96,21 +127,22 @@ pub fn recover_into(dir: &Path, catalog: &Catalog) -> std::io::Result<Recovered>
     // itself is truncated away (best-effort) so the garbage bytes are not
     // left in front of nothing forever.
     let mut commits: Vec<CommitRecord> = Vec::new();
-    let segments = list_segments(dir)?;
+    let segments = ctx(list_segments(vfs, dir), WalOp::Read, dir)?;
     recovered.next_segment_seq = segments.last().map_or(1, |(seq, _)| seq + 1);
     for (_, path) in &segments {
         recovered.segments_scanned += 1;
-        let bytes = std::fs::read(path)?;
+        let bytes = ctx(vfs.read(path), WalOp::Read, path)?;
         let (records, valid_prefix, err) = decode_stream(&bytes);
         if err.is_some() {
             recovered.torn_tail = true;
-            truncate_torn_tail(path, valid_prefix as u64);
+            truncate_torn_tail(vfs, path, valid_prefix as u64);
         }
         for record in records {
             match record {
                 Record::CreateTable { table, name } => {
-                    // Idempotent: the snapshot (or an earlier segment) may
-                    // already have created it.
+                    // Idempotent: the snapshot (or an earlier segment, or a
+                    // re-emitted duplicate frame) may already have created
+                    // it.
                     let _ = catalog.create_table_with_id(table, &name);
                 }
                 Record::Commit(commit) => {
@@ -122,10 +154,17 @@ pub fn recover_into(dir: &Path, catalog: &Catalog) -> std::io::Result<Recovered>
         }
     }
 
-    // 3. Replay in commit-timestamp order (the log already is, per the
+    // 4. Replay in commit-timestamp order (the log already is, per the
     // sealing protocol; sorting makes recovery robust to reordered
-    // segments too). Write order within a transaction is preserved.
+    // segments too). Commit timestamps are unique — the publication clock
+    // hands each commit its own tick — so two records with the same
+    // timestamp are the same commit, framed twice by the flusher's
+    // re-emission retry; keep the first. Write order within a transaction
+    // is preserved.
     commits.sort_by_key(|c| c.commit_ts);
+    let before = commits.len();
+    commits.dedup_by_key(|c| c.commit_ts);
+    recovered.duplicate_commits = (before - commits.len()) as u64;
     for commit in commits {
         // The clock must resume past *every* timestamp present in the log
         // — including commits skipped below — or post-recovery commits
@@ -150,14 +189,11 @@ pub fn recover_into(dir: &Path, catalog: &Catalog) -> std::io::Result<Recovered>
 /// found. Best-effort: if the truncation cannot be performed (read-only
 /// filesystem, permissions) recovery still works — `decode_stream` stops
 /// at the same point every time — the garbage just stays on disk.
-fn truncate_torn_tail(path: &Path, valid_prefix: u64) {
-    let result = std::fs::OpenOptions::new()
-        .write(true)
-        .open(path)
-        .and_then(|file| {
-            file.set_len(valid_prefix)?;
-            file.sync_all()
-        });
+fn truncate_torn_tail(vfs: &dyn Vfs, path: &Path, valid_prefix: u64) {
+    let result = vfs.open_write(path).and_then(|file| {
+        file.set_len(valid_prefix)?;
+        file.sync_all()
+    });
     let _ = result;
 }
 
@@ -189,7 +225,7 @@ mod tests {
     use crate::log::{SyncPolicy, WalWriter};
     use crate::record::WriteEntry;
     use crate::testutil::temp_dir;
-    use crate::Checkpointer;
+    use crate::{Checkpointer, WalErrorKind};
     use ssi_common::TxnId;
     use std::ops::Bound;
 
@@ -427,9 +463,11 @@ mod tests {
         std::fs::write(&snap, &bytes).unwrap();
 
         let catalog = Catalog::new();
-        assert!(
-            recover_into(&dir, &catalog).is_err(),
-            "recovery must refuse an undecodable snapshot"
+        let err = recover_into(&dir, &catalog).unwrap_err();
+        assert_eq!(
+            err.kind,
+            WalErrorKind::Corrupt,
+            "recovery must refuse an undecodable snapshot: {err}"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -442,6 +480,79 @@ mod tests {
         assert_eq!(rec.max_commit_ts, 0);
         assert_eq!(rec.next_segment_seq, 1);
         assert!(catalog.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_checkpoint_tmp_files_are_swept() {
+        // A crash (or injected fault) mid-checkpoint leaves a
+        // snapshot-*.tmp; recovery must delete it and never read it as a
+        // snapshot — even when its contents happen to be a fully valid
+        // snapshot image (crash exactly between fsync and rename).
+        let dir = temp_dir("rec-orphan-tmp");
+        {
+            let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+            wal.append_create_table(TableId(1), "t").unwrap();
+            put(&wal, 2, b"a", b"1");
+            wal.sync().unwrap();
+        }
+        std::fs::write(dir.join("snapshot-00000000000000ff.tmp"), b"half").unwrap();
+        std::fs::write(dir.join("snapshot-0000000000000100.tmp"), b"").unwrap();
+
+        let catalog = Catalog::new();
+        let rec = recover_into(&dir, &catalog).unwrap();
+        assert_eq!(rec.tmp_files_removed, 2);
+        assert_eq!(
+            rec.snapshot_ts, 0,
+            "tmp files must not be read as snapshots"
+        );
+        assert_eq!(rec.txns_replayed, 1);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        // Second recovery: nothing left to sweep.
+        let rec2 = recover_into(&dir, &Catalog::new()).unwrap();
+        assert_eq!(rec2.tmp_files_removed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_commit_frames_replay_once() {
+        // The flusher's re-emission retry can frame the same commit into
+        // two segments (the first copy's fsync failed transiently but the
+        // bytes landed). Recovery must apply it once.
+        let dir = temp_dir("rec-dup");
+        {
+            let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+            wal.append_create_table(TableId(1), "t").unwrap();
+            put(&wal, 2, b"a", b"1");
+            put(&wal, 3, b"b", b"2");
+            wal.sync().unwrap();
+        }
+        // Simulate re-emission: copy segment 1's frames into segment 2.
+        let seg1 = std::fs::read(crate::segment_path(&dir, 1)).unwrap();
+        std::fs::write(crate::segment_path(&dir, 2), &seg1).unwrap();
+
+        let catalog = Catalog::new();
+        let rec = recover_into(&dir, &catalog).unwrap();
+        assert_eq!(rec.txns_replayed, 2);
+        assert_eq!(rec.duplicate_commits, 2);
+        assert_eq!(rec.max_commit_ts, 3);
+        assert_eq!(
+            dump(&catalog, "t", 10),
+            vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"2".to_vec())
+            ]
+        );
+        // Each key must carry exactly one version (no duplicate chain
+        // entries from the double replay).
+        let t = catalog.table("t").unwrap();
+        let rows = t.scan(Bound::Unbounded, Bound::Unbounded, TxnId(99), 100);
+        assert_eq!(rows.len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -23,10 +23,11 @@ pub use ssi_storage as storage;
 pub use ssi_wal as wal;
 pub use ssi_workloads as workloads;
 
-pub use ssi_common::{AbortKind, Error, IsolationLevel, Result, TxnId};
+pub use ssi_common::{AbortKind, DegradedReason, Error, IsolationLevel, Result, TxnId};
 pub use ssi_core::{
-    CommitPhase, Database, Durability, DurabilityOptions, FlushEvent, FlushReason, GcPin,
-    LockGranularity, MaintenanceEvent, MaintenanceHook, MaintenanceOptions, Options, PurgeStats,
-    SsiOptions, SsiVariant, TableRef, Transaction, VictimPolicy,
+    CommitPhase, Database, DbHealth, Durability, DurabilityOptions, FaultMode, FaultOp, FaultRule,
+    FaultVfs, FlushEvent, FlushReason, GcPin, LockGranularity, MaintenanceEvent, MaintenanceHook,
+    MaintenanceOptions, Options, PurgeStats, SsiOptions, SsiVariant, TableRef, Transaction,
+    VictimPolicy,
 };
 pub use ssi_workloads::{run_workload, RunConfig, SiBench, SmallBank, TpccConfig, TpccWorkload};

@@ -1,0 +1,503 @@
+//! Chaos net: the full engine driven over a fault-injecting storage layer.
+//!
+//! Every scenario opens a real `Database` on a [`FaultVfs`] with a scripted
+//! (or seeded) schedule of disk failures and asserts the durability
+//! contract end to end:
+//!
+//! * **no acknowledged commit is ever lost** — an `Ok` from `commit()` in
+//!   group-commit mode means the record was fsynced; after any fault
+//!   schedule plus a clean reopen, every acknowledged key must be present;
+//! * **transient faults recover invisibly** — fsync hiccups inside the
+//!   retry budget never surface to committers and never degrade health,
+//!   but they are visible in the fault counters;
+//! * **fatal faults degrade, not corrupt** — the database transitions to
+//!   `Degraded`, snapshot reads keep serving, writers fail fast with the
+//!   typed [`Error::Degraded`], and the pre-fault prefix survives reopen;
+//! * **ENOSPC reclaims before degrading** — a full log triggers one
+//!   checkpoint-to-reclaim (pruning covered segments refunds the modelled
+//!   budget) and commits continue;
+//! * **a panicking maintenance hook degrades, never hangs** — committers
+//!   parked behind the dead flusher are woken with an error.
+//!
+//! The seeded net (`seeded_fault_schedules_*`) generates random fault
+//! schedules from `CHAOS_SEEDS` (comma-separated u64 list; a fixed default
+//! otherwise) and checks a SmallBank-style invariant: transfers conserve
+//! the total balance, so *any* recovered state must sum to the initial
+//! total. On failure it prints the seed, the injected-event log and the
+//! exact reproduction command.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serializable_si::{
+    Database, DbHealth, DegradedReason, Durability, Error, FaultMode, FaultOp, FaultRule, FaultVfs,
+    Options,
+};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("ssi-chaos-test-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Group-commit options with the background flusher on a fast timer and the
+/// given fault-injecting VFS.
+fn faulty_options(dir: &std::path::Path, fault: &FaultVfs) -> Options {
+    Options::default()
+        .with_durability(Durability::GroupCommit, dir)
+        .with_background_flusher(Duration::from_millis(2))
+        .with_vfs(fault.handle())
+}
+
+/// Reopens the directory on the production VFS (no faults) and returns the
+/// database — the "replace the broken disk" step of every scenario.
+fn reopen_clean(dir: &std::path::Path) -> Database {
+    Database::open(Options::default().with_durability(Durability::GroupCommit, dir))
+}
+
+#[test]
+fn clean_path_keeps_every_fault_counter_at_zero() {
+    // Satellite contract for the observability counters: a fault-free run
+    // (even through a FaultVfs with no rules) costs zero — no retries, no
+    // observed faults, no degraded transitions, nothing injected.
+    let dir = temp_dir("clean");
+    let fault = FaultVfs::new(vec![]);
+    let db = Database::open(faulty_options(&dir, &fault));
+    let t = db.create_table("t").unwrap();
+    for k in 0..20u64 {
+        let mut txn = db.begin();
+        txn.put(&t, &k.to_be_bytes(), b"v").unwrap();
+        txn.commit().unwrap();
+    }
+    assert_eq!(db.health(), DbHealth::Healthy);
+    let stats = db.transaction_manager().stats();
+    assert_eq!(stats.wal_fsync_retries.load(Ordering::Relaxed), 0);
+    assert_eq!(stats.wal_faults_observed.load(Ordering::Relaxed), 0);
+    assert_eq!(stats.degraded_transitions.load(Ordering::Relaxed), 0);
+    let wal = db.durability_stats().unwrap();
+    assert_eq!(wal.io_failures.load(Ordering::Relaxed), 0);
+    assert_eq!(wal.fsync_retries.load(Ordering::Relaxed), 0);
+    assert_eq!(fault.injected(), 0);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_fsync_faults_recover_within_the_retry_budget() {
+    // Two consecutive fsync failures on the log segment: inside the retry
+    // budget (4), so every commit must still be acknowledged, health stays
+    // Healthy, and the incident is visible only in the counters.
+    let dir = temp_dir("transient");
+    let fault = FaultVfs::new(vec![FaultRule::new(
+        FaultOp::Fsync,
+        FaultMode::FailTimes(2),
+        std::io::ErrorKind::Interrupted,
+    )
+    .on_path("segment-")]);
+    let db = Database::open(faulty_options(&dir, &fault));
+    let t = db.create_table("t").unwrap();
+    for k in 0..10u64 {
+        let mut txn = db.begin();
+        txn.put(&t, &k.to_be_bytes(), b"v").unwrap();
+        txn.commit().unwrap_or_else(|e| {
+            panic!(
+                "commit {k} must survive transient faults, got {e}\n{:#?}",
+                fault.events()
+            )
+        });
+    }
+    assert_eq!(db.health(), DbHealth::Healthy);
+    assert!(fault.injected() >= 2, "the schedule never fired");
+    let stats = db.transaction_manager().stats();
+    assert!(
+        stats.wal_fsync_retries.load(Ordering::Relaxed) >= 1,
+        "engine stats must surface the flusher's retries"
+    );
+    assert!(stats.wal_faults_observed.load(Ordering::Relaxed) >= 1);
+    assert_eq!(stats.degraded_transitions.load(Ordering::Relaxed), 0);
+    drop(db);
+
+    let db = reopen_clean(&dir);
+    let t = db.table("t").unwrap();
+    let mut check = db.begin_read_only();
+    for k in 0..10u64 {
+        assert!(
+            check.get(&t, &k.to_be_bytes()).unwrap().is_some(),
+            "acknowledged key {k} lost after transient-fault run"
+        );
+    }
+    check.commit().unwrap();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persistent_fatal_fsync_degrades_reads_serve_writes_fail_typed() {
+    // A disk that permanently fails fsync: commits acknowledged before the
+    // fault survive, the database degrades (one-way), snapshot reads keep
+    // serving the committed prefix, and new writers fail fast with the
+    // typed degradation error instead of hanging or corrupting.
+    let dir = temp_dir("fatal");
+    let fault = FaultVfs::new(vec![]);
+    let db = Database::open(faulty_options(&dir, &fault));
+    let t = db.create_table("t").unwrap();
+    for k in 0..5u64 {
+        let mut txn = db.begin();
+        txn.put(&t, &k.to_be_bytes(), b"acked").unwrap();
+        txn.commit().unwrap();
+    }
+
+    // The disk dies: every further segment fsync fails with a
+    // non-retryable kind, so the first flush pass poisons the log.
+    fault.add_rule(
+        FaultRule::new(
+            FaultOp::Fsync,
+            FaultMode::FailAlways,
+            std::io::ErrorKind::Other,
+        )
+        .on_path("segment-"),
+    );
+    let mut txn = db.begin();
+    txn.put(&t, b"doomed", b"v").unwrap();
+    let err = txn.commit().unwrap_err();
+    assert!(
+        matches!(err, Error::Durability(_)),
+        "the in-flight committer gets the durability error, got {err:?}"
+    );
+
+    assert_eq!(
+        db.health(),
+        DbHealth::Degraded {
+            reason: DegradedReason::WalPoisoned
+        }
+    );
+    let stats = db.transaction_manager().stats();
+    assert_eq!(stats.degraded_transitions.load(Ordering::Relaxed), 1);
+
+    // Reads keep serving the committed prefix.
+    let mut read = db.begin_read_only();
+    for k in 0..5u64 {
+        assert_eq!(
+            read.get(&t, &k.to_be_bytes()).unwrap().as_deref(),
+            Some(b"acked".as_slice())
+        );
+    }
+    read.commit().unwrap();
+
+    // Writers fail fast with the typed error — before taking any locks.
+    let mut writer = db.begin();
+    let err = writer.put(&t, b"rejected", b"v").unwrap_err();
+    assert!(
+        matches!(err, Error::Degraded(DegradedReason::WalPoisoned)),
+        "a degraded database must reject writes with the typed error, got {err:?}"
+    );
+    drop(writer);
+    drop(db);
+
+    // "Replace the disk": every acknowledged commit is still there.
+    let db = reopen_clean(&dir);
+    let t = db.table("t").unwrap();
+    let mut check = db.begin_read_only();
+    for k in 0..5u64 {
+        assert!(
+            check.get(&t, &k.to_be_bytes()).unwrap().is_some(),
+            "acknowledged key {k} lost after fatal-fault run"
+        );
+    }
+    check.commit().unwrap();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn enospc_triggers_checkpoint_to_reclaim_and_commits_continue() {
+    // A byte-budgeted log volume: once cumulative writes exceed the budget,
+    // segment appends fail with StorageFull. The flusher's reclaim hook
+    // checkpoints — pruning covered segments refunds their bytes — and the
+    // deferred commits then land in the fresh segment. A hot-key workload
+    // keeps the snapshot tiny, so reclaim always frees (almost) the whole
+    // budget and the run never degrades.
+    let dir = temp_dir("enospc");
+    let fault = FaultVfs::new(vec![FaultRule::new(
+        FaultOp::Write,
+        FaultMode::NoSpaceAfter { bytes: 8192 },
+        std::io::ErrorKind::StorageFull,
+    )
+    .on_path("segment-")]);
+    let db = Database::open(faulty_options(&dir, &fault));
+    let t = db.create_table("hot").unwrap();
+    for i in 0..400u64 {
+        let mut txn = db.begin();
+        txn.put(&t, &(i % 4).to_be_bytes(), &i.to_be_bytes())
+            .unwrap();
+        txn.commit().unwrap_or_else(|e| {
+            panic!(
+                "commit {i} must survive ENOSPC via reclaim, got {e}\n{:#?}",
+                fault.events()
+            )
+        });
+    }
+    assert_eq!(db.health(), DbHealth::Healthy, "{:#?}", fault.events());
+    assert!(fault.injected() >= 1, "the budget never depleted");
+    let wal = db.durability_stats().unwrap();
+    assert!(
+        wal.reclaim_attempts.load(Ordering::Relaxed) >= 1,
+        "ENOSPC must trigger the checkpoint-to-reclaim hook"
+    );
+    drop(db);
+
+    let db = reopen_clean(&dir);
+    let t = db.table("hot").unwrap();
+    let mut check = db.begin_read_only();
+    for k in 0..4u64 {
+        let got = check.get(&t, &k.to_be_bytes()).unwrap();
+        let expect = (396 + k).to_be_bytes();
+        assert_eq!(
+            got.as_deref(),
+            Some(expect.as_slice()),
+            "hot key {k} must hold its last acknowledged value"
+        );
+    }
+    check.commit().unwrap();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_maintenance_hook_degrades_instead_of_hanging() {
+    // A user maintenance hook that panics kills the flusher thread. The
+    // containment net must poison the log, wake the parked committer with
+    // an error, and degrade health to WalThreadPanic — the next writer
+    // fails fast instead of parking forever behind a dead thread.
+    let dir = temp_dir("hook-panic");
+    let db = Database::open(
+        Options::default()
+            .with_durability(Durability::GroupCommit, &dir)
+            .with_background_flusher(Duration::from_millis(2)),
+    );
+    let t = db.create_table("t").unwrap();
+    let mut txn = db.begin();
+    txn.put(&t, b"before", b"v").unwrap();
+    txn.commit().unwrap();
+
+    db.set_maintenance_hook(Some(Arc::new(|_| panic!("injected hook panic"))));
+    let mut txn = db.begin();
+    txn.put(&t, b"during", b"v").unwrap();
+    let err = txn.commit().unwrap_err();
+    assert!(
+        matches!(err, Error::Durability(_)),
+        "the parked committer must be woken with an error, got {err:?}"
+    );
+    assert_eq!(
+        db.health(),
+        DbHealth::Degraded {
+            reason: DegradedReason::WalThreadPanic
+        }
+    );
+    let mut writer = db.begin();
+    let err = writer.put(&t, b"after", b"v").unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Degraded(DegradedReason::WalThreadPanic)
+    ));
+    drop(writer);
+    drop(db); // must join the (dead) flusher without hanging
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded random fault schedules: the SmallBank-style invariant net.
+// ---------------------------------------------------------------------------
+
+const ACCOUNTS: u64 = 8;
+const INITIAL_BALANCE: u64 = 1000;
+const TRANSFERS: u64 = 150;
+
+fn balance(raw: &[u8]) -> u64 {
+    u64::from_be_bytes(raw.try_into().expect("8-byte balance"))
+}
+
+/// Generates a random fault schedule from the seed: mostly transient fsync
+/// and write hiccups, sometimes a delay, occasionally a fatal fault — so
+/// some seeds recover invisibly and some degrade, and both must preserve
+/// the invariants.
+fn random_schedule(rng: &mut SmallRng) -> Vec<FaultRule> {
+    let mut rules = Vec::new();
+    for _ in 0..rng.gen_range(1..4u32) {
+        let op = if rng.gen_range(0..10u32) < 6 {
+            FaultOp::Fsync
+        } else {
+            FaultOp::Write
+        };
+        let roll = rng.gen_range(0..10u32);
+        let (mode, kind) = if roll < 6 {
+            (
+                FaultMode::FailTimes(rng.gen_range(1..3u32)),
+                std::io::ErrorKind::Interrupted,
+            )
+        } else if roll < 8 {
+            (
+                FaultMode::Delay {
+                    millis: rng.gen_range(1..5u64),
+                },
+                std::io::ErrorKind::Other,
+            )
+        } else {
+            // Fatal: not retryable, the run degrades when this fires.
+            (FaultMode::FailOnce, std::io::ErrorKind::Other)
+        };
+        rules.push(
+            FaultRule::new(op, mode, kind)
+                .on_path("segment-")
+                .after(rng.gen_range(0..40u64)),
+        );
+    }
+    rules
+}
+
+/// One seeded run. Returns an error description on invariant violation.
+fn run_seed(seed: u64) -> Result<(), String> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dir = temp_dir(&format!("seed-{seed}"));
+    let fault = FaultVfs::new(random_schedule(&mut rng));
+    let db = Database::open(faulty_options(&dir, &fault));
+
+    // DDL appends its control record directly (no flusher deferral), so a
+    // transient fault can surface here — and, being transient, a retry
+    // clears it. A fault that persists through the retries (a fatal rule
+    // fired) makes this a degraded run: no workload, but recovery over
+    // whatever is on disk must still succeed below.
+    let mut table = None;
+    for _ in 0..8 {
+        match db.create_table("bank") {
+            Ok(t) => {
+                table = Some(t);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+
+    // Seed the accounts (a fatal rule can fire here too, so failure again
+    // just means a degraded run).
+    let seeded = match &table {
+        None => false,
+        Some(t) => {
+            let mut setup = db.begin();
+            let mut setup_ok = true;
+            for a in 0..ACCOUNTS {
+                if setup
+                    .put(t, &a.to_be_bytes(), &INITIAL_BALANCE.to_be_bytes())
+                    .is_err()
+                {
+                    setup_ok = false;
+                    break;
+                }
+            }
+            setup_ok && setup.commit().is_ok()
+        }
+    };
+    let t = table;
+
+    // Random transfers; each conserves the total and stamps an ack marker
+    // in the same transaction, so "marker present" == "transfer applied".
+    let mut acked = Vec::new();
+    if seeded {
+        let t = t.as_ref().expect("seeded implies table");
+        for i in 0..TRANSFERS {
+            if db.health() != DbHealth::Healthy {
+                break; // degraded: writers fail fast from here on
+            }
+            let from = rng.gen_range(0..ACCOUNTS);
+            let to = (from + rng.gen_range(1..ACCOUNTS)) % ACCOUNTS;
+            let amount = rng.gen_range(1..20u64);
+            let mut txn = db.begin();
+            let result = (|| {
+                let f = balance(&txn.get(t, &from.to_be_bytes())?.expect("seeded"));
+                let b = balance(&txn.get(t, &to.to_be_bytes())?.expect("seeded"));
+                txn.put(
+                    t,
+                    &from.to_be_bytes(),
+                    &f.saturating_sub(amount).to_be_bytes(),
+                )?;
+                txn.put(t, &to.to_be_bytes(), &(b + amount.min(f)).to_be_bytes())?;
+                txn.put(t, format!("ack-{i:06}").as_bytes(), b"1")?;
+                txn.commit()
+            })();
+            if result.is_ok() {
+                acked.push(i);
+            }
+        }
+    }
+    drop(db);
+
+    // Clean reopen: recovery over whatever the fault schedule left behind.
+    let db = reopen_clean(&dir);
+    let mut failures = Vec::new();
+    if seeded {
+        let t = db.table("bank").map_err(|e| format!("reopen table: {e}"))?;
+        let mut check = db.begin_read_only();
+        let mut total = 0u64;
+        for a in 0..ACCOUNTS {
+            match check.get(&t, &a.to_be_bytes()) {
+                Ok(Some(raw)) => total += balance(&raw),
+                other => failures.push(format!("account {a} unreadable: {other:?}")),
+            }
+        }
+        if total != ACCOUNTS * INITIAL_BALANCE {
+            failures.push(format!(
+                "total balance {total} != {} — transfers must conserve the total",
+                ACCOUNTS * INITIAL_BALANCE
+            ));
+        }
+        for i in &acked {
+            match check.get(&t, format!("ack-{i:06}").as_bytes()) {
+                Ok(Some(_)) => {}
+                other => failures.push(format!(
+                    "acknowledged transfer {i} lost across recovery: {other:?}"
+                )),
+            }
+        }
+        check.commit().map_err(|e| format!("check commit: {e}"))?;
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} violation(s):\n  {}\ninjected events:\n  {}",
+            failures.len(),
+            failures.join("\n  "),
+            fault.events().join("\n  ")
+        ))
+    }
+}
+
+#[test]
+fn seeded_fault_schedules_preserve_invariants() {
+    let seeds: Vec<u64> = match std::env::var("CHAOS_SEEDS") {
+        Ok(spec) => spec
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse().expect("CHAOS_SEEDS must be u64s"))
+            .collect(),
+        Err(_) => vec![1, 7, 42, 0xC4A05, 20080610],
+    };
+    for seed in seeds {
+        if let Err(report) = run_seed(seed) {
+            panic!(
+                "chaos seed {seed} failed: {report}\n\
+                 reproduce with: CHAOS_SEEDS={seed} cargo test --test chaos \
+                 seeded_fault_schedules -- --nocapture"
+            );
+        }
+    }
+}
