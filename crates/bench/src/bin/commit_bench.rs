@@ -17,11 +17,17 @@
 //! is recorded in-repo. Usage:
 //!
 //! ```text
-//! cargo run --release -p ssi-bench --bin commit_bench [--smoke] [output.json]
+//! cargo run --release -p ssi-bench --bin commit_bench -- \
+//!     [--smoke] [--trace trace.jsonl] [output.json]
 //! ```
 //!
 //! `--smoke` shrinks the measurement windows so CI can exercise the binary
 //! cheaply; the recorded numbers in the repository come from a full run.
+//! `--trace <path>` writes the event trace of the instrumented pass (the
+//! final pipeline run with tracing enabled) as JSONL. The instrumented
+//! pass's full `Database::metrics()` snapshot is embedded in the output
+//! JSON under `"metrics"`, so the bench artifact and the engine's own
+//! counters can never disagree.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -81,10 +87,13 @@ fn micros(d: std::time::Duration) -> f64 {
 
 fn main() {
     let mut smoke = false;
+    let mut trace_path: Option<String> = None;
     let mut out_path = "BENCH_commit.json".to_string();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
             other => out_path = other.to_string(),
         }
     }
@@ -254,6 +263,49 @@ fn main() {
         "-"
     );
 
+    // Instrumented pass: one pipeline run of the 8-thread contended SSI
+    // shape with tracing on, whose unified metrics snapshot goes into the
+    // artifact (and whose drained event trace goes to --trace, if given).
+    // Kept out of the measured cases above so tracing cost can never skew
+    // the recorded throughput comparison.
+    let obs_shape = CommitWorkload {
+        threads: 8,
+        keys: 4096,
+        reads_per_txn: 2,
+        writes_per_txn: 2,
+        hot: Some(64),
+        read_only_pct: 0,
+        duration,
+        warmup,
+    };
+    let obs_db = Database::open(Options::default().with_tracing(4096));
+    preload(&obs_db, obs_shape.keys);
+    let obs_run = run_commit_workload(
+        &obs_db,
+        IsolationLevel::SerializableSnapshotIsolation,
+        &obs_shape,
+    );
+    let obs_metrics = obs_db.metrics();
+    println!(
+        "\ninstrumented pass (tracing on): {:.0} commits/s, {} aborts, \
+         commit p99 {:.1} us (in-engine {} samples)",
+        obs_run.committed_per_sec(),
+        obs_metrics.txn.aborted,
+        micros(obs_run.latency.p99()),
+        obs_metrics.latency.commit.count,
+    );
+    if let Some(path) = &trace_path {
+        let batch = obs_db
+            .drain_trace()
+            .expect("tracing was enabled on the instrumented pass");
+        std::fs::write(path, batch.to_jsonl()).expect("write trace output");
+        println!(
+            "wrote {} trace events ({} dropped) to {path}",
+            batch.events.len(),
+            batch.dropped
+        );
+    }
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"commit_pipeline\",\n");
     let _ = writeln!(
@@ -342,7 +394,8 @@ fn main() {
         section_pipeline,
         section_pipeline / section_baseline.max(1.0),
     );
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"metrics\": {}\n}}", obs_metrics.to_json());
 
     std::fs::write(&out_path, &json).expect("write bench output");
     println!("\nwrote {out_path}");

@@ -29,10 +29,9 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
-use ssi_core::{Database, Durability, Options};
+use ssi_core::{Database, Durability, MetricsSnapshot, Options};
 
 struct Case {
     name: &'static str,
@@ -46,26 +45,23 @@ struct Case {
 struct CaseResult {
     name: &'static str,
     threads: usize,
-    committed: u64,
     elapsed_secs: f64,
-    records: u64,
-    fsyncs: u64,
-    log_bytes: u64,
-    /// I/O failures + flusher fsync retries observed by the WAL. Both must
-    /// be zero on this clean-disk path: nonzero here means the robustness
-    /// machinery (fault classification, retry-with-backoff) intruded on a
-    /// healthy run.
-    io_failures: u64,
-    fsync_retries: u64,
+    /// Unified engine snapshot taken before the database is dropped — the
+    /// WAL counters reported below come from it, so the bench artifact can
+    /// never disagree with `Database::metrics()`. On the clean-disk path
+    /// `wal.io_failures` and `wal.fsync_retries` must both be zero:
+    /// nonzero means the robustness machinery (fault classification,
+    /// retry-with-backoff) intruded on a healthy run.
+    metrics: MetricsSnapshot,
 }
 
 impl CaseResult {
     fn committed_per_sec(&self) -> f64 {
-        self.committed as f64 / self.elapsed_secs.max(1e-9)
+        self.metrics.txn.committed as f64 / self.elapsed_secs.max(1e-9)
     }
 
     fn records_per_fsync(&self) -> f64 {
-        self.records as f64 / self.fsyncs.max(1) as f64
+        self.metrics.wal.records as f64 / self.metrics.wal.fsyncs.max(1) as f64
     }
 }
 
@@ -113,33 +109,14 @@ fn run_case(case: &Case, threads: usize, txns_per_thread: u64) -> CaseResult {
     });
     let elapsed_secs = start.elapsed().as_secs_f64();
 
-    let (records, fsyncs, log_bytes, io_failures, fsync_retries) = match db.durability_stats() {
-        Some(stats) => (
-            stats.records.load(Ordering::Relaxed),
-            stats.fsyncs.load(Ordering::Relaxed),
-            stats.bytes.load(Ordering::Relaxed),
-            stats.io_failures.load(Ordering::Relaxed),
-            stats.fsync_retries.load(Ordering::Relaxed),
-        ),
-        None => (0, 0, 0, 0, 0),
-    };
-    let committed = db
-        .transaction_manager()
-        .stats()
-        .committed
-        .load(Ordering::Relaxed);
+    let metrics = db.metrics();
     drop(db);
     let _ = std::fs::remove_dir_all(&dir);
     CaseResult {
         name: case.name,
         threads,
-        committed,
         elapsed_secs,
-        records,
-        fsyncs,
-        log_bytes,
-        io_failures,
-        fsync_retries,
+        metrics,
     }
 }
 
@@ -200,8 +177,8 @@ fn main() {
             result.name,
             result.threads,
             result.committed_per_sec(),
-            result.records,
-            result.fsyncs,
+            result.metrics.wal.records,
+            result.metrics.wal.fsyncs,
             result.records_per_fsync(),
         );
         results.push(result);
@@ -246,20 +223,14 @@ fn main() {
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"name\": \"{}\", \"threads\": {}, \"committed\": {}, \
-             \"committed_per_sec\": {:.0}, \"records\": {}, \"fsyncs\": {}, \
-             \"records_per_fsync\": {:.2}, \"log_bytes\": {}, \
-             \"io_failures\": {}, \"fsync_retries\": {}}}{}",
+            "    {{\"name\": \"{}\", \"threads\": {}, \
+             \"committed_per_sec\": {:.0}, \"records_per_fsync\": {:.2}, \
+             \"metrics\": {}}}{}",
             r.name,
             r.threads,
-            r.committed,
             r.committed_per_sec(),
-            r.records,
-            r.fsyncs,
             r.records_per_fsync(),
-            r.log_bytes,
-            r.io_failures,
-            r.fsync_retries,
+            r.metrics.to_json(),
             if i + 1 == results.len() { "\n" } else { ",\n" },
         );
     }

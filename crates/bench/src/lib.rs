@@ -16,8 +16,9 @@
 
 pub mod baseline;
 pub mod commit_micro;
-pub mod hist;
 pub mod storage_micro;
+
+pub use ssi_obs::hist;
 
 use std::time::Duration;
 

@@ -51,6 +51,130 @@ impl fmt::Display for AbortKind {
     }
 }
 
+/// Fine-grained abort provenance: *which* site of the engine decided the
+/// abort, not just the coarse [`AbortKind`] bucket the figures use. Every
+/// engine abort records exactly one of these (counted per-reason by the
+/// transaction manager and attached to the returned [`Error::Aborted`]),
+/// so post-mortems can answer "why did this transaction die" without
+/// re-running the workload under a debugger.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum AbortReason {
+    /// First-committer-wins: a concurrent transaction committed a newer
+    /// version of an item this transaction wanted to update.
+    WriteConflict,
+    /// The lock manager broke a waits-for cycle by aborting this
+    /// transaction.
+    LockDeadlock,
+    /// A lock request waited past the configured limit. (Surfaced as
+    /// [`Error::LockTimeout`], not as `Aborted`; counted here so the
+    /// per-reason totals still cover the rollback it forces.)
+    LockTimeout,
+    /// Dangerous structure detected while this transaction, acting as the
+    /// *writer*, gained the incoming rw-antidependency edge that completed
+    /// a pivot (abort-early marking, or an edge into a committed pivot).
+    PivotIn,
+    /// Dangerous structure detected while this transaction, acting as the
+    /// *reader*, gained the outgoing rw-antidependency edge that completed
+    /// a pivot.
+    PivotOut,
+    /// The commit-time unsafe check (enhanced variant's ordering test, or
+    /// a read-only commit against a completed structure) failed.
+    UnsafeAtCommit,
+    /// The basic variant's packed-word flag check failed at a commit
+    /// transition (`in && out` observed by the entry or finalize CAS).
+    BasicFlagCheck,
+    /// A peer doomed this transaction (victim selection from another
+    /// thread); the doom was observed at the next operation or commit.
+    DoomedByPeer,
+    /// A speculatively read commit dependency aborted, cascading into this
+    /// transaction.
+    DependencyCascade,
+    /// A scan could not settle its gap region within the bounded number of
+    /// sweep passes (writer churn starvation).
+    GapSweepExhausted,
+    /// The database is in degraded (read-only) mode and rejected a write.
+    /// (Surfaced as [`Error::Degraded`]; counted here for the rollback.)
+    DegradedRejected,
+    /// The application rolled the transaction back (explicit `rollback`,
+    /// drop without commit, or a non-engine error inside an operation).
+    UserRollback,
+}
+
+impl AbortReason {
+    /// Number of distinct reasons (the length of [`AbortReason::ALL`]).
+    pub const COUNT: usize = 12;
+
+    /// Every reason, in `index()` order — iterate this to render the
+    /// per-reason counters.
+    pub const ALL: [AbortReason; AbortReason::COUNT] = [
+        AbortReason::WriteConflict,
+        AbortReason::LockDeadlock,
+        AbortReason::LockTimeout,
+        AbortReason::PivotIn,
+        AbortReason::PivotOut,
+        AbortReason::UnsafeAtCommit,
+        AbortReason::BasicFlagCheck,
+        AbortReason::DoomedByPeer,
+        AbortReason::DependencyCascade,
+        AbortReason::GapSweepExhausted,
+        AbortReason::DegradedRejected,
+        AbortReason::UserRollback,
+    ];
+
+    /// Dense index for per-reason counter arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable label used in metrics exposition and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::WriteConflict => "write-conflict",
+            AbortReason::LockDeadlock => "lock-deadlock",
+            AbortReason::LockTimeout => "lock-timeout",
+            AbortReason::PivotIn => "pivot-in",
+            AbortReason::PivotOut => "pivot-out",
+            AbortReason::UnsafeAtCommit => "unsafe-at-commit",
+            AbortReason::BasicFlagCheck => "basic-flag-check",
+            AbortReason::DoomedByPeer => "doomed-by-peer",
+            AbortReason::DependencyCascade => "dependency-cascade",
+            AbortReason::GapSweepExhausted => "gap-sweep-exhausted",
+            AbortReason::DegradedRejected => "degraded-rejected",
+            AbortReason::UserRollback => "user-rollback",
+        }
+    }
+
+    /// The coarse bucket this reason falls into (the thesis' breakdown).
+    pub fn kind(self) -> AbortKind {
+        match self {
+            AbortReason::WriteConflict => AbortKind::UpdateConflict,
+            AbortReason::LockDeadlock => AbortKind::Deadlock,
+            AbortReason::UserRollback => AbortKind::UserRequested,
+            AbortReason::LockTimeout
+            | AbortReason::PivotIn
+            | AbortReason::PivotOut
+            | AbortReason::UnsafeAtCommit
+            | AbortReason::BasicFlagCheck
+            | AbortReason::DoomedByPeer
+            | AbortReason::DependencyCascade
+            | AbortReason::GapSweepExhausted
+            | AbortReason::DegradedRejected => AbortKind::Unsafe,
+        }
+    }
+
+    /// Reconstructs a reason from its dense index (inverse of `index()`).
+    pub fn from_index(index: usize) -> Option<AbortReason> {
+        AbortReason::ALL.get(index).copied()
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Why a database entered degraded (read-only) mode. Degradation is a
 /// one-way transition taken when the durability subsystem can no longer
 /// guarantee that acknowledged commits reach stable storage; snapshot
@@ -100,12 +224,22 @@ impl fmt::Display for DegradedReason {
 }
 
 /// Errors surfaced by the storage engine and concurrency control layer.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Equality ignores the `reason` provenance of [`Error::Aborted`]: two
+/// aborts of the same kind and victim compare equal even when different
+/// sites produced them, so tests asserting on outcomes stay independent of
+/// which detection path fired first.
+#[derive(Clone, Debug)]
 pub enum Error {
     /// The transaction was aborted by the engine; the victim must roll back
-    /// and may retry. Carries the abort classification and the id of the
-    /// transaction that was sacrificed (usually the caller).
-    Aborted { kind: AbortKind, victim: TxnId },
+    /// and may retry. Carries the abort classification, the provenance of
+    /// the decision, and the id of the transaction that was sacrificed
+    /// (usually the caller).
+    Aborted {
+        kind: AbortKind,
+        reason: AbortReason,
+        victim: TxnId,
+    },
     /// An operation was attempted on a transaction that has already
     /// committed or rolled back.
     TransactionClosed,
@@ -131,10 +265,56 @@ pub enum Error {
     Degraded(DegradedReason),
 }
 
+impl PartialEq for Error {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                Error::Aborted { kind, victim, .. },
+                Error::Aborted {
+                    kind: k2,
+                    victim: v2,
+                    ..
+                },
+            ) => kind == k2 && victim == v2,
+            (Error::TransactionClosed, Error::TransactionClosed) => true,
+            (Error::NoSuchTable(a), Error::NoSuchTable(b)) => a == b,
+            (Error::TableExists(a), Error::TableExists(b)) => a == b,
+            (Error::LockTimeout, Error::LockTimeout) => true,
+            (Error::Internal(a), Error::Internal(b)) => a == b,
+            (Error::Durability(a), Error::Durability(b)) => a == b,
+            (Error::Degraded(a), Error::Degraded(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Error {}
+
 impl Error {
-    /// Constructs an abort error of the given kind for `victim`.
+    /// Constructs an abort error of the given kind for `victim`, with the
+    /// default provenance for that kind.
     pub fn abort(kind: AbortKind, victim: TxnId) -> Self {
-        Error::Aborted { kind, victim }
+        let reason = match kind {
+            AbortKind::Deadlock => AbortReason::LockDeadlock,
+            AbortKind::UpdateConflict => AbortReason::WriteConflict,
+            AbortKind::Unsafe => AbortReason::UnsafeAtCommit,
+            AbortKind::UserRequested => AbortReason::UserRollback,
+        };
+        Error::Aborted {
+            kind,
+            reason,
+            victim,
+        }
+    }
+
+    /// Constructs an abort error from its precise provenance; the coarse
+    /// kind is derived via [`AbortReason::kind`].
+    pub fn abort_with_reason(reason: AbortReason, victim: TxnId) -> Self {
+        Error::Aborted {
+            kind: reason.kind(),
+            reason,
+            victim,
+        }
     }
 
     /// Shorthand for a deadlock abort.
@@ -160,6 +340,28 @@ impl Error {
         }
     }
 
+    /// Returns the fine-grained provenance if this error is an abort.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        match self {
+            Error::Aborted { reason, .. } => Some(*reason),
+            _ => None,
+        }
+    }
+
+    /// The provenance the engine records when this error rolls a
+    /// transaction back: aborts carry their own reason, lock timeouts and
+    /// degraded-mode rejections map to their dedicated reasons, and every
+    /// other error (application logic, catalog misuse) counts as a user
+    /// rollback.
+    pub fn rollback_provenance(&self) -> AbortReason {
+        match self {
+            Error::Aborted { reason, .. } => *reason,
+            Error::LockTimeout => AbortReason::LockTimeout,
+            Error::Degraded(_) => AbortReason::DegradedRejected,
+            _ => AbortReason::UserRollback,
+        }
+    }
+
     /// True if the operation may be retried in a fresh transaction (all
     /// concurrency-control aborts are retryable; catalog and usage errors are
     /// not).
@@ -177,8 +379,12 @@ impl Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::Aborted { kind, victim } => {
-                write!(f, "transaction {victim} aborted ({kind})")
+            Error::Aborted {
+                kind,
+                reason,
+                victim,
+            } => {
+                write!(f, "transaction {victim} aborted ({kind}: {reason})")
             }
             Error::TransactionClosed => write!(f, "transaction is no longer active"),
             Error::NoSuchTable(name) => write!(f, "no such table: {name}"),
@@ -241,5 +447,59 @@ mod tests {
         assert_eq!(AbortKind::UpdateConflict.label(), "conflict");
         assert_eq!(AbortKind::Unsafe.label(), "unsafe");
         assert_eq!(AbortKind::UserRequested.label(), "user");
+    }
+
+    #[test]
+    fn reason_index_roundtrips_and_labels_are_unique() {
+        for (i, reason) in AbortReason::ALL.iter().enumerate() {
+            assert_eq!(reason.index(), i);
+            assert_eq!(AbortReason::from_index(i), Some(*reason));
+        }
+        assert_eq!(AbortReason::from_index(AbortReason::COUNT), None);
+        let mut labels: Vec<&str> = AbortReason::ALL.iter().map(|r| r.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), AbortReason::COUNT);
+    }
+
+    #[test]
+    fn reason_carries_through_errors_but_not_equality() {
+        let t = TxnId(3);
+        let a = Error::abort_with_reason(AbortReason::PivotIn, t);
+        let b = Error::abort_with_reason(AbortReason::BasicFlagCheck, t);
+        assert_eq!(a.abort_reason(), Some(AbortReason::PivotIn));
+        assert_eq!(a.abort_kind(), Some(AbortKind::Unsafe));
+        // Provenance is metadata: same kind + victim compare equal.
+        assert_eq!(a, b);
+        assert_ne!(a, Error::update_conflict(t));
+        assert_eq!(
+            Error::unsafe_abort(t).abort_reason(),
+            Some(AbortReason::UnsafeAtCommit)
+        );
+        assert_eq!(
+            Error::deadlock(t).abort_reason(),
+            Some(AbortReason::LockDeadlock)
+        );
+    }
+
+    #[test]
+    fn rollback_provenance_covers_non_abort_errors() {
+        let t = TxnId(1);
+        assert_eq!(
+            Error::update_conflict(t).rollback_provenance(),
+            AbortReason::WriteConflict
+        );
+        assert_eq!(
+            Error::LockTimeout.rollback_provenance(),
+            AbortReason::LockTimeout
+        );
+        assert_eq!(
+            Error::Degraded(DegradedReason::WalPoisoned).rollback_provenance(),
+            AbortReason::DegradedRejected
+        );
+        assert_eq!(
+            Error::NoSuchTable("x".into()).rollback_provenance(),
+            AbortReason::UserRollback
+        );
     }
 }

@@ -19,7 +19,7 @@ pub mod inline_vec;
 pub mod rng;
 pub mod stats;
 
-pub use error::{AbortKind, DegradedReason, Error, Result};
+pub use error::{AbortKind, AbortReason, DegradedReason, Error, Result};
 pub use ids::{IsolationLevel, TableId, Timestamp, TxnId, TS_INFINITY, TS_ZERO};
 pub use inline_vec::InlineVec;
 

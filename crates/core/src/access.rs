@@ -18,7 +18,7 @@ use std::ops::Bound;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use ssi_common::{Bytes, Error, IsolationLevel, Result, Timestamp, TxnId};
+use ssi_common::{AbortReason, Bytes, Error, IsolationLevel, Result, Timestamp, TxnId};
 use ssi_lock::{LockKey, LockMode};
 use ssi_storage::{as_ref_bound, clone_bound, VisibleRead};
 
@@ -53,7 +53,10 @@ impl Transaction {
     pub fn get(&mut self, table: &TableRef, key: &[u8]) -> Result<Option<Bytes>> {
         let table = table.clone();
         let key = key.to_vec();
-        self.run_op(move |txn| txn.do_get(&table, &key))
+        let t0 = self.db.metrics.read.start();
+        let result = self.run_op(move |txn| txn.do_get(&table, &key));
+        self.db.metrics.read.finish(t0);
+        result
     }
 
     /// Reads `key` with the intention to update it: the EXCLUSIVE lock is
@@ -93,7 +96,11 @@ impl Transaction {
         let table = table.clone();
         let lower: Bound<Vec<u8>> = clone_bound(lower);
         let upper: Bound<Vec<u8>> = clone_bound(upper);
-        self.run_op(move |txn| txn.do_scan(&table, as_ref_bound(&lower), as_ref_bound(&upper)))
+        let t0 = self.db.metrics.scan.start();
+        let result =
+            self.run_op(move |txn| txn.do_scan(&table, as_ref_bound(&lower), as_ref_bound(&upper)));
+        self.db.metrics.scan.finish(t0);
+        result
     }
 
     /// Scans all keys starting with `prefix`.
@@ -198,7 +205,10 @@ impl Transaction {
                 return Ok(missed);
             }
         }
-        Err(Error::unsafe_abort(self.shared.id()))
+        Err(Error::abort_with_reason(
+            AbortReason::GapSweepExhausted,
+            self.shared.id(),
+        ))
     }
 
     /// 2PL handling of keys [`Transaction::sweep_gap_region`] discovered:

@@ -9,6 +9,10 @@ use parking_lot::Mutex;
 
 use ssi_common::{DegradedReason, Error, IsolationLevel, Result, TableId, Timestamp};
 use ssi_lock::LockManager;
+use ssi_obs::{
+    EngineMetrics, EventKind, GcMetrics, HistSummary, LatencyMetrics, LockMetrics, MetricsSnapshot,
+    TableMetrics, Trace, TraceBatch, TraceHandle, TxnMetrics, WalMetrics,
+};
 use ssi_storage::{Catalog, PageMap, PurgeStats, Table, WriteAheadLog};
 use ssi_wal::{
     CheckpointStats, Checkpointer, PoisonCause, Recovered, StdVfs, SyncPolicy, Vfs, WalStats,
@@ -105,6 +109,10 @@ pub(crate) struct DbInner {
     /// Health state machine (`Healthy → Degraded → Closed`), shared with
     /// the background maintenance threads.
     pub(crate) health: Arc<HealthCell>,
+    /// Engine-wide observability: sampled latency recorders plus the
+    /// (optional) event trace. Shared with the WAL and the maintenance
+    /// threads.
+    pub(crate) metrics: Arc<EngineMetrics>,
     /// Background maintenance threads (dedicated WAL flusher, incremental
     /// GC). The threads hold `Arc`s to the shared pieces above — never to
     /// `DbInner` itself, so dropping the last database handle still runs
@@ -159,6 +167,8 @@ impl DbInner {
         // Lock order is checkpoint_lock -> create_lock; the create path
         // takes only create_lock, so there is no cycle.
         let _creates_quiesced = durable.create_lock.lock();
+        self.metrics.trace.emit(EventKind::Checkpoint, 0, 0, 0);
+        let t0 = std::time::Instant::now();
         let (cut_ts, old_seq) = durable
             .wal
             .rotate(|| self.txns.current_ts())
@@ -166,6 +176,10 @@ impl DbInner {
         let stats = Checkpointer::with_vfs(durable.vfs.clone(), &durable.dir)
             .run(&self.catalog, cut_ts, old_seq)
             .map_err(|e| Error::Durability(format!("checkpoint at ts {cut_ts} failed: {e}")))?;
+        self.metrics.checkpoint.record(t0.elapsed());
+        self.metrics
+            .trace
+            .emit(EventKind::Checkpoint, 1, old_seq, 0);
         *durable.auto_checkpoint_error.lock() = None;
         Ok(stats)
     }
@@ -202,6 +216,14 @@ impl DbInner {
                 .stats()
                 .degraded_transitions
                 .fetch_add(1, Ordering::Relaxed);
+            // Degrades only ever leave Healthy (code 0), so the CAS winner
+            // knows both sides of the transition.
+            self.metrics.trace.emit(
+                EventKind::Health,
+                crate::health::reason_code(reason) as u64,
+                0,
+                0,
+            );
         }
     }
 
@@ -224,9 +246,18 @@ impl DbInner {
     /// ([`TransactionManager::gc_horizon`]) and records the result in
     /// [`crate::manager::ManagerStats`].
     pub(crate) fn purge(&self) -> PurgeStats {
+        let t0 = std::time::Instant::now();
         let horizon = self.txns.gc_horizon();
         let stats = self.catalog.purge_old_versions(horizon);
         self.txns.stats().record_purge(&stats, false);
+        let elapsed = t0.elapsed();
+        self.metrics.gc_pass.record(elapsed);
+        self.metrics.trace.emit(
+            EventKind::GcPass,
+            stats.versions,
+            stats.chains,
+            elapsed.as_nanos() as u64,
+        );
         stats
     }
 
@@ -337,6 +368,14 @@ impl Database {
         let catalog = Arc::new(Catalog::new());
         let txns = Arc::new(TransactionManager::new());
         let health = Arc::new(HealthCell::default());
+        let trace = match options.trace_capacity {
+            Some(capacity) => TraceHandle::enabled(Arc::new(Trace::new(capacity))),
+            None => TraceHandle::disabled(),
+        };
+        let metrics = Arc::new(EngineMetrics::new(options.latency_sample_shift, trace));
+        // The manager emits txn lifecycle events; install the handle before
+        // the first transaction can begin.
+        txns.set_trace(metrics.trace.clone());
         let durable = match options.durability.mode {
             Durability::Off => None,
             mode => {
@@ -395,6 +434,9 @@ impl Database {
                 {
                     wal.attach_flusher();
                 }
+                // Fsync latency + WAL seal/fsync/rotate trace events flow
+                // through the shared recorders.
+                wal.set_obs(metrics.clone());
                 Some(DurableState {
                     wal,
                     dir,
@@ -414,6 +456,7 @@ impl Database {
             catalog.clone(),
             txns.clone(),
             health.clone(),
+            metrics.clone(),
         );
         let inner = DbInner {
             locks: LockManager::new(options.lock.clone()),
@@ -424,6 +467,7 @@ impl Database {
             history,
             durable,
             health,
+            metrics,
             maintenance,
             options,
             commits_since_purge: AtomicU64::new(0),
@@ -580,6 +624,105 @@ impl Database {
     /// `None` when durability is off.
     pub fn durability_stats(&self) -> Option<&WalStats> {
         self.inner.durable.as_ref().map(|d| d.wal.stats())
+    }
+
+    /// One consistent-enough snapshot of every engine metric: transaction
+    /// counters with per-reason abort provenance, GC, WAL, lock-manager and
+    /// per-table storage counters, health, and the in-engine latency
+    /// histograms. Counters are read individually (relaxed), so the
+    /// snapshot is not a linearizable cut — but each counter is monotone
+    /// and the cross-counter invariants (`committed + aborted <= started`,
+    /// per-reason aborts summing to `aborted`) hold for any interleaving.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let s = self.inner.txns.stats();
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let txn = TxnMetrics {
+            started: load(&s.started),
+            committed: load(&s.committed),
+            aborted: load(&s.aborted),
+            suspended: load(&s.suspended),
+            cleaned: load(&s.cleaned),
+            publish_parks: load(&s.publish_parks),
+            read_publication_waits: load(&s.read_publication_waits),
+            speculative_reads: load(&s.speculative_reads),
+            commit_dependencies: load(&s.commit_dependencies),
+            dependency_cascade_aborts: load(&s.dependency_cascade_aborts),
+            watermark_sweeps: load(&s.watermark_sweeps),
+            abort_reasons: s.abort_reason_counts(),
+        };
+        let gc = GcMetrics {
+            purge_runs: load(&s.purge_runs),
+            background_purge_runs: load(&s.background_purge_runs),
+            purged_versions: load(&s.purged_versions),
+            purged_chains: load(&s.purged_chains),
+        };
+        let wal = match self.durability_stats() {
+            None => WalMetrics::default(),
+            Some(w) => WalMetrics {
+                enabled: true,
+                records: load(&w.records),
+                bytes: load(&w.bytes),
+                fsyncs: load(&w.fsyncs),
+                seal_batches: load(&w.seal_batches),
+                flusher_fsyncs: load(&w.flusher_fsyncs),
+                flusher_batches: load(&w.flusher_batches),
+                io_failures: load(&w.io_failures),
+                fsync_retries: load(&w.fsync_retries),
+                reclaim_attempts: load(&w.reclaim_attempts),
+            },
+        };
+        let (requests, waits, deadlocks, timeouts) = self.inner.locks.stats().snapshot();
+        let locks = LockMetrics {
+            requests,
+            waits,
+            deadlocks,
+            timeouts,
+        };
+        let tables = self
+            .inner
+            .catalog
+            .tables()
+            .iter()
+            .map(|t| TableMetrics {
+                name: t.name().to_string(),
+                keys: t.key_count() as u64,
+                versions: t.version_count() as u64,
+            })
+            .collect();
+        let health = match self.health() {
+            DbHealth::Healthy => "healthy".to_string(),
+            DbHealth::Degraded { reason } => format!("degraded:{reason}"),
+            DbHealth::Closed => "closed".to_string(),
+        };
+        let m = &self.inner.metrics;
+        let summarize = |h: &ssi_obs::SampledHist| HistSummary::of(&h.snapshot(), h.sample_every());
+        let latency = LatencyMetrics {
+            commit: summarize(&m.commit),
+            commit_section: summarize(&m.commit_section),
+            read: summarize(&m.read),
+            scan: summarize(&m.scan),
+            fsync: summarize(&m.fsync),
+            checkpoint: summarize(&m.checkpoint),
+            gc_pass: summarize(&m.gc_pass),
+        };
+        MetricsSnapshot {
+            txn,
+            gc,
+            wal,
+            locks,
+            tables,
+            health,
+            latency,
+            trace_dropped: m.trace.dropped(),
+            trace_enabled: m.trace.is_enabled(),
+        }
+    }
+
+    /// Drains the event trace: all buffered events in timestamp order plus
+    /// the drop count, resetting the rings. `None` unless the database was
+    /// opened with [`Options::with_tracing`].
+    pub fn drain_trace(&self) -> Option<TraceBatch> {
+        self.inner.metrics.trace.drain()
     }
 
     /// What crash recovery found when this database was opened; `None`

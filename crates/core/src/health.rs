@@ -42,7 +42,9 @@ const WAL_THREAD_PANIC: u8 = 3;
 const GC_THREAD_PANIC: u8 = 4;
 const CLOSED: u8 = 5;
 
-fn reason_code(reason: DegradedReason) -> u8 {
+/// Stable numeric code of a degradation reason, also used as the `state`
+/// payload of [`ssi_obs::EventKind::Health`] trace events (0 = healthy).
+pub(crate) fn reason_code(reason: DegradedReason) -> u8 {
     match reason {
         DegradedReason::WalPoisoned => WAL_POISONED,
         DegradedReason::OutOfSpace => OUT_OF_SPACE,

@@ -91,7 +91,13 @@ pub use verify::{
     WriteRecordEntry,
 };
 
-pub use ssi_common::{AbortKind, DegradedReason, Error, IsolationLevel, Result, TxnId};
+pub use ssi_common::{
+    AbortKind, AbortReason, DegradedReason, Error, IsolationLevel, Result, TxnId,
+};
+pub use ssi_obs::{
+    EngineMetrics, EventKind, GcMetrics, HistSummary, LatencyMetrics, LockMetrics, MetricsSnapshot,
+    TableMetrics, TraceBatch, TraceEvent, TxnMetrics, WalMetrics,
+};
 pub use ssi_storage::PurgeStats;
 pub use ssi_wal::{
     CheckpointStats, FaultMode, FaultOp, FaultRule, FaultVfs, FlushEvent, FlushReason, Recovered,

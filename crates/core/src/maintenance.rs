@@ -50,6 +50,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use ssi_common::DegradedReason;
+use ssi_obs::{EngineMetrics, EventKind};
 use ssi_storage::{Catalog, PurgeStats, SHARD_COUNT};
 use ssi_wal::{FlushEvent, FlusherConfig, PoisonCause, WalWriter};
 
@@ -117,6 +118,7 @@ impl MaintenanceHub {
         catalog: Arc<Catalog>,
         txns: Arc<TransactionManager>,
         health: Arc<HealthCell>,
+        metrics: Arc<EngineMetrics>,
     ) -> Option<MaintenanceHub> {
         let flusher_wal = match (&wal, options.flush_max_delay) {
             (Some(wal), Some(_)) if wal.has_flusher() => Some(wal.clone()),
@@ -188,7 +190,14 @@ impl MaintenanceHub {
                 .name("ssi-gc".into())
                 .spawn(move || {
                     let run = catch_unwind(AssertUnwindSafe(|| {
-                        gc_loop(&shared, &catalog, &txns, interval, shards_per_pass)
+                        gc_loop(
+                            &shared,
+                            &catalog,
+                            &txns,
+                            &metrics,
+                            interval,
+                            shards_per_pass,
+                        )
                     }));
                     if run.is_err() {
                         // A dead GC thread stops reclamation but not
@@ -284,6 +293,7 @@ fn gc_loop(
     shared: &HubShared,
     catalog: &Catalog,
     txns: &TransactionManager,
+    metrics: &EngineMetrics,
     interval: Duration,
     shards_per_pass: usize,
 ) {
@@ -310,6 +320,7 @@ fn gc_loop(
         shared.observe(MaintenanceEvent::GcPassStart {
             first_shard: cursor,
         });
+        let t0 = Instant::now();
         let horizon = txns.gc_horizon();
         let mut stats = PurgeStats::at(horizon);
         for table in catalog.tables() {
@@ -319,6 +330,14 @@ fn gc_loop(
         }
         cursor = (cursor + shards_per_pass) % SHARD_COUNT;
         txns.stats().record_purge(&stats, true);
+        let elapsed = t0.elapsed();
+        metrics.gc_pass.record(elapsed);
+        metrics.trace.emit(
+            EventKind::GcPass,
+            stats.versions,
+            stats.chains,
+            elapsed.as_nanos() as u64,
+        );
         shared.observe(MaintenanceEvent::GcPassEnd {
             versions: stats.versions,
             chains: stats.chains,

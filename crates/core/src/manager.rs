@@ -156,8 +156,9 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
-use ssi_common::{IsolationLevel, Timestamp, TxnId};
+use ssi_common::{AbortReason, IsolationLevel, Timestamp, TxnId, TS_ZERO};
 use ssi_lock::{FxBuildHasher, LockKey, LockManager, LockMode};
+use ssi_obs::{EventKind, TraceHandle};
 
 use crate::txn_shared::TxnShared;
 
@@ -353,6 +354,11 @@ pub struct ManagerStats {
     /// `Healthy → Degraded` health transitions (at most 1 per database:
     /// degradation is one-way and first-cause-wins).
     pub degraded_transitions: AtomicU64,
+    /// Aborts broken down by typed [`AbortReason`], indexed by
+    /// `AbortReason::index()`. Bumped in the same place as `aborted`
+    /// ([`TransactionManager::finish_abort`] is the only incrementer of
+    /// either), so the per-reason counts always sum to `aborted`.
+    pub abort_reasons: [AtomicU64; AbortReason::COUNT],
 }
 
 impl ManagerStats {
@@ -368,6 +374,16 @@ impl ManagerStats {
             .fetch_add(stats.versions, Ordering::Relaxed);
         self.purged_chains
             .fetch_add(stats.chains, Ordering::Relaxed);
+    }
+
+    /// Loads the per-reason abort counters as plain values.
+    pub fn abort_reason_counts(&self) -> [u64; AbortReason::COUNT] {
+        std::array::from_fn(|i| self.abort_reasons[i].load(Ordering::Relaxed))
+    }
+
+    /// Aborts recorded for one specific reason.
+    pub fn aborts_for(&self, reason: AbortReason) -> u64 {
+        self.abort_reasons[reason.index()].load(Ordering::Relaxed)
     }
 }
 
@@ -441,6 +457,9 @@ pub struct TransactionManager {
     commit_hook_set: std::sync::atomic::AtomicBool,
     /// Activity counters.
     stats: ManagerStats,
+    /// Event-trace handle, bound once by `Database::try_open` (disabled for
+    /// managers built outside a `Database`, e.g. in unit tests).
+    trace: std::sync::OnceLock<TraceHandle>,
 }
 
 impl TransactionManager {
@@ -470,7 +489,20 @@ impl TransactionManager {
             commit_pause_hook: Mutex::new(None),
             commit_hook_set: std::sync::atomic::AtomicBool::new(false),
             stats: ManagerStats::default(),
+            trace: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Binds the event-trace handle. Called once at database open, before
+    /// any transaction begins; later calls are ignored.
+    pub(crate) fn set_trace(&self, trace: TraceHandle) {
+        let _ = self.trace.set(trace);
+    }
+
+    /// The bound trace handle (disabled when none was bound).
+    #[inline]
+    pub(crate) fn trace(&self) -> &TraceHandle {
+        self.trace.get_or_init(TraceHandle::disabled)
     }
 
     /// Restores the clocks after crash recovery: the snapshot clock and the
@@ -505,6 +537,8 @@ impl TransactionManager {
         let shared = Arc::new(TxnShared::new(id, isolation));
         self.shard(id).lock().records.insert(id, shared.clone());
         self.stats.started.fetch_add(1, Ordering::Relaxed);
+        self.trace()
+            .emit(EventKind::TxnBegin, id.0, self.current_ts(), 0);
         shared
     }
 
@@ -872,6 +906,12 @@ impl TransactionManager {
     /// outgoing conflict, even if its SIREAD locks were all upgraded away.
     pub fn finish_commit(&self, txn: &Arc<TxnShared>, siread_locks: Vec<LockKey>, suspend: bool) {
         self.stats.committed.fetch_add(1, Ordering::Relaxed);
+        self.trace().emit(
+            EventKind::TxnCommit,
+            txn.id().0,
+            txn.commit_ts().unwrap_or(TS_ZERO),
+            0,
+        );
         if !suspend {
             debug_assert!(siread_locks.is_empty());
             self.retire(txn);
@@ -890,9 +930,15 @@ impl TransactionManager {
         }
     }
 
-    /// Records that `txn` aborted and retires its record.
-    pub fn finish_abort(&self, txn: &Arc<TxnShared>) {
+    /// Records that `txn` aborted (with its typed provenance) and retires
+    /// its record. This is the single incrementer of both `aborted` and the
+    /// per-reason counters, so the per-reason sum equals `aborted` by
+    /// construction.
+    pub fn finish_abort(&self, txn: &Arc<TxnShared>, reason: AbortReason) {
         self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+        self.stats.abort_reasons[reason.index()].fetch_add(1, Ordering::Relaxed);
+        self.trace()
+            .emit(EventKind::TxnAbort, txn.id().0, reason.index() as u64, 0);
         self.retire(txn);
         txn.clear_conflicts();
     }
@@ -1180,7 +1226,7 @@ mod tests {
         m.finish_commit(&a, Vec::new(), false);
         assert_eq!(m.oldest_active_begin(), b.begin_ts().unwrap());
         b.mark_aborted();
-        m.finish_abort(&b);
+        m.finish_abort(&b, AbortReason::UserRollback);
         assert_eq!(m.oldest_active_begin(), Timestamp::MAX);
     }
 
@@ -1208,7 +1254,7 @@ mod tests {
             .unwrap();
         let t = txns.remove(oldest);
         t.mark_aborted();
-        m.finish_abort(&t);
+        m.finish_abort(&t, AbortReason::UserRollback);
         let expected = txns.iter().filter_map(|t| t.begin_ts()).min().unwrap();
         assert_eq!(m.oldest_active_begin(), expected);
     }
@@ -1270,7 +1316,7 @@ mod tests {
         // The pinning reader finishes: the next cleanup re-sweeps once and
         // reclaims.
         pin.mark_aborted();
-        m.finish_abort(&pin);
+        m.finish_abort(&pin, AbortReason::UserRollback);
         assert_eq!(m.cleanup_suspended(&locks), 1);
         assert_eq!(sweeps(&m), after_first + 1);
         assert_eq!(m.suspended_len(), 0);
@@ -1306,7 +1352,7 @@ mod tests {
 
         // Once A finishes, R goes.
         a.mark_aborted();
-        m.finish_abort(&a);
+        m.finish_abort(&a, AbortReason::UserRollback);
         assert_eq!(m.cleanup_suspended(&locks), 1);
     }
 
@@ -1341,7 +1387,7 @@ mod tests {
             assert!(h >= last, "horizon went backwards: {h} < {last}");
             last = h;
             t.mark_aborted();
-            m.finish_abort(&t);
+            m.finish_abort(&t, AbortReason::UserRollback);
             let h = m.gc_horizon();
             assert!(h >= last, "horizon went backwards: {h} < {last}");
             last = h;
@@ -1428,7 +1474,7 @@ mod tests {
         a.mark_committed(2);
         m.finish_commit(&a, Vec::new(), false);
         b.mark_aborted();
-        m.finish_abort(&b);
+        m.finish_abort(&b, AbortReason::UserRollback);
         m.cleanup_suspended(&locks);
         let s = m.stats();
         assert_eq!(s.started.load(Ordering::Relaxed), 2);

@@ -248,6 +248,16 @@ pub struct Options {
     pub maintenance: MaintenanceOptions,
     /// Lock manager configuration.
     pub lock: LockConfig,
+    /// Capacity (in events) of the lock-free engine event trace, drained
+    /// with [`crate::Database::drain_trace`]. `None` (the default) disables
+    /// tracing entirely — every emit site reduces to one branch.
+    pub trace_capacity: Option<usize>,
+    /// In-engine latency histograms sample 1 in `2^latency_sample_shift`
+    /// hot-path operations (commits, reads, scans). The default of 6 (1 in
+    /// 64) keeps the clean-path overhead within benchmark noise; 0 records
+    /// every operation. Rare events (fsync, checkpoint, GC pass) are always
+    /// recorded regardless.
+    pub latency_sample_shift: u32,
 }
 
 impl Default for Options {
@@ -264,6 +274,8 @@ impl Default for Options {
             purge_every_commits: None,
             maintenance: MaintenanceOptions::default(),
             lock: LockConfig::default(),
+            trace_capacity: None,
+            latency_sample_shift: 6,
         }
     }
 }
@@ -351,6 +363,21 @@ impl Options {
     /// [`MaintenanceOptions::gc_interval`]).
     pub fn with_background_gc(mut self, interval: Duration) -> Self {
         self.maintenance.gc_interval = Some(interval);
+        self
+    }
+
+    /// Enables the engine event trace with room for `capacity` events (see
+    /// [`Options::trace_capacity`]). Panics if `capacity` is zero.
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the latency-histogram sampling shift (see
+    /// [`Options::latency_sample_shift`]).
+    pub fn with_latency_sample_shift(mut self, shift: u32) -> Self {
+        self.latency_sample_shift = shift;
         self
     }
 }

@@ -65,7 +65,8 @@ use std::sync::Arc;
 
 use parking_lot::MutexGuard;
 
-use ssi_common::{Error, Result, Timestamp, TxnId};
+use ssi_common::{AbortReason, Error, Result, Timestamp, TxnId};
+use ssi_obs::EventKind;
 
 use crate::manager::TransactionManager;
 use crate::options::{SsiOptions, SsiVariant, VictimPolicy};
@@ -233,6 +234,27 @@ fn select_victim(
     Some(victim)
 }
 
+/// The pivot-flavoured abort reason for a caller killed by victim selection
+/// or a committed-pivot rule: a reader caller just gained the *outgoing*
+/// edge of the dangerous structure, a writer caller the *incoming* one.
+fn caller_pivot_reason(caller: CallerRole) -> AbortReason {
+    match caller {
+        CallerRole::Reader => AbortReason::PivotOut,
+        CallerRole::Writer => AbortReason::PivotIn,
+    }
+}
+
+/// Provenance for a failed basic-variant commit-word CAS: the word carries
+/// either the doomed flag (another transaction selected us) or both
+/// conflict flags (the Fig. 3.2 commit-time flag check fired).
+fn basic_commit_word_reason(txn: &TxnShared) -> AbortReason {
+    if txn.is_doomed() {
+        txn.doom_reason()
+    } else {
+        AbortReason::BasicFlagCheck
+    }
+}
+
 /// Marks a read-write dependency from `reader` to `writer` (Figs. 3.3/3.9),
 /// applying abort-early victim selection (Sec. 3.7.1, 3.7.2).
 ///
@@ -251,7 +273,7 @@ pub(crate) fn mark_conflict(
     }
     let _gate = opts.lockstep_commit.then(|| mgr.commit_gate());
     match opts.variant {
-        SsiVariant::Basic => mark_conflict_basic(opts, reader, writer, caller),
+        SsiVariant::Basic => mark_conflict_basic(mgr, opts, reader, writer, caller),
         SsiVariant::Enhanced => mark_conflict_enhanced(mgr, opts, reader, writer, caller),
     }
 }
@@ -261,6 +283,7 @@ pub(crate) fn mark_conflict(
 /// preconditions (Fig. 3.3) against the word it is about to update, so a
 /// concurrent commit or doom is either observed here or observes the flag.
 fn mark_conflict_basic(
+    mgr: &TransactionManager,
     opts: &SsiOptions,
     reader: &Arc<TxnShared>,
     writer: &Arc<TxnShared>,
@@ -277,7 +300,10 @@ fn mark_conflict_basic(
     // global-mutex implementation did; the caller's CAS loop below
     // re-checks in case the doom lands mid-call.
     if caller_txn.is_doomed() {
-        return Err(Error::unsafe_abort(caller_txn.id()));
+        return Err(Error::abort_with_reason(
+            caller_txn.doom_reason(),
+            caller_txn.id(),
+        ));
     }
 
     // The other party's word first: a transaction that already aborted — or
@@ -293,7 +319,8 @@ fn mark_conflict_basic(
             TxnStatus::Aborted => return Ok(()),
             _ if word & WORD_DOOMED != 0 => return Ok(()),
             TxnStatus::Committed if word & complement_bit != 0 => {
-                return Err(Error::unsafe_abort(caller_txn.id()));
+                let reason = caller_pivot_reason(caller);
+                return Err(Error::abort_with_reason(reason, caller_txn.id()));
             }
             _ => {}
         }
@@ -312,7 +339,10 @@ fn mark_conflict_basic(
     let mut word = caller_txn.load_word();
     loop {
         if word & WORD_DOOMED != 0 {
-            return Err(Error::unsafe_abort(caller_txn.id()));
+            return Err(Error::abort_with_reason(
+                caller_txn.doom_reason(),
+                caller_txn.id(),
+            ));
         }
         if word & caller_bit != 0 {
             break;
@@ -322,6 +352,8 @@ fn mark_conflict_basic(
             Err(current) => word = current,
         }
     }
+    mgr.trace()
+        .emit(EventKind::ConflictEdge, reader.id().0, writer.id().0, 0);
 
     // Abort-early victim selection (Sec. 3.7.1/3.7.2) on fresh word loads:
     // a pivot is a single word showing active + in + out, so the test is
@@ -342,8 +374,14 @@ fn mark_conflict_basic(
         }
     }
     if let Some(victim) = select_victim(opts, reader, writer, caller_txn.id(), &pivots) {
+        let pivot = *pivots.first().unwrap_or(&victim);
+        mgr.trace()
+            .emit(EventKind::PivotDetected, pivot.0, victim.0, 0);
         if victim == caller_txn.id() {
-            return Err(Error::unsafe_abort(victim));
+            return Err(Error::abort_with_reason(
+                caller_pivot_reason(caller),
+                victim,
+            ));
         }
         if other.id() == victim {
             // Doom the other party only while it is still active; a pivot
@@ -380,7 +418,10 @@ fn mark_conflict_enhanced(
         return Ok(());
     }
     if caller_txn.is_doomed() {
-        return Err(Error::unsafe_abort(caller_txn.id()));
+        return Err(Error::abort_with_reason(
+            caller_txn.doom_reason(),
+            caller_txn.id(),
+        ));
     }
 
     // Fig. 3.9: only the committed-writer case can require an abort; if the
@@ -400,7 +441,8 @@ fn mark_conflict_enhanced(
         if wc.out_edge.is_set() {
             let out_commit = settled_outgoing_bound(mgr, writer, &wc.out_edge);
             if out_commit <= commit {
-                return Err(Error::unsafe_abort(caller_txn.id()));
+                let reason = caller_pivot_reason(caller);
+                return Err(Error::abort_with_reason(reason, caller_txn.id()));
             }
         }
     }
@@ -425,6 +467,8 @@ fn mark_conflict_enhanced(
         _ => ConflictEdge::SelfLoop,
     };
     writer.set_in_flag();
+    mgr.trace()
+        .emit(EventKind::ConflictEdge, reader.id().0, writer.id().0, 0);
 
     // Abort-early victim selection (Sec. 3.7.1/3.7.2).
     if !opts.abort_early {
@@ -438,8 +482,14 @@ fn mark_conflict_enhanced(
         pivots.push(writer.id());
     }
     if let Some(victim) = select_victim(opts, reader, writer, caller_txn.id(), &pivots) {
+        let pivot = *pivots.first().unwrap_or(&victim);
+        mgr.trace()
+            .emit(EventKind::PivotDetected, pivot.0, victim.0, 0);
         if victim == caller_txn.id() {
-            return Err(Error::unsafe_abort(victim));
+            return Err(Error::abort_with_reason(
+                caller_pivot_reason(caller),
+                victim,
+            ));
         }
         if other.id() == victim {
             // Dooming under the victim's conflict mutex: its commit check
@@ -474,7 +524,7 @@ pub(crate) fn mark_conflict_with_retired_writer(
             let mut word = reader.load_word();
             loop {
                 if word & WORD_DOOMED != 0 {
-                    return Err(Error::unsafe_abort(reader.id()));
+                    return Err(Error::abort_with_reason(reader.doom_reason(), reader.id()));
                 }
                 if word & WORD_OUT != 0 {
                     break;
@@ -490,7 +540,9 @@ pub(crate) fn mark_conflict_with_retired_writer(
                     && word & WORD_IN != 0
                     && word & WORD_OUT != 0
                 {
-                    return Err(Error::unsafe_abort(reader.id()));
+                    mgr.trace()
+                        .emit(EventKind::PivotDetected, reader.id().0, reader.id().0, 0);
+                    return Err(Error::abort_with_reason(AbortReason::PivotOut, reader.id()));
                 }
             }
             Ok(())
@@ -498,12 +550,14 @@ pub(crate) fn mark_conflict_with_retired_writer(
         SsiVariant::Enhanced => {
             let mut st = reader.conflicts.lock();
             if reader.is_doomed() {
-                return Err(Error::unsafe_abort(reader.id()));
+                return Err(Error::abort_with_reason(reader.doom_reason(), reader.id()));
             }
             st.out_edge = ConflictEdge::SelfLoop;
             reader.set_out_flag();
             if opts.abort_early && reader.is_active() && conflict_state_unsafe(opts, reader, &st) {
-                return Err(Error::unsafe_abort(reader.id()));
+                mgr.trace()
+                    .emit(EventKind::PivotDetected, reader.id().0, reader.id().0, 0);
+                return Err(Error::abort_with_reason(AbortReason::PivotOut, reader.id()));
             }
             Ok(())
         }
@@ -521,10 +575,13 @@ fn enhanced_commit_check_locked(
     st: &mut ConflictState,
 ) -> Result<()> {
     if txn.is_doomed() {
-        return Err(Error::unsafe_abort(txn.id()));
+        return Err(Error::abort_with_reason(txn.doom_reason(), txn.id()));
     }
     if unsafe_at_commit(mgr, txn, st) {
-        return Err(Error::unsafe_abort(txn.id()));
+        return Err(Error::abort_with_reason(
+            AbortReason::UnsafeAtCommit,
+            txn.id(),
+        ));
     }
     if let ConflictEdge::Txn(other) = &st.in_edge {
         if other.is_committed() {
@@ -588,14 +645,17 @@ pub(crate) fn begin_commit(
     match opts.variant {
         SsiVariant::Basic => {
             if txn.enter_committing(true).is_err() {
-                return Err(Error::unsafe_abort(txn.id()));
+                return Err(Error::abort_with_reason(
+                    basic_commit_word_reason(txn),
+                    txn.id(),
+                ));
             }
         }
         SsiVariant::Enhanced => {
             let mut st = txn.conflicts.lock();
             enhanced_commit_check_locked(mgr, txn, &mut st)?;
             if txn.enter_committing(false).is_err() {
-                return Err(Error::unsafe_abort(txn.id()));
+                return Err(Error::abort_with_reason(txn.doom_reason(), txn.id()));
             }
         }
     }
@@ -620,7 +680,13 @@ pub(crate) fn finalize_commit(opts: &SsiOptions, txn: &Arc<TxnShared>) -> Result
     let check_pivot = matches!(opts.variant, SsiVariant::Basic);
     match txn.finalize_commit(check_pivot) {
         Ok(()) => Ok(()),
-        Err(_) => Err(Error::unsafe_abort(txn.id())),
+        Err(word) if word & WORD_DOOMED != 0 => {
+            Err(Error::abort_with_reason(txn.doom_reason(), txn.id()))
+        }
+        Err(_) => Err(Error::abort_with_reason(
+            AbortReason::BasicFlagCheck,
+            txn.id(),
+        )),
     }
 }
 
@@ -638,7 +704,10 @@ pub(crate) fn commit_read_only(
             let ts = mgr.current_ts();
             match txn.try_commit_word(ts, true) {
                 Ok(()) => Ok(ts),
-                Err(_) => Err(Error::unsafe_abort(txn.id())),
+                Err(_) => Err(Error::abort_with_reason(
+                    basic_commit_word_reason(txn),
+                    txn.id(),
+                )),
             }
         }
         SsiVariant::Enhanced => {
@@ -647,7 +716,7 @@ pub(crate) fn commit_read_only(
             let ts = mgr.current_ts();
             match txn.try_commit_word(ts, false) {
                 Ok(()) => Ok(ts),
-                Err(_) => Err(Error::unsafe_abort(txn.id())),
+                Err(_) => Err(Error::abort_with_reason(txn.doom_reason(), txn.id())),
             }
         }
     }

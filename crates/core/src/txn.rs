@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use ssi_common::{Error, IsolationLevel, Result, Timestamp, TxnId};
+use ssi_common::{AbortReason, Error, IsolationLevel, Result, Timestamp, TxnId};
 use ssi_lock::{LockKey, LockMode, LockOutcome, ModeSet};
 use ssi_storage::{Table, Version};
 
@@ -111,8 +111,9 @@ impl Transaction {
             _ => return Err(Error::TransactionClosed),
         }
         if self.shared.is_doomed() {
-            self.abort_internal();
-            return Err(Error::unsafe_abort(self.shared.id()));
+            let reason = self.shared.doom_reason();
+            self.abort_internal(reason);
+            return Err(Error::abort_with_reason(reason, self.shared.id()));
         }
         Ok(())
     }
@@ -133,7 +134,7 @@ impl Transaction {
         match body(self) {
             Ok(v) => Ok(v),
             Err(e) => {
-                self.abort_internal();
+                self.abort_internal(e.rollback_provenance());
                 Err(e)
             }
         }
@@ -166,13 +167,23 @@ impl Transaction {
     /// requires commits to become visible in timestamp order, so durable
     /// commits finalize before stamping and keep the ordered-publication
     /// wait on the commit path (never on the read path).
-    pub fn commit(mut self) -> Result<()> {
+    pub fn commit(self) -> Result<()> {
+        // Whole-commit latency, including aborted attempts (sampled).
+        let metrics = self.db.metrics.clone();
+        let t0 = metrics.commit.start();
+        let result = self.commit_inner();
+        metrics.commit.finish(t0);
+        result
+    }
+
+    fn commit_inner(mut self) -> Result<()> {
         if self.state != LocalState::Active {
             return Err(Error::TransactionClosed);
         }
         if self.shared.is_doomed() {
-            self.abort_internal();
-            return Err(Error::unsafe_abort(self.shared.id()));
+            let reason = self.shared.doom_reason();
+            self.abort_internal(reason);
+            return Err(Error::abort_with_reason(reason, self.shared.id()));
         }
         let is_ssi = self.shared.isolation() == IsolationLevel::SerializableSnapshotIsolation;
         let has_writes = !self.writes.is_empty();
@@ -204,6 +215,9 @@ impl Transaction {
             .ssi
             .lockstep_commit
             .then(|| db.txns.commit_gate());
+        // Commit-section latency (entry into the commit point through the
+        // settled stamps; sampled, recorded for successful sections only).
+        let section_t0 = db.metrics.commit_section.start();
         let commit_ts = if has_writes {
             // Writers open a `Committing` window: the unsafe check runs on
             // entry and the timestamp is allocated strictly *after* entry —
@@ -226,7 +240,7 @@ impl Transaction {
             match entered {
                 Ok(ts) => ts,
                 Err(e) => {
-                    self.abort_internal();
+                    self.abort_internal(e.rollback_provenance());
                     return Err(e);
                 }
             }
@@ -236,7 +250,7 @@ impl Transaction {
             // been confirmed, since a read-only answer derived from a
             // rolled-back version must not be returned as committed.
             if let Err(e) = self.wait_for_dependencies() {
-                self.abort_internal();
+                self.abort_internal(e.rollback_provenance());
                 return Err(e);
             }
             let settled = if is_ssi {
@@ -252,7 +266,7 @@ impl Transaction {
             match settled {
                 Ok(ts) => ts,
                 Err(e) => {
-                    self.abort_internal();
+                    self.abort_internal(e.rollback_provenance());
                     return Err(e);
                 }
             }
@@ -274,7 +288,7 @@ impl Transaction {
                     .and_then(|()| self.finalize_window(is_ssi));
                 if let Err(e) = settled {
                     self.db.txns.publish_commit_ts(commit_ts);
-                    self.abort_internal();
+                    self.abort_internal(e.rollback_provenance());
                     return Err(e);
                 }
                 // Redo logging, step 1 of the protocol in `ssi-wal`: park
@@ -306,11 +320,11 @@ impl Transaction {
                     .txns
                     .fire_commit_pause(self.shared.id(), CommitPhase::PreFinalize);
                 if let Err(e) = self.wait_for_dependencies() {
-                    self.abort_internal();
+                    self.abort_internal(e.rollback_provenance());
                     return Err(e);
                 }
                 if let Err(e) = self.finalize_window(is_ssi) {
-                    self.abort_internal();
+                    self.abort_internal(e.rollback_provenance());
                     return Err(e);
                 }
                 // Settle the stamps: plain committed timestamps that decode
@@ -325,6 +339,7 @@ impl Transaction {
             // learning the outcome, and the outcome is now readable.
             drop(self.shared.take_dependents());
         }
+        db.metrics.commit_section.finish(section_t0);
         drop(_gate);
 
         // --- durability (real log: seal + group-commit fsync) ---------------
@@ -443,7 +458,7 @@ impl Transaction {
             // mid-window (a creator we read speculatively rolled back).
             self.shared
                 .finalize_commit(false)
-                .map_err(|_| Error::unsafe_abort(self.shared.id()))
+                .map_err(|_| Error::abort_with_reason(self.shared.doom_reason(), self.shared.id()))
         }
     }
 
@@ -468,11 +483,17 @@ impl Transaction {
                 match dep.status() {
                     TxnStatus::Committed => break,
                     TxnStatus::Aborted => {
-                        return Err(Error::unsafe_abort(self.shared.id()));
+                        return Err(Error::abort_with_reason(
+                            AbortReason::DependencyCascade,
+                            self.shared.id(),
+                        ));
                     }
                     TxnStatus::Active | TxnStatus::Committing => {
                         if self.shared.is_doomed() {
-                            return Err(Error::unsafe_abort(self.shared.id()));
+                            return Err(Error::abort_with_reason(
+                                self.shared.doom_reason(),
+                                self.shared.id(),
+                            ));
                         }
                         if spins < spin_limit {
                             spins += 1;
@@ -489,12 +510,13 @@ impl Transaction {
 
     /// Rolls the transaction back, undoing all of its writes.
     pub fn rollback(mut self) {
-        self.abort_internal();
+        self.abort_internal(AbortReason::UserRollback);
     }
 
     /// Internal rollback shared by [`Transaction::rollback`], failed
-    /// operations and the `Drop` implementation.
-    pub(crate) fn abort_internal(&mut self) {
+    /// operations and the `Drop` implementation. `reason` is the typed
+    /// provenance recorded against the per-reason abort counters.
+    pub(crate) fn abort_internal(&mut self, reason: AbortReason) {
         if self.state != LocalState::Active {
             return;
         }
@@ -521,13 +543,14 @@ impl Transaction {
         if !dependents.is_empty() {
             let stats = self.db.txns.stats();
             for dep in dependents {
+                dep.set_doom_reason(AbortReason::DependencyCascade);
                 dep.doom();
                 stats
                     .dependency_cascade_aborts
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
         }
-        self.db.txns.finish_abort(&self.shared);
+        self.db.txns.finish_abort(&self.shared, reason);
         self.maybe_cleanup();
         self.state = LocalState::Aborted;
     }
@@ -545,7 +568,7 @@ impl Transaction {
 impl Drop for Transaction {
     fn drop(&mut self) {
         if self.state == LocalState::Active {
-            self.abort_internal();
+            self.abort_internal(AbortReason::UserRollback);
         }
     }
 }

@@ -95,12 +95,12 @@
 //! the mutex is held, so lock-free readers (commit suspension, statistics)
 //! always see correct flags under both variants.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ssi_common::{IsolationLevel, Timestamp, TxnId, TS_ZERO};
+use ssi_common::{AbortReason, IsolationLevel, Timestamp, TxnId, TS_ZERO};
 
 /// Width of the commit-timestamp field in the state word.
 const WORD_TS_BITS: u32 = 56;
@@ -307,6 +307,12 @@ pub struct TxnShared {
     /// commit window. Drained once the outcome settles: dropped on commit,
     /// doomed on abort. See the module docs ("Commit dependencies").
     dependents: Mutex<Vec<Arc<TxnShared>>>,
+    /// Why this transaction was doomed, as `AbortReason::index() + 1`
+    /// (0 = not recorded). Written best-effort by whoever dooms the
+    /// transaction; read when the doomed flag finally surfaces as an abort
+    /// so provenance survives the gap between victim selection and the
+    /// victim noticing.
+    doom_reason: AtomicU8,
 }
 
 impl TxnShared {
@@ -319,6 +325,7 @@ impl TxnShared {
             state: AtomicU64::new(0),
             conflicts: Mutex::new(ConflictState::default()),
             dependents: Mutex::new(Vec::new()),
+            doom_reason: AtomicU8::new(0),
         }
     }
 
@@ -564,6 +571,24 @@ impl TxnShared {
     /// Sec. 3.7.1/3.7.2).
     pub fn doom(&self) {
         self.state.fetch_or(WORD_DOOMED, Ordering::AcqRel);
+    }
+
+    /// Records why this transaction is being doomed. First writer wins, so
+    /// the reason reported matches the doom that actually took effect.
+    pub(crate) fn set_doom_reason(&self, reason: AbortReason) {
+        let encoded = reason.index() as u8 + 1;
+        let _ = self
+            .doom_reason
+            .compare_exchange(0, encoded, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    /// The recorded doom provenance, defaulting to `DoomedByPeer` when the
+    /// doomer did not (or could not) say why.
+    pub(crate) fn doom_reason(&self) -> AbortReason {
+        match self.doom_reason.load(Ordering::Acquire) {
+            0 => AbortReason::DoomedByPeer,
+            n => AbortReason::from_index(n as usize - 1).unwrap_or(AbortReason::DoomedByPeer),
+        }
     }
 
     /// Dooms the transaction only if it is still active; returns true when

@@ -625,7 +625,12 @@ mod tests {
             // T2 closes the cycle: it must be chosen as the victim.
             let res = lm.lock(t(2), &key(1), LockMode::Exclusive);
             match res {
-                Err(Error::Aborted { kind, victim }) => {
+                Err(Error::Aborted {
+                    kind,
+                    reason,
+                    victim,
+                }) => {
+                    assert_eq!(reason, ssi_common::AbortReason::LockDeadlock);
                     assert_eq!(kind, AbortKind::Deadlock);
                     assert_eq!(victim, t(2));
                 }

@@ -1,0 +1,469 @@
+//! Lock-free bounded event trace.
+//!
+//! A [`Trace`] is a fixed-capacity set of ring buffers holding typed engine
+//! events. Writers never block and never allocate: an event is claimed with
+//! one `fetch_add` on the shard head and published with a seqlock-style
+//! (start, done) stamp pair, so a reader that races a writer simply discards
+//! the torn slot and counts it as dropped. When a ring wraps, the oldest
+//! events are overwritten — the trace is a flight recorder, not a log.
+//!
+//! Each event carries a monotonic nanosecond timestamp (relative to the
+//! trace's creation), an [`EventKind`], and three `u64` payload words whose
+//! meaning depends on the kind (documented on each variant). Draining via
+//! [`Trace::drain`] merges all shards into timestamp order and resets the
+//! rings; [`TraceBatch::to_jsonl`] renders one JSON object per line.
+//!
+//! Tracing is default-off. A disabled [`TraceHandle`] is a `None` and every
+//! emit site is a single branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ssi_common::AbortReason;
+
+/// Number of independent rings. Writers pick a shard from a per-thread
+/// index, so concurrent emitters almost never contend on the same head.
+const TRACE_SHARDS: usize = 8;
+
+/// Typed engine events. The three payload words `a`, `b`, `c` are
+/// interpreted per-kind as documented on each variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A transaction began. `a` = txn id, `b` = begin timestamp.
+    TxnBegin = 0,
+    /// A transaction committed. `a` = txn id, `b` = commit timestamp.
+    TxnCommit = 1,
+    /// A transaction aborted. `a` = txn id, `b` = [`AbortReason`] index.
+    TxnAbort = 2,
+    /// An rw-antidependency edge was recorded. `a` = reader txn id,
+    /// `b` = writer txn id.
+    ConflictEdge = 3,
+    /// A dangerous structure (pivot with both in and out edges) was
+    /// detected. `a` = pivot txn id, `b` = chosen victim txn id.
+    PivotDetected = 4,
+    /// A WAL group-commit batch was sealed. `a` = commits in the batch,
+    /// `b` = frame bytes sealed.
+    WalSeal = 5,
+    /// A WAL fsync completed. `a` = duration in nanoseconds, `b` = 1 if the
+    /// sync failed (and poisoned or degraded the log), else 0.
+    WalFsync = 6,
+    /// The WAL rotated to a fresh segment. `a` = retired segment sequence.
+    WalRotate = 7,
+    /// A checkpoint phase boundary. `a` = phase (0 = start, 1 = done),
+    /// `b` = checkpoint sequence (0 when unknown at start).
+    Checkpoint = 8,
+    /// A garbage-collection pass completed. `a` = versions purged,
+    /// `b` = chains removed, `c` = pass duration in nanoseconds.
+    GcPass = 9,
+    /// The database health state changed. `a` = new state code
+    /// (0 = healthy, nonzero = degraded reason code), `b` = old state code.
+    Health = 10,
+}
+
+impl EventKind {
+    const COUNT: usize = 11;
+
+    const ALL: [EventKind; Self::COUNT] = [
+        EventKind::TxnBegin,
+        EventKind::TxnCommit,
+        EventKind::TxnAbort,
+        EventKind::ConflictEdge,
+        EventKind::PivotDetected,
+        EventKind::WalSeal,
+        EventKind::WalFsync,
+        EventKind::WalRotate,
+        EventKind::Checkpoint,
+        EventKind::GcPass,
+        EventKind::Health,
+    ];
+
+    /// Stable snake_case name used in the JSONL rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TxnBegin => "txn_begin",
+            EventKind::TxnCommit => "txn_commit",
+            EventKind::TxnAbort => "txn_abort",
+            EventKind::ConflictEdge => "conflict_edge",
+            EventKind::PivotDetected => "pivot_detected",
+            EventKind::WalSeal => "wal_seal",
+            EventKind::WalFsync => "wal_fsync",
+            EventKind::WalRotate => "wal_rotate",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::GcPass => "gc_pass",
+            EventKind::Health => "health",
+        }
+    }
+
+    fn from_code(code: u64) -> Option<EventKind> {
+        Self::ALL.get(code as usize).copied()
+    }
+}
+
+/// One decoded trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the trace was created (monotonic clock).
+    pub ts_ns: u64,
+    pub kind: EventKind,
+    pub a: u64,
+    pub b: u64,
+    pub c: u64,
+}
+
+/// One ring slot. `start`/`done` carry the claiming sequence number + 1
+/// (0 = never written): a writer stores `start`, fills the payload, then
+/// stores `done` with release ordering. A reader accepts the slot only when
+/// both stamps equal the sequence it expects for the current lap.
+struct Slot {
+    start: AtomicU64,
+    done: AtomicU64,
+    ts_ns: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+    c: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            start: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            ts_ns: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+            c: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Shard {
+    /// Next sequence number to claim; slot index is `seq % capacity`.
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+/// The engine-wide event trace. Shared behind an `Arc` by every emitter.
+pub struct Trace {
+    epoch: Instant,
+    shards: [Shard; TRACE_SHARDS],
+    /// Events lost to ring wrap-around or torn racing reads, since the last
+    /// drain.
+    dropped: AtomicU64,
+}
+
+static NEXT_TRACE_THREAD: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+thread_local! {
+    static TRACE_SHARD: usize =
+        NEXT_TRACE_THREAD.fetch_add(1, Ordering::Relaxed) % TRACE_SHARDS;
+}
+
+impl Trace {
+    /// Creates a trace holding at most `capacity` events (rounded up so each
+    /// of the internal rings holds at least one event).
+    pub fn new(capacity: usize) -> Trace {
+        let per_shard = capacity.div_ceil(TRACE_SHARDS).max(1);
+        Trace {
+            epoch: Instant::now(),
+            shards: std::array::from_fn(|_| Shard {
+                head: AtomicU64::new(0),
+                slots: (0..per_shard).map(|_| Slot::new()).collect(),
+            }),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Total event capacity across all rings.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.slots.len()).sum()
+    }
+
+    /// Records one event. Never blocks; overwrites the oldest event in the
+    /// writer's ring when full.
+    pub fn emit(&self, kind: EventKind, a: u64, b: u64, c: u64) {
+        let ts_ns = self.epoch.elapsed().as_nanos() as u64;
+        let shard = &self.shards[TRACE_SHARD.with(|s| *s)];
+        let seq = shard.head.fetch_add(1, Ordering::Relaxed);
+        let cap = shard.slots.len() as u64;
+        let slot = &shard.slots[(seq % cap) as usize];
+        if seq >= cap {
+            // Lap two or later: whatever was in this slot is lost.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let stamp = seq + 1;
+        slot.start.store(stamp, Ordering::Release);
+        slot.ts_ns.store(ts_ns, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.c.store(c, Ordering::Relaxed);
+        slot.done.store(stamp, Ordering::Release);
+    }
+
+    /// Events lost since the last drain, without draining.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drains every ring: returns all complete events merged into timestamp
+    /// order plus the drop count, and resets the rings. Events being written
+    /// concurrently with the drain may be discarded (counted as dropped).
+    pub fn drain(&self) -> TraceBatch {
+        let mut events = Vec::new();
+        let mut torn = 0u64;
+        for shard in &self.shards {
+            let cap = shard.slots.len() as u64;
+            let head = shard.head.load(Ordering::Acquire);
+            let oldest = head.saturating_sub(cap);
+            for seq in oldest..head {
+                let slot = &shard.slots[(seq % cap) as usize];
+                let stamp = seq + 1;
+                if slot.start.load(Ordering::Acquire) != stamp {
+                    continue; // already overwritten (counted when claimed)
+                }
+                let ts_ns = slot.ts_ns.load(Ordering::Relaxed);
+                let kind = slot.kind.load(Ordering::Relaxed);
+                let a = slot.a.load(Ordering::Relaxed);
+                let b = slot.b.load(Ordering::Relaxed);
+                let c = slot.c.load(Ordering::Relaxed);
+                if slot.done.load(Ordering::Acquire) != stamp {
+                    torn += 1; // writer mid-flight; discard the torn read
+                    continue;
+                }
+                let Some(kind) = EventKind::from_code(kind) else {
+                    torn += 1;
+                    continue;
+                };
+                events.push(TraceEvent {
+                    ts_ns,
+                    kind,
+                    a,
+                    b,
+                    c,
+                });
+            }
+            // Reset so drained events are not observed twice.
+            for slot in shard.slots.iter() {
+                slot.start.store(0, Ordering::Relaxed);
+                slot.done.store(0, Ordering::Relaxed);
+            }
+            shard.head.store(0, Ordering::Release);
+        }
+        events.sort_by_key(|e| e.ts_ns);
+        let dropped = self.dropped.swap(0, Ordering::Relaxed) + torn;
+        TraceBatch { events, dropped }
+    }
+}
+
+/// Result of a [`Trace::drain`]: decoded events plus how many were lost.
+#[derive(Clone, Debug)]
+pub struct TraceBatch {
+    /// Complete events in timestamp order.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overwrites or discarded as torn.
+    pub dropped: u64,
+}
+
+impl TraceBatch {
+    /// Renders the batch as JSONL: one object per line via
+    /// [`TraceEvent::to_json`].
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceEvent {
+    /// Renders the event as one `{"ts_ns":..,"event":..,...}` JSON object
+    /// with per-kind payload field names. Abort events include the
+    /// human-readable reason label.
+    pub fn to_json(&self) -> String {
+        let e = self;
+        let mut out = String::new();
+        {
+            out.push_str(&format!(
+                "{{\"ts_ns\":{},\"event\":\"{}\"",
+                e.ts_ns,
+                e.kind.name()
+            ));
+            match e.kind {
+                EventKind::TxnBegin => {
+                    out.push_str(&format!(",\"txn\":{},\"begin_ts\":{}", e.a, e.b));
+                }
+                EventKind::TxnCommit => {
+                    out.push_str(&format!(",\"txn\":{},\"commit_ts\":{}", e.a, e.b));
+                }
+                EventKind::TxnAbort => {
+                    let reason = AbortReason::from_index(e.b as usize)
+                        .map(|r| r.label())
+                        .unwrap_or("unknown");
+                    out.push_str(&format!(",\"txn\":{},\"reason\":\"{}\"", e.a, reason));
+                }
+                EventKind::ConflictEdge => {
+                    out.push_str(&format!(",\"reader\":{},\"writer\":{}", e.a, e.b));
+                }
+                EventKind::PivotDetected => {
+                    out.push_str(&format!(",\"pivot\":{},\"victim\":{}", e.a, e.b));
+                }
+                EventKind::WalSeal => {
+                    out.push_str(&format!(",\"commits\":{},\"bytes\":{}", e.a, e.b));
+                }
+                EventKind::WalFsync => {
+                    out.push_str(&format!(",\"duration_ns\":{},\"failed\":{}", e.a, e.b));
+                }
+                EventKind::WalRotate => {
+                    out.push_str(&format!(",\"retired_seq\":{}", e.a));
+                }
+                EventKind::Checkpoint => {
+                    let phase = if e.a == 0 { "start" } else { "done" };
+                    out.push_str(&format!(",\"phase\":\"{}\",\"seq\":{}", phase, e.b));
+                }
+                EventKind::GcPass => {
+                    out.push_str(&format!(
+                        ",\"versions\":{},\"chains\":{},\"duration_ns\":{}",
+                        e.a, e.b, e.c
+                    ));
+                }
+                EventKind::Health => {
+                    out.push_str(&format!(",\"state\":{},\"previous\":{}", e.a, e.b));
+                }
+            }
+            out.push('}');
+        }
+        out
+    }
+}
+
+/// A cheap, cloneable handle to an optional trace. A disabled handle makes
+/// every emit a single branch on a `None`.
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Arc<Trace>>);
+
+impl TraceHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> TraceHandle {
+        TraceHandle(None)
+    }
+
+    /// A handle backed by a live trace.
+    pub fn enabled(trace: Arc<Trace>) -> TraceHandle {
+        TraceHandle(Some(trace))
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one event if tracing is enabled.
+    #[inline]
+    pub fn emit(&self, kind: EventKind, a: u64, b: u64, c: u64) {
+        if let Some(trace) = &self.0 {
+            trace.emit(kind, a, b, c);
+        }
+    }
+
+    /// Drains the underlying trace, if any.
+    pub fn drain(&self) -> Option<TraceBatch> {
+        self.0.as_ref().map(|t| t.drain())
+    }
+
+    /// Events lost since the last drain (0 when tracing is off).
+    pub fn dropped(&self) -> u64 {
+        self.0.as_ref().map_or(0, |t| t.dropped())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_decode_in_timestamp_order() {
+        let trace = Trace::new(64);
+        trace.emit(EventKind::TxnBegin, 1, 10, 0);
+        trace.emit(EventKind::ConflictEdge, 1, 2, 0);
+        trace.emit(
+            EventKind::TxnAbort,
+            2,
+            AbortReason::PivotOut.index() as u64,
+            0,
+        );
+        let batch = trace.drain();
+        assert_eq!(batch.dropped, 0);
+        assert_eq!(batch.events.len(), 3);
+        assert!(batch.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(batch.events[0].kind, EventKind::TxnBegin);
+        // A second drain sees nothing.
+        assert!(trace.drain().events.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let trace = Trace::new(TRACE_SHARDS); // one slot per shard
+        assert_eq!(trace.capacity(), TRACE_SHARDS);
+        // All emits from this thread land in one shard of capacity 1, so
+        // every emit after the first overwrites its predecessor.
+        for i in 0..10u64 {
+            trace.emit(EventKind::TxnCommit, i, i, 0);
+        }
+        let batch = trace.drain();
+        assert_eq!(batch.events.len(), 1);
+        assert_eq!(batch.events[0].a, 9, "newest event survives");
+        assert_eq!(batch.dropped, 9);
+    }
+
+    #[test]
+    fn concurrent_emitters_never_lose_more_than_capacity_allows() {
+        let trace = Arc::new(Trace::new(4096));
+        let per_thread = 200u64;
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let trace = Arc::clone(&trace);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        trace.emit(EventKind::TxnBegin, t * per_thread + i, 0, 0);
+                    }
+                });
+            }
+        });
+        let batch = trace.drain();
+        assert_eq!(batch.events.len() as u64 + batch.dropped, 8 * per_thread);
+        assert!(batch.dropped <= 8 * per_thread);
+    }
+
+    #[test]
+    fn jsonl_renders_one_object_per_line_with_reason_labels() {
+        let trace = Trace::new(16);
+        trace.emit(
+            EventKind::TxnAbort,
+            7,
+            AbortReason::WriteConflict.index() as u64,
+            0,
+        );
+        trace.emit(EventKind::GcPass, 12, 3, 900);
+        let jsonl = trace.drain().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"txn_abort\""));
+        assert!(lines[0].contains("\"reason\":\"write-conflict\""));
+        assert!(lines[1].contains("\"event\":\"gc_pass\""));
+        assert!(lines[1].contains("\"versions\":12"));
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = TraceHandle::disabled();
+        assert!(!h.is_enabled());
+        h.emit(EventKind::TxnBegin, 1, 1, 0);
+        assert!(h.drain().is_none());
+    }
+}

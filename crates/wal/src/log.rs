@@ -5,12 +5,13 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use ssi_common::{TableId, Timestamp, TxnId};
+use ssi_obs::{EngineMetrics, EventKind};
 
 use crate::error::{ctx, WalError, WalOp, WalResult};
 use crate::record::{crc32, Record, WriteEntry, FRAME_HEADER};
@@ -253,6 +254,10 @@ pub struct WalWriter {
     /// against the retry budget. Returns true when a checkpoint was taken.
     reclaim: Mutex<Option<Box<dyn Fn() -> bool + Send + Sync>>>,
     stats: WalStats,
+    /// Engine observability, installed once by the database after open
+    /// (fsync latency histogram plus seal/fsync/rotate trace events).
+    /// Absent when the log runs standalone (tests, tools).
+    obs: OnceLock<Arc<EngineMetrics>>,
 }
 
 impl WalWriter {
@@ -311,6 +316,7 @@ impl WalWriter {
             poison_cause: AtomicU8::new(0),
             reclaim: Mutex::new(None),
             stats: WalStats::default(),
+            obs: OnceLock::new(),
         })
     }
 
@@ -322,6 +328,17 @@ impl WalWriter {
     /// Activity counters.
     pub fn stats(&self) -> &WalStats {
         &self.stats
+    }
+
+    /// Installs the engine's shared observability state (fsync latency
+    /// histogram and trace events). First call wins; later calls are
+    /// ignored.
+    pub fn set_obs(&self, obs: Arc<EngineMetrics>) {
+        let _ = self.obs.set(obs);
+    }
+
+    fn obs(&self) -> Option<&Arc<EngineMetrics>> {
+        self.obs.get()
     }
 
     /// Sequence number of the segment currently being appended to.
@@ -461,6 +478,9 @@ impl WalWriter {
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
         if batch > 0 {
             self.stats.seal_batches.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = self.obs() {
+                obs.trace.emit(EventKind::WalSeal, batch, bytes, 0);
+            }
             if self.flusher_attached.load(Ordering::Acquire) {
                 // Batch-age bookkeeping for the dedicated flusher: open the
                 // batch window if no unsynced record opened it already (the
@@ -640,6 +660,9 @@ impl WalWriter {
             self.flush.lock().retired.push((old_file, old_path, sealed));
             drop(appender);
             self.work_cv.notify_one();
+            if let Some(obs) = self.obs() {
+                obs.trace.emit(EventKind::WalRotate, old_seq, 0, 0);
+            }
             return Ok((cut_ts, old_seq));
         }
         let file = appender.file.clone();
@@ -670,6 +693,9 @@ impl WalWriter {
         flush.durable_ts = flush.durable_ts.max(sealed);
         drop(flush);
         self.flushed.notify_all();
+        if let Some(obs) = self.obs() {
+            obs.trace.emit(EventKind::WalRotate, old_seq, 0, 0);
+        }
         Ok((cut_ts, old_seq))
     }
 
@@ -1029,8 +1055,19 @@ impl WalWriter {
     /// The dedicated flusher with frame buffering passes false and repairs
     /// by re-emission instead ([`WalWriter::reemit_unsynced`]).
     fn fsync_file(&self, file: &dyn VfsFile, path: &Path, poison_on_error: bool) -> WalResult<()> {
+        let t0 = Instant::now();
         let result = file.sync_all();
         self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs() {
+            let elapsed = t0.elapsed();
+            obs.fsync.record(elapsed);
+            obs.trace.emit(
+                EventKind::WalFsync,
+                elapsed.as_nanos() as u64,
+                result.is_err() as u64,
+                0,
+            );
+        }
         match result {
             Ok(()) => Ok(()),
             Err(e) => {

@@ -19,15 +19,19 @@
 pub use ssi_common as common;
 pub use ssi_core as core;
 pub use ssi_lock as lock;
+pub use ssi_obs as obs;
 pub use ssi_storage as storage;
 pub use ssi_wal as wal;
 pub use ssi_workloads as workloads;
 
-pub use ssi_common::{AbortKind, DegradedReason, Error, IsolationLevel, Result, TxnId};
+pub use ssi_common::{
+    AbortKind, AbortReason, DegradedReason, Error, IsolationLevel, Result, TxnId,
+};
 pub use ssi_core::{
     CommitPhase, Database, DbHealth, Durability, DurabilityOptions, FaultMode, FaultOp, FaultRule,
     FaultVfs, FlushEvent, FlushReason, GcPin, LockGranularity, MaintenanceEvent, MaintenanceHook,
     MaintenanceOptions, Options, PurgeStats, SsiOptions, SsiVariant, TableRef, Transaction,
     VictimPolicy,
 };
+pub use ssi_obs::{EventKind, MetricsSnapshot, TraceBatch, TraceEvent};
 pub use ssi_workloads::{run_workload, RunConfig, SiBench, SmallBank, TpccConfig, TpccWorkload};
