@@ -1,0 +1,247 @@
+//! Records service-layer throughput and latency in `BENCH_server.json`.
+//!
+//! Spins up the real TCP server (`ssi-server`) over an in-memory engine
+//! and drives it with 32 concurrent client connections doing a 50/50
+//! autocommit get/put mix over a shared key space. Two wire disciplines:
+//!
+//! * **request_response** — one frame on the wire at a time: each request
+//!   waits for its response, so the measured latency is the full
+//!   client-observed round trip (framing + dispatch + engine + framing);
+//! * **pipelined_16** — 16 requests queued per flush before the first
+//!   response is read; per-*request* latency is the batch round trip
+//!   divided across its requests, showing what pipelining buys when the
+//!   client can batch.
+//!
+//! The headline numbers: aggregate requests/second across all 32
+//! connections and the client-observed p50/p99/p999. The embedded
+//! metrics snapshot carries the server-side view (`ssi_server_*`
+//! counters) from the same run.
+//!
+//! ```text
+//! cargo run --release -p ssi-bench --bin server_bench [--smoke] [output.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ssi_core::{Database, IsolationLevel, Options};
+use ssi_obs::LatencyHistogram;
+use ssi_server::{Client, Request, Response, Server, ServerOptions, AUTOCOMMIT};
+
+const CONNECTIONS: usize = 32;
+const KEYS: u64 = 1024;
+const PIPELINE_DEPTH: usize = 16;
+
+struct CaseResult {
+    name: &'static str,
+    requests: u64,
+    /// Requests answered with a retryable abort (first-committer-wins on
+    /// the shared key space) — part of the workload, not a failure.
+    aborted: u64,
+    elapsed_secs: f64,
+    hist: LatencyHistogram,
+}
+
+impl CaseResult {
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.elapsed_secs.max(1e-9)
+    }
+}
+
+fn request_for(n: u64) -> Request {
+    let key = (n % KEYS).to_be_bytes().to_vec();
+    if n.is_multiple_of(2) {
+        Request::Get {
+            handle: AUTOCOMMIT,
+            table: "kv".to_string(),
+            key,
+        }
+    } else {
+        Request::Put {
+            handle: AUTOCOMMIT,
+            table: "kv".to_string(),
+            key,
+            value: vec![0x5A; 64],
+        }
+    }
+}
+
+/// Panics on any response that is not success or a retryable abort.
+fn check(resp: &Response, aborts: &mut u64) {
+    if let Response::Err(code, msg) = resp {
+        assert!(
+            code.is_retryable(),
+            "bench request failed with non-retryable {code}: {msg}"
+        );
+        *aborts += 1;
+    }
+}
+
+fn run_case(
+    server: &Server,
+    name: &'static str,
+    pipelined: bool,
+    duration: Duration,
+) -> CaseResult {
+    let addr = server.local_addr();
+    let stop = AtomicBool::new(false);
+    let requests = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    let merged = parking_lot::Mutex::new(LatencyHistogram::default());
+    let start = Instant::now();
+    let elapsed = std::thread::scope(|s| {
+        for c in 0..CONNECTIONS {
+            let (stop, requests, aborted, merged) = (&stop, &requests, &aborted, &merged);
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect bench client");
+                let mut hist = LatencyHistogram::default();
+                // Desync the connections' key sequences.
+                let mut n = (c as u64) * 7919;
+                let mut local = 0u64;
+                let mut local_aborts = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if pipelined {
+                        let t0 = Instant::now();
+                        for _ in 0..PIPELINE_DEPTH {
+                            client.send(&request_for(n)).expect("send");
+                            n += 1;
+                        }
+                        client.flush().expect("flush");
+                        for _ in 0..PIPELINE_DEPTH {
+                            let resp = client.recv().expect("recv");
+                            check(&resp, &mut local_aborts);
+                        }
+                        // Amortized per-request latency across the batch.
+                        let per_request = t0.elapsed() / PIPELINE_DEPTH as u32;
+                        for _ in 0..PIPELINE_DEPTH {
+                            hist.record(per_request);
+                        }
+                        local += PIPELINE_DEPTH as u64;
+                    } else {
+                        let t0 = Instant::now();
+                        let resp = client.call(&request_for(n)).expect("call");
+                        check(&resp, &mut local_aborts);
+                        hist.record(t0.elapsed());
+                        n += 1;
+                        local += 1;
+                    }
+                }
+                requests.fetch_add(local, Ordering::Relaxed);
+                aborted.fetch_add(local_aborts, Ordering::Relaxed);
+                merged.lock().merge(&hist);
+            });
+        }
+        std::thread::sleep(duration);
+        let elapsed = start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        elapsed
+    });
+    CaseResult {
+        name,
+        requests: requests.load(Ordering::Relaxed),
+        aborted: aborted.load(Ordering::Relaxed),
+        elapsed_secs: elapsed.as_secs_f64(),
+        hist: merged.into_inner(),
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_server.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = other.to_string(),
+        }
+    }
+    let duration = if smoke {
+        Duration::from_millis(500)
+    } else {
+        Duration::from_millis(2500)
+    };
+
+    // SI keeps concurrency-control aborts out of the measurement: the
+    // bench exercises the wire and dispatch path, not conflict handling
+    // (the SSI figures live in the workload benches).
+    let db = Database::open(Options::default().with_isolation(IsolationLevel::SnapshotIsolation));
+    db.create_table("kv").unwrap();
+    let server = Server::start(db.clone(), ServerOptions::default()).expect("bind bench server");
+
+    println!(
+        "{:<18} {:>6} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "case", "conns", "reqs/s", "p50_us", "p99_us", "p999_us", "aborts"
+    );
+    let cases = [("request_response", false), ("pipelined_16", true)];
+    let mut results = Vec::new();
+    for (name, pipelined) in cases {
+        let result = run_case(&server, name, pipelined, duration);
+        println!(
+            "{:<18} {:>6} {:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>8}",
+            result.name,
+            CONNECTIONS,
+            result.requests_per_sec(),
+            result.hist.p50().as_secs_f64() * 1e6,
+            result.hist.p99().as_secs_f64() * 1e6,
+            result.hist.p999().as_secs_f64() * 1e6,
+            result.aborted,
+        );
+        results.push(result);
+    }
+
+    let rr = &results[0];
+    let pipe = &results[1];
+    println!(
+        "\npipelining ({PIPELINE_DEPTH}-deep): {:.2}x throughput vs one-at-a-time \
+         request/response over {CONNECTIONS} connections",
+        pipe.requests_per_sec() / rr.requests_per_sec().max(1.0)
+    );
+
+    // Server-side view of the same run, embedded in the artifact.
+    let mut snapshot = db.metrics();
+    snapshot.server = server.metrics();
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"server\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    json.push_str(
+        "  \"comment\": \"TCP service layer: 32 concurrent client connections drive a \
+         50/50 autocommit get/put mix over 1024 keys against the real ssi-server \
+         (framed protocol over std::net, in-memory engine at SI so wire+dispatch cost \
+         dominates). 'request_response' waits for each response; 'pipelined_16' keeps \
+         16 requests on the wire per flush (latency amortized per request). Latencies \
+         are client-observed microsecond quantiles from a merged log-bucketed \
+         histogram. 'aborted' counts requests answered with a retryable \
+         first-committer-wins abort (concurrent writers on the shared key space — \
+         workload, not failure). 'metrics' is the engine snapshot with the \
+         ssi_server_* overlay from the same run.\",\n",
+    );
+    json.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"connections\": {CONNECTIONS}, \"keys\": {KEYS}, \
+             \"requests\": {}, \"aborted\": {}, \"requests_per_sec\": {:.0}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \
+             \"max_us\": {:.1}}}{}",
+            r.name,
+            r.requests,
+            r.aborted,
+            r.requests_per_sec(),
+            r.hist.p50().as_secs_f64() * 1e6,
+            r.hist.p99().as_secs_f64() * 1e6,
+            r.hist.p999().as_secs_f64() * 1e6,
+            r.hist.max().as_secs_f64() * 1e6,
+            if i + 1 == results.len() { "\n" } else { ",\n" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"metrics\": {}", snapshot.to_json());
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write bench artifact");
+    println!("wrote {out_path}");
+}

@@ -263,6 +263,13 @@ pub enum Error {
     /// maintenance failure made further writes unsafe. Snapshot reads keep
     /// serving; write attempts fail fast with this error.
     Degraded(DegradedReason),
+    /// The database was explicitly closed ([`Database::close`] or shutdown
+    /// drain): new transactions and writes fail fast with this error.
+    /// Distinct from [`Error::Degraded`] — closing is an orderly, requested
+    /// stop, not a fault.
+    ///
+    /// [`Database::close`]: https://docs.rs/ssi-core
+    Closed,
 }
 
 impl PartialEq for Error {
@@ -283,6 +290,7 @@ impl PartialEq for Error {
             (Error::Internal(a), Error::Internal(b)) => a == b,
             (Error::Durability(a), Error::Durability(b)) => a == b,
             (Error::Degraded(a), Error::Degraded(b)) => a == b,
+            (Error::Closed, Error::Closed) => true,
             _ => false,
         }
     }
@@ -357,7 +365,7 @@ impl Error {
         match self {
             Error::Aborted { reason, .. } => *reason,
             Error::LockTimeout => AbortReason::LockTimeout,
-            Error::Degraded(_) => AbortReason::DegradedRejected,
+            Error::Degraded(_) | Error::Closed => AbortReason::DegradedRejected,
             _ => AbortReason::UserRollback,
         }
     }
@@ -395,6 +403,7 @@ impl fmt::Display for Error {
             Error::Degraded(reason) => {
                 write!(f, "database is degraded (read-only): {reason}")
             }
+            Error::Closed => write!(f, "database is closed"),
         }
     }
 }

@@ -545,12 +545,12 @@ impl Transaction {
     }
 
     fn do_write(&mut self, table: &TableRef, key: &[u8], value: Option<Vec<u8>>) -> Result<()> {
-        // Degraded (read-only) mode: fail fast with the typed reason
+        // Degraded (read-only) or closed: fail fast with the typed error
         // before taking any lock, instead of letting the commit discover a
         // poisoned log later. Reads stay untouched — the in-memory version
         // store is complete and consistent.
-        if let Some(reason) = self.db.health.write_block_reason() {
-            return Err(Error::Degraded(reason));
+        if let Some(err) = self.db.health.write_block_error() {
+            return Err(err);
         }
         let id = self.shared.id();
         let isolation = self.shared.isolation();

@@ -534,12 +534,12 @@ impl Database {
     /// empty table. The record becomes durable together with the first
     /// fsynced commit (or checkpoint) that follows it.
     pub fn create_table(&self, name: &str) -> Result<TableRef> {
+        if let Some(err) = self.inner.health.write_block_error() {
+            return Err(err);
+        }
         let table = match &self.inner.durable {
             None => self.inner.catalog.create_table(name)?,
             Some(durable) => {
-                if let Some(reason) = self.inner.health.write_block_reason() {
-                    return Err(Error::Degraded(reason));
-                }
                 let _serialize = durable.create_lock.lock();
                 if self.inner.catalog.table(name).is_ok() {
                     return Err(Error::TableExists(name.to_string()));
@@ -577,6 +577,31 @@ impl Database {
     /// Begins a transaction at an explicit isolation level.
     pub fn begin_with(&self, isolation: IsolationLevel) -> Transaction {
         Transaction::new(self.inner.clone(), isolation, false)
+    }
+
+    /// Begins a transaction at the default isolation level, failing fast
+    /// with [`Error::Closed`] when the database has been closed.
+    ///
+    /// [`Database::begin`] never fails — a closed database still serves its
+    /// committed in-memory state, so a read-only transaction begun after
+    /// `close()` is harmless and writes fail typed at the first operation.
+    /// Service layers want the opposite contract: a session request racing
+    /// shutdown should be rejected up front instead of beginning work that
+    /// is doomed to fail halfway through. This is that check-first entry
+    /// point; it is what the `ssi-server` crate uses for every `begin`
+    /// request.
+    pub fn try_begin(&self) -> Result<Transaction> {
+        self.try_begin_with(self.inner.options.default_isolation)
+    }
+
+    /// Begins a transaction at an explicit isolation level, failing fast
+    /// with [`Error::Closed`] when the database has been closed (see
+    /// [`Database::try_begin`]).
+    pub fn try_begin_with(&self, isolation: IsolationLevel) -> Result<Transaction> {
+        if self.inner.health.get() == DbHealth::Closed {
+            return Err(Error::Closed);
+        }
+        Ok(Transaction::new(self.inner.clone(), isolation, false))
     }
 
     /// Begins a transaction that the application promises is read-only.
@@ -710,6 +735,9 @@ impl Database {
             gc,
             wal,
             locks,
+            // An embedded database has no service layer; `ssi-server`
+            // overlays its own counters before rendering.
+            server: ssi_obs::ServerMetrics::default(),
             tables,
             health,
             latency,

@@ -100,17 +100,19 @@ impl HealthCell {
         self.0.store(CLOSED, Ordering::Release);
     }
 
-    /// The reason write transactions must fail fast right now, if any.
-    /// `None` while healthy — and in the one degraded state that keeps
-    /// writes flowing (a dead GC thread).
-    pub(crate) fn write_block_reason(&self) -> Option<DegradedReason> {
+    /// The typed error write transactions must fail fast with right now, if
+    /// any. `None` while healthy — and in the one degraded state that keeps
+    /// writes flowing (a dead GC thread). A closed database yields
+    /// [`ssi_common::Error::Closed`], never a degraded error: closing is an
+    /// orderly stop, not a fault, and callers racing [`crate::Database::close`]
+    /// must be able to tell the two apart.
+    pub(crate) fn write_block_error(&self) -> Option<ssi_common::Error> {
         match self.get() {
             DbHealth::Healthy => None,
-            DbHealth::Degraded { reason } => reason.blocks_writes().then_some(reason),
-            // Closed blocks everything; surfaced as the closest reason the
-            // typed error can carry. Callers check `get()` when they need
-            // to distinguish.
-            DbHealth::Closed => Some(DegradedReason::WalPoisoned),
+            DbHealth::Degraded { reason } => reason
+                .blocks_writes()
+                .then_some(ssi_common::Error::Degraded(reason)),
+            DbHealth::Closed => Some(ssi_common::Error::Closed),
         }
     }
 }
@@ -141,12 +143,19 @@ mod tests {
     fn gc_thread_death_does_not_block_writes() {
         let cell = HealthCell::default();
         assert!(cell.degrade(DegradedReason::GcThreadPanic));
-        assert_eq!(cell.write_block_reason(), None);
+        assert_eq!(cell.write_block_error(), None);
         let cell = HealthCell::default();
         assert!(cell.degrade(DegradedReason::WalThreadPanic));
         assert_eq!(
-            cell.write_block_reason(),
-            Some(DegradedReason::WalThreadPanic)
+            cell.write_block_error(),
+            Some(ssi_common::Error::Degraded(DegradedReason::WalThreadPanic))
         );
+    }
+
+    #[test]
+    fn closed_blocks_writes_with_the_closed_error() {
+        let cell = HealthCell::default();
+        cell.close();
+        assert_eq!(cell.write_block_error(), Some(ssi_common::Error::Closed));
     }
 }

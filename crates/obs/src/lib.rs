@@ -92,7 +92,7 @@ pub mod trace;
 pub use hist::LatencyHistogram;
 pub use recorder::{EngineMetrics, SampledHist};
 pub use snapshot::{
-    GcMetrics, HistSummary, LatencyMetrics, LockMetrics, MetricsSnapshot, TableMetrics, TxnMetrics,
-    WalMetrics,
+    GcMetrics, HistSummary, LatencyMetrics, LockMetrics, MetricsSnapshot, ServerMetrics,
+    TableMetrics, TxnMetrics, WalMetrics,
 };
 pub use trace::{EventKind, Trace, TraceBatch, TraceEvent, TraceHandle};

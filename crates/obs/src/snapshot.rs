@@ -108,6 +108,36 @@ pub struct TableMetrics {
     pub versions: u64,
 }
 
+/// Network-service-layer counters (the `ssi-server` crate). All zero — and
+/// `enabled` false — for an embedded database; a server merges its own
+/// counters into the snapshot before rendering, so one exposition covers
+/// engine and service.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// Whether a server populated these counters at all.
+    pub enabled: bool,
+    /// Connections accepted by the listener.
+    pub connections_accepted: u64,
+    /// Connections refused at accept time (connection cap reached or the
+    /// server was draining).
+    pub connections_rejected: u64,
+    /// Currently live sessions (gauge).
+    pub connections_active: u64,
+    /// Request frames decoded and dispatched.
+    pub requests: u64,
+    /// Requests shed with a typed busy error by admission control.
+    pub busy_rejections: u64,
+    /// Frames rejected as structurally invalid (bad opcode, truncated
+    /// fields, length prefix over the cap).
+    pub malformed_frames: u64,
+    /// Idle sessions harvested by the reaper (their open transactions were
+    /// rolled back).
+    pub sessions_reaped: u64,
+    /// Open interactive transactions rolled back because their connection
+    /// went away (disconnect, reap, or drain) before commit/rollback.
+    pub disconnect_rollbacks: u64,
+}
+
 /// In-engine latency summaries.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LatencyMetrics {
@@ -134,6 +164,8 @@ pub struct MetricsSnapshot {
     pub gc: GcMetrics,
     pub wal: WalMetrics,
     pub locks: LockMetrics,
+    /// Service-layer counters; zero/disabled for an embedded database.
+    pub server: ServerMetrics,
     pub tables: Vec<TableMetrics>,
     /// Health state: `"healthy"`, `"degraded:<reason>"` or `"closed"`.
     pub health: String,
@@ -253,6 +285,46 @@ impl MetricsSnapshot {
         counter(&mut out, "ssi_lock_deadlocks_total", self.locks.deadlocks);
         counter(&mut out, "ssi_lock_timeouts_total", self.locks.timeouts);
 
+        out.push_str(&format!(
+            "# TYPE ssi_server_enabled gauge\nssi_server_enabled {}\n",
+            self.server.enabled as u64
+        ));
+        counter(
+            &mut out,
+            "ssi_server_connections_accepted_total",
+            self.server.connections_accepted,
+        );
+        counter(
+            &mut out,
+            "ssi_server_connections_rejected_total",
+            self.server.connections_rejected,
+        );
+        out.push_str(&format!(
+            "# TYPE ssi_server_connections_active gauge\nssi_server_connections_active {}\n",
+            self.server.connections_active
+        ));
+        counter(&mut out, "ssi_server_requests_total", self.server.requests);
+        counter(
+            &mut out,
+            "ssi_server_busy_rejections_total",
+            self.server.busy_rejections,
+        );
+        counter(
+            &mut out,
+            "ssi_server_malformed_frames_total",
+            self.server.malformed_frames,
+        );
+        counter(
+            &mut out,
+            "ssi_server_sessions_reaped_total",
+            self.server.sessions_reaped,
+        );
+        counter(
+            &mut out,
+            "ssi_server_disconnect_rollbacks_total",
+            self.server.disconnect_rollbacks,
+        );
+
         out.push_str("# TYPE ssi_table_keys gauge\n");
         for t in &self.tables {
             out.push_str(&format!(
@@ -351,6 +423,21 @@ impl MetricsSnapshot {
         out.push_str(&format!(
             "\"locks\":{{\"requests\":{},\"waits\":{},\"deadlocks\":{},\"timeouts\":{}}},",
             self.locks.requests, self.locks.waits, self.locks.deadlocks, self.locks.timeouts,
+        ));
+        out.push_str(&format!(
+            "\"server\":{{\"enabled\":{},\"connections_accepted\":{},\
+             \"connections_rejected\":{},\"connections_active\":{},\"requests\":{},\
+             \"busy_rejections\":{},\"malformed_frames\":{},\"sessions_reaped\":{},\
+             \"disconnect_rollbacks\":{}}},",
+            self.server.enabled,
+            self.server.connections_accepted,
+            self.server.connections_rejected,
+            self.server.connections_active,
+            self.server.requests,
+            self.server.busy_rejections,
+            self.server.malformed_frames,
+            self.server.sessions_reaped,
+            self.server.disconnect_rollbacks,
         ));
         out.push_str("\"tables\":[");
         for (i, t) in self.tables.iter().enumerate() {
@@ -451,6 +538,7 @@ mod tests {
             "\"gc\":",
             "\"wal\":",
             "\"locks\":",
+            "\"server\":",
             "\"tables\":",
             "\"health\":",
             "\"latency\":",

@@ -1,0 +1,392 @@
+//! Blocking client SDK for the framed TCP protocol.
+//!
+//! [`Client`] is a thin, synchronous wrapper: one TCP connection, one
+//! request/response pair per call. For pipelining — several requests on the
+//! wire before the first response is read — use [`Client::send`] /
+//! [`Client::flush`] / [`Client::recv`] directly; responses always arrive
+//! in request order (the server processes each connection serially).
+//!
+//! Interactive transactions are modelled by [`ClientTxn`], a handle-scoped
+//! guard: dropping it without committing sends a best-effort rollback, so a
+//! panicking client task does not strand a server-side transaction until
+//! the idle reaper finds it.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::ops::Bound;
+
+use ssi_common::IsolationLevel;
+
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, AUTOCOMMIT,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// Errors surfaced by the client SDK.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure: the connection died or framing broke.
+    Io(io::Error),
+    /// The server answered with a typed error.
+    Server { code: ErrorCode, message: String },
+    /// The server answered with a response of the wrong shape for the
+    /// request (protocol bug or version skew).
+    Protocol(&'static str),
+}
+
+impl ClientError {
+    /// True for errors where retrying the whole transaction is reasonable
+    /// (SSI abort, lock timeout, admission shed).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Server { code, .. } if code.is_retryable())
+    }
+
+    /// The server-side error code, if this is a server error.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            ClientError::Protocol(what) => write!(f, "protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::TooLarge { len, max } => ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response frame of {len} bytes exceeds the {max}-byte cap"),
+            )),
+        }
+    }
+}
+
+pub type ClientResult<T> = std::result::Result<T, ClientError>;
+
+/// A blocking connection to an `ssi-server`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame_bytes: u32,
+    /// Requests written but not yet answered (pipelining depth).
+    outstanding: usize,
+}
+
+impl Client {
+    /// Connects to the server at `addr`.
+    pub fn connect(addr: SocketAddr) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            outstanding: 0,
+        })
+    }
+
+    /// Raises or lowers the cap applied to *response* frames. Must be at
+    /// least the server's cap to read large scans.
+    pub fn set_max_frame_bytes(&mut self, max: u32) {
+        self.max_frame_bytes = max;
+    }
+
+    // ---- pipelining primitives ------------------------------------------
+
+    /// Queues one request without waiting for its response. Call
+    /// [`Client::flush`] to push buffered frames to the wire and
+    /// [`Client::recv`] once per `send` to collect responses in order.
+    pub fn send(&mut self, request: &Request) -> ClientResult<()> {
+        write_frame(&mut self.writer, &request.encode()).map_err(ClientError::from)?;
+        self.outstanding += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered request frames to the socket.
+    pub fn flush(&mut self) -> ClientResult<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next response in request order.
+    pub fn recv(&mut self) -> ClientResult<Response> {
+        if self.outstanding == 0 {
+            return Err(ClientError::Protocol("recv without outstanding request"));
+        }
+        let payload = read_frame(&mut self.reader, self.max_frame_bytes)
+            .map_err(ClientError::from)?
+            .ok_or_else(|| {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))
+            })?;
+        self.outstanding -= 1;
+        Response::decode(&payload).map_err(|_| ClientError::Protocol("undecodable response frame"))
+    }
+
+    /// One request, one response: send + flush + recv.
+    pub fn call(&mut self, request: &Request) -> ClientResult<Response> {
+        self.send(request)?;
+        self.flush()?;
+        self.recv()
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> ClientResult<()> {
+        match self.call(request)? {
+            Response::Ok => Ok(()),
+            Response::Err(code, message) => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Protocol("expected empty ok")),
+        }
+    }
+
+    // ---- convenience API ------------------------------------------------
+
+    /// Round-trip health check.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        self.expect_ok(&Request::Ping)
+    }
+
+    /// Creates a table.
+    pub fn create_table(&mut self, name: &str) -> ClientResult<()> {
+        self.expect_ok(&Request::CreateTable {
+            name: name.to_string(),
+        })
+    }
+
+    /// Fetches the server's metrics in Prometheus text format (engine
+    /// counters plus the `ssi_server_*` service-layer overlay).
+    pub fn metrics_text(&mut self) -> ClientResult<String> {
+        match self.call(&Request::Metrics)? {
+            Response::Text(text) => Ok(text),
+            Response::Err(code, message) => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Protocol("expected text")),
+        }
+    }
+
+    /// Autocommit read.
+    pub fn get(&mut self, table: &str, key: &[u8]) -> ClientResult<Option<Vec<u8>>> {
+        let resp = self.call(&Request::Get {
+            handle: AUTOCOMMIT,
+            table: table.to_string(),
+            key: key.to_vec(),
+        })?;
+        expect_value(resp)
+    }
+
+    /// Autocommit write (begin + put + commit server-side).
+    pub fn put(&mut self, table: &str, key: &[u8], value: &[u8]) -> ClientResult<()> {
+        self.expect_ok(&Request::Put {
+            handle: AUTOCOMMIT,
+            table: table.to_string(),
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })
+    }
+
+    /// Autocommit delete.
+    pub fn delete(&mut self, table: &str, key: &[u8]) -> ClientResult<()> {
+        self.expect_ok(&Request::Delete {
+            handle: AUTOCOMMIT,
+            table: table.to_string(),
+            key: key.to_vec(),
+        })
+    }
+
+    /// Begins an interactive transaction at the server's default isolation.
+    pub fn begin(&mut self) -> ClientResult<ClientTxn<'_>> {
+        self.begin_inner(None, false)
+    }
+
+    /// Begins an interactive transaction at an explicit isolation level.
+    pub fn begin_with(&mut self, isolation: IsolationLevel) -> ClientResult<ClientTxn<'_>> {
+        self.begin_inner(Some(isolation), false)
+    }
+
+    /// Begins a read-only transaction (the server may run it at SI per the
+    /// engine's `read_only_queries_at_si` option).
+    pub fn begin_read_only(&mut self) -> ClientResult<ClientTxn<'_>> {
+        self.begin_inner(None, true)
+    }
+
+    fn begin_inner(
+        &mut self,
+        isolation: Option<IsolationLevel>,
+        read_only: bool,
+    ) -> ClientResult<ClientTxn<'_>> {
+        match self.call(&Request::Begin {
+            isolation,
+            read_only,
+        })? {
+            Response::Handle(handle) => Ok(ClientTxn {
+                client: self,
+                handle,
+                done: false,
+            }),
+            Response::Err(code, message) => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Protocol("expected handle")),
+        }
+    }
+}
+
+fn expect_value(resp: Response) -> ClientResult<Option<Vec<u8>>> {
+    match resp {
+        Response::Value(v) => Ok(v),
+        Response::Err(code, message) => Err(ClientError::Server { code, message }),
+        _ => Err(ClientError::Protocol("expected value")),
+    }
+}
+
+fn expect_rows(resp: Response) -> ClientResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    match resp {
+        Response::Rows(rows) => Ok(rows),
+        Response::Err(code, message) => Err(ClientError::Server { code, message }),
+        _ => Err(ClientError::Protocol("expected rows")),
+    }
+}
+
+/// An open interactive transaction bound to a [`Client`] connection.
+///
+/// Consume with [`ClientTxn::commit`] or [`ClientTxn::rollback`]; dropping
+/// without either sends a best-effort rollback so the server releases the
+/// transaction immediately rather than waiting for the idle reaper.
+pub struct ClientTxn<'a> {
+    client: &'a mut Client,
+    handle: u64,
+    done: bool,
+}
+
+impl ClientTxn<'_> {
+    /// The server-side transaction handle (for hand-rolled pipelining via
+    /// [`Client::send`]).
+    pub fn handle(&self) -> u64 {
+        self.handle
+    }
+
+    /// Snapshot read inside this transaction.
+    pub fn get(&mut self, table: &str, key: &[u8]) -> ClientResult<Option<Vec<u8>>> {
+        let handle = self.handle;
+        let resp = self.client.call(&Request::Get {
+            handle,
+            table: table.to_string(),
+            key: key.to_vec(),
+        })?;
+        self.note_abort(&resp);
+        expect_value(resp)
+    }
+
+    /// Buffered write inside this transaction.
+    pub fn put(&mut self, table: &str, key: &[u8], value: &[u8]) -> ClientResult<()> {
+        let handle = self.handle;
+        let resp = self.client.call(&Request::Put {
+            handle,
+            table: table.to_string(),
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })?;
+        self.note_abort(&resp);
+        expect_empty(resp)
+    }
+
+    /// Buffered delete inside this transaction.
+    pub fn delete(&mut self, table: &str, key: &[u8]) -> ClientResult<()> {
+        let handle = self.handle;
+        let resp = self.client.call(&Request::Delete {
+            handle,
+            table: table.to_string(),
+            key: key.to_vec(),
+        })?;
+        self.note_abort(&resp);
+        expect_empty(resp)
+    }
+
+    /// Range scan inside this transaction. `limit == 0` means unlimited.
+    pub fn scan(
+        &mut self,
+        table: &str,
+        lower: Bound<Vec<u8>>,
+        upper: Bound<Vec<u8>>,
+        limit: u32,
+    ) -> ClientResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let handle = self.handle;
+        let resp = self.client.call(&Request::Scan {
+            handle,
+            table: table.to_string(),
+            lower,
+            upper,
+            limit,
+        })?;
+        self.note_abort(&resp);
+        expect_rows(resp)
+    }
+
+    /// Commits; `Ok(())` means the server acknowledged the commit (under
+    /// group-commit durability, after the WAL fsync covering it).
+    pub fn commit(mut self) -> ClientResult<()> {
+        self.done = true;
+        let handle = self.handle;
+        let resp = self.client.call(&Request::Commit { handle })?;
+        expect_empty(resp)
+    }
+
+    /// Rolls back explicitly.
+    pub fn rollback(mut self) -> ClientResult<()> {
+        self.done = true;
+        let handle = self.handle;
+        let resp = self.client.call(&Request::Rollback { handle })?;
+        expect_empty(resp)
+    }
+
+    /// When the engine aborted the transaction server-side, the handle is
+    /// gone — mark the guard done so Drop doesn't send a futile rollback.
+    fn note_abort(&mut self, resp: &Response) {
+        if matches!(
+            resp,
+            Response::Err(ErrorCode::Aborted | ErrorCode::TxnClosed, _)
+        ) {
+            self.done = true;
+        }
+    }
+}
+
+impl Drop for ClientTxn<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // Best-effort: fire the rollback and drain its response so the
+        // connection's request/response pairing stays aligned.
+        let handle = self.handle;
+        if self.client.send(&Request::Rollback { handle }).is_ok() && self.client.flush().is_ok() {
+            let _ = self.client.recv();
+        }
+    }
+}
+
+fn expect_empty(resp: Response) -> ClientResult<()> {
+    match resp {
+        Response::Ok => Ok(()),
+        Response::Err(code, message) => Err(ClientError::Server { code, message }),
+        _ => Err(ClientError::Protocol("expected empty ok")),
+    }
+}

@@ -8,6 +8,8 @@
 //!   Serializable SI concurrency control (the paper's contribution);
 //! * [`storage`](ssi_storage) — the multi-version storage substrate;
 //! * [`lock`](ssi_lock) — the lock manager with SIREAD and gap locks;
+//! * [`server`](ssi_server) — the TCP service layer (framed protocol,
+//!   session registry, blocking client SDK);
 //! * [`workloads`](ssi_workloads) — SmallBank, sibench and TPC-C++ plus the
 //!   benchmark driver;
 //! * [`common`](ssi_common) — shared types, errors, encoding and statistics.
@@ -20,6 +22,7 @@ pub use ssi_common as common;
 pub use ssi_core as core;
 pub use ssi_lock as lock;
 pub use ssi_obs as obs;
+pub use ssi_server as server;
 pub use ssi_storage as storage;
 pub use ssi_wal as wal;
 pub use ssi_workloads as workloads;
@@ -34,4 +37,5 @@ pub use ssi_core::{
     VictimPolicy,
 };
 pub use ssi_obs::{EventKind, MetricsSnapshot, TraceBatch, TraceEvent};
+pub use ssi_server::{Client, ClientTxn, Server, ServerOptions};
 pub use ssi_workloads::{run_workload, RunConfig, SiBench, SmallBank, TpccConfig, TpccWorkload};
