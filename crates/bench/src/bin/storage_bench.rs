@@ -5,7 +5,9 @@
 //! one table) against the sharded `ssi_storage::Table` and the
 //! pre-sharding single-`RwLock` `BaselineTable`, prints a comparison
 //! table, and writes the numbers as JSON so the speedup is recorded
-//! in-repo. Usage:
+//! in-repo. A second section measures the secondary-index read path:
+//! resolving a name predicate through the ordered entry tier versus the
+//! scan-and-filter the engine used before it had indexes. Usage:
 //!
 //! ```text
 //! cargo run --release -p ssi-bench --bin storage_bench [output.json]
@@ -15,7 +17,8 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use ssi_bench::storage_micro::{
-    run_storage_workload, setup_baseline, setup_sharded, StorageThroughput, WorkloadShape,
+    indexed_lookup, run_lookup_workload, run_storage_workload, scan_filter_lookup, setup_baseline,
+    setup_indexed, setup_sharded, StorageThroughput, WorkloadShape,
 };
 
 struct CaseResult {
@@ -129,8 +132,38 @@ fn main() {
         );
     }
 
+    // Indexed-read case: resolve a name predicate via the secondary
+    // index's entry tier vs a whole-table scan-and-filter, 4 threads each.
+    let index_rows = 10_000u64;
+    let index_names = 500u64;
+    let (table, index) = setup_indexed(index_rows, index_names);
+    let warmup = Duration::from_millis(100);
+    run_lookup_workload(4, index_names, warmup, |name| {
+        indexed_lookup(&table, &index, name, u64::MAX - 2)
+    });
+    let (via_index, index_elapsed) = run_lookup_workload(4, index_names, duration, |name| {
+        indexed_lookup(&table, &index, name, u64::MAX - 2)
+    });
+    run_lookup_workload(4, index_names, warmup, |name| {
+        scan_filter_lookup(&table, name, u64::MAX - 2)
+    });
+    let (via_scan, scan_elapsed) = run_lookup_workload(4, index_names, duration, |name| {
+        scan_filter_lookup(&table, name, u64::MAX - 2)
+    });
+    let index_lps = via_index as f64 / index_elapsed.as_secs_f64();
+    let scan_lps = via_scan as f64 / scan_elapsed.as_secs_f64();
+    println!(
+        "{:<20} {:>16.0} {:>16.0} {:>8.2}x   (lookups/s, {} rows / {} names)",
+        "indexed_read_4t",
+        scan_lps,
+        index_lps,
+        index_lps / scan_lps,
+        index_rows,
+        index_names
+    );
+
     let mut json = String::new();
-    json.push_str("{\n  \"description\": \"Storage-layer throughput: sharded two-level table vs pre-sharding single-RwLock baseline (storage_micro harness)\",\n");
+    json.push_str("{\n  \"description\": \"Storage-layer throughput: sharded two-level table vs pre-sharding single-RwLock baseline (storage_micro harness), plus secondary-index lookup vs scan-and-filter\",\n");
     let _ = writeln!(json, "  \"rows\": {rows},");
     let _ = writeln!(json, "  \"duration_ms\": {},", duration.as_millis());
     json.push_str("  \"cases\": [\n");
@@ -148,7 +181,13 @@ fn main() {
         );
         json.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"indexed_read\": {{\"name\": \"indexed_read_4t\", \"rows\": {index_rows}, \"names\": {index_names}, \"threads\": 4, \"scan_filter_lookups_per_sec\": {scan_lps:.0}, \"index_lookups_per_sec\": {index_lps:.0}, \"speedup\": {:.2}}}",
+        index_lps / scan_lps
+    );
+    json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_storage.json");
     println!("\nwrote {out_path}");
 }

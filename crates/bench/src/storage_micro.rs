@@ -12,8 +12,9 @@ use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use ssi_common::encoding::{KeyBuilder, ValueWriter};
 use ssi_common::{TableId, TxnId};
-use ssi_storage::Table;
+use ssi_storage::{as_ref_bound, decode_entry, entry_range, Index, Table};
 
 use crate::baseline::BaselineTable;
 
@@ -210,6 +211,105 @@ pub fn run_storage_workload<T: StorageUnderTest>(
     }
 }
 
+// ---------------------------------------------------------------------
+// Indexed reads: secondary-index point lookup vs scan-and-filter.
+// ---------------------------------------------------------------------
+
+/// Builds a table of `rows` rows whose single-string values cycle through
+/// `names` distinct names, with a secondary index over the name registered
+/// *before* the preload so every version is indexed on install.
+pub fn setup_indexed(rows: u64, names: u64) -> (Table, std::sync::Arc<Index>) {
+    use ssi_storage::{FieldKind, IndexDef, IndexKeyPart, IndexKeySpec};
+    let table = Table::new(TableId(1), "storage_micro_indexed");
+    let index = std::sync::Arc::new(Index::new(IndexDef {
+        id: TableId(2),
+        name: "by_name".to_string(),
+        table: TableId(1),
+        unique: false,
+        spec: IndexKeySpec {
+            layout: vec![FieldKind::Str],
+            parts: vec![IndexKeyPart::ValueField(0)],
+        },
+    }));
+    table.register_index(index.clone());
+    for i in 0..rows {
+        let value = ValueWriter::new().str(&name_of(i % names)).build();
+        let v = table.install_version(&i.to_be_bytes(), TxnId(1), Some(value));
+        v.mark_committed(10);
+    }
+    (table, index)
+}
+
+fn name_of(n: u64) -> String {
+    format!("name-{n:05}")
+}
+
+/// Resolves every row claiming `name` through the index: entry-range probe,
+/// decode, chain read. Returns the number of rows surfaced.
+pub fn indexed_lookup(table: &Table, index: &Index, name: &str, snapshot_ts: u64) -> usize {
+    let ik = KeyBuilder::new().str(name).build();
+    let (lo, hi) = entry_range(Bound::Included(&ik), Bound::Included(&ik));
+    let mut hits = 0usize;
+    for entry in index.entries_in_range(as_ref_bound(&lo), as_ref_bound(&hi), None) {
+        let Some((_, pk)) = decode_entry(&entry) else {
+            continue;
+        };
+        if table.read(&pk, TxnId(900_000), snapshot_ts).value.is_some() {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// The same predicate answered without the index: scan the whole table and
+/// keep the rows whose value matches `name` — what the TPC-C customer
+/// lookup did before the engine grew secondary indexes.
+pub fn scan_filter_lookup(table: &Table, name: &str, snapshot_ts: u64) -> usize {
+    let needle = ValueWriter::new().str(name).build();
+    table
+        .scan(
+            Bound::Unbounded,
+            Bound::Unbounded,
+            TxnId(900_001),
+            snapshot_ts,
+        )
+        .iter()
+        .filter(|e| e.value.as_deref() == Some(needle.as_slice()))
+        .count()
+}
+
+/// Runs `threads` lookup threads for `duration`, each resolving random
+/// names via `lookup`; returns total lookups and elapsed time.
+pub fn run_lookup_workload(
+    threads: usize,
+    names: u64,
+    duration: Duration,
+    lookup: impl Fn(&str) -> usize + Sync,
+) -> (u64, Duration) {
+    let stop = AtomicBool::new(false);
+    let lookups = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (stop, lookups, lookup) = (&stop, &lookups, &lookup);
+            s.spawn(move || {
+                let mut i = (t as u64) * 7919;
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i = i.wrapping_add(7919);
+                    let hits = lookup(&name_of(i % names));
+                    std::hint::black_box(hits);
+                    local += 1;
+                }
+                lookups.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    (lookups.load(Ordering::Relaxed), start.elapsed())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +330,21 @@ mod tests {
         let baseline = setup_baseline(shape.rows);
         let out = run_storage_workload(&baseline, shape);
         assert!(out.reads > 0 && out.writes > 0 && out.scans > 0);
+    }
+
+    #[test]
+    fn indexed_and_scan_filter_lookups_agree() {
+        let (table, index) = setup_indexed(256, 16);
+        for n in 0..16 {
+            let name = name_of(n);
+            let via_index = indexed_lookup(&table, &index, &name, u64::MAX - 2);
+            let via_scan = scan_filter_lookup(&table, &name, u64::MAX - 2);
+            assert_eq!(via_index, via_scan, "lookup paths disagree for {name}");
+            assert_eq!(via_index, 16, "256 rows over 16 names: 16 each");
+        }
+        let (lookups, elapsed) = run_lookup_workload(2, 16, Duration::from_millis(30), |name| {
+            indexed_lookup(&table, &index, name, u64::MAX - 2)
+        });
+        assert!(lookups > 0 && elapsed.as_millis() > 0);
     }
 }

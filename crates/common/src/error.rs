@@ -99,11 +99,16 @@ pub enum AbortReason {
     /// The application rolled the transaction back (explicit `rollback`,
     /// drop without commit, or a non-engine error inside an operation).
     UserRollback,
+    /// A write would have created a second live row under the same key of
+    /// a *unique* secondary index. Enforced at every isolation level under
+    /// an exclusive index-point lock, so of two concurrent inserts of the
+    /// same unique key exactly one commits and the other gets this reason.
+    UniqueViolation,
 }
 
 impl AbortReason {
     /// Number of distinct reasons (the length of [`AbortReason::ALL`]).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// Every reason, in `index()` order — iterate this to render the
     /// per-reason counters.
@@ -120,6 +125,7 @@ impl AbortReason {
         AbortReason::GapSweepExhausted,
         AbortReason::DegradedRejected,
         AbortReason::UserRollback,
+        AbortReason::UniqueViolation,
     ];
 
     /// Dense index for per-reason counter arrays.
@@ -142,13 +148,14 @@ impl AbortReason {
             AbortReason::GapSweepExhausted => "gap-sweep-exhausted",
             AbortReason::DegradedRejected => "degraded-rejected",
             AbortReason::UserRollback => "user-rollback",
+            AbortReason::UniqueViolation => "unique-violation",
         }
     }
 
     /// The coarse bucket this reason falls into (the thesis' breakdown).
     pub fn kind(self) -> AbortKind {
         match self {
-            AbortReason::WriteConflict => AbortKind::UpdateConflict,
+            AbortReason::WriteConflict | AbortReason::UniqueViolation => AbortKind::UpdateConflict,
             AbortReason::LockDeadlock => AbortKind::Deadlock,
             AbortReason::UserRollback => AbortKind::UserRequested,
             AbortReason::LockTimeout

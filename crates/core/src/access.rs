@@ -13,6 +13,36 @@
 //!   lock protecting the key range (phantom handling, Sec. 3.5);
 //! * `scan` is `get` applied to every row the predicate examines, plus
 //!   SIREAD gap locks so later inserts into the scanned range are detected.
+//!
+//! ## Secondary-index protocol
+//!
+//! Index predicates move the Sec. 3.5 phantom machinery into *entry
+//! space*: lock names are `(index id, encoded entry)` instead of
+//! `(table id, row key)`, but the protocol shape is identical.
+//!
+//! * **Writes** (`index_maintenance`, run before the version is
+//!   installed): for every index whose extracted key *changes* (a fresh
+//!   claim — insert or rename, never a same-key overwrite), the writer
+//!   takes an EXCLUSIVE gap lock on the next entry after its new entry
+//!   (supremum if none) and registers rw-conflicts with SIREAD holders, so
+//!   concurrent index predicates see the phantom. Unique indexes
+//!   additionally serialize claims of one index key under an EXCLUSIVE
+//!   *marker* lock on `(index id, index key)` and check the latest
+//!   committed state under it — a duplicate claim aborts with the typed
+//!   [`AbortReason::UniqueViolation`] at every isolation level, because a
+//!   constraint, unlike serializability, cannot be traded away.
+//! * **Reads** (`do_index_scan`): entries are probed in order; each visited
+//!   entry gets a SIREAD (SSI) or SHARED (S2PL) gap lock, the claiming
+//!   row is then read with the ordinary row protocol, and the row's
+//!   *current* value is re-extracted to filter entries staled by renames
+//!   and deletes (stale entries linger until GC). After the pass the
+//!   locked region is swept to a fixpoint — entries installed concurrently
+//!   between probe and lock are absorbed, exactly like the row scan's gap
+//!   sweep.
+//! * **History**: index reads and writes are recorded under the index's id
+//!   (reads only for entries that pass the filter; absences as gap
+//!   records), so the MVSG verifier checks index predicates like any other
+//!   item — see `verify.rs`.
 
 use std::ops::Bound;
 use std::sync::atomic::Ordering;
@@ -20,14 +50,16 @@ use std::sync::Arc;
 
 use ssi_common::{AbortReason, Bytes, Error, IsolationLevel, Result, Timestamp, TxnId};
 use ssi_lock::{LockKey, LockMode};
-use ssi_storage::{as_ref_bound, clone_bound, VisibleRead};
+use ssi_storage::{
+    as_ref_bound, clone_bound, decode_entry, encode_entry, entry_range, Index, VisibleRead,
+};
 
-use crate::db::TableRef;
+use crate::db::{IndexRef, TableRef};
 use crate::options::LockGranularity;
 use crate::ssi::{self, CallerRole};
 use crate::txn::{Transaction, WriteRecord};
 use crate::txn_shared::DependencyOutcome;
-use crate::verify::ReadRecord;
+use crate::verify::{ReadRecord, WriteRecordEntry};
 
 /// How a speculative read (of a provisionally stamped version) resolved.
 enum Speculation {
@@ -101,6 +133,48 @@ impl Transaction {
             self.run_op(move |txn| txn.do_scan(&table, as_ref_bound(&lower), as_ref_bound(&upper)));
         self.db.metrics.scan.finish(t0);
         result
+    }
+
+    /// Range scan over a secondary index: returns `(primary key, row
+    /// value)` pairs for every visible row whose extracted index key lies
+    /// within the given bounds (which are *raw index keys*, not entry
+    /// bytes), ordered by `(index key, primary key)`.
+    ///
+    /// Resident entries whose visible row version no longer extracts to
+    /// them (stale until version GC reclaims the shadowed version) are
+    /// filtered out by re-extraction; under SSI their *row* read is still
+    /// recorded and SIREAD-locked, so a later rewrite of the row conflicts
+    /// with this scan exactly as a newer version would.
+    pub fn index_scan(
+        &mut self,
+        index: &IndexRef,
+        lower: Bound<&[u8]>,
+        upper: Bound<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Bytes)>> {
+        let index = index.clone();
+        let lower: Bound<Vec<u8>> = clone_bound(lower);
+        let upper: Bound<Vec<u8>> = clone_bound(upper);
+        let t0 = self.db.metrics.scan.start();
+        let result = self.run_op(move |txn| {
+            txn.do_index_scan(&index, as_ref_bound(&lower), as_ref_bound(&upper))
+        });
+        self.db.metrics.scan.finish(t0);
+        result
+    }
+
+    /// [`Transaction::index_scan`] over exactly one index key: every
+    /// visible row whose extracted key equals `index_key`, in primary-key
+    /// order.
+    pub fn index_lookup(
+        &mut self,
+        index: &IndexRef,
+        index_key: &[u8],
+    ) -> Result<Vec<(Vec<u8>, Bytes)>> {
+        self.index_scan(
+            index,
+            Bound::Included(index_key),
+            Bound::Included(index_key),
+        )
     }
 
     /// Scans all keys starting with `prefix`.
@@ -598,12 +672,147 @@ impl Transaction {
             }
         }
 
+        // Secondary-index side of the write: unique enforcement under the
+        // index-point marker lock, entry-space gap locks for fresh claims,
+        // and the verifier's index-space write records. Must run *before*
+        // the version is installed so the shadowed state is still readable.
+        self.index_maintenance(table, key, value.as_deref())?;
+
         let version = table.table.install_version(key, id, value);
         self.writes.push(WriteRecord {
             table: Arc::clone(&table.table),
             key: key.to_vec(),
             version,
         });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Secondary-index maintenance (writer side)
+    // ------------------------------------------------------------------
+
+    /// The index-side protocol of one row write, run before the version is
+    /// installed (see the `ssi_storage::index` module docs for the entry
+    /// lifecycle; storage maintains the entries themselves at version
+    /// install/unlink/purge):
+    ///
+    /// * a write claiming a *fresh* index key under a unique index takes an
+    ///   EXCLUSIVE lock on the `(index id, index key)` point — the marker
+    ///   every claimant of that key serializes through, at every isolation
+    ///   level — and then checks for a surviving other claimant, aborting
+    ///   with [`AbortReason::UniqueViolation`] if one exists. Blocking on
+    ///   the marker is what makes two racing inserts deterministic: the
+    ///   loser waits out the winner's commit and then sees its claim;
+    /// * a fresh claim is an *insert into entry space*: at the phantom-
+    ///   detecting levels it locks the gap after the new entry exactly as a
+    ///   row insert locks its key gap (Fig. 3.7 applied to the index), so
+    ///   concurrent index scans notice it;
+    /// * with history recording on, the write is mirrored into index space
+    ///   for the MVSG verifier: the new entry as a write, the shadowed old
+    ///   entry (key changed or row deleted) as a tombstone write.
+    fn index_maintenance(
+        &mut self,
+        table: &TableRef,
+        key: &[u8],
+        value: Option<&[u8]>,
+    ) -> Result<()> {
+        let indexes = table.table.indexes();
+        if indexes.is_empty() {
+            return Ok(());
+        }
+        let isolation = self.shared.isolation();
+        // The state this write shadows: the latest committed value, or this
+        // transaction's own latest pending write of the key.
+        let old_value = table.table.read_latest_committed(key, self.shared.id());
+        for index in &indexes {
+            let old_ik = old_value
+                .as_ref()
+                .and_then(|v| index.spec().extract(key, v));
+            let new_ik = value.and_then(|v| index.spec().extract(key, v));
+            let fresh_claim = new_ik.is_some() && new_ik != old_ik;
+            if fresh_claim {
+                let ik = new_ik.as_deref().expect("fresh_claim implies Some");
+                if index.unique() {
+                    let marker = LockKey::record(index.id(), ik.to_vec());
+                    let outcome = self.acquire(marker, LockMode::Exclusive)?;
+                    if isolation == IsolationLevel::SerializableSnapshotIsolation {
+                        self.mark_write_conflicts(&outcome.rw_conflicts)?;
+                    }
+                    self.check_unique(table, index, key, ik)?;
+                }
+                if self.gap_locking_enabled()
+                    && matches!(
+                        isolation,
+                        IsolationLevel::StrictTwoPhaseLocking
+                            | IsolationLevel::SerializableSnapshotIsolation
+                    )
+                {
+                    let entry = encode_entry(ik, key);
+                    let gap = match index.next_entry_after(&entry) {
+                        Some(next) => LockKey::gap(index.id(), next.to_vec()),
+                        None => LockKey::supremum(index.id()),
+                    };
+                    let gap_outcome = self.acquire(gap, LockMode::Exclusive)?;
+                    if isolation == IsolationLevel::SerializableSnapshotIsolation {
+                        self.mark_write_conflicts(&gap_outcome.rw_conflicts)?;
+                    }
+                }
+            }
+            if self.db.history.is_some() {
+                if let Some(ik) = &new_ik {
+                    self.index_writes.push(WriteRecordEntry {
+                        table: index.id(),
+                        key: encode_entry(ik, key),
+                        tombstone: false,
+                    });
+                }
+                if let Some(ik) = &old_ik {
+                    if old_ik != new_ik {
+                        self.index_writes.push(WriteRecordEntry {
+                            table: index.id(),
+                            key: encode_entry(ik, key),
+                            tombstone: true,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Unique-constraint check, under the held marker lock: any *other*
+    /// primary key whose latest committed (or this transaction's own
+    /// pending) row still extracts to `ik` makes this write a duplicate.
+    /// Claims are serialized by the marker, so every resident claimant's
+    /// outcome is settled when this runs — a resident entry either belongs
+    /// to a committed claim (violation) or to an aborted/superseded version
+    /// whose row no longer extracts to `ik` (stale, ignored).
+    fn check_unique(
+        &mut self,
+        table: &TableRef,
+        index: &Arc<Index>,
+        pk: &[u8],
+        ik: &[u8],
+    ) -> Result<()> {
+        let (lo, hi) = entry_range(Bound::Included(ik), Bound::Included(ik));
+        for entry in index.entries_in_range(as_ref_bound(&lo), as_ref_bound(&hi), None) {
+            let Some((_, other_pk)) = decode_entry(&entry) else {
+                continue;
+            };
+            if other_pk == pk {
+                continue;
+            }
+            let claimed = table
+                .table
+                .read_latest_committed(&other_pk, self.shared.id())
+                .is_some_and(|v| index.spec().extract(&other_pk, &v).as_deref() == Some(ik));
+            if claimed {
+                return Err(Error::abort_with_reason(
+                    AbortReason::UniqueViolation,
+                    self.shared.id(),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -809,6 +1018,359 @@ impl Transaction {
                     self.absorb_missed_keys_ssi(table, missed, snapshot)?;
                 }
                 Ok(result)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Secondary-index scans (reader side)
+    // ------------------------------------------------------------------
+
+    /// Records a read in *index space* for the history verifier: the entry
+    /// bytes stand in for the key and the index id for the table, and the
+    /// version timestamp is that of the row version whose value extracted
+    /// to the entry's index key — exactly the writer that recorded the
+    /// matching index-space write.
+    fn record_index_read(
+        &mut self,
+        index: &Arc<Index>,
+        entry: &[u8],
+        version_ts: Option<Timestamp>,
+        speculative: bool,
+    ) {
+        if self.db.history.is_some() {
+            self.reads.push(ReadRecord {
+                table: index.id(),
+                key: entry.to_vec(),
+                version_ts,
+                speculative,
+            });
+        }
+    }
+
+    /// Entry-space analogue of [`Transaction::end_gap_target`]: the gap
+    /// that closes an index scan's upper end against inserts just past it.
+    fn index_end_gap(&self, index: &Arc<Index>, upper: &Bound<Vec<u8>>) -> LockKey {
+        let next = match upper {
+            Bound::Unbounded => None,
+            Bound::Included(e) => index
+                .entries_in_range(Bound::Excluded(e.as_slice()), Bound::Unbounded, Some(1))
+                .into_iter()
+                .next(),
+            Bound::Excluded(e) => index
+                .entries_in_range(Bound::Included(e.as_slice()), Bound::Unbounded, Some(1))
+                .into_iter()
+                .next(),
+        };
+        match next {
+            Some(e) => LockKey::gap(index.id(), e.to_vec()),
+            None => LockKey::supremum(index.id()),
+        }
+    }
+
+    /// [`Transaction::sweep_gap_region`] transplanted to entry space: the
+    /// ordered structure queried at the fixpoint is the index's entry map
+    /// instead of the table's key index, and the gap locks taken live in
+    /// the index's lock namespace. The soundness argument is identical —
+    /// after a clean pass every entry in the region carries this
+    /// transaction's gap lock, so a later index insert's next-entry gap
+    /// target must collide with one of them.
+    fn sweep_index_region(
+        &mut self,
+        index: &Arc<Index>,
+        from: Bound<&[u8]>,
+        to: Bound<&[u8]>,
+        visited: &[Vec<u8>],
+        mode: LockMode,
+    ) -> Result<Vec<Vec<u8>>> {
+        const MAX_PASSES: usize = 16;
+        debug_assert!(visited.windows(2).all(|w| w[0] < w[1]));
+        let mut seen: Vec<Vec<u8>> = visited.to_vec();
+        let mut missed: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..MAX_PASSES {
+            let mut grew = false;
+            for entry in index.entries_in_range(from, to, None) {
+                let entry = entry.to_vec();
+                let Err(pos) = seen.binary_search(&entry) else {
+                    continue;
+                };
+                let outcome = self.acquire(LockKey::gap(index.id(), entry.clone()), mode)?;
+                if mode == LockMode::SiRead {
+                    self.mark_read_conflicts(&outcome.rw_conflicts)?;
+                }
+                seen.insert(pos, entry.clone());
+                let mpos = missed.binary_search(&entry).unwrap_err();
+                missed.insert(mpos, entry);
+                grew = true;
+            }
+            if !grew {
+                return Ok(missed);
+            }
+        }
+        Err(Error::abort_with_reason(
+            AbortReason::GapSweepExhausted,
+            self.shared.id(),
+        ))
+    }
+
+    /// 2PL handling of entries [`Transaction::sweep_index_region`]
+    /// discovered: lock and read the entry's row, keep it if its value
+    /// still extracts to the entry's index key, splicing in entry order.
+    fn absorb_missed_entries_2pl(
+        &mut self,
+        table: &TableRef,
+        index: &Arc<Index>,
+        missed: Vec<Vec<u8>>,
+        result: &mut Vec<(Vec<u8>, Vec<u8>, Bytes)>,
+    ) -> Result<()> {
+        let id = self.shared.id();
+        for entry in missed {
+            let Some((ik, pk)) = decode_entry(&entry) else {
+                continue;
+            };
+            let lock = self.lock_target(table, &pk);
+            self.acquire(lock, LockMode::Shared)?;
+            let value = table.table.read_latest_committed(&pk, id);
+            let ts = table.table.newest_committed_ts(&pk);
+            self.record_read(table, &pk, ts, false);
+            let live = value
+                .as_ref()
+                .is_some_and(|v| index.spec().extract(&pk, v).as_deref() == Some(ik.as_slice()));
+            if live {
+                self.record_index_read(index, &entry, ts, false);
+                let pos = result
+                    .binary_search_by(|(e, _, _)| e.as_slice().cmp(&entry))
+                    .unwrap_or_else(|p| p);
+                result.insert(pos, (entry, pk, value.expect("live implies Some")));
+            }
+        }
+        Ok(())
+    }
+
+    /// SSI handling of one entry [`Transaction::sweep_index_region`]
+    /// discovered: exactly the cursor-visited treatment — row SIREAD,
+    /// snapshot probe under it, conflicts with the creators of newer
+    /// versions — with the row kept (spliced in entry order) only if its
+    /// snapshot-visible value still extracts to the entry's index key.
+    fn examine_index_entry_ssi(
+        &mut self,
+        table: &TableRef,
+        index: &Arc<Index>,
+        entry: Vec<u8>,
+        snapshot: Timestamp,
+        result: &mut Vec<(Vec<u8>, Vec<u8>, Bytes)>,
+    ) -> Result<()> {
+        let Some((ik, pk)) = decode_entry(&entry) else {
+            return Ok(());
+        };
+        let lock = self.lock_target(table, &pk);
+        let outcome = self.acquire(lock, LockMode::SiRead)?;
+        self.mark_read_conflicts(&outcome.rw_conflicts)?;
+        let probe = self.snapshot_read(table, &pk, snapshot);
+        self.mark_read_conflicts(&probe.newer_creators)?;
+        if !probe.read_own_write {
+            self.record_read(
+                table,
+                &pk,
+                probe.read_version_ts,
+                probe.speculative_of.is_some(),
+            );
+        }
+        let live = probe
+            .value
+            .as_ref()
+            .is_some_and(|v| index.spec().extract(&pk, v).as_deref() == Some(ik.as_slice()));
+        if live {
+            if !probe.read_own_write {
+                self.record_index_read(
+                    index,
+                    &entry,
+                    probe.read_version_ts,
+                    probe.speculative_of.is_some(),
+                );
+            }
+            let pos = result
+                .binary_search_by(|(e, _, _)| e.as_slice().cmp(&entry))
+                .unwrap_or_else(|p| p);
+            result.insert(pos, (entry, pk, probe.value.expect("live implies Some")));
+        }
+        Ok(())
+    }
+
+    /// Index-space analogue of [`Transaction::do_scan`]. The raw
+    /// index-key bounds are first mapped to entry-space bounds
+    /// ([`entry_range`]); each resident entry in that range names a
+    /// `(index key, primary key)` pair whose row is then read under the
+    /// level's ordinary row protocol, and kept only if the value the read
+    /// actually returned still extracts to the entry's index key — stale
+    /// entries awaiting GC filter out here. Gap locks (2PL Shared, SSI
+    /// SIREAD) live in the *index's* lock namespace, one per visited entry
+    /// plus the region's end gap, closed by the same missed-entry sweep as
+    /// row scans; a writer inserting a fresh index key takes the EXCLUSIVE
+    /// gap on its successor entry and collides with them.
+    fn do_index_scan(
+        &mut self,
+        index: &IndexRef,
+        lower: Bound<&[u8]>,
+        upper: Bound<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Bytes)>> {
+        let id = self.shared.id();
+        let table = index.table.clone();
+        let idx = Arc::clone(&index.index);
+        let (lo, hi) = entry_range(lower, upper);
+        match self.shared.isolation() {
+            IsolationLevel::ReadCommitted => {
+                let mut result = Vec::new();
+                for entry in idx.entries_in_range(as_ref_bound(&lo), as_ref_bound(&hi), None) {
+                    let Some((ik, pk)) = decode_entry(&entry) else {
+                        continue;
+                    };
+                    if let Some(value) = table.table.read_latest_committed(&pk, id) {
+                        if idx.spec().extract(&pk, &value).as_deref() == Some(ik.as_slice()) {
+                            result.push((pk, value));
+                        }
+                    }
+                }
+                Ok(result)
+            }
+            IsolationLevel::StrictTwoPhaseLocking => {
+                let gap_on = self.gap_locking_enabled();
+                let mut result: Vec<(Vec<u8>, Vec<u8>, Bytes)> = Vec::new();
+                let mut visited: Vec<Vec<u8>> = Vec::new();
+                for entry in idx.entries_in_range(as_ref_bound(&lo), as_ref_bound(&hi), None) {
+                    let entry_vec = entry.to_vec();
+                    if gap_on {
+                        self.acquire(LockKey::gap(idx.id(), entry_vec.clone()), LockMode::Shared)?;
+                        visited.push(entry_vec.clone());
+                    }
+                    let Some((ik, pk)) = decode_entry(&entry) else {
+                        continue;
+                    };
+                    let lock = self.lock_target(&table, &pk);
+                    self.acquire(lock, LockMode::Shared)?;
+                    let value = table.table.read_latest_committed(&pk, id);
+                    let ts = table.table.newest_committed_ts(&pk);
+                    self.record_read(&table, &pk, ts, false);
+                    let live = value.as_ref().is_some_and(|v| {
+                        idx.spec().extract(&pk, v).as_deref() == Some(ik.as_slice())
+                    });
+                    if live {
+                        self.record_index_read(&idx, &entry_vec, ts, false);
+                        result.push((entry_vec, pk, value.expect("live implies Some")));
+                    }
+                }
+                if gap_on {
+                    let end_gap = self.index_end_gap(&idx, &hi);
+                    self.acquire(end_gap, LockMode::Shared)?;
+                    let missed = self.sweep_index_region(
+                        &idx,
+                        as_ref_bound(&lo),
+                        as_ref_bound(&hi),
+                        &visited,
+                        LockMode::Shared,
+                    )?;
+                    self.absorb_missed_entries_2pl(&table, &idx, missed, &mut result)?;
+                }
+                Ok(result.into_iter().map(|(_, pk, v)| (pk, v)).collect())
+            }
+            IsolationLevel::SnapshotIsolation => {
+                let snapshot = self.db.txns.ensure_snapshot(&self.shared);
+                let mut result = Vec::new();
+                for entry in idx.entries_in_range(as_ref_bound(&lo), as_ref_bound(&hi), None) {
+                    let Some((ik, pk)) = decode_entry(&entry) else {
+                        continue;
+                    };
+                    let read = self.snapshot_read(&table, &pk, snapshot);
+                    if !read.read_own_write {
+                        self.record_read(
+                            &table,
+                            &pk,
+                            read.read_version_ts,
+                            read.speculative_of.is_some(),
+                        );
+                    }
+                    let live = read.value.as_ref().is_some_and(|v| {
+                        idx.spec().extract(&pk, v).as_deref() == Some(ik.as_slice())
+                    });
+                    if live {
+                        if !read.read_own_write {
+                            self.record_index_read(
+                                &idx,
+                                &entry,
+                                read.read_version_ts,
+                                read.speculative_of.is_some(),
+                            );
+                        }
+                        result.push((pk, read.value.expect("live implies Some")));
+                    }
+                }
+                Ok(result)
+            }
+            IsolationLevel::SerializableSnapshotIsolation => {
+                let snapshot = self.db.txns.ensure_snapshot(&self.shared);
+                let gap_on = self.gap_locking_enabled();
+                let mut result: Vec<(Vec<u8>, Vec<u8>, Bytes)> = Vec::new();
+                let mut visited: Vec<Vec<u8>> = Vec::new();
+                for entry in idx.entries_in_range(as_ref_bound(&lo), as_ref_bound(&hi), None) {
+                    let entry_vec = entry.to_vec();
+                    // SIREAD the gap before the entry so inserts into the
+                    // scanned entry range are detected…
+                    if gap_on {
+                        let gap_outcome = self
+                            .acquire(LockKey::gap(idx.id(), entry_vec.clone()), LockMode::SiRead)?;
+                        self.mark_read_conflicts(&gap_outcome.rw_conflicts)?;
+                        visited.push(entry_vec.clone());
+                    }
+                    let Some((ik, pk)) = decode_entry(&entry) else {
+                        continue;
+                    };
+                    // …then the entry's row under the ordinary Fig. 3.4/3.6
+                    // protocol: SIREAD, probe under the lock, conflict with
+                    // newer creators.
+                    let lock = self.lock_target(&table, &pk);
+                    let outcome = self.acquire(lock, LockMode::SiRead)?;
+                    self.mark_read_conflicts(&outcome.rw_conflicts)?;
+                    let probe = self.snapshot_read(&table, &pk, snapshot);
+                    self.mark_read_conflicts(&probe.newer_creators)?;
+                    if !probe.read_own_write {
+                        self.record_read(
+                            &table,
+                            &pk,
+                            probe.read_version_ts,
+                            probe.speculative_of.is_some(),
+                        );
+                    }
+                    let live = probe.value.as_ref().is_some_and(|v| {
+                        idx.spec().extract(&pk, v).as_deref() == Some(ik.as_slice())
+                    });
+                    if live {
+                        if !probe.read_own_write {
+                            self.record_index_read(
+                                &idx,
+                                &entry_vec,
+                                probe.read_version_ts,
+                                probe.speculative_of.is_some(),
+                            );
+                        }
+                        result.push((entry_vec, pk, probe.value.expect("live implies Some")));
+                    }
+                }
+                if gap_on {
+                    let end_gap = self.index_end_gap(&idx, &hi);
+                    let gap_outcome = self.acquire(end_gap, LockMode::SiRead)?;
+                    self.mark_read_conflicts(&gap_outcome.rw_conflicts)?;
+                    let missed = self.sweep_index_region(
+                        &idx,
+                        as_ref_bound(&lo),
+                        as_ref_bound(&hi),
+                        &visited,
+                        LockMode::SiRead,
+                    )?;
+                    for entry in missed {
+                        self.examine_index_entry_ssi(&table, &idx, entry, snapshot, &mut result)?;
+                    }
+                }
+                Ok(result.into_iter().map(|(_, pk, v)| (pk, v)).collect())
             }
         }
     }

@@ -13,7 +13,7 @@ use ssi_obs::{
     EngineMetrics, EventKind, GcMetrics, HistSummary, LatencyMetrics, LockMetrics, MetricsSnapshot,
     TableMetrics, Trace, TraceBatch, TraceHandle, TxnMetrics, WalMetrics,
 };
-use ssi_storage::{Catalog, PageMap, PurgeStats, Table, WriteAheadLog};
+use ssi_storage::{Catalog, Index, IndexKeySpec, PageMap, PurgeStats, Table, WriteAheadLog};
 use ssi_wal::{
     CheckpointStats, Checkpointer, PoisonCause, Recovered, StdVfs, SyncPolicy, Vfs, WalStats,
     WalWriter,
@@ -58,6 +58,47 @@ impl TableRef {
 impl std::fmt::Debug for TableRef {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "TableRef({})", self.table.name())
+    }
+}
+
+/// Handle to a secondary index (paired with its base table), cheap to clone
+/// and pass to [`Transaction::index_scan`](crate::Transaction::index_scan).
+#[derive(Clone)]
+pub struct IndexRef {
+    pub(crate) index: Arc<Index>,
+    pub(crate) table: TableRef,
+}
+
+impl IndexRef {
+    /// Index id (drawn from the same id space as tables).
+    pub fn id(&self) -> TableId {
+        self.index.id()
+    }
+
+    /// Index name.
+    pub fn name(&self) -> &str {
+        self.index.name()
+    }
+
+    /// The base table the index covers.
+    pub fn table(&self) -> &TableRef {
+        &self.table
+    }
+
+    /// True for unique indexes.
+    pub fn unique(&self) -> bool {
+        self.index.unique()
+    }
+
+    /// Number of distinct resident entries (stale ones included until GC).
+    pub fn entry_count(&self) -> usize {
+        self.index.entry_count()
+    }
+}
+
+impl std::fmt::Debug for IndexRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IndexRef({})", self.index.name())
     }
 }
 
@@ -173,6 +214,26 @@ impl DbInner {
             .wal
             .rotate(|| self.txns.current_ts())
             .map_err(|e| Error::Durability(format!("log rotation failed: {e}")))?;
+        // The snapshot persists tables and rows but not index definitions,
+        // and the truncation below prunes the segments holding their
+        // original create records: re-log every definition into the fresh
+        // segment so recovery can re-register (and backfill) the indexes.
+        // Creates are quiesced (`create_lock` held), so this set is
+        // complete and no concurrent create can interleave.
+        for index in self.catalog.indexes() {
+            durable
+                .wal
+                .append_create_index(
+                    index.id(),
+                    index.table_id(),
+                    index.name(),
+                    index.unique(),
+                    index.spec().encode(),
+                )
+                .map_err(|e| {
+                    Error::Durability(format!("re-logging index {}: {e}", index.name()))
+                })?;
+        }
         let stats = Checkpointer::with_vfs(durable.vfs.clone(), &durable.dir)
             .run(&self.catalog, cut_ts, old_seq)
             .map_err(|e| Error::Durability(format!("checkpoint at ts {cut_ts} failed: {e}")))?;
@@ -555,6 +616,61 @@ impl Database {
             }
         };
         Ok(TableRef { table })
+    }
+
+    /// Creates a secondary index on `table` and backfills it from the
+    /// table's committed state, atomically with respect to concurrent
+    /// writers. With durability enabled the definition is *logged first*
+    /// exactly like [`Database::create_table`]; index entries themselves
+    /// are never logged — recovery rebuilds them by backfill over the
+    /// replayed version chains.
+    pub fn create_index(
+        &self,
+        name: &str,
+        table: &TableRef,
+        unique: bool,
+        spec: IndexKeySpec,
+    ) -> Result<IndexRef> {
+        if let Some(err) = self.inner.health.write_block_error() {
+            return Err(err);
+        }
+        let index = match &self.inner.durable {
+            None => self
+                .inner
+                .catalog
+                .create_index(name, &table.table, unique, spec)?,
+            Some(durable) => {
+                let _serialize = durable.create_lock.lock();
+                if self.inner.catalog.index(name).is_ok() {
+                    return Err(Error::TableExists(name.to_string()));
+                }
+                let id = self.inner.catalog.next_table_id();
+                durable
+                    .wal
+                    .append_create_index(id, table.id(), name, unique, spec.encode())
+                    .map_err(|e| Error::Durability(format!("logging create_index({name}): {e}")))?;
+                let index = self
+                    .inner
+                    .catalog
+                    .create_index(name, &table.table, unique, spec)?;
+                debug_assert_eq!(index.id(), id, "create serialization violated");
+                index
+            }
+        };
+        Ok(IndexRef {
+            index,
+            table: table.clone(),
+        })
+    }
+
+    /// Looks up a secondary index by name.
+    pub fn index(&self, name: &str) -> Result<IndexRef> {
+        let index = self.inner.catalog.index(name)?;
+        let table = self.inner.catalog.table_by_id(index.table_id())?;
+        Ok(IndexRef {
+            index,
+            table: TableRef { table },
+        })
     }
 
     /// Looks up a table by name.

@@ -10,7 +10,12 @@
 //! * [`Database`] owns the catalog, lock manager, transaction manager and
 //!   write-ahead log;
 //! * [`Transaction`] is the client handle with `get` / `get_for_update` /
-//!   `put` / `delete` / `scan` operations and `commit` / `rollback`;
+//!   `put` / `delete` / `scan` operations and `commit` / `rollback`, plus
+//!   `index_scan` / `index_lookup` over secondary indexes declared with
+//!   [`Database::create_index`] — index predicates get the same SSI
+//!   phantom protection as primary-key scans, and unique indexes abort
+//!   duplicate claims with a typed violation at every isolation level
+//!   (protocol in the `access` module docs);
 //! * [`Options`] selects the isolation level and the experimental knobs the
 //!   paper studies: row- vs page-granularity locking, basic vs enhanced
 //!   conflict tracking, SIREAD-lock upgrades, victim selection, simulated
@@ -75,7 +80,7 @@ mod access;
 #[cfg(test)]
 mod engine_tests;
 
-pub use db::{Database, TableRef};
+pub use db::{Database, IndexRef, TableRef};
 pub use health::DbHealth;
 pub use maintenance::{MaintenanceEvent, MaintenanceHook};
 pub use manager::{CommitPauseHook, CommitPhase, GcPin, ManagerStats, TransactionManager};
@@ -98,7 +103,7 @@ pub use ssi_obs::{
     EngineMetrics, EventKind, GcMetrics, HistSummary, LatencyMetrics, LockMetrics, MetricsSnapshot,
     TableMetrics, TraceBatch, TraceEvent, TxnMetrics, WalMetrics,
 };
-pub use ssi_storage::PurgeStats;
+pub use ssi_storage::{FieldKind, IndexKeyPart, IndexKeySpec, PurgeStats};
 pub use ssi_wal::{
     CheckpointStats, FaultMode, FaultOp, FaultRule, FaultVfs, FlushEvent, FlushReason, Recovered,
     StdVfs, Vfs, WalStats,

@@ -51,6 +51,11 @@ pub struct Transaction {
     /// Reads recorded for the serializability verifier (only when the
     /// database was opened with history recording).
     pub(crate) reads: Vec<ReadRecord>,
+    /// Index-space writes recorded for the verifier: one entry per
+    /// secondary-index entry this transaction's row writes add or shadow,
+    /// keyed by `(index id, entry bytes)` so they flow through the MVSG
+    /// exactly like row writes. Only populated with history recording on.
+    pub(crate) index_writes: Vec<WriteRecordEntry>,
     /// Creators of provisionally stamped versions this transaction read
     /// speculatively. Every one of them must settle (commit) before this
     /// transaction may finalize its own commit; if any aborts, this
@@ -70,6 +75,7 @@ impl Transaction {
             locks: HashMap::new(),
             writes: Vec::new(),
             reads: Vec::new(),
+            index_writes: Vec::new(),
             speculative_deps: Vec::new(),
             read_only,
         }
@@ -398,6 +404,7 @@ impl Transaction {
                         key: w.key.clone(),
                         tombstone: w.version.is_tombstone(),
                     })
+                    .chain(std::mem::take(&mut self.index_writes))
                     .collect(),
             });
         }
@@ -525,6 +532,7 @@ impl Transaction {
             w.table.unlink_version(&w.key, &w.version);
         }
         self.writes.clear();
+        self.index_writes.clear();
 
         let locks = std::mem::take(&mut self.locks);
         for (key, modes) in locks {

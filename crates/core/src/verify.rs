@@ -15,6 +15,14 @@
 //! the same item in version order, wr-edges from a version's creator to its
 //! readers, and rw-antidependencies from a reader of a version to the writer
 //! of any later version of the same item.
+//!
+//! Secondary-index predicates need no special casing here: index scans
+//! record their reads (present entries with the claiming row's version
+//! timestamp, absences with `version_ts: None`) under the *index's* id, and
+//! index maintenance records entry installs/retirements as writes under the
+//! same id. An index entry is thus just another item, and a phantom slipping
+//! past the entry-space gap locks shows up as an ordinary rw-antidependency
+//! cycle.
 
 use std::collections::{HashMap, HashSet};
 

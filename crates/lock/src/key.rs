@@ -5,6 +5,13 @@
 //! next-key/gap locking, used to detect and prevent phantoms, Sec. 3.5), a
 //! *page* (Berkeley-DB-style page locking, Sec. 4.2), or the table *supremum*
 //! (the gap after the last record).
+//!
+//! The [`TableId`] in a [`LockKey`] names a lock *namespace*, not only a
+//! table: secondary indexes reuse the same machinery with their own id, so
+//! `Record(entry)` under an index id is a unique-constraint marker lock,
+//! `Gap(entry)` protects the gap before an index entry, and `Supremum` the
+//! gap after the last entry. The lock manager is oblivious to which
+//! namespace a key lives in.
 
 use ssi_common::TableId;
 use std::fmt;

@@ -174,6 +174,43 @@ impl Client {
         })
     }
 
+    /// Creates a secondary index over `table`. `spec` is the encoded
+    /// [`ssi_core::IndexKeySpec`] (use `IndexKeySpec::encode`).
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        unique: bool,
+        spec: Vec<u8>,
+    ) -> ClientResult<()> {
+        self.expect_ok(&Request::CreateIndex {
+            name: name.to_string(),
+            table: table.to_string(),
+            unique,
+            spec,
+        })
+    }
+
+    /// Autocommit secondary-index range scan over *raw index keys*;
+    /// returns `(primary key, row value)` pairs in `(index key, primary
+    /// key)` order. `limit == 0` means unlimited.
+    pub fn index_scan(
+        &mut self,
+        index: &str,
+        lower: Bound<Vec<u8>>,
+        upper: Bound<Vec<u8>>,
+        limit: u32,
+    ) -> ClientResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let resp = self.call(&Request::IndexScan {
+            handle: AUTOCOMMIT,
+            index: index.to_string(),
+            lower,
+            upper,
+            limit,
+        })?;
+        expect_rows(resp)
+    }
+
     /// Fetches the server's metrics in Prometheus text format (engine
     /// counters plus the `ssi_server_*` service-layer overlay).
     pub fn metrics_text(&mut self) -> ClientResult<String> {
@@ -332,6 +369,27 @@ impl ClientTxn<'_> {
         let resp = self.client.call(&Request::Scan {
             handle,
             table: table.to_string(),
+            lower,
+            upper,
+            limit,
+        })?;
+        self.note_abort(&resp);
+        expect_rows(resp)
+    }
+
+    /// Secondary-index range scan inside this transaction (see
+    /// [`Client::index_scan`] for bound semantics and ordering).
+    pub fn index_scan(
+        &mut self,
+        index: &str,
+        lower: Bound<Vec<u8>>,
+        upper: Bound<Vec<u8>>,
+        limit: u32,
+    ) -> ClientResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let handle = self.handle;
+        let resp = self.client.call(&Request::IndexScan {
+            handle,
+            index: index.to_string(),
             lower,
             upper,
             limit,

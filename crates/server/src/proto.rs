@@ -36,6 +36,8 @@ const OP_ROLLBACK: u8 = 0x07;
 const OP_CREATE_TABLE: u8 = 0x08;
 const OP_METRICS: u8 = 0x09;
 const OP_PING: u8 = 0x0a;
+const OP_CREATE_INDEX: u8 = 0x0b;
+const OP_INDEX_SCAN: u8 = 0x0c;
 
 // Response status codes. 0 is success; everything else is a typed error.
 const ST_OK: u8 = 0;
@@ -198,6 +200,27 @@ pub enum Request {
     },
     CreateTable {
         name: String,
+    },
+    /// Create a secondary index named `name` over `table`. `spec` is the
+    /// [`ssi_storage::IndexKeySpec`] wire encoding (the same bytes the WAL
+    /// logs); the server rejects undecodable specs as [`BadRequest`]
+    /// (ErrorCode::BadRequest). Like `CreateTable`, runs outside any
+    /// transaction.
+    CreateIndex {
+        name: String,
+        table: String,
+        unique: bool,
+        spec: Vec<u8>,
+    },
+    /// Range scan over a secondary index; bounds are *raw index keys*
+    /// (not entry bytes). Returns `(primary key, row value)` pairs in
+    /// `(index key, primary key)` order. `limit == 0` means unlimited.
+    IndexScan {
+        handle: u64,
+        index: String,
+        lower: Bound<Vec<u8>>,
+        upper: Bound<Vec<u8>>,
+        limit: u32,
     },
     /// Prometheus-style metrics exposition (engine + server counters).
     Metrics,
@@ -402,6 +425,32 @@ impl Request {
                 out.push(OP_CREATE_TABLE);
                 put_str(&mut out, name);
             }
+            Request::CreateIndex {
+                name,
+                table,
+                unique,
+                spec,
+            } => {
+                out.push(OP_CREATE_INDEX);
+                put_str(&mut out, name);
+                put_str(&mut out, table);
+                out.push(*unique as u8);
+                put_bytes(&mut out, spec);
+            }
+            Request::IndexScan {
+                handle,
+                index,
+                lower,
+                upper,
+                limit,
+            } => {
+                out.push(OP_INDEX_SCAN);
+                put_u64(&mut out, *handle);
+                put_str(&mut out, index);
+                put_bound(&mut out, lower);
+                put_bound(&mut out, upper);
+                put_u32(&mut out, *limit);
+            }
             Request::Metrics => out.push(OP_METRICS),
             Request::Ping => out.push(OP_PING),
         }
@@ -443,6 +492,23 @@ impl Request {
             OP_COMMIT => Request::Commit { handle: r.u64()? },
             OP_ROLLBACK => Request::Rollback { handle: r.u64()? },
             OP_CREATE_TABLE => Request::CreateTable { name: r.str()? },
+            OP_CREATE_INDEX => Request::CreateIndex {
+                name: r.str()?,
+                table: r.str()?,
+                unique: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(DecodeError("unknown unique flag")),
+                },
+                spec: r.bytes()?,
+            },
+            OP_INDEX_SCAN => Request::IndexScan {
+                handle: r.u64()?,
+                index: r.str()?,
+                lower: r.bound()?,
+                upper: r.bound()?,
+                limit: r.u32()?,
+            },
             OP_METRICS => Request::Metrics,
             OP_PING => Request::Ping,
             _ => return Err(DecodeError("unknown opcode")),
@@ -677,8 +743,37 @@ mod tests {
         roundtrip_req(Request::Commit { handle: 3 });
         roundtrip_req(Request::Rollback { handle: 4 });
         roundtrip_req(Request::CreateTable { name: "x".into() });
+        roundtrip_req(Request::CreateIndex {
+            name: "accounts_by_owner".into(),
+            table: "accounts".into(),
+            unique: true,
+            spec: vec![0x01, 0x00, 0xff],
+        });
+        roundtrip_req(Request::IndexScan {
+            handle: 5,
+            index: "accounts_by_owner".into(),
+            lower: Bound::Included(b"a".to_vec()),
+            upper: Bound::Unbounded,
+            limit: 10,
+        });
         roundtrip_req(Request::Metrics);
         roundtrip_req(Request::Ping);
+    }
+
+    #[test]
+    fn create_index_rejects_bad_unique_flag() {
+        let mut buf = Request::CreateIndex {
+            name: "i".into(),
+            table: "t".into(),
+            unique: false,
+            spec: vec![],
+        }
+        .encode();
+        // name "i": 2+1 bytes; table "t": 2+1 bytes; unique flag follows.
+        let flag_at = 1 + 3 + 3;
+        assert_eq!(buf[flag_at], 0);
+        buf[flag_at] = 2;
+        assert!(Request::decode(&buf).is_err());
     }
 
     #[test]

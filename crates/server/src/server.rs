@@ -736,6 +736,52 @@ fn handle_request(shared: &Shared, session: &Session, request: Request) -> Respo
             Ok(_) => Response::Ok,
             Err(e) => error_response(&e),
         },
+        Request::CreateIndex {
+            name,
+            table,
+            unique,
+            spec,
+        } => {
+            let Some(spec) = ssi_core::IndexKeySpec::decode(&spec) else {
+                return Response::Err(
+                    ErrorCode::BadRequest,
+                    "undecodable index key spec".to_string(),
+                );
+            };
+            let table = match db.table(&table) {
+                Ok(table) => table,
+                Err(e) => return error_response(&e),
+            };
+            match db.create_index(&name, &table, unique, spec) {
+                Ok(_) => Response::Ok,
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::IndexScan {
+            handle,
+            index,
+            lower,
+            upper,
+            limit,
+        } => with_txn(shared, session, handle, false, |txn| {
+            let index = db.index(&index)?;
+            fn as_ref(b: &Bound<Vec<u8>>) -> Bound<&[u8]> {
+                match b {
+                    Bound::Unbounded => Bound::Unbounded,
+                    Bound::Included(k) => Bound::Included(k.as_slice()),
+                    Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+                }
+            }
+            let mut rows = txn.index_scan(&index, as_ref(&lower), as_ref(&upper))?;
+            if limit != 0 && rows.len() > limit as usize {
+                rows.truncate(limit as usize);
+            }
+            Ok(Response::Rows(
+                rows.into_iter()
+                    .map(|(k, v)| (k, v.as_ref().to_vec()))
+                    .collect(),
+            ))
+        }),
         Request::Metrics => {
             let mut snapshot = db.metrics();
             snapshot.server = shared.server_metrics();

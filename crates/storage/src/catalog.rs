@@ -1,4 +1,8 @@
-//! The catalog: named tables of one database instance.
+//! The catalog: named tables (and secondary indexes) of one database
+//! instance. Indexes draw their ids from the same counter as tables, so a
+//! [`TableId`] addresses either a table's row space or an index's entry
+//! space — which is what lets lock keys and history records cover index
+//! reads without a second key type.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -8,6 +12,7 @@ use parking_lot::RwLock;
 
 use ssi_common::{Error, Result, TableId, Timestamp};
 
+use crate::index::{Index, IndexDef, IndexKeySpec};
 use crate::table::{PurgeStats, Table};
 
 /// Set of tables addressable by name or by [`TableId`].
@@ -15,6 +20,8 @@ use crate::table::{PurgeStats, Table};
 pub struct Catalog {
     by_name: RwLock<HashMap<String, Arc<Table>>>,
     by_id: RwLock<HashMap<TableId, Arc<Table>>>,
+    indexes_by_name: RwLock<HashMap<String, Arc<Index>>>,
+    indexes_by_id: RwLock<HashMap<TableId, Arc<Index>>>,
     next_id: AtomicU32,
 }
 
@@ -24,6 +31,8 @@ impl Catalog {
         Catalog {
             by_name: RwLock::new(HashMap::new()),
             by_id: RwLock::new(HashMap::new()),
+            indexes_by_name: RwLock::new(HashMap::new()),
+            indexes_by_id: RwLock::new(HashMap::new()),
             next_id: AtomicU32::new(1),
         }
     }
@@ -66,6 +75,95 @@ impl Catalog {
     /// the table. Only meaningful while the caller serializes creates.
     pub fn next_table_id(&self) -> TableId {
         TableId(self.next_id.load(Ordering::Relaxed))
+    }
+
+    /// Creates a secondary index on `table` and backfills it from the
+    /// table's resident versions (atomic with respect to concurrent writes
+    /// — see [`Table::register_index`]). Index names live in their own
+    /// namespace; the id comes from the shared table-id counter.
+    pub fn create_index(
+        &self,
+        name: &str,
+        table: &Arc<Table>,
+        unique: bool,
+        spec: IndexKeySpec,
+    ) -> Result<Arc<Index>> {
+        let mut by_name = self.indexes_by_name.write();
+        if by_name.contains_key(name) {
+            return Err(Error::TableExists(name.to_string()));
+        }
+        let id = TableId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let index = Arc::new(Index::new(IndexDef {
+            id,
+            name: name.to_string(),
+            table: table.id(),
+            unique,
+            spec,
+        }));
+        table.register_index(index.clone());
+        by_name.insert(name.to_string(), index.clone());
+        self.indexes_by_id.write().insert(id, index.clone());
+        Ok(index)
+    }
+
+    /// Creates an index with an explicit id (crash recovery replaying a
+    /// logged create-index record). Idempotent for a matching `(id, name)`
+    /// pair — the existing handle is returned *without* a second backfill —
+    /// and an error when either is already bound differently. `next_id` is
+    /// advanced past `id` like [`Catalog::create_table_with_id`].
+    pub fn create_index_with_id(
+        &self,
+        id: TableId,
+        name: &str,
+        table: &Arc<Table>,
+        unique: bool,
+        spec: IndexKeySpec,
+    ) -> Result<Arc<Index>> {
+        let mut by_name = self.indexes_by_name.write();
+        let mut by_id = self.indexes_by_id.write();
+        match (by_name.get(name), by_id.get(&id)) {
+            (Some(existing), _) if existing.id() == id => return Ok(existing.clone()),
+            (Some(_), _) | (_, Some(_)) => return Err(Error::TableExists(name.to_string())),
+            (None, None) => {}
+        }
+        self.next_id.fetch_max(id.0 + 1, Ordering::Relaxed);
+        let index = Arc::new(Index::new(IndexDef {
+            id,
+            name: name.to_string(),
+            table: table.id(),
+            unique,
+            spec,
+        }));
+        table.register_index(index.clone());
+        by_name.insert(name.to_string(), index.clone());
+        by_id.insert(id, index.clone());
+        Ok(index)
+    }
+
+    /// Looks an index up by name.
+    pub fn index(&self, name: &str) -> Result<Arc<Index>> {
+        self.indexes_by_name
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchTable(name.to_string()))
+    }
+
+    /// Looks an index up by id.
+    pub fn index_by_id(&self, id: TableId) -> Result<Arc<Index>> {
+        self.indexes_by_id
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchTable(format!("{id:?}")))
+    }
+
+    /// All indexes (checkpointing re-logs their create records; tests
+    /// inspect them). Sorted by id so the order is deterministic.
+    pub fn indexes(&self) -> Vec<Arc<Index>> {
+        let mut all: Vec<Arc<Index>> = self.indexes_by_id.read().values().cloned().collect();
+        all.sort_by_key(|i| i.id().0);
+        all
     }
 
     /// Looks a table up by name.

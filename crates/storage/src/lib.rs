@@ -14,18 +14,43 @@
 //!   (Figs. 6.1 vs 6.2);
 //! * [`PageMap`] — a mapping from keys to page numbers so the engine can lock
 //!   and detect conflicts at Berkeley-DB-style page granularity (Sec. 4.2)
-//!   instead of InnoDB-style row granularity.
+//!   instead of InnoDB-style row granularity;
+//! * [`Index`] — an ordered secondary-index tier over a table (InnoDB keeps
+//!   its secondary indexes in the same B-tree machinery its primary
+//!   key-space uses; we mirror that with a dedicated entry tree).
+//!
+//! ## Secondary-index maintenance protocol
+//!
+//! Index entries are `(escaped index key, primary key)` pairs (see
+//! [`encode_entry`]) held in an ordered map of *reference counts*, one
+//! reference per resident version whose payload extracts to the entry's
+//! index key:
+//!
+//! * [`Table::install_version`] adds a reference for the new version's
+//!   extraction inside the shard-lock critical section, so a concurrent
+//!   backfill ([`Table::register_index`]) can never double- or un-count it;
+//! * [`Table::unlink_version`] (rollback) and version GC release
+//!   references; an entry disappears when its count reaches zero;
+//! * entries are therefore *conservative*: a stale entry may linger until
+//!   GC reaps the versions that fed it, and readers re-extract from the
+//!   row's visible value to filter. An entry can never be *missing* for a
+//!   resident version — that is the invariant scans rely on.
 //!
 //! The substrate is deliberately free of concurrency-control policy: it knows
-//! nothing about SI, S2PL or SSI. All policy lives in `ssi-core`.
+//! nothing about SI, S2PL or SSI. All policy (entry-space SIREAD/gap locks,
+//! unique-marker locks, rw-conflict flagging) lives in `ssi-core`.
 
 pub mod catalog;
+pub mod index;
 pub mod page;
 pub mod table;
 pub mod version;
 pub mod wal;
 
 pub use catalog::Catalog;
+pub use index::{
+    decode_entry, encode_entry, entry_range, FieldKind, Index, IndexDef, IndexKeyPart, IndexKeySpec,
+};
 pub use page::PageMap;
 pub use table::{
     as_ref_bound, clone_bound, PurgeStats, ScanCursor, ScanEntry, ScanPage, Table, VisibleRead,

@@ -64,6 +64,23 @@
 //! writer of a new key must acquire the gap lock covering it, where it
 //! meets the scan's gap SIREAD locks in the lock manager regardless of the
 //! storage-level interleaving.
+//!
+//! ## Secondary index maintenance
+//!
+//! Tables carry a (usually empty) list of registered secondary indexes
+//! ([`crate::index::Index`]). Index entries are refcounted by *chain
+//! residency*, never by commit state: [`Table::install_version`] adds one
+//! entry reference for the new version's extracted key,
+//! [`Table::unlink_version`] and version GC release one reference per
+//! version they physically remove. Every add/release happens under the
+//! version's shard lock (the same critical section that changes chain
+//! membership), and [`Table::register_index`] backfills a new index while
+//! holding **every** shard write lock — so the refcount invariant ("one
+//! reference per resident version extracting to the entry") can never be
+//! double-counted or skipped by a concurrent install, rollback or purge.
+//! Superseded entries linger until GC reclaims the versions that claim
+//! them; readers re-extract from the row version their snapshot actually
+//! sees and filter stale entries (see the `crate::index` module docs).
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::BuildHasher;
@@ -75,6 +92,7 @@ use parking_lot::{Mutex, RwLock};
 use ssi_common::{Bytes, InlineVec, TableId, Timestamp, TxnId};
 use ssi_lock::FxBuildHasher;
 
+use crate::index::Index;
 use crate::version::{Version, VersionState};
 
 /// Number of hash shards per table. Power of two so the shard selector is a
@@ -361,6 +379,9 @@ pub struct Table {
     /// Ordered side index over the same chains, for scans and next-key
     /// queries only. Point operations on existing keys never touch it.
     ordered: RwLock<BTreeMap<Arc<[u8]>, Arc<RowChain>>>,
+    /// Registered secondary indexes, maintained by the membership hooks
+    /// (see the module docs). Lock order is always shard → this list.
+    indexes: RwLock<Vec<Arc<Index>>>,
 }
 
 impl Table {
@@ -372,6 +393,7 @@ impl Table {
             name: name.into(),
             shards,
             ordered: RwLock::new(BTreeMap::new()),
+            indexes: RwLock::new(Vec::new()),
         }
     }
 
@@ -391,7 +413,7 @@ impl Table {
     }
 
     /// Looks up the chain for `key` (one shard read lock).
-    #[inline]
+    #[cfg(test)]
     fn chain(&self, key: &[u8]) -> Option<Arc<RowChain>> {
         self.shard(key).rows.read().get(key).cloned()
     }
@@ -454,11 +476,15 @@ impl Table {
 
         // Fast path: the key exists; append under the shard read lock. The
         // read lock excludes removal (which needs the write lock), so the
-        // chain cannot be unlinked while we push.
+        // chain cannot be unlinked while we push. Index references are
+        // added inside the same shard critical section, so an index
+        // backfill (all shard *write* locks) observes either the version
+        // and its references or neither.
         {
             let rows = shard.rows.read();
             if let Some(chain) = rows.get(key) {
                 chain.versions.lock().insert(0, version.clone());
+                self.add_index_refs(key, &version);
                 return version;
             }
         }
@@ -468,23 +494,92 @@ impl Table {
         let mut rows = shard.rows.write();
         if let Some(chain) = rows.get(key) {
             chain.versions.lock().insert(0, version.clone());
+            self.add_index_refs(key, &version);
             return version;
         }
-        let key: Arc<[u8]> = Arc::from(key);
+        let key_arc: Arc<[u8]> = Arc::from(key);
         let chain = RowChain::with_version(version.clone());
-        rows.insert(key.clone(), chain.clone());
-        self.ordered.write().insert(key, chain);
+        rows.insert(key_arc.clone(), chain.clone());
+        self.ordered.write().insert(key_arc, chain);
+        self.add_index_refs(key, &version);
         version
+    }
+
+    /// Adds one entry reference per registered index for a freshly
+    /// installed version. Must be called while the caller still holds the
+    /// version's shard lock (read or write) — see the module docs.
+    fn add_index_refs(&self, key: &[u8], version: &Version) {
+        let Some(value) = version.value() else { return };
+        for index in self.indexes.read().iter() {
+            if let Some(entry) = index.entry_of(key, value) {
+                index.add_ref(&entry);
+            }
+        }
+    }
+
+    /// Releases one entry reference per registered index for a version that
+    /// was just removed from its chain. Same locking contract as
+    /// [`Table::add_index_refs`].
+    fn release_index_refs(&self, key: &[u8], version: &Version) {
+        let Some(value) = version.value() else { return };
+        for index in self.indexes.read().iter() {
+            if let Some(entry) = index.entry_of(key, value) {
+                index.release_ref(&entry);
+            }
+        }
+    }
+
+    /// Registers a secondary index on this table, backfilling one entry
+    /// reference per resident version. Takes **every** shard write lock
+    /// for the duration (install/unlink/purge all hold at least a shard
+    /// read lock around their membership change plus index hook), so the
+    /// backfill and the registration are one atomic step: versions
+    /// installed before it are counted exactly once by the backfill,
+    /// versions installed after it are counted exactly once by their
+    /// install hook.
+    pub fn register_index(&self, index: Arc<Index>) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.rows.write()).collect();
+        for rows in &guards {
+            for (key, chain) in rows.iter() {
+                for v in chain.versions.lock().iter() {
+                    if let Some(value) = v.value() {
+                        if let Some(entry) = index.entry_of(key, value) {
+                            index.add_ref(&entry);
+                        }
+                    }
+                }
+            }
+        }
+        self.indexes.write().push(index);
+        drop(guards);
+    }
+
+    /// The registered secondary indexes of this table.
+    pub fn indexes(&self) -> Vec<Arc<Index>> {
+        self.indexes.read().clone()
     }
 
     /// Unlinks a version previously installed with [`Table::install_version`]
     /// (rollback path). The version should already be marked aborted.
+    /// Releases the version's index entry references iff the version was
+    /// actually removed here (a purge may have raced and released them
+    /// already), inside the shard read-lock scope so index backfills can
+    /// never observe a half-applied removal.
     pub fn unlink_version(&self, key: &[u8], version: &Arc<Version>) {
-        let Some(chain) = self.chain(key) else { return };
+        let shard = self.shard(key);
         let now_empty = {
-            let mut versions = chain.versions.lock();
-            versions.retain(|v| !Arc::ptr_eq(v, version));
-            versions.is_empty()
+            let rows = shard.rows.read();
+            let Some(chain) = rows.get(key) else { return };
+            let (removed, empty) = {
+                let mut versions = chain.versions.lock();
+                let before = versions.len();
+                versions.retain(|v| !Arc::ptr_eq(v, version));
+                (versions.len() != before, versions.is_empty())
+            };
+            if removed {
+                self.release_index_refs(key, version);
+            }
+            empty
         };
         if now_empty {
             self.remove_if_empty(key);
@@ -706,7 +801,9 @@ impl Table {
                 }
                 if let Some(idx) = keep_upto {
                     stats.versions += (versions.len() - (idx + 1)) as u64;
-                    versions.truncate(idx + 1);
+                    for v in versions.drain(idx + 1..) {
+                        self.release_index_refs(key, &v);
+                    }
                     // If the only remaining reachable version is a
                     // tombstone and nothing newer exists, the key is
                     // gone for good.
@@ -718,9 +815,19 @@ impl Table {
                         }
                     }
                 }
-                // Also drop aborted leftovers.
+                // Also drop aborted leftovers (releasing their index
+                // references: the purge got to them before the creator's
+                // rollback unlink, which will then find nothing to remove
+                // and release nothing).
                 let before = versions.len();
-                versions.retain(|v| v.state() != VersionState::Aborted);
+                versions.retain(|v| {
+                    if v.state() == VersionState::Aborted {
+                        self.release_index_refs(key, v);
+                        false
+                    } else {
+                        true
+                    }
+                });
                 stats.versions += (before - versions.len()) as u64;
             }
         }
@@ -1205,6 +1312,46 @@ mod tests {
             .collect();
         assert_eq!(keys.len(), 10);
         assert_eq!(keys[0], vec![10u8]);
+    }
+
+    #[test]
+    fn index_refs_follow_chain_membership() {
+        use crate::index::{Index, IndexDef, IndexKeyPart, IndexKeySpec};
+        let tbl = table();
+        let idx = Arc::new(Index::new(IndexDef {
+            id: TableId(9),
+            name: "by_prefix".into(),
+            table: tbl.id(),
+            unique: false,
+            spec: IndexKeySpec {
+                layout: vec![],
+                parts: vec![IndexKeyPart::PrimaryKeySlice(0, 1)],
+            },
+        }));
+        // Backfill covers versions installed before registration.
+        let v0 = tbl.install_version(b"a1", t(1), Some(vec![0]));
+        v0.mark_committed(10);
+        tbl.register_index(idx.clone());
+        assert_eq!(idx.entry_count(), 1);
+        // New installs add entries; aborted unlinks remove them.
+        let v1 = tbl.install_version(b"b1", t(2), Some(vec![0]));
+        assert_eq!(idx.entry_count(), 2);
+        v1.mark_aborted();
+        tbl.unlink_version(b"b1", &v1);
+        assert_eq!(idx.entry_count(), 1);
+        // An update of the same key extracts to the same entry: two refs,
+        // one entry; GC of the superseded version releases one ref only.
+        let v2 = tbl.install_version(b"a1", t(3), Some(vec![1]));
+        v2.mark_committed(20);
+        assert_eq!(idx.entry_count(), 1);
+        tbl.purge_old_versions(25);
+        assert_eq!(idx.entry_count(), 1, "resident version still claims it");
+        // Tombstone + purge reclaim the chain and the last reference.
+        let d = tbl.install_version(b"a1", t(4), None);
+        d.mark_committed(30);
+        tbl.purge_old_versions(35);
+        assert_eq!(idx.entry_count(), 0, "dead chain leaves no entries");
+        assert_eq!(tbl.key_count(), 0);
     }
 
     #[test]

@@ -384,6 +384,33 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Appends a create-index control record immediately, with the same
+    /// durability contract as [`WalWriter::append_create_table`]. Only the
+    /// definition is logged — entries are rebuilt by backfill at recovery.
+    pub fn append_create_index(
+        &self,
+        index: TableId,
+        table: TableId,
+        name: &str,
+        unique: bool,
+        spec: Vec<u8>,
+    ) -> WalResult<()> {
+        let frame = Record::CreateIndex {
+            index,
+            table,
+            name: name.to_string(),
+            unique,
+            spec,
+        }
+        .encode();
+        let mut appender = self.appender.lock();
+        self.write_frame(&mut appender, &frame)?;
+        self.stats
+            .bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Parks the encoded commit record of `ts` in the pending buffer. Must
     /// be called *before* the timestamp is deposited for publication (see
     /// the crate docs); performs no I/O and cannot fail.

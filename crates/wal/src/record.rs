@@ -17,6 +17,7 @@ pub const MAX_FRAME_LEN: u32 = 1 << 30;
 
 const KIND_COMMIT: u8 = 1;
 const KIND_CREATE_TABLE: u8 = 2;
+const KIND_CREATE_INDEX: u8 = 3;
 
 const CRC_TABLE: [u32; 256] = crc32_table();
 
@@ -94,6 +95,22 @@ pub enum Record {
         table: TableId,
         /// Table name.
         name: String,
+    },
+    /// A secondary index created while the log was active. Index *entries*
+    /// are never logged — recovery re-registers the index and rebuilds its
+    /// entries by backfill from the replayed version chains — so this
+    /// record only carries the definition.
+    CreateIndex {
+        /// Id the catalog assigned to the index (same namespace as tables).
+        index: TableId,
+        /// Id of the base table the index covers.
+        table: TableId,
+        /// Index name (its own namespace).
+        name: String,
+        /// Whether the index enforces uniqueness of extracted keys.
+        unique: bool,
+        /// Encoded [`ssi_storage::IndexKeySpec`], opaque to the log.
+        spec: Vec<u8>,
     },
 }
 
@@ -193,6 +210,24 @@ impl Record {
                 payload.extend_from_slice(name.as_bytes());
                 frame_payload(payload)
             }
+            Record::CreateIndex {
+                index,
+                table,
+                name,
+                unique,
+                spec,
+            } => {
+                let mut payload = Vec::with_capacity(64 + spec.len());
+                payload.push(KIND_CREATE_INDEX);
+                put_u32(&mut payload, index.0);
+                put_u32(&mut payload, table.0);
+                put_u32(&mut payload, name.len() as u32);
+                payload.extend_from_slice(name.as_bytes());
+                payload.push(*unique as u8);
+                put_u32(&mut payload, spec.len() as u32);
+                payload.extend_from_slice(spec);
+                frame_payload(payload)
+            }
         }
     }
 
@@ -252,6 +287,26 @@ fn decode_payload(payload: &[u8]) -> Option<Record> {
             let name_len = cur.u32()? as usize;
             let name = String::from_utf8(cur.bytes(name_len)?.to_vec()).ok()?;
             cur.at_end().then_some(Record::CreateTable { table, name })
+        }
+        KIND_CREATE_INDEX => {
+            let index = TableId(cur.u32()?);
+            let table = TableId(cur.u32()?);
+            let name_len = cur.u32()? as usize;
+            let name = String::from_utf8(cur.bytes(name_len)?.to_vec()).ok()?;
+            let unique = match cur.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            let spec_len = cur.u32()? as usize;
+            let spec = cur.bytes(spec_len)?.to_vec();
+            cur.at_end().then_some(Record::CreateIndex {
+                index,
+                table,
+                name,
+                unique,
+                spec,
+            })
         }
         _ => None,
     }
@@ -370,6 +425,21 @@ mod tests {
         let rec = Record::CreateTable {
             table: TableId(3),
             name: "accounts".to_string(),
+        };
+        let frame = rec.encode();
+        let (decoded, consumed) = Record::decode(&frame).unwrap();
+        assert_eq!(decoded, rec);
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn create_index_roundtrip() {
+        let rec = Record::CreateIndex {
+            index: TableId(9),
+            table: TableId(3),
+            name: "accounts_by_owner".to_string(),
+            unique: true,
+            spec: vec![0x01, 0x02, 0x00, 0xFF],
         };
         let frame = rec.encode();
         let (decoded, consumed) = Record::decode(&frame).unwrap();

@@ -4,7 +4,7 @@
 use std::path::Path;
 
 use ssi_common::{TableId, Timestamp};
-use ssi_storage::{Catalog, Table};
+use ssi_storage::{Catalog, IndexKeySpec, Table};
 
 use crate::checkpoint::{load_snapshot, RECOVERY_TXN_ID};
 use crate::error::{ctx, WalError, WalOp, WalResult};
@@ -144,6 +144,30 @@ pub fn recover_into_with(vfs: &dyn Vfs, dir: &Path, catalog: &Catalog) -> WalRes
                     // re-emitted duplicate frame) may already have created
                     // it.
                     let _ = catalog.create_table_with_id(table, &name);
+                }
+                Record::CreateIndex {
+                    index,
+                    table,
+                    name,
+                    unique,
+                    spec,
+                } => {
+                    // Registration backfills over whatever chains are
+                    // resident now (the snapshot); commits replayed later
+                    // maintain entries through `install_version`, so the
+                    // apply order is immaterial. A missing base table means
+                    // its create record was lost with a torn tail — the
+                    // index record was logged after it, so skipping is the
+                    // same prefix-loss recovery commits get. The spec is
+                    // CRC-covered; an undecodable one is structural
+                    // corruption and skipping it just drops the index.
+                    match (catalog.table_by_id(table), IndexKeySpec::decode(&spec)) {
+                        (Ok(handle), Some(spec)) => {
+                            let _ =
+                                catalog.create_index_with_id(index, &name, &handle, unique, spec);
+                        }
+                        _ => recovered.torn_tail = true,
+                    }
                 }
                 Record::Commit(commit) => {
                     if commit.commit_ts > recovered.snapshot_ts {
@@ -393,6 +417,55 @@ mod tests {
         // recovery, so the tear does not resurface.
         assert_eq!(std::fs::metadata(&seg1).unwrap().len(), valid_len);
         assert!(!rec.torn_tail, "truncated tear must not be reported again");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_index_records_replay_and_backfill() {
+        use ssi_storage::{IndexKeyPart, IndexKeySpec};
+        let spec = IndexKeySpec {
+            layout: vec![],
+            parts: vec![IndexKeyPart::PrimaryKeySlice(0, 1)],
+        };
+        let dir = temp_dir("rec-index");
+        {
+            let wal = WalWriter::open(&dir, 1, SyncPolicy::Never).unwrap();
+            wal.append_create_table(TableId(1), "t").unwrap();
+            put(&wal, 2, b"a", b"1");
+            // The index is created mid-log: the commit before it must be
+            // covered by backfill, the ones after by replay maintenance.
+            wal.append_create_index(TableId(2), TableId(1), "t_by_pk", false, spec.encode())
+                .unwrap();
+            put(&wal, 3, b"b", b"2");
+            put(&wal, 4, b"b", b"3");
+            wal.submit(
+                5,
+                TxnId(5),
+                vec![WriteEntry {
+                    table: TableId(1),
+                    key: b"a".to_vec(),
+                    value: None,
+                }],
+            );
+            wal.seal_upto(5).unwrap();
+            wal.sync().unwrap();
+        }
+        let catalog = Catalog::new();
+        let rec = recover_into(&dir, &catalog).unwrap();
+        assert_eq!(rec.txns_replayed, 4);
+        assert!(!rec.torn_tail);
+        let index = catalog.index("t_by_pk").unwrap();
+        assert_eq!(index.id(), TableId(2));
+        assert_eq!(index.table_id(), TableId(1));
+        // `a` has a live version (the tombstone is a later version of the
+        // same chain, but the committed v1 is still resident) and `b` has
+        // two resident versions collapsing onto one entry.
+        assert_eq!(index.entry_count(), 2);
+        // Idempotence: recovering again (create-index record re-applied
+        // against an existing registration) must not double the refcounts.
+        let catalog2 = Catalog::new();
+        recover_into(&dir, &catalog2).unwrap();
+        assert_eq!(catalog2.index("t_by_pk").unwrap().entry_count(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

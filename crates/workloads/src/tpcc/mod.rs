@@ -24,7 +24,7 @@ pub mod transactions;
 
 use ssi_common::rng::WorkloadRng;
 use ssi_common::Error;
-use ssi_core::{Database, TableRef};
+use ssi_core::{Database, IndexRef, TableRef};
 
 use crate::driver::Workload;
 
@@ -153,7 +153,10 @@ pub(crate) struct TpccTables {
     pub warehouse: TableRef,
     pub district: TableRef,
     pub customer: TableRef,
-    pub customer_name_idx: TableRef,
+    /// Engine secondary index over `customer`, keyed by
+    /// `(w, d, last_name)` — maintained by the storage layer with every
+    /// customer write, no manual index puts.
+    pub customer_name_idx: IndexRef,
     pub orders: TableRef,
     pub order_customer_idx: TableRef,
     pub new_order: TableRef,
@@ -168,17 +171,27 @@ impl TpccTables {
         for name in schema::TABLE_NAMES {
             refs.push(db.create_table(name).unwrap());
         }
+        // Created before the load so every customer row is indexed on
+        // insert (backfill over an empty table is trivial).
+        let customer_name_idx = db
+            .create_index(
+                schema::CUSTOMER_NAME_INDEX,
+                &refs[2],
+                false,
+                schema::customer_name_spec(),
+            )
+            .unwrap();
         TpccTables {
             warehouse: refs[0].clone(),
             district: refs[1].clone(),
             customer: refs[2].clone(),
-            customer_name_idx: refs[3].clone(),
-            orders: refs[4].clone(),
-            order_customer_idx: refs[5].clone(),
-            new_order: refs[6].clone(),
-            order_line: refs[7].clone(),
-            item: refs[8].clone(),
-            stock: refs[9].clone(),
+            customer_name_idx,
+            orders: refs[3].clone(),
+            order_customer_idx: refs[4].clone(),
+            new_order: refs[5].clone(),
+            order_line: refs[6].clone(),
+            item: refs[7].clone(),
+            stock: refs[8].clone(),
         }
     }
 }

@@ -6,22 +6,24 @@
 //! (w, d)") are contiguous. Rows are encoded with the fixed-layout codec
 //! from `ssi_common::encoding`.
 //!
-//! Two secondary indexes are materialized explicitly, as a storage engine
-//! under a SQL front end would do:
+//! Two secondary access paths exist:
 //!
-//! * `customer_name_idx` — (w, d, last_name, c) → c, used by Payment and
-//!   Order Status when the customer is selected by last name;
-//! * `order_customer_idx` — (w, d, c, o) → (), used by Order Status and the
-//!   TPC-C++ Credit Check to find a customer's orders.
+//! * `customer_name_idx` — a real engine secondary index over `customer`
+//!   (key `(w, d, last_name)` via [`customer_name_spec`]), maintained
+//!   transactionally by the storage layer and used by Payment and Order
+//!   Status when the customer is selected by last name;
+//! * `order_customer_idx` — (w, d, c, o) → (), a manually materialized
+//!   key-only table used by Order Status and the TPC-C++ Credit Check to
+//!   find a customer's orders.
 
 use ssi_common::encoding::{KeyBuilder, ValueReader, ValueWriter};
+use ssi_core::{FieldKind, IndexKeyPart, IndexKeySpec};
 
 /// Names of all tables created by the workload.
-pub const TABLE_NAMES: [&str; 10] = [
+pub const TABLE_NAMES: [&str; 9] = [
     "warehouse",
     "district",
     "customer",
-    "customer_name_idx",
     "orders",
     "order_customer_idx",
     "new_order",
@@ -29,6 +31,33 @@ pub const TABLE_NAMES: [&str; 10] = [
     "item",
     "stock",
 ];
+
+/// Name of the engine secondary index over `customer`.
+pub const CUSTOMER_NAME_INDEX: &str = "customer_name_idx";
+
+/// Key-extraction spec of the customer-by-last-name index: the `(w, d)`
+/// prefix of the primary key (two big-endian `u32`s) followed by the `last`
+/// field of the row. The extracted key equals [`customer_name_prefix`]
+/// byte-for-byte, so lookups pass that prefix as the raw index key.
+pub fn customer_name_spec() -> IndexKeySpec {
+    IndexKeySpec {
+        layout: vec![
+            FieldKind::I64, // balance
+            FieldKind::I64, // ytd_payment
+            FieldKind::U32, // payment_cnt
+            FieldKind::I64, // credit_lim
+            FieldKind::U32, // discount
+            FieldKind::Str, // credit
+            FieldKind::Str, // last
+            FieldKind::Str, // first
+            FieldKind::Str, // data
+        ],
+        parts: vec![
+            IndexKeyPart::PrimaryKeySlice(0, 8),
+            IndexKeyPart::ValueField(6),
+        ],
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Keys
@@ -49,12 +78,9 @@ pub fn customer_key(w: u32, d: u32, c: u32) -> Vec<u8> {
     KeyBuilder::new().u32(w).u32(d).u32(c).build()
 }
 
-/// Key of a customer-by-last-name index entry.
-pub fn customer_name_key(w: u32, d: u32, last: &str, c: u32) -> Vec<u8> {
-    KeyBuilder::new().u32(w).u32(d).str(last).u32(c).build()
-}
-
-/// Prefix of all index entries for a given last name.
+/// The customer-by-last-name *index key* of every customer of district
+/// `(w, d)` with last name `last` (pass to `index_lookup` on the
+/// [`CUSTOMER_NAME_INDEX`] index).
 pub fn customer_name_prefix(w: u32, d: u32, last: &str) -> Vec<u8> {
     KeyBuilder::new().u32(w).u32(d).str(last).build()
 }
@@ -382,12 +408,38 @@ mod tests {
     }
 
     #[test]
-    fn customer_name_index_orders_by_name_then_id() {
-        let a = customer_name_key(1, 1, "ABLEABLEABLE", 5);
-        let b = customer_name_key(1, 1, "ABLEABLEABLE", 9);
-        let c = customer_name_key(1, 1, "BARBARBAR", 1);
-        assert!(a < b && b < c);
-        assert!(a.starts_with(&customer_name_prefix(1, 1, "ABLEABLEABLE")));
+    fn customer_name_spec_extracts_the_lookup_key() {
+        let spec = customer_name_spec();
+        let customer = |last: &str| {
+            Customer {
+                balance: -1000,
+                ytd_payment: 0,
+                payment_cnt: 0,
+                credit_lim: 50_000,
+                discount: 0,
+                credit: "GC".to_string(),
+                last: last.to_string(),
+                first: "x".to_string(),
+                data: String::new(),
+            }
+            .encode()
+        };
+        // The extracted index key equals the lookup prefix byte-for-byte —
+        // that identity is what makes `index_lookup(prefix)` find exactly
+        // the district's customers with that last name.
+        let extracted = spec
+            .extract(&customer_key(1, 2, 7), &customer("ABLEABLEABLE"))
+            .unwrap();
+        assert_eq!(extracted, customer_name_prefix(1, 2, "ABLEABLEABLE"));
+        // Distinct names and districts extract distinct, ordered keys.
+        let other = spec
+            .extract(&customer_key(1, 2, 9), &customer("BARBARBAR"))
+            .unwrap();
+        assert!(extracted < other);
+        assert_ne!(
+            spec.extract(&customer_key(1, 3, 7), &customer("ABLEABLEABLE")),
+            Some(extracted)
+        );
     }
 
     #[test]
@@ -452,6 +504,7 @@ mod tests {
         let mut names = TABLE_NAMES.to_vec();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 9);
+        assert!(!names.contains(&CUSTOMER_NAME_INDEX));
     }
 }

@@ -42,7 +42,9 @@ impl TpccWorkload {
     }
 
     /// Selects a customer id, 60% of the time by last name (median match,
-    /// per the TPC-C rules) and 40% by customer number.
+    /// per the TPC-C rules) and 40% by customer number. The by-name path is
+    /// a point lookup on the engine's customer-by-last-name secondary
+    /// index: one index key, all claiming rows in primary-key order.
     fn select_customer(
         &self,
         txn: &mut Transaction,
@@ -52,8 +54,8 @@ impl TpccWorkload {
     ) -> Result<u32, Error> {
         if rng.chance(0.6) {
             let last = tpcc_last_name(rng.nurand_name());
-            let prefix = customer_name_prefix(w, d, &last);
-            let matches = txn.scan_prefix(&self.tables.customer_name_idx, &prefix)?;
+            let index_key = customer_name_prefix(w, d, &last);
+            let matches = txn.index_lookup(&self.tables.customer_name_idx, &index_key)?;
             if !matches.is_empty() {
                 let median = &matches[matches.len() / 2];
                 return Ok(u32_from_key_suffix(&median.0));

@@ -32,9 +32,9 @@ pub use ssi_common::{
 };
 pub use ssi_core::{
     CommitPhase, Database, DbHealth, Durability, DurabilityOptions, FaultMode, FaultOp, FaultRule,
-    FaultVfs, FlushEvent, FlushReason, GcPin, LockGranularity, MaintenanceEvent, MaintenanceHook,
-    MaintenanceOptions, Options, PurgeStats, SsiOptions, SsiVariant, TableRef, Transaction,
-    VictimPolicy,
+    FaultVfs, FieldKind, FlushEvent, FlushReason, GcPin, IndexKeyPart, IndexKeySpec, IndexRef,
+    LockGranularity, MaintenanceEvent, MaintenanceHook, MaintenanceOptions, Options, PurgeStats,
+    SsiOptions, SsiVariant, TableRef, Transaction, VictimPolicy,
 };
 pub use ssi_obs::{EventKind, MetricsSnapshot, TraceBatch, TraceEvent};
 pub use ssi_server::{Client, ClientTxn, Server, ServerOptions};

@@ -17,13 +17,25 @@
 //!   monotone, and a proptest drives random begin/commit/pin/unpin
 //!   schedules checking the horizon never regresses and never exceeds the
 //!   oldest live pin.
+//!
+//! A second net (`indexed_gc_stress`) runs the same 8-thread churn against
+//! a table with a *secondary index*: point lookups and range scans go
+//! through entry space while inserts, renames and deletes move index
+//! entries underneath them and GC purges the stale ones. The visibility
+//! oracle becomes "every hot row is always reachable through its index
+//! key", and the MVSG verifier replays the history *including the
+//! index-space read and write records*.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serializable_si::{Database, Error, IsolationLevel, Options, SsiVariant, TableRef};
+use serializable_si::common::encoding::{KeyBuilder, ValueWriter};
+use serializable_si::{
+    Database, Error, FieldKind, IndexKeyPart, IndexKeySpec, IndexRef, IsolationLevel, Options,
+    SsiVariant, TableRef,
+};
 
 /// Outcome counters of one stress run.
 #[derive(Default)]
@@ -283,6 +295,249 @@ fn enhanced_variant_stays_serializable_under_background_gc_thread() {
 #[test]
 fn basic_variant_stays_serializable_under_background_gc_thread() {
     gc_stress(SsiVariant::Basic, 8, 400, 8, 0xBAD6C1, GcMode::Background);
+}
+
+// ---------------------------------------------------------------------
+// Indexed churn: the same stress shape, but every predicate goes through
+// a secondary index while writers move entries underneath it.
+// ---------------------------------------------------------------------
+
+/// Hot rows carry a fixed name (their index key never moves); churn rows
+/// carry one of a few shared names, so renames and deletes constantly
+/// create and strand entries for GC to reap.
+fn person(name: &str, counter: u64) -> Vec<u8> {
+    ValueWriter::new().str(name).u64(counter).build()
+}
+
+fn name_key(name: &str) -> Vec<u8> {
+    KeyBuilder::new().str(name).build()
+}
+
+fn hot_name(k: u64) -> String {
+    format!("hot-{k:03}")
+}
+
+fn churn_name(n: u64) -> String {
+    format!("churn-{:02}", n % 6)
+}
+
+/// One randomized indexed transaction. The oracle: a hot row is only ever
+/// overwritten under its fixed name, so a point lookup of that name must
+/// always surface exactly that row, and a range scan over the hot names
+/// must surface all of them — no matter how many stale entries churn and
+/// GC have created or reaped around them.
+fn run_one_indexed(
+    db: &Database,
+    table: &TableRef,
+    index: &IndexRef,
+    rng: &mut SmallRng,
+    keys: u64,
+    payload: u64,
+) -> Result<(), Error> {
+    let k = rng.gen_range(0..keys);
+    match rng.gen_range(0..12u32) {
+        // Index point lookup of a hot name, then overwrite the row it
+        // claims (same name, bumped counter): an entry-stable rewrite.
+        0..=2 => {
+            let mut txn = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+            let rows = txn.index_lookup(index, &name_key(&hot_name(k)))?;
+            assert_eq!(
+                rows.len(),
+                1,
+                "hot name {} resolved to {} rows",
+                hot_name(k),
+                rows.len()
+            );
+            assert_eq!(rows[0].0, k.to_be_bytes(), "index resolved the wrong row");
+            txn.put(table, &k.to_be_bytes(), &person(&hot_name(k), payload))?;
+            txn.commit()
+        }
+        // Range scan over the whole hot-name band: every hot row must be
+        // visible through the index, exactly once.
+        3..=4 => {
+            let mut txn = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+            let rows = txn.index_scan(
+                index,
+                std::ops::Bound::Included(name_key("hot-").as_slice()),
+                std::ops::Bound::Excluded(name_key("hot.").as_slice()),
+            )?;
+            assert_eq!(
+                rows.len() as u64,
+                keys,
+                "index range scan lost hot rows under purge"
+            );
+            txn.commit()
+        }
+        // Predicate-then-write: look up a churn name and record what was
+        // seen into a hot row — the write-skew shape through the index.
+        5..=6 => {
+            let mut txn = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+            let seen = txn
+                .index_lookup(index, &name_key(&churn_name(payload)))?
+                .len();
+            txn.put(table, &k.to_be_bytes(), &person(&hot_name(k), seen as u64))?;
+            txn.commit()
+        }
+        // Insert or rename a churn row: the entry moves between names.
+        7..=9 => {
+            let mut txn = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+            let name = churn_name(rng.gen_range(0..6));
+            txn.put(
+                table,
+                &churn_key(rng.gen_range(0..keys)),
+                &person(&name, payload),
+            )?;
+            txn.commit()
+        }
+        // Delete a churn row: its entries go stale until GC reaps them.
+        _ => {
+            let mut txn = db.begin_with(IsolationLevel::SerializableSnapshotIsolation);
+            txn.delete(table, &churn_key(rng.gen_range(0..keys)))?;
+            txn.commit()
+        }
+    }
+}
+
+fn indexed_gc_stress(variant: SsiVariant, threads: usize, iters: u64, keys: u64, seed: u64) {
+    let options = Options {
+        ssi: serializable_si::SsiOptions {
+            variant,
+            ..Default::default()
+        },
+        ..Options::default()
+    }
+    .with_history()
+    .with_background_gc(std::time::Duration::from_micros(500));
+    let db = Database::open(options);
+    let table = db.create_table("people").unwrap();
+    // Created before any write so the index covers every version ever
+    // installed (and the verifier sees matched index read/write records).
+    let index = db
+        .create_index(
+            "people_by_name",
+            &table,
+            false,
+            IndexKeySpec {
+                layout: vec![FieldKind::Str, FieldKind::U64],
+                parts: vec![IndexKeyPart::ValueField(0)],
+            },
+        )
+        .unwrap();
+    let mut setup = db.begin();
+    for k in 0..keys {
+        setup
+            .put(&table, &k.to_be_bytes(), &person(&hot_name(k), 0))
+            .unwrap();
+    }
+    setup.commit().unwrap();
+
+    let stats = StressStats::default();
+    let stop = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        // Purge hammer on top of the background GC thread, as in the row
+        // net; horizons stay monotone.
+        {
+            let db = db.clone();
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut last = 0;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let h = db.purge().horizon;
+                    assert!(h >= last, "purge horizon went backwards: {h} < {last}");
+                    last = h;
+                    std::thread::yield_now();
+                }
+            });
+        }
+        let mut writers = Vec::new();
+        for t in 0..threads {
+            let db = db.clone();
+            let table = table.clone();
+            let index = index.clone();
+            let stats = &stats;
+            writers.push(scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
+                for i in 0..iters {
+                    let payload = (t as u64) << 32 | i;
+                    match run_one_indexed(&db, &table, &index, &mut rng, keys, payload) {
+                        Ok(()) => {
+                            stats.committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) if e.is_retryable() => {
+                            stats.aborted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            }));
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(1, Ordering::Relaxed);
+    });
+
+    let committed = stats.committed.load(Ordering::Relaxed);
+    assert!(committed > 0, "indexed stress run committed nothing");
+
+    // Serializability oracle, now over histories that include index-space
+    // read and write records.
+    let report = db.history().unwrap().analyze();
+    assert!(
+        report.is_serializable(),
+        "non-serializable indexed history under {variant:?}: cycle {:?}, lost reads {:?} \
+         (committed {committed}, aborted {})",
+        report.cycle,
+        report.lost_reads,
+        stats.aborted.load(Ordering::Relaxed),
+    );
+
+    // Index maintenance must stay on the clean paths: no reader ever
+    // parked on version publication and no fault counter moved.
+    let metrics = db.metrics();
+    assert_eq!(
+        metrics.txn.read_publication_waits, 0,
+        "index writes pushed readers onto the publication slow path"
+    );
+    assert_eq!(metrics.wal.io_failures, 0, "clean run logged I/O faults");
+    assert_eq!(metrics.wal.fsync_retries, 0, "clean run retried fsyncs");
+
+    // Resource invariants: locks and registry drain, and after a final
+    // purge the stale entries left by churn renames and deletes are gone —
+    // the entry count converges to the number of live claims.
+    let mgr = db.transaction_manager();
+    mgr.cleanup_suspended(db.lock_manager());
+    assert_eq!(mgr.suspended_len(), 0, "suspended transactions leaked");
+    assert_eq!(mgr.registry_len(), 0, "registry entries leaked");
+    assert_eq!(db.lock_manager().grant_count(), 0, "lock grants leaked");
+    db.purge();
+    let live_rows = table.key_count() as u64;
+    let entries = index.entry_count() as u64;
+    assert!(
+        entries <= live_rows + keys,
+        "GC left {entries} index entries for {live_rows} live rows"
+    );
+    let mut check = db.begin_read_only();
+    for k in 0..keys {
+        let rows = check.index_lookup(&index, &name_key(&hot_name(k))).unwrap();
+        assert_eq!(
+            rows.len(),
+            1,
+            "hot name {} lost after final purge",
+            hot_name(k)
+        );
+    }
+    check.commit().unwrap();
+}
+
+#[test]
+fn indexed_churn_stays_serializable_under_gc_enhanced_variant() {
+    indexed_gc_stress(SsiVariant::Enhanced, 8, 300, 8, 0x1DC0DE);
+}
+
+#[test]
+fn indexed_churn_stays_serializable_under_gc_basic_variant() {
+    indexed_gc_stress(SsiVariant::Basic, 8, 300, 8, 0x1DBEEF);
 }
 
 proptest! {
